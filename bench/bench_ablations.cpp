@@ -1,0 +1,144 @@
+// ABLATIONS — design-choice studies called out in DESIGN.md:
+//  (a) FV face-conductance scheme: harmonic vs arithmetic mean on a
+//      high-contrast board (drain + laminate);
+//  (b) effective-medium model choice (Maxwell / Bruggeman / Lewis-Nielsen)
+//      against the percolation behaviour real filled TIMs show;
+//  (c) Level-1 resistive network vs Level-2 finite volume: accuracy vs cost;
+//  (d) LHP fixed-conductance vs variable-conductance condenser at low power.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/levels.hpp"
+#include "core/units.hpp"
+#include "materials/solid.hpp"
+#include "thermal/fv.hpp"
+#include "tim/effective_medium.hpp"
+#include "twophase/loop_heat_pipe.hpp"
+
+namespace at = aeropack::thermal;
+namespace ac = aeropack::core;
+namespace ap = aeropack::tim;
+namespace tp = aeropack::twophase;
+
+namespace {
+
+at::FvModel contrast_bar() {
+  // Heavy-copper board section (k~150 drain) feeding a plain section
+  // (k~20 with copper planes), sink at the drained end: the heat crosses
+  // the material interface where the face-conductance scheme matters.
+  at::FvModel m(at::FvGrid::uniform(0.2, 0.02, 0.0016, 40, 2, 2));
+  m.set_conductivity({0, 20, 0, 2, 0, 2}, 150.0, 150.0, 0.3);   // drained half
+  m.set_conductivity({20, 40, 0, 2, 0, 2}, 20.0, 20.0, 0.3);    // plain half
+  m.add_power({36, 40, 0, 2, 0, 2}, 1.0);                        // far-end component
+  m.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(328.15));
+  return m;
+}
+
+void report() {
+  bench_util::banner("ABLATIONS — design choices of the toolkit",
+                     "Scheme / model / fidelity trades with quantitative deltas");
+
+  // (a) Face conductance scheme.
+  {
+    auto m = contrast_bar();
+    at::FvOptions harm;
+    at::FvOptions arith;
+    arith.scheme = at::FaceConductanceScheme::ArithmeticMean;
+    const double t_h = m.solve_steady(harm).max_temperature;
+    const double t_a = m.solve_steady(arith).max_temperature;
+    std::printf("\n  (a) FV face conductance on a drain/laminate board:\n");
+    std::printf("      harmonic mean peak:   %.1f C\n", ac::kelvin_to_celsius(t_h));
+    std::printf("      arithmetic mean peak: %.1f C  (interface barrier misrepresented by %.2f K)\n",
+                ac::kelvin_to_celsius(t_a), t_h - t_a);
+  }
+
+  // (b) Effective-medium model choice at 35% silver in epoxy.
+  {
+    const double km = 0.2, kf = 400.0, phi = 0.35;
+    std::printf("\n  (b) Effective-medium models @ phi=0.35 Ag/epoxy:\n");
+    std::printf("      Maxwell-Garnett: %6.2f W/m K (dilute theory, low)\n",
+                ap::k_maxwell(km, kf, phi));
+    std::printf("      Bruggeman:       %6.2f W/m K (percolating)\n",
+                ap::k_bruggeman(km, kf, phi));
+    std::printf("      Lewis-Nielsen:   %6.2f W/m K (engineering fit; used by the toolkit)\n",
+                ap::k_lewis_nielsen(km, kf, phi, 5.0, 0.52));
+  }
+
+  // (c) Level-1 network vs Level-2 FV on the same board.
+  {
+    ac::Equipment eq;
+    eq.name = "ablation unit";
+    ac::Module mod;
+    mod.name = "M";
+    ac::Board b;
+    b.name = "b";
+    b.drain_thickness = 1e-3;
+    ac::Component c{"U", 12.0, 9e-4, 1.0, 398.15, 0.1, 0.075,
+                    aeropack::reliability::PartType::Microprocessor,
+                    aeropack::reliability::Quality::FullMil, 1};
+    b.components.push_back(c);
+    mod.boards.push_back(b);
+    eq.modules.push_back(mod);
+    ac::Specification spec;
+    spec.ambient_temperature = ac::celsius_to_kelvin(45.0);
+    const auto l1 = ac::run_level1(eq, spec, ac::CoolingTechnology::ConductionCooled);
+    const auto l2 = ac::run_level2(b, spec, ac::CoolingTechnology::ConductionCooled,
+                                   spec.ambient_temperature + 10.0, 32);
+    std::printf("\n  (c) Level-1 network vs Level-2 finite volume:\n");
+    std::printf("      L1 internal estimate: %.1f C (%zu nodes)\n",
+                ac::kelvin_to_celsius(l1.internal_air_temperature), l1.node_count);
+    std::printf("      L2 board peak:        %.1f C (%zu cells) — the hot spot L1 cannot see\n",
+                ac::kelvin_to_celsius(l2.max_temperature), l2.cell_count);
+  }
+
+  // (d) LHP condenser model at low power.
+  {
+    tp::LhpDesign var;  // defaults: variable conductance
+    tp::LhpDesign fixed = var;
+    fixed.condenser_open_fraction_min = 1.0;  // forces the fixed-UA model
+    const tp::LoopHeatPipe lhp_var(aeropack::materials::ammonia(), var);
+    const tp::LoopHeatPipe lhp_fix(aeropack::materials::ammonia(), fixed);
+    std::printf("\n  (d) LHP condenser model, evaporator-to-sink resistance [K/W]:\n");
+    std::printf("      %-8s | %-18s | %-16s\n", "Q [W]", "variable conduct.", "fixed UA");
+    for (double q : {2.0, 10.0, 30.0, 100.0}) {
+      std::printf("      %-8.0f | %-18.3f | %-16.3f\n", q,
+                  lhp_var.thermal_resistance(q, 300.0), lhp_fix.thermal_resistance(q, 300.0));
+    }
+    std::printf("      (the flooded-condenser penalty at low power is what the fixed-UA\n"
+                "       model misses; both agree once the condenser is fully open)\n");
+  }
+  std::printf("\n");
+}
+
+void bm_fv_harmonic(benchmark::State& state) {
+  auto m = contrast_bar();
+  for (auto _ : state) {
+    auto sol = m.solve_steady();
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(bm_fv_harmonic)->Unit(benchmark::kMillisecond);
+
+void bm_fv_arithmetic(benchmark::State& state) {
+  auto m = contrast_bar();
+  at::FvOptions opts;
+  opts.scheme = at::FaceConductanceScheme::ArithmeticMean;
+  for (auto _ : state) {
+    auto sol = m.solve_steady(opts);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(bm_fv_arithmetic)->Unit(benchmark::kMillisecond);
+
+void bm_emt_models(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = ap::k_maxwell(0.2, 400.0, 0.35) + ap::k_bruggeman(0.2, 400.0, 0.35) +
+                 ap::k_lewis_nielsen(0.2, 400.0, 0.35, 5.0, 0.52);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_emt_models);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

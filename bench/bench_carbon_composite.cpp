@@ -1,0 +1,86 @@
+// TAB-CARBON — the carbon-composite seat variant: the paper reports +80%
+// capability (38 W -> 70 W at constant PCB temperature) and a 20 C decrease
+// at 40 W, "slightly under those obtained with aluminum".
+#include "bench_util.hpp"
+#include "core/seb.hpp"
+#include "core/units.hpp"
+#include "materials/solid.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+
+const double kCabin = ac::celsius_to_kelvin(25.0);
+
+const ac::SebModel& carbon() {
+  static const ac::SebModel m = [] {
+    ac::SebDesign d;
+    d.seat.material = aeropack::materials::carbon_composite();
+    return ac::SebModel{d};
+  }();
+  return m;
+}
+
+const ac::SebModel& aluminum() {
+  static const ac::SebModel m{ac::SebDesign{}};
+  return m;
+}
+
+void report() {
+  bench_util::banner("TAB-CARBON — carbon-composite seat structure",
+                     "COSEE SEB power sweep with the CFRP seat as the LHP heat sink");
+
+  std::printf("\n  %-8s | %-18s | %-18s\n", "Q [W]", "carbon LHP dT [K]", "aluminum LHP dT [K]");
+  std::printf("  ---------+--------------------+-------------------\n");
+  for (double q : {10.0, 20.0, 38.0, 40.0, 50.0, 60.0, 70.0}) {
+    const auto c = carbon().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp);
+    const auto a = aluminum().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp);
+    std::printf("  %-8.0f | %-18.1f | %-18.1f\n", q, c.dt_pcb_air, a.dt_pcb_air);
+  }
+
+  const double base = carbon().capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
+  const double cap = carbon().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const double cap_al =
+      aluminum().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const double dt_no = carbon().solve(40.0, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air;
+  const double dt_lhp =
+      carbon().solve(40.0, kCabin, ac::SebCooling::HeatPipesAndLhp).dt_pcb_air;
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("baseline capability @ dT=60K [W]", "38", bench_util::fmt(base),
+                  bench_util::check(std::fabs(base - 38.0) < 5.0));
+  bench_util::row("capability with LHP, carbon seat [W]", "70", bench_util::fmt(cap),
+                  bench_util::check(std::fabs(cap - 70.0) < 9.0));
+  bench_util::row("capability increase [%]", "+80",
+                  "+" + bench_util::fmt(100.0 * (cap - base) / base, 0),
+                  bench_util::check((cap - base) / base > 0.5));
+  bench_util::row("PCB temperature decrease @ 40 W [K]", "20",
+                  bench_util::fmt(dt_no - dt_lhp),
+                  bench_util::check(std::fabs(dt_no - dt_lhp - 20.0) < 5.0));
+  bench_util::row("carbon vs aluminum capability ratio", "slightly under 1",
+                  bench_util::fmt(cap / cap_al, 2), bench_util::check(cap < cap_al));
+  std::printf("\n");
+}
+
+void bm_carbon_operating_point(benchmark::State& state) {
+  for (auto _ : state) {
+    auto pt = carbon().solve(40.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(bm_carbon_operating_point);
+
+void bm_material_swap_study(benchmark::State& state) {
+  // The full design study: both materials, both modes, capability search.
+  for (auto _ : state) {
+    double acc = carbon().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp) +
+                 aluminum().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_material_swap_study)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

@@ -1,0 +1,107 @@
+// FIG10 — the paper's headline result (COSEE): T_pcb - T_air versus SEB
+// power for (a) without LHP, (b) with LHP horizontal, (c) with LHP at 22 deg
+// tilt; plus the derived claims (+150% capability at constant PCB
+// temperature, -32 C at 40 W, 58 W carried by the LHPs).
+#include "bench_util.hpp"
+#include "core/seb.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+
+const double kCabin = ac::celsius_to_kelvin(25.0);
+
+const ac::SebModel& model() {
+  static const ac::SebModel m{ac::SebDesign{}};
+  return m;
+}
+
+void report() {
+  bench_util::banner("FIG 10 — SEB cooling with heat pipes + loop heat pipes",
+                     "T_pcb - T_air vs dissipated power; aluminum seat, cabin air 25 C");
+
+  std::printf("\n  %-8s | %-14s | %-18s | %-18s\n", "Q [W]", "no LHP dT [K]",
+              "LHP horiz dT [K]", "LHP 22deg dT [K]");
+  std::printf("  ---------+----------------+--------------------+-------------------\n");
+  std::vector<std::vector<double>> series;
+  for (double q : {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0}) {
+    const auto a = model().solve(q, kCabin, ac::SebCooling::NaturalOnly);
+    const auto b = model().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 0.0);
+    const auto c = model().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 22.0);
+    std::printf("  %-8.0f | %-14.1f | %-18.1f | %-18.1f\n", q, a.dt_pcb_air, b.dt_pcb_air,
+                c.dt_pcb_air);
+    series.push_back({q, a.dt_pcb_air, b.dt_pcb_air, c.dt_pcb_air, b.q_lhp_path});
+  }
+  bench_util::write_csv("fig10_seb_lhp.csv",
+                        {"power_w", "dt_no_lhp_k", "dt_lhp_k", "dt_lhp_tilt22_k",
+                         "q_lhp_path_w"},
+                        series);
+
+  const double cap_no = model().capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
+  const double cap_lhp =
+      model().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const double cap_tilt =
+      model().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp, 22.0);
+  const double dt_no = model().solve(40.0, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air;
+  const double dt_lhp =
+      model().solve(40.0, kCabin, ac::SebCooling::HeatPipesAndLhp).dt_pcb_air;
+  const auto full = model().solve(100.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("capability without LHP @ dT=60K [W]", "40", bench_util::fmt(cap_no),
+                  bench_util::check(std::fabs(cap_no - 40.0) < 5.0));
+  bench_util::row("capability with LHP @ dT=60K [W]", "100", bench_util::fmt(cap_lhp),
+                  bench_util::check(std::fabs(cap_lhp - 100.0) < 12.0));
+  bench_util::row("capability increase [%]", "+150",
+                  "+" + bench_util::fmt(100.0 * (cap_lhp - cap_no) / cap_no, 0),
+                  bench_util::check((cap_lhp - cap_no) / cap_no > 1.2));
+  bench_util::row("capability with LHP tilted 22deg [W]", "slightly less",
+                  bench_util::fmt(cap_tilt),
+                  bench_util::check(cap_tilt < cap_lhp && cap_tilt > 0.85 * cap_lhp));
+  bench_util::row("PCB temperature decrease @ 40 W [K]", "32",
+                  bench_util::fmt(dt_no - dt_lhp),
+                  bench_util::check(std::fabs(dt_no - dt_lhp - 32.0) < 5.0));
+  bench_util::row("power carried by the two LHPs @ 100 W [W]", "58",
+                  bench_util::fmt(full.q_lhp_path),
+                  bench_util::check(std::fabs(full.q_lhp_path - 58.0) < 7.0));
+  bench_util::row("LHP within capillary limit at 22deg", "yes (tests passed)",
+                  full.lhp_within_capillary ? "yes" : "no",
+                  bench_util::check(full.lhp_within_capillary));
+  std::printf("\n");
+}
+
+void bm_solve_operating_point(benchmark::State& state) {
+  const double q = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto pt = model().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 22.0);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(bm_solve_operating_point)->Arg(10)->Arg(40)->Arg(100);
+
+void bm_capability_search(benchmark::State& state) {
+  for (auto _ : state) {
+    double cap = model().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+    benchmark::DoNotOptimize(cap);
+  }
+}
+BENCHMARK(bm_capability_search);
+
+void bm_full_fig10_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double q = 10.0; q <= 110.0; q += 10.0) {
+      acc += model().solve(q, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air;
+      acc += model().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 0.0).dt_pcb_air;
+      acc += model().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 22.0).dt_pcb_air;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_full_fig10_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

@@ -1,0 +1,136 @@
+// FIG4 — "From the equipment to the component level": the same equipment
+// modelled at the paper's three simulation levels, comparing what each level
+// resolves and what it costs. Level 1 selects the technology; Level 2 gives
+// the PCB temperature map; Level 3 gives junction temperatures for the
+// safety/reliability calculations.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/levels.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+
+ac::Equipment demo_equipment() {
+  ac::Equipment eq;
+  eq.name = "avionics computer";
+  for (int m = 0; m < 2; ++m) {
+    ac::Module mod;
+    mod.name = "M" + std::to_string(m + 1);
+    ac::Board b;
+    b.name = "board";
+    b.drain_thickness = 1.5e-3;
+    ac::Component cpu{"CPU", 8.0, 9e-4, 0.7, 398.15, 0.10, 0.075,
+                      aeropack::reliability::PartType::Microprocessor,
+                      aeropack::reliability::Quality::FullMil, 1};
+    ac::Component mem{"MEM", 1.2, 1.5e-4, 2.5, 398.15, 0.15, 0.10,
+                      aeropack::reliability::PartType::Memory,
+                      aeropack::reliability::Quality::FullMil, 4};
+    ac::Component reg{"REG", 3.0, 2e-4, 1.8, 398.15, 0.04, 0.04,
+                      aeropack::reliability::PartType::PowerTransistor,
+                      aeropack::reliability::Quality::FullMil, 1};
+    b.components = {cpu, mem, reg};
+    mod.boards.push_back(b);
+    eq.modules.push_back(mod);
+  }
+  return eq;
+}
+
+ac::Specification demo_spec() {
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(40.0);  // conditioned bay
+  return spec;
+}
+
+void report() {
+  bench_util::banner("FIG 4 — three thermal simulation levels",
+                     "Equipment (L1) -> PCB (L2) -> component (L3) on the same unit");
+
+  const auto eq = demo_equipment();
+  const auto spec = demo_spec();
+  const auto tech = ac::CoolingTechnology::ConductionCooled;
+
+  using clock = std::chrono::steady_clock;
+
+  const auto t0 = clock::now();
+  const auto l1 = ac::run_level1(eq, spec, tech);
+  const auto t1 = clock::now();
+  const auto l2 = ac::run_level2(eq.modules[0].boards[0], spec, tech,
+                                 spec.ambient_temperature + 10.0, 32);
+  const auto t2 = clock::now();
+  const auto all = ac::run_thermal_levels(eq, spec, tech, 32);
+  const auto t3 = clock::now();
+
+  const auto ms = [](auto a, auto b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
+
+  std::printf("\n  %-10s | %-26s | %-10s | %-10s\n", "level", "resolved quantity",
+              "cells", "time [ms]");
+  std::printf("  -----------+----------------------------+------------+-----------\n");
+  std::printf("  %-10s | case %.1f C / internal %.1f C | %-10zu | %-10.2f\n", "1 equip.",
+              ac::kelvin_to_celsius(l1.case_temperature),
+              ac::kelvin_to_celsius(l1.internal_air_temperature), l1.node_count, ms(t0, t1));
+  std::printf("  %-10s | board max %.1f C            | %-10zu | %-10.2f\n", "2 PCB",
+              ac::kelvin_to_celsius(l2.max_temperature), l2.cell_count, ms(t1, t2));
+  std::printf("  %-10s | worst junction %.1f C       | %-10zu | %-10.2f\n", "3 comp.",
+              ac::kelvin_to_celsius(all.worst_junction),
+              l2.cell_count * eq.modules.size(), ms(t2, t3));
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("temperatures refine monotonically", "L1 < L2 < L3 detail",
+                  (l1.internal_air_temperature < l2.max_temperature &&
+                   l2.max_temperature < all.worst_junction)
+                      ? "yes"
+                      : "no",
+                  bench_util::check(l1.internal_air_temperature < all.worst_junction));
+  bench_util::row("junction temperature (for MTBF) [C]", "<= 125",
+                  bench_util::fmt(ac::kelvin_to_celsius(all.worst_junction)),
+                  bench_util::check(all.worst_junction <= spec.junction_limit));
+  bench_util::row("predicted MTBF [h]", "~40,000 typical",
+                  bench_util::fmt(all.mtbf.mtbf_hours, 0),
+                  bench_util::check(all.mtbf.mtbf_hours > spec.mtbf_target_hours));
+  std::printf("\n");
+}
+
+void bm_level1(benchmark::State& state) {
+  const auto eq = demo_equipment();
+  const auto spec = demo_spec();
+  for (auto _ : state) {
+    auto r = ac::run_level1(eq, spec, ac::CoolingTechnology::ConductionCooled);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_level1);
+
+void bm_level2_mesh(benchmark::State& state) {
+  const auto eq = demo_equipment();
+  const auto spec = demo_spec();
+  const auto mesh = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = ac::run_level2(eq.modules[0].boards[0], spec,
+                            ac::CoolingTechnology::ConductionCooled,
+                            spec.ambient_temperature + 10.0, mesh);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["cells"] = static_cast<double>(mesh * mesh);
+}
+BENCHMARK(bm_level2_mesh)->Arg(12)->Arg(24)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void bm_full_three_levels(benchmark::State& state) {
+  const auto eq = demo_equipment();
+  const auto spec = demo_spec();
+  for (auto _ : state) {
+    auto r = ac::run_thermal_levels(eq, spec, ac::CoolingTechnology::ConductionCooled, 24);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_full_three_levels)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

@@ -1,0 +1,102 @@
+// FIG5 — "Cooling modes": conduction cooled / direct air flow / air-or-
+// liquid flow through / air flow around (+ the Section-IV two-phase route).
+// For one representative equipment we compute each technology's power
+// capability and the selector's choice, reproducing the paper's doctrine
+// that direct air is "the most widespread ... simple to implement" until
+// power/hot-spots exceed it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/cooling_selection.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+
+ac::Equipment rack_equipment(double watts, std::size_t modules) {
+  ac::Equipment eq;
+  eq.name = "rack unit";
+  for (std::size_t m = 0; m < modules; ++m) {
+    ac::Module mod;
+    mod.name = "M" + std::to_string(m);
+    ac::Board b;
+    b.name = "b";
+    ac::Component c;
+    c.reference = "LOAD";
+    c.power = watts / static_cast<double>(modules);
+    b.components.push_back(c);
+    mod.boards.push_back(b);
+    eq.modules.push_back(mod);
+  }
+  return eq;
+}
+
+void report() {
+  bench_util::banner("FIG 5 — cooling modes trade (Level 1)",
+                     "Capability of each Fig.-5 technique for a 3-module equipment, 55 C bay");
+
+  const auto eq = rack_equipment(60.0, 3);
+  ac::Specification spec;  // 55 C ambient, 85 C internal limit, 2400 m
+  const auto sel = ac::select_cooling(eq, spec);
+
+  std::printf("\n  %-32s | %-14s | %-10s | %-9s\n", "technology", "capability [W]",
+              "complexity", "feasible");
+  std::printf("  ---------------------------------+----------------+------------+----------\n");
+  for (const auto& a : sel.assessments) {
+    std::printf("  %-32s | %-14.0f | %-10d | %-9s\n", ac::to_string(a.technology).c_str(),
+                a.max_power, a.complexity, a.feasible ? "yes" : "no");
+  }
+  std::printf("\n  selected: %s\n", ac::to_string(sel.selected).c_str());
+
+  // Escalation study: demand sweep shows where each principle runs out —
+  // the paper's ">100 W/module no longer possible with standard approaches".
+  std::printf("\n  %-12s | %-30s\n", "demand [W]", "selected technology");
+  std::printf("  -------------+------------------------------\n");
+  for (double q : {15.0, 60.0, 150.0, 300.0, 600.0}) {
+    const auto s = ac::select_cooling(rack_equipment(q, 3), spec);
+    std::printf("  %-12.0f | %-30s\n", q,
+                s.any_feasible ? ac::to_string(s.selected).c_str() : "none feasible");
+  }
+
+  const auto low = ac::select_cooling(rack_equipment(15.0, 3), spec);
+  const auto high = ac::select_cooling(rack_equipment(300.0, 3), spec);
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("low power choice", "simple (free conv / air)",
+                  ac::to_string(low.selected),
+                  bench_util::check(low.selected == ac::CoolingTechnology::FreeConvection ||
+                                    low.selected == ac::CoolingTechnology::DirectAirFlow ||
+                                    low.selected == ac::CoolingTechnology::AirFlowAround));
+  bench_util::row("high power choice", "advanced (2-phase / liquid)",
+                  high.any_feasible ? ac::to_string(high.selected) : "none",
+                  bench_util::check(!high.any_feasible ||
+                                    high.selected == ac::CoolingTechnology::TwoPhase ||
+                                    high.selected == ac::CoolingTechnology::LiquidFlowThrough ||
+                                    high.selected == ac::CoolingTechnology::ConductionCooled));
+  std::printf("\n");
+}
+
+void bm_selection(benchmark::State& state) {
+  const auto eq = rack_equipment(static_cast<double>(state.range(0)), 3);
+  const ac::Specification spec;
+  for (auto _ : state) {
+    auto s = ac::select_cooling(eq, spec);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(bm_selection)->Arg(15)->Arg(150)->Arg(600);
+
+void bm_capability_single(benchmark::State& state) {
+  const auto eq = rack_equipment(100.0, 3);
+  const ac::Specification spec;
+  for (auto _ : state) {
+    double c = ac::technology_capability(ac::CoolingTechnology::FreeConvection, eq, spec);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(bm_capability_single);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

@@ -1,0 +1,121 @@
+// FIG6 — computer racks: "the thermal dissipation still increases: from
+// 10 W/module, it will reach 20/30 W/module in the near future and
+// 60 W/module in the next developments. In the same time, the module sizes
+// are reduced or at the best remain unchanged." We run the module-generation
+// sweep under the ARINC 600 air budget and show where forced air runs out.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/rack.hpp"
+#include "core/units.hpp"
+#include "thermal/forced_air.hpp"
+
+namespace at = aeropack::thermal;
+namespace ac = aeropack::core;
+
+namespace {
+
+struct Generation {
+  const char* era;
+  double module_power;   // [W]
+  double card_length;    // [m] (sizes shrink over generations)
+  double flow_cap_w;     // bay flow allocation sized for this power [W]
+};
+
+// The bay blower and rack plenums are sized once: later generations draw the
+// same allocation even as the modules dissipate more (the physical reason
+// the paper calls >100 W/module "no longer applicable" with forced air).
+constexpr Generation kGenerations[] = {
+    {"current (A340/A380 era)", 10.0, 0.20, 10.0},
+    {"near future", 30.0, 0.20, 30.0},
+    {"next developments", 60.0, 0.18, 60.0},
+    {"beyond (paper's >100 W concern)", 120.0, 0.18, 60.0},
+};
+
+void report() {
+  bench_util::banner("FIG 6 — module dissipation trend under ARINC 600 air",
+                     "10 -> 30 -> 60 W/module at constant/shrinking size, 40 C supply");
+
+  at::ArincAirSupply supply;   // 220 kg/h/kW, 40 C inlet
+  const double t_limit = ac::celsius_to_kelvin(105.0);  // component surface limit
+
+  std::printf("\n  %-34s | %-8s | %-12s | %-12s | %-9s\n", "generation", "W/module",
+              "h [W/m^2 K]", "surface [C]", "feasible");
+  std::printf("  -----------------------------------+----------+--------------+--------------+----------\n");
+  bool gen60_ok = false;
+  bool gen120_ok = true;
+  for (const auto& g : kGenerations) {
+    at::CardChannel chan;
+    chan.card_length = g.card_length;
+    // Uniform dissipation over both card faces.
+    const double flux = g.module_power / (2.0 * chan.card_width * chan.card_length);
+    at::ArincAirSupply alloc = supply;
+    alloc.flow_multiplier = std::min(1.0, g.flow_cap_w / g.module_power);
+    const auto r = at::analyze_hot_spot(alloc, chan, g.module_power, flux, 1.0, t_limit);
+    std::printf("  %-34s | %-8.0f | %-12.1f | %-12.1f | %-9s\n", g.era, g.module_power, r.h,
+                ac::kelvin_to_celsius(r.surface_temperature), r.feasible ? "yes" : "no");
+    if (g.module_power == 60.0) gen60_ok = r.feasible;
+    if (g.module_power == 120.0) gen120_ok = r.feasible;
+  }
+
+  // Rack view of the same story: six 10 W slots with one slot grown to
+  // 60 W while the blower stays sized for the original rack.
+  {
+    ac::RackDesign rack;
+    for (int i = 0; i < 6; ++i) {
+      ac::RackSlot s;
+      s.name = "slot" + std::to_string(i);
+      s.power = 10.0;
+      s.peak_flux = 1.3 * s.power / (2.0 * s.channel.card_width * s.channel.card_length);
+      rack.slots.push_back(s);
+    }
+    rack.design_power = 60.0;
+    rack.inlet_temperature = ac::celsius_to_kelvin(40.0);
+    rack.slots[3].power = 60.0;
+    rack.slots[3].peak_flux = 5e3;
+    const auto res = ac::solve_rack(rack, ac::celsius_to_kelvin(105.0));
+    std::printf("\n  rack study (blower sized for 6 x 10 W, slot3 grown to 60 W):\n");
+    std::printf("  %-8s | %-8s | %-12s | %-12s | %-9s\n", "slot", "W", "exhaust [C]",
+                "surface [C]", "feasible");
+    for (std::size_t i = 0; i < res.slots.size(); ++i)
+      std::printf("  %-8s | %-8.0f | %-12.1f | %-12.1f | %-9s\n", res.slots[i].name.c_str(),
+                  rack.slots[i].power, ac::kelvin_to_celsius(res.slots[i].exhaust_temperature),
+                  ac::kelvin_to_celsius(res.slots[i].surface_temperature),
+                  res.slots[i].feasible ? "yes" : "NO");
+    std::printf("  mixed exhaust: %.1f C\n", ac::kelvin_to_celsius(res.mixed_exhaust));
+  }
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("air rise across equipment [K]", "fixed by 220 kg/h/kW",
+                  bench_util::fmt(supply.air_rise(1000.0)),
+                  bench_util::check(std::fabs(supply.air_rise(1000.0) - 16.3) < 1.0));
+  bench_util::row("60 W/module with ARINC air", "at the edge of practice",
+                  gen60_ok ? "feasible" : "infeasible", "");
+  bench_util::row(">100 W/module with ARINC air", "no longer applicable",
+                  gen120_ok ? "feasible" : "infeasible", bench_util::check(!gen120_ok));
+  std::printf("\n");
+}
+
+void bm_generation_sweep(benchmark::State& state) {
+  at::ArincAirSupply supply;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const auto& g : kGenerations) {
+      at::CardChannel chan;
+      chan.card_length = g.card_length;
+      const double flux = g.module_power / (2.0 * chan.card_width * chan.card_length);
+      at::ArincAirSupply alloc = supply;
+      alloc.flow_multiplier = std::min(1.0, g.flow_cap_w / g.module_power);
+      acc += at::analyze_hot_spot(alloc, chan, g.module_power, flux, 1.0, 378.15)
+                 .surface_temperature;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_generation_sweep);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

@@ -1,0 +1,113 @@
+// TAB-HOTSPOT — the paper's Section-IV argument: component heat densities
+// "are surpassing 10 W/cm^2 and will reach 100 W/cm^2"; the ARINC 600 global
+// airflow "cannot cope with the hot spot problems (up to ten times the
+// standard air flow rate would be required)"; two-phase spreading is the
+// alternative. We sweep the hot-spot flux and compare the required forced-air
+// flow multiplier against a heat-pipe spreader solution.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/units.hpp"
+#include "materials/fluids.hpp"
+#include "materials/solid.hpp"
+#include "thermal/forced_air.hpp"
+#include "twophase/heat_pipe.hpp"
+
+namespace at = aeropack::thermal;
+namespace ac = aeropack::core;
+namespace tp = aeropack::twophase;
+
+namespace {
+
+void report() {
+  bench_util::banner("TAB-HOTSPOT — hot-spot flux sweep, forced air vs two-phase",
+                     "1 cm^2 source on a 100 W module; surface limit 110 C, 40 C supply");
+
+  at::ArincAirSupply supply;
+  at::CardChannel chan;
+  const double t_limit = ac::celsius_to_kelvin(110.0);
+
+  // Two-phase alternative: a 6 mm copper/water pipe spreads the spot onto a
+  // 10x10 cm plate cooled by the same standard airflow.
+  tp::HeatPipeGeometry g;
+  const tp::HeatPipe pipe(aeropack::materials::water(), g, tp::Wick::sintered_powder(),
+                          aeropack::materials::copper());
+  const auto hs_ref = at::analyze_hot_spot(supply, chan, 100.0, 1.0, 0.5, t_limit);
+  const double plate_area = 0.01;  // m^2
+  const double source_area = 1e-4;
+
+  std::printf("\n  %-12s | %-16s | %-18s | %-18s\n", "flux [W/cm2]", "air-only T [C]",
+              "required flow [x]", "HP spreader T [C]");
+  std::printf("  -------------+------------------+--------------------+-------------------\n");
+  bool ten_needs_much_more_air = false;
+  bool hp_holds_ten = false;
+  for (double flux_wcm2 : {1.0, 3.0, 10.0, 30.0, 100.0}) {
+    const double flux = flux_wcm2 * 1e4;
+    const double q_spot = flux * source_area;
+    const auto air = at::analyze_hot_spot(supply, chan, 100.0, flux, 0.5, t_limit);
+    const double mult =
+        at::required_flow_multiplier(supply, chan, 100.0, flux, 0.5, t_limit);
+    // Two-phase: spot -> heat pipe (R_hp) -> plate -> air film over plate.
+    const double r_spread = at::spreading_resistance(source_area, plate_area, 2e-3,
+                                                     aeropack::materials::copper().conductivity,
+                                                     hs_ref.h);
+    const double r_hp = pipe.thermal_resistance(330.0);
+    const double t_hp = air.local_air_temperature + q_spot * (r_hp + r_spread);
+    std::printf("  %-12.0f | %-16.0f | %-18s | %-18.1f\n", flux_wcm2,
+                ac::kelvin_to_celsius(air.surface_temperature),
+                std::isinf(mult) ? ">100" : bench_util::fmt(mult, 1).c_str(),
+                ac::kelvin_to_celsius(t_hp));
+    if (flux_wcm2 == 10.0) {
+      ten_needs_much_more_air = std::isinf(mult) || mult > 3.0;
+      hp_holds_ten = t_hp <= t_limit;
+    }
+  }
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("10 W/cm^2 with standard ARINC flow", "not applicable",
+                  ten_needs_much_more_air ? "infeasible" : "feasible",
+                  bench_util::check(ten_needs_much_more_air));
+  bench_util::row("flow increase needed (order)", "up to ~10x", "see sweep above", "");
+  bench_util::row("10 W/cm^2 with HP spreading to plate", "the two-phase promise",
+                  hp_holds_ten ? "feasible" : "infeasible", bench_util::check(hp_holds_ten));
+  bench_util::row("heat pipe capillary limit @ 330 K [W]", ">> 10 W spot",
+                  bench_util::fmt(pipe.max_power(330.0), 0),
+                  bench_util::check(pipe.max_power(330.0) > 30.0));
+  std::printf("\n");
+}
+
+void bm_flow_multiplier_search(benchmark::State& state) {
+  at::ArincAirSupply supply;
+  at::CardChannel chan;
+  for (auto _ : state) {
+    double m = at::required_flow_multiplier(supply, chan, 100.0, 2e4, 0.5, 383.15);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(bm_flow_multiplier_search);
+
+void bm_spreading_resistance(benchmark::State& state) {
+  for (auto _ : state) {
+    double r = at::spreading_resistance(1e-4, 1e-2, 2e-3, 390.0, 80.0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(bm_spreading_resistance);
+
+void bm_hp_limit_curve(benchmark::State& state) {
+  tp::HeatPipeGeometry g;
+  const tp::HeatPipe pipe(aeropack::materials::water(), g, tp::Wick::sintered_powder(),
+                          aeropack::materials::copper());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double t = 300.0; t <= 390.0; t += 5.0) acc += pipe.max_power(t);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_hp_limit_curve);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

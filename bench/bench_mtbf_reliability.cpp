@@ -1,0 +1,106 @@
+// TAB-MTBF — "The temperature will be used as an input data for the safety
+// and reliability calculations. Typical MTBF for aerospace applications is
+// about 40,000 h" with junction limit 125 C / ambient 85 C. We roll up a
+// representative avionics BOM versus junction temperature and show the
+// payoff of the paper's cooling work (a 32 C junction decrease).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/units.hpp"
+#include "reliability/mtbf.hpp"
+
+namespace ar = aeropack::reliability;
+namespace ac = aeropack::core;
+
+namespace {
+
+std::vector<ar::Part> avionics_bom(double junction_k) {
+  std::vector<ar::Part> bom;
+  const auto add = [&](const char* ref, ar::PartType t, int n) {
+    ar::Part p;
+    p.reference = ref;
+    p.type = t;
+    p.count = n;
+    p.junction_temperature = junction_k;
+    bom.push_back(p);
+  };
+  add("CPU", ar::PartType::Microprocessor, 1);
+  add("DRAM", ar::PartType::Memory, 4);
+  add("ANALOG", ar::PartType::AnalogIc, 12);
+  add("PWR-FET", ar::PartType::PowerTransistor, 6);
+  add("DIODE", ar::PartType::Diode, 20);
+  add("R", ar::PartType::Resistor, 300);
+  add("C-CER", ar::PartType::CeramicCapacitor, 200);
+  add("C-TANT", ar::PartType::TantalumCapacitor, 12);
+  add("L", ar::PartType::Inductor, 10);
+  add("CONN", ar::PartType::Connector, 4);
+  add("XTAL", ar::PartType::Crystal, 2);
+  add("ATTACH", ar::PartType::SolderJointSet, 50);
+  return bom;
+}
+
+void report() {
+  bench_util::banner("TAB-MTBF — reliability vs junction temperature",
+                     "217F-style rollup of a single-CPU avionics unit, airborne inhabited cargo");
+
+  std::printf("\n  %-14s | %-14s | %-22s\n", "junction [C]", "MTBF [h]", "vs 40,000 h target");
+  std::printf("  ---------------+----------------+----------------------\n");
+  double mtbf_55 = 0.0, mtbf_70 = 0.0, mtbf_102 = 0.0;
+  for (double tj_c : {55.0, 70.0, 85.0, 102.0, 125.0}) {
+    const auto rpt = ar::predict_mtbf(avionics_bom(ac::celsius_to_kelvin(tj_c)),
+                                      ar::Environment::AirborneInhabitedCargo);
+    std::printf("  %-14.0f | %-14.0f | %-22s\n", tj_c, rpt.mtbf_hours,
+                rpt.mtbf_hours >= 40000.0 ? "meets" : "misses");
+    if (tj_c == 55.0) mtbf_55 = rpt.mtbf_hours;
+    if (tj_c == 70.0) mtbf_70 = rpt.mtbf_hours;
+    if (tj_c == 102.0) mtbf_102 = rpt.mtbf_hours;
+  }
+
+  // COTS sensitivity: the paper's "maximum use of low-cost plastic / COTS
+  // components in severe avionics applications" concern.
+  auto cots = avionics_bom(ac::celsius_to_kelvin(70.0));
+  for (auto& p : cots) p.quality = ar::Quality::Commercial;
+  const auto rpt_mil = ar::predict_mtbf(avionics_bom(ac::celsius_to_kelvin(70.0)),
+                                        ar::Environment::AirborneInhabitedCargo);
+  const auto rpt_cots =
+      ar::predict_mtbf(cots, ar::Environment::AirborneInhabitedCargo);
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("MTBF at healthy junctions (55 C) [h]", "~40,000 typical",
+                  bench_util::fmt(mtbf_55, 0),
+                  bench_util::check(mtbf_55 > 30000.0 && mtbf_55 < 150000.0));
+  (void)mtbf_70;
+  bench_util::row("cooling payoff: 102 C -> 70 C junctions", "major (paper's -32 C)",
+                  "x" + bench_util::fmt(mtbf_70 / mtbf_102, 2),
+                  bench_util::check(mtbf_70 / mtbf_102 > 1.5));
+  bench_util::row("COTS (commercial) quality penalty", "the COTS dilemma",
+                  "x" + bench_util::fmt(rpt_cots.mtbf_hours / rpt_mil.mtbf_hours, 2),
+                  bench_util::check(rpt_cots.mtbf_hours < 0.5 * rpt_mil.mtbf_hours));
+  std::printf("\n");
+}
+
+void bm_rollup(benchmark::State& state) {
+  const auto bom = avionics_bom(343.15);
+  for (auto _ : state) {
+    auto rpt = ar::predict_mtbf(bom, ar::Environment::AirborneInhabitedCargo);
+    benchmark::DoNotOptimize(rpt);
+  }
+}
+BENCHMARK(bm_rollup);
+
+void bm_temperature_sweep(benchmark::State& state) {
+  const auto bom = avionics_bom(343.15);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double d = -30.0; d <= 60.0; d += 5.0)
+      acc += ar::predict_mtbf_shifted(bom, ar::Environment::AirborneInhabitedCargo, d)
+                 .mtbf_hours;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_temperature_sweep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

@@ -1,0 +1,114 @@
+// TAB-NANOPACK — Section IV.B results: adhesive conductivities (6 and
+// 9.5 W/m K, electrically conductive, 14 MPa shear), HNC machining (-20%
+// BLT), 20 W/m K CNT metal-polymer composite, and the ASTM D5470 tester
+// (accuracy +/-1 K mm^2/W, thickness +/-2 um). Plus the effective-medium
+// sweep behind the material development.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "tim/d5470.hpp"
+#include "tim/effective_medium.hpp"
+#include "tim/tim_material.hpp"
+
+namespace ap = aeropack::tim;
+
+namespace {
+
+void report() {
+  bench_util::banner("TAB-NANOPACK — thermal interface materials",
+                     "Material catalogue, effective-medium design sweep, virtual D5470 tester");
+
+  const double p = 0.3e6;  // typical clamp pressure
+  std::printf("\n  %-36s | %-10s | %-10s | %-14s\n", "material", "k [W/mK]", "BLT [um]",
+              "R [K mm^2/W]");
+  std::printf("  -------------------------------------+------------+------------+--------------\n");
+  for (const auto& m : ap::all_tim_materials()) {
+    std::printf("  %-36s | %-10.1f | %-10.1f | %-14.2f\n", m.name.c_str(), m.conductivity,
+                m.blt(p) * 1e6, m.specific_resistance_kmm2(p));
+  }
+
+  // Effective-medium design curve: silver flakes in epoxy.
+  std::printf("\n  Ag-flake/epoxy design sweep (Lewis-Nielsen, A=5, phi_max=0.52):\n");
+  std::printf("  %-10s | %-12s\n", "phi [-]", "k [W/m K]");
+  std::printf("  -----------+-------------\n");
+  for (double phi : {0.1, 0.2, 0.3, 0.4, 0.48}) {
+    std::printf("  %-10.2f | %-12.2f\n", phi, ap::k_lewis_nielsen(0.2, 420.0, phi, 5.0, 0.52));
+  }
+  const double phi6 = ap::filler_fraction_for(6.0, 0.2, 420.0, 5.0, 0.52);
+
+  // Virtual D5470 characterization of the grease reference.
+  const auto d = ap::characterize(ap::conventional_grease(),
+                                  {0.05e6, 0.1e6, 0.2e6, 0.5e6, 1.0e6}, 10, {});
+
+  const auto mono = ap::nanopack_mono_epoxy_silver_flake();
+  const auto multi = ap::nanopack_multi_epoxy_silver_sphere();
+  const auto cnt = ap::nanopack_cnt_metal_polymer();
+  const auto hnc = ap::with_hnc_surface(ap::conventional_grease());
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("mono-epoxy Ag-flake adhesive k [W/m K]", "6", bench_util::fmt(mono.conductivity),
+                  bench_util::check(mono.conductivity == 6.0));
+  bench_util::row("multi-epoxy Ag-sphere adhesive k [W/m K]", "9.5",
+                  bench_util::fmt(multi.conductivity),
+                  bench_util::check(multi.conductivity == 9.5));
+  bench_util::row("mono-epoxy shear strength [MPa]", "14",
+                  bench_util::fmt(mono.shear_strength / 1e6),
+                  bench_util::check(mono.shear_strength == 14e6));
+  bench_util::row("adhesive electrical resistivity [Ohm cm]", "1e-4 .. 1e-5",
+                  bench_util::fmt(mono.electrical_resistivity * 100.0, 6),
+                  bench_util::check(mono.electrical_resistivity > 0.0));
+  bench_util::row("CNT metal-polymer composite k [W/m K]", "20",
+                  bench_util::fmt(cnt.conductivity),
+                  bench_util::check(cnt.conductivity == 20.0));
+  bench_util::row("CNT composite meets R<5 Kmm2/W @ BLT<20um", "project target",
+                  ap::meets_nanopack_targets(cnt, 0.5e6) ? "yes" : "no",
+                  bench_util::check(ap::meets_nanopack_targets(cnt, 0.5e6)));
+  bench_util::row("HNC bond-line reduction [%]", ">20",
+                  bench_util::fmt(100.0 * (1.0 - hnc.blt(p) / ap::conventional_grease().blt(p)),
+                                  0),
+                  bench_util::check(hnc.blt(p) < 0.8 * ap::conventional_grease().blt(p)));
+  bench_util::row("Ag-flake loading for 6 W/m K [vol frac]", "realistic (<0.5)",
+                  bench_util::fmt(phi6, 2), bench_util::check(phi6 < 0.5));
+  bench_util::row("D5470 resistance accuracy [K mm^2/W]", "+/-1",
+                  "+/-" + bench_util::fmt(d.resistance_accuracy_kmm2, 2),
+                  bench_util::check(d.resistance_accuracy_kmm2 < 1.0));
+  bench_util::row("D5470 thickness accuracy [um]", "+/-2",
+                  "+/-" + bench_util::fmt(d.thickness_accuracy_um, 2),
+                  bench_util::check(d.thickness_accuracy_um < 3.0));
+  bench_util::row("D5470 recovered grease k [W/m K]", "3 (truth)",
+                  bench_util::fmt(d.conductivity, 2),
+                  bench_util::check(std::fabs(d.conductivity - 3.0) < 0.5));
+  std::printf("\n");
+}
+
+void bm_lewis_nielsen_sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double phi = 0.02; phi < 0.5; phi += 0.02)
+      acc += ap::k_lewis_nielsen(0.2, 420.0, phi, 5.0, 0.52);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(bm_lewis_nielsen_sweep);
+
+void bm_bruggeman_solve(benchmark::State& state) {
+  for (auto _ : state) {
+    double k = ap::k_bruggeman(0.2, 400.0, 0.35);
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(bm_bruggeman_solve);
+
+void bm_d5470_characterization(benchmark::State& state) {
+  const auto grease = ap::conventional_grease();
+  for (auto _ : state) {
+    auto c = ap::characterize(grease, {0.05e6, 0.2e6, 1.0e6}, 5, {});
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(bm_d5470_characterization)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

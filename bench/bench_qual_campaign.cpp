@@ -1,0 +1,103 @@
+// TAB-QUAL — the COSEE qualification campaign: "linear acceleration (up to
+// 9 g, 3 minutes in each axis), vibrations (according to DO160 Curve C1),
+// climatic tests (-25..+55 C), thermal shock (-45/+55 C, 5 C/min). The seats
+// have been submitted to all the different tests without damage."
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/qualification.hpp"
+#include "core/seb.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+
+/// The SEB + seat assembly as the unit under test, with the SEB thermal
+/// model supplying the climatic behaviour.
+ac::EquipmentUnderTest seb_eut() {
+  static const ac::SebModel model{ac::SebDesign{}};
+  ac::EquipmentUnderTest eut;
+  eut.name = "COSEE seat + SEB";
+  eut.mass = 4.5;
+  eut.fundamental_frequency = 170.0;  // boxed SEB on the seat structure
+  eut.damping_ratio = 0.05;
+  eut.mount_section_modulus = 3.5e-7;
+  eut.mount_length = 0.05;
+  eut.mount_yield = 276e6;  // Al 6061 seat fittings
+  eut.board_edge = 0.30;
+  eut.board_thickness = 2.0e-3;
+  eut.critical_component_length = 0.035;
+  eut.worst_junction_at_ambient = [](double ambient_k) {
+    // SEB at 40 W with the LHP chain; junction ~ PCB + attach rise.
+    const auto pt = model.solve(40.0, ambient_k, ac::SebCooling::HeatPipesAndLhp, 0.0);
+    return pt.t_pcb + 12.0;
+  };
+  return eut;
+}
+
+ac::CampaignOptions paper_campaign() {
+  ac::CampaignOptions opts;  // defaults already encode the paper's levels
+  opts.climatic_low = ac::celsius_to_kelvin(-25.0);
+  opts.climatic_high = ac::celsius_to_kelvin(55.0);
+  return opts;
+}
+
+void report() {
+  bench_util::banner("TAB-QUAL — COSEE qualification campaign",
+                     "9 g / DO-160 C1 / climatic -25..+55 C / thermal shock -45..+55 C @5 C/min");
+
+  const auto eut = seb_eut();
+  const auto opts = paper_campaign();
+  const auto rpt = ac::run_campaign(eut, opts);
+
+  std::printf("\n  %-52s | %-8s | %-8s\n", "test", "margin", "result");
+  std::printf("  -----------------------------------------------------+----------+---------\n");
+  for (const auto& t : rpt.results)
+    std::printf("  %-52s | %-8.2f | %-8s\n", t.test.c_str(), t.margin,
+                t.passed ? "PASS" : "FAIL");
+  std::printf("\n  detail:\n");
+  for (const auto& t : rpt.results) std::printf("    %s: %s\n", t.test.c_str(), t.detail.c_str());
+
+  std::printf("\n");
+  bench_util::header();
+  bench_util::row("all tests passed", "yes (\"without damage\")",
+                  rpt.all_passed ? "yes" : "no", bench_util::check(rpt.all_passed));
+  // Margin sensitivity: a harsher D1 environment is the discriminating case.
+  auto harsher = opts;
+  harsher.vibration_curve = aeropack::fem::do160_curve_d1();
+  const auto vib_c1 = ac::run_random_vibration(eut, opts);
+  const auto vib_d1 = ac::run_random_vibration(eut, harsher);
+  bench_util::row("C1 vs D1 vibration margin ratio", "> 1 (C1 is benign)",
+                  bench_util::fmt(vib_c1.margin / vib_d1.margin, 2),
+                  bench_util::check(vib_c1.margin > vib_d1.margin));
+  std::printf("\n");
+}
+
+void bm_full_campaign(benchmark::State& state) {
+  const auto eut = seb_eut();
+  const auto opts = paper_campaign();
+  for (auto _ : state) {
+    auto rpt = ac::run_campaign(eut, opts);
+    benchmark::DoNotOptimize(rpt);
+  }
+}
+BENCHMARK(bm_full_campaign)->Unit(benchmark::kMillisecond);
+
+void bm_single_tests(benchmark::State& state) {
+  const auto eut = seb_eut();
+  const auto opts = paper_campaign();
+  for (auto _ : state) {
+    auto a = ac::run_linear_acceleration(eut, opts);
+    auto v = ac::run_random_vibration(eut, opts);
+    auto s = ac::run_thermal_shock(eut, opts);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(v);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(bm_single_tests);
+
+}  // namespace
+
+AEROPACK_BENCH_MAIN(report)

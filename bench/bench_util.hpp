@@ -1,0 +1,76 @@
+// Shared helpers for the reproduction benches: headline banner + a tiny
+// fixed-width table printer so every bench emits the same style of
+// paper-vs-measured report before its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bench_util {
+
+inline void banner(const std::string& experiment, const std::string& description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const std::string& label, const std::string& paper,
+                const std::string& measured, const std::string& verdict = "") {
+  std::printf("  %-44s | %-16s | %-16s %s\n", label.c_str(), paper.c_str(), measured.c_str(),
+              verdict.c_str());
+}
+
+inline void header() {
+  std::printf("  %-44s | %-16s | %-16s\n", "quantity", "paper", "this repro");
+  std::printf("  %.44s-+-%.16s-+-%.16s\n",
+              "--------------------------------------------------",
+              "--------------------------------", "--------------------------------");
+}
+
+inline std::string fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline const char* check(bool ok) { return ok ? "[ok]" : "[DEVIATES]"; }
+
+/// Dump a numeric series to CSV next to the binary so the figure can be
+/// replotted (one file per bench, overwritten on each run).
+inline void write_csv(const std::string& path, const std::vector<std::string>& columns,
+                      const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("  (could not write %s)\n", path.c_str());
+    return;
+  }
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    out << columns[i] << (i + 1 < columns.size() ? ',' : '\n');
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      out << row[i] << (i + 1 < row.size() ? ',' : '\n');
+  }
+  std::printf("  series written to %s\n", path.c_str());
+}
+
+/// Standard main body: print the table, then run the registered benchmarks.
+inline int run(int argc, char** argv, void (*print_report)()) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench_util
+
+#define AEROPACK_BENCH_MAIN(report_fn)                     \
+  int main(int argc, char** argv) {                        \
+    return bench_util::run(argc, argv, &(report_fn));      \
+  }

@@ -1,0 +1,111 @@
+// Quickstart: describe a small avionics box, run the paper's Fig.-1
+// packaging design procedure end to end, and print the design document.
+//
+//   $ ./quickstart
+//
+// Walks through: specification -> cooling technology selection (Level 1) ->
+// board/component thermal analysis (Levels 2-3) -> modal placement against a
+// frequency allocation plan -> random-vibration fatigue -> qualification
+// campaign -> accept/reject. The first pass deliberately fails (hot CPU on a
+// thin board) so the example also shows the Fig.-1 iteration loop: apply the
+// Level-2 levers (low-power part, heavier copper, thicker drain) and rerun.
+#include <cstdio>
+
+#include "core/design_procedure.hpp"
+#include "core/units.hpp"
+#include "fem/plate.hpp"
+#include "materials/solid.hpp"
+
+using namespace aeropack;
+
+int main() {
+  // --- 1. The equipment: one module, one board, three dissipating parts.
+  core::Equipment eq;
+  eq.name = "demo nav box";
+  eq.length = 0.30;
+  eq.width = 0.20;
+  eq.height = 0.15;
+
+  core::Module mod;
+  mod.name = "processor module";
+  core::Board board;
+  board.name = "CPU board";
+  board.length = 0.20;
+  board.width = 0.15;
+  board.stackup.copper_layers = 6;
+  board.drain_thickness = 1.0e-3;  // bonded aluminum core
+
+  core::Component cpu;
+  cpu.reference = "U1 (CPU)";
+  cpu.power = 8.0;
+  cpu.footprint_area = 9e-4;
+  cpu.theta_jc = 0.7;
+  cpu.x = 0.10;
+  cpu.y = 0.075;
+  cpu.part_type = reliability::PartType::Microprocessor;
+
+  core::Component fpga;
+  fpga.reference = "U2 (FPGA)";
+  fpga.power = 5.0;
+  fpga.footprint_area = 6e-4;
+  fpga.theta_jc = 1.1;
+  fpga.x = 0.15;
+  fpga.y = 0.05;
+  fpga.part_type = reliability::PartType::AnalogIc;
+
+  core::Component reg;
+  reg.reference = "Q3 (regulator)";
+  reg.power = 3.0;
+  reg.footprint_area = 2e-4;
+  reg.theta_jc = 1.8;
+  reg.x = 0.05;
+  reg.y = 0.10;
+  reg.part_type = reliability::PartType::PowerTransistor;
+
+  board.components = {cpu, fpga, reg};
+  mod.boards.push_back(board);
+  eq.modules.push_back(mod);
+
+  // --- 2. The specification (paper defaults: 125 C junction, 85 C ambient,
+  //        40,000 h MTBF, 9 g, DO-160, -45/+55 C shock).
+  core::Specification spec;
+  spec.ambient_temperature = core::celsius_to_kelvin(40.0);
+
+  // --- 3. Mechanical side: the board as a plate model, with a frequency
+  //        allocation plan giving this board the 200-800 Hz band.
+  fem::PlateModel plate(board.length, board.width, 2.0e-3, materials::fr4(), 6, 5);
+  plate.set_edge(fem::EdgeSupport::Clamped, true, true, true, true);
+  plate.add_smeared_mass(2.5);
+
+  core::DesignInputs inputs{eq,
+                            spec,
+                            plate,
+                            "CPU board",
+                            {},
+                            fem::do160_curve_c1(),
+                            /*damping=*/0.04,
+                            /*critical_component_length=*/0.03,
+                            /*thermal_mesh=*/16};
+  inputs.plan.allocate("chassis", 50.0, 180.0);
+  inputs.plan.allocate("CPU board", 200.0, 800.0);
+
+  // --- 4. Run the procedure and print the packaging design document.
+  core::DesignReport report = core::run_design_procedure(inputs);
+  std::printf("%s", report.to_text().c_str());
+
+  if (!report.accepted) {
+    // --- 5. The Fig.-1 loop: iterate the design. Swap in the low-power CPU
+    //        variant, add copper and a thicker drain, improve the attach.
+    std::printf(
+        "\n>>> design iteration: low-power CPU variant, 10-layer stackup, 1.6 mm drain <<<\n\n");
+    auto& b2 = inputs.equipment.modules[0].boards[0];
+    b2.stackup.copper_layers = 10;
+    b2.drain_thickness = 1.6e-3;
+    b2.components[0].power = 5.0;   // low-power CPU SKU
+    b2.components[0].theta_jc = 0.5;
+    b2.components[1].power = 3.5;
+    report = core::run_design_procedure(inputs);
+    std::printf("%s", report.to_text().c_str());
+  }
+  return report.accepted ? 0 : 1;
+}

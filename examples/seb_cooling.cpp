@@ -1,0 +1,88 @@
+// COSEE study: the seat electronic box with and without the two-phase
+// cooling chain, replicating the paper's Fig. 10 experiment plus the
+// qualification summary and a TIM trade (the NANOPACK motivation).
+//
+//   $ ./seb_cooling
+#include <cstdio>
+
+#include "core/qualification.hpp"
+#include "core/seb.hpp"
+#include "core/units.hpp"
+#include "tim/tim_material.hpp"
+
+using namespace aeropack;
+
+namespace {
+void sweep(const core::SebModel& model, const char* title) {
+  const double t_air = core::celsius_to_kelvin(25.0);
+  std::printf("\n%s\n", title);
+  std::printf("  %-7s | %-12s | %-16s | %-16s | %-10s\n", "Q [W]", "no LHP [K]",
+              "LHP horiz [K]", "LHP 22deg [K]", "LHP Q [W]");
+  for (double q = 20.0; q <= 100.0; q += 20.0) {
+    const auto a = model.solve(q, t_air, core::SebCooling::NaturalOnly);
+    const auto b = model.solve(q, t_air, core::SebCooling::HeatPipesAndLhp, 0.0);
+    const auto c = model.solve(q, t_air, core::SebCooling::HeatPipesAndLhp, 22.0);
+    std::printf("  %-7.0f | %-12.1f | %-16.1f | %-16.1f | %-10.1f\n", q, a.dt_pcb_air,
+                b.dt_pcb_air, c.dt_pcb_air, b.q_lhp_path);
+  }
+  std::printf("  capability at dT=60 K: natural %.0f W, LHP %.0f W\n",
+              model.capability_at_dt(60.0, t_air, core::SebCooling::NaturalOnly),
+              model.capability_at_dt(60.0, t_air, core::SebCooling::HeatPipesAndLhp));
+}
+}  // namespace
+
+int main() {
+  std::printf("COSEE seat-electronic-box cooling study (paper Fig. 10)\n");
+  std::printf("=======================================================\n");
+
+  // Aluminum seat (the paper's primary configuration).
+  core::SebModel aluminum{core::SebDesign{}};
+  sweep(aluminum, "Aluminum seat structure:");
+
+  // Carbon-composite seat (the paper's alternative).
+  core::SebDesign carbon_design;
+  carbon_design.seat.material = materials::carbon_composite();
+  core::SebModel carbon{carbon_design};
+  sweep(carbon, "Carbon-composite seat structure:");
+
+  // TIM trade on the interface joints (the NANOPACK motivation).
+  std::printf("\nInterface-material trade at 80 W (LHP chain, aluminum seat):\n");
+  for (const auto& tim : {tim::conventional_gap_pad(), tim::conventional_grease(),
+                          tim::nanopack_multi_epoxy_silver_sphere(),
+                          tim::nanopack_cnt_metal_polymer()}) {
+    core::SebDesign d;
+    d.joint_tim = tim;
+    core::SebModel m{d};
+    const auto pt =
+        m.solve(80.0, core::celsius_to_kelvin(25.0), core::SebCooling::HeatPipesAndLhp);
+    std::printf("  %-36s dT = %5.1f K (LHPs carry %5.1f W)\n", tim.name.c_str(),
+                pt.dt_pcb_air, pt.q_lhp_path);
+  }
+
+  // Qualification campaign on the aluminum configuration.
+  core::EquipmentUnderTest eut;
+  eut.name = "COSEE seat + SEB";
+  eut.mass = 4.5;
+  eut.fundamental_frequency = 170.0;
+  eut.damping_ratio = 0.05;
+  eut.mount_section_modulus = 3.5e-7;
+  eut.mount_length = 0.05;
+  eut.mount_yield = materials::aluminum_6061().yield_strength;
+  eut.board_edge = 0.30;
+  eut.board_thickness = 2e-3;
+  eut.critical_component_length = 0.035;
+  eut.worst_junction_at_ambient = [&aluminum](double ambient_k) {
+    return aluminum.solve(40.0, ambient_k, core::SebCooling::HeatPipesAndLhp).t_pcb + 12.0;
+  };
+  core::CampaignOptions opts;
+  opts.climatic_low = core::celsius_to_kelvin(-25.0);
+  opts.climatic_high = core::celsius_to_kelvin(55.0);
+  const auto campaign = core::run_campaign(eut, opts);
+  std::printf("\nQualification campaign (paper levels):\n");
+  for (const auto& t : campaign.results)
+    std::printf("  %-52s %s (margin %.2f)\n", t.test.c_str(), t.passed ? "PASS" : "FAIL",
+                t.margin);
+  std::printf("=> %s\n", campaign.all_passed ? "all tests passed without damage"
+                                             : "campaign FAILED");
+  return campaign.all_passed ? 0 : 1;
+}

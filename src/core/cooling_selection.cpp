@@ -1,0 +1,159 @@
+#include "core/cooling_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "materials/air.hpp"
+#include "thermal/convection.hpp"
+#include "thermal/forced_air.hpp"
+
+namespace aeropack::core {
+
+std::string to_string(CoolingTechnology t) {
+  switch (t) {
+    case CoolingTechnology::FreeConvection: return "free convection + radiation";
+    case CoolingTechnology::DirectAirFlow: return "direct air flow (ARINC 600)";
+    case CoolingTechnology::AirFlowAround: return "air flow around";
+    case CoolingTechnology::ConductionCooled: return "conduction cooled";
+    case CoolingTechnology::LiquidFlowThrough: return "liquid flow through";
+    case CoolingTechnology::TwoPhase: return "two-phase (HP / LHP)";
+  }
+  throw std::logic_error("to_string(CoolingTechnology)");
+}
+
+namespace {
+int complexity_rank(CoolingTechnology t) {
+  switch (t) {
+    case CoolingTechnology::FreeConvection: return 1;
+    case CoolingTechnology::DirectAirFlow: return 2;
+    case CoolingTechnology::AirFlowAround: return 2;
+    case CoolingTechnology::ConductionCooled: return 3;
+    case CoolingTechnology::TwoPhase: return 4;
+    case CoolingTechnology::LiquidFlowThrough: return 5;
+  }
+  return 5;
+}
+}  // namespace
+
+double technology_capability(CoolingTechnology t, const Equipment& eq,
+                             const Specification& spec) {
+  // Case-to-ambient temperature budget: keep the internal component ambient
+  // at its limit; internal rise case->board-ambient is taken as ~40% of the
+  // budget at Level 1 (a standard preliminary-design allowance).
+  const double budget = spec.local_ambient_limit - spec.ambient_temperature;
+  if (budget <= 0.0) return 0.0;
+  const double case_rise = 0.6 * budget;
+  const double t_case = spec.ambient_temperature + case_rise;
+  const auto pt = materials::isa_atmosphere(spec.altitude);
+
+  switch (t) {
+    case CoolingTechnology::FreeConvection: {
+      // Natural convection on the four vertical faces + top/bottom, plus
+      // radiation to the surroundings.
+      const double h_v = thermal::h_natural_vertical_plate(t_case, spec.ambient_temperature,
+                                                           eq.height, pt.pressure);
+      const double h_up = thermal::h_natural_horizontal_up(
+          t_case, spec.ambient_temperature, eq.length * eq.width / (2.0 * (eq.length + eq.width)),
+          pt.pressure);
+      const double h_dn = thermal::h_natural_horizontal_down(
+          t_case, spec.ambient_temperature, eq.length * eq.width / (2.0 * (eq.length + eq.width)),
+          pt.pressure);
+      const double h_r =
+          thermal::h_radiation(t_case, spec.ambient_temperature, eq.chassis.emissivity);
+      const double a_side = 2.0 * (eq.length + eq.width) * eq.height;
+      const double a_flat = eq.length * eq.width;
+      const double ua = (h_v + h_r) * a_side + (h_up + h_r) * a_flat + (h_dn + h_r) * a_flat;
+      return ua * case_rise;
+    }
+    case CoolingTechnology::DirectAirFlow: {
+      if (!spec.forced_air_available) return 0.0;
+      // ARINC 600 budget: exhaust must stay below the internal ambient limit.
+      // dT_air = Q / (mdot cp) with mdot = 220 kg/h/kW * Q: the air rise is
+      // power-independent (~16 K), so capability is set by film rise over
+      // the cards; estimate with the standard card channel.
+      thermal::ArincAirSupply supply;
+      supply.inlet_temperature = spec.ambient_temperature;
+      supply.pressure = pt.pressure;
+      const double air_rise = supply.air_rise(1000.0);  // per-kW rise, power independent
+      if (spec.ambient_temperature + air_rise >= spec.local_ambient_limit) return 0.0;
+      // Remaining budget is film rise across the card surface.
+      const double film_budget = spec.local_ambient_limit - spec.ambient_temperature - air_rise;
+      // Per-module card area and film coefficient at the standard flow.
+      thermal::CardChannel chan;
+      const std::size_t n_modules = std::max<std::size_t>(eq.modules.size(), 1);
+      const double per_module = std::max(eq.total_power() / static_cast<double>(n_modules), 1.0);
+      const auto hs = thermal::analyze_hot_spot(supply, chan, per_module,
+                                                1.0 /*placeholder flux*/, 1.0,
+                                                spec.local_ambient_limit);
+      const double card_area = 2.0 * chan.card_width * chan.card_length;  // both faces
+      return hs.h * card_area * film_budget * static_cast<double>(n_modules);
+    }
+    case CoolingTechnology::AirFlowAround: {
+      if (!spec.forced_air_available) return 0.0;
+      // Forced air over the sealed shell at a bay draft ~3 m/s.
+      const double h = thermal::h_forced_flat_plate(3.0, eq.length, t_case, pt.pressure);
+      return h * eq.surface_area() * case_rise;
+    }
+    case CoolingTechnology::ConductionCooled: {
+      // Cards drained to two cold walls through wedge locks; wall at
+      // ambient + 10 K (rack interface spec). Conduction budget per card
+      // ~0.5 K/W drain resistance, wedge lock 0.3 K/W each side.
+      const double wall_t = spec.ambient_temperature + 10.0;
+      const double budget_cards = spec.local_ambient_limit - wall_t;
+      if (budget_cards <= 0.0) return 0.0;
+      const double r_per_card = 0.5 + 0.3 / 2.0;  // drain + two locks in parallel
+      std::size_t n_cards = 0;
+      for (const Module& m : eq.modules) n_cards += m.boards.size();
+      n_cards = std::max<std::size_t>(n_cards, 1);
+      return static_cast<double>(n_cards) * budget_cards / r_per_card;
+    }
+    case CoolingTechnology::LiquidFlowThrough: {
+      // Cold plate UA ~ 50 W/K per equipment, coolant at ambient - 10 K.
+      const double coolant_t = spec.ambient_temperature - 10.0;
+      return 50.0 * (spec.local_ambient_limit - 20.0 - coolant_t);
+    }
+    case CoolingTechnology::TwoPhase: {
+      // Heat pipes / LHP move the case budget to a remote sink with ~0.5 K/W
+      // total transport resistance per 100 W string; capability limited by
+      // transport, not the local film.
+      const double r_transport = 0.5;
+      return case_rise / r_transport * 2.0;  // two strings typical
+    }
+  }
+  throw std::logic_error("technology_capability: unknown technology");
+}
+
+CoolingSelection select_cooling(const Equipment& eq, const Specification& spec) {
+  CoolingSelection sel;
+  const double demand = eq.total_power();
+  for (CoolingTechnology t :
+       {CoolingTechnology::FreeConvection, CoolingTechnology::DirectAirFlow,
+        CoolingTechnology::AirFlowAround, CoolingTechnology::ConductionCooled,
+        CoolingTechnology::TwoPhase, CoolingTechnology::LiquidFlowThrough}) {
+    TechnologyAssessment a;
+    a.technology = t;
+    a.available = !(t == CoolingTechnology::DirectAirFlow && !spec.forced_air_available) &&
+                  !(t == CoolingTechnology::AirFlowAround && !spec.forced_air_available);
+    a.max_power = a.available ? technology_capability(t, eq, spec) : 0.0;
+    a.complexity = complexity_rank(t);
+    a.feasible = a.available && a.max_power >= demand;
+    if (!a.available) a.note = "platform service not available";
+    sel.assessments.push_back(a);
+  }
+  // Pick the simplest feasible option.
+  std::stable_sort(sel.assessments.begin(), sel.assessments.end(),
+                   [](const TechnologyAssessment& x, const TechnologyAssessment& y) {
+                     return x.complexity < y.complexity;
+                   });
+  for (const auto& a : sel.assessments)
+    if (a.feasible) {
+      sel.selected = a.technology;
+      sel.any_feasible = true;
+      break;
+    }
+  return sel;
+}
+
+}  // namespace aeropack::core

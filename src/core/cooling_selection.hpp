@@ -1,0 +1,54 @@
+// Level-1 cooling-technology selection (the paper's Fig. 4 "first algebraic
+// or numerical approach [that] helps us select the most appropriate cooling
+// technologies ... given a level of power in the package and the available
+// cooling options", trading the Fig. 5 techniques).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/equipment.hpp"
+
+namespace aeropack::core {
+
+/// The cooling principles of the paper's Fig. 5 plus the Section-IV
+/// two-phase route.
+enum class CoolingTechnology {
+  FreeConvection,     ///< radiation + natural convection on the case
+  DirectAirFlow,      ///< ARINC 600 forced air through the cards
+  AirFlowAround,      ///< forced air over a sealed module shell
+  ConductionCooled,   ///< cards drained to rack cold walls
+  LiquidFlowThrough,  ///< cold plate with liquid coolant
+  TwoPhase,           ///< heat pipes / LHP to a remote sink
+};
+
+std::string to_string(CoolingTechnology t);
+
+struct TechnologyAssessment {
+  CoolingTechnology technology;
+  double max_power = 0.0;       ///< capability for this equipment [W]
+  bool feasible = false;        ///< capability >= demand, and available
+  bool available = false;       ///< platform provides the required service
+  int complexity = 0;           ///< 1 (simple) .. 5 (complex/costly)
+  std::string note;
+};
+
+struct CoolingSelection {
+  std::vector<TechnologyAssessment> assessments;   ///< all candidates
+  CoolingTechnology selected = CoolingTechnology::FreeConvection;
+  bool any_feasible = false;
+};
+
+/// Estimate each technology's power capability for the equipment envelope in
+/// the specified environment, and pick the simplest feasible one (the
+/// paper's design doctrine: "direct air cooling ... is simple to implement"
+/// — until hot spots or power exceed it).
+CoolingSelection select_cooling(const Equipment& eq, const Specification& spec);
+
+/// Capability of a single technology [W] for the given equipment/spec, at
+/// the case-to-ambient budget implied by keeping component ambient under
+/// spec.local_ambient_limit.
+double technology_capability(CoolingTechnology t, const Equipment& eq,
+                             const Specification& spec);
+
+}  // namespace aeropack::core

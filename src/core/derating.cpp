@@ -1,0 +1,66 @@
+#include "core/derating.hpp"
+
+#include <stdexcept>
+
+namespace aeropack::core {
+
+DeratingPolicy DeratingPolicy::navmat() {
+  DeratingPolicy p;
+  p.name = "NAVMAT-style";
+  p.junction_margin = 20.0;
+  p.power_fraction = 0.6;
+  p.flux_limit = 10e4;
+  return p;
+}
+
+DeratingPolicy DeratingPolicy::commercial() {
+  DeratingPolicy p;
+  p.name = "commercial";
+  p.junction_margin = 10.0;
+  p.power_fraction = 0.85;
+  p.flux_limit = 25e4;
+  return p;
+}
+
+DeratingReport check_derating(const Equipment& eq, const DeratingPolicy& policy,
+                              const std::vector<double>& junction_temperatures,
+                              double junction_limit_k,
+                              const std::vector<double>& rated_powers) {
+  DeratingReport rpt;
+  std::size_t idx = 0;
+  for (const Module& m : eq.modules)
+    for (const Board& b : m.boards)
+      for (const Component& c : b.components) {
+        if (idx >= junction_temperatures.size())
+          throw std::invalid_argument("check_derating: junction vector too short");
+        const std::string ref = m.name + "/" + b.name + "/" + c.reference;
+
+        // Rule 1: junction margin.
+        ++rpt.checks;
+        const double tj = junction_temperatures[idx];
+        const double tj_allowed = junction_limit_k - policy.junction_margin;
+        if (tj > tj_allowed)
+          rpt.findings.push_back({ref, "junction margin", tj, tj_allowed, true});
+
+        // Rule 2: power derating (only when a rating is supplied).
+        if (idx < rated_powers.size() && rated_powers[idx] > 0.0) {
+          ++rpt.checks;
+          const double allowed = policy.power_fraction * rated_powers[idx];
+          if (c.power > allowed)
+            rpt.findings.push_back({ref, "power derating", c.power, allowed, true});
+        }
+
+        // Rule 3: footprint flux.
+        ++rpt.checks;
+        if (c.flux() > policy.flux_limit)
+          rpt.findings.push_back({ref, "heat-flux cap", c.flux(), policy.flux_limit, true});
+
+        ++idx;
+      }
+  if (idx != junction_temperatures.size())
+    throw std::invalid_argument("check_derating: junction vector length mismatch");
+  rpt.compliant = rpt.findings.empty();
+  return rpt;
+}
+
+}  // namespace aeropack::core

@@ -1,0 +1,51 @@
+// Component derating policy checks. Avionics design documents do not allow
+// parts to run at their datasheet limits: junction temperatures, power and
+// voltage are derated (NAVMAT P4855 / ECSS-Q-ST-30-11 style). This module
+// renders those rules so the Level-3 results can be judged the way the
+// paper's "safety and reliability calculations" judge them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/equipment.hpp"
+
+namespace aeropack::core {
+
+/// A derating policy: fractions of the absolute maximum that design may use.
+struct DeratingPolicy {
+  std::string name;
+  /// Junction temperature: T_j <= T_limit - margin (absolute kelvin margin).
+  double junction_margin = 20.0;       ///< [K] below the 125 C limit
+  /// Power: dissipation <= fraction of the part's rated power.
+  double power_fraction = 0.75;
+  /// Flux: footprint heat flux cap [W/m^2] before a spreader is mandated.
+  double flux_limit = 15e4;            ///< 15 W/cm^2
+
+  static DeratingPolicy navmat();      ///< classic NAVMAT P4855-1 style
+  static DeratingPolicy commercial();  ///< relaxed COTS practice
+};
+
+struct DeratingFinding {
+  std::string reference;
+  std::string rule;
+  double actual = 0.0;
+  double allowed = 0.0;
+  bool violation = false;
+};
+
+struct DeratingReport {
+  std::vector<DeratingFinding> findings;  ///< violations only
+  std::size_t checks = 0;
+  bool compliant = false;
+};
+
+/// Check every component of the equipment against the policy, using the
+/// Level-3 junction temperatures (`junctions` parallel to the BOM order of
+/// Equipment::bill_of_materials; pass the spec junction limit).
+DeratingReport check_derating(const Equipment& eq, const DeratingPolicy& policy,
+                              const std::vector<double>& junction_temperatures,
+                              double junction_limit_k,
+                              const std::vector<double>& rated_powers = {});
+
+}  // namespace aeropack::core

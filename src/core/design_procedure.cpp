@@ -1,0 +1,135 @@
+#include "core/design_procedure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "fem/fatigue.hpp"
+#include "fem/sdof.hpp"
+
+namespace aeropack::core {
+
+void FrequencyAllocationPlan::allocate(std::string owner, double lo_hz, double hi_hz) {
+  if (lo_hz <= 0.0 || hi_hz <= lo_hz)
+    throw std::invalid_argument("FrequencyAllocationPlan: invalid band");
+  for (const FrequencyBand& b : bands_) {
+    if (b.owner == owner) throw std::invalid_argument("FrequencyAllocationPlan: duplicate owner");
+    if (lo_hz < b.hi_hz && b.lo_hz < hi_hz)
+      throw std::invalid_argument("FrequencyAllocationPlan: band overlaps '" + b.owner + "'");
+  }
+  bands_.push_back({std::move(owner), lo_hz, hi_hz});
+}
+
+const FrequencyBand& FrequencyAllocationPlan::band(const std::string& owner) const {
+  for (const FrequencyBand& b : bands_)
+    if (b.owner == owner) return b;
+  throw std::out_of_range("FrequencyAllocationPlan: no band for '" + owner + "'");
+}
+
+bool FrequencyAllocationPlan::complies(const std::string& owner, double frequency_hz) const {
+  const FrequencyBand& b = band(owner);
+  return frequency_hz >= b.lo_hz && frequency_hz <= b.hi_hz;
+}
+
+DesignReport run_design_procedure(const DesignInputs& inputs) {
+  DesignReport rpt;
+  rpt.equipment = inputs.equipment.name;
+
+  // --- Thermal branch (Fig. 1 left): Level 1 selection, then levels 2-3.
+  rpt.cooling = select_cooling(inputs.equipment, inputs.spec);
+  const CoolingTechnology tech = rpt.cooling.any_feasible
+                                     ? rpt.cooling.selected
+                                     : CoolingTechnology::TwoPhase;  // escalate
+  rpt.thermal = run_thermal_levels(inputs.equipment, inputs.spec, tech, inputs.thermal_mesh);
+
+  // --- Mechanical branch (Fig. 1 right): modal placement + random fatigue.
+  const double fn = inputs.critical_board.fundamental_frequency();
+  rpt.mechanical.fundamental_frequency = fn;
+  rpt.mechanical.frequency_allocated = inputs.plan.complies(inputs.board_band_owner, fn);
+  const double asd = (fn >= inputs.vibration.f_min() && fn <= inputs.vibration.f_max())
+                         ? inputs.vibration(fn)
+                         : 0.0;
+  rpt.mechanical.response_grms = fem::miles_grms(fn, inputs.damping, asd);
+  const auto steinberg = fem::steinberg_assess(
+      inputs.critical_board.length_x(), inputs.critical_board.thickness(),
+      inputs.critical_component_length, 1.0, 1.0, fn, rpt.mechanical.response_grms);
+  rpt.mechanical.steinberg_margin = steinberg.margin;
+  rpt.mechanical.fatigue_ok = steinberg.acceptable;
+
+  // --- Qualification campaign on the converged design.
+  EquipmentUnderTest eut;
+  eut.name = inputs.equipment.name;
+  eut.mass = inputs.equipment.chassis_mass + 0.0;
+  for (const Module& m : inputs.equipment.modules) eut.mass += m.shell_mass;
+  eut.fundamental_frequency = std::max(fn, 20.0);
+  eut.damping_ratio = inputs.damping;
+  eut.mount_yield = inputs.equipment.chassis.yield_strength;
+  eut.board_edge = inputs.critical_board.length_x();
+  eut.board_thickness = inputs.critical_board.thickness();
+  eut.critical_component_length = inputs.critical_component_length;
+  eut.junction_limit = inputs.spec.junction_limit;
+  const Equipment eq_copy = inputs.equipment;
+  const Specification spec_copy = inputs.spec;
+  const std::size_t mesh = inputs.thermal_mesh;
+  eut.worst_junction_at_ambient = [eq_copy, spec_copy, tech, mesh](double ambient_k) {
+    Specification s = spec_copy;
+    s.ambient_temperature = ambient_k;
+    return run_thermal_levels(eq_copy, s, tech, mesh).worst_junction;
+  };
+  CampaignOptions qopts;
+  qopts.acceleration_g = inputs.spec.linear_acceleration_g;
+  qopts.vibration_curve = inputs.vibration;
+  qopts.vibration_duration_s = inputs.spec.vibration_duration_s;
+  qopts.climatic_low = inputs.spec.ambient_cold;
+  qopts.climatic_high = inputs.spec.ambient_temperature;
+  qopts.shock_low = inputs.spec.thermal_shock_low;
+  qopts.shock_high = inputs.spec.thermal_shock_high;
+  qopts.shock_rate_k_per_min = inputs.spec.thermal_shock_rate;
+  rpt.qualification = run_campaign(eut, qopts);
+
+  rpt.accepted = rpt.cooling.any_feasible && rpt.thermal.level1.within_limits &&
+                 rpt.thermal.mtbf_met && rpt.mechanical.frequency_allocated &&
+                 rpt.mechanical.fatigue_ok && rpt.qualification.all_passed;
+  return rpt;
+}
+
+std::string DesignReport::to_text() const {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed;
+  os << "=== PACKAGING DESIGN DOCUMENT: " << equipment << " ===\n\n";
+  os << "[Cooling selection — Level 1]\n";
+  for (const auto& a : cooling.assessments)
+    os << "  " << to_string(a.technology) << ": capability " << a.max_power << " W"
+       << (a.feasible ? "  [feasible]" : "") << (a.available ? "" : "  [not available]")
+       << "\n";
+  os << "  selected: " << to_string(cooling.selected) << "\n\n";
+
+  os << "[Thermal — Levels 1-3]\n";
+  os << "  case temperature: " << kelvin_to_celsius(thermal.level1.case_temperature) << " C\n";
+  os << "  internal ambient: " << kelvin_to_celsius(thermal.level1.internal_air_temperature)
+     << " C\n";
+  for (const auto& b : thermal.level2)
+    os << "  board '" << b.board << "': max " << kelvin_to_celsius(b.max_temperature)
+       << " C over " << b.cell_count << " cells\n";
+  os << "  worst junction: " << kelvin_to_celsius(thermal.worst_junction) << " C\n";
+  os << "  MTBF: " << thermal.mtbf.mtbf_hours << " h ("
+     << (thermal.mtbf_met ? "meets" : "MISSES") << " target)\n\n";
+
+  os << "[Mechanical]\n";
+  os << "  fundamental frequency: " << mechanical.fundamental_frequency << " Hz ("
+     << (mechanical.frequency_allocated ? "inside" : "OUTSIDE") << " allocated band)\n";
+  os << "  random response: " << mechanical.response_grms << " grms, Steinberg margin "
+     << mechanical.steinberg_margin << (mechanical.fatigue_ok ? " [ok]" : " [FAIL]") << "\n\n";
+
+  os << "[Qualification]\n";
+  for (const auto& t : qualification.results)
+    os << "  " << t.test << ": " << (t.passed ? "PASS" : "FAIL") << " (margin " << t.margin
+       << ") — " << t.detail << "\n";
+  os << "\nDESIGN " << (accepted ? "ACCEPTED" : "REJECTED — iterate (Fig. 1 loop)") << "\n";
+  return os.str();
+}
+
+}  // namespace aeropack::core

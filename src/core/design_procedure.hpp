@@ -1,0 +1,85 @@
+// The paper's Fig. 1 packaging design procedure: specification analysis
+// feeds parallel mechanical and thermal design loops (simulation +
+// experience), converging on a packaging design document. This module
+// orchestrates the toolkit's analyses into that flow and renders the
+// resulting report.
+//
+// It also implements the frequency allocation plan of the Ariane navigation
+// unit case (Fig. 2): each subassembly owns a frequency band and its main
+// resonant mode must land inside it (the power supply is specified
+// "around 500 Hz").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cooling_selection.hpp"
+#include "core/equipment.hpp"
+#include "core/levels.hpp"
+#include "core/qualification.hpp"
+#include "fem/plate.hpp"
+#include "fem/random_vibration.hpp"
+
+namespace aeropack::core {
+
+/// A frequency band assigned to one subassembly so that resonances of
+/// neighbouring assemblies do not couple.
+struct FrequencyBand {
+  std::string owner;
+  double lo_hz = 0.0;
+  double hi_hz = 0.0;
+};
+
+class FrequencyAllocationPlan {
+ public:
+  /// Add a band; bands of different owners must not overlap.
+  void allocate(std::string owner, double lo_hz, double hi_hz);
+  /// The band owned by `owner`; throws std::out_of_range if absent.
+  const FrequencyBand& band(const std::string& owner) const;
+  /// Does `frequency` fall inside the owner's band?
+  bool complies(const std::string& owner, double frequency_hz) const;
+  const std::vector<FrequencyBand>& bands() const { return bands_; }
+
+ private:
+  std::vector<FrequencyBand> bands_;
+};
+
+struct MechanicalDesignResult {
+  double fundamental_frequency = 0.0;   ///< [Hz]
+  bool frequency_allocated = false;     ///< inside the owner's band
+  double response_grms = 0.0;           ///< random response at the board
+  double steinberg_margin = 0.0;
+  bool fatigue_ok = false;
+};
+
+struct DesignReport {
+  std::string equipment;
+  CoolingSelection cooling;
+  ThermalLevelsResult thermal;
+  MechanicalDesignResult mechanical;
+  CampaignReport qualification;
+  bool accepted = false;
+
+  /// Render the "packaging design document" as plain text.
+  std::string to_text() const;
+};
+
+struct DesignInputs {
+  Equipment equipment;
+  Specification spec;
+  fem::PlateModel critical_board;        ///< the board whose mode is allocated
+  std::string board_band_owner = "board";
+  FrequencyAllocationPlan plan;
+  fem::AsdCurve vibration = fem::do160_curve_c1();
+  double damping = 0.04;
+  double critical_component_length = 0.03;  ///< for Steinberg [m]
+  std::size_t thermal_mesh = 16;
+};
+
+/// Run the full Fig.-1 procedure: cooling selection (Level 1), thermal
+/// levels 2-3 + MTBF, mechanical modal placement + random-vibration fatigue,
+/// then the qualification campaign.
+DesignReport run_design_procedure(const DesignInputs& inputs);
+
+}  // namespace aeropack::core

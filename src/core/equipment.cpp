@@ -1,0 +1,43 @@
+#include "core/equipment.hpp"
+
+namespace aeropack::core {
+
+double Board::total_power() const {
+  double p = 0.0;
+  for (const Component& c : components) p += c.power * c.count;
+  return p;
+}
+
+double Module::total_power() const {
+  double p = 0.0;
+  for (const Board& b : boards) p += b.total_power();
+  return p;
+}
+
+double Equipment::total_power() const {
+  double p = 0.0;
+  for (const Module& m : modules) p += m.total_power();
+  return p;
+}
+
+double Equipment::surface_area() const {
+  return 2.0 * (length * width + length * height + width * height);
+}
+
+std::vector<reliability::Part> Equipment::bill_of_materials(double default_junction_k) const {
+  std::vector<reliability::Part> bom;
+  for (const Module& m : modules)
+    for (const Board& b : m.boards)
+      for (const Component& c : b.components) {
+        reliability::Part p;
+        p.reference = m.name + "/" + b.name + "/" + c.reference;
+        p.type = c.part_type;
+        p.count = c.count;
+        p.junction_temperature = default_junction_k;
+        p.quality = c.quality;
+        bom.push_back(p);
+      }
+  return bom;
+}
+
+}  // namespace aeropack::core

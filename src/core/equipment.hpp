@@ -1,0 +1,87 @@
+// Equipment description model: the component / PCB / module / rack hierarchy
+// the paper's three simulation levels operate on (Fig. 4), plus the
+// environmental specification the packaging design must satisfy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "materials/solid.hpp"
+#include "reliability/mtbf.hpp"
+
+namespace aeropack::core {
+
+/// One dissipating component on a PCB.
+struct Component {
+  std::string reference;              ///< "U12"
+  double power = 0.0;                 ///< [W]
+  double footprint_area = 1e-4;       ///< case footprint [m^2]
+  double theta_jc = 2.0;              ///< junction-to-case resistance [K/W]
+  double junction_limit = 398.15;     ///< [K] (125 C per the paper)
+  double x = 0.0, y = 0.0;            ///< position on the board [m]
+  reliability::PartType part_type = reliability::PartType::AnalogIc;
+  reliability::Quality quality = reliability::Quality::FullMil;
+  int count = 1;
+
+  /// Heat flux through the footprint. [W/m^2]
+  double flux() const { return power / footprint_area; }
+};
+
+/// One PCB inside a module.
+struct Board {
+  std::string name;
+  double length = 0.20, width = 0.15;   ///< [m]
+  materials::PcbStackup stackup;
+  /// Bonded aluminum thermal-drain core thickness (the paper's Level-2
+  /// "specific drains" lever); 0 = no drain. [m]
+  double drain_thickness = 0.0;
+  std::vector<Component> components;
+  double smeared_component_mass = 3.0;  ///< non-structural mass [kg/m^2]
+
+  double total_power() const;
+  double area() const { return length * width; }
+};
+
+/// A line-replaceable module (one or more boards in a shell).
+struct Module {
+  std::string name;
+  std::vector<Board> boards;
+  double shell_mass = 0.5;  ///< [kg]
+
+  double total_power() const;
+};
+
+/// The equipment: modules in a rack/chassis envelope.
+struct Equipment {
+  std::string name;
+  std::vector<Module> modules;
+  double length = 0.35, width = 0.25, height = 0.20;  ///< envelope [m]
+  double chassis_mass = 2.0;                          ///< [kg]
+  materials::SolidMaterial chassis = materials::aluminum_6061();
+
+  double total_power() const;
+  double surface_area() const;
+  /// Bill of materials for reliability rollup (junction temps to be filled
+  /// by the Level-3 thermal analysis).
+  std::vector<reliability::Part> bill_of_materials(double default_junction_k) const;
+};
+
+/// Environmental / performance specification (the "SPECIFICATION ANALYSIS"
+/// box of the paper's Fig. 1).
+struct Specification {
+  double ambient_temperature = 328.15;  ///< worst hot case [K] (55 C)
+  double ambient_cold = 248.15;         ///< worst cold case [K] (-25 C)
+  double altitude = 2400.0;             ///< pressure altitude [m]
+  double junction_limit = 398.15;       ///< [K] (125 C)
+  double local_ambient_limit = 358.15;  ///< [K] (85 C component ambient)
+  double mtbf_target_hours = 40000.0;   ///< the paper's typical figure
+  double linear_acceleration_g = 9.0;   ///< qualification level
+  double vibration_duration_s = 10800.0;///< 3 h endurance random vibration
+  double thermal_shock_low = 228.15;    ///< [K] (-45 C)
+  double thermal_shock_high = 328.15;   ///< [K] (+55 C)
+  double thermal_shock_rate = 5.0;      ///< [K/min]
+  bool forced_air_available = true;     ///< is the platform ECS reachable?
+  reliability::Environment environment = reliability::Environment::AirborneInhabitedCargo;
+};
+
+}  // namespace aeropack::core

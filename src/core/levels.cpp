@@ -1,0 +1,238 @@
+#include "core/levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "materials/air.hpp"
+#include "thermal/convection.hpp"
+#include "thermal/forced_air.hpp"
+#include "thermal/fv.hpp"
+#include "thermal/network.hpp"
+
+namespace aeropack::core {
+
+Level1Result run_level1(const Equipment& eq, const Specification& spec,
+                        CoolingTechnology technology) {
+  const double q = eq.total_power();
+  // Case-to-ambient conductance implied by the technology's capability at
+  // the Level-1 budget (capability = UA * case_rise by construction).
+  const double budget = spec.local_ambient_limit - spec.ambient_temperature;
+  const double case_rise_budget = 0.6 * budget;
+  const double capability = technology_capability(technology, eq, spec);
+  Level1Result r;
+  r.node_count = 3;
+  if (capability <= 0.0 || case_rise_budget <= 0.0) {
+    r.case_temperature = r.internal_air_temperature = 1e9;
+    return r;
+  }
+  r.ua_case_to_ambient = capability / case_rise_budget;
+
+  // Three-node network: internal air -> case -> ambient. Internal film:
+  // natural convection inside the box over the board area.
+  thermal::ThermalNetwork net;
+  const auto internal = net.add_node("internal", 0.0);
+  const auto case_node = net.add_node("case", 0.0);
+  const auto ambient = net.add_boundary("ambient", spec.ambient_temperature);
+  double board_area = 0.0;
+  std::size_t n_cards = 0;
+  for (const Module& m : eq.modules)
+    for (const Board& b : m.boards) {
+      board_area += 2.0 * b.area();
+      ++n_cards;
+    }
+  board_area = std::max(board_area, 0.01);
+  // Internal (boards -> case) conductance depends on the cooling concept:
+  // conduction-cooled cards are drained straight to the walls; direct air
+  // washes the boards; otherwise internal film + standoff conduction.
+  double g_internal = 6.0 * board_area + 1.0;
+  if (technology == CoolingTechnology::ConductionCooled)
+    g_internal = static_cast<double>(std::max<std::size_t>(n_cards, 1)) / 0.65 +
+                 6.0 * board_area;
+  else if (technology == CoolingTechnology::DirectAirFlow)
+    g_internal = 25.0 * board_area + 1.0;
+  net.add_conductor(internal, case_node, g_internal);
+  net.add_conductor(case_node, ambient, r.ua_case_to_ambient);
+  net.add_heat_load(internal, q);
+  const auto sol = net.solve_steady();
+  r.internal_air_temperature = sol.temperatures[internal];
+  r.case_temperature = sol.temperatures[case_node];
+  r.within_limits = r.internal_air_temperature <= spec.local_ambient_limit;
+  return r;
+}
+
+Level2BoardResult run_level2(const Board& board, const Specification& spec,
+                             CoolingTechnology technology, double board_ambient,
+                             std::size_t mesh) {
+  if (mesh < 4) throw std::invalid_argument("run_level2: mesh too coarse");
+  const auto pt = materials::isa_atmosphere(spec.altitude);
+  const materials::SolidMaterial mat = board.stackup.as_material();
+
+  const std::size_t nx = mesh;
+  const std::size_t ny = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::lround(static_cast<double>(mesh) * board.width /
+                                              board.length)));
+  thermal::FvGrid grid = thermal::FvGrid::uniform(board.length, board.width,
+                                                  board.stackup.board_thickness, nx, ny, 1);
+  thermal::FvModel model(std::move(grid));
+  model.set_material(mat);
+  if (board.drain_thickness > 0.0) {
+    // Bonded aluminum core: boosts the in-plane conductance in proportion to
+    // its thickness share (parallel path to the laminate).
+    const double k_drain = materials::aluminum_6061().conductivity *
+                           board.drain_thickness / board.stackup.board_thickness;
+    model.set_conductivity(model.all_cells(), mat.conductivity + k_drain,
+                           mat.conductivity + k_drain, mat.conductivity_through);
+  }
+
+  // Dissipative patches: each component's power over its footprint.
+  for (const Component& c : board.components) {
+    const double half = 0.5 * std::sqrt(c.footprint_area);
+    const auto clampi = [&](double v, std::size_t n) {
+      return std::min<std::size_t>(
+          n - 1, static_cast<std::size_t>(std::max(0.0, std::floor(v))));
+    };
+    thermal::CellRange r;
+    r.i0 = clampi((c.x - half) / board.length * static_cast<double>(nx), nx);
+    r.i1 = std::min<std::size_t>(nx, clampi((c.x + half) / board.length *
+                                            static_cast<double>(nx), nx) + 1);
+    r.j0 = clampi((c.y - half) / board.width * static_cast<double>(ny), ny);
+    r.j1 = std::min<std::size_t>(ny, clampi((c.y + half) / board.width *
+                                            static_cast<double>(ny), ny) + 1);
+    r.k0 = 0;
+    r.k1 = 1;
+    model.add_power(r, c.power * c.count);
+  }
+
+  // Boundary conditions by technology.
+  using thermal::BoundaryCondition;
+  using thermal::Face;
+  switch (technology) {
+    case CoolingTechnology::ConductionCooled: {
+      // Wedge-locked edges to the rack walls at board_ambient, modest
+      // conductance (lock resistance folded into an equivalent h over the
+      // edge faces); faces adiabatic (sealed module).
+      const double h_edge = 2500.0;  // edge strap equivalent film
+      model.set_boundary(Face::XMin, BoundaryCondition::convection(h_edge, board_ambient));
+      model.set_boundary(Face::XMax, BoundaryCondition::convection(h_edge, board_ambient));
+      model.set_boundary(Face::ZMin, BoundaryCondition::adiabatic());
+      model.set_boundary(Face::ZMax, BoundaryCondition::adiabatic());
+      break;
+    }
+    case CoolingTechnology::DirectAirFlow: {
+      thermal::ArincAirSupply supply;
+      supply.inlet_temperature = board_ambient;
+      supply.pressure = pt.pressure;
+      thermal::CardChannel chan{board.width, board.length, 5e-3};
+      const auto hs = thermal::analyze_hot_spot(supply, chan,
+                                                std::max(board.total_power(), 1.0), 1.0, 0.5,
+                                                spec.local_ambient_limit);
+      const double h = std::max(hs.h, 1.0);
+      // Streamwise-coupled channel (the conjugate effect the CFD tool
+      // resolves): the air heats up as it crosses the card, so downstream
+      // columns see a warmer sink. March the air energy balance along x and
+      // iterate against the conduction solution.
+      const double mdot = supply.mass_flow(std::max(board.total_power(), 1.0));
+      const double cp = materials::air_at(board_ambient, pt.pressure).specific_heat;
+      std::vector<double> t_air(nx, board_ambient);
+      for (int pass = 0; pass < 4; ++pass) {
+        for (std::size_t i = 0; i < nx; ++i) {
+          thermal::CellRange col{i, i + 1, 0, ny, 0, 1};
+          model.set_boundary_patch(Face::ZMin, col,
+                                   BoundaryCondition::convection(h, t_air[i]));
+          model.set_boundary_patch(Face::ZMax, col,
+                                   BoundaryCondition::convection(h, t_air[i]));
+        }
+        const auto pass_sol = model.solve_steady();
+        double t_stream = board_ambient;
+        for (std::size_t i = 0; i < nx; ++i) {
+          t_air[i] = t_stream;
+          // Heat removed from both faces of this column of cells.
+          double q_col = 0.0;
+          for (std::size_t j = 0; j < ny; ++j) {
+            const double area = model.grid().dx(i) * model.grid().dy(j);
+            const double ts = pass_sol.temperatures[model.grid().index(i, j, 0)];
+            q_col += 2.0 * h * area * (ts - t_stream);
+          }
+          t_stream += std::max(q_col, 0.0) / std::max(mdot * cp, 1e-9);
+        }
+      }
+      break;
+    }
+    default: {
+      // Natural convection both faces to the internal ambient.
+      model.set_boundary(
+          Face::ZMin, BoundaryCondition::natural(thermal::SurfaceOrientation::Vertical,
+                                                 board.width, board_ambient, pt.pressure));
+      model.set_boundary(
+          Face::ZMax, BoundaryCondition::natural(thermal::SurfaceOrientation::Vertical,
+                                                 board.width, board_ambient, pt.pressure));
+      break;
+    }
+  }
+
+  const auto sol = model.solve_steady();
+  Level2BoardResult out;
+  out.board = board.name;
+  out.cell_count = model.grid().cell_count();
+  out.max_temperature = sol.max_temperature;
+  out.mean_temperature = model.region_mean(sol.temperatures, model.all_cells());
+  out.energy_residual = sol.energy_residual;
+  for (const Component& c : board.components) {
+    const std::size_t i = std::min<std::size_t>(
+        nx - 1, static_cast<std::size_t>(c.x / board.length * static_cast<double>(nx)));
+    const std::size_t j = std::min<std::size_t>(
+        ny - 1, static_cast<std::size_t>(c.y / board.width * static_cast<double>(ny)));
+    out.component_local_temperature.push_back(
+        sol.temperatures[model.grid().index(i, j, 0)]);
+  }
+  return out;
+}
+
+ThermalLevelsResult run_thermal_levels(const Equipment& eq, const Specification& spec,
+                                       CoolingTechnology technology, std::size_t mesh) {
+  ThermalLevelsResult out;
+  out.level1 = run_level1(eq, spec, technology);
+  const double board_ambient =
+      (technology == CoolingTechnology::ConductionCooled)
+          ? spec.ambient_temperature + 10.0
+          : std::min(out.level1.internal_air_temperature, spec.local_ambient_limit + 60.0);
+
+  std::vector<reliability::Part> bom;
+  out.worst_junction = 0.0;
+  for (const Module& m : eq.modules)
+    for (const Board& b : m.boards) {
+      auto l2 = run_level2(b, spec, technology, board_ambient, mesh);
+      for (std::size_t ci = 0; ci < b.components.size(); ++ci) {
+        const Component& c = b.components[ci];
+        // Level 3: junction = local board temperature + attach + theta_jc.
+        const double r_attach = 0.5;  // solder/TIM attach [K/W]
+        Level3ComponentResult l3;
+        l3.reference = m.name + "/" + b.name + "/" + c.reference;
+        l3.junction_temperature =
+            l2.component_local_temperature[ci] + c.power * (c.theta_jc + r_attach);
+        l3.margin = c.junction_limit - l3.junction_temperature;
+        l3.within_limit = l3.margin >= 0.0;
+        out.worst_junction = std::max(out.worst_junction, l3.junction_temperature);
+        out.level3.push_back(l3);
+
+        reliability::Part p;
+        p.reference = l3.reference;
+        p.type = c.part_type;
+        p.count = c.count;
+        p.quality = c.quality;
+        p.junction_temperature = l3.junction_temperature;
+        bom.push_back(p);
+      }
+      out.level2.push_back(std::move(l2));
+    }
+
+  if (!bom.empty()) {
+    out.mtbf = reliability::predict_mtbf(bom, spec.environment);
+    out.mtbf_met = out.mtbf.mtbf_hours >= spec.mtbf_target_hours;
+  }
+  return out;
+}
+
+}  // namespace aeropack::core

@@ -1,0 +1,69 @@
+// The paper's three thermal simulation levels (Fig. 4):
+//   Level 1 — equipment: rack external constraints only, boards as
+//             volumetric sources; selects the cooling technology.
+//   Level 2 — PCB: boards as plates with dissipative surface patches;
+//             optimizes copper layers / drains / wedge locks.
+//   Level 3 — component: junction temperature per part, feeding the safety
+//             and reliability (MTBF) calculations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/cooling_selection.hpp"
+#include "core/equipment.hpp"
+#include "reliability/mtbf.hpp"
+
+namespace aeropack::core {
+
+struct Level1Result {
+  double case_temperature = 0.0;      ///< [K]
+  double internal_air_temperature = 0.0;  ///< [K]
+  double ua_case_to_ambient = 0.0;    ///< linearized [W/K]
+  bool within_limits = false;
+  std::size_t node_count = 0;         ///< model cost indicator
+};
+
+struct Level2BoardResult {
+  std::string board;
+  double max_temperature = 0.0;       ///< [K]
+  double mean_temperature = 0.0;
+  std::vector<double> component_local_temperature;  ///< board temp under each part [K]
+  std::size_t cell_count = 0;
+  double energy_residual = 0.0;       ///< [W]
+};
+
+struct Level3ComponentResult {
+  std::string reference;
+  double junction_temperature = 0.0;  ///< [K]
+  double margin = 0.0;                ///< limit - junction [K]
+  bool within_limit = false;
+};
+
+struct ThermalLevelsResult {
+  Level1Result level1;
+  std::vector<Level2BoardResult> level2;
+  std::vector<Level3ComponentResult> level3;
+  reliability::MtbfReport mtbf;
+  bool mtbf_met = false;
+  double worst_junction = 0.0;        ///< [K]
+};
+
+/// Level-1 lumped model with the chosen technology's case-to-ambient
+/// conductance.
+Level1Result run_level1(const Equipment& eq, const Specification& spec,
+                        CoolingTechnology technology);
+
+/// Level-2 finite-volume board model. `board_ambient` is the local air /
+/// wall temperature from Level 1. `mesh` cells along the board's long edge.
+Level2BoardResult run_level2(const Board& board, const Specification& spec,
+                             CoolingTechnology technology, double board_ambient,
+                             std::size_t mesh = 24);
+
+/// Level-3 component junction temperatures from the Level-2 field plus
+/// spreading / attach resistances, with the MTBF rollup.
+ThermalLevelsResult run_thermal_levels(const Equipment& eq, const Specification& spec,
+                                       CoolingTechnology technology, std::size_t mesh = 24);
+
+}  // namespace aeropack::core

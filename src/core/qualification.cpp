@@ -1,0 +1,104 @@
+#include "core/qualification.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "fem/fatigue.hpp"
+#include "fem/shock.hpp"
+#include "fem/sdof.hpp"
+#include "reliability/thermal_cycling.hpp"
+
+namespace aeropack::core {
+
+namespace {
+std::string format_margin(double margin) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << margin;
+  return os.str();
+}
+}  // namespace
+
+TestResult run_linear_acceleration(const EquipmentUnderTest& eut, const CampaignOptions& opts) {
+  TestResult r;
+  r.test = "linear acceleration " + format_margin(opts.acceleration_g) + " g";
+  const double stress = fem::quasi_static_cantilever_stress(
+      opts.acceleration_g, eut.mass, eut.mount_length, eut.mount_section_modulus);
+  r.margin = eut.mount_yield / (stress * opts.safety_factor);
+  r.passed = r.margin >= 1.0;
+  r.detail = "bracket stress " + format_margin(stress / 1e6) + " MPa vs yield " +
+             format_margin(eut.mount_yield / 1e6) + " MPa";
+  return r;
+}
+
+TestResult run_random_vibration(const EquipmentUnderTest& eut, const CampaignOptions& opts) {
+  TestResult r;
+  r.test = "random vibration (" + opts.vibration_curve.name() + ")";
+  const double fn = eut.fundamental_frequency;
+  const double asd = (fn >= opts.vibration_curve.f_min() && fn <= opts.vibration_curve.f_max())
+                         ? opts.vibration_curve(fn)
+                         : 0.0;
+  const double grms = fem::miles_grms(fn, eut.damping_ratio, asd);
+  const auto assess = fem::steinberg_assess(
+      eut.board_edge, eut.board_thickness, eut.critical_component_length,
+      eut.component_position_factor, eut.component_packaging_factor, fn, grms);
+  // Margin combines the Steinberg deflection ratio with the endurance check:
+  // life at the test level must cover the test duration.
+  const double life_margin =
+      assess.life_hours_at_20m_cycles * 3600.0 / std::max(opts.vibration_duration_s, 1.0);
+  r.margin = std::min(assess.margin, life_margin);
+  r.passed = r.margin >= 1.0;
+  r.detail = "fn " + format_margin(fn) + " Hz, response " + format_margin(grms) +
+             " grms, deflection margin " + format_margin(assess.margin);
+  return r;
+}
+
+TestResult run_climatic(const EquipmentUnderTest& eut, const CampaignOptions& opts) {
+  TestResult r;
+  r.test = "climatic " + format_margin(kelvin_to_celsius(opts.climatic_low)) + " / +" +
+           format_margin(kelvin_to_celsius(opts.climatic_high)) + " C";
+  if (!eut.worst_junction_at_ambient)
+    throw std::invalid_argument("run_climatic: missing thermal model callback");
+  const double tj_hot = eut.worst_junction_at_ambient(opts.climatic_high);
+  const double hot_budget = eut.junction_limit - opts.climatic_high;
+  const double hot_rise = tj_hot - opts.climatic_high;
+  const double hot_margin = (hot_rise > 0.0) ? hot_budget / hot_rise : 10.0;
+  const double cold_margin = (opts.climatic_low >= eut.minimum_operating) ? 2.0 : 0.5;
+  r.margin = std::min(hot_margin, cold_margin);
+  r.passed = r.margin >= 1.0;
+  r.detail = "worst junction " + format_margin(kelvin_to_celsius(tj_hot)) + " C at +" +
+             format_margin(kelvin_to_celsius(opts.climatic_high)) + " C ambient (limit " +
+             format_margin(kelvin_to_celsius(eut.junction_limit)) + " C)";
+  return r;
+}
+
+TestResult run_thermal_shock(const EquipmentUnderTest& eut, const CampaignOptions& opts) {
+  TestResult r;
+  r.test = "thermal shock " + format_margin(kelvin_to_celsius(opts.shock_low)) + " / +" +
+           format_margin(kelvin_to_celsius(opts.shock_high)) + " C at " +
+           format_margin(opts.shock_rate_k_per_min) + " C/min";
+  const double chamber_dt = opts.shock_high - opts.shock_low;
+  const double attach_dt = eut.attach_delta_t_fraction * chamber_dt;
+  const double cycles_capable = reliability::coffin_manson_cycles(attach_dt);
+  r.margin = cycles_capable / (static_cast<double>(opts.shock_cycles) * opts.safety_factor);
+  r.passed = r.margin >= 1.0;
+  r.detail = "attach dT " + format_margin(attach_dt) + " K, capability " +
+             format_margin(cycles_capable) + " cycles vs " +
+             format_margin(static_cast<double>(opts.shock_cycles)) + " applied";
+  return r;
+}
+
+CampaignReport run_campaign(const EquipmentUnderTest& eut, const CampaignOptions& opts) {
+  CampaignReport rpt;
+  rpt.results.push_back(run_linear_acceleration(eut, opts));
+  rpt.results.push_back(run_random_vibration(eut, opts));
+  rpt.results.push_back(run_climatic(eut, opts));
+  rpt.results.push_back(run_thermal_shock(eut, opts));
+  rpt.all_passed = true;
+  for (const auto& t : rpt.results) rpt.all_passed = rpt.all_passed && t.passed;
+  return rpt;
+}
+
+}  // namespace aeropack::core

@@ -1,0 +1,79 @@
+// Qualification campaign simulator. The paper qualifies the COSEE seats
+// with: linear acceleration (up to 9 g, 3 minutes per axis), random
+// vibration per DO-160 curve C1, climatic performance between -25 and
+// +55 C, and thermal shock -45/+55 C at 5 C/min — "the seats have been
+// submitted to all the different tests without damage".
+//
+// Each test is evaluated analytically against the equipment-under-test
+// abstraction below, producing pass/fail and a margin.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fem/random_vibration.hpp"
+
+namespace aeropack::core {
+
+/// Abstraction of the unit being qualified.
+struct EquipmentUnderTest {
+  std::string name;
+  double mass = 5.0;                   ///< supported mass [kg]
+  double fundamental_frequency = 120.0;///< first structural mode [Hz]
+  double damping_ratio = 0.04;
+  double mount_section_modulus = 2e-7; ///< weakest bracket section [m^3]
+  double mount_length = 0.05;          ///< load arm of that bracket [m]
+  double mount_yield = 276e6;          ///< bracket material yield [Pa]
+
+  // PCB fatigue (Steinberg) parameters.
+  double board_edge = 0.20;            ///< [m]
+  double board_thickness = 1.6e-3;     ///< [m]
+  double critical_component_length = 0.03;  ///< largest package [m]
+  double component_position_factor = 1.0;
+  double component_packaging_factor = 1.0;
+
+  // Thermal behaviour: worst junction temperature [K] for a cabin/bay
+  // ambient [K]. Supplied by the thermal levels or the SEB model.
+  std::function<double(double)> worst_junction_at_ambient;
+  double junction_limit = 398.15;      ///< [K]
+  double minimum_operating = 233.15;   ///< [K] (-40 C cold start)
+
+  // Thermal-shock attach sensitivity.
+  double attach_delta_t_fraction = 0.8;  ///< fraction of chamber dT seen by joints
+};
+
+struct TestResult {
+  std::string test;
+  bool passed = false;
+  double margin = 0.0;  ///< >= 1 passes (capability / demand)
+  std::string detail;
+};
+
+struct CampaignOptions {
+  double acceleration_g = 9.0;
+  double acceleration_duration_s = 180.0;  ///< per axis
+  fem::AsdCurve vibration_curve = fem::do160_curve_c1();
+  double vibration_duration_s = 10800.0;   ///< 3 h endurance
+  double climatic_low = 248.15;            ///< [K] (-25 C)
+  double climatic_high = 328.15;           ///< [K] (+55 C)
+  double shock_low = 228.15;               ///< [K] (-45 C)
+  double shock_high = 328.15;              ///< [K] (+55 C)
+  double shock_rate_k_per_min = 5.0;
+  int shock_cycles = 50;
+  double safety_factor = 1.25;
+};
+
+struct CampaignReport {
+  std::vector<TestResult> results;
+  bool all_passed = false;
+};
+
+TestResult run_linear_acceleration(const EquipmentUnderTest& eut, const CampaignOptions& opts);
+TestResult run_random_vibration(const EquipmentUnderTest& eut, const CampaignOptions& opts);
+TestResult run_climatic(const EquipmentUnderTest& eut, const CampaignOptions& opts);
+TestResult run_thermal_shock(const EquipmentUnderTest& eut, const CampaignOptions& opts);
+
+CampaignReport run_campaign(const EquipmentUnderTest& eut, const CampaignOptions& opts = {});
+
+}  // namespace aeropack::core

@@ -1,0 +1,70 @@
+#include "core/rack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "materials/air.hpp"
+#include "thermal/convection.hpp"
+
+namespace aeropack::core {
+
+double RackDesign::total_power() const {
+  double p = 0.0;
+  for (const RackSlot& s : slots) p += s.power;
+  return p;
+}
+
+void RackDesign::validate() const {
+  if (slots.empty()) throw std::invalid_argument("RackDesign: no slots");
+  for (const RackSlot& s : slots) {
+    if (s.power < 0.0 || s.peak_flux < 0.0)
+      throw std::invalid_argument("RackDesign: negative power/flux in slot " + s.name);
+    if (s.channel.flow_area() <= 0.0)
+      throw std::invalid_argument("RackDesign: degenerate channel in slot " + s.name);
+  }
+}
+
+RackResult solve_rack(const RackDesign& rack, double surface_limit_k) {
+  rack.validate();
+  const double sized_for =
+      (rack.design_power > 0.0) ? rack.design_power : rack.total_power();
+
+  // Blower mass flow per the ARINC budget at the *design* power.
+  thermal::ArincAirSupply supply;
+  supply.inlet_temperature = rack.inlet_temperature;
+  supply.pressure = rack.pressure;
+  const double mdot_total = supply.mass_flow(sized_for);
+
+  // Split by free (flow) area: parallel channels off one plenum share the
+  // same pressure drop; for identical channel character that reduces to an
+  // area split.
+  double area_total = 0.0;
+  for (const RackSlot& s : rack.slots) area_total += s.channel.flow_area();
+
+  const auto air = materials::air_at(rack.inlet_temperature, rack.pressure);
+
+  RackResult out;
+  out.all_feasible = true;
+  double enthalpy_mix = 0.0;
+  for (const RackSlot& s : rack.slots) {
+    const double mdot = mdot_total * s.channel.flow_area() / area_total;
+    SlotResult r;
+    r.name = s.name;
+    r.velocity = mdot / (air.density * s.channel.flow_area());
+    const double rise = (mdot > 0.0) ? s.power / (mdot * air.specific_heat) : 1e9;
+    r.exhaust_temperature = rack.inlet_temperature + rise;
+    const double t_local = rack.inlet_temperature + 0.75 * rise;  // near-exit station
+    const double h = thermal::h_forced_duct(r.velocity, s.channel.hydraulic_diameter(),
+                                            t_local, rack.pressure);
+    r.surface_temperature = t_local + ((h > 0.0) ? s.peak_flux / h : 1e9);
+    r.feasible = r.surface_temperature <= surface_limit_k;
+    out.all_feasible = out.all_feasible && r.feasible;
+    enthalpy_mix += mdot * r.exhaust_temperature;
+    out.slots.push_back(std::move(r));
+  }
+  out.mixed_exhaust = enthalpy_mix / mdot_total;
+  return out;
+}
+
+}  // namespace aeropack::core

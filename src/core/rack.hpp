@@ -1,0 +1,56 @@
+// ARINC-style rack model (the Fig. 6 substrate): modules side by side fed
+// from a shared plenum whose blower delivers the standard 220 kg/h/kW
+// allocation for the rack's *design* power. Each module's channel gets a
+// flow share proportional to its free area; per-module exhaust and
+// component-surface temperatures come from the card-channel model, so
+// loading one slot beyond its generation shows up as that slot running hot
+// while the others stay fine — the practical failure mode of growing module
+// power inside an existing rack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "thermal/forced_air.hpp"
+
+namespace aeropack::core {
+
+struct RackSlot {
+  std::string name;
+  double power = 10.0;           ///< [W]
+  /// Worst surface flux seen by the air film, after in-board spreading
+  /// (roughly power / wetted card area times a concentration factor).
+  double peak_flux = 700.0;      ///< [W/m^2]
+  thermal::CardChannel channel;  ///< geometry of this slot's air gap
+};
+
+struct RackDesign {
+  std::vector<RackSlot> slots;
+  double design_power = 0.0;     ///< power the plenum/blower was sized for [W]
+                                 ///< (0 = size for the current total)
+  double inlet_temperature = 313.15;  ///< [K]
+  double pressure = 101325.0;    ///< [Pa]
+
+  double total_power() const;
+  void validate() const;
+};
+
+struct SlotResult {
+  std::string name;
+  double velocity = 0.0;             ///< channel velocity [m/s]
+  double exhaust_temperature = 0.0;  ///< [K]
+  double surface_temperature = 0.0;  ///< worst component surface [K]
+  bool feasible = false;
+};
+
+struct RackResult {
+  std::vector<SlotResult> slots;
+  double mixed_exhaust = 0.0;  ///< plenum exhaust after mixing [K]
+  bool all_feasible = false;
+};
+
+/// Solve the rack: split the blower flow across slots by free area, run the
+/// card-channel model per slot against `surface_limit_k`.
+RackResult solve_rack(const RackDesign& rack, double surface_limit_k);
+
+}  // namespace aeropack::core

@@ -1,0 +1,272 @@
+#include "core/seb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "core/units.hpp"
+#include "numeric/rootfind.hpp"
+#include "thermal/convection.hpp"
+#include "thermal/fins.hpp"
+#include "thermal/network.hpp"
+
+namespace aeropack::core {
+
+twophase::LhpDesign SebDesign::default_lhp() {
+  twophase::LhpDesign d;
+  d.wick_pore_radius = 1.2e-6;
+  d.wick_permeability = 4e-14;
+  d.wick_thickness = 5e-3;
+  d.wick_area = 15e-4;
+  d.evaporator_resistance = 0.12;
+  d.vapor_line_length = 0.8;
+  d.vapor_line_diameter = 3e-3;
+  d.liquid_line_length = 0.8;
+  d.liquid_line_diameter = 2e-3;
+  d.condenser_length = 0.5;
+  d.condenser_ua = 7.0;
+  d.condenser_full_power = 40.0;
+  d.condenser_open_fraction_min = 0.15;
+  return d;
+}
+
+SebModel::SebModel(SebDesign design)
+    : design_(std::move(design)), lhp_(materials::ammonia(), design_.lhp) {
+  if (design_.heat_pipe_count < 1 || design_.lhp_count < 1 || design_.joint_count < 0)
+    throw std::invalid_argument("SebModel: counts must be positive");
+}
+
+double SebModel::heat_pipe_stage_resistance() const {
+  // Two copper/water sintered pipes from the component area to the box edge.
+  twophase::HeatPipeGeometry g;
+  g.outer_diameter = 6e-3;
+  g.wall_thickness = 0.5e-3;
+  g.wick_thickness = 0.75e-3;
+  g.evaporator_length = 80e-3;
+  g.adiabatic_length = 120e-3;
+  g.condenser_length = 100e-3;
+  const twophase::HeatPipe pipe(materials::water(), g, twophase::Wick::sintered_powder(),
+                                materials::copper());
+  const double per_pipe = pipe.thermal_resistance(330.0) + design_.hp_saddle_resistance;
+  return per_pipe / static_cast<double>(design_.heat_pipe_count);
+}
+
+double SebModel::joint_stage_resistance() const {
+  if (design_.joint_count == 0) return 0.0;
+  return static_cast<double>(design_.joint_count) *
+         design_.joint_tim.joint_resistance(design_.joint_area, design_.joint_pressure);
+}
+
+double SebModel::box_skin_conductance(double t_case, double t_air) const {
+  const double a_side = 2.0 * (design_.box_length + design_.box_width) * design_.box_height;
+  const double a_flat = design_.box_length * design_.box_width;
+  const double eps_eff = design_.box_emissivity * design_.radiation_view;
+  const double lc_flat =
+      design_.box_length * design_.box_width / (2.0 * (design_.box_length + design_.box_width));
+  const double f = design_.enclosure_factor;
+
+  const double dt_floor = std::max(std::fabs(t_case - t_air), 0.05);
+  const double ts = t_air + dt_floor * ((t_case >= t_air) ? 1.0 : -1.0);
+  const double h_v = f * thermal::h_natural_vertical_plate(ts, t_air, design_.box_height);
+  const double h_up = f * thermal::h_natural_horizontal_up(ts, t_air, lc_flat);
+  const double h_dn = f * thermal::h_natural_horizontal_down(ts, t_air, lc_flat);
+  const double h_r = thermal::h_radiation(ts, t_air, eps_eff);
+  return (h_v + h_r) * a_side + (h_up + h_r) * a_flat + (h_dn + h_r) * a_flat;
+}
+
+double SebModel::seat_sink_conductance(double t_attach, double t_air) const {
+  const double dt_floor = std::max(std::fabs(t_attach - t_air), 0.05);
+  const double ts = t_air + dt_floor * ((t_attach >= t_air) ? 1.0 : -1.0);
+  const double h_c =
+      thermal::h_natural_horizontal_cylinder(ts, t_air, design_.seat.rod_diameter);
+  const double h_r = thermal::h_radiation(ts, t_air, design_.seat.material.emissivity);
+  const double g_rod = thermal::rod_sink_conductance(
+      h_c + h_r, design_.seat.rod_diameter, design_.seat.material.conductivity,
+      design_.seat.rod_half_length, design_.seat.rod_half_length);
+  // The condenser contact patch is rod surface: its circumferential /
+  // axial spreading efficiency collapses with low-conductivity structure
+  // (the CFRP seat case). Reference is the aluminum rod.
+  const double k_ref = materials::aluminum_6061().conductivity;
+  const double spread_eff =
+      std::min(1.0, std::pow(design_.seat.material.conductivity / k_ref, 0.3));
+  const double g_attach = (h_c + h_r) * design_.seat.attachment_area * spread_eff;
+  return g_rod * static_cast<double>(design_.seat.rod_count) + g_attach;
+}
+
+SebOperatingPoint SebModel::solve(double power_w, double t_cabin_k, SebCooling mode,
+                                  double tilt_deg) const {
+  if (power_w < 0.0) throw std::invalid_argument("SebModel::solve: negative power");
+  if (tilt_deg < 0.0 || tilt_deg > 60.0)
+    throw std::invalid_argument("SebModel::solve: tilt outside the tested envelope");
+
+  const double tilt_rad = tilt_deg * std::numbers::pi / 180.0;
+  const double elevation = design_.lhp_line_run * std::sin(tilt_rad);
+
+  thermal::ThermalNetwork net;
+  const auto pcb = net.add_node("pcb");
+  const auto box = net.add_node("case");
+  const auto air = net.add_boundary("cabin air", t_cabin_k);
+  net.add_conductor(pcb, box, design_.internal_conductance);
+  net.add_nonlinear_conductor(
+      box, air, [this](double ta, double tb) { return box_skin_conductance(ta, tb); });
+  net.add_heat_load(pcb, power_w);
+
+  thermal::NodeId edge = 0, attach = 0;
+  double g_fixed = 0.0;
+  if (mode == SebCooling::HeatPipesAndLhp) {
+    edge = net.add_node("box edge");
+    attach = net.add_node("seat attachment");
+    g_fixed = 1.0 / (heat_pipe_stage_resistance() + joint_stage_resistance());
+    net.add_conductor(pcb, edge, g_fixed);
+
+    // Loop-heat-pipe pair: conductance from the power-dependent resistance
+    // R(Q), solved implicitly from the local temperature drop. Adverse tilt
+    // penalizes the evaporator (liquid redistribution against gravity),
+    // scaled by the used fraction of the capillary budget.
+    const int n_lhp = design_.lhp_count;
+    const auto lhp_conductance = [this, n_lhp, elevation](double ta, double tb) {
+      const double dt = std::fabs(ta - tb);
+      const double t_ref = std::clamp(std::max(ta, tb), lhp_.fluid().t_min() + 1.0,
+                                      lhp_.fluid().t_max() - 1.0);
+      const auto budget0 = lhp_.pressure_budget(0.0, t_ref, elevation);
+      const double tilt_penalty =
+          1.0 + 8.0 * budget0.gravity / budget0.capillary_available;
+      if (dt < 1e-6) {
+        const double r0 = lhp_.thermal_resistance(0.0, t_ref) * tilt_penalty;
+        return static_cast<double>(n_lhp) / r0;
+      }
+      // Fixed point: Q_each = dt / R(Q_each).
+      double q_each = dt / (lhp_.thermal_resistance(10.0, t_ref) * tilt_penalty);
+      for (int it = 0; it < 30; ++it) {
+        const double r = lhp_.thermal_resistance(q_each, t_ref) * tilt_penalty;
+        const double next = dt / r;
+        if (std::fabs(next - q_each) < 1e-9 * (1.0 + next)) {
+          q_each = next;
+          break;
+        }
+        q_each = 0.5 * (q_each + next);
+      }
+      const double r_final = lhp_.thermal_resistance(q_each, t_ref) * tilt_penalty;
+      return static_cast<double>(n_lhp) / r_final;
+    };
+    net.add_nonlinear_conductor(edge, attach, lhp_conductance);
+    net.add_nonlinear_conductor(
+        attach, air, [this](double ta, double tb) { return seat_sink_conductance(ta, tb); });
+  }
+
+  thermal::SteadyOptions opts;
+  opts.max_picard_iterations = 400;
+  opts.relaxation = 0.6;
+  opts.tolerance = 1e-7;
+  const auto sol = net.solve_steady(opts);
+
+  SebOperatingPoint pt;
+  pt.power = power_w;
+  pt.t_pcb = sol.temperatures[pcb];
+  pt.t_case = sol.temperatures[box];
+  pt.dt_pcb_air = pt.t_pcb - t_cabin_k;
+  if (mode == SebCooling::HeatPipesAndLhp) {
+    pt.t_seat_attachment = sol.temperatures[attach];
+    pt.q_lhp_path = g_fixed * (sol.temperatures[pcb] - sol.temperatures[edge]);
+    pt.q_natural_path = power_w - pt.q_lhp_path;
+    // Capillary check at the operating vapor temperature per LHP.
+    const double q_each = pt.q_lhp_path / static_cast<double>(design_.lhp_count);
+    const double t_ref = std::clamp(sol.temperatures[edge], lhp_.fluid().t_min() + 1.0,
+                                    lhp_.fluid().t_max() - 1.0);
+    const auto budget = lhp_.pressure_budget(std::max(q_each, 0.0), t_ref, elevation);
+    pt.lhp_capillary_margin = budget.margin();
+    pt.lhp_within_capillary = budget.margin() > 0.0;
+  } else {
+    pt.q_natural_path = power_w;
+    pt.lhp_capillary_margin = 0.0;
+  }
+  return pt;
+}
+
+SebTransient SebModel::warmup(double power_w, double t_cabin_k, SebCooling mode,
+                              double tilt_deg, double duration_s, double dt_s) const {
+  if (power_w < 0.0) throw std::invalid_argument("SebModel::warmup: negative power");
+  if (duration_s <= dt_s || dt_s <= 0.0)
+    throw std::invalid_argument("SebModel::warmup: bad time span");
+
+  const double tilt_rad = tilt_deg * std::numbers::pi / 180.0;
+  const double elevation = design_.lhp_line_run * std::sin(tilt_rad);
+
+  // Thermal masses: PCB + components, aluminum case, box-edge hardware, and
+  // the seat rods (material dependent - CFRP stores less heat per kelvin).
+  constexpr double cap_pcb = 1000.0;   // ~1.1 kg of board + parts [J/K]
+  constexpr double cap_case = 2000.0;  // ~2.2 kg Al shell
+  constexpr double cap_edge = 270.0;
+  const double rod_volume = 0.25 * std::numbers::pi * design_.seat.rod_diameter *
+                            design_.seat.rod_diameter * 2.0 * design_.seat.rod_half_length *
+                            design_.seat.rod_count;
+  const double cap_attach =
+      rod_volume * design_.seat.material.density * design_.seat.material.specific_heat;
+
+  thermal::ThermalNetwork net;
+  const auto pcb = net.add_node("pcb", cap_pcb);
+  const auto box = net.add_node("case", cap_case);
+  const auto air = net.add_boundary("cabin air", t_cabin_k);
+  net.add_conductor(pcb, box, design_.internal_conductance);
+  net.add_nonlinear_conductor(
+      box, air, [this](double ta, double tb) { return box_skin_conductance(ta, tb); });
+  net.add_heat_load(pcb, power_w);
+
+  if (mode == SebCooling::HeatPipesAndLhp) {
+    const auto edge = net.add_node("box edge", cap_edge);
+    const auto attach = net.add_node("seat attachment", cap_attach);
+    net.add_conductor(pcb, edge,
+                      1.0 / (heat_pipe_stage_resistance() + joint_stage_resistance()));
+    const int n_lhp = design_.lhp_count;
+    net.add_nonlinear_conductor(
+        edge, attach, [this, n_lhp, elevation](double ta, double tb) {
+          const double dt = std::fabs(ta - tb);
+          const double t_ref = std::clamp(std::max(ta, tb), lhp_.fluid().t_min() + 1.0,
+                                          lhp_.fluid().t_max() - 1.0);
+          const auto budget0 = lhp_.pressure_budget(0.0, t_ref, elevation);
+          const double tilt_penalty =
+              1.0 + 8.0 * budget0.gravity / budget0.capillary_available;
+          double q_each = dt / (lhp_.thermal_resistance(10.0, t_ref) * tilt_penalty);
+          for (int it = 0; it < 30; ++it) {
+            const double next =
+                dt / (lhp_.thermal_resistance(q_each, t_ref) * tilt_penalty);
+            if (std::fabs(next - q_each) < 1e-9 * (1.0 + next)) break;
+            q_each = 0.5 * (q_each + next);
+          }
+          return static_cast<double>(n_lhp) /
+                 (lhp_.thermal_resistance(q_each, t_ref) * tilt_penalty);
+        });
+    net.add_nonlinear_conductor(
+        attach, air, [this](double ta, double tb) { return seat_sink_conductance(ta, tb); });
+  }
+
+  numeric::Vector initial(net.node_count(), t_cabin_k);
+  const auto trace = net.solve_transient(duration_s, dt_s, initial);
+
+  SebTransient out;
+  out.times = trace.times;
+  out.t_pcb.reserve(trace.temperatures.size());
+  for (const auto& snap : trace.temperatures) out.t_pcb.push_back(snap[pcb]);
+  out.steady_dt = solve(power_w, t_cabin_k, mode, tilt_deg).dt_pcb_air;
+  const double target = t_cabin_k + 0.9 * out.steady_dt;
+  out.time_to_90pct = duration_s;
+  for (std::size_t i = 0; i < out.t_pcb.size(); ++i)
+    if (out.t_pcb[i] >= target) {
+      out.time_to_90pct = out.times[i];
+      break;
+    }
+  return out;
+}
+
+double SebModel::capability_at_dt(double dt_target, double t_cabin_k, SebCooling mode,
+                                  double tilt_deg, double power_max) const {
+  if (dt_target <= 0.0) throw std::invalid_argument("capability_at_dt: dt must be > 0");
+  const auto f = [&](double q) {
+    return solve(q, t_cabin_k, mode, tilt_deg).dt_pcb_air - dt_target;
+  };
+  if (f(power_max) < 0.0) return power_max;  // capability beyond the search window
+  return numeric::brent(f, 0.5, power_max, {.tolerance = 1e-4, .max_iterations = 100});
+}
+
+}  // namespace aeropack::core

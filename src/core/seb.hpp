@@ -1,0 +1,129 @@
+// COSEE seat-electronic-box (SEB) cooling scenario — the paper's headline
+// experiment (Fig. 10). An IFE box under a passenger seat, not connected to
+// the aircraft ECS, is cooled either by natural convection alone or by a
+// two-phase chain: heat pipes spread the component heat to the box edge;
+// thermal interface joints couple the edge to two loop-heat-pipe
+// evaporators; the LHPs carry the heat to the seat's structural rods, which
+// reject it to cabin air by natural convection + radiation.
+//
+// The model is a nonlinear thermal network with the HP / TIM / LHP / fin
+// submodels of the substrate libraries. Reported quantity matches Fig. 10:
+// T_pcb - T_air versus total SEB power, for (a) no LHP, (b) LHP horizontal,
+// (c) LHP tilted 22 degrees.
+#pragma once
+
+#include <optional>
+
+#include "numeric/dense.hpp"
+
+#include "materials/solid.hpp"
+#include "tim/tim_material.hpp"
+#include "twophase/heat_pipe.hpp"
+#include "twophase/loop_heat_pipe.hpp"
+
+namespace aeropack::core {
+
+/// Seat structural members used as the remote heat sink.
+struct SeatStructure {
+  materials::SolidMaterial material = materials::aluminum_6061();
+  double rod_diameter = 32e-3;   ///< [m]
+  double rod_half_length = 0.55; ///< fin length each side of the attachment [m]
+  int rod_count = 2;             ///< two main rods (paper Fig. 9)
+  /// Direct convecting area of the condenser saddles bolted along the rods
+  /// (the LHP condensers are distributed, not point attachments). [m^2]
+  double attachment_area = 0.07;
+};
+
+struct SebDesign {
+  // Box envelope (typical SEB).
+  double box_length = 0.30, box_width = 0.25, box_height = 0.09;  ///< [m]
+  double box_emissivity = 0.85;
+  /// Under-seat pocket blockage: fraction of free-air natural convection the
+  /// buried box actually achieves.
+  double enclosure_factor = 0.45;
+  /// Radiative view factor from the box to cabin surroundings.
+  double radiation_view = 0.6;
+  /// PCB-to-case internal conductance (standoffs + internal air). [W/K]
+  double internal_conductance = 1.25;
+
+  // Heat-pipe spreading stage (components -> box edge): two pipes.
+  int heat_pipe_count = 2;
+  double hp_saddle_resistance = 0.10;  ///< evaporator & condenser saddles, each pipe [K/W]
+
+  // Interface joints along the path (PCB->HP, HP->edge, edge->LHP saddle).
+  tim::TimMaterial joint_tim = tim::conventional_grease();
+  double joint_area = 6e-4;       ///< per joint [m^2]
+  int joint_count = 3;
+  double joint_pressure = 0.3e6;  ///< clamp pressure [Pa]
+
+  // Loop heat pipes (two, ammonia).
+  twophase::LhpDesign lhp = default_lhp();
+  int lhp_count = 2;
+  double lhp_line_run = 0.8;      ///< line length used for tilt elevation [m]
+
+  SeatStructure seat;
+
+  static twophase::LhpDesign default_lhp();
+};
+
+enum class SebCooling { NaturalOnly, HeatPipesAndLhp };
+
+/// Transient warm-up trace of the SEB after a power step.
+struct SebTransient {
+  numeric::Vector times;         ///< [s]
+  numeric::Vector t_pcb;         ///< [K]
+  double steady_dt = 0.0;        ///< final dt_pcb_air [K]
+  double time_to_90pct = 0.0;    ///< time to 90 % of the steady rise [s]
+};
+
+struct SebOperatingPoint {
+  double power = 0.0;                ///< total SEB dissipation [W]
+  double t_pcb = 0.0;                ///< [K]
+  double t_case = 0.0;               ///< [K]
+  double t_seat_attachment = 0.0;    ///< [K]
+  double dt_pcb_air = 0.0;           ///< the Fig. 10 ordinate [K]
+  double q_lhp_path = 0.0;           ///< heat carried by the LHP chain [W]
+  double q_natural_path = 0.0;       ///< heat leaving through the box skin [W]
+  bool lhp_within_capillary = true;
+  double lhp_capillary_margin = 0.0; ///< min over the LHPs [Pa]
+};
+
+class SebModel {
+ public:
+  explicit SebModel(SebDesign design);
+
+  /// Solve the steady operating point.
+  /// `tilt_deg` tilts the seat: the LHP sees an adverse elevation
+  /// sin(tilt) * line_run and a small conductance penalty.
+  SebOperatingPoint solve(double power_w, double t_cabin_k, SebCooling mode,
+                          double tilt_deg = 0.0) const;
+
+  /// Power at which dt_pcb_air reaches `dt_target` (the paper's capability
+  /// metric at constant PCB temperature, ~60 K). Bisection over power.
+  double capability_at_dt(double dt_target, double t_cabin_k, SebCooling mode,
+                          double tilt_deg = 0.0, double power_max = 400.0) const;
+
+  /// Warm-up transient from a cold start at cabin temperature after a power
+  /// step (implicit-Euler network transient with the assembly's thermal
+  /// masses). `duration_s` of simulated time at step `dt_s`.
+  SebTransient warmup(double power_w, double t_cabin_k, SebCooling mode,
+                      double tilt_deg = 0.0, double duration_s = 7200.0,
+                      double dt_s = 20.0) const;
+
+  const SebDesign& design() const { return design_; }
+  /// Heat-pipe stage total resistance at operating temperature. [K/W]
+  double heat_pipe_stage_resistance() const;
+  /// All TIM joints in series. [K/W]
+  double joint_stage_resistance() const;
+
+ private:
+  /// Box-skin conductance (natural convection + radiation) at given temps.
+  double box_skin_conductance(double t_case, double t_air) const;
+  /// Seat rod fin conductance at given attachment / air temperatures.
+  double seat_sink_conductance(double t_attach, double t_air) const;
+
+  SebDesign design_;
+  twophase::LoopHeatPipe lhp_;
+};
+
+}  // namespace aeropack::core

@@ -1,0 +1,13 @@
+// Unit helpers. The library works in SI with absolute temperatures; reports
+// and benches display Celsius.
+#pragma once
+
+namespace aeropack::core {
+
+constexpr double kCelsiusOffset = 273.15;
+
+constexpr double celsius_to_kelvin(double c) { return c + kCelsiusOffset; }
+constexpr double kelvin_to_celsius(double k) { return k - kCelsiusOffset; }
+constexpr double gravity = 9.80665;  ///< [m/s^2]
+
+}  // namespace aeropack::core

@@ -1,0 +1,105 @@
+#include "fem/beam.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aeropack::fem {
+
+using numeric::Matrix;
+
+BeamSection BeamSection::rectangle(double width, double height) {
+  if (width <= 0.0 || height <= 0.0)
+    throw std::invalid_argument("BeamSection::rectangle: non-positive dimension");
+  return {width * height, width * height * height * height / 12.0};
+}
+
+BeamSection BeamSection::tube(double outer_diameter, double wall_thickness) {
+  if (outer_diameter <= 0.0 || wall_thickness <= 0.0 || 2.0 * wall_thickness >= outer_diameter)
+    throw std::invalid_argument("BeamSection::tube: invalid dimensions");
+  const double ro = 0.5 * outer_diameter;
+  const double ri = ro - wall_thickness;
+  const double pi = std::numbers::pi;
+  return {pi * (ro * ro - ri * ri), 0.25 * pi * (ro * ro * ro * ro - ri * ri * ri * ri)};
+}
+
+Matrix beam_stiffness_local(double e, const BeamSection& s, double l) {
+  if (e <= 0.0 || l <= 0.0 || s.area <= 0.0 || s.inertia <= 0.0)
+    throw std::invalid_argument("beam_stiffness_local: invalid parameters");
+  const double ea_l = e * s.area / l;
+  const double ei = e * s.inertia;
+  const double l2 = l * l, l3 = l2 * l;
+  Matrix k(6, 6);
+  k(0, 0) = ea_l;
+  k(0, 3) = -ea_l;
+  k(3, 0) = -ea_l;
+  k(3, 3) = ea_l;
+  k(1, 1) = 12.0 * ei / l3;
+  k(1, 2) = 6.0 * ei / l2;
+  k(1, 4) = -12.0 * ei / l3;
+  k(1, 5) = 6.0 * ei / l2;
+  k(2, 1) = 6.0 * ei / l2;
+  k(2, 2) = 4.0 * ei / l;
+  k(2, 4) = -6.0 * ei / l2;
+  k(2, 5) = 2.0 * ei / l;
+  k(4, 1) = -12.0 * ei / l3;
+  k(4, 2) = -6.0 * ei / l2;
+  k(4, 4) = 12.0 * ei / l3;
+  k(4, 5) = -6.0 * ei / l2;
+  k(5, 1) = 6.0 * ei / l2;
+  k(5, 2) = 2.0 * ei / l;
+  k(5, 4) = -6.0 * ei / l2;
+  k(5, 5) = 4.0 * ei / l;
+  return k;
+}
+
+Matrix beam_mass_local(double rho, const BeamSection& s, double l) {
+  if (rho <= 0.0 || l <= 0.0 || s.area <= 0.0)
+    throw std::invalid_argument("beam_mass_local: invalid parameters");
+  const double m = rho * s.area * l;
+  const double l2 = l * l;
+  Matrix mm(6, 6);
+  // Axial (2-node bar consistent mass).
+  mm(0, 0) = m / 3.0;
+  mm(0, 3) = m / 6.0;
+  mm(3, 0) = m / 6.0;
+  mm(3, 3) = m / 3.0;
+  // Bending consistent mass.
+  const double c = m / 420.0;
+  mm(1, 1) = 156.0 * c;
+  mm(1, 2) = 22.0 * l * c;
+  mm(1, 4) = 54.0 * c;
+  mm(1, 5) = -13.0 * l * c;
+  mm(2, 1) = 22.0 * l * c;
+  mm(2, 2) = 4.0 * l2 * c;
+  mm(2, 4) = 13.0 * l * c;
+  mm(2, 5) = -3.0 * l2 * c;
+  mm(4, 1) = 54.0 * c;
+  mm(4, 2) = 13.0 * l * c;
+  mm(4, 4) = 156.0 * c;
+  mm(4, 5) = -22.0 * l * c;
+  mm(5, 1) = -13.0 * l * c;
+  mm(5, 2) = -3.0 * l2 * c;
+  mm(5, 4) = -22.0 * l * c;
+  mm(5, 5) = 4.0 * l2 * c;
+  return mm;
+}
+
+Matrix beam_transformation(double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  Matrix t(6, 6);
+  t(0, 0) = c;
+  t(0, 1) = s;
+  t(1, 0) = -s;
+  t(1, 1) = c;
+  t(2, 2) = 1.0;
+  t(3, 3) = c;
+  t(3, 4) = s;
+  t(4, 3) = -s;
+  t(4, 4) = c;
+  t(5, 5) = 1.0;
+  return t;
+}
+
+}  // namespace aeropack::fem

@@ -1,0 +1,30 @@
+// 2-D Euler-Bernoulli frame element: axial + bending, 3 DOF per node
+// (ux, uy, theta). Local stiffness and consistent mass matrices plus the
+// rotation to global coordinates.
+#pragma once
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::fem {
+
+struct BeamSection {
+  double area = 0.0;     ///< [m^2]
+  double inertia = 0.0;  ///< second moment about the bending axis [m^4]
+
+  /// Rectangular cross-section helper.
+  static BeamSection rectangle(double width, double height);
+  /// Thin-wall circular tube.
+  static BeamSection tube(double outer_diameter, double wall_thickness);
+};
+
+/// Local 6x6 stiffness matrix (DOFs: u1, v1, t1, u2, v2, t2).
+numeric::Matrix beam_stiffness_local(double e_modulus, const BeamSection& s, double length);
+
+/// Local 6x6 consistent mass matrix.
+numeric::Matrix beam_mass_local(double density, const BeamSection& s, double length);
+
+/// 6x6 transformation matrix from global to local for an element at `angle`
+/// radians from the global x-axis. K_global = T^T K_local T.
+numeric::Matrix beam_transformation(double angle);
+
+}  // namespace aeropack::fem

@@ -1,0 +1,80 @@
+#include "fem/fatigue.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::fem {
+
+double steinberg_allowable_deflection(double board_edge, double thickness,
+                                      double component_length, double position_factor,
+                                      double packaging_factor) {
+  if (board_edge <= 0.0 || thickness <= 0.0 || component_length <= 0.0 ||
+      position_factor <= 0.0 || packaging_factor <= 0.0)
+    throw std::invalid_argument("steinberg_allowable_deflection: invalid parameters");
+  constexpr double m_to_in = 39.3700787;
+  const double b_in = board_edge * m_to_in;
+  const double h_in = thickness * m_to_in;
+  const double l_in = component_length * m_to_in;
+  const double z_in =
+      0.00022 * b_in / (packaging_factor * h_in * position_factor * std::sqrt(l_in));
+  return z_in / m_to_in;
+}
+
+double steinberg_dynamic_deflection(double fn_hz, double response_grms) {
+  if (fn_hz <= 0.0 || response_grms < 0.0)
+    throw std::invalid_argument("steinberg_dynamic_deflection: invalid parameters");
+  constexpr double g = 9.80665;
+  // Displacement amplitude of a sinusoid at fn with acceleration 3*grms*g:
+  // Z = a / (2 pi fn)^2
+  const double a = 3.0 * response_grms * g;
+  const double w = 2.0 * 3.14159265358979323846 * fn_hz;
+  return a / (w * w);
+}
+
+SteinbergAssessment steinberg_assess(double board_edge, double thickness,
+                                     double component_length, double position_factor,
+                                     double packaging_factor, double fn_hz,
+                                     double response_grms) {
+  SteinbergAssessment out;
+  out.allowable_deflection = steinberg_allowable_deflection(
+      board_edge, thickness, component_length, position_factor, packaging_factor);
+  out.expected_deflection = steinberg_dynamic_deflection(fn_hz, response_grms);
+  out.margin = (out.expected_deflection > 0.0)
+                   ? out.allowable_deflection / out.expected_deflection
+                   : 1e9;
+  out.acceptable = out.margin >= 1.0;
+  // Steinberg: allowable corresponds to 20e6 stress reversals at fn;
+  // life scales as (margin)^6.4 (fatigue slope b = 6.4 for solder/lead).
+  const double cycles_capable = 20e6 * std::pow(out.margin, 6.4);
+  out.life_hours_at_20m_cycles = cycles_capable / fn_hz / 3600.0;
+  return out;
+}
+
+double basquin_cycles_to_failure(double fatigue_strength_coeff, double fatigue_exponent,
+                                 double stress_amplitude) {
+  if (fatigue_strength_coeff <= 0.0 || fatigue_exponent <= 0.0 || stress_amplitude <= 0.0)
+    throw std::invalid_argument("basquin_cycles_to_failure: invalid parameters");
+  if (stress_amplitude >= fatigue_strength_coeff) return 1.0;
+  // S = S_f (2N)^-b  =>  N = 0.5 (S / S_f)^(-1/b)
+  return 0.5 * std::pow(stress_amplitude / fatigue_strength_coeff, -1.0 / fatigue_exponent);
+}
+
+double miner_damage_three_band(double fn_hz, double duration_s, double stress_1sigma,
+                               double fatigue_strength_coeff, double fatigue_exponent) {
+  if (fn_hz <= 0.0 || duration_s < 0.0)
+    throw std::invalid_argument("miner_damage_three_band: invalid parameters");
+  const double total_cycles = fn_hz * duration_s;
+  const struct {
+    double fraction, multiple;
+  } bands[] = {{0.683, 1.0}, {0.271, 2.0}, {0.0433, 3.0}};
+  double damage = 0.0;
+  for (const auto& band : bands) {
+    const double n = total_cycles * band.fraction;
+    const double cap = basquin_cycles_to_failure(fatigue_strength_coeff, fatigue_exponent,
+                                                 band.multiple * stress_1sigma);
+    damage += n / cap;
+  }
+  return damage;
+}
+
+}  // namespace aeropack::fem

@@ -1,0 +1,54 @@
+// Vibration fatigue: Steinberg's 3-sigma / three-band method for PCBs and
+// component lead fatigue, plus Basquin S-N accumulation (Miner's rule). The
+// paper's design goal — "identify the weaknesses of the design and margins
+// regarding fatigue effects" — is computed here.
+#pragma once
+
+#include <string>
+
+namespace aeropack::fem {
+
+/// Steinberg's allowable 3-sigma single-amplitude PCB deflection [m] for a
+/// component mounted on a board:
+///   Z_allow = 0.00022 B / (C h r sqrt(L))   (inch units internally)
+/// B: board edge length parallel to component [m], h: board thickness [m],
+/// L: component length [m], r: relative position factor (1.0 at center),
+/// C: component packaging factor (1.0 DIP, 1.26 side-brazed, 2.25 BGA...).
+double steinberg_allowable_deflection(double board_edge, double thickness,
+                                      double component_length, double position_factor,
+                                      double packaging_factor);
+
+/// Expected 3-sigma dynamic single-amplitude deflection [m] of a board
+/// responding as an SDOF to random vibration:
+///   Z_3sigma = 3 * 9.8 * grms_response / f_n^2  (metric, displacement of a
+///   sinusoid at fn with 3*grms acceleration amplitude)
+double steinberg_dynamic_deflection(double fn_hz, double response_grms);
+
+/// Fatigue margin = allowable / expected (>= 1 passes for a 10-million-cycle
+/// service life in Steinberg's method).
+struct SteinbergAssessment {
+  double allowable_deflection = 0.0;  ///< [m]
+  double expected_deflection = 0.0;   ///< [m]
+  double margin = 0.0;
+  bool acceptable = false;
+  /// Approximate time to failure scaling: Steinberg's b = 6.4 slope.
+  double life_hours_at_20m_cycles = 0.0;
+};
+
+SteinbergAssessment steinberg_assess(double board_edge, double thickness,
+                                     double component_length, double position_factor,
+                                     double packaging_factor, double fn_hz,
+                                     double response_grms);
+
+/// Basquin high-cycle S-N: N = (S_f / S)^(1/b) with endurance cutoff.
+/// `fatigue_strength_coeff` S_f [Pa], exponent b, stress amplitude S [Pa].
+double basquin_cycles_to_failure(double fatigue_strength_coeff, double fatigue_exponent,
+                                 double stress_amplitude);
+
+/// Miner cumulative damage from the Steinberg three-band approach for a
+/// random environment at natural frequency fn for `duration_s` seconds:
+/// 1-sigma stress 68.3% of time, 2-sigma 27.1%, 3-sigma 4.33%.
+double miner_damage_three_band(double fn_hz, double duration_s, double stress_1sigma,
+                               double fatigue_strength_coeff, double fatigue_exponent);
+
+}  // namespace aeropack::fem

@@ -1,0 +1,215 @@
+#include "fem/frame.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/solve_dense.hpp"
+
+namespace aeropack::fem {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+std::size_t FrameModel::add_node(double x, double y) {
+  nodes_.push_back({x, y});
+  fixed_.resize(nodes_.size() * kDofPerNode, false);
+  return nodes_.size() - 1;
+}
+
+void FrameModel::check_node(std::size_t n) const {
+  if (n >= nodes_.size()) throw std::out_of_range("FrameModel: bad node id");
+}
+
+void FrameModel::add_beam(std::size_t n1, std::size_t n2, const materials::SolidMaterial& m,
+                          const BeamSection& s) {
+  check_node(n1);
+  check_node(n2);
+  if (n1 == n2) throw std::invalid_argument("add_beam: zero-length beam");
+  beams_.push_back({n1, n2, m.youngs_modulus, m.density, s});
+}
+
+void FrameModel::add_mass(std::size_t node, double mass, double rotary_inertia) {
+  check_node(node);
+  if (mass < 0.0 || rotary_inertia < 0.0) throw std::invalid_argument("add_mass: negative");
+  masses_.push_back({node, mass, rotary_inertia});
+}
+
+void FrameModel::add_ground_spring(std::size_t node, Dof dof, double stiffness) {
+  check_node(node);
+  if (stiffness <= 0.0) throw std::invalid_argument("add_ground_spring: stiffness must be > 0");
+  springs_.push_back({node, kGround, dof, stiffness});
+}
+
+void FrameModel::add_spring(std::size_t n1, std::size_t n2, Dof dof, double stiffness) {
+  check_node(n1);
+  check_node(n2);
+  if (n1 == n2) throw std::invalid_argument("add_spring: same node");
+  if (stiffness <= 0.0) throw std::invalid_argument("add_spring: stiffness must be > 0");
+  springs_.push_back({n1, n2, dof, stiffness});
+}
+
+void FrameModel::fix(std::size_t node, Dof dof) {
+  check_node(node);
+  fixed_[global_dof(node, dof)] = true;
+}
+
+void FrameModel::fix_all(std::size_t node) {
+  fix(node, Dof::Ux);
+  fix(node, Dof::Uy);
+  fix(node, Dof::Rz);
+}
+
+std::size_t FrameModel::global_dof(std::size_t node, Dof dof) const {
+  check_node(node);
+  return node * kDofPerNode + static_cast<std::size_t>(dof);
+}
+
+std::size_t FrameModel::free_dof_count() const {
+  std::size_t n = 0;
+  for (bool f : fixed_)
+    if (!f) ++n;
+  return n;
+}
+
+Matrix FrameModel::stiffness_matrix() const {
+  const std::size_t n = dof_count();
+  if (n == 0) throw std::logic_error("FrameModel: empty model");
+  Matrix k(n, n);
+  for (const Beam& b : beams_) {
+    const double dx = nodes_[b.n2].x - nodes_[b.n1].x;
+    const double dy = nodes_[b.n2].y - nodes_[b.n1].y;
+    const double l = std::hypot(dx, dy);
+    const double angle = std::atan2(dy, dx);
+    const Matrix t = beam_transformation(angle);
+    const Matrix ke = t.transposed() * beam_stiffness_local(b.e, b.section, l) * t;
+    const std::size_t map[6] = {global_dof(b.n1, Dof::Ux), global_dof(b.n1, Dof::Uy),
+                                global_dof(b.n1, Dof::Rz), global_dof(b.n2, Dof::Ux),
+                                global_dof(b.n2, Dof::Uy), global_dof(b.n2, Dof::Rz)};
+    for (std::size_t i = 0; i < 6; ++i)
+      for (std::size_t j = 0; j < 6; ++j) k(map[i], map[j]) += ke(i, j);
+  }
+  for (const Spring& s : springs_) {
+    const std::size_t a = global_dof(s.n1, s.dof);
+    if (s.n2 == kGround) {
+      k(a, a) += s.k;
+    } else {
+      const std::size_t b = global_dof(s.n2, s.dof);
+      k(a, a) += s.k;
+      k(b, b) += s.k;
+      k(a, b) -= s.k;
+      k(b, a) -= s.k;
+    }
+  }
+  return k;
+}
+
+Matrix FrameModel::mass_matrix() const {
+  const std::size_t n = dof_count();
+  if (n == 0) throw std::logic_error("FrameModel: empty model");
+  Matrix m(n, n);
+  for (const Beam& b : beams_) {
+    const double dx = nodes_[b.n2].x - nodes_[b.n1].x;
+    const double dy = nodes_[b.n2].y - nodes_[b.n1].y;
+    const double l = std::hypot(dx, dy);
+    const double angle = std::atan2(dy, dx);
+    const Matrix t = beam_transformation(angle);
+    const Matrix me = t.transposed() * beam_mass_local(b.rho, b.section, l) * t;
+    const std::size_t map[6] = {global_dof(b.n1, Dof::Ux), global_dof(b.n1, Dof::Uy),
+                                global_dof(b.n1, Dof::Rz), global_dof(b.n2, Dof::Ux),
+                                global_dof(b.n2, Dof::Uy), global_dof(b.n2, Dof::Rz)};
+    for (std::size_t i = 0; i < 6; ++i)
+      for (std::size_t j = 0; j < 6; ++j) m(map[i], map[j]) += me(i, j);
+  }
+  for (const PointMass& pm : masses_) {
+    m(global_dof(pm.node, Dof::Ux), global_dof(pm.node, Dof::Ux)) += pm.mass;
+    m(global_dof(pm.node, Dof::Uy), global_dof(pm.node, Dof::Uy)) += pm.mass;
+    m(global_dof(pm.node, Dof::Rz), global_dof(pm.node, Dof::Rz)) += pm.inertia;
+  }
+  return m;
+}
+
+void FrameModel::reduced_system(Matrix& k, Matrix& m,
+                                std::vector<std::size_t>& free_to_full) const {
+  const Matrix kf = stiffness_matrix();
+  const Matrix mf = mass_matrix();
+  free_to_full.clear();
+  for (std::size_t i = 0; i < dof_count(); ++i)
+    if (!fixed_[i]) free_to_full.push_back(i);
+  const std::size_t nr = free_to_full.size();
+  if (nr == 0) throw std::logic_error("FrameModel: all DOFs fixed");
+  k = Matrix(nr, nr);
+  m = Matrix(nr, nr);
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nr; ++j) {
+      k(i, j) = kf(free_to_full[i], free_to_full[j]);
+      m(i, j) = mf(free_to_full[i], free_to_full[j]);
+    }
+  // Guard against massless DOFs (e.g. rotation of a node carried only by
+  // springs): add a tiny inertia so M stays positive definite.
+  for (std::size_t i = 0; i < nr; ++i)
+    if (m(i, i) <= 0.0) m(i, i) = 1e-9;
+}
+
+Vector FrameModel::solve_static(const Vector& loads) const {
+  if (loads.size() != dof_count()) throw std::invalid_argument("solve_static: load size");
+  Matrix k, m;
+  std::vector<std::size_t> map;
+  reduced_system(k, m, map);
+  Vector f(map.size());
+  for (std::size_t i = 0; i < map.size(); ++i) f[i] = loads[map[i]];
+  const Vector u = numeric::solve(k, f);
+  Vector full(dof_count(), 0.0);
+  for (std::size_t i = 0; i < map.size(); ++i) full[map[i]] = u[i];
+  return full;
+}
+
+Vector FrameModel::influence_vector(double ax, double ay) const {
+  Vector r(dof_count(), 0.0);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    r[global_dof(n, Dof::Ux)] = ax;
+    r[global_dof(n, Dof::Uy)] = ay;
+  }
+  return r;
+}
+
+double FrameModel::total_mass() const {
+  double m = 0.0;
+  for (const Beam& b : beams_) {
+    const double dx = nodes_[b.n2].x - nodes_[b.n1].x;
+    const double dy = nodes_[b.n2].y - nodes_[b.n1].y;
+    m += b.rho * b.section.area * std::hypot(dx, dy);
+  }
+  for (const PointMass& pm : masses_) m += pm.mass;
+  return m;
+}
+
+ModalResult FrameModel::solve_modal(double ex_x, double ex_y) const {
+  Matrix k, m;
+  std::vector<std::size_t> map;
+  reduced_system(k, m, map);
+  const numeric::EigenResult eig = numeric::eigen_generalized(k, m);
+
+  ModalResult res;
+  res.frequencies_hz = numeric::natural_frequencies_hz(eig);
+  const std::size_t nr = map.size();
+  res.shapes = Matrix(dof_count(), nr);
+  for (std::size_t j = 0; j < nr; ++j)
+    for (std::size_t i = 0; i < nr; ++i) res.shapes(map[i], j) = eig.eigenvectors(i, j);
+
+  // Participation factors: gamma_j = phi_j^T M r (phi M-orthonormal).
+  const Vector r_full = influence_vector(ex_x, ex_y);
+  Vector r(nr);
+  for (std::size_t i = 0; i < nr; ++i) r[i] = r_full[map[i]];
+  const Vector mr = m * r;
+  res.participation_factors.resize(nr);
+  res.effective_masses.resize(nr);
+  for (std::size_t j = 0; j < nr; ++j) {
+    double gamma = 0.0;
+    for (std::size_t i = 0; i < nr; ++i) gamma += eig.eigenvectors(i, j) * mr[i];
+    res.participation_factors[j] = gamma;
+    res.effective_masses[j] = gamma * gamma;  // phi M-orthonormal => m_eff = gamma^2
+  }
+  return res;
+}
+
+}  // namespace aeropack::fem

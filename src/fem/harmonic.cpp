@@ -1,0 +1,94 @@
+#include "fem/harmonic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/solve_dense.hpp"
+
+namespace aeropack::fem {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+void rayleigh_coefficients(double zeta, double f_lo, double f_hi, double& alpha, double& beta) {
+  if (zeta <= 0.0 || f_lo <= 0.0 || f_hi <= f_lo)
+    throw std::invalid_argument("rayleigh_coefficients: invalid parameters");
+  const double w1 = 2.0 * std::numbers::pi * f_lo;
+  const double w2 = 2.0 * std::numbers::pi * f_hi;
+  alpha = 2.0 * zeta * w1 * w2 / (w1 + w2);
+  beta = 2.0 * zeta / (w1 + w2);
+}
+
+HarmonicSweep harmonic_base_sweep(const FrameModel& model, const Vector& freqs_hz, double zeta,
+                                  std::size_t watch_node, Dof watch_dof, double ex_x,
+                                  double ex_y, double f_fit_lo, double f_fit_hi) {
+  Matrix k, m;
+  std::vector<std::size_t> map;
+  model.reduced_system(k, m, map);
+  const std::size_t n = map.size();
+
+  double alpha = 0.0, beta = 0.0;
+  rayleigh_coefficients(zeta, f_fit_lo, f_fit_hi, alpha, beta);
+  Matrix c = m;
+  c *= alpha;
+  {
+    Matrix kb = k;
+    kb *= beta;
+    c += kb;
+  }
+
+  // Relative-coordinate base excitation: M z'' + C z' + K z = -M r a(t).
+  const Vector r_full = model.influence_vector(ex_x, ex_y);
+  Vector r(n);
+  for (std::size_t i = 0; i < n; ++i) r[i] = r_full[map[i]];
+  const Vector mr = m * r;
+
+  const std::size_t watch_full = model.global_dof(watch_node, watch_dof);
+  std::ptrdiff_t watch = -1;
+  for (std::size_t i = 0; i < n; ++i)
+    if (map[i] == watch_full) watch = static_cast<std::ptrdiff_t>(i);
+  if (watch < 0)
+    throw std::invalid_argument("harmonic_base_sweep: watch DOF is constrained");
+  const double r_watch = r[static_cast<std::size_t>(watch)];
+
+  HarmonicSweep sweep;
+  sweep.frequencies_hz = freqs_hz;
+  sweep.amplitude.resize(freqs_hz.size());
+  sweep.phase_rad.resize(freqs_hz.size());
+
+  for (std::size_t fi = 0; fi < freqs_hz.size(); ++fi) {
+    const double w = 2.0 * std::numbers::pi * freqs_hz[fi];
+    // (K - w^2 M) + i w C, RHS = -M r (unit base acceleration amplitude).
+    Matrix ar = k;
+    {
+      Matrix mw = m;
+      mw *= w * w;
+      ar -= mw;
+    }
+    Matrix ai = c;
+    ai *= w;
+    Vector br(n), bi(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) br[i] = -mr[i];
+    Vector zr, zi;
+    numeric::solve_complex(ar, ai, br, bi, zr, zi);
+    // Absolute acceleration = base + relative: a_abs = a_base(r) + z'' where
+    // z'' = -w^2 z for harmonic motion.
+    const double re = r_watch - w * w * zr[static_cast<std::size_t>(watch)];
+    const double im = -w * w * zi[static_cast<std::size_t>(watch)];
+    sweep.amplitude[fi] = std::hypot(re, im);
+    sweep.phase_rad[fi] = std::atan2(im, re);
+  }
+  return sweep;
+}
+
+std::vector<std::size_t> find_peaks(const HarmonicSweep& sweep, double threshold) {
+  std::vector<std::size_t> peaks;
+  for (std::size_t i = 1; i + 1 < sweep.amplitude.size(); ++i)
+    if (sweep.amplitude[i] > sweep.amplitude[i - 1] &&
+        sweep.amplitude[i] >= sweep.amplitude[i + 1] && sweep.amplitude[i] > threshold)
+      peaks.push_back(i);
+  return peaks;
+}
+
+}  // namespace aeropack::fem

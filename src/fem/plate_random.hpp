@@ -1,0 +1,31 @@
+// Plate-level random-vibration assessment: run the PCB plate model's modal
+// solution against an ASD curve, superpose per-mode Miles responses at a
+// component location, and judge the result with Steinberg — the complete
+// "will this part's solder survive the DO-160 run" answer from geometry in,
+// verdict out.
+#pragma once
+
+#include "fem/fatigue.hpp"
+#include "fem/plate.hpp"
+#include "fem/random_vibration.hpp"
+
+namespace aeropack::fem {
+
+struct PlateRandomAssessment {
+  double response_grms = 0.0;      ///< absolute acceleration at the component
+  double dominant_frequency = 0.0; ///< mode carrying the largest share [Hz]
+  SteinbergAssessment fatigue;     ///< deflection-based verdict
+  std::size_t modes_used = 0;
+};
+
+/// Assess a component at (x, y) on the plate under the given base ASD.
+/// `component_length` feeds Steinberg; `packaging_factor` per his tables
+/// (1.0 DIP, 2.25 BGA, ...). Modes above `n_modes` or outside the curve's
+/// band are ignored.
+PlateRandomAssessment assess_plate_random(const PlateModel& plate, const AsdCurve& input,
+                                          double zeta, double x, double y,
+                                          double component_length,
+                                          double packaging_factor = 1.0,
+                                          std::size_t n_modes = 8);
+
+}  // namespace aeropack::fem

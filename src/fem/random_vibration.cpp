@@ -1,0 +1,81 @@
+#include "fem/random_vibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/sdof.hpp"
+
+namespace aeropack::fem {
+
+AsdCurve::AsdCurve(std::string name, numeric::Vector freqs_hz, numeric::Vector asd_g2hz)
+    : name_(std::move(name)), table_(freqs_hz, asd_g2hz), f_(std::move(freqs_hz)),
+      a_(std::move(asd_g2hz)) {}
+
+double AsdCurve::grms() const { return std::sqrt(table_.integral()); }
+
+AsdCurve AsdCurve::scaled(double factor) const {
+  if (factor <= 0.0) throw std::invalid_argument("AsdCurve::scaled: factor must be > 0");
+  numeric::Vector a = a_;
+  for (double& v : a) v *= factor;
+  return AsdCurve(name_ + " x" + std::to_string(factor), f_, a);
+}
+
+// DO-160 Section 8 standard random curve shapes. Breakpoints per the
+// published curve definitions (ASD in g^2/Hz): ramp up at low frequency,
+// plateau, roll-off to 2000 Hz.
+AsdCurve do160_curve_b1() {
+  return AsdCurve("DO-160 B1", {10.0, 40.0, 100.0, 500.0, 2000.0},
+                  {0.0005, 0.012, 0.012, 0.012, 0.00075});
+}
+
+AsdCurve do160_curve_c1() {
+  return AsdCurve("DO-160 C1", {10.0, 28.0, 40.0, 250.0, 500.0, 2000.0},
+                  {0.00035, 0.002, 0.002, 0.002, 0.001, 0.000062});
+}
+
+AsdCurve do160_curve_d1() {
+  return AsdCurve("DO-160 D1", {10.0, 28.0, 40.0, 100.0, 500.0, 2000.0},
+                  {0.0007, 0.01, 0.02, 0.04, 0.04, 0.0025});
+}
+
+AsdCurve navy_ps_spectrum(double overall_grms) {
+  if (overall_grms <= 0.0) throw std::invalid_argument("navy_ps_spectrum: grms must be > 0");
+  // Flat plateau 20..1000 Hz, 6 dB/oct roll-off to 2000 Hz, scaled to grms.
+  AsdCurve base("flat spectrum", {20.0, 1000.0, 2000.0}, {1.0, 1.0, 0.25});
+  const double g0 = base.grms();
+  return base.scaled(overall_grms * overall_grms / (g0 * g0));
+}
+
+RandomVibrationResult random_response(const FrameModel& model, const AsdCurve& input,
+                                      double zeta, std::size_t watch_node, Dof watch_dof,
+                                      double ex_x, double ex_y, std::size_t n_modes) {
+  if (zeta <= 0.0 || zeta >= 1.0)
+    throw std::invalid_argument("random_response: zeta must be in (0, 1)");
+  const ModalResult modes = model.solve_modal(ex_x, ex_y);
+  const std::size_t watch = model.global_dof(watch_node, watch_dof);
+
+  RandomVibrationResult out;
+  double sum_sq = 0.0;
+  std::size_t used = 0;
+  for (std::size_t j = 0; j < modes.frequencies_hz.size() && used < n_modes; ++j) {
+    const double fn = modes.frequencies_hz[j];
+    if (fn < 1e-3) continue;  // skip rigid-body modes
+    ++used;
+    ModeRandomResponse mr;
+    mr.frequency_hz = fn;
+    mr.participation = modes.participation_factors[j];
+    mr.asd_at_fn = (fn >= input.f_min() && fn <= input.f_max()) ? input(fn) : 0.0;
+    // Absolute acceleration of the watch DOF for this mode: Miles' SDOF
+    // response scaled by gamma_j * phi_j(watch).
+    const double modal_grms = (mr.asd_at_fn > 0.0) ? miles_grms(fn, zeta, mr.asd_at_fn) : 0.0;
+    mr.grms_contribution =
+        std::fabs(mr.participation * modes.shapes(watch, j)) * modal_grms;
+    sum_sq += mr.grms_contribution * mr.grms_contribution;
+    out.modes.push_back(mr);
+  }
+  out.response_grms = std::sqrt(sum_sq);
+  out.three_sigma_g = 3.0 * out.response_grms;
+  return out;
+}
+
+}  // namespace aeropack::fem

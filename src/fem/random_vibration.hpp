@@ -1,0 +1,65 @@
+// Random-vibration analysis: acceleration-spectral-density inputs (DO-160
+// Section 8 curves among them), modal-superposition RMS response of a frame
+// or plate model, and Miles'-equation estimates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fem/frame.hpp"
+#include "numeric/interp.hpp"
+
+namespace aeropack::fem {
+
+/// Acceleration spectral density curve, [g^2/Hz] vs [Hz], piecewise power-law.
+class AsdCurve {
+ public:
+  AsdCurve(std::string name, numeric::Vector freqs_hz, numeric::Vector asd_g2hz);
+
+  const std::string& name() const { return name_; }
+  double operator()(double f_hz) const { return table_(f_hz); }
+  double f_min() const { return table_.x_min(); }
+  double f_max() const { return table_.x_max(); }
+  /// Overall input g-RMS (square root of the curve integral).
+  double grms() const;
+  /// A copy scaled by `factor` in ASD (factor^0.5 in g-RMS).
+  AsdCurve scaled(double factor) const;
+
+ private:
+  std::string name_;
+  numeric::LogLogTable table_;
+  numeric::Vector f_, a_;
+};
+
+/// RTCA DO-160 Section 8 style random vibration curves. Curve shapes follow
+/// the standard's published breakpoints; the paper qualifies the COSEE seats
+/// "according to DO160 Curve C1".
+AsdCurve do160_curve_b1();  ///< fuselage equipment, turbojet
+AsdCurve do160_curve_c1();  ///< instrument-panel / low-vibration zone
+AsdCurve do160_curve_d1();  ///< more severe zone
+AsdCurve navy_ps_spectrum(double overall_grms);  ///< flat 20-2000 Hz shaped plateau
+
+/// Per-mode contribution to a random-vibration response.
+struct ModeRandomResponse {
+  double frequency_hz = 0.0;
+  double participation = 0.0;
+  double asd_at_fn = 0.0;        ///< input ASD at the mode [g^2/Hz]
+  double grms_contribution = 0.0;  ///< Miles per-mode response at the watch DOF
+};
+
+struct RandomVibrationResult {
+  double response_grms = 0.0;     ///< RSS of modal contributions at the watch DOF
+  double three_sigma_g = 0.0;     ///< 3 x grms
+  std::vector<ModeRandomResponse> modes;
+};
+
+/// Modal-superposition random response of a frame model under base
+/// excitation in direction (ex_x, ex_y), watched at a given DOF.
+/// Uses per-mode Miles responses scaled by the mode shape at the watch DOF
+/// (lightly damped, well-separated modes assumption), combined RSS.
+RandomVibrationResult random_response(const FrameModel& model, const AsdCurve& input,
+                                      double zeta, std::size_t watch_node, Dof watch_dof,
+                                      double ex_x = 0.0, double ex_y = 1.0,
+                                      std::size_t n_modes = 10);
+
+}  // namespace aeropack::fem

@@ -1,0 +1,49 @@
+#include "fem/sdof.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aeropack::fem {
+
+double transmissibility(double f, double fn, double zeta) {
+  if (f < 0.0 || fn <= 0.0 || zeta <= 0.0)
+    throw std::invalid_argument("transmissibility: invalid parameters");
+  const double r = f / fn;
+  const double num = 1.0 + std::pow(2.0 * zeta * r, 2.0);
+  const double den = std::pow(1.0 - r * r, 2.0) + std::pow(2.0 * zeta * r, 2.0);
+  return std::sqrt(num / den);
+}
+
+double resonant_amplification(double zeta) {
+  if (zeta <= 0.0 || zeta >= 1.0)
+    throw std::invalid_argument("resonant_amplification: zeta in (0, 1)");
+  return 1.0 / (2.0 * zeta * std::sqrt(1.0 - zeta * zeta));
+}
+
+double isolation_start_frequency(double fn) {
+  if (fn <= 0.0) throw std::invalid_argument("isolation_start_frequency: fn must be > 0");
+  return std::numbers::sqrt2 * fn;
+}
+
+double miles_grms(double fn, double zeta, double asd_at_fn) {
+  if (fn <= 0.0 || zeta <= 0.0 || asd_at_fn < 0.0)
+    throw std::invalid_argument("miles_grms: invalid parameters");
+  const double q = 1.0 / (2.0 * zeta);
+  return std::sqrt(0.5 * std::numbers::pi * fn * q * asd_at_fn);
+}
+
+double natural_frequency_hz(double stiffness, double mass) {
+  if (stiffness <= 0.0 || mass <= 0.0)
+    throw std::invalid_argument("natural_frequency_hz: invalid parameters");
+  return std::sqrt(stiffness / mass) / (2.0 * std::numbers::pi);
+}
+
+double static_deflection(double fn_hz) {
+  if (fn_hz <= 0.0) throw std::invalid_argument("static_deflection: fn must be > 0");
+  constexpr double g = 9.80665;
+  const double omega = 2.0 * std::numbers::pi * fn_hz;
+  return g / (omega * omega);
+}
+
+}  // namespace aeropack::fem

@@ -1,0 +1,31 @@
+// Single-degree-of-freedom oscillator utilities: transmissibility, Miles'
+// equation, and half-sine shock response — the design formulas behind the
+// paper's "mechanical filtering function and dampers" (Fig. 3) and the
+// qualification load cases.
+#pragma once
+
+namespace aeropack::fem {
+
+/// Base-excitation absolute-acceleration transmissibility |T(f)| of an
+/// oscillator with natural frequency fn [Hz] and damping ratio zeta.
+double transmissibility(double f, double fn, double zeta);
+
+/// Transmissibility peak value Q = 1 / (2 zeta sqrt(1 - zeta^2)) (amplification
+/// at resonance; ~1/(2 zeta) for light damping).
+double resonant_amplification(double zeta);
+
+/// Frequency above which the isolator attenuates (|T| < 1): sqrt(2) * fn.
+double isolation_start_frequency(double fn);
+
+/// Miles' equation: RMS absolute acceleration [same unit as PSD^0.5 * Hz^0.5]
+/// of an SDOF at fn driven by a flat base PSD `asd` [g^2/Hz] around fn:
+/// g_rms = sqrt(pi/2 * fn * Q * ASD(fn)).
+double miles_grms(double fn, double zeta, double asd_at_fn);
+
+/// Natural frequency [Hz] of a mass on a spring.
+double natural_frequency_hz(double stiffness, double mass);
+
+/// Static deflection [m] of an isolator with natural frequency fn under 1 g.
+double static_deflection(double fn_hz);
+
+}  // namespace aeropack::fem

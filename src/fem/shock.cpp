@@ -1,0 +1,86 @@
+#include "fem/shock.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aeropack::fem {
+
+std::function<double(double)> half_sine_pulse(double peak, double duration) {
+  if (duration <= 0.0) throw std::invalid_argument("half_sine_pulse: duration must be > 0");
+  return [peak, duration](double t) {
+    if (t < 0.0 || t > duration) return 0.0;
+    return peak * std::sin(std::numbers::pi * t / duration);
+  };
+}
+
+std::function<double(double)> sawtooth_pulse(double peak, double duration) {
+  if (duration <= 0.0) throw std::invalid_argument("sawtooth_pulse: duration must be > 0");
+  return [peak, duration](double t) {
+    if (t < 0.0 || t > duration) return 0.0;
+    return peak * t / duration;
+  };
+}
+
+numeric::Vector shock_response_spectrum(const std::function<double(double)>& pulse,
+                                        double pulse_duration,
+                                        const numeric::Vector& frequencies_hz, double zeta) {
+  if (zeta <= 0.0 || zeta >= 1.0)
+    throw std::invalid_argument("shock_response_spectrum: zeta in (0, 1)");
+  numeric::Vector srs(frequencies_hz.size(), 0.0);
+  for (std::size_t fi = 0; fi < frequencies_hz.size(); ++fi) {
+    const double fn = frequencies_hz[fi];
+    if (fn <= 0.0) throw std::invalid_argument("shock_response_spectrum: fn must be > 0");
+    const double wn = 2.0 * std::numbers::pi * fn;
+    // Time step: resolve both the oscillator and the pulse.
+    const double dt = std::min(1.0 / (20.0 * fn), pulse_duration / 50.0);
+    const double t_end = pulse_duration + 5.0 / (zeta * wn);  // let ringdown decay
+
+    // Ramp-invariant integration: exact SDOF state transition over each step
+    // assuming piecewise-linear base acceleration, in relative coordinates.
+    const double wd = wn * std::sqrt(1.0 - zeta * zeta);
+    const double e = std::exp(-zeta * wn * dt);
+    const double s = std::sin(wd * dt);
+    const double c = std::cos(wd * dt);
+    const double k = zeta * wn;
+    const double twoz = 2.0 * zeta;
+    double z = 0.0, v = 0.0;  // relative displacement / velocity
+    double peak = 0.0;
+    double a_prev = pulse(0.0);
+    const std::size_t steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+    for (std::size_t step = 1; step <= steps; ++step) {
+      const double t = dt * static_cast<double>(step);
+      const double a_now = (t <= pulse_duration) ? pulse(t) : 0.0;
+      // Exact solution over [t-dt, t] with linear forcing f(t) = -(a_prev + slope*tau).
+      const double slope = (a_now - a_prev) / dt;
+      // Particular solution of z'' + 2 zeta wn z' + wn^2 z = -(a_prev + slope tau):
+      // z_p(tau) = -(a_prev + slope tau)/wn^2 + 2 zeta slope / wn^3
+      const double wn2 = wn * wn;
+      const double zp0 = -a_prev / wn2 + twoz * slope / (wn2 * wn);
+      const double vp0 = -slope / wn2;
+      // Homogeneous initial conditions to match state at tau=0.
+      const double ch = z - zp0;
+      const double dh = (v - vp0 + k * ch) / wd;
+      const double zp1 = -(a_prev + slope * dt) / wn2 + twoz * slope / (wn2 * wn);
+      const double vp1 = -slope / wn2;
+      z = e * (ch * c + dh * s) + zp1;
+      v = e * (-k * (ch * c + dh * s) + wd * (-ch * s + dh * c)) + vp1;
+      const double a_abs = -(twoz * wn * v + wn2 * z);  // = z'' + a_base
+      peak = std::max(peak, std::fabs(a_abs));
+      a_prev = a_now;
+    }
+    srs[fi] = peak;
+  }
+  return srs;
+}
+
+double quasi_static_cantilever_stress(double n_g, double tip_mass, double length,
+                                      double section_modulus) {
+  if (tip_mass <= 0.0 || length <= 0.0 || section_modulus <= 0.0)
+    throw std::invalid_argument("quasi_static_cantilever_stress: invalid parameters");
+  constexpr double g = 9.80665;
+  const double moment = tip_mass * std::fabs(n_g) * g * length;
+  return moment / section_modulus;
+}
+
+}  // namespace aeropack::fem

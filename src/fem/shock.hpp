@@ -1,0 +1,31 @@
+// Shock response spectrum (SRS) and classical pulse inputs, plus the
+// quasi-static linear-acceleration check used by the paper's qualification
+// campaign ("linear acceleration up to 9 g, 3 minutes in each axis").
+#pragma once
+
+#include <functional>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::fem {
+
+/// Half-sine acceleration pulse a(t), peak [m/s^2], duration [s].
+std::function<double(double)> half_sine_pulse(double peak, double duration);
+
+/// Terminal sawtooth pulse.
+std::function<double(double)> sawtooth_pulse(double peak, double duration);
+
+/// Maximax absolute-acceleration shock response spectrum of a base pulse:
+/// for each natural frequency, integrate the SDOF (Smallwood ramp-invariant
+/// recursion) and record the peak absolute acceleration.
+numeric::Vector shock_response_spectrum(const std::function<double(double)>& pulse,
+                                        double pulse_duration,
+                                        const numeric::Vector& frequencies_hz, double zeta);
+
+/// Quasi-static acceleration stress check: peak stress in a uniform
+/// cantilever of length L, section modulus S [m^3], carrying tip mass m
+/// under `n_g` steady acceleration. Returns stress [Pa].
+double quasi_static_cantilever_stress(double n_g, double tip_mass, double length,
+                                      double section_modulus);
+
+}  // namespace aeropack::fem

@@ -1,0 +1,33 @@
+// Time-domain structural response to base excitation — the qualification
+// lab's shaker in software. Wraps the Newmark integrator around a frame
+// model's reduced matrices with Rayleigh damping, for pulses (shock tests)
+// and swept sines.
+#pragma once
+
+#include <functional>
+
+#include "fem/frame.hpp"
+#include "numeric/dense.hpp"
+
+namespace aeropack::fem {
+
+struct TransientResult {
+  numeric::Vector times;
+  /// Absolute acceleration at the watch DOF per step [m/s^2].
+  numeric::Vector acceleration;
+  /// Relative displacement at the watch DOF per step [m].
+  numeric::Vector displacement;
+  double peak_acceleration = 0.0;  ///< max |a| [m/s^2]
+  double peak_displacement = 0.0;  ///< max |x_rel| [m]
+};
+
+/// Integrate M z'' + C z' + K z = -M r a_base(t) (relative coordinates) with
+/// Newmark average acceleration; report absolute acceleration and relative
+/// displacement at the watch DOF. Rayleigh damping fitted to `zeta` at
+/// (f_fit_lo, f_fit_hi).
+TransientResult base_excitation_transient(
+    const FrameModel& model, const std::function<double(double)>& base_acceleration,
+    double duration_s, double dt_s, double zeta, std::size_t watch_node, Dof watch_dof,
+    double ex_x = 0.0, double ex_y = 1.0, double f_fit_lo = 20.0, double f_fit_hi = 2000.0);
+
+}  // namespace aeropack::fem

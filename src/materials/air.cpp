@@ -1,0 +1,57 @@
+#include "materials/air.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::materials {
+
+AirState air_at(double temperature_kelvin, double pressure_pa) {
+  if (temperature_kelvin < 150.0 || temperature_kelvin > 1000.0)
+    throw std::invalid_argument("air_at: temperature out of range (150..1000 K)");
+  if (pressure_pa <= 0.0) throw std::invalid_argument("air_at: pressure must be positive");
+
+  AirState s;
+  s.temperature = temperature_kelvin;
+  s.pressure = pressure_pa;
+  constexpr double r_air = 287.058;  // [J/kg K]
+  s.density = pressure_pa / (r_air * temperature_kelvin);
+  // Sutherland's law for viscosity.
+  constexpr double mu_ref = 1.716e-5, t_ref = 273.15, s_mu = 110.4;
+  s.viscosity = mu_ref * std::pow(temperature_kelvin / t_ref, 1.5) *
+                (t_ref + s_mu) / (temperature_kelvin + s_mu);
+  // Sutherland-type law for conductivity (fits 0.0241 W/mK at 0 C, 0.0314 at 100 C).
+  constexpr double k_ref = 0.0241, s_k = 194.0;
+  s.conductivity = k_ref * std::pow(temperature_kelvin / t_ref, 1.5) *
+                   (t_ref + s_k) / (temperature_kelvin + s_k);
+  // cp varies ~1% over the avionics range; treat as constant.
+  s.specific_heat = 1006.0;
+  s.prandtl = s.viscosity * s.specific_heat / s.conductivity;
+  s.beta = 1.0 / temperature_kelvin;
+  return s;
+}
+
+IsaPoint isa_atmosphere(double altitude_m) {
+  if (altitude_m < -500.0 || altitude_m > 20000.0)
+    throw std::invalid_argument("isa_atmosphere: altitude out of range (-500..20000 m)");
+  constexpr double t0 = 288.15, p0 = 101325.0, lapse = 0.0065, g = 9.80665, r_air = 287.058;
+  IsaPoint pt;
+  pt.altitude = altitude_m;
+  if (altitude_m <= 11000.0) {
+    pt.temperature = t0 - lapse * altitude_m;
+    pt.pressure = p0 * std::pow(pt.temperature / t0, g / (lapse * r_air));
+  } else {
+    const double t11 = t0 - lapse * 11000.0;
+    const double p11 = p0 * std::pow(t11 / t0, g / (lapse * r_air));
+    pt.temperature = t11;
+    pt.pressure = p11 * std::exp(-g * (altitude_m - 11000.0) / (r_air * t11));
+  }
+  pt.density = pt.pressure / (r_air * pt.temperature);
+  return pt;
+}
+
+AirState bay_air(double altitude_m, double ambient_temperature_kelvin) {
+  const IsaPoint pt = isa_atmosphere(altitude_m);
+  return air_at(ambient_temperature_kelvin, pt.pressure);
+}
+
+}  // namespace aeropack::materials

@@ -1,0 +1,46 @@
+// Air thermophysical properties and the ICAO standard atmosphere.
+//
+// Avionics bays see cabin altitude (2400 m typical) up to unpressurized
+// flight levels; natural-convection capability degrades with density, which
+// matters for the paper's Level-1 cooling-technology selection.
+#pragma once
+
+namespace aeropack::materials {
+
+/// Air state at a given film temperature and static pressure.
+struct AirState {
+  double temperature = 293.15;   ///< [K]
+  double pressure = 101325.0;    ///< [Pa]
+  double density = 0.0;          ///< [kg/m^3]
+  double viscosity = 0.0;        ///< dynamic [Pa s]
+  double conductivity = 0.0;     ///< [W/m K]
+  double specific_heat = 0.0;    ///< cp [J/kg K]
+  double prandtl = 0.0;          ///< [-]
+  double beta = 0.0;             ///< volumetric expansion 1/T [1/K]
+
+  /// Kinematic viscosity [m^2/s].
+  double kinematic_viscosity() const { return viscosity / density; }
+  /// Thermal diffusivity [m^2/s].
+  double diffusivity() const { return conductivity / (density * specific_heat); }
+};
+
+/// Air properties from Sutherland-law viscosity/conductivity and ideal gas
+/// density. Valid roughly 200..600 K. Throws std::invalid_argument outside
+/// 150..1000 K.
+AirState air_at(double temperature_kelvin, double pressure_pa = 101325.0);
+
+/// ICAO standard atmosphere (troposphere + lower stratosphere, 0..20 km).
+struct IsaPoint {
+  double altitude = 0.0;     ///< geopotential [m]
+  double temperature = 0.0;  ///< [K]
+  double pressure = 0.0;     ///< [Pa]
+  double density = 0.0;      ///< [kg/m^3]
+};
+
+IsaPoint isa_atmosphere(double altitude_m);
+
+/// Air state in an equipment bay at a given pressure altitude with a local
+/// ambient temperature override (bays are warmer than ISA ambient).
+AirState bay_air(double altitude_m, double ambient_temperature_kelvin);
+
+}  // namespace aeropack::materials

@@ -1,0 +1,164 @@
+#include "materials/fluids.hpp"
+
+#include <stdexcept>
+
+namespace aeropack::materials {
+
+using numeric::Vector;
+
+WorkingFluid::WorkingFluid(std::string name, double molar_mass_kg_per_mol, double gamma,
+                           double t_min_k, double t_max_k, Vector t_kelvin, Vector p_sat_pa,
+                           Vector rho_l, Vector rho_v, Vector h_fg, Vector mu_l, Vector mu_v,
+                           Vector sigma, Vector k_l, Vector cp_l)
+    : name_(std::move(name)),
+      molar_mass_(molar_mass_kg_per_mol),
+      gamma_(gamma),
+      t_min_(t_min_k),
+      t_max_(t_max_k),
+      p_sat_(t_kelvin, p_sat_pa),
+      rho_l_(t_kelvin, rho_l),
+      rho_v_(t_kelvin, rho_v),
+      h_fg_(t_kelvin, h_fg),
+      mu_l_(t_kelvin, mu_l),
+      mu_v_(t_kelvin, mu_v),
+      sigma_(t_kelvin, sigma),
+      k_l_(t_kelvin, k_l),
+      cp_l_(t_kelvin, cp_l),
+      t_of_p_(p_sat_pa, t_kelvin) {}
+
+SaturationState WorkingFluid::saturation(double t) const {
+  if (t < t_min_ || t > t_max_)
+    throw std::out_of_range(name_ + ": temperature outside saturation table (" +
+                            std::to_string(t) + " K)");
+  SaturationState s;
+  s.temperature = t;
+  s.pressure = p_sat_(t);
+  s.rho_liquid = rho_l_(t);
+  s.rho_vapor = rho_v_(t);
+  s.h_fg = h_fg_(t);
+  s.mu_liquid = mu_l_(t);
+  s.mu_vapor = mu_v_(t);
+  s.sigma = sigma_(t);
+  s.k_liquid = k_l_(t);
+  s.cp_liquid = cp_l_(t);
+  s.molar_mass = molar_mass_;
+  s.gamma = gamma_;
+  return s;
+}
+
+double WorkingFluid::saturation_temperature(double pressure_pa) const {
+  if (pressure_pa <= 0.0)
+    throw std::invalid_argument(name_ + ": pressure must be positive");
+  return t_of_p_(pressure_pa);
+}
+
+namespace {
+constexpr double kC0 = 273.15;
+Vector celsius(std::initializer_list<double> c) {
+  Vector v;
+  for (double x : c) v.push_back(x + kC0);
+  return v;
+}
+Vector kilo(std::initializer_list<double> k) {
+  Vector v;
+  for (double x : k) v.push_back(x * 1e3);
+  return v;
+}
+Vector micro(std::initializer_list<double> u) {
+  Vector v;
+  for (double x : u) v.push_back(x * 1e-6);
+  return v;
+}
+Vector milli(std::initializer_list<double> m) {
+  Vector v;
+  for (double x : m) v.push_back(x * 1e-3);
+  return v;
+}
+Vector plain(std::initializer_list<double> p) { return Vector(p); }
+}  // namespace
+
+const WorkingFluid& water() {
+  static const WorkingFluid fluid(
+      "water", 18.015e-3, 1.33, 20.0 + kC0, 150.0 + kC0,
+      celsius({20, 40, 60, 80, 100, 120, 150}),
+      kilo({2.34, 7.38, 19.9, 47.4, 101.3, 198.5, 476.0}),       // Psat [kPa -> Pa]
+      plain({998, 992, 983, 972, 958, 943, 917}),                 // rho_l
+      plain({0.0173, 0.0512, 0.130, 0.293, 0.598, 1.122, 2.55}),  // rho_v
+      kilo({2454, 2407, 2359, 2309, 2257, 2203, 2114}),           // h_fg [kJ/kg -> J/kg]
+      micro({1002, 653, 467, 355, 282, 232, 182}),                // mu_l [uPa s -> Pa s]
+      micro({9.7, 10.3, 10.9, 11.6, 12.3, 13.0, 14.2}),           // mu_v
+      milli({72.7, 69.6, 66.2, 62.7, 58.9, 54.9, 48.7}),          // sigma [mN/m -> N/m]
+      plain({0.598, 0.631, 0.654, 0.670, 0.681, 0.684, 0.684}),   // k_l
+      plain({4182, 4179, 4185, 4197, 4216, 4245, 4310}));         // cp_l
+  return fluid;
+}
+
+const WorkingFluid& ammonia() {
+  static const WorkingFluid fluid(
+      "ammonia", 17.031e-3, 1.31, -40.0 + kC0, 60.0 + kC0,
+      celsius({-40, -20, 0, 20, 40, 60}),
+      kilo({71.7, 190.2, 429.4, 857.5, 1555.0, 2614.0}),
+      plain({690, 665, 639, 610, 579, 545}),
+      plain({0.644, 1.604, 3.457, 6.703, 12.03, 20.34}),
+      kilo({1390, 1329, 1262, 1186, 1099, 997}),
+      micro({281, 236, 190, 152, 122, 98}),
+      micro({7.9, 8.5, 9.2, 9.9, 10.7, 11.6}),
+      milli({35.4, 31.6, 26.8, 21.9, 17.1, 12.3}),
+      plain({0.64, 0.59, 0.54, 0.50, 0.45, 0.40}),
+      plain({4450, 4520, 4600, 4740, 4930, 5200}));
+  return fluid;
+}
+
+const WorkingFluid& acetone() {
+  static const WorkingFluid fluid(
+      "acetone", 58.08e-3, 1.12, 0.0 + kC0, 100.0 + kC0,
+      celsius({0, 20, 40, 60, 80, 100}),
+      kilo({9.3, 24.6, 56.3, 115.4, 215.7, 374.0}),
+      plain({812, 790, 768, 745, 719, 693}),
+      plain({0.26, 0.64, 1.41, 2.79, 5.10, 8.70}),
+      kilo({564, 545, 524, 502, 477, 449}),
+      micro({395, 322, 269, 226, 192, 165}),
+      micro({6.8, 7.3, 7.9, 8.5, 9.1, 9.7}),
+      milli({26.2, 23.7, 21.2, 18.6, 16.2, 13.8}),
+      plain({0.171, 0.161, 0.152, 0.142, 0.132, 0.122}),
+      plain({2120, 2180, 2240, 2310, 2390, 2480}));
+  return fluid;
+}
+
+const WorkingFluid& methanol() {
+  static const WorkingFluid fluid(
+      "methanol", 32.042e-3, 1.20, 0.0 + kC0, 100.0 + kC0,
+      celsius({0, 20, 40, 60, 80, 100}),
+      kilo({4.0, 12.9, 35.4, 84.4, 180.5, 351.0}),
+      plain({810, 792, 774, 756, 736, 714}),
+      plain({0.057, 0.169, 0.43, 0.975, 1.98, 3.62}),
+      kilo({1200, 1170, 1135, 1095, 1050, 1000}),
+      micro({810, 585, 450, 350, 280, 230}),
+      micro({8.8, 9.4, 10.1, 10.8, 11.5, 12.3}),
+      milli({24.5, 22.6, 20.9, 19.0, 17.2, 15.4}),
+      plain({0.210, 0.204, 0.198, 0.192, 0.186, 0.180}),
+      plain({2430, 2530, 2650, 2790, 2950, 3130}));
+  return fluid;
+}
+
+const WorkingFluid& ethanol() {
+  static const WorkingFluid fluid(
+      "ethanol", 46.069e-3, 1.13, 0.0 + kC0, 100.0 + kC0,
+      celsius({0, 20, 40, 60, 80, 100}),
+      kilo({1.6, 5.9, 18.0, 47.0, 108.3, 225.8}),
+      plain({806, 789, 772, 754, 735, 716}),
+      plain({0.033, 0.114, 0.35, 0.88, 1.94, 3.85}),
+      kilo({960, 930, 900, 865, 825, 780}),
+      micro({1770, 1200, 834, 592, 435, 330}),
+      micro({8.0, 8.6, 9.2, 9.9, 10.6, 11.3}),
+      milli({24.3, 22.3, 20.2, 18.2, 16.2, 14.2}),
+      plain({0.174, 0.170, 0.166, 0.161, 0.156, 0.151}),
+      plain({2270, 2440, 2650, 2900, 3190, 3520}));
+  return fluid;
+}
+
+std::vector<const WorkingFluid*> all_working_fluids() {
+  return {&water(), &ammonia(), &acetone(), &methanol(), &ethanol()};
+}
+
+}  // namespace aeropack::materials

@@ -1,0 +1,78 @@
+// Saturated thermophysical properties of two-phase working fluids used in
+// heat pipes, loop heat pipes and thermosyphons (paper section IV).
+//
+// Properties are tabulated from standard saturation data and interpolated
+// with monotone piecewise-linear tables. Each fluid exposes a validity range;
+// queries outside it throw std::out_of_range so design code fails loudly
+// instead of extrapolating into nonsense.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numeric/interp.hpp"
+
+namespace aeropack::materials {
+
+/// Saturation-state property bundle at a given temperature.
+struct SaturationState {
+  double temperature = 0.0;      ///< [K]
+  double pressure = 0.0;         ///< saturation pressure [Pa]
+  double rho_liquid = 0.0;       ///< [kg/m^3]
+  double rho_vapor = 0.0;        ///< [kg/m^3]
+  double h_fg = 0.0;             ///< latent heat [J/kg]
+  double mu_liquid = 0.0;        ///< [Pa s]
+  double mu_vapor = 0.0;         ///< [Pa s]
+  double sigma = 0.0;            ///< surface tension [N/m]
+  double k_liquid = 0.0;         ///< liquid conductivity [W/m K]
+  double cp_liquid = 0.0;        ///< liquid specific heat [J/kg K]
+  double molar_mass = 0.0;       ///< [kg/mol]
+  double gamma = 0.0;            ///< vapor cp/cv [-]
+
+  /// Specific gas constant of the vapor [J/kg K].
+  double gas_constant() const { return 8.314462618 / molar_mass; }
+
+  /// Liquid transport figure of merit (merit number) for heat pipes:
+  /// M = rho_l sigma h_fg / mu_l  [W/m^2]
+  double merit_number() const { return rho_liquid * sigma * h_fg / mu_liquid; }
+};
+
+/// A two-phase working fluid defined by saturation tables.
+class WorkingFluid {
+ public:
+  WorkingFluid(std::string name, double molar_mass_kg_per_mol, double gamma, double t_min_k,
+               double t_max_k, numeric::Vector t_kelvin, numeric::Vector p_sat_pa,
+               numeric::Vector rho_l, numeric::Vector rho_v, numeric::Vector h_fg,
+               numeric::Vector mu_l, numeric::Vector mu_v, numeric::Vector sigma,
+               numeric::Vector k_l, numeric::Vector cp_l);
+
+  const std::string& name() const { return name_; }
+  double t_min() const { return t_min_; }
+  double t_max() const { return t_max_; }
+
+  /// All saturation properties at temperature [K]. Throws std::out_of_range
+  /// outside [t_min, t_max].
+  SaturationState saturation(double temperature_kelvin) const;
+
+  /// Saturation temperature [K] for a given pressure [Pa] (inverse lookup).
+  double saturation_temperature(double pressure_pa) const;
+
+ private:
+  std::string name_;
+  double molar_mass_, gamma_;
+  double t_min_, t_max_;
+  numeric::LinearTable p_sat_, rho_l_, rho_v_, h_fg_, mu_l_, mu_v_, sigma_, k_l_, cp_l_;
+  numeric::LinearTable t_of_p_;
+};
+
+/// Catalogue (constructed on first use, cached).
+const WorkingFluid& water();
+const WorkingFluid& ammonia();
+const WorkingFluid& acetone();
+const WorkingFluid& methanol();
+const WorkingFluid& ethanol();
+
+/// All catalogued fluids, for sweeps.
+std::vector<const WorkingFluid*> all_working_fluids();
+
+}  // namespace aeropack::materials

@@ -1,0 +1,123 @@
+#include "materials/solid.hpp"
+
+#include <stdexcept>
+
+namespace aeropack::materials {
+
+namespace {
+SolidMaterial iso(std::string name, double rho, double k, double cp, double e, double nu,
+                  double cte, double yield, double b, double eps) {
+  SolidMaterial m;
+  m.name = std::move(name);
+  m.density = rho;
+  m.conductivity = k;
+  m.conductivity_through = k;
+  m.specific_heat = cp;
+  m.youngs_modulus = e;
+  m.poisson_ratio = nu;
+  m.cte = cte;
+  m.yield_strength = yield;
+  m.fatigue_exponent = b;
+  m.emissivity = eps;
+  return m;
+}
+}  // namespace
+
+SolidMaterial aluminum_6061() {
+  return iso("Al 6061-T6", 2700.0, 167.0, 896.0, 68.9e9, 0.33, 23.6e-6, 276e6, 0.085, 0.80);
+}
+
+SolidMaterial aluminum_7075() {
+  return iso("Al 7075-T6", 2810.0, 130.0, 960.0, 71.7e9, 0.33, 23.4e-6, 503e6, 0.085, 0.80);
+}
+
+SolidMaterial copper() {
+  return iso("Cu C11000", 8960.0, 390.0, 385.0, 117e9, 0.34, 17.0e-6, 70e6, 0.12, 0.15);
+}
+
+SolidMaterial steel_304() {
+  return iso("Steel 304", 8000.0, 16.2, 500.0, 193e9, 0.29, 17.3e-6, 215e6, 0.09, 0.35);
+}
+
+SolidMaterial titanium_6al4v() {
+  return iso("Ti-6Al-4V", 4430.0, 6.7, 526.0, 114e9, 0.34, 8.6e-6, 880e6, 0.08, 0.30);
+}
+
+SolidMaterial kovar() {
+  return iso("Kovar", 8360.0, 17.0, 460.0, 138e9, 0.30, 5.9e-6, 345e6, 0.09, 0.25);
+}
+
+SolidMaterial fr4() {
+  SolidMaterial m = iso("FR4 laminate", 1850.0, 0.8, 1100.0, 18.6e9, 0.14, 14.0e-6, 310e6,
+                        0.11, 0.90);
+  m.conductivity = 0.8;           // in-plane (glass weave)
+  m.conductivity_through = 0.30;  // through thickness (resin-dominated)
+  return m;
+}
+
+SolidMaterial silicon() {
+  return iso("Silicon", 2330.0, 148.0, 700.0, 130e9, 0.28, 2.6e-6, 120e6, 0.05, 0.70);
+}
+
+SolidMaterial alumina_96() {
+  return iso("Alumina 96%", 3800.0, 24.0, 880.0, 310e9, 0.22, 7.1e-6, 250e6, 0.05, 0.80);
+}
+
+SolidMaterial solder_sac305() {
+  return iso("SAC305 solder", 7400.0, 58.0, 220.0, 51e9, 0.36, 21.7e-6, 32e6, 0.10, 0.20);
+}
+
+SolidMaterial carbon_composite() {
+  // Quasi-isotropic CFRP layup as used for the alternative COSEE seat frame.
+  SolidMaterial m = iso("CFRP quasi-iso", 1600.0, 5.0, 1050.0, 60e9, 0.30, 2.5e-6, 600e6,
+                        0.07, 0.85);
+  m.conductivity = 5.0;
+  m.conductivity_through = 0.8;
+  return m;
+}
+
+double PcbStackup::copper_fraction() const {
+  if (board_thickness <= 0.0 || copper_layers < 0 || copper_layer_thickness < 0.0 ||
+      copper_coverage < 0.0 || copper_coverage > 1.0)
+    throw std::invalid_argument("PcbStackup: invalid geometry");
+  const double t_cu = copper_layers * copper_layer_thickness * copper_coverage;
+  if (t_cu >= board_thickness)
+    throw std::invalid_argument("PcbStackup: copper exceeds board thickness");
+  return t_cu / board_thickness;
+}
+
+double PcbStackup::conductivity_in_plane() const {
+  const double f = copper_fraction();
+  return f * materials::copper().conductivity + (1.0 - f) * fr4().conductivity;
+}
+
+double PcbStackup::conductivity_through() const {
+  const double f = copper_fraction();
+  // Series stack: resistances add through the thickness.
+  return 1.0 / (f / materials::copper().conductivity + (1.0 - f) / fr4().conductivity_through);
+}
+
+double PcbStackup::density() const {
+  const double f = copper_fraction();
+  return f * materials::copper().density + (1.0 - f) * fr4().density;
+}
+
+double PcbStackup::specific_heat() const {
+  const double f = copper_fraction();
+  const double rho_cu = materials::copper().density;
+  const double rho_fr4 = fr4().density;
+  const double mf_cu = f * rho_cu / (f * rho_cu + (1.0 - f) * rho_fr4);
+  return mf_cu * materials::copper().specific_heat + (1.0 - mf_cu) * fr4().specific_heat;
+}
+
+SolidMaterial PcbStackup::as_material() const {
+  SolidMaterial m = fr4();
+  m.name = "PCB stackup (" + std::to_string(copper_layers) + " Cu layers)";
+  m.density = density();
+  m.specific_heat = specific_heat();
+  m.conductivity = conductivity_in_plane();
+  m.conductivity_through = conductivity_through();
+  return m;
+}
+
+}  // namespace aeropack::materials

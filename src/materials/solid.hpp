@@ -1,0 +1,74 @@
+// Solid material catalogue for avionics packaging: structural alloys, PCB
+// laminates, die/substrate ceramics and the carbon-composite seat structure
+// discussed in the paper's COSEE section.
+//
+// Values are room-temperature engineering data from standard handbooks; the
+// toolkit treats them as constants over the avionics range (-55..125 C),
+// which is the approximation the paper's design levels 1-2 use as well.
+#pragma once
+
+#include <string>
+
+namespace aeropack::materials {
+
+/// Isotropic (or transversely isotropic, for laminates) solid properties.
+struct SolidMaterial {
+  std::string name;
+  double density = 0.0;              ///< [kg/m^3]
+  double conductivity = 0.0;         ///< in-plane thermal conductivity [W/m K]
+  double conductivity_through = 0.0; ///< through-thickness [W/m K] (== conductivity if isotropic)
+  double specific_heat = 0.0;        ///< [J/kg K]
+  double youngs_modulus = 0.0;       ///< [Pa]
+  double poisson_ratio = 0.0;        ///< [-]
+  double cte = 0.0;                  ///< coefficient of thermal expansion [1/K]
+  double yield_strength = 0.0;       ///< [Pa] (0.2% offset or laminate allowable)
+  double fatigue_exponent = 0.0;     ///< Basquin exponent b in S = S_f (2N)^-b
+  double emissivity = 0.0;           ///< surface emissivity as typically finished
+
+  bool isotropic() const { return conductivity == conductivity_through; }
+  /// Thermal diffusivity alpha = k / (rho cp), in-plane. [m^2/s]
+  double diffusivity() const { return conductivity / (density * specific_heat); }
+};
+
+// Structural / thermal metals.
+SolidMaterial aluminum_6061();
+SolidMaterial aluminum_7075();
+SolidMaterial copper();
+SolidMaterial steel_304();
+SolidMaterial titanium_6al4v();
+SolidMaterial kovar();
+
+// Electronics stack.
+SolidMaterial fr4();          ///< bare laminate (no copper), transversely isotropic
+SolidMaterial silicon();
+SolidMaterial alumina_96();
+SolidMaterial solder_sac305();
+
+// COSEE seat structure option (paper: "rather poor thermal conductivity").
+SolidMaterial carbon_composite();
+
+/// Effective in-plane / through-thickness conductivity of a PCB built from
+/// FR4 with `copper_layers` copper planes of `copper_layer_thickness` each in
+/// a board of total thickness `board_thickness` (parallel/series mixing rule;
+/// this is the "copper layers" optimization lever of the paper's Level-2
+/// design stage).
+struct PcbStackup {
+  double board_thickness = 1.6e-3;         ///< [m]
+  int copper_layers = 4;
+  double copper_layer_thickness = 35e-6;   ///< [m] (35 um = 1 oz)
+  double copper_coverage = 0.7;            ///< fraction of each plane actually copper
+
+  /// Copper volume fraction of the board.
+  double copper_fraction() const;
+  /// In-plane (parallel) effective conductivity. [W/m K]
+  double conductivity_in_plane() const;
+  /// Through-thickness (series) effective conductivity. [W/m K]
+  double conductivity_through() const;
+  /// Effective density and specific heat (mass-weighted). [kg/m^3], [J/kg K]
+  double density() const;
+  double specific_heat() const;
+  /// The stackup rendered as a transversely isotropic SolidMaterial.
+  SolidMaterial as_material() const;
+};
+
+}  // namespace aeropack::materials

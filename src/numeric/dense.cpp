@@ -1,0 +1,190 @@
+#include "numeric/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace aeropack::numeric {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("Matrix: zero dimension");
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  if (rows_ == 0) throw std::invalid_argument("Matrix: empty initializer");
+  cols_ = rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(i, j);
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+double Matrix::asymmetry() const {
+  if (!square()) throw std::logic_error("Matrix::asymmetry: not square");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j)
+      worst = std::max(worst, std::fabs((*this)(i, j) - (*this)(j, i)));
+  return worst;
+}
+
+void Matrix::symmetrize() {
+  if (!square()) throw std::logic_error("Matrix::symmetrize: not square");
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      const double avg = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = avg;
+      (*this)(j, i) = avg;
+    }
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("Matrix*: shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("Matrix*Vector: shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) os << m(i, j) << (j + 1 < m.cols() ? ' ' : '\n');
+  }
+  return os;
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) {
+  if (lhs.size() != rhs.size()) throw std::invalid_argument("Vector+: size mismatch");
+  for (std::size_t i = 0; i < lhs.size(); ++i) lhs[i] += rhs[i];
+  return lhs;
+}
+
+Vector operator-(Vector lhs, const Vector& rhs) {
+  if (lhs.size() != rhs.size()) throw std::invalid_argument("Vector-: size mismatch");
+  for (std::size_t i = 0; i < lhs.size(); ++i) lhs[i] -= rhs[i];
+  return lhs;
+}
+
+Vector operator*(double s, Vector v) {
+  for (double& x : v) x *= s;
+  return v;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double worst = 0.0;
+  for (double x : v) worst = std::max(worst, std::fabs(x));
+  return worst;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double max_element(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("max_element: empty");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double min_element(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("min_element: empty");
+  return *std::min_element(v.begin(), v.end());
+}
+
+Vector linspace(double a, double b, std::size_t n) {
+  if (n < 2) throw std::invalid_argument("linspace: n must be >= 2");
+  Vector v(n);
+  const double step = (b - a) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = a + step * static_cast<double>(i);
+  v.back() = b;
+  return v;
+}
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,131 @@
+#include "numeric/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "numeric/solve_dense.hpp"
+
+namespace aeropack::numeric {
+
+EigenResult eigen_symmetric(const Matrix& a, double symmetry_tol) {
+  if (!a.square()) throw std::invalid_argument("eigen_symmetric: matrix must be square");
+  const double scale = std::max(a.norm(), 1.0);
+  if (a.asymmetry() > symmetry_tol * scale)
+    throw std::invalid_argument("eigen_symmetric: matrix not symmetric");
+
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  d.symmetrize();
+  Matrix v = Matrix::identity(n);
+
+  constexpr std::size_t kMaxSweeps = 100;
+  std::size_t sweep = 0;
+  for (; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    if (std::sqrt(off) <= 1e-14 * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p,q,theta) on both sides of D and accumulate V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+
+  EigenResult res;
+  res.sweeps = sweep;
+  res.eigenvalues.resize(n);
+  res.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    res.eigenvalues[j] = d(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) res.eigenvectors(i, j) = v(i, order[j]);
+  }
+  return res;
+}
+
+EigenResult eigen_generalized(const Matrix& k, const Matrix& m) {
+  if (!k.square() || !m.square() || k.rows() != m.rows())
+    throw std::invalid_argument("eigen_generalized: shape mismatch");
+  const std::size_t n = k.rows();
+  const CholeskyFactorization chol(m);
+
+  // A = L^-1 K L^-T, built column by column.
+  Matrix a(n, n);
+  Vector col(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) col[i] = k(i, j);
+    const Vector y = chol.solve_lower(col);
+    for (std::size_t i = 0; i < n; ++i) a(i, j) = y[i];
+  }
+  // Now apply L^-1 from the right: A <- A L^-T, i.e. rows solved against L.
+  Vector row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row[j] = a(i, j);
+    const Vector y = chol.solve_lower(row);  // (L^-T applied right == L^-1 on the row)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = y[j];
+  }
+  a.symmetrize();
+
+  EigenResult std_res = eigen_symmetric(a, 1e-6);
+
+  // Back-transform eigenvectors: phi = L^-T y; they come out M-orthonormal.
+  EigenResult res;
+  res.sweeps = std_res.sweeps;
+  res.eigenvalues = std_res.eigenvalues;
+  res.eigenvectors = Matrix(n, n);
+  Vector y(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = std_res.eigenvectors(i, j);
+    const Vector phi = chol.solve_lower_transposed(y);
+    for (std::size_t i = 0; i < n; ++i) res.eigenvectors(i, j) = phi[i];
+  }
+  return res;
+}
+
+Vector natural_frequencies_hz(const EigenResult& modes) {
+  Vector f(modes.eigenvalues.size());
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const double lam = std::max(modes.eigenvalues[i], 0.0);
+    f[i] = std::sqrt(lam) / (2.0 * std::numbers::pi);
+  }
+  return f;
+}
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,34 @@
+// Symmetric and generalized symmetric-definite eigensolvers.
+//
+// Modal analysis in the FEM module solves K phi = lambda M phi with K
+// symmetric positive semi-definite and M symmetric positive definite.
+// We reduce to a standard symmetric problem via the Cholesky factor of M
+// and diagonalize with the cyclic Jacobi method (robust, adequate for the
+// dense reduced problems this toolkit produces).
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+struct EigenResult {
+  Vector eigenvalues;   ///< ascending order
+  Matrix eigenvectors;  ///< column j pairs with eigenvalues[j]
+  std::size_t sweeps = 0;
+};
+
+/// Cyclic Jacobi diagonalization of a symmetric matrix.
+/// Throws std::invalid_argument if `a` is not square or not symmetric to tol.
+EigenResult eigen_symmetric(const Matrix& a, double symmetry_tol = 1e-8);
+
+/// Generalized problem K x = lambda M x, K symmetric, M symmetric positive
+/// definite. Eigenvectors are M-orthonormal: X^T M X = I.
+EigenResult eigen_generalized(const Matrix& k, const Matrix& m);
+
+/// Natural frequencies [Hz] from a generalized stiffness/mass eigensolution.
+/// Negative eigenvalues (numerical noise on rigid-body modes) clamp to 0.
+Vector natural_frequencies_hz(const EigenResult& modes);
+
+}  // namespace aeropack::numeric

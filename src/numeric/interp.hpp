@@ -1,0 +1,69 @@
+// 1-D interpolation tables: linear, log-log (for vibration PSD curves per
+// DO-160, which are straight lines on log-log axes), and monotone natural
+// cubic splines (for fluid property fits).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+/// Piecewise-linear table y(x); x must be strictly increasing.
+class LinearTable {
+ public:
+  LinearTable() = default;
+  LinearTable(Vector x, Vector y);
+
+  /// Interpolate; clamps to end values outside the range.
+  double operator()(double x) const;
+  /// Interpolate with linear extrapolation outside the range.
+  double extrapolate(double x) const;
+  double x_min() const { return x_.front(); }
+  double x_max() const { return x_.back(); }
+  std::size_t size() const { return x_.size(); }
+
+  /// Trapezoidal integral of the table over its full range.
+  double integral() const;
+
+ private:
+  std::size_t segment(double x) const;
+  Vector x_, y_;
+};
+
+/// Table that is piecewise-linear in (log10 x, log10 y) space — the standard
+/// representation of random-vibration acceleration spectral density curves.
+/// x and y must be strictly positive, x strictly increasing.
+class LogLogTable {
+ public:
+  LogLogTable() = default;
+  LogLogTable(Vector x, Vector y);
+
+  double operator()(double x) const;
+  double x_min() const;
+  double x_max() const;
+
+  /// Exact integral of y dx over [a, b] using the power-law form of each
+  /// segment (y = c x^m). Used for RMS of PSD curves.
+  double integral(double a, double b) const;
+  double integral() const { return integral(x_min(), x_max()); }
+
+ private:
+  LinearTable log_table_;
+};
+
+/// Natural cubic spline with clamped (constant) extrapolation.
+class CubicSpline {
+ public:
+  CubicSpline() = default;
+  CubicSpline(Vector x, Vector y);
+
+  double operator()(double x) const;
+  double derivative(double x) const;
+
+ private:
+  Vector x_, y_, m_;  // m_: second derivatives at knots
+};
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,177 @@
+#include "numeric/ode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/solve_dense.hpp"
+
+namespace aeropack::numeric {
+
+OdeTrace rk4(const OdeRhs& f, const Vector& y0, double t0, double t1, std::size_t n_steps) {
+  if (n_steps == 0) throw std::invalid_argument("rk4: n_steps must be > 0");
+  if (t1 <= t0) throw std::invalid_argument("rk4: t1 must exceed t0");
+  const double h = (t1 - t0) / static_cast<double>(n_steps);
+  OdeTrace trace;
+  trace.times.reserve(n_steps + 1);
+  trace.states.reserve(n_steps + 1);
+  Vector y = y0;
+  double t = t0;
+  trace.times.push_back(t);
+  trace.states.push_back(y);
+  for (std::size_t s = 0; s < n_steps; ++s) {
+    const Vector k1 = f(t, y);
+    Vector tmp = y;
+    axpy(0.5 * h, k1, tmp);
+    const Vector k2 = f(t + 0.5 * h, tmp);
+    tmp = y;
+    axpy(0.5 * h, k2, tmp);
+    const Vector k3 = f(t + 0.5 * h, tmp);
+    tmp = y;
+    axpy(h, k3, tmp);
+    const Vector k4 = f(t + h, tmp);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    t = t0 + h * static_cast<double>(s + 1);
+    trace.times.push_back(t);
+    trace.states.push_back(y);
+  }
+  return trace;
+}
+
+OdeTrace rk45(const OdeRhs& f, const Vector& y0, double t0, double t1, const Rk45Options& opts) {
+  if (t1 <= t0) throw std::invalid_argument("rk45: t1 must exceed t0");
+  // Cash-Karp coefficients.
+  static constexpr double a2 = 0.2, a3 = 0.3, a4 = 0.6, a5 = 1.0, a6 = 0.875;
+  static constexpr double b21 = 0.2;
+  static constexpr double b31 = 3.0 / 40.0, b32 = 9.0 / 40.0;
+  static constexpr double b41 = 0.3, b42 = -0.9, b43 = 1.2;
+  static constexpr double b51 = -11.0 / 54.0, b52 = 2.5, b53 = -70.0 / 27.0, b54 = 35.0 / 27.0;
+  static constexpr double b61 = 1631.0 / 55296.0, b62 = 175.0 / 512.0, b63 = 575.0 / 13824.0,
+                          b64 = 44275.0 / 110592.0, b65 = 253.0 / 4096.0;
+  static constexpr double c1 = 37.0 / 378.0, c3 = 250.0 / 621.0, c4 = 125.0 / 594.0,
+                          c6 = 512.0 / 1771.0;
+  static constexpr double d1 = c1 - 2825.0 / 27648.0, d3 = c3 - 18575.0 / 48384.0,
+                          d4 = c4 - 13525.0 / 55296.0, d5 = -277.0 / 14336.0,
+                          d6 = c6 - 0.25;
+
+  OdeTrace trace;
+  Vector y = y0;
+  double t = t0;
+  double h = opts.initial_step;
+  trace.times.push_back(t);
+  trace.states.push_back(y);
+  const std::size_t n = y.size();
+
+  for (std::size_t step = 0; step < opts.max_steps; ++step) {
+    if (t >= t1) return trace;
+    h = std::min(h, t1 - t);
+
+    const Vector k1 = f(t, y);
+    Vector tmp(n);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * b21 * k1[i];
+    const Vector k2 = f(t + a2 * h, tmp);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h * (b31 * k1[i] + b32 * k2[i]);
+    const Vector k3 = f(t + a3 * h, tmp);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = y[i] + h * (b41 * k1[i] + b42 * k2[i] + b43 * k3[i]);
+    const Vector k4 = f(t + a4 * h, tmp);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = y[i] + h * (b51 * k1[i] + b52 * k2[i] + b53 * k3[i] + b54 * k4[i]);
+    const Vector k5 = f(t + a5 * h, tmp);
+    for (std::size_t i = 0; i < n; ++i)
+      tmp[i] = y[i] + h * (b61 * k1[i] + b62 * k2[i] + b63 * k3[i] + b64 * k4[i] + b65 * k5[i]);
+    const Vector k6 = f(t + a6 * h, tmp);
+
+    double err = 0.0;
+    Vector ynew(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ynew[i] = y[i] + h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c6 * k6[i]);
+      const double ei =
+          h * (d1 * k1[i] + d3 * k3[i] + d4 * k4[i] + d5 * k5[i] + d6 * k6[i]);
+      const double scale = opts.abs_tol + opts.rel_tol * std::max(std::fabs(y[i]), std::fabs(ynew[i]));
+      err = std::max(err, std::fabs(ei) / scale);
+    }
+
+    if (err <= 1.0) {
+      t += h;
+      y = std::move(ynew);
+      trace.times.push_back(t);
+      trace.states.push_back(y);
+      const double grow = (err > 0.0) ? 0.9 * std::pow(err, -0.2) : 5.0;
+      h *= std::clamp(grow, 0.2, 5.0);
+    } else {
+      h *= std::clamp(0.9 * std::pow(err, -0.25), 0.1, 0.9);
+      if (h < opts.min_step) throw std::runtime_error("rk45: step size underflow");
+    }
+  }
+  throw std::runtime_error("rk45: max step budget exhausted");
+}
+
+NewmarkTrace newmark(const Matrix& m, const Matrix& c, const Matrix& k,
+                     const std::function<Vector(double)>& force, const Vector& x0,
+                     const Vector& v0, double t0, double t1, std::size_t n_steps,
+                     const NewmarkOptions& opts) {
+  const std::size_t n = x0.size();
+  if (!m.square() || m.rows() != n || c.rows() != n || k.rows() != n || v0.size() != n)
+    throw std::invalid_argument("newmark: shape mismatch");
+  if (n_steps == 0 || t1 <= t0) throw std::invalid_argument("newmark: invalid time span");
+  const double dt = (t1 - t0) / static_cast<double>(n_steps);
+  const double beta = opts.beta;
+  const double gamma = opts.gamma;
+
+  // Initial acceleration from the equation of motion.
+  Vector f0 = force(t0);
+  Vector rhs0 = f0 - (c * v0) - (k * x0);
+  LuFactorization mlu(m);
+  Vector a = mlu.solve(rhs0);
+
+  // Effective stiffness (constant for linear problems).
+  Matrix keff = k;
+  {
+    Matrix tmp = m;
+    tmp *= 1.0 / (beta * dt * dt);
+    keff += tmp;
+    Matrix tmpc = c;
+    tmpc *= gamma / (beta * dt);
+    keff += tmpc;
+  }
+  LuFactorization klu(keff);
+
+  NewmarkTrace trace;
+  trace.times.push_back(t0);
+  trace.displacement.push_back(x0);
+  trace.velocity.push_back(v0);
+  trace.acceleration.push_back(a);
+
+  Vector x = x0, v = v0;
+  for (std::size_t s = 1; s <= n_steps; ++s) {
+    const double t = t0 + dt * static_cast<double>(s);
+    const Vector ft = force(t);
+    // Predictors.
+    Vector xm(n), vm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xm[i] = x[i] / (beta * dt * dt) + v[i] / (beta * dt) + (0.5 / beta - 1.0) * a[i];
+      vm[i] = gamma / (beta * dt) * x[i] + (gamma / beta - 1.0) * v[i] +
+              dt * (gamma / (2.0 * beta) - 1.0) * a[i];
+    }
+    Vector rhs = ft + (m * xm) + (c * vm);
+    Vector xnew = klu.solve(rhs);
+    Vector anew(n), vnew(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      anew[i] = (xnew[i] - x[i]) / (beta * dt * dt) - v[i] / (beta * dt) -
+                (0.5 / beta - 1.0) * a[i];
+      vnew[i] = v[i] + dt * ((1.0 - gamma) * a[i] + gamma * anew[i]);
+    }
+    x = std::move(xnew);
+    v = std::move(vnew);
+    a = std::move(anew);
+    trace.times.push_back(t);
+    trace.displacement.push_back(x);
+    trace.velocity.push_back(v);
+    trace.acceleration.push_back(a);
+  }
+  return trace;
+}
+
+}  // namespace aeropack::numeric

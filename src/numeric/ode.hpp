@@ -1,0 +1,56 @@
+// Time integrators: explicit RK4, adaptive RK45 (Cash-Karp), and the
+// Newmark-beta scheme for second-order structural dynamics M x'' + C x' + K x = f(t).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+/// dy/dt = f(t, y)
+using OdeRhs = std::function<Vector(double, const Vector&)>;
+
+struct OdeTrace {
+  Vector times;
+  std::vector<Vector> states;
+};
+
+/// Classic fixed-step RK4 from t0 to t1 with n_steps steps.
+OdeTrace rk4(const OdeRhs& f, const Vector& y0, double t0, double t1, std::size_t n_steps);
+
+struct Rk45Options {
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-6;
+  double initial_step = 1e-3;
+  double min_step = 1e-12;
+  std::size_t max_steps = 1000000;
+};
+
+/// Adaptive Cash-Karp RK45. Throws std::runtime_error if the step size
+/// underflows or the step budget is exhausted.
+OdeTrace rk45(const OdeRhs& f, const Vector& y0, double t0, double t1,
+              const Rk45Options& opts = {});
+
+/// Newmark-beta (average acceleration: beta=1/4, gamma=1/2 by default;
+/// unconditionally stable for linear problems) for
+///   M a + C v + K x = f(t)
+struct NewmarkOptions {
+  double beta = 0.25;
+  double gamma = 0.5;
+};
+
+struct NewmarkTrace {
+  Vector times;
+  std::vector<Vector> displacement;
+  std::vector<Vector> velocity;
+  std::vector<Vector> acceleration;
+};
+
+NewmarkTrace newmark(const Matrix& m, const Matrix& c, const Matrix& k,
+                     const std::function<Vector(double)>& force, const Vector& x0,
+                     const Vector& v0, double t0, double t1, std::size_t n_steps,
+                     const NewmarkOptions& opts = {});
+
+}  // namespace aeropack::numeric

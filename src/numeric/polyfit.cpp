@@ -1,0 +1,72 @@
+#include "numeric/polyfit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/solve_dense.hpp"
+#include "numeric/stats.hpp"
+
+namespace aeropack::numeric {
+
+double PolyFit::operator()(double x) const {
+  const double t = x - x_offset;
+  double acc = 0.0;
+  for (std::size_t i = coefficients.size(); i-- > 0;) acc = acc * t + coefficients[i];
+  return acc;
+}
+
+double PolyFit::derivative(double x) const {
+  const double t = x - x_offset;
+  double acc = 0.0;
+  for (std::size_t i = coefficients.size(); i-- > 1;)
+    acc = acc * t + static_cast<double>(i) * coefficients[i];
+  return acc;
+}
+
+PolyFit polyfit(const Vector& x, const Vector& y, std::size_t degree) {
+  if (x.size() != y.size()) throw std::invalid_argument("polyfit: size mismatch");
+  if (x.size() <= degree) throw std::invalid_argument("polyfit: not enough points");
+
+  PolyFit fit;
+  fit.x_offset = mean(x);
+  const std::size_t n = x.size();
+  const std::size_t m = degree + 1;
+
+  // Normal equations on the centered Vandermonde system.
+  Matrix ata(m, m);
+  Vector aty(m, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double t = x[s] - fit.x_offset;
+    Vector row(m);
+    double p = 1.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      row[j] = p;
+      p *= t;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      aty[i] += row[i] * y[s];
+      for (std::size_t j = 0; j < m; ++j) ata(i, j) += row[i] * row[j];
+    }
+  }
+  fit.coefficients = solve(ata, aty);
+
+  // Residual statistics.
+  double ss_res = 0.0, ss_tot = 0.0;
+  const double y_mean = mean(y);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double e = y[s] - fit(x[s]);
+    ss_res += e * e;
+    ss_tot += (y[s] - y_mean) * (y[s] - y_mean);
+  }
+  fit.rms_residual = std::sqrt(ss_res / static_cast<double>(n));
+  fit.r_squared = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+void linear_fit(const Vector& x, const Vector& y, double& slope, double& intercept) {
+  const PolyFit fit = polyfit(x, y, 1);
+  slope = fit.coefficients[1];
+  intercept = fit.coefficients[0] - fit.coefficients[1] * fit.x_offset;
+}
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,34 @@
+// Least-squares fitting: polynomial and general linear models via normal
+// equations (the data sizes here are instrument-scale, conditioning is
+// handled by centering). Used for calibration-style post-processing — the
+// ASTM D5470 line fit is the degree-1 special case.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+struct PolyFit {
+  Vector coefficients;  ///< c[0] + c[1] (x - x0) + c[2] (x - x0)^2 + ...
+  double x_offset = 0.0;  ///< centering offset x0 (mean of the data)
+  double rms_residual = 0.0;
+  double r_squared = 0.0;
+
+  /// Evaluate the fitted polynomial at x.
+  double operator()(double x) const;
+  /// Derivative of the fit at x.
+  double derivative(double x) const;
+};
+
+/// Fit a degree-`degree` polynomial to (x, y) by least squares. Data are
+/// centered about mean(x) before solving for conditioning. Requires
+/// x.size() == y.size() > degree.
+PolyFit polyfit(const Vector& x, const Vector& y, std::size_t degree);
+
+/// Straight-line helper returning (slope, intercept) in the *uncentered*
+/// frame: y = slope x + intercept.
+void linear_fit(const Vector& x, const Vector& y, double& slope, double& intercept);
+
+}  // namespace aeropack::numeric

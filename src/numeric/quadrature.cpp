@@ -1,0 +1,79 @@
+#include "numeric/quadrature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::numeric {
+
+std::vector<QuadraturePoint> gauss_legendre(std::size_t n) {
+  switch (n) {
+    case 1:
+      return {{0.0, 2.0}};
+    case 2:
+      return {{-0.5773502691896257, 1.0}, {0.5773502691896257, 1.0}};
+    case 3:
+      return {{-0.7745966692414834, 5.0 / 9.0},
+              {0.0, 8.0 / 9.0},
+              {0.7745966692414834, 5.0 / 9.0}};
+    case 4:
+      return {{-0.8611363115940526, 0.3478548451374538},
+              {-0.3399810435848563, 0.6521451548625461},
+              {0.3399810435848563, 0.6521451548625461},
+              {0.8611363115940526, 0.3478548451374538}};
+    case 5:
+      return {{-0.9061798459386640, 0.2369268850561891},
+              {-0.5384693101056831, 0.4786286704993665},
+              {0.0, 0.5688888888888889},
+              {0.5384693101056831, 0.4786286704993665},
+              {0.9061798459386640, 0.2369268850561891}};
+    case 6:
+      return {{-0.9324695142031521, 0.1713244923791704},
+              {-0.6612093864662645, 0.3607615730481386},
+              {-0.2386191860831969, 0.4679139345726910},
+              {0.2386191860831969, 0.4679139345726910},
+              {0.6612093864662645, 0.3607615730481386},
+              {0.9324695142031521, 0.1713244923791704}};
+    case 7:
+      return {{-0.9491079123427585, 0.1294849661688697},
+              {-0.7415311855993945, 0.2797053914892766},
+              {-0.4058451513773972, 0.3818300505051189},
+              {0.0, 0.4179591836734694},
+              {0.4058451513773972, 0.3818300505051189},
+              {0.7415311855993945, 0.2797053914892766},
+              {0.9491079123427585, 0.1294849661688697}};
+    case 8:
+      return {{-0.9602898564975363, 0.1012285362903763},
+              {-0.7966664774136267, 0.2223810344533745},
+              {-0.5255324099163290, 0.3137066458778873},
+              {-0.1834346424956498, 0.3626837833783620},
+              {0.1834346424956498, 0.3626837833783620},
+              {0.5255324099163290, 0.3137066458778873},
+              {0.7966664774136267, 0.2223810344533745},
+              {0.9602898564975363, 0.1012285362903763}};
+    default:
+      throw std::invalid_argument("gauss_legendre: n must be in [1, 8]");
+  }
+}
+
+double integrate_gauss(const std::function<double(double)>& f, double a, double b,
+                       std::size_t n) {
+  const auto pts = gauss_legendre(n);
+  const double half = 0.5 * (b - a);
+  const double mid = 0.5 * (a + b);
+  double acc = 0.0;
+  for (const auto& p : pts) acc += p.weight * f(mid + half * p.x);
+  return acc * half;
+}
+
+double integrate_simpson(const std::function<double(double)>& f, double a, double b,
+                         std::size_t panels) {
+  if (panels < 2 || panels % 2 != 0)
+    throw std::invalid_argument("integrate_simpson: panels must be even and >= 2");
+  const double h = (b - a) / static_cast<double>(panels);
+  double acc = f(a) + f(b);
+  for (std::size_t i = 1; i < panels; ++i)
+    acc += f(a + h * static_cast<double>(i)) * ((i % 2 == 1) ? 4.0 : 2.0);
+  return acc * h / 3.0;
+}
+
+}  // namespace aeropack::numeric

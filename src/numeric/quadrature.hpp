@@ -1,0 +1,28 @@
+// Gauss-Legendre quadrature (used by the plate finite element) and simple
+// composite rules.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace aeropack::numeric {
+
+struct QuadraturePoint {
+  double x;       ///< abscissa on [-1, 1]
+  double weight;
+};
+
+/// Gauss-Legendre points for n in [1, 8]. Throws std::invalid_argument
+/// outside that range.
+std::vector<QuadraturePoint> gauss_legendre(std::size_t n);
+
+/// Integrate f over [a, b] with an n-point Gauss rule.
+double integrate_gauss(const std::function<double(double)>& f, double a, double b,
+                       std::size_t n = 5);
+
+/// Composite Simpson with `panels` panels (must be even and >= 2).
+double integrate_simpson(const std::function<double(double)>& f, double a, double b,
+                         std::size_t panels = 128);
+
+}  // namespace aeropack::numeric

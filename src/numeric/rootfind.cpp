@@ -1,0 +1,123 @@
+#include "numeric/rootfind.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::numeric {
+
+double brent(const std::function<double(double)>& f, double a, double b,
+             const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (fa * fb > 0.0) throw std::invalid_argument("brent: interval does not bracket a root");
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol1 = 2.0 * 1e-16 * std::fabs(b) + 0.5 * opts.tolerance;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0) return b;
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    if (std::fabs(d) > tol1)
+      b += d;
+    else
+      b += (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  throw std::runtime_error("brent: failed to converge");
+}
+
+double bisect(const std::function<double(double)>& f, double a, double b,
+              const RootOptions& opts) {
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  if (fa * fb > 0.0) throw std::invalid_argument("bisect: interval does not bracket a root");
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const double m = 0.5 * (a + b);
+    const double fm = f(m);
+    if (fm == 0.0 || 0.5 * (b - a) < opts.tolerance) return m;
+    if ((fm > 0.0) == (fa > 0.0)) {
+      a = m;
+      fa = fm;
+    } else {
+      b = m;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double fixed_point(const std::function<double(double)>& g, double x0, double relaxation,
+                   const RootOptions& opts) {
+  if (relaxation <= 0.0 || relaxation > 1.0)
+    throw std::invalid_argument("fixed_point: relaxation must be in (0, 1]");
+  double x = x0;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const double xn = (1.0 - relaxation) * x + relaxation * g(x);
+    if (std::fabs(xn - x) < opts.tolerance * (1.0 + std::fabs(xn))) return xn;
+    x = xn;
+  }
+  throw std::runtime_error("fixed_point: failed to converge");
+}
+
+double brent_auto_bracket(const std::function<double(double)>& f, double lo, double hi,
+                          double hi_limit, const RootOptions& opts) {
+  double fl = f(lo);
+  double fh = f(hi);
+  std::size_t guard = 0;
+  while (fl * fh > 0.0) {
+    hi = lo + (hi - lo) * 2.0;
+    if (hi > hi_limit || ++guard > 60)
+      throw std::runtime_error("brent_auto_bracket: no bracket found");
+    fh = f(hi);
+  }
+  return brent(f, lo, hi, opts);
+}
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,35 @@
+// Scalar root-finding and fixed-point iteration used by the nonlinear
+// thermal / two-phase network solvers (natural-convection film coefficients
+// depend on the unknown surface temperature).
+#pragma once
+
+#include <functional>
+
+namespace aeropack::numeric {
+
+struct RootOptions {
+  double tolerance = 1e-10;  ///< |f| or bracket-width target
+  std::size_t max_iterations = 200;
+};
+
+/// Brent's method on a bracketing interval [a, b] with f(a) f(b) <= 0.
+/// Throws std::invalid_argument if the interval does not bracket a root,
+/// std::runtime_error if it fails to converge.
+double brent(const std::function<double(double)>& f, double a, double b,
+             const RootOptions& opts = {});
+
+/// Bisection (kept for pedagogy/tests; Brent is preferred).
+double bisect(const std::function<double(double)>& f, double a, double b,
+              const RootOptions& opts = {});
+
+/// Damped fixed-point iteration x <- (1-w) x + w g(x). Returns the fixed
+/// point; throws std::runtime_error on non-convergence.
+double fixed_point(const std::function<double(double)>& g, double x0, double relaxation = 0.5,
+                   const RootOptions& opts = {});
+
+/// Expand an initial guess interval geometrically until it brackets a root of
+/// f, then solve with Brent. `hi_limit` caps the expansion.
+double brent_auto_bracket(const std::function<double(double)>& f, double lo, double hi,
+                          double hi_limit, const RootOptions& opts = {});
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,178 @@
+#include "numeric/solve_dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::numeric {
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  if (!lu_.square()) throw std::invalid_argument("LU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t piv = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0) {
+      singular_ = true;
+      continue;
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  if (singular_) throw std::domain_error("LU::solve: singular matrix");
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LU::solve: size mismatch");
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution with unit lower triangle.
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Backward substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuFactorization::solve(const Matrix& b) const {
+  if (b.rows() != lu_.rows()) throw std::invalid_argument("LU::solve: shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const Vector sol = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  if (singular_) return 0.0;
+  double det = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+CholeskyFactorization::CholeskyFactorization(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (acc <= 0.0) throw std::domain_error("Cholesky: matrix not positive definite");
+        l_(i, i) = std::sqrt(acc);
+      } else {
+        l_(i, j) = acc / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector CholeskyFactorization::solve_lower(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+Vector CholeskyFactorization::solve_lower_transposed(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky: size mismatch");
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector CholeskyFactorization::solve(const Vector& b) const {
+  return solve_lower_transposed(solve_lower(b));
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return LuFactorization(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return LuFactorization(a).solve(Matrix::identity(a.rows())); }
+
+void solve_complex(const Matrix& ar, const Matrix& ai, const Vector& br, const Vector& bi,
+                   Vector& xr, Vector& xi) {
+  const std::size_t n = ar.rows();
+  if (!ar.square() || !ai.square() || ai.rows() != n || br.size() != n || bi.size() != n)
+    throw std::invalid_argument("solve_complex: shape mismatch");
+  // [ Ar -Ai ] [xr]   [br]
+  // [ Ai  Ar ] [xi] = [bi]
+  Matrix big(2 * n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      big(i, j) = ar(i, j);
+      big(i, n + j) = -ai(i, j);
+      big(n + i, j) = ai(i, j);
+      big(n + i, n + j) = ar(i, j);
+    }
+  Vector rhs(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = br[i];
+    rhs[n + i] = bi[i];
+  }
+  const Vector sol = solve(big, rhs);
+  xr.assign(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(n));
+  xi.assign(sol.begin() + static_cast<std::ptrdiff_t>(n), sol.end());
+}
+
+Vector solve_tridiagonal(const Vector& lower, const Vector& diag, const Vector& upper,
+                         const Vector& rhs) {
+  const std::size_t n = diag.size();
+  if (n == 0 || lower.size() != n - 1 || upper.size() != n - 1 || rhs.size() != n)
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+  Vector c(n - 1), d(n);
+  double beta = diag[0];
+  if (beta == 0.0) throw std::domain_error("solve_tridiagonal: zero pivot");
+  d[0] = rhs[0] / beta;
+  for (std::size_t i = 1; i < n; ++i) {
+    c[i - 1] = upper[i - 1] / beta;
+    beta = diag[i] - lower[i - 1] * c[i - 1];
+    if (beta == 0.0) throw std::domain_error("solve_tridiagonal: zero pivot");
+    d[i] = (rhs[i] - lower[i - 1] * d[i - 1]) / beta;
+  }
+  for (std::size_t ii = n - 1; ii-- > 0;) d[ii] -= c[ii] * d[ii + 1];
+  return d;
+}
+
+}  // namespace aeropack::numeric

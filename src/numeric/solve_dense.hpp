@@ -1,0 +1,59 @@
+// Direct dense solvers: LU with partial pivoting, Cholesky, inverse.
+#pragma once
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+/// LU factorization with partial pivoting of a square matrix (PA = LU).
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix a);
+
+  /// Solve A x = b for one right-hand side.
+  Vector solve(const Vector& b) const;
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+  /// det(A), from the product of U's diagonal and the permutation sign.
+  double determinant() const;
+  bool singular() const { return singular_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+  bool singular_ = false;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Throws std::domain_error if A is not (numerically) positive definite.
+class CholeskyFactorization {
+ public:
+  explicit CholeskyFactorization(const Matrix& a);
+
+  Vector solve(const Vector& b) const;
+  /// Solve L y = b (forward substitution only).
+  Vector solve_lower(const Vector& b) const;
+  /// Solve L^T y = b (backward substitution only).
+  Vector solve_lower_transposed(const Vector& b) const;
+  const Matrix& lower() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// Solve A x = b via pivoted LU. Throws std::domain_error if A is singular.
+Vector solve(const Matrix& a, const Vector& b);
+/// Matrix inverse via pivoted LU. Throws std::domain_error if A is singular.
+Matrix inverse(const Matrix& a);
+/// Solve a complex system (Ar + i Ai)(xr + i xi) = (br + i bi) by the real
+/// 2n x 2n equivalent. Used for harmonic (frequency-domain) response.
+void solve_complex(const Matrix& ar, const Matrix& ai, const Vector& br, const Vector& bi,
+                   Vector& xr, Vector& xi);
+
+/// Solve a tridiagonal system (Thomas algorithm). `lower` has n-1 entries,
+/// `diag` n, `upper` n-1. Throws std::domain_error on zero pivot.
+Vector solve_tridiagonal(const Vector& lower, const Vector& diag, const Vector& upper,
+                         const Vector& rhs);
+
+}  // namespace aeropack::numeric

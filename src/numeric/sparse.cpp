@@ -1,0 +1,223 @@
+#include "numeric/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aeropack::numeric {
+
+SparseBuilder::SparseBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("SparseBuilder: zero dimension");
+}
+
+void SparseBuilder::add(std::size_t i, std::size_t j, double v) {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("SparseBuilder::add");
+  entries_.push_back({i, j, v});
+}
+
+CsrMatrix SparseBuilder::build() const {
+  std::vector<std::size_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Entry& ea = entries_[a];
+    const Entry& eb = entries_[b];
+    return ea.i != eb.i ? ea.i < eb.i : ea.j < eb.j;
+  });
+
+  std::vector<std::size_t> row_count(rows_, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(entries_.size());
+  values.reserve(entries_.size());
+
+  bool have_last = false;
+  std::size_t last_i = 0, last_j = 0;
+  for (const std::size_t k : order) {
+    const Entry& e = entries_[k];
+    if (have_last && e.i == last_i && e.j == last_j) {
+      values.back() += e.v;  // duplicate entry: accumulate
+    } else {
+      col_idx.push_back(e.j);
+      values.push_back(e.v);
+      ++row_count[e.i];
+      last_i = e.i;
+      last_j = e.j;
+      have_last = true;
+    }
+  }
+  std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+  for (std::size_t r = 0; r < rows_; ++r) row_ptr[r + 1] = row_ptr[r] + row_count[r];
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t> row_ptr,
+                     std::vector<std::size_t> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  if (row_ptr_.size() != rows_ + 1 || col_idx_.size() != values_.size() ||
+      row_ptr_.back() != values_.size())
+    throw std::invalid_argument("CsrMatrix: inconsistent structure");
+}
+
+Vector CsrMatrix::multiply(const Vector& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) acc += values_[k] * x[col_idx_[k]];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(std::min(rows_, cols_), 0.0);
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = at(i, i);
+  return d;
+}
+
+double CsrMatrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range("CsrMatrix::at");
+  const auto first = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+  const auto last = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(first, last, j);
+  if (it == last || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+double CsrMatrix::asymmetry() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      worst = std::max(worst, std::fabs(values_[k] - at(j, i)));
+    }
+  return worst;
+}
+
+Matrix CsrMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) m(i, col_idx_[k]) += values_[k];
+  return m;
+}
+
+namespace {
+
+Vector jacobi_preconditioner(const CsrMatrix& a) {
+  Vector inv_d = a.diagonal();
+  for (double& v : inv_d) v = (v != 0.0) ? 1.0 / v : 1.0;
+  return inv_d;
+}
+
+void hadamard(const Vector& a, const Vector& b, Vector& out) {
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+}
+
+}  // namespace
+
+IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                                   const IterativeOptions& opts) {
+  if (a.rows() != a.cols() || b.size() != a.rows())
+    throw std::invalid_argument("conjugate_gradient: shape mismatch");
+  const std::size_t n = b.size();
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  const Vector inv_d = jacobi_preconditioner(a);
+  Vector r = b;  // r = b - A*0
+  Vector z(n);
+  hadamard(inv_d, r, z);
+  Vector p = z;
+  double rz = dot(r, z);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const Vector ap = a.multiply(p);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    const double alpha = rz / pap;
+    axpy(alpha, p, res.x);
+    axpy(-alpha, ap, r);
+    res.iterations = it + 1;
+    res.residual = norm2(r) / bnorm;
+    if (res.residual < opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    hadamard(inv_d, r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+IterativeResult bicgstab(const CsrMatrix& a, const Vector& b, const IterativeOptions& opts) {
+  if (a.rows() != a.cols() || b.size() != a.rows())
+    throw std::invalid_argument("bicgstab: shape mismatch");
+  const std::size_t n = b.size();
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  const Vector inv_d = jacobi_preconditioner(a);
+  Vector r = b;
+  Vector r0 = r;
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  Vector v(n, 0.0), p(n, 0.0), phat(n), shat(n);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    const double rho_new = dot(r0, r);
+    if (rho_new == 0.0) break;
+    if (it == 0) {
+      p = r;
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    }
+    rho = rho_new;
+    hadamard(inv_d, p, phat);
+    v = a.multiply(phat);
+    const double r0v = dot(r0, v);
+    if (r0v == 0.0) break;
+    alpha = rho / r0v;
+    Vector s = r;
+    axpy(-alpha, v, s);
+    if (norm2(s) / bnorm < opts.tolerance) {
+      axpy(alpha, phat, res.x);
+      res.iterations = it + 1;
+      res.residual = norm2(s) / bnorm;
+      res.converged = true;
+      return res;
+    }
+    hadamard(inv_d, s, shat);
+    const Vector t = a.multiply(shat);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+    axpy(alpha, phat, res.x);
+    axpy(omega, shat, res.x);
+    r = s;
+    axpy(-omega, t, r);
+    res.iterations = it + 1;
+    res.residual = norm2(r) / bnorm;
+    if (res.residual < opts.tolerance) {
+      res.converged = true;
+      return res;
+    }
+    if (omega == 0.0) break;
+  }
+  return res;
+}
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,90 @@
+// Sparse matrix support (triplet builder + CSR) and iterative Krylov solvers.
+//
+// The finite-volume thermal solver and the larger FEM meshes assemble into
+// SparseBuilder, convert to CSR once, then solve with conjugate gradients.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+class CsrMatrix;
+
+/// Coordinate-format accumulator; duplicate (i,j) entries are summed on build.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols);
+
+  void add(std::size_t i, std::size_t j, double v);
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t entry_count() const { return entries_.size(); }
+
+  CsrMatrix build() const;
+
+ private:
+  struct Entry {
+    std::size_t i, j;
+    double v;
+  };
+  std::size_t rows_, cols_;
+  std::vector<Entry> entries_;
+};
+
+/// Compressed sparse row matrix (immutable structure, mutable values).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t> row_ptr,
+            std::vector<std::size_t> col_idx, std::vector<double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// y = A x
+  Vector multiply(const Vector& x) const;
+  /// Extract the diagonal (missing entries are 0).
+  Vector diagonal() const;
+  /// Max |a_ij - a_ji|; O(nnz log nnz) via lookup. For tests.
+  double asymmetry() const;
+  Matrix to_dense() const;
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// Value at (i, j), 0 if not stored.
+  double at(std::size_t i, std::size_t j) const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+struct IterativeResult {
+  Vector x;
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final ||b - Ax|| / ||b||
+  bool converged = false;
+};
+
+struct IterativeOptions {
+  std::size_t max_iterations = 10000;
+  double tolerance = 1e-10;  ///< relative residual target
+};
+
+/// Preconditioned (Jacobi) conjugate gradient for SPD systems.
+IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                                   const IterativeOptions& opts = {});
+
+/// BiCGSTAB for general nonsymmetric systems (Jacobi preconditioned).
+IterativeResult bicgstab(const CsrMatrix& a, const Vector& b, const IterativeOptions& opts = {});
+
+}  // namespace aeropack::numeric

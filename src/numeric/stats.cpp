@@ -1,0 +1,64 @@
+#include "numeric/stats.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aeropack::numeric {
+
+double mean(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("mean: empty vector");
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(const Vector& v) {
+  if (v.size() < 2) return 0.0;
+  const double mu = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+double rms(const Vector& v) {
+  if (v.empty()) throw std::invalid_argument("rms: empty vector");
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+Rng::Rng(std::uint64_t seed) : state_(seed ? seed : 1u) {}
+
+std::uint64_t Rng::next() {
+  // xorshift64*
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  return state_ * 0x2545F4914F6CDD1DULL;
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_ = r * std::sin(theta);
+  have_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mu, double sigma) { return mu + sigma * normal(); }
+
+}  // namespace aeropack::numeric

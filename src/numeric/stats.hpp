@@ -1,0 +1,39 @@
+// Small statistics helpers for measurement simulation (virtual ASTM D5470
+// tester) and random-vibration post-processing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+double mean(const Vector& v);
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(const Vector& v);
+double rms(const Vector& v);
+
+/// Deterministic xorshift-based uniform/normal generator — keeps benchmark
+/// output reproducible without seeding std::mt19937 everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Standard normal (Box-Muller).
+  double normal();
+  /// Normal with given mean / standard deviation.
+  double normal(double mu, double sigma);
+
+ private:
+  std::uint64_t next();
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,66 @@
+#include "reliability/mission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "reliability/thermal_cycling.hpp"
+
+namespace aeropack::reliability {
+
+double MissionProfile::mission_hours() const {
+  double h = 0.0;
+  for (const MissionPhase& p : phases) h += p.duration_hours;
+  return h;
+}
+
+void MissionProfile::validate() const {
+  if (phases.empty()) throw std::invalid_argument("MissionProfile: no phases");
+  for (const MissionPhase& p : phases)
+    if (p.duration_hours <= 0.0)
+      throw std::invalid_argument("MissionProfile: non-positive phase duration");
+  if (missions_per_year <= 0.0)
+    throw std::invalid_argument("MissionProfile: missions_per_year must be > 0");
+}
+
+MissionProfile MissionProfile::short_haul() {
+  MissionProfile m;
+  m.name = "short haul";
+  m.phases = {
+      {"ground soak (hot apron)", 0.75, +15.0, Environment::GroundFixed},
+      {"climb", 0.35, +5.0, Environment::AirborneInhabitedCargo},
+      {"cruise", 1.5, -10.0, Environment::AirborneInhabitedCargo},
+      {"descent / taxi", 0.5, 0.0, Environment::AirborneInhabitedCargo},
+  };
+  m.missions_per_year = 700.0;
+  return m;
+}
+
+MissionReliabilityReport assess_mission(const std::vector<Part>& bom,
+                                        const MissionProfile& profile,
+                                        double attach_swing_k) {
+  profile.validate();
+  if (bom.empty()) throw std::invalid_argument("assess_mission: empty BOM");
+
+  MissionReliabilityReport out;
+  const double total_h = profile.mission_hours();
+  double lo = 1e9, hi = -1e9;
+  for (const MissionPhase& phase : profile.phases) {
+    const auto rpt = predict_mtbf_shifted(bom, phase.environment, phase.junction_offset);
+    out.phase_rates.emplace_back(phase.name, rpt.total_failure_rate);
+    out.effective_failure_rate +=
+        rpt.total_failure_rate * phase.duration_hours / total_h;
+    lo = std::min(lo, phase.junction_offset);
+    hi = std::max(hi, phase.junction_offset);
+  }
+  out.mtbf_hours = 1e6 / out.effective_failure_rate;
+  out.annual_operating_hours = total_h * profile.missions_per_year;
+
+  const double swing = (attach_swing_k > 0.0) ? attach_swing_k : std::max(hi - lo, 1.0);
+  const double cycles_capable = coffin_manson_cycles(swing);
+  out.annual_attach_damage = profile.missions_per_year / cycles_capable;
+  out.attach_life_years =
+      (out.annual_attach_damage > 0.0) ? 1.0 / out.annual_attach_damage : 1e9;
+  return out;
+}
+
+}  // namespace aeropack::reliability

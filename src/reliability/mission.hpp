@@ -1,0 +1,52 @@
+// Mission-profile reliability: an aircraft equipment does not sit at one
+// junction temperature — it cycles through ground-soak, climb, cruise and
+// descent phases. The effective failure rate is the duty-weighted average,
+// and the daily temperature swing drives the thermal-cycling damage of the
+// attach (paper: thermo-mechanical stress is a leading failure cause).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "reliability/mtbf.hpp"
+
+namespace aeropack::reliability {
+
+struct MissionPhase {
+  std::string name;
+  double duration_hours = 1.0;      ///< per mission
+  double junction_offset = 0.0;     ///< shift vs the BOM's nominal junctions [K]
+  Environment environment = Environment::AirborneInhabitedCargo;
+};
+
+struct MissionProfile {
+  std::string name;
+  std::vector<MissionPhase> phases;
+  double missions_per_year = 600.0;
+
+  double mission_hours() const;
+  void validate() const;  ///< throws std::invalid_argument
+
+  /// Typical short-haul airliner day: ground soak, climb, cruise, descent.
+  static MissionProfile short_haul();
+};
+
+struct MissionReliabilityReport {
+  double effective_failure_rate = 0.0;  ///< duty-weighted [f/1e6 h]
+  double mtbf_hours = 0.0;
+  double annual_operating_hours = 0.0;
+  /// Attach thermal-cycling damage per year (Miner fraction) given the
+  /// per-mission junction swing.
+  double annual_attach_damage = 0.0;
+  double attach_life_years = 0.0;
+  std::vector<std::pair<std::string, double>> phase_rates;  ///< per phase [f/1e6 h]
+};
+
+/// Roll a BOM over a mission profile. `attach_swing_k` is the junction
+/// swing per mission driving the Coffin-Manson attach damage (defaults to
+/// the max phase offset spread).
+MissionReliabilityReport assess_mission(const std::vector<Part>& bom,
+                                        const MissionProfile& profile,
+                                        double attach_swing_k = -1.0);
+
+}  // namespace aeropack::reliability

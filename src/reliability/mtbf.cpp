@@ -1,0 +1,101 @@
+#include "reliability/mtbf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::reliability {
+
+double arrhenius_factor(double t_ref_k, double t_op_k, double activation_energy_ev) {
+  if (t_ref_k <= 0.0 || t_op_k <= 0.0)
+    throw std::invalid_argument("arrhenius_factor: temperatures must be absolute");
+  if (activation_energy_ev < 0.0)
+    throw std::invalid_argument("arrhenius_factor: negative activation energy");
+  return std::exp(activation_energy_ev / kBoltzmannEv * (1.0 / t_ref_k - 1.0 / t_op_k));
+}
+
+double environment_factor(Environment e) {
+  switch (e) {
+    case Environment::GroundBenign: return 0.5;
+    case Environment::GroundFixed: return 2.0;
+    case Environment::AirborneInhabitedCargo: return 4.0;
+    case Environment::AirborneInhabitedFighter: return 5.0;
+    case Environment::AirborneUninhabitedCargo: return 5.5;
+    case Environment::SpaceFlight: return 0.5;
+  }
+  throw std::logic_error("environment_factor: unknown environment");
+}
+
+double quality_factor(Quality q) {
+  switch (q) {
+    case Quality::Space: return 0.5;
+    case Quality::FullMil: return 1.0;
+    case Quality::Commercial: return 3.0;  // the paper's "COTS in severe
+                                           // avionics applications" penalty
+  }
+  throw std::logic_error("quality_factor: unknown quality");
+}
+
+double base_failure_rate(PartType t) {
+  // [failures / 1e6 h] at 40 C junction, representative of 217F part models.
+  switch (t) {
+    case PartType::Microprocessor: return 0.12;
+    case PartType::Memory: return 0.06;
+    case PartType::AnalogIc: return 0.04;
+    case PartType::PowerTransistor: return 0.05;
+    case PartType::Diode: return 0.01;
+    case PartType::Resistor: return 0.002;
+    case PartType::CeramicCapacitor: return 0.003;
+    case PartType::TantalumCapacitor: return 0.02;
+    case PartType::Inductor: return 0.005;
+    case PartType::Connector: return 0.03;
+    case PartType::SolderJointSet: return 0.01;
+    case PartType::Crystal: return 0.02;
+  }
+  throw std::logic_error("base_failure_rate: unknown part type");
+}
+
+double activation_energy(PartType t) {
+  switch (t) {
+    case PartType::Microprocessor:
+    case PartType::Memory:
+    case PartType::AnalogIc: return 0.45;
+    case PartType::PowerTransistor:
+    case PartType::Diode: return 0.40;
+    case PartType::TantalumCapacitor: return 0.35;
+    case PartType::CeramicCapacitor: return 0.30;
+    case PartType::Resistor:
+    case PartType::Inductor: return 0.20;
+    case PartType::Connector:
+    case PartType::Crystal: return 0.15;
+    case PartType::SolderJointSet: return 0.25;
+  }
+  throw std::logic_error("activation_energy: unknown part type");
+}
+
+double part_failure_rate(const Part& p, Environment env) {
+  if (p.count < 1) throw std::invalid_argument("part_failure_rate: count must be >= 1");
+  constexpr double t_ref = 313.15;  // 40 C reference junction
+  const double pi_t = arrhenius_factor(t_ref, p.junction_temperature, activation_energy(p.type));
+  return base_failure_rate(p.type) * pi_t * quality_factor(p.quality) *
+         environment_factor(env) * static_cast<double>(p.count);
+}
+
+MtbfReport predict_mtbf(const std::vector<Part>& bom, Environment env) {
+  if (bom.empty()) throw std::invalid_argument("predict_mtbf: empty bill of materials");
+  MtbfReport rpt;
+  for (const Part& p : bom) {
+    const double lambda = part_failure_rate(p, env);
+    rpt.total_failure_rate += lambda;
+    rpt.contributions.emplace_back(p.reference, lambda);
+  }
+  rpt.mtbf_hours = 1e6 / rpt.total_failure_rate;
+  return rpt;
+}
+
+MtbfReport predict_mtbf_shifted(const std::vector<Part>& bom, Environment env, double delta_k) {
+  std::vector<Part> shifted = bom;
+  for (Part& p : shifted) p.junction_temperature += delta_k;
+  return predict_mtbf(shifted, env);
+}
+
+}  // namespace aeropack::reliability

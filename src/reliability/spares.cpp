@@ -1,0 +1,49 @@
+#include "reliability/spares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::reliability {
+
+double pipeline_demand(double mtbf_hours, std::size_t fleet_size,
+                       double operating_hours_per_year, double turnaround_days) {
+  if (mtbf_hours <= 0.0 || fleet_size == 0 || operating_hours_per_year <= 0.0 ||
+      turnaround_days <= 0.0)
+    throw std::invalid_argument("pipeline_demand: invalid parameters");
+  const double failures_per_year =
+      static_cast<double>(fleet_size) * operating_hours_per_year / mtbf_hours;
+  return failures_per_year * turnaround_days / 365.0;
+}
+
+double poisson_cdf(std::size_t k, double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("poisson_cdf: negative rate");
+  if (lambda == 0.0) return 1.0;
+  double term = std::exp(-lambda);
+  double cdf = term;
+  for (std::size_t i = 1; i <= k; ++i) {
+    term *= lambda / static_cast<double>(i);
+    cdf += term;
+  }
+  return cdf;
+}
+
+std::size_t spares_required(double mtbf_hours, std::size_t fleet_size,
+                            double operating_hours_per_year, double turnaround_days,
+                            double fill_rate) {
+  if (fill_rate <= 0.0 || fill_rate >= 1.0)
+    throw std::invalid_argument("spares_required: fill rate must be in (0, 1)");
+  const double lambda =
+      pipeline_demand(mtbf_hours, fleet_size, operating_hours_per_year, turnaround_days);
+  for (std::size_t k = 0; k < 10000; ++k)
+    if (poisson_cdf(k, lambda) >= fill_rate) return k;
+  throw std::runtime_error("spares_required: demand unreasonably large");
+}
+
+double annual_removals(double mtbf_hours, std::size_t fleet_size,
+                       double operating_hours_per_year) {
+  if (mtbf_hours <= 0.0 || fleet_size == 0 || operating_hours_per_year <= 0.0)
+    throw std::invalid_argument("annual_removals: invalid parameters");
+  return static_cast<double>(fleet_size) * operating_hours_per_year / mtbf_hours;
+}
+
+}  // namespace aeropack::reliability

@@ -1,0 +1,31 @@
+// Fleet spares provisioning: once an MTBF is predicted, the airline question
+// is "how many spare boxes do I stock?". Poisson demand over the repair
+// turnaround time gives the protection level — the fleet-economics argument
+// behind the paper's IFE reliability concern ("reliability and maintenance
+// concern" multiplied by the seat count).
+#pragma once
+
+#include <cstddef>
+
+namespace aeropack::reliability {
+
+/// Expected number of units in the repair pipeline:
+/// demand = fleet_size * operating_hours_per_year * turnaround_days /
+///          (MTBF * 365).
+double pipeline_demand(double mtbf_hours, std::size_t fleet_size,
+                       double operating_hours_per_year, double turnaround_days);
+
+/// Poisson CDF P(X <= k) for rate lambda.
+double poisson_cdf(std::size_t k, double lambda);
+
+/// Minimum spare count such that the probability of not stocking out over
+/// the turnaround pipeline is at least `fill_rate` (e.g. 0.95).
+std::size_t spares_required(double mtbf_hours, std::size_t fleet_size,
+                            double operating_hours_per_year, double turnaround_days,
+                            double fill_rate);
+
+/// Annual removals for the fleet.
+double annual_removals(double mtbf_hours, std::size_t fleet_size,
+                       double operating_hours_per_year);
+
+}  // namespace aeropack::reliability

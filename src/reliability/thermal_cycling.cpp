@@ -1,0 +1,45 @@
+#include "reliability/thermal_cycling.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "reliability/mtbf.hpp"
+
+namespace aeropack::reliability {
+
+double coffin_manson_cycles(double delta_t, double coefficient, double exponent) {
+  if (delta_t <= 0.0 || coefficient <= 0.0 || exponent <= 0.0)
+    throw std::invalid_argument("coffin_manson_cycles: invalid parameters");
+  return coefficient * std::pow(delta_t, -exponent);
+}
+
+double coffin_manson_acceleration(double delta_t_test, double delta_t_service, double exponent) {
+  if (delta_t_test <= 0.0 || delta_t_service <= 0.0 || exponent <= 0.0)
+    throw std::invalid_argument("coffin_manson_acceleration: invalid parameters");
+  return std::pow(delta_t_test / delta_t_service, exponent);
+}
+
+double norris_landzberg_acceleration(double delta_t_test, double delta_t_service,
+                                     double freq_test_per_day, double freq_service_per_day,
+                                     double t_max_test_k, double t_max_service_k,
+                                     double exponent, double freq_exponent,
+                                     double activation_energy_ev) {
+  if (freq_test_per_day <= 0.0 || freq_service_per_day <= 0.0 || t_max_test_k <= 0.0 ||
+      t_max_service_k <= 0.0)
+    throw std::invalid_argument("norris_landzberg_acceleration: invalid parameters");
+  const double ratio = coffin_manson_acceleration(delta_t_test, delta_t_service, exponent);
+  const double freq = std::pow(freq_service_per_day / freq_test_per_day, freq_exponent);
+  // Cooler service peak => test is more accelerating (standard NL form).
+  const double arr = std::exp(activation_energy_ev / kBoltzmannEv *
+                              (1.0 / t_max_service_k - 1.0 / t_max_test_k));
+  return ratio * freq * arr;
+}
+
+double service_life_years(double test_cycles, double af_test_over_service,
+                          double service_cycles_per_year) {
+  if (test_cycles <= 0.0 || af_test_over_service <= 0.0 || service_cycles_per_year <= 0.0)
+    throw std::invalid_argument("service_life_years: invalid parameters");
+  return test_cycles * af_test_over_service / service_cycles_per_year;
+}
+
+}  // namespace aeropack::reliability

@@ -1,0 +1,30 @@
+// Thermal-cycling fatigue: Coffin-Manson for solder attach and plated
+// through-holes — the failure mode behind the paper's thermo-mechanical
+// induced stress concern and the -45/+55 C thermal-shock qualification.
+#pragma once
+
+namespace aeropack::reliability {
+
+/// Coffin-Manson cycles to failure: N = C * dT^-n.
+/// Defaults represent SnPb/SAC solder attach (n ~ 2.0-2.7).
+double coffin_manson_cycles(double delta_t, double coefficient = 6.0e6, double exponent = 2.0);
+
+/// Acceleration factor between a test cycle and a service cycle:
+/// AF = (dT_test / dT_service)^n.
+double coffin_manson_acceleration(double delta_t_test, double delta_t_service,
+                                  double exponent = 2.0);
+
+/// Norris-Landzberg refinement adding cycle frequency and peak temperature:
+/// AF = (dT_t/dT_s)^n (f_s/f_t)^m exp(Ea/k (1/Tmax_s - 1/Tmax_t))
+double norris_landzberg_acceleration(double delta_t_test, double delta_t_service,
+                                     double freq_test_per_day, double freq_service_per_day,
+                                     double t_max_test_k, double t_max_service_k,
+                                     double exponent = 1.9, double freq_exponent = 0.33,
+                                     double activation_energy_ev = 0.122);
+
+/// Service life [years] of an attach that survives `test_cycles` of the test
+/// profile, given `service_cycles_per_year` of the service profile.
+double service_life_years(double test_cycles, double af_test_over_service,
+                          double service_cycles_per_year);
+
+}  // namespace aeropack::reliability

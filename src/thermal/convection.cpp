@@ -1,0 +1,119 @@
+#include "thermal/convection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::thermal {
+
+namespace {
+materials::AirState film_air(double t_surface_k, double t_inf_k, double pressure_pa) {
+  return materials::air_at(0.5 * (t_surface_k + t_inf_k), pressure_pa);
+}
+constexpr double g_accel = 9.80665;
+}  // namespace
+
+double rayleigh(double t_surface_k, double t_inf_k, double length,
+                const materials::AirState& film) {
+  if (length <= 0.0) throw std::invalid_argument("rayleigh: length must be positive");
+  const double dt = std::fabs(t_surface_k - t_inf_k);
+  const double nu = film.kinematic_viscosity();
+  const double alpha = film.diffusivity();
+  return g_accel * film.beta * dt * length * length * length / (nu * alpha);
+}
+
+double h_natural_vertical_plate(double t_surface_k, double t_inf_k, double height,
+                                double pressure_pa) {
+  const auto film = film_air(t_surface_k, t_inf_k, pressure_pa);
+  const double ra = rayleigh(t_surface_k, t_inf_k, height, film);
+  if (ra <= 0.0) return 0.0;
+  // Churchill & Chu, valid for all Ra.
+  const double pr_term = std::pow(1.0 + std::pow(0.492 / film.prandtl, 9.0 / 16.0), 8.0 / 27.0);
+  const double nu = std::pow(0.825 + 0.387 * std::pow(ra, 1.0 / 6.0) / pr_term, 2.0);
+  return nu * film.conductivity / height;
+}
+
+double h_natural_horizontal_up(double t_surface_k, double t_inf_k, double length,
+                               double pressure_pa) {
+  const auto film = film_air(t_surface_k, t_inf_k, pressure_pa);
+  const double ra = rayleigh(t_surface_k, t_inf_k, length, film);
+  if (ra <= 0.0) return 0.0;
+  // McAdams: Nu = 0.54 Ra^1/4 (1e4..1e7), 0.15 Ra^1/3 above.
+  const double nu = (ra < 1e7) ? 0.54 * std::pow(ra, 0.25) : 0.15 * std::cbrt(ra);
+  return nu * film.conductivity / length;
+}
+
+double h_natural_horizontal_down(double t_surface_k, double t_inf_k, double length,
+                                 double pressure_pa) {
+  const auto film = film_air(t_surface_k, t_inf_k, pressure_pa);
+  const double ra = rayleigh(t_surface_k, t_inf_k, length, film);
+  if (ra <= 0.0) return 0.0;
+  const double nu = 0.27 * std::pow(ra, 0.25);
+  return nu * film.conductivity / length;
+}
+
+double h_natural_horizontal_cylinder(double t_surface_k, double t_inf_k, double diameter,
+                                     double pressure_pa) {
+  const auto film = film_air(t_surface_k, t_inf_k, pressure_pa);
+  const double ra = rayleigh(t_surface_k, t_inf_k, diameter, film);
+  if (ra <= 0.0) return 0.0;
+  const double pr_term = std::pow(1.0 + std::pow(0.559 / film.prandtl, 9.0 / 16.0), 8.0 / 27.0);
+  const double nu = std::pow(0.60 + 0.387 * std::pow(ra, 1.0 / 6.0) / pr_term, 2.0);
+  return nu * film.conductivity / diameter;
+}
+
+double h_forced_flat_plate(double velocity, double length, double t_film_k,
+                           double pressure_pa) {
+  if (velocity < 0.0 || length <= 0.0)
+    throw std::invalid_argument("h_forced_flat_plate: invalid velocity or length");
+  if (velocity == 0.0) return 0.0;
+  const auto air = materials::air_at(t_film_k, pressure_pa);
+  const double re = velocity * length / air.kinematic_viscosity();
+  const double pr = air.prandtl;
+  constexpr double re_crit = 5e5;
+  double nu;
+  if (re <= re_crit) {
+    nu = 0.664 * std::sqrt(re) * std::cbrt(pr);
+  } else {
+    // Mixed boundary layer average (Incropera eq. 7.38).
+    nu = (0.037 * std::pow(re, 0.8) - 871.0) * std::cbrt(pr);
+  }
+  return nu * air.conductivity / length;
+}
+
+double h_forced_duct(double velocity, double hydraulic_diameter, double t_film_k,
+                     double pressure_pa) {
+  if (velocity < 0.0 || hydraulic_diameter <= 0.0)
+    throw std::invalid_argument("h_forced_duct: invalid velocity or diameter");
+  if (velocity == 0.0) return 0.0;
+  const auto air = materials::air_at(t_film_k, pressure_pa);
+  const double re = velocity * hydraulic_diameter / air.kinematic_viscosity();
+  double nu;
+  if (re < 2300.0) {
+    nu = 7.54;  // parallel plates, constant wall temperature, fully developed
+  } else {
+    nu = 0.023 * std::pow(re, 0.8) * std::pow(air.prandtl, 0.4);
+  }
+  return nu * air.conductivity / hydraulic_diameter;
+}
+
+double h_radiation(double t_surface_k, double t_surroundings_k, double emissivity) {
+  if (emissivity < 0.0 || emissivity > 1.0)
+    throw std::invalid_argument("h_radiation: emissivity must be in [0, 1]");
+  const double ts = t_surface_k, ta = t_surroundings_k;
+  return emissivity * kStefanBoltzmann * (ts * ts + ta * ta) * (ts + ta);
+}
+
+double h_natural_plate(SurfaceOrientation o, double t_surface_k, double t_inf_k,
+                       double characteristic_length, double pressure_pa) {
+  switch (o) {
+    case SurfaceOrientation::Vertical:
+      return h_natural_vertical_plate(t_surface_k, t_inf_k, characteristic_length, pressure_pa);
+    case SurfaceOrientation::HorizontalUp:
+      return h_natural_horizontal_up(t_surface_k, t_inf_k, characteristic_length, pressure_pa);
+    case SurfaceOrientation::HorizontalDown:
+      return h_natural_horizontal_down(t_surface_k, t_inf_k, characteristic_length, pressure_pa);
+  }
+  throw std::logic_error("h_natural_plate: unknown orientation");
+}
+
+}  // namespace aeropack::thermal

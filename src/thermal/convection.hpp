@@ -1,0 +1,60 @@
+// Convection and radiation film-coefficient correlations.
+//
+// These provide the boundary conditions for the resistive-network and
+// finite-volume solvers: classical engineering correlations (Churchill-Chu,
+// McAdams plates, Dittus-Boelter, mixed flat plate) evaluated on the air
+// state from materials::air_at, so altitude derating is automatic.
+#pragma once
+
+#include "materials/air.hpp"
+
+namespace aeropack::thermal {
+
+constexpr double kStefanBoltzmann = 5.670374419e-8;  ///< [W/m^2 K^4]
+constexpr double kCelsiusOffset = 273.15;
+
+/// Rayleigh number for a surface at t_surface against fluid at t_inf with
+/// characteristic length L. Air properties at the film temperature.
+double rayleigh(double t_surface_k, double t_inf_k, double length,
+                const materials::AirState& film);
+
+/// Natural convection, vertical plate (Churchill & Chu, all Ra). Returns
+/// film coefficient h [W/m^2 K]. `height` is the plate height.
+double h_natural_vertical_plate(double t_surface_k, double t_inf_k, double height,
+                                double pressure_pa = 101325.0);
+
+/// Natural convection, horizontal plate facing up (hot side up) — McAdams.
+/// `length` is area/perimeter.
+double h_natural_horizontal_up(double t_surface_k, double t_inf_k, double length,
+                               double pressure_pa = 101325.0);
+
+/// Natural convection, horizontal plate facing down (hot side down).
+double h_natural_horizontal_down(double t_surface_k, double t_inf_k, double length,
+                                 double pressure_pa = 101325.0);
+
+/// Natural convection around a horizontal cylinder (Churchill & Chu).
+double h_natural_horizontal_cylinder(double t_surface_k, double t_inf_k, double diameter,
+                                     double pressure_pa = 101325.0);
+
+/// Forced convection over a flat plate, mixed laminar/turbulent with
+/// transition at Re_x = 5e5 (average Nusselt). `velocity` [m/s], `length` [m].
+double h_forced_flat_plate(double velocity, double length, double t_film_k,
+                           double pressure_pa = 101325.0);
+
+/// Forced convection in a rectangular duct (card-to-card air channel):
+/// laminar Nu = 7.54 (parallel plates, constant wall T) below Re 2300,
+/// Dittus-Boelter above. `hydraulic_diameter` [m].
+double h_forced_duct(double velocity, double hydraulic_diameter, double t_film_k,
+                     double pressure_pa = 101325.0);
+
+/// Radiative film coefficient, linearized: h = eps sigma (Ts^2+Tinf^2)(Ts+Tinf).
+double h_radiation(double t_surface_k, double t_surroundings_k, double emissivity);
+
+/// Orientation of a convecting surface, for composite enclosure models.
+enum class SurfaceOrientation { Vertical, HorizontalUp, HorizontalDown };
+
+/// Natural-convection h for a plate in a given orientation.
+double h_natural_plate(SurfaceOrientation o, double t_surface_k, double t_inf_k,
+                       double characteristic_length, double pressure_pa = 101325.0);
+
+}  // namespace aeropack::thermal

@@ -1,0 +1,39 @@
+#include "thermal/fins.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aeropack::thermal {
+
+double fin_parameter(double h, double perimeter, double k, double cross_section) {
+  if (h < 0.0 || perimeter <= 0.0 || k <= 0.0 || cross_section <= 0.0)
+    throw std::invalid_argument("fin_parameter: invalid parameters");
+  return std::sqrt(h * perimeter / (k * cross_section));
+}
+
+double fin_conductance(double h, double perimeter, double k, double cross_section,
+                       double length) {
+  if (length <= 0.0) throw std::invalid_argument("fin_conductance: length must be > 0");
+  if (h == 0.0) return 0.0;
+  const double m = fin_parameter(h, perimeter, k, cross_section);
+  return std::sqrt(h * perimeter * k * cross_section) * std::tanh(m * length);
+}
+
+double fin_efficiency(double h, double perimeter, double k, double cross_section,
+                      double length) {
+  if (length <= 0.0) throw std::invalid_argument("fin_efficiency: length must be > 0");
+  if (h == 0.0) return 1.0;
+  const double ml = fin_parameter(h, perimeter, k, cross_section) * length;
+  return std::tanh(ml) / ml;
+}
+
+double rod_sink_conductance(double h, double diameter, double k, double l1, double l2) {
+  if (diameter <= 0.0) throw std::invalid_argument("rod_sink_conductance: diameter");
+  const double perimeter = std::numbers::pi * diameter;
+  const double area = 0.25 * std::numbers::pi * diameter * diameter;
+  return fin_conductance(h, perimeter, k, area, l1) +
+         fin_conductance(h, perimeter, k, area, l2);
+}
+
+}  // namespace aeropack::thermal

@@ -1,0 +1,26 @@
+// Extended-surface (fin) conductances. The COSEE seat structure works as a
+// natural-convection fin system: the LHP condensers inject heat into long
+// rods/tubes whose efficiency depends strongly on the structural material's
+// conductivity — the physical reason the carbon-composite seat performs
+// below the aluminum one in the paper.
+#pragma once
+
+namespace aeropack::thermal {
+
+/// Fin parameter m = sqrt(h P / (k A_c)).
+double fin_parameter(double h, double perimeter, double k, double cross_section);
+
+/// Conductance [W/K] of a straight fin with adiabatic tip:
+/// G = sqrt(h P k A_c) tanh(m L).
+double fin_conductance(double h, double perimeter, double k, double cross_section,
+                       double length);
+
+/// Efficiency of the same fin: tanh(mL) / (mL).
+double fin_efficiency(double h, double perimeter, double k, double cross_section,
+                      double length);
+
+/// Conductance of a cylindrical rod heated at one point with both halves
+/// acting as fins (lengths l1, l2), diameter d, conductivity k, film h.
+double rod_sink_conductance(double h, double diameter, double k, double l1, double l2);
+
+}  // namespace aeropack::thermal

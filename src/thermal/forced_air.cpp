@@ -1,0 +1,84 @@
+#include "thermal/forced_air.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "thermal/convection.hpp"
+
+namespace aeropack::thermal {
+
+double ArincAirSupply::mass_flow(double power_w) const {
+  if (power_w < 0.0) throw std::invalid_argument("mass_flow: negative power");
+  return flow_per_kw * flow_multiplier * (power_w / 1000.0) / 3600.0;
+}
+
+double ArincAirSupply::air_rise(double power_w) const {
+  const double mdot = mass_flow(power_w);
+  if (mdot <= 0.0) return 0.0;
+  const auto air = materials::air_at(inlet_temperature, pressure);
+  return power_w / (mdot * air.specific_heat);
+}
+
+double ArincAirSupply::outlet_temperature(double power_w) const {
+  return inlet_temperature + air_rise(power_w);
+}
+
+HotSpotResult analyze_hot_spot(const ArincAirSupply& supply, const CardChannel& channel,
+                               double module_power_w, double flux_w_per_m2,
+                               double position_fraction, double surface_limit_k) {
+  if (module_power_w <= 0.0) throw std::invalid_argument("analyze_hot_spot: power must be > 0");
+  if (position_fraction < 0.0 || position_fraction > 1.0)
+    throw std::invalid_argument("analyze_hot_spot: position fraction in [0, 1]");
+
+  HotSpotResult r;
+  const double mdot = supply.mass_flow(module_power_w);
+  const auto air = materials::air_at(supply.inlet_temperature, supply.pressure);
+  r.velocity = mdot / (air.density * channel.flow_area());
+  r.local_air_temperature =
+      supply.inlet_temperature + position_fraction * supply.air_rise(module_power_w);
+  const double t_film = r.local_air_temperature;  // first-order film temperature
+  r.h = h_forced_duct(r.velocity, channel.hydraulic_diameter(), t_film, supply.pressure);
+  r.film_rise = (r.h > 0.0) ? flux_w_per_m2 / r.h : std::numeric_limits<double>::infinity();
+  r.surface_temperature = r.local_air_temperature + r.film_rise;
+  r.feasible = r.surface_temperature <= surface_limit_k;
+  return r;
+}
+
+double required_flow_multiplier(const ArincAirSupply& supply, const CardChannel& channel,
+                                double module_power_w, double flux_w_per_m2,
+                                double position_fraction, double surface_limit_k) {
+  ArincAirSupply probe = supply;
+  for (double mult = 1.0; mult <= 100.0; mult *= 1.05) {
+    probe.flow_multiplier = supply.flow_multiplier * mult;
+    const auto r = analyze_hot_spot(probe, channel, module_power_w, flux_w_per_m2,
+                                    position_fraction, surface_limit_k);
+    if (r.feasible) return mult;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double spreading_resistance(double source_area, double plate_area, double thickness, double k,
+                            double h) {
+  if (source_area <= 0.0 || plate_area < source_area || thickness <= 0.0 || k <= 0.0 || h <= 0.0)
+    throw std::invalid_argument("spreading_resistance: invalid geometry");
+  // Circular-equivalent radii (Lee, Song, Au closed form).
+  const double a = std::sqrt(source_area / std::numbers::pi);
+  const double b = std::sqrt(plate_area / std::numbers::pi);
+  const double eps = a / b;
+  const double tau = thickness / b;
+  const double bi = h * b / k;
+  const double lambda = std::numbers::pi + 1.0 / (eps * std::sqrt(std::numbers::pi));
+  const double phi = (std::tanh(lambda * tau) + lambda / bi) /
+                     (1.0 + (lambda / bi) * std::tanh(lambda * tau));
+  const double psi_avg = eps * tau / std::sqrt(std::numbers::pi) +
+                         (1.0 - eps) * phi / std::sqrt(std::numbers::pi);
+  const double r_spread = psi_avg / (k * a * std::sqrt(std::numbers::pi));
+  // Total includes the 1-D slab and the film on the full plate.
+  const double r_1d = thickness / (k * plate_area);
+  const double r_film = 1.0 / (h * plate_area);
+  return r_spread + r_1d + r_film;
+}
+
+}  // namespace aeropack::thermal

@@ -1,0 +1,76 @@
+// ARINC 600 forced-air cooling model and hot-spot feasibility analysis.
+//
+// The paper states the standard electronic-bay cooling budget: 220 kg/h of
+// air per kW dissipated, and argues this global flow "cannot cope with the
+// hot spot problems (up to ten times the standard air flow rate would be
+// required)". This module models a card channel fed from the ARINC budget
+// and computes local component temperatures, so the bench can reproduce the
+// feasibility boundary quantitatively.
+#pragma once
+
+#include "materials/air.hpp"
+
+namespace aeropack::thermal {
+
+/// ARINC 600 style air supply for one equipment.
+struct ArincAirSupply {
+  double flow_per_kw = 220.0;        ///< [kg/h per kW] — the paper's standard figure
+  double inlet_temperature = 313.15; ///< [K] (40 C typical bay supply)
+  double pressure = 101325.0;        ///< [Pa]
+  double flow_multiplier = 1.0;      ///< scale factor for "10x flow" studies
+
+  /// Mass flow [kg/s] allocated to an equipment dissipating `power_w`.
+  double mass_flow(double power_w) const;
+  /// Bulk air temperature rise across the equipment [K].
+  double air_rise(double power_w) const;
+  /// Exhaust temperature [K].
+  double outlet_temperature(double power_w) const;
+};
+
+/// A card-to-card air channel in a rack (direct air flow over the module).
+struct CardChannel {
+  double card_width = 0.15;    ///< flow-normal card dimension [m]
+  double card_length = 0.20;   ///< flow-wise dimension [m]
+  double gap = 5e-3;           ///< card-to-card air gap [m]
+
+  double flow_area() const { return card_width * gap; }
+  double hydraulic_diameter() const {
+    return 2.0 * card_width * gap / (card_width + gap);
+  }
+};
+
+/// Result of a forced-air hot-spot analysis on one component.
+struct HotSpotResult {
+  double velocity = 0.0;            ///< channel air velocity [m/s]
+  double h = 0.0;                   ///< film coefficient [W/m^2 K]
+  double local_air_temperature = 0.0;  ///< bulk air at the component [K]
+  double surface_temperature = 0.0;    ///< component surface [K]
+  double film_rise = 0.0;           ///< q'' / h [K]
+  bool feasible = false;            ///< surface <= limit
+};
+
+/// Compute the surface temperature of a component of heat flux
+/// `flux_w_per_m2` located `position_fraction` (0..1) along the channel in a
+/// module dissipating `module_power_w`, cooled by the given supply.
+/// `surface_limit` is the acceptance limit [K] (paper: 85 C ambient /
+/// 125 C junction; a surface limit around 100-110 C is typical).
+HotSpotResult analyze_hot_spot(const ArincAirSupply& supply, const CardChannel& channel,
+                               double module_power_w, double flux_w_per_m2,
+                               double position_fraction, double surface_limit_k);
+
+/// Flow multiplier required to keep the surface at `surface_limit_k`
+/// (the paper's "up to ten times the standard air flow" claim).
+/// Returns +inf if even 100x cannot meet the limit.
+double required_flow_multiplier(const ArincAirSupply& supply, const CardChannel& channel,
+                                double module_power_w, double flux_w_per_m2,
+                                double position_fraction, double surface_limit_k);
+
+/// Spreading resistance of a centered heat source of area `source_area` on a
+/// square plate of area `plate_area`, thickness `t`, conductivity `k`, with
+/// film coefficient `h` on the far side (Lee/Song/Au closed form, circular
+/// equivalent). Returns the source-to-sink resistance including the 1-D and
+/// film terms [K/W].
+double spreading_resistance(double source_area, double plate_area, double thickness, double k,
+                            double h);
+
+}  // namespace aeropack::thermal

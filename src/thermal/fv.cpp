@@ -1,0 +1,514 @@
+#include "thermal/fv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aeropack::thermal {
+
+using numeric::Vector;
+
+// --- FvGrid -----------------------------------------------------------------
+
+FvGrid::FvGrid(Vector dx, Vector dy, Vector dz)
+    : dx_(std::move(dx)), dy_(std::move(dy)), dz_(std::move(dz)) {
+  if (dx_.empty() || dy_.empty() || dz_.empty())
+    throw std::invalid_argument("FvGrid: empty axis");
+  for (const Vector* v : {&dx_, &dy_, &dz_})
+    for (double d : *v)
+      if (d <= 0.0) throw std::invalid_argument("FvGrid: cell sizes must be positive");
+}
+
+FvGrid FvGrid::uniform(double lx, double ly, double lz, std::size_t nx, std::size_t ny,
+                       std::size_t nz) {
+  if (lx <= 0.0 || ly <= 0.0 || lz <= 0.0 || nx == 0 || ny == 0 || nz == 0)
+    throw std::invalid_argument("FvGrid::uniform: invalid extents");
+  return FvGrid(Vector(nx, lx / static_cast<double>(nx)), Vector(ny, ly / static_cast<double>(ny)),
+                Vector(nz, lz / static_cast<double>(nz)));
+}
+
+double FvGrid::x_center(std::size_t i) const {
+  double acc = 0.0;
+  for (std::size_t a = 0; a < i; ++a) acc += dx_[a];
+  return acc + 0.5 * dx_[i];
+}
+double FvGrid::y_center(std::size_t j) const {
+  double acc = 0.0;
+  for (std::size_t a = 0; a < j; ++a) acc += dy_[a];
+  return acc + 0.5 * dy_[j];
+}
+double FvGrid::z_center(std::size_t k) const {
+  double acc = 0.0;
+  for (std::size_t a = 0; a < k; ++a) acc += dz_[a];
+  return acc + 0.5 * dz_[k];
+}
+double FvGrid::lx() const { return std::accumulate(dx_.begin(), dx_.end(), 0.0); }
+double FvGrid::ly() const { return std::accumulate(dy_.begin(), dy_.end(), 0.0); }
+double FvGrid::lz() const { return std::accumulate(dz_.begin(), dz_.end(), 0.0); }
+
+// --- BoundaryCondition factories ---------------------------------------------
+
+BoundaryCondition BoundaryCondition::fixed(double t_k) {
+  BoundaryCondition bc;
+  bc.kind = BoundaryKind::FixedTemperature;
+  bc.temperature = t_k;
+  return bc;
+}
+BoundaryCondition BoundaryCondition::convection(double h, double t_k) {
+  if (h <= 0.0) throw std::invalid_argument("BoundaryCondition::convection: h must be > 0");
+  BoundaryCondition bc;
+  bc.kind = BoundaryKind::Convection;
+  bc.h = h;
+  bc.temperature = t_k;
+  return bc;
+}
+BoundaryCondition BoundaryCondition::convection_radiation(double h, double t_k,
+                                                          double emissivity) {
+  BoundaryCondition bc;
+  bc.kind = BoundaryKind::ConvectionRadiation;
+  bc.h = h;
+  bc.temperature = t_k;
+  bc.emissivity = emissivity;
+  return bc;
+}
+BoundaryCondition BoundaryCondition::natural(SurfaceOrientation o, double length, double t_k,
+                                             double pressure) {
+  BoundaryCondition bc;
+  bc.kind = BoundaryKind::NaturalConvection;
+  bc.orientation = o;
+  bc.characteristic_length = length;
+  bc.temperature = t_k;
+  bc.pressure = pressure;
+  return bc;
+}
+BoundaryCondition BoundaryCondition::heat_flux(double flux) {
+  BoundaryCondition bc;
+  bc.kind = BoundaryKind::HeatFlux;
+  bc.flux = flux;
+  return bc;
+}
+
+// --- FvModel ------------------------------------------------------------------
+
+FvModel::FvModel(FvGrid grid)
+    : grid_(std::move(grid)),
+      kx_(grid_.cell_count(), 1.0),
+      ky_(grid_.cell_count(), 1.0),
+      kz_(grid_.cell_count(), 1.0),
+      rho_cp_(grid_.cell_count(), 1e6),
+      source_(grid_.cell_count(), 0.0) {
+  patch_bc_[0].resize(grid_.ny() * grid_.nz());
+  patch_bc_[1].resize(grid_.ny() * grid_.nz());
+  patch_bc_[2].resize(grid_.nx() * grid_.nz());
+  patch_bc_[3].resize(grid_.nx() * grid_.nz());
+  patch_bc_[4].resize(grid_.nx() * grid_.ny());
+  patch_bc_[5].resize(grid_.nx() * grid_.ny());
+}
+
+CellRange FvModel::all_cells() const {
+  return {0, grid_.nx(), 0, grid_.ny(), 0, grid_.nz()};
+}
+
+void FvModel::check_range(const CellRange& r) const {
+  if (r.i1 > grid_.nx() || r.j1 > grid_.ny() || r.k1 > grid_.nz() || r.i0 >= r.i1 ||
+      r.j0 >= r.j1 || r.k0 >= r.k1)
+    throw std::out_of_range("FvModel: invalid cell range");
+}
+
+void FvModel::set_material(const materials::SolidMaterial& m) { set_material(all_cells(), m); }
+
+void FvModel::set_material(const CellRange& r, const materials::SolidMaterial& m) {
+  check_range(r);
+  for (std::size_t k = r.k0; k < r.k1; ++k)
+    for (std::size_t j = r.j0; j < r.j1; ++j)
+      for (std::size_t i = r.i0; i < r.i1; ++i) {
+        const std::size_t c = grid_.index(i, j, k);
+        kx_[c] = m.conductivity;
+        ky_[c] = m.conductivity;
+        kz_[c] = m.conductivity_through;  // convention: z is "through" for boards
+        rho_cp_[c] = m.density * m.specific_heat;
+      }
+}
+
+void FvModel::set_conductivity(const CellRange& r, double kx, double ky, double kz) {
+  check_range(r);
+  if (kx <= 0.0 || ky <= 0.0 || kz <= 0.0)
+    throw std::invalid_argument("set_conductivity: conductivities must be positive");
+  for (std::size_t k = r.k0; k < r.k1; ++k)
+    for (std::size_t j = r.j0; j < r.j1; ++j)
+      for (std::size_t i = r.i0; i < r.i1; ++i) {
+        const std::size_t c = grid_.index(i, j, k);
+        kx_[c] = kx;
+        ky_[c] = ky;
+        kz_[c] = kz;
+      }
+}
+
+void FvModel::add_interface_z(std::size_t k_plane, double specific_resistance) {
+  if (k_plane + 1 >= grid_.nz())
+    throw std::out_of_range("add_interface_z: plane outside the grid");
+  if (specific_resistance <= 0.0)
+    throw std::invalid_argument("add_interface_z: resistance must be > 0");
+  interfaces_z_.emplace_back(k_plane, specific_resistance);
+}
+
+void FvModel::add_power(const CellRange& r, double watts) {
+  check_range(r);
+  double vol = 0.0;
+  for (std::size_t k = r.k0; k < r.k1; ++k)
+    for (std::size_t j = r.j0; j < r.j1; ++j)
+      for (std::size_t i = r.i0; i < r.i1; ++i) vol += grid_.cell_volume(i, j, k);
+  for (std::size_t k = r.k0; k < r.k1; ++k)
+    for (std::size_t j = r.j0; j < r.j1; ++j)
+      for (std::size_t i = r.i0; i < r.i1; ++i)
+        source_[grid_.index(i, j, k)] += watts * grid_.cell_volume(i, j, k) / vol;
+}
+
+void FvModel::clear_power() { std::fill(source_.begin(), source_.end(), 0.0); }
+
+void FvModel::set_boundary(Face f, const BoundaryCondition& bc) {
+  default_bc_[static_cast<std::size_t>(f)] = bc;
+}
+
+void FvModel::set_boundary_patch(Face f, const CellRange& r, const BoundaryCondition& bc) {
+  auto& patches = patch_bc_[static_cast<std::size_t>(f)];
+  switch (f) {
+    case Face::XMin:
+    case Face::XMax:
+      if (r.j1 > grid_.ny() || r.k1 > grid_.nz() || r.j0 >= r.j1 || r.k0 >= r.k1)
+        throw std::out_of_range("set_boundary_patch: invalid patch");
+      for (std::size_t k = r.k0; k < r.k1; ++k)
+        for (std::size_t j = r.j0; j < r.j1; ++j) patches[j + grid_.ny() * k] = bc;
+      break;
+    case Face::YMin:
+    case Face::YMax:
+      if (r.i1 > grid_.nx() || r.k1 > grid_.nz() || r.i0 >= r.i1 || r.k0 >= r.k1)
+        throw std::out_of_range("set_boundary_patch: invalid patch");
+      for (std::size_t k = r.k0; k < r.k1; ++k)
+        for (std::size_t i = r.i0; i < r.i1; ++i) patches[i + grid_.nx() * k] = bc;
+      break;
+    case Face::ZMin:
+    case Face::ZMax:
+      if (r.i1 > grid_.nx() || r.j1 > grid_.ny() || r.i0 >= r.i1 || r.j0 >= r.j1)
+        throw std::out_of_range("set_boundary_patch: invalid patch");
+      for (std::size_t j = r.j0; j < r.j1; ++j)
+        for (std::size_t i = r.i0; i < r.i1; ++i) patches[i + grid_.nx() * j] = bc;
+      break;
+  }
+}
+
+const BoundaryCondition& FvModel::boundary_for(Face f, std::size_t a, std::size_t b) const {
+  const auto& patches = patch_bc_[static_cast<std::size_t>(f)];
+  std::size_t idx = 0;
+  switch (f) {
+    case Face::XMin:
+    case Face::XMax:
+      idx = a + grid_.ny() * b;  // a = j, b = k
+      break;
+    case Face::YMin:
+    case Face::YMax:
+      idx = a + grid_.nx() * b;  // a = i, b = k
+      break;
+    case Face::ZMin:
+    case Face::ZMax:
+      idx = a + grid_.nx() * b;  // a = i, b = j
+      break;
+  }
+  if (patches[idx].has_value()) return *patches[idx];
+  return default_bc_[static_cast<std::size_t>(f)];
+}
+
+double FvModel::face_conductance_x(std::size_t i0, std::size_t i1, std::size_t j, std::size_t k,
+                                   FaceConductanceScheme scheme) const {
+  const double area = grid_.dy(j) * grid_.dz(k);
+  const double ka = kx_[grid_.index(i0, j, k)];
+  const double kb = kx_[grid_.index(i1, j, k)];
+  const double da = grid_.dx(i0), db = grid_.dx(i1);
+  if (scheme == FaceConductanceScheme::HarmonicMean)
+    return area / (0.5 * da / ka + 0.5 * db / kb);
+  return 0.5 * (ka + kb) * area / (0.5 * (da + db));
+}
+
+double FvModel::face_conductance_y(std::size_t j0, std::size_t j1, std::size_t i, std::size_t k,
+                                   FaceConductanceScheme scheme) const {
+  const double area = grid_.dx(i) * grid_.dz(k);
+  const double ka = ky_[grid_.index(i, j0, k)];
+  const double kb = ky_[grid_.index(i, j1, k)];
+  const double da = grid_.dy(j0), db = grid_.dy(j1);
+  if (scheme == FaceConductanceScheme::HarmonicMean)
+    return area / (0.5 * da / ka + 0.5 * db / kb);
+  return 0.5 * (ka + kb) * area / (0.5 * (da + db));
+}
+
+double FvModel::face_conductance_z(std::size_t k0, std::size_t k1, std::size_t i, std::size_t j,
+                                   FaceConductanceScheme scheme) const {
+  const double area = grid_.dx(i) * grid_.dy(j);
+  const double ka = kz_[grid_.index(i, j, k0)];
+  const double kb = kz_[grid_.index(i, j, k1)];
+  const double da = grid_.dz(k0), db = grid_.dz(k1);
+  // Contact (TIM / bond-line) resistance registered on this plane.
+  double r_contact = 0.0;
+  for (const auto& [plane, r_spec] : interfaces_z_)
+    if (plane == std::min(k0, k1)) r_contact += r_spec / area;
+  if (scheme == FaceConductanceScheme::HarmonicMean)
+    return 1.0 / (0.5 * da / (ka * area) + 0.5 * db / (kb * area) + r_contact);
+  const double g_bulk = 0.5 * (ka + kb) * area / (0.5 * (da + db));
+  return 1.0 / (1.0 / g_bulk + r_contact);
+}
+
+double FvModel::boundary_conductance(const BoundaryCondition& bc, double area,
+                                     double half_thickness, double k_cell, double t_cell) const {
+  const double g_cond = k_cell * area / half_thickness;
+  switch (bc.kind) {
+    case BoundaryKind::Adiabatic:
+    case BoundaryKind::HeatFlux:
+      return 0.0;
+    case BoundaryKind::FixedTemperature:
+      return g_cond;
+    case BoundaryKind::Convection: {
+      const double g_film = bc.h * area;
+      return 1.0 / (1.0 / g_cond + 1.0 / g_film);
+    }
+    case BoundaryKind::ConvectionRadiation: {
+      const double h_eff = bc.h + h_radiation(t_cell, bc.temperature, bc.emissivity);
+      if (h_eff <= 0.0) return 0.0;
+      const double g_film = h_eff * area;
+      return 1.0 / (1.0 / g_cond + 1.0 / g_film);
+    }
+    case BoundaryKind::NaturalConvection: {
+      const double h = h_natural_plate(bc.orientation, t_cell, bc.temperature,
+                                       bc.characteristic_length, bc.pressure);
+      if (h <= 0.0) return 0.0;
+      const double g_film = h * area;
+      return 1.0 / (1.0 / g_cond + 1.0 / g_film);
+    }
+  }
+  throw std::logic_error("boundary_conductance: unknown kind");
+}
+
+namespace {
+struct BoundaryFaceView {
+  Face face;
+  std::size_t i, j, k;  // cell indices
+  std::size_t a, b;     // in-plane indices for boundary_for
+  double area;
+  double half;    // half cell thickness normal to the face
+  double k_cell;  // conductivity normal to the face
+};
+}  // namespace
+
+// Visit every boundary cell-face of the domain.
+template <typename F>
+static void for_each_boundary_face(const FvGrid& g, const Vector& kx, const Vector& ky,
+                                   const Vector& kz, F&& fn) {
+  const std::size_t nx = g.nx(), ny = g.ny(), nz = g.nz();
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j) {
+      fn(BoundaryFaceView{Face::XMin, 0, j, k, j, k, g.dy(j) * g.dz(k), 0.5 * g.dx(0),
+                          kx[g.index(0, j, k)]});
+      fn(BoundaryFaceView{Face::XMax, nx - 1, j, k, j, k, g.dy(j) * g.dz(k),
+                          0.5 * g.dx(nx - 1), kx[g.index(nx - 1, j, k)]});
+    }
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t i = 0; i < nx; ++i) {
+      fn(BoundaryFaceView{Face::YMin, i, 0, k, i, k, g.dx(i) * g.dz(k), 0.5 * g.dy(0),
+                          ky[g.index(i, 0, k)]});
+      fn(BoundaryFaceView{Face::YMax, i, ny - 1, k, i, k, g.dx(i) * g.dz(k),
+                          0.5 * g.dy(ny - 1), ky[g.index(i, ny - 1, k)]});
+    }
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      fn(BoundaryFaceView{Face::ZMin, i, j, 0, i, j, g.dx(i) * g.dy(j), 0.5 * g.dz(0),
+                          kz[g.index(i, j, 0)]});
+      fn(BoundaryFaceView{Face::ZMax, i, j, nz - 1, i, j, g.dx(i) * g.dy(j),
+                          0.5 * g.dz(nz - 1), kz[g.index(i, j, nz - 1)]});
+    }
+}
+
+void FvModel::assemble(const Vector& temps, const FvOptions& opts, numeric::SparseBuilder& a,
+                       Vector& rhs, const Vector* prev, double inv_dt) const {
+  const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+
+  // Sources and (transient) capacity terms.
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t c = grid_.index(i, j, k);
+        rhs[c] += source_[c];
+        if (inv_dt > 0.0) {
+          const double cap = rho_cp_[c] * grid_.cell_volume(i, j, k) * inv_dt;
+          a.add(c, c, cap);
+          rhs[c] += cap * (*prev)[c];
+        }
+      }
+
+  // Internal faces.
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i + 1 < nx; ++i) {
+        const double g = face_conductance_x(i, i + 1, j, k, opts.scheme);
+        const std::size_t p = grid_.index(i, j, k), q = grid_.index(i + 1, j, k);
+        a.add(p, p, g);
+        a.add(q, q, g);
+        a.add(p, q, -g);
+        a.add(q, p, -g);
+      }
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j + 1 < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const double g = face_conductance_y(j, j + 1, i, k, opts.scheme);
+        const std::size_t p = grid_.index(i, j, k), q = grid_.index(i, j + 1, k);
+        a.add(p, p, g);
+        a.add(q, q, g);
+        a.add(p, q, -g);
+        a.add(q, p, -g);
+      }
+  for (std::size_t k = 0; k + 1 < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const double g = face_conductance_z(k, k + 1, i, j, opts.scheme);
+        const std::size_t p = grid_.index(i, j, k), q = grid_.index(i, j, k + 1);
+        a.add(p, p, g);
+        a.add(q, q, g);
+        a.add(p, q, -g);
+        a.add(q, p, -g);
+      }
+
+  // Boundary faces.
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    const std::size_t c = grid_.index(f.i, f.j, f.k);
+    if (bc.kind == BoundaryKind::HeatFlux) {
+      rhs[c] += bc.flux * f.area;
+      return;
+    }
+    const double g = boundary_conductance(bc, f.area, f.half, f.k_cell, temps[c]);
+    if (g <= 0.0) return;
+    a.add(c, c, g);
+    rhs[c] += g * bc.temperature;
+  });
+}
+
+double FvModel::energy_residual(const Vector& temps, const FvOptions& opts) const {
+  double sources = std::accumulate(source_.begin(), source_.end(), 0.0);
+  double outflow = 0.0;
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    const std::size_t c = grid_.index(f.i, f.j, f.k);
+    if (bc.kind == BoundaryKind::HeatFlux) {
+      outflow -= bc.flux * f.area;
+      return;
+    }
+    const double g = boundary_conductance(bc, f.area, f.half, f.k_cell, temps[c]);
+    outflow += g * (temps[c] - bc.temperature);
+  });
+  (void)opts;
+  return std::fabs(sources - outflow);
+}
+
+FvSolution FvModel::solve_steady(const FvOptions& opts) const {
+  const std::size_t n = grid_.cell_count();
+  // Check that the problem is bounded: at least one face must sink heat.
+  bool has_sink = false;
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    if (bc.kind != BoundaryKind::Adiabatic && bc.kind != BoundaryKind::HeatFlux)
+      has_sink = true;
+  });
+  if (!has_sink)
+    throw std::logic_error("FvModel::solve_steady: no temperature-referencing boundary");
+
+  // Does any boundary depend on the iterate temperature?
+  bool nonlinear = false;
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    if (bc.kind == BoundaryKind::ConvectionRadiation ||
+        bc.kind == BoundaryKind::NaturalConvection)
+      nonlinear = true;
+  });
+
+  // Initial guess: first sink temperature + a few kelvin.
+  double t_guess = 300.0;
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    if (bc.kind != BoundaryKind::Adiabatic && bc.kind != BoundaryKind::HeatFlux)
+      t_guess = bc.temperature + 10.0;
+  });
+
+  Vector temps(n, t_guess);
+  FvSolution sol;
+  const std::size_t passes = nonlinear ? opts.max_picard_iterations : 1;
+  for (std::size_t it = 0; it < passes; ++it) {
+    numeric::SparseBuilder builder(n, n);
+    Vector rhs(n, 0.0);
+    assemble(temps, opts, builder, rhs, nullptr, 0.0);
+    const numeric::CsrMatrix a = builder.build();
+    const auto lin = numeric::conjugate_gradient(a, rhs, opts.linear);
+    if (!lin.converged)
+      throw std::runtime_error("FvModel::solve_steady: linear solver failed to converge");
+    sol.linear_iterations += lin.iterations;
+    double delta = 0.0;
+    for (std::size_t c = 0; c < n; ++c) delta = std::max(delta, std::fabs(lin.x[c] - temps[c]));
+    temps = lin.x;
+    sol.picard_iterations = it + 1;
+    if (!nonlinear || delta < opts.picard_tolerance) {
+      sol.converged = true;
+      break;
+    }
+  }
+  sol.temperatures = temps;
+  sol.energy_residual = energy_residual(temps, opts);
+  sol.max_temperature = numeric::max_element(temps);
+  sol.min_temperature = numeric::min_element(temps);
+  return sol;
+}
+
+FvTransientSolution FvModel::solve_transient(double t_end, double dt, double t_initial,
+                                             const FvOptions& opts) const {
+  if (dt <= 0.0 || t_end <= dt) throw std::invalid_argument("solve_transient: bad time step");
+  const std::size_t n = grid_.cell_count();
+  Vector temps(n, t_initial);
+  FvTransientSolution out;
+  out.times.push_back(0.0);
+  out.temperatures.push_back(temps);
+  const std::size_t steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+  for (std::size_t s = 1; s <= steps; ++s) {
+    numeric::SparseBuilder builder(n, n);
+    Vector rhs(n, 0.0);
+    assemble(temps, opts, builder, rhs, &temps, 1.0 / dt);
+    const numeric::CsrMatrix a = builder.build();
+    const auto lin = numeric::conjugate_gradient(a, rhs, opts.linear);
+    if (!lin.converged)
+      throw std::runtime_error("FvModel::solve_transient: linear solver failed");
+    temps = lin.x;
+    out.times.push_back(dt * static_cast<double>(s));
+    out.temperatures.push_back(temps);
+  }
+  return out;
+}
+
+double FvModel::region_max(const Vector& temps, const CellRange& r) const {
+  check_range(r);
+  double best = -1e300;
+  for (std::size_t k = r.k0; k < r.k1; ++k)
+    for (std::size_t j = r.j0; j < r.j1; ++j)
+      for (std::size_t i = r.i0; i < r.i1; ++i)
+        best = std::max(best, temps[grid_.index(i, j, k)]);
+  return best;
+}
+
+double FvModel::region_mean(const Vector& temps, const CellRange& r) const {
+  check_range(r);
+  double acc = 0.0, vol = 0.0;
+  for (std::size_t k = r.k0; k < r.k1; ++k)
+    for (std::size_t j = r.j0; j < r.j1; ++j)
+      for (std::size_t i = r.i0; i < r.i1; ++i) {
+        const double v = grid_.cell_volume(i, j, k);
+        acc += temps[grid_.index(i, j, k)] * v;
+        vol += v;
+      }
+  return acc / vol;
+}
+
+}  // namespace aeropack::thermal

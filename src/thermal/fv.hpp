@@ -1,0 +1,202 @@
+// Structured 3-D finite-volume heat conduction solver — the toolkit's
+// stand-in for the finite-volume CFD code (FloTHERM) the paper uses for
+// Level-2/3 thermal design. Conjugate convection is represented by film
+// coefficients on boundary faces (fixed h or a natural-convection
+// correlation re-evaluated each Picard pass), which is exactly how the
+// paper's design levels use the CFD tool: board/box conduction with
+// film-coefficient boundaries.
+//
+// Grid: tensor-product cells, per-cell anisotropic conductivity, volumetric
+// sources. Face conductances use the harmonic mean of cell conductivities
+// (option: arithmetic, kept for the ablation bench). Steady solves assemble
+// an SPD system solved by preconditioned CG; transient uses implicit Euler.
+//
+// All temperatures are absolute [K].
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "materials/solid.hpp"
+#include "numeric/dense.hpp"
+#include "numeric/sparse.hpp"
+#include "thermal/convection.hpp"
+
+namespace aeropack::thermal {
+
+/// Tensor-product grid: cell sizes along each axis.
+class FvGrid {
+ public:
+  FvGrid(numeric::Vector dx, numeric::Vector dy, numeric::Vector dz);
+  /// Uniform grid over a box of size (lx, ly, lz) with (nx, ny, nz) cells.
+  static FvGrid uniform(double lx, double ly, double lz, std::size_t nx, std::size_t ny,
+                        std::size_t nz);
+
+  std::size_t nx() const { return dx_.size(); }
+  std::size_t ny() const { return dy_.size(); }
+  std::size_t nz() const { return dz_.size(); }
+  std::size_t cell_count() const { return nx() * ny() * nz(); }
+
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k) const {
+    return i + nx() * (j + ny() * k);
+  }
+  double dx(std::size_t i) const { return dx_[i]; }
+  double dy(std::size_t j) const { return dy_[j]; }
+  double dz(std::size_t k) const { return dz_[k]; }
+  double cell_volume(std::size_t i, std::size_t j, std::size_t k) const {
+    return dx_[i] * dy_[j] * dz_[k];
+  }
+  /// Cell-center coordinate along x (similarly y, z).
+  double x_center(std::size_t i) const;
+  double y_center(std::size_t j) const;
+  double z_center(std::size_t k) const;
+  double lx() const;
+  double ly() const;
+  double lz() const;
+
+ private:
+  numeric::Vector dx_, dy_, dz_;
+};
+
+/// Axis-aligned index box [i0, i1) x [j0, j1) x [k0, k1) for region setters.
+struct CellRange {
+  std::size_t i0 = 0, i1 = 0, j0 = 0, j1 = 0, k0 = 0, k1 = 0;
+};
+
+enum class Face { XMin, XMax, YMin, YMax, ZMin, ZMax };
+
+enum class BoundaryKind {
+  Adiabatic,
+  FixedTemperature,
+  Convection,           ///< fixed film coefficient + sink temperature
+  ConvectionRadiation,  ///< fixed h + linearized radiation to the same sink
+  NaturalConvection,    ///< h from a plate correlation, re-evaluated per pass
+  HeatFlux,             ///< prescribed flux [W/m^2], positive into the body
+};
+
+struct BoundaryCondition {
+  BoundaryKind kind = BoundaryKind::Adiabatic;
+  double temperature = 293.15;  ///< sink / prescribed temperature [K]
+  double h = 0.0;               ///< film coefficient [W/m^2 K]
+  double flux = 0.0;            ///< [W/m^2]
+  double emissivity = 0.0;      ///< for ConvectionRadiation
+  SurfaceOrientation orientation = SurfaceOrientation::Vertical;  ///< NaturalConvection
+  double characteristic_length = 0.1;                             ///< NaturalConvection [m]
+  double pressure = 101325.0;                                     ///< NaturalConvection [Pa]
+
+  static BoundaryCondition adiabatic() { return {}; }
+  static BoundaryCondition fixed(double t_k);
+  static BoundaryCondition convection(double h, double t_k);
+  static BoundaryCondition convection_radiation(double h, double t_k, double emissivity);
+  static BoundaryCondition natural(SurfaceOrientation o, double length, double t_k,
+                                   double pressure = 101325.0);
+  static BoundaryCondition heat_flux(double flux);
+};
+
+enum class FaceConductanceScheme { HarmonicMean, ArithmeticMean };
+
+struct FvOptions {
+  FaceConductanceScheme scheme = FaceConductanceScheme::HarmonicMean;
+  std::size_t max_picard_iterations = 60;
+  double picard_tolerance = 1e-6;  ///< max |dT| across passes [K]
+  numeric::IterativeOptions linear;
+};
+
+struct FvSolution {
+  numeric::Vector temperatures;  ///< per cell [K]
+  std::size_t picard_iterations = 0;
+  std::size_t linear_iterations = 0;  ///< total inner CG iterations
+  bool converged = false;
+  double energy_residual = 0.0;  ///< |sources - boundary outflow| [W]
+  double max_temperature = 0.0;
+  double min_temperature = 0.0;
+};
+
+struct FvTransientSolution {
+  numeric::Vector times;
+  std::vector<numeric::Vector> temperatures;
+};
+
+class FvModel {
+ public:
+  explicit FvModel(FvGrid grid);
+
+  const FvGrid& grid() const { return grid_; }
+
+  /// Fill the whole domain with a material.
+  void set_material(const materials::SolidMaterial& m);
+  /// Fill an index sub-box with a material.
+  void set_material(const CellRange& r, const materials::SolidMaterial& m);
+  /// Override per-axis conductivities in a sub-box (e.g. heat-pipe drain:
+  /// very high kx). rho_cp untouched.
+  void set_conductivity(const CellRange& r, double kx, double ky, double kz);
+
+  /// Area-specific contact resistance [K m^2/W] on the z-face between cell
+  /// layers k_plane and k_plane+1 (a TIM or bond line between a board and
+  /// its drain). Applied over the whole plane; call once per interface.
+  void add_interface_z(std::size_t k_plane, double specific_resistance);
+
+  /// Add total power [W] uniformly distributed over a sub-box.
+  void add_power(const CellRange& r, double watts);
+  /// Clear all sources (for power sweeps).
+  void clear_power();
+
+  /// Default condition for one outer face of the domain.
+  void set_boundary(Face f, const BoundaryCondition& bc);
+  /// Override the condition on a rectangular patch of a face. The patch is
+  /// specified by the in-plane index range of the face's cells.
+  void set_boundary_patch(Face f, const CellRange& r, const BoundaryCondition& bc);
+
+  FvSolution solve_steady(const FvOptions& opts = {}) const;
+
+  /// Implicit Euler transient from a uniform initial temperature.
+  FvTransientSolution solve_transient(double t_end, double dt, double t_initial,
+                                      const FvOptions& opts = {}) const;
+
+  /// Highest cell temperature within a sub-box of a solution.
+  double region_max(const numeric::Vector& temps, const CellRange& r) const;
+  /// Volume-average temperature within a sub-box.
+  double region_mean(const numeric::Vector& temps, const CellRange& r) const;
+
+  /// Whole-domain range helper.
+  CellRange all_cells() const;
+
+ private:
+  struct FaceBc {
+    BoundaryCondition bc;  // per boundary cell-face
+  };
+
+  void check_range(const CellRange& r) const;
+  const BoundaryCondition& boundary_for(Face f, std::size_t a, std::size_t b) const;
+  /// Assemble the steady system for given (possibly temperature-dependent)
+  /// boundary film coefficients. `temps` is the current iterate used to
+  /// linearize radiation / natural convection.
+  void assemble(const numeric::Vector& temps, const FvOptions& opts,
+                numeric::SparseBuilder& a, numeric::Vector& rhs,
+                const numeric::Vector* prev, double inv_dt) const;
+  double face_conductance_x(std::size_t i0, std::size_t i1, std::size_t j, std::size_t k,
+                            FaceConductanceScheme scheme) const;
+  double face_conductance_y(std::size_t j0, std::size_t j1, std::size_t i, std::size_t k,
+                            FaceConductanceScheme scheme) const;
+  double face_conductance_z(std::size_t k0, std::size_t k1, std::size_t i, std::size_t j,
+                            FaceConductanceScheme scheme) const;
+  /// Effective boundary conductance [W/K] of a boundary cell face, given the
+  /// current surface-cell temperature estimate.
+  double boundary_conductance(const BoundaryCondition& bc, double area, double half_thickness,
+                              double k_cell, double t_cell) const;
+  double energy_residual(const numeric::Vector& temps, const FvOptions& opts) const;
+
+  FvGrid grid_;
+  numeric::Vector kx_, ky_, kz_;   // per cell [W/m K]
+  numeric::Vector rho_cp_;         // per cell [J/m^3 K]
+  numeric::Vector source_;         // per cell [W]
+  std::array<BoundaryCondition, 6> default_bc_{};
+  std::vector<std::pair<std::size_t, double>> interfaces_z_;  // (plane, R'' [K m^2/W])
+  // Per-face overrides: map from (face, a, b) flattened in-plane index.
+  std::array<std::vector<std::optional<BoundaryCondition>>, 6> patch_bc_{};
+};
+
+}  // namespace aeropack::thermal

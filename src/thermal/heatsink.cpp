@@ -1,0 +1,127 @@
+#include "thermal/heatsink.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/rootfind.hpp"
+#include "thermal/convection.hpp"
+#include "thermal/fins.hpp"
+
+namespace aeropack::thermal {
+
+int HeatSink::fin_count() const {
+  return static_cast<int>(std::floor((base_width + fin_gap) / (fin_thickness + fin_gap)));
+}
+
+double HeatSink::fin_area() const {
+  return 2.0 * fin_count() * fin_height * base_length;
+}
+
+double HeatSink::exposed_base_area() const {
+  const double covered = fin_count() * fin_thickness * base_length;
+  return std::max(base_length * base_width - covered, 0.0);
+}
+
+void HeatSink::validate() const {
+  if (base_length <= 0.0 || base_width <= 0.0 || base_thickness <= 0.0 || fin_height <= 0.0 ||
+      fin_thickness <= 0.0 || fin_gap <= 0.0 || conductivity <= 0.0)
+    throw std::invalid_argument("HeatSink: non-positive dimension");
+  if (emissivity < 0.0 || emissivity > 1.0)
+    throw std::invalid_argument("HeatSink: emissivity out of range");
+  if (fin_count() < 2) throw std::invalid_argument("HeatSink: fewer than 2 fins fit");
+}
+
+namespace {
+
+/// Fin efficiency of one rectangular fin at film coefficient h.
+double fin_eta(const HeatSink& hs, double h) {
+  if (h <= 0.0) return 1.0;
+  // Straight fin, adiabatic tip, corrected length.
+  const double lc = hs.fin_height + 0.5 * hs.fin_thickness;
+  const double m = std::sqrt(2.0 * h / (hs.conductivity * hs.fin_thickness));
+  return std::tanh(m * lc) / (m * lc);
+}
+
+double conductance_from_h(const HeatSink& hs, double h, double h_rad) {
+  const double eta = fin_eta(hs, h);
+  // Radiation only acts on the outer envelope (channels see themselves):
+  // approximate with the envelope area = base + outer fin faces.
+  const double a_envelope = hs.base_length * hs.base_width +
+                            2.0 * hs.fin_height * hs.base_length;
+  return h * (eta * hs.fin_area() + hs.exposed_base_area()) + h_rad * a_envelope;
+}
+
+}  // namespace
+
+double heatsink_conductance_natural(const HeatSink& hs, double t_base_k, double t_ambient_k,
+                                    double pressure_pa) {
+  hs.validate();
+  const double dt = std::max(std::fabs(t_base_k - t_ambient_k), 0.05);
+  const double ts = t_ambient_k + dt;
+  const auto film = materials::air_at(0.5 * (ts + t_ambient_k), pressure_pa);
+  // Elenbaas channel: Ra_s based on the gap, plate height = base_length.
+  const double s = hs.fin_gap;
+  const double l = hs.base_length;
+  const double ra_s = rayleigh(ts, t_ambient_k, s, film) * (s / l);
+  // Elenbaas composite Nusselt (isothermal plates):
+  const double nu = std::pow(std::pow(ra_s / 24.0, -1.9) +
+                                 std::pow(0.59 * std::pow(ra_s, 0.25), -1.9),
+                             -1.0 / 1.9);
+  const double h = nu * film.conductivity / s;
+  const double h_rad = h_radiation(ts, t_ambient_k, hs.emissivity);
+  return conductance_from_h(hs, h, h_rad);
+}
+
+double heatsink_conductance_forced(const HeatSink& hs, double velocity, double t_film_k,
+                                   double pressure_pa) {
+  hs.validate();
+  if (velocity <= 0.0)
+    throw std::invalid_argument("heatsink_conductance_forced: velocity must be > 0");
+  // Channel velocity from flow-area blockage.
+  const double blockage =
+      hs.fin_gap / (hs.fin_gap + hs.fin_thickness);
+  const double v_chan = velocity / std::max(blockage, 0.05);
+  const double dh = 2.0 * hs.fin_gap * hs.fin_height / (hs.fin_gap + hs.fin_height);
+  const double h = h_forced_duct(v_chan, dh, t_film_k, pressure_pa);
+  return conductance_from_h(hs, h, 0.0);  // radiation negligible under forced flow
+}
+
+double heatsink_resistance(const HeatSink& hs, double t_base_k, double t_ambient_k,
+                           double velocity, double pressure_pa) {
+  const double g = (velocity > 0.0)
+                       ? heatsink_conductance_forced(
+                             hs, velocity, 0.5 * (t_base_k + t_ambient_k), pressure_pa)
+                       : heatsink_conductance_natural(hs, t_base_k, t_ambient_k, pressure_pa);
+  // Base-plate spreading is left to the caller (spreading_resistance); add
+  // the through-base conduction term.
+  const double r_base =
+      hs.base_thickness / (hs.conductivity * hs.base_length * hs.base_width);
+  return r_base + 1.0 / g;
+}
+
+double optimal_fin_gap_natural(double length, double t_base_k, double t_ambient_k,
+                               double pressure_pa) {
+  if (length <= 0.0) throw std::invalid_argument("optimal_fin_gap_natural: length");
+  const double dt = std::max(std::fabs(t_base_k - t_ambient_k), 0.05);
+  const auto film =
+      materials::air_at(0.5 * (t_base_k + t_ambient_k), pressure_pa);
+  // Bar-Cohen & Rohsenow: s_opt = 2.714 (L / Ra_L)^(1/4) * L^(3/4) form,
+  // expressed via the plate Rayleigh number on L:
+  const double ra_l = rayleigh(t_ambient_k + dt, t_ambient_k, length, film);
+  return 2.714 * length / std::pow(ra_l, 0.25);
+}
+
+double heatsink_base_temperature(const HeatSink& hs, double power_w, double t_ambient_k,
+                                 double velocity, double pressure_pa) {
+  if (power_w < 0.0) throw std::invalid_argument("heatsink_base_temperature: negative power");
+  if (power_w == 0.0) return t_ambient_k;
+  const auto balance = [&](double t_base) {
+    const double r = heatsink_resistance(hs, t_base, t_ambient_k, velocity, pressure_pa);
+    return (t_base - t_ambient_k) / r - power_w;
+  };
+  return numeric::brent_auto_bracket(balance, t_ambient_k + 0.01, t_ambient_k + 20.0,
+                                     t_ambient_k + 500.0);
+}
+
+}  // namespace aeropack::thermal

@@ -1,0 +1,54 @@
+// Plate-fin heat sink model: fin-array conductance under natural or forced
+// convection, with the Bar-Cohen/Rohsenow optimum-spacing rule for natural
+// convection. Used by the cooling-technology trades ("air flow around" and
+// free-convection options grow fins when the bare case is not enough).
+#pragma once
+
+#include "materials/air.hpp"
+
+namespace aeropack::thermal {
+
+/// Rectangular plate-fin heat sink on a base plate.
+struct HeatSink {
+  double base_length = 0.15;     ///< flow / fin direction [m]
+  double base_width = 0.10;      ///< across the fins [m]
+  double base_thickness = 5e-3;  ///< [m]
+  double fin_height = 30e-3;     ///< [m]
+  double fin_thickness = 1.5e-3; ///< [m]
+  double fin_gap = 6e-3;         ///< channel width between fins [m]
+  double conductivity = 200.0;   ///< fin/base material [W/m K]
+  double emissivity = 0.85;      ///< anodized
+
+  int fin_count() const;
+  /// Total exposed fin area (both faces of each fin). [m^2]
+  double fin_area() const;
+  /// Base area not covered by fins. [m^2]
+  double exposed_base_area() const;
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+/// Conductance of the sink under buoyancy-driven flow through vertical
+/// channels (fins vertical, Elenbaas channel correlation). [W/K]
+double heatsink_conductance_natural(const HeatSink& hs, double t_base_k, double t_ambient_k,
+                                    double pressure_pa = 101325.0);
+
+/// Conductance under a forced approach velocity [m/s] (developing channel
+/// flow between fins). [W/K]
+double heatsink_conductance_forced(const HeatSink& hs, double velocity, double t_film_k,
+                                   double pressure_pa = 101325.0);
+
+/// Thermal resistance base-to-ambient including fin efficiency. [K/W]
+double heatsink_resistance(const HeatSink& hs, double t_base_k, double t_ambient_k,
+                           double velocity = 0.0, double pressure_pa = 101325.0);
+
+/// Bar-Cohen optimum fin gap for natural convection on a vertical plate of
+/// height `length` at the given temperatures. [m]
+double optimal_fin_gap_natural(double length, double t_base_k, double t_ambient_k,
+                               double pressure_pa = 101325.0);
+
+/// Solve the base temperature for a given dissipation [W] (nonlinear in the
+/// natural-convection case; Brent on the energy balance). [K]
+double heatsink_base_temperature(const HeatSink& hs, double power_w, double t_ambient_k,
+                                 double velocity = 0.0, double pressure_pa = 101325.0);
+
+}  // namespace aeropack::thermal

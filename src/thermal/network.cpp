@@ -1,0 +1,294 @@
+#include "thermal/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/solve_dense.hpp"
+
+namespace aeropack::thermal {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+NodeId ThermalNetwork::add_node(std::string name, double capacitance) {
+  if (capacitance < 0.0) throw std::invalid_argument("add_node: negative capacitance");
+  nodes_.push_back({std::move(name), false, 0.0, capacitance, 0.0});
+  return nodes_.size() - 1;
+}
+
+NodeId ThermalNetwork::add_boundary(std::string name, double temperature) {
+  if (temperature <= 0.0)
+    throw std::invalid_argument("add_boundary: temperature must be absolute (K) and > 0");
+  nodes_.push_back({std::move(name), true, temperature, 0.0, 0.0});
+  return nodes_.size() - 1;
+}
+
+void ThermalNetwork::check_node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("ThermalNetwork: bad node id");
+}
+
+void ThermalNetwork::add_conductor(NodeId a, NodeId b, double conductance) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("add_conductor: self loop");
+  if (conductance <= 0.0) throw std::invalid_argument("add_conductor: conductance must be > 0");
+  conductors_.push_back({a, b, conductance, nullptr});
+}
+
+void ThermalNetwork::add_resistor(NodeId a, NodeId b, double resistance) {
+  if (resistance <= 0.0) throw std::invalid_argument("add_resistor: resistance must be > 0");
+  add_conductor(a, b, 1.0 / resistance);
+}
+
+void ThermalNetwork::add_nonlinear_conductor(NodeId a, NodeId b, ConductanceFn g) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("add_nonlinear_conductor: self loop");
+  if (!g) throw std::invalid_argument("add_nonlinear_conductor: empty callback");
+  conductors_.push_back({a, b, 0.0, std::move(g)});
+}
+
+void ThermalNetwork::add_heat_load(NodeId node, double watts) {
+  check_node(node);
+  if (nodes_[node].boundary) throw std::invalid_argument("add_heat_load: node is a boundary");
+  nodes_[node].load += watts;
+}
+
+void ThermalNetwork::set_heat_load(NodeId node, double watts) {
+  check_node(node);
+  if (nodes_[node].boundary) throw std::invalid_argument("set_heat_load: node is a boundary");
+  nodes_[node].load = watts;
+}
+
+const std::string& ThermalNetwork::node_name(NodeId id) const {
+  check_node(id);
+  return nodes_[id].name;
+}
+
+bool ThermalNetwork::is_boundary(NodeId id) const {
+  check_node(id);
+  return nodes_[id].boundary;
+}
+
+void ThermalNetwork::set_boundary_temperature(NodeId id, double temperature) {
+  check_node(id);
+  if (!nodes_[id].boundary)
+    throw std::invalid_argument("set_boundary_temperature: not a boundary node");
+  if (temperature <= 0.0) throw std::invalid_argument("set_boundary_temperature: T must be > 0");
+  nodes_[id].temperature = temperature;
+}
+
+std::vector<double> ThermalNetwork::evaluate_conductances(const Vector& temps) const {
+  std::vector<double> g(conductors_.size());
+  for (std::size_t i = 0; i < conductors_.size(); ++i) {
+    const Conductor& c = conductors_[i];
+    if (c.fn) {
+      const double val = c.fn(temps[c.a], temps[c.b]);
+      if (!(val >= 0.0) || !std::isfinite(val))
+        throw std::runtime_error("ThermalNetwork: nonlinear conductor returned invalid value");
+      g[i] = val;
+    } else {
+      g[i] = c.g;
+    }
+  }
+  return g;
+}
+
+Vector ThermalNetwork::solve_linearized(const std::vector<double>& g_values) const {
+  // Map diffusion nodes to unknown indices.
+  std::vector<std::ptrdiff_t> unknown_index(nodes_.size(), -1);
+  std::size_t n_unknown = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].boundary) unknown_index[i] = static_cast<std::ptrdiff_t>(n_unknown++);
+  if (n_unknown == 0) {
+    Vector all(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) all[i] = nodes_[i].temperature;
+    return all;
+  }
+
+  Matrix g(n_unknown, n_unknown);
+  Vector rhs(n_unknown, 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].boundary) rhs[static_cast<std::size_t>(unknown_index[i])] = nodes_[i].load;
+
+  for (std::size_t ci = 0; ci < conductors_.size(); ++ci) {
+    const Conductor& c = conductors_[ci];
+    const double gv = g_values[ci];
+    if (gv == 0.0) continue;
+    const std::ptrdiff_t ia = unknown_index[c.a];
+    const std::ptrdiff_t ib = unknown_index[c.b];
+    if (ia >= 0 && ib >= 0) {
+      const auto ua = static_cast<std::size_t>(ia);
+      const auto ub = static_cast<std::size_t>(ib);
+      g(ua, ua) += gv;
+      g(ub, ub) += gv;
+      g(ua, ub) -= gv;
+      g(ub, ua) -= gv;
+    } else if (ia >= 0) {
+      const auto ua = static_cast<std::size_t>(ia);
+      g(ua, ua) += gv;
+      rhs[ua] += gv * nodes_[c.b].temperature;
+    } else if (ib >= 0) {
+      const auto ub = static_cast<std::size_t>(ib);
+      g(ub, ub) += gv;
+      rhs[ub] += gv * nodes_[c.a].temperature;
+    }
+  }
+
+  const Vector x = numeric::CholeskyFactorization(g).solve(rhs);
+  Vector all(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    all[i] = nodes_[i].boundary ? nodes_[i].temperature
+                                : x[static_cast<std::size_t>(unknown_index[i])];
+  return all;
+}
+
+SteadySolution ThermalNetwork::solve_steady(const SteadyOptions& opts) const {
+  if (nodes_.empty()) throw std::logic_error("solve_steady: empty network");
+  // Initial guess: mean boundary temperature, or user override.
+  double t0 = opts.initial_guess;
+  if (t0 <= 0.0) {
+    double acc = 0.0;
+    std::size_t nb = 0;
+    for (const Node& n : nodes_)
+      if (n.boundary) {
+        acc += n.temperature;
+        ++nb;
+      }
+    t0 = (nb > 0) ? acc / static_cast<double>(nb) : 300.0;
+  }
+  Vector temps(nodes_.size(), t0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].boundary) temps[i] = nodes_[i].temperature;
+
+  const bool nonlinear =
+      std::any_of(conductors_.begin(), conductors_.end(),
+                  [](const Conductor& c) { return static_cast<bool>(c.fn); });
+
+  SteadySolution sol;
+  const std::size_t max_it = nonlinear ? opts.max_picard_iterations : 1;
+  for (std::size_t it = 0; it < max_it; ++it) {
+    const auto g = evaluate_conductances(temps);
+    const Vector next = solve_linearized(g);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < temps.size(); ++i)
+      delta = std::max(delta, std::fabs(next[i] - temps[i]));
+    sol.iterations = it + 1;
+    if (!nonlinear || delta < opts.tolerance) {
+      // Linear problems solve exactly in one pass; converged nonlinear
+      // iterates take the unrelaxed solution so conductances and
+      // temperatures are self-consistent.
+      temps = next;
+      sol.converged = true;
+      break;
+    }
+    for (std::size_t i = 0; i < temps.size(); ++i)
+      temps[i] = temps[i] + opts.relaxation * (next[i] - temps[i]);
+  }
+
+  sol.temperatures = temps;
+  // Energy residual: total load vs heat absorbed by boundaries.
+  double loads = 0.0;
+  for (const Node& n : nodes_)
+    if (!n.boundary) loads += n.load;
+  double boundary_in = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].boundary) boundary_in += node_heat_flow(i, temps);
+  sol.energy_residual = std::fabs(loads + boundary_in);
+  return sol;
+}
+
+double ThermalNetwork::node_heat_flow(NodeId id, const Vector& temps) const {
+  check_node(id);
+  const auto g = evaluate_conductances(temps);
+  double flow = 0.0;  // positive = heat leaving `id` into the network
+  for (std::size_t ci = 0; ci < conductors_.size(); ++ci) {
+    const Conductor& c = conductors_[ci];
+    if (c.a == id) flow += g[ci] * (temps[c.a] - temps[c.b]);
+    if (c.b == id) flow += g[ci] * (temps[c.b] - temps[c.a]);
+  }
+  return flow;
+}
+
+TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
+                                                  const Vector& initial_temperatures,
+                                                  const SteadyOptions& opts) const {
+  if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("solve_transient: bad time step");
+  if (initial_temperatures.size() != nodes_.size())
+    throw std::invalid_argument("solve_transient: initial state size mismatch");
+
+  constexpr double kCapFloor = 1e-6;  // quasi-steady nodes get a tiny capacitance
+
+  Vector temps = initial_temperatures;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].boundary) temps[i] = nodes_[i].temperature;
+
+  TransientSolution out;
+  out.times.push_back(0.0);
+  out.temperatures.push_back(temps);
+
+  std::vector<std::ptrdiff_t> unknown_index(nodes_.size(), -1);
+  std::size_t n_unknown = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (!nodes_[i].boundary) unknown_index[i] = static_cast<std::ptrdiff_t>(n_unknown++);
+
+  const std::size_t n_steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+  for (std::size_t s = 1; s <= n_steps; ++s) {
+    // A few Picard passes per implicit step to handle nonlinear conductors.
+    Vector iterate = temps;
+    for (std::size_t pic = 0; pic < 5; ++pic) {
+      const auto gv = evaluate_conductances(iterate);
+      Matrix a(std::max<std::size_t>(n_unknown, 1), std::max<std::size_t>(n_unknown, 1));
+      Vector rhs(std::max<std::size_t>(n_unknown, 1), 0.0);
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const std::ptrdiff_t ui = unknown_index[i];
+        if (ui < 0) continue;
+        const auto u = static_cast<std::size_t>(ui);
+        const double cap = std::max(nodes_[i].capacitance, kCapFloor);
+        a(u, u) += cap / dt;
+        rhs[u] += cap / dt * temps[i] + nodes_[i].load;
+      }
+      for (std::size_t ci = 0; ci < conductors_.size(); ++ci) {
+        const Conductor& c = conductors_[ci];
+        const double g = gv[ci];
+        if (g == 0.0) continue;
+        const std::ptrdiff_t ia = unknown_index[c.a];
+        const std::ptrdiff_t ib = unknown_index[c.b];
+        if (ia >= 0 && ib >= 0) {
+          const auto ua = static_cast<std::size_t>(ia);
+          const auto ub = static_cast<std::size_t>(ib);
+          a(ua, ua) += g;
+          a(ub, ub) += g;
+          a(ua, ub) -= g;
+          a(ub, ua) -= g;
+        } else if (ia >= 0) {
+          const auto ua = static_cast<std::size_t>(ia);
+          a(ua, ua) += g;
+          rhs[ua] += g * nodes_[c.b].temperature;
+        } else if (ib >= 0) {
+          const auto ub = static_cast<std::size_t>(ib);
+          a(ub, ub) += g;
+          rhs[ub] += g * nodes_[c.a].temperature;
+        }
+      }
+      Vector x(n_unknown, 0.0);
+      if (n_unknown > 0) x = numeric::CholeskyFactorization(a).solve(rhs);
+      Vector next(nodes_.size());
+      for (std::size_t i = 0; i < nodes_.size(); ++i)
+        next[i] = nodes_[i].boundary ? nodes_[i].temperature
+                                     : x[static_cast<std::size_t>(unknown_index[i])];
+      double delta = 0.0;
+      for (std::size_t i = 0; i < next.size(); ++i)
+        delta = std::max(delta, std::fabs(next[i] - iterate[i]));
+      iterate = next;
+      if (delta < opts.tolerance) break;
+    }
+    temps = iterate;
+    out.times.push_back(dt * static_cast<double>(s));
+    out.temperatures.push_back(temps);
+  }
+  return out;
+}
+
+}  // namespace aeropack::thermal

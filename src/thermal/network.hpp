@@ -1,0 +1,105 @@
+// Lumped-parameter thermal resistance network (the paper's Fig. 4 shows this
+// abstraction explicitly: "Resistive network model").
+//
+// Nodes are either diffusion nodes (unknown temperature, optional thermal
+// capacitance) or boundary nodes (prescribed temperature). Conductors may be
+// linear (constant W/K) or nonlinear (a callback returning conductance as a
+// function of the two end temperatures — used for natural convection and
+// radiation whose film coefficients depend on the unknown temperature).
+//
+// All temperatures are absolute [K].
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::thermal {
+
+using NodeId = std::size_t;
+
+/// Conductance [W/K] as a function of the two end temperatures [K].
+using ConductanceFn = std::function<double(double, double)>;
+
+struct SteadyOptions {
+  std::size_t max_picard_iterations = 200;
+  double tolerance = 1e-8;   ///< max |dT| between Picard iterations [K]
+  double relaxation = 0.7;   ///< under-relaxation for nonlinear conductors
+  double initial_guess = 0.0;  ///< 0 => mean boundary temperature
+};
+
+struct SteadySolution {
+  numeric::Vector temperatures;  ///< all nodes, by NodeId [K]
+  std::size_t iterations = 0;
+  bool converged = false;
+  double energy_residual = 0.0;  ///< |sum loads - sum boundary flows| [W]
+};
+
+struct TransientSolution {
+  numeric::Vector times;
+  std::vector<numeric::Vector> temperatures;  ///< per step, all nodes [K]
+};
+
+class ThermalNetwork {
+ public:
+  /// Diffusion node with optional lumped capacitance [J/K].
+  NodeId add_node(std::string name, double capacitance = 0.0);
+  /// Boundary node at fixed temperature [K].
+  NodeId add_boundary(std::string name, double temperature);
+
+  /// Linear conductor, conductance [W/K] (must be > 0).
+  void add_conductor(NodeId a, NodeId b, double conductance);
+  /// Convenience: resistance [K/W].
+  void add_resistor(NodeId a, NodeId b, double resistance);
+  /// Nonlinear conductor; `g(Ta, Tb)` must return a conductance >= 0.
+  void add_nonlinear_conductor(NodeId a, NodeId b, ConductanceFn g);
+  /// Constant heat load [W] into a diffusion node.
+  void add_heat_load(NodeId node, double watts);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(NodeId id) const;
+  bool is_boundary(NodeId id) const;
+  /// Change a boundary node's temperature (for sweeps).
+  void set_boundary_temperature(NodeId id, double temperature);
+  /// Change a node's heat load to a new total (for sweeps).
+  void set_heat_load(NodeId node, double watts);
+
+  SteadySolution solve_steady(const SteadyOptions& opts = {}) const;
+
+  /// Implicit-Euler transient from a uniform or given initial state.
+  /// Diffusion nodes with zero capacitance are treated as quasi-steady
+  /// (arithmetic: tiny capacitance floor). Throws on dt <= 0.
+  TransientSolution solve_transient(double t_end, double dt,
+                                    const numeric::Vector& initial_temperatures,
+                                    const SteadyOptions& opts = {}) const;
+
+  /// Net heat flowing from node `id` into the network at a given solution [W].
+  double node_heat_flow(NodeId id, const numeric::Vector& temperatures) const;
+
+ private:
+  struct Node {
+    std::string name;
+    bool boundary = false;
+    double temperature = 0.0;   // boundaries only
+    double capacitance = 0.0;   // diffusion only
+    double load = 0.0;          // diffusion only
+  };
+  struct Conductor {
+    NodeId a, b;
+    double g = 0.0;        // linear value
+    ConductanceFn fn;      // nonlinear if set
+  };
+
+  void check_node(NodeId id) const;
+  /// Solve the linear system for a fixed set of conductance values.
+  numeric::Vector solve_linearized(const std::vector<double>& g_values) const;
+  std::vector<double> evaluate_conductances(const numeric::Vector& temps) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Conductor> conductors_;
+};
+
+}  // namespace aeropack::thermal

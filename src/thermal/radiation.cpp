@@ -1,0 +1,126 @@
+#include "thermal/radiation.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/solve_dense.hpp"
+#include "thermal/convection.hpp"
+
+namespace aeropack::thermal {
+
+using numeric::Matrix;
+using numeric::Vector;
+using std::numbers::pi;
+
+double view_factor_parallel_rectangles(double a, double b, double c) {
+  if (a <= 0.0 || b <= 0.0 || c <= 0.0)
+    throw std::invalid_argument("view_factor_parallel_rectangles: non-positive dimension");
+  const double x = a / c;
+  const double y = b / c;
+  const double x2 = x * x, y2 = y * y;
+  const double term1 = std::log(std::sqrt((1.0 + x2) * (1.0 + y2) / (1.0 + x2 + y2)));
+  const double term2 = x * std::sqrt(1.0 + y2) * std::atan(x / std::sqrt(1.0 + y2));
+  const double term3 = y * std::sqrt(1.0 + x2) * std::atan(y / std::sqrt(1.0 + x2));
+  const double term4 = x * std::atan(x) + y * std::atan(y);
+  return 2.0 / (pi * x * y) * (term1 + term2 + term3 - term4);
+}
+
+double view_factor_perpendicular_rectangles(double w, double h, double l) {
+  if (w <= 0.0 || h <= 0.0 || l <= 0.0)
+    throw std::invalid_argument("view_factor_perpendicular_rectangles: non-positive dimension");
+  const double hh = h / l;
+  const double ww = w / l;
+  const double h2 = hh * hh, w2 = ww * ww;
+  const double a = ww * std::atan(1.0 / ww) + hh * std::atan(1.0 / hh) -
+                   std::sqrt(h2 + w2) * std::atan(1.0 / std::sqrt(h2 + w2));
+  const double f1 = (1.0 + w2) * (1.0 + h2) / (1.0 + w2 + h2);
+  const double f2 = w2 * (1.0 + w2 + h2) / ((1.0 + w2) * (w2 + h2));
+  const double f3 = h2 * (1.0 + h2 + w2) / ((1.0 + h2) * (h2 + w2));
+  const double b = 0.25 * std::log(f1 * std::pow(f2, w2) * std::pow(f3, h2));
+  return (a + b) / (pi * ww);
+}
+
+RadiationEnclosure::RadiationEnclosure(std::vector<RadiationSurface> surfaces,
+                                       Matrix view_factors)
+    : surfaces_(std::move(surfaces)), f_(std::move(view_factors)) {
+  const std::size_t n = surfaces_.size();
+  if (n < 2) throw std::invalid_argument("RadiationEnclosure: need >= 2 surfaces");
+  if (!f_.square() || f_.rows() != n)
+    throw std::invalid_argument("RadiationEnclosure: view-factor matrix shape");
+  for (const RadiationSurface& s : surfaces_) {
+    if (s.area <= 0.0) throw std::invalid_argument("RadiationEnclosure: surface area");
+    if (s.emissivity <= 0.0 || s.emissivity > 1.0)
+      throw std::invalid_argument("RadiationEnclosure: emissivity must be in (0, 1]");
+  }
+  // Enforce reciprocity from the provided upper triangle, check summation.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      f_(j, i) = f_(i, j) * surfaces_[i].area / surfaces_[j].area;
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += f_(i, j);
+    if (std::fabs(sum - 1.0) > 0.02)
+      throw std::invalid_argument("RadiationEnclosure: view factors of surface " +
+                                  surfaces_[i].name + " sum to " + std::to_string(sum));
+  }
+}
+
+RadiationSolution RadiationEnclosure::solve() const {
+  const std::size_t n = surfaces_.size();
+  Matrix a(n, n);
+  Vector rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const RadiationSurface& s = surfaces_[i];
+    if (s.temperature > 0.0) {
+      // J_i - (1 - e) sum F_ij J_j = e sigma T^4
+      for (std::size_t j = 0; j < n; ++j)
+        a(i, j) = ((i == j) ? 1.0 : 0.0) - (1.0 - s.emissivity) * f_(i, j);
+      rhs[i] = s.emissivity * kStefanBoltzmann * std::pow(s.temperature, 4.0);
+    } else {
+      // Adiabatic (reradiating): J_i = sum F_ij J_j.
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = ((i == j) ? 1.0 : 0.0) - f_(i, j);
+      rhs[i] = 0.0;
+    }
+  }
+  const Vector j = numeric::solve(a, rhs);
+
+  RadiationSolution sol;
+  sol.radiosity = j;
+  sol.net_heat.resize(n);
+  sol.temperatures.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double irradiation = 0.0;
+    for (std::size_t k = 0; k < n; ++k) irradiation += f_(i, k) * j[k];
+    sol.net_heat[i] = surfaces_[i].area * (j[i] - irradiation);
+    sol.temperatures[i] =
+        (surfaces_[i].temperature > 0.0)
+            ? surfaces_[i].temperature
+            : std::pow(j[i] / kStefanBoltzmann, 0.25);  // floating: J = sigma T^4
+  }
+  return sol;
+}
+
+double RadiationEnclosure::linearized_conductance(std::size_t i, std::size_t j) const {
+  if (i >= surfaces_.size() || j >= surfaces_.size() || i == j)
+    throw std::invalid_argument("linearized_conductance: bad surface indices");
+  const RadiationSurface& si = surfaces_[i];
+  const RadiationSurface& sj = surfaces_[j];
+  if (si.temperature <= 0.0 || sj.temperature <= 0.0 ||
+      std::fabs(si.temperature - sj.temperature) < 1e-9)
+    throw std::invalid_argument(
+        "linearized_conductance: both temperatures must be prescribed and distinct");
+  const auto sol = solve();
+  const double q_ij = si.area * f_(i, j) * (sol.radiosity[i] - sol.radiosity[j]);
+  return q_ij / (si.temperature - sj.temperature);
+}
+
+double two_surface_exchange(double a1, double e1, double t1, double a2, double e2, double t2) {
+  if (a1 <= 0.0 || a2 <= 0.0 || e1 <= 0.0 || e1 > 1.0 || e2 <= 0.0 || e2 > 1.0)
+    throw std::invalid_argument("two_surface_exchange: invalid surfaces");
+  const double num = kStefanBoltzmann * (std::pow(t1, 4.0) - std::pow(t2, 4.0));
+  const double den = 1.0 / e1 + (a1 / a2) * (1.0 / e2 - 1.0);
+  return a1 * num / den;
+}
+
+}  // namespace aeropack::thermal

@@ -1,0 +1,73 @@
+// Gray-body enclosure radiation: view factors for the canonical rectangle
+// configurations and an N-surface radiosity network — the radiation part of
+// the finite-volume tool's job inside sealed avionics boxes, where a hot
+// board often dumps a third of its heat to the lid by radiation alone.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::thermal {
+
+/// View factor between two identical, directly opposed parallel rectangles
+/// (a x b) separated by distance c (standard closed form).
+double view_factor_parallel_rectangles(double a, double b, double c);
+
+/// View factor between two perpendicular rectangles sharing a common edge of
+/// length l: from the horizontal (w x l) to the vertical (h x l).
+double view_factor_perpendicular_rectangles(double w, double h, double l);
+
+/// View factor from a small convex surface to an enclosing surface: 1.
+/// (provided for completeness / readability at call sites)
+constexpr double view_factor_to_enclosure() { return 1.0; }
+
+/// One surface of a radiating enclosure.
+struct RadiationSurface {
+  std::string name;
+  double area = 0.0;        ///< [m^2]
+  double emissivity = 0.9;  ///< [-]
+  double temperature = 0.0; ///< prescribed [K]; <= 0 marks an adiabatic
+                            ///< (reradiating) surface whose T floats
+};
+
+/// Result of a radiosity solve.
+struct RadiationSolution {
+  numeric::Vector radiosity;      ///< J_i [W/m^2]
+  numeric::Vector net_heat;       ///< q_i, positive = surface emits net [W]
+  numeric::Vector temperatures;   ///< all surfaces incl. floated ones [K]
+};
+
+/// N-surface gray diffuse enclosure. View factors must satisfy the
+/// summation rule (checked to 2%) and reciprocity (enforced from the upper
+/// triangle you provide).
+class RadiationEnclosure {
+ public:
+  /// `surfaces` with prescribed or floating temperatures; `view_factors`
+  /// is the full F matrix (row i: fractions leaving i that reach j).
+  RadiationEnclosure(std::vector<RadiationSurface> surfaces, numeric::Matrix view_factors);
+
+  /// Radiosity solve. Floating (adiabatic) surfaces satisfy q_i = 0.
+  RadiationSolution solve() const;
+
+  /// Linearized radiative conductance between surfaces i and j at the
+  /// current prescribed temperatures (for embedding in ThermalNetwork):
+  /// G_ij = q_ij / (T_i - T_j) from a two-surface exchange through the
+  /// enclosure. Requires both temperatures prescribed and distinct.
+  double linearized_conductance(std::size_t i, std::size_t j) const;
+
+  std::size_t surface_count() const { return surfaces_.size(); }
+
+ private:
+  std::vector<RadiationSurface> surfaces_;
+  numeric::Matrix f_;
+};
+
+/// Two-surface enclosure net exchange (parallel plates / enclosed body):
+/// q = sigma (T1^4 - T2^4) / (1/e1 + (A1/A2)(1/e2 - 1)) * A1 * F12-adjusted.
+/// This is the classic engineering formula for A1 enclosed by A2 (F12 = 1).
+double two_surface_exchange(double a1, double e1, double t1, double a2, double e2, double t2);
+
+}  // namespace aeropack::thermal

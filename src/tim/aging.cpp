@@ -1,0 +1,75 @@
+#include "tim/aging.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "reliability/mtbf.hpp"
+
+namespace aeropack::tim {
+
+AgingModel AgingModel::cured_adhesive() {
+  AgingModel m;
+  m.pump_out_per_decade = 0.0;
+  m.dry_out_per_1000h = 0.002;
+  return m;
+}
+
+AgingModel AgingModel::grease() { return AgingModel{}; }
+
+AgingModel AgingModel::gap_pad() {
+  AgingModel m;
+  m.pump_out_per_decade = 0.03;  // compression set, not pump-out
+  m.dry_out_per_1000h = 0.005;
+  return m;
+}
+
+double aging_factor(const AgingModel& m, double cycles, double delta_t_k, double hours,
+                    double temperature_k) {
+  if (cycles < 0.0 || hours < 0.0 || delta_t_k < 0.0 || temperature_k <= 0.0)
+    throw std::invalid_argument("aging_factor: invalid history");
+  // Pump-out: log-linear in cycles, scaled quadratically with the swing
+  // (shear displacement ~ CTE mismatch ~ dT; damage ~ dT^2).
+  double factor = 1.0;
+  if (cycles > 1.0 && m.pump_out_per_decade > 0.0) {
+    const double swing_scale = (delta_t_k / m.reference_swing) * (delta_t_k / m.reference_swing);
+    factor += m.pump_out_per_decade * swing_scale * std::log10(cycles);
+  }
+  // Dry-out: linear in time, Arrhenius in temperature.
+  const double af = reliability::arrhenius_factor(m.reference_temperature, temperature_k,
+                                                  m.dry_out_activation_ev);
+  factor += m.dry_out_per_1000h * af * hours / 1000.0;
+  return factor;
+}
+
+TimMaterial aged(const TimMaterial& fresh, const AgingModel& m, double cycles,
+                 double delta_t_k, double hours, double temperature_k) {
+  const double f = aging_factor(m, cycles, delta_t_k, hours, temperature_k);
+  TimMaterial out = fresh;
+  out.name = fresh.name + " (aged)";
+  // Degradation concentrates at the boundaries: scale Rc so that the total
+  // fresh resistance grows by f at the reference pressure.
+  const double fresh_r = fresh.specific_resistance(0.3e6);
+  const double target_r = f * fresh_r;
+  const double bulk = fresh.blt(0.3e6) / fresh.conductivity;
+  out.contact_resistance = std::max((target_r - bulk) / 2.0, fresh.contact_resistance);
+  return out;
+}
+
+double service_hours_to_budget(const TimMaterial& fresh, const AgingModel& m,
+                               double budget_factor, double cycles_per_1000h,
+                               double delta_t_k, double temperature_k, double pressure_pa) {
+  if (budget_factor <= 1.0)
+    throw std::invalid_argument("service_hours_to_budget: budget factor must exceed 1");
+  if (cycles_per_1000h < 0.0)
+    throw std::invalid_argument("service_hours_to_budget: negative cycling rate");
+  const double fresh_r = fresh.specific_resistance(pressure_pa);
+  for (double hours = 500.0; hours <= 3e5; hours += 500.0) {
+    const double cycles = cycles_per_1000h * hours / 1000.0;
+    const auto a = aged(fresh, m, cycles, delta_t_k, hours, temperature_k);
+    if (a.specific_resistance(pressure_pa) >= budget_factor * fresh_r) return hours;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace aeropack::tim

@@ -1,0 +1,51 @@
+// TIM degradation over service: greases pump out under thermal-cycling
+// shear and dry out at temperature; pads relax. The interface resistance
+// grows until the joint no longer meets its budget — the maintenance-
+// interval question behind the paper's insistence that the two-phase chain
+// "requires the use of many thermal interfaces".
+#pragma once
+
+#include "tim/tim_material.hpp"
+
+namespace aeropack::tim {
+
+/// Degradation model parameters (grease-like defaults).
+struct AgingModel {
+  /// Fractional resistance growth per decade of thermal cycles, scaled by
+  /// the cycle swing relative to 40 K.
+  double pump_out_per_decade = 0.15;
+  double reference_swing = 40.0;      ///< [K]
+  /// Arrhenius dry-out: fractional growth per 1000 h at reference temp.
+  double dry_out_per_1000h = 0.02;
+  double reference_temperature = 353.15;  ///< [K]
+  double dry_out_activation_ev = 0.3;
+
+  /// Adhesives neither pump out nor dry out appreciably.
+  static AgingModel cured_adhesive();
+  /// Silicone grease (the default values).
+  static AgingModel grease();
+  /// Elastomer pad: slow compression-set growth only.
+  static AgingModel gap_pad();
+};
+
+/// Resistance growth factor after `cycles` thermal cycles of swing
+/// `delta_t` and `hours` at `temperature_k` (multiplies the fresh
+/// specific resistance).
+double aging_factor(const AgingModel& m, double cycles, double delta_t_k, double hours,
+                    double temperature_k);
+
+/// Aged copy of a material: same composition, contact resistance scaled by
+/// the aging factor (pump-out thins the wetted area, which acts at the
+/// boundaries).
+TimMaterial aged(const TimMaterial& fresh, const AgingModel& m, double cycles,
+                 double delta_t_k, double hours, double temperature_k);
+
+/// Service hours until the joint resistance exceeds `budget_factor` times
+/// its fresh value, for a duty of `cycles_per_1000h` cycles of `delta_t_k`
+/// at `temperature_k`. Returns +inf if it never does within 3e5 h.
+double service_hours_to_budget(const TimMaterial& fresh, const AgingModel& m,
+                               double budget_factor, double cycles_per_1000h,
+                               double delta_t_k, double temperature_k,
+                               double pressure_pa = 0.3e6);
+
+}  // namespace aeropack::tim

@@ -1,0 +1,114 @@
+#include "tim/d5470.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/stats.hpp"
+
+namespace aeropack::tim {
+
+D5470Measurement measure_once(const TimMaterial& specimen, double pressure_pa,
+                              const D5470Config& config) {
+  if (config.thermocouples_per_bar < 2)
+    throw std::invalid_argument("measure_once: need at least 2 thermocouples per bar");
+  numeric::Rng rng(config.seed);
+  return [&] {
+    // Delegate to a shared implementation via characterize's path below.
+    D5470Measurement m;
+    const double area = config.bar_area;
+    m.true_blt = specimen.blt(pressure_pa);
+    m.true_resistance = specimen.specific_resistance(pressure_pa);
+
+    // The flux actually crossing the joint (radial parasitics bleed off a
+    // little of the imposed heat between the upper and lower bars).
+    const double q_top = config.heat_flow;
+    const double q_joint = config.heat_flow * (1.0 - config.parasitic_loss_fraction);
+    const double flux_top = q_top / area;
+    const double flux_joint = q_joint / area;
+
+    // Ideal thermocouple readings along each bar (linear gradients).
+    const double grad_top = flux_top / config.bar_conductivity;      // [K/m]
+    const double grad_bot = flux_joint / config.bar_conductivity;
+
+    // Build noisy readings; positions measured from the joint faces.
+    const int n = config.thermocouples_per_bar;
+    numeric::Vector pos(n), t_top(n), t_bot(n);
+    const double t_face_hot = 350.0;  // arbitrary absolute offset, cancels out
+    const double t_face_cold = t_face_hot - m.true_resistance * flux_joint;
+    for (int i = 0; i < n; ++i) {
+      const double x = config.thermocouple_spacing * static_cast<double>(i + 1);
+      pos[i] = x;
+      t_top[i] = t_face_hot + grad_top * x + rng.normal(0.0, config.thermocouple_noise);
+      t_bot[i] = t_face_cold - grad_bot * x + rng.normal(0.0, config.thermocouple_noise);
+    }
+
+    // Least-squares linear fit T(x) for each bar, extrapolated to x = 0.
+    const auto fit = [&](const numeric::Vector& xs, const numeric::Vector& ts, double& c0,
+                         double& c1) {
+      const double mx = numeric::mean(xs);
+      const double mt = numeric::mean(ts);
+      double sxx = 0.0, sxt = 0.0;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+        sxt += (xs[i] - mx) * (ts[i] - mt);
+      }
+      c1 = sxt / sxx;
+      c0 = mt - c1 * mx;
+    };
+    double top0 = 0.0, top_slope = 0.0, bot0 = 0.0, bot_slope = 0.0;
+    fit(pos, t_top, top0, top_slope);
+    fit(pos, t_bot, bot0, bot_slope);
+
+    // Measured flux from the gradient in the lower (metered) bar.
+    const double measured_flux = -bot_slope * config.bar_conductivity;
+    const double dt_faces = top0 - bot0;
+    m.measured_resistance = dt_faces / measured_flux;
+    m.measured_blt = m.true_blt + rng.normal(0.0, config.thickness_noise);
+    m.error_kmm2 = (m.measured_resistance - m.true_resistance) * 1e6;
+    return m;
+  }();
+}
+
+D5470Characterization characterize(const TimMaterial& specimen,
+                                   const std::vector<double>& pressures_pa,
+                                   int repeats_per_point, const D5470Config& config) {
+  if (pressures_pa.size() < 2)
+    throw std::invalid_argument("characterize: need >= 2 pressures for the line fit");
+  if (repeats_per_point < 1)
+    throw std::invalid_argument("characterize: repeats must be >= 1");
+
+  D5470Characterization out;
+  numeric::Vector blts, rs, r_errors, t_errors;
+  std::uint64_t seed = config.seed;
+  for (double p : pressures_pa) {
+    for (int rep = 0; rep < repeats_per_point; ++rep) {
+      D5470Config c = config;
+      c.seed = ++seed * 0x9e3779b97f4a7c15ULL;
+      const auto m = measure_once(specimen, p, c);
+      out.points.push_back(m);
+      blts.push_back(m.measured_blt);
+      rs.push_back(m.measured_resistance);
+      r_errors.push_back(m.error_kmm2);
+      t_errors.push_back((m.measured_blt - m.true_blt) * 1e6);
+    }
+  }
+
+  // ASTM line fit: R''(BLT) = BLT / k + 2 Rc.
+  const double mb = numeric::mean(blts);
+  const double mr = numeric::mean(rs);
+  double sbb = 0.0, sbr = 0.0;
+  for (std::size_t i = 0; i < blts.size(); ++i) {
+    sbb += (blts[i] - mb) * (blts[i] - mb);
+    sbr += (blts[i] - mb) * (rs[i] - mr);
+  }
+  if (sbb <= 0.0) throw std::runtime_error("characterize: degenerate bond-line spread");
+  const double slope = sbr / sbb;           // = 1/k
+  const double intercept = mr - slope * mb; // = 2 Rc
+  out.conductivity = (slope > 0.0) ? 1.0 / slope : 0.0;
+  out.contact_resistance = 0.5 * intercept;
+  out.resistance_accuracy_kmm2 = numeric::rms(r_errors);
+  out.thickness_accuracy_um = numeric::rms(t_errors);
+  return out;
+}
+
+}  // namespace aeropack::tim

@@ -1,0 +1,59 @@
+// Virtual ASTM D5470 thermal-interface tester.
+//
+// NANOPACK built a physical tester "according to the ASTM standard D5470
+// (achieved accuracy +/-1 K mm^2/W)" that "also measures thermal interface
+// material's thickness (with +/-2 um accuracy)". This module simulates that
+// instrument: two instrumented copper meter bars squeeze the specimen; the
+// temperature gradient in each bar (from thermocouples with realistic noise)
+// extrapolates to the specimen faces; resistance follows from flux and
+// face-temperature drop. Repeating at several bond lines separates bulk
+// conductivity from contact resistance (the standard's line-fit method).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tim/tim_material.hpp"
+
+namespace aeropack::tim {
+
+struct D5470Config {
+  double bar_area = 1e-4;                ///< meter-bar cross-section (1 cm^2) [m^2]
+  double bar_conductivity = 390.0;       ///< copper [W/m K]
+  double thermocouple_spacing = 10e-3;   ///< along each bar [m]
+  int thermocouples_per_bar = 4;
+  double heat_flow = 10.0;               ///< imposed axial heat [W]
+  double thermocouple_noise = 0.05;      ///< 1-sigma sensor noise [K]
+  double thickness_noise = 2e-6;         ///< 1-sigma micrometer noise [m]
+  double parasitic_loss_fraction = 0.01; ///< radial losses along the stack
+  std::uint64_t seed = 42;
+};
+
+struct D5470Measurement {
+  double measured_resistance = 0.0;   ///< area-specific [K m^2/W]
+  double measured_blt = 0.0;          ///< [m]
+  double true_resistance = 0.0;
+  double true_blt = 0.0;
+  double error_kmm2 = 0.0;            ///< measurement error [K mm^2/W]
+};
+
+/// One virtual measurement of a specimen at the given assembly pressure.
+D5470Measurement measure_once(const TimMaterial& specimen, double pressure_pa,
+                              const D5470Config& config = {});
+
+struct D5470Characterization {
+  double conductivity = 0.0;         ///< slope-derived bulk k [W/m K]
+  double contact_resistance = 0.0;   ///< intercept / 2, one boundary [K m^2/W]
+  double resistance_accuracy_kmm2 = 0.0;  ///< RMS error across repeats [K mm^2/W]
+  double thickness_accuracy_um = 0.0;     ///< RMS thickness error [um]
+  std::vector<D5470Measurement> points;
+};
+
+/// Full ASTM line-fit characterization: measure the specimen at several
+/// pressures (=> several bond lines), fit R''(BLT) = BLT/k + 2 Rc, and
+/// report the achieved accuracies (the paper's +/-1 K mm^2/W, +/-2 um).
+D5470Characterization characterize(const TimMaterial& specimen,
+                                   const std::vector<double>& pressures_pa,
+                                   int repeats_per_point = 5, const D5470Config& config = {});
+
+}  // namespace aeropack::tim

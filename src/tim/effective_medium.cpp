@@ -1,0 +1,71 @@
+#include "tim/effective_medium.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/rootfind.hpp"
+
+namespace aeropack::tim {
+
+namespace {
+void check_inputs(double k_matrix, double k_filler, double phi) {
+  if (k_matrix <= 0.0 || k_filler <= 0.0)
+    throw std::invalid_argument("effective_medium: conductivities must be > 0");
+  if (phi < 0.0 || phi > 1.0)
+    throw std::invalid_argument("effective_medium: phi must be in [0, 1]");
+}
+}  // namespace
+
+double k_maxwell(double k_matrix, double k_filler, double phi) {
+  check_inputs(k_matrix, k_filler, phi);
+  const double num = k_filler + 2.0 * k_matrix + 2.0 * phi * (k_filler - k_matrix);
+  const double den = k_filler + 2.0 * k_matrix - phi * (k_filler - k_matrix);
+  return k_matrix * num / den;
+}
+
+double k_bruggeman(double k_matrix, double k_filler, double phi) {
+  check_inputs(k_matrix, k_filler, phi);
+  // Solve phi (kf - ke)/(kf + 2 ke) + (1-phi)(km - ke)/(km + 2 ke) = 0.
+  const auto f = [&](double ke) {
+    return phi * (k_filler - ke) / (k_filler + 2.0 * ke) +
+           (1.0 - phi) * (k_matrix - ke) / (k_matrix + 2.0 * ke);
+  };
+  const double lo = std::min(k_matrix, k_filler);
+  const double hi = std::max(k_matrix, k_filler);
+  if (lo == hi) return lo;
+  return numeric::brent(f, lo, hi, {.tolerance = 1e-12 * hi, .max_iterations = 200});
+}
+
+double k_lewis_nielsen(double k_matrix, double k_filler, double phi, double shape_factor,
+                       double phi_max) {
+  check_inputs(k_matrix, k_filler, phi);
+  if (shape_factor <= 0.0 || phi_max <= 0.0 || phi_max > 1.0)
+    throw std::invalid_argument("k_lewis_nielsen: invalid shape/packing parameters");
+  if (phi >= phi_max)
+    throw std::invalid_argument("k_lewis_nielsen: phi exceeds maximum packing fraction");
+  const double a = shape_factor;
+  const double b = (k_filler / k_matrix - 1.0) / (k_filler / k_matrix + a);
+  const double psi = 1.0 + ((1.0 - phi_max) / (phi_max * phi_max)) * phi;
+  return k_matrix * (1.0 + a * b * phi) / (1.0 - b * psi * phi);
+}
+
+double filler_fraction_for(double k_target, double k_matrix, double k_filler,
+                           double shape_factor, double phi_max) {
+  if (k_target <= k_matrix)
+    throw std::invalid_argument("filler_fraction_for: target below matrix conductivity");
+  const double phi_hi = phi_max - 1e-6;
+  if (k_lewis_nielsen(k_matrix, k_filler, phi_hi, shape_factor, phi_max) < k_target)
+    throw std::runtime_error("filler_fraction_for: target unreachable below max packing");
+  const auto f = [&](double phi) {
+    return k_lewis_nielsen(k_matrix, k_filler, phi, shape_factor, phi_max) - k_target;
+  };
+  return numeric::brent(f, 0.0, phi_hi, {.tolerance = 1e-10, .max_iterations = 200});
+}
+
+double k_cnt_array(double phi, double k_tube, double efficiency) {
+  if (phi < 0.0 || phi > 1.0 || k_tube <= 0.0 || efficiency <= 0.0 || efficiency > 1.0)
+    throw std::invalid_argument("k_cnt_array: invalid parameters");
+  return phi * k_tube * efficiency;
+}
+
+}  // namespace aeropack::tim

@@ -1,0 +1,32 @@
+// Effective-medium conductivity models for particle-filled thermal interface
+// materials — the physics behind the NANOPACK adhesives (silver flakes /
+// micro silver spheres in epoxy matrices) and metal-polymer CNT composites.
+#pragma once
+
+namespace aeropack::tim {
+
+/// Maxwell-Garnett (dilute spherical inclusions). Accurate for phi < ~0.25.
+double k_maxwell(double k_matrix, double k_filler, double phi);
+
+/// Bruggeman symmetric effective-medium (handles percolation of conductive
+/// filler around phi ~ 1/3 for spheres).
+double k_bruggeman(double k_matrix, double k_filler, double phi);
+
+/// Lewis-Nielsen with maximum packing fraction phi_max and shape factor A
+/// (A = 1.5 spheres, ~ 4-8 flakes/rods; phi_max = 0.637 random spheres,
+/// ~0.52 flakes). The standard engineering model for filled TIMs.
+double k_lewis_nielsen(double k_matrix, double k_filler, double phi, double shape_factor = 1.5,
+                       double phi_max = 0.637);
+
+/// Filler volume fraction needed to reach a target conductivity with the
+/// Lewis-Nielsen model (bisection; throws std::runtime_error if unreachable
+/// below phi_max).
+double filler_fraction_for(double k_target, double k_matrix, double k_filler,
+                           double shape_factor = 1.5, double phi_max = 0.637);
+
+/// Aligned CNT array effective conductivity: phi * k_tube * efficiency, with
+/// `efficiency` lumping tube-tube and tube-cap contact losses (typically
+/// 0.1-0.4 for as-grown arrays).
+double k_cnt_array(double phi, double k_tube, double efficiency);
+
+}  // namespace aeropack::tim

@@ -1,0 +1,146 @@
+#include "tim/tim_material.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aeropack::tim {
+
+double TimMaterial::blt(double pressure_pa) const {
+  if (pressure_pa < 0.0) throw std::invalid_argument("TimMaterial::blt: negative pressure");
+  if (cures_in_place) return blt_zero_pressure;  // set by cure fixture, not pressure
+  // Squeeze-flow saturation: BLT(P) = blt_min + (blt0 - blt_min) / (1 + P/P0).
+  return blt_min + (blt_zero_pressure - blt_min) / (1.0 + pressure_pa / pressure_scale);
+}
+
+double TimMaterial::specific_resistance(double pressure_pa) const {
+  return blt(pressure_pa) / conductivity + 2.0 * contact_resistance;
+}
+
+double TimMaterial::specific_resistance_kmm2(double pressure_pa) const {
+  return specific_resistance(pressure_pa) * 1e6;  // K m^2/W -> K mm^2/W
+}
+
+double TimMaterial::joint_resistance(double area_m2, double pressure_pa) const {
+  if (area_m2 <= 0.0) throw std::invalid_argument("joint_resistance: area must be > 0");
+  return specific_resistance(pressure_pa) / area_m2;
+}
+
+TimMaterial with_hnc_surface(TimMaterial m, double blt_reduction) {
+  if (blt_reduction <= 0.0 || blt_reduction >= 1.0)
+    throw std::invalid_argument("with_hnc_surface: reduction in (0, 1)");
+  m.name += " + HNC";
+  m.blt_zero_pressure *= (1.0 - blt_reduction);
+  m.blt_min *= (1.0 - blt_reduction);
+  return m;
+}
+
+TimMaterial nanopack_mono_epoxy_silver_flake() {
+  TimMaterial m;
+  m.name = "NANOPACK mono-epoxy Ag flake";
+  m.conductivity = 6.0;
+  m.blt_zero_pressure = 30e-6;
+  m.blt_min = 15e-6;
+  m.contact_resistance = 0.6e-6;
+  m.electrical_resistivity = 1e-6;  // 10^-4 Ohm cm
+  m.shear_strength = 14e6;
+  m.cures_in_place = true;
+  m.blt_zero_pressure = 18e-6;  // cured bond line
+  return m;
+}
+
+TimMaterial nanopack_multi_epoxy_silver_sphere() {
+  TimMaterial m;
+  m.name = "NANOPACK multi-epoxy Ag sphere";
+  m.conductivity = 9.5;
+  m.blt_zero_pressure = 20e-6;
+  m.blt_min = 12e-6;
+  m.contact_resistance = 0.5e-6;
+  m.electrical_resistivity = 1e-7;  // 10^-5 Ohm cm
+  m.shear_strength = 9e6;
+  m.cures_in_place = true;
+  return m;
+}
+
+TimMaterial nanopack_cnt_metal_polymer() {
+  TimMaterial m;
+  m.name = "NANOPACK CNT metal-polymer";
+  m.conductivity = 20.0;
+  m.blt_zero_pressure = 25e-6;
+  m.blt_min = 15e-6;
+  m.pressure_scale = 0.2e6;
+  m.contact_resistance = 1.2e-6;
+  m.electrical_resistivity = 5e-7;
+  return m;
+}
+
+TimMaterial nanopack_gold_nanosponge() {
+  TimMaterial m;
+  m.name = "NANOPACK Au nanosponge";
+  m.conductivity = 12.0;
+  m.blt_zero_pressure = 8e-6;
+  m.blt_min = 3e-6;
+  m.pressure_scale = 0.15e6;
+  m.contact_resistance = 0.15e-6;  // the nanosponge's raison d'etre
+  m.electrical_resistivity = 1e-7;
+  return m;
+}
+
+TimMaterial conventional_grease() {
+  TimMaterial m;
+  m.name = "silicone grease";
+  m.conductivity = 3.0;
+  m.blt_zero_pressure = 80e-6;
+  m.blt_min = 20e-6;
+  m.contact_resistance = 2.0e-6;
+  return m;
+}
+
+TimMaterial conventional_gap_pad() {
+  TimMaterial m;
+  m.name = "gap pad";
+  m.conductivity = 1.5;
+  m.blt_zero_pressure = 500e-6;
+  m.blt_min = 250e-6;
+  m.pressure_scale = 0.4e6;
+  m.contact_resistance = 5.0e-6;
+  return m;
+}
+
+TimMaterial conventional_adhesive() {
+  TimMaterial m;
+  m.name = "filled epoxy adhesive";
+  m.conductivity = 1.0;
+  m.blt_zero_pressure = 60e-6;
+  m.blt_min = 60e-6;
+  m.contact_resistance = 3.0e-6;
+  m.shear_strength = 10e6;
+  m.cures_in_place = true;
+  return m;
+}
+
+TimMaterial dry_contact() {
+  TimMaterial m;
+  m.name = "dry contact (no TIM)";
+  m.conductivity = 0.026;  // air in the gap
+  m.blt_zero_pressure = 25e-6;
+  m.blt_min = 8e-6;
+  m.pressure_scale = 1.0e6;
+  m.contact_resistance = 20e-6;
+  return m;
+}
+
+std::vector<TimMaterial> all_tim_materials() {
+  return {nanopack_mono_epoxy_silver_flake(), nanopack_multi_epoxy_silver_sphere(),
+          nanopack_cnt_metal_polymer(),       nanopack_gold_nanosponge(),
+          conventional_grease(),              conventional_gap_pad(),
+          conventional_adhesive(),            dry_contact()};
+}
+
+bool meets_nanopack_targets(const TimMaterial& m, double pressure_pa,
+                            const NanopackTargets& targets) {
+  return m.conductivity >= targets.conductivity &&
+         m.specific_resistance_kmm2(pressure_pa) <= targets.specific_resistance_kmm2 &&
+         m.blt(pressure_pa) <= targets.blt;
+}
+
+}  // namespace aeropack::tim

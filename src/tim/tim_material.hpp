@@ -1,0 +1,66 @@
+// Thermal interface material model: bulk conductivity + bond-line thickness
+// (squeeze-flow vs assembly pressure) + boundary contact resistances, with a
+// catalogue of the paper's NANOPACK materials and the conventional products
+// they are benchmarked against.
+//
+// Total interfacial resistance (area-specific, [K mm^2/W] in reports):
+//   R'' = BLT / k  +  2 Rc''
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aeropack::tim {
+
+struct TimMaterial {
+  std::string name;
+  double conductivity = 1.0;        ///< bulk k [W/m K]
+  double blt_zero_pressure = 100e-6;///< BLT at reference (low) pressure [m]
+  double blt_min = 10e-6;           ///< asymptotic BLT at high pressure [m]
+  double pressure_scale = 0.3e6;    ///< squeeze-flow pressure scale [Pa]
+  double contact_resistance = 1.0e-6;  ///< one-boundary Rc'' [K m^2/W]
+  double electrical_resistivity = 0.0; ///< [Ohm m], 0 = insulating
+  double shear_strength = 0.0;      ///< [Pa] (adhesives)
+  bool cures_in_place = false;      ///< adhesive (BLT set at cure, not pressure)
+
+  /// Bond-line thickness at assembly pressure [m].
+  double blt(double pressure_pa) const;
+  /// Area-specific total resistance [K m^2/W] at assembly pressure.
+  double specific_resistance(double pressure_pa) const;
+  /// Same in the paper's reporting unit [K mm^2/W].
+  double specific_resistance_kmm2(double pressure_pa) const;
+  /// Absolute resistance of a joint of area [m^2] at pressure. [K/W]
+  double joint_resistance(double area_m2, double pressure_pa) const;
+};
+
+/// Hierarchical-nested-channel (HNC) surface machining: reduces achieved BLT
+/// by > 20 % (paper result) by giving excess material escape channels.
+TimMaterial with_hnc_surface(TimMaterial m, double blt_reduction = 0.22);
+
+// --- NANOPACK project materials (paper section IV.B results) --------------
+TimMaterial nanopack_mono_epoxy_silver_flake();  ///< 6 W/m K, electrically conductive, 14 MPa
+TimMaterial nanopack_multi_epoxy_silver_sphere();///< 9.5 W/m K
+TimMaterial nanopack_cnt_metal_polymer();        ///< 20 W/m K composite
+TimMaterial nanopack_gold_nanosponge();          ///< contact-resistance enhancer
+
+// --- Conventional comparators ----------------------------------------------
+TimMaterial conventional_grease();    ///< ~3 W/m K silicone grease
+TimMaterial conventional_gap_pad();   ///< ~1.5 W/m K elastomer pad
+TimMaterial conventional_adhesive();  ///< ~1 W/m K filled epoxy
+TimMaterial dry_contact();            ///< no TIM: air gap + contact points
+
+std::vector<TimMaterial> all_tim_materials();
+
+/// NANOPACK project targets (paper): intrinsic k up to 20 W/m K, interface
+/// resistance < 5 K mm^2/W at BLT < 20 um.
+struct NanopackTargets {
+  double conductivity = 20.0;              ///< [W/m K]
+  double specific_resistance_kmm2 = 5.0;   ///< [K mm^2/W]
+  double blt = 20e-6;                      ///< [m]
+};
+
+/// Does the material meet the project targets at the given pressure?
+bool meets_nanopack_targets(const TimMaterial& m, double pressure_pa,
+                            const NanopackTargets& targets = {});
+
+}  // namespace aeropack::tim

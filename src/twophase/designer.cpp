@@ -1,0 +1,99 @@
+#include "twophase/designer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "materials/solid.hpp"
+
+namespace aeropack::twophase {
+
+void TransportRequirement::validate() const {
+  if (power <= 0.0 || transport_length <= 0.0 || evaporator_length <= 0.0 ||
+      condenser_length <= 0.0 || margin < 1.0 || max_resistance <= 0.0)
+    throw std::invalid_argument("TransportRequirement: invalid values");
+}
+
+namespace {
+
+double shell_mass(const HeatPipeGeometry& g, const Wick& w,
+                  const materials::SolidMaterial& wall, double rho_fluid) {
+  const double ro = 0.5 * g.outer_diameter;
+  const double ri = g.inner_radius();
+  const double rv = g.vapor_radius();
+  const double l = g.total_length();
+  const double pi = std::numbers::pi;
+  const double v_wall = pi * (ro * ro - ri * ri) * l;
+  const double v_wick = pi * (ri * ri - rv * rv) * l;
+  // Wick: solid fraction of wall metal + porosity filled with liquid.
+  return wall.density * (v_wall + (1.0 - w.porosity) * v_wick) +
+         rho_fluid * w.porosity * v_wick;
+}
+
+}  // namespace
+
+std::vector<DesignCandidate> enumerate_designs(const TransportRequirement& req) {
+  req.validate();
+  std::vector<DesignCandidate> winners;
+
+  struct FluidOption {
+    const materials::WorkingFluid* fluid;
+    materials::SolidMaterial wall;
+  };
+  // Copper/water for cabin-range temperatures; aluminum/ammonia for cold
+  // plates (compatibility rules of the trade).
+  std::vector<FluidOption> fluids;
+  if (req.t_vapor >= materials::water().t_min() && req.t_vapor <= materials::water().t_max())
+    fluids.push_back({&materials::water(), materials::copper()});
+  if (req.t_vapor >= materials::ammonia().t_min() &&
+      req.t_vapor <= materials::ammonia().t_max())
+    fluids.push_back({&materials::ammonia(), materials::aluminum_6061()});
+  if (req.t_vapor >= materials::methanol().t_min() &&
+      req.t_vapor <= materials::methanol().t_max())
+    fluids.push_back({&materials::methanol(), materials::copper()});
+
+  for (const auto& fo : fluids) {
+    for (const Wick& wick :
+         {Wick::sintered_powder(), Wick::screen_mesh(), Wick::axial_grooves()}) {
+      for (double od : {3e-3, 4e-3, 6e-3, 8e-3, 10e-3, 12e-3}) {
+        HeatPipeGeometry g;
+        g.outer_diameter = od;
+        g.wall_thickness = std::max(0.3e-3, od / 12.0);
+        g.wick_thickness = std::max(0.5e-3, od / 8.0);
+        g.evaporator_length = req.evaporator_length;
+        g.adiabatic_length = req.transport_length;
+        g.condenser_length = req.condenser_length;
+        if (g.vapor_radius() <= 0.2e-3) continue;
+
+        const HeatPipe pipe(*fo.fluid, g, wick, fo.wall);
+        const auto lim = pipe.limits(req.t_vapor, req.adverse_tilt_rad);
+        const double resistance = pipe.thermal_resistance(req.t_vapor);
+        if (lim.governing < req.margin * req.power) continue;
+        if (resistance > req.max_resistance) continue;
+
+        DesignCandidate c;
+        c.geometry = g;
+        c.wick = wick;
+        c.fluid = fo.fluid->name();
+        c.capacity = lim.governing;
+        c.resistance = resistance;
+        c.governing_limit = lim.governing_name;
+        c.mass = shell_mass(g, wick, fo.wall,
+                            fo.fluid->saturation(req.t_vapor).rho_liquid);
+        winners.push_back(std::move(c));
+      }
+    }
+  }
+  std::sort(winners.begin(), winners.end(),
+            [](const DesignCandidate& a, const DesignCandidate& b) { return a.mass < b.mass; });
+  return winners;
+}
+
+std::optional<DesignCandidate> design_heat_pipe(const TransportRequirement& req) {
+  auto all = enumerate_designs(req);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+}  // namespace aeropack::twophase

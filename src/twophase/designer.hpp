@@ -1,0 +1,48 @@
+// Heat-pipe sizing assistant: given a transport requirement (power, length,
+// operating temperature, worst-case adverse tilt), search the catalogue of
+// wick structures and diameters for the lightest pipe that carries the load
+// with margin — the kind of design iteration the paper's packaging group
+// does when laying out a drain ("the board can be fitted with a thermal
+// drain - heat pipes").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "twophase/heat_pipe.hpp"
+
+namespace aeropack::twophase {
+
+struct TransportRequirement {
+  double power = 30.0;               ///< [W]
+  double transport_length = 0.15;    ///< adiabatic length [m]
+  double evaporator_length = 0.05;   ///< [m]
+  double condenser_length = 0.06;    ///< [m]
+  double t_vapor = 330.0;            ///< operating vapor temperature [K]
+  double adverse_tilt_rad = 0.0;     ///< worst orientation
+  double margin = 1.5;               ///< required capacity / load
+  double max_resistance = 0.5;       ///< end-to-end budget [K/W]
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+struct DesignCandidate {
+  HeatPipeGeometry geometry;
+  Wick wick;
+  std::string fluid;
+  double capacity = 0.0;      ///< governing limit at the requirement state [W]
+  double resistance = 0.0;    ///< [K/W]
+  double mass = 0.0;          ///< shell + wick estimate [kg]
+  std::string governing_limit;
+};
+
+/// All catalogue candidates that satisfy the requirement, lightest first.
+std::vector<DesignCandidate> enumerate_designs(const TransportRequirement& req);
+
+/// The lightest satisfying candidate, or nullopt if nothing in the
+/// catalogue works (the caller should escalate to an LHP — the paper's
+/// "heat transferred over large distance" regime).
+std::optional<DesignCandidate> design_heat_pipe(const TransportRequirement& req);
+
+}  // namespace aeropack::twophase

@@ -1,0 +1,157 @@
+#include "twophase/heat_pipe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aeropack::twophase {
+
+using std::numbers::pi;
+
+double Wick::effective_conductivity(double k_liquid, double k_solid) const {
+  if (k_liquid <= 0.0 || k_solid <= 0.0)
+    throw std::invalid_argument("Wick::effective_conductivity: conductivities must be > 0");
+  const double e = porosity;
+  // Maxwell's relation for a liquid-filled sintered matrix (Chi's form).
+  return k_liquid * ((2.0 * k_liquid + k_solid - 2.0 * e * (k_liquid - k_solid)) /
+                     (2.0 * k_liquid + k_solid + e * (k_liquid - k_solid)));
+}
+
+Wick Wick::sintered_powder() {
+  Wick w;
+  w.kind = "sintered copper powder";
+  w.permeability = 5e-11;
+  w.porosity = 0.45;
+  w.effective_pore_radius = 20e-6;
+  return w;
+}
+
+Wick Wick::screen_mesh() {
+  Wick w;
+  w.kind = "100-mesh screen";
+  w.permeability = 1.5e-10;
+  w.porosity = 0.65;
+  w.effective_pore_radius = 70e-6;
+  return w;
+}
+
+Wick Wick::axial_grooves() {
+  Wick w;
+  w.kind = "axial grooves";
+  w.permeability = 1e-9;
+  w.porosity = 0.7;
+  w.effective_pore_radius = 200e-6;
+  return w;
+}
+
+double HeatPipeGeometry::vapor_area() const {
+  const double rv = vapor_radius();
+  return pi * rv * rv;
+}
+
+double HeatPipeGeometry::wick_area() const {
+  const double ri = inner_radius();
+  const double rv = vapor_radius();
+  return pi * (ri * ri - rv * rv);
+}
+
+void HeatPipeGeometry::validate() const {
+  if (outer_diameter <= 0.0 || wall_thickness <= 0.0 || wick_thickness <= 0.0 ||
+      evaporator_length <= 0.0 || adiabatic_length < 0.0 || condenser_length <= 0.0)
+    throw std::invalid_argument("HeatPipeGeometry: non-positive dimension");
+  if (vapor_radius() <= 0.0)
+    throw std::invalid_argument("HeatPipeGeometry: wall + wick leave no vapor core");
+}
+
+HeatPipe::HeatPipe(const materials::WorkingFluid& fluid, HeatPipeGeometry geometry, Wick wick,
+                   materials::SolidMaterial wall)
+    : fluid_(&fluid), geometry_(std::move(geometry)), wick_(std::move(wick)),
+      wall_(std::move(wall)) {
+  geometry_.validate();
+  if (wick_.permeability <= 0.0 || wick_.effective_pore_radius <= 0.0 || wick_.porosity <= 0.0 ||
+      wick_.porosity >= 1.0)
+    throw std::invalid_argument("HeatPipe: invalid wick");
+}
+
+HeatPipeLimits HeatPipe::limits(double t_vapor_k, double tilt_rad) const {
+  const auto s = fluid_->saturation(t_vapor_k);
+  const auto& g = geometry_;
+  constexpr double g_accel = 9.80665;
+
+  HeatPipeLimits lim;
+
+  // --- Capillary limit: 2 sigma / r_eff >= dP_l + dP_v + dP_g ---
+  const double dp_cap_max = 2.0 * s.sigma / wick_.effective_pore_radius;
+  const double dp_gravity = s.rho_liquid * g_accel * g.total_length() * std::sin(tilt_rad);
+  // Liquid friction per watt (Darcy flow through the wick annulus).
+  const double f_l = s.mu_liquid * g.effective_length() /
+                     (s.rho_liquid * s.h_fg * wick_.permeability * g.wick_area());
+  // Vapor friction per watt (Hagen-Poiseuille in the vapor core).
+  const double rv = g.vapor_radius();
+  const double f_v =
+      8.0 * s.mu_vapor * g.effective_length() / (s.rho_vapor * s.h_fg * pi * rv * rv * rv * rv);
+  const double dp_avail = dp_cap_max - dp_gravity;
+  lim.capillary = (dp_avail > 0.0) ? dp_avail / (f_l + f_v) : 0.0;
+
+  // --- Sonic limit (Busse) ---
+  lim.sonic = g.vapor_area() * s.rho_vapor * s.h_fg *
+              std::sqrt(s.gamma * s.gas_constant() * t_vapor_k / (2.0 * (s.gamma + 1.0)));
+
+  // --- Entrainment limit (Weber criterion on the wick surface) ---
+  lim.entrainment =
+      g.vapor_area() * s.h_fg * std::sqrt(s.sigma * s.rho_vapor /
+                                          (2.0 * wick_.effective_pore_radius));
+
+  // --- Boiling limit (nucleation in the evaporator wick) ---
+  const double k_eff = wick_.effective_conductivity(s.k_liquid, wall_.conductivity);
+  constexpr double r_nucleation = 2.54e-7;  // [m] standard assumption
+  const double ri = g.inner_radius();
+  const double dp_cap_operating = dp_cap_max;  // conservative
+  lim.boiling = (2.0 * pi * g.evaporator_length * k_eff * t_vapor_k) /
+                (s.h_fg * s.rho_vapor * std::log(ri / rv)) *
+                (2.0 * s.sigma / r_nucleation - dp_cap_operating);
+  lim.boiling = std::max(lim.boiling, 0.0);
+
+  // --- Viscous (vapor-pressure) limit ---
+  lim.viscous = g.vapor_area() * rv * rv * s.h_fg * s.rho_vapor * s.pressure /
+                (16.0 * s.mu_vapor * g.effective_length());
+
+  const struct {
+    const char* name;
+    double value;
+  } entries[] = {{"capillary", lim.capillary},
+                 {"sonic", lim.sonic},
+                 {"entrainment", lim.entrainment},
+                 {"boiling", lim.boiling},
+                 {"viscous", lim.viscous}};
+  lim.governing = entries[0].value;
+  lim.governing_name = entries[0].name;
+  for (const auto& e : entries)
+    if (e.value < lim.governing) {
+      lim.governing = e.value;
+      lim.governing_name = e.name;
+    }
+  return lim;
+}
+
+double HeatPipe::max_power(double t_vapor_k, double tilt_rad) const {
+  return limits(t_vapor_k, tilt_rad).governing;
+}
+
+double HeatPipe::thermal_resistance(double t_vapor_k) const {
+  const auto s = fluid_->saturation(t_vapor_k);
+  const auto& g = geometry_;
+  const double ro = 0.5 * g.outer_diameter;
+  const double ri = g.inner_radius();
+  const double rv = g.vapor_radius();
+  const double k_eff = wick_.effective_conductivity(s.k_liquid, wall_.conductivity);
+
+  const double r_wall_e = std::log(ro / ri) / (2.0 * pi * g.evaporator_length * wall_.conductivity);
+  const double r_wick_e = std::log(ri / rv) / (2.0 * pi * g.evaporator_length * k_eff);
+  const double r_wall_c = std::log(ro / ri) / (2.0 * pi * g.condenser_length * wall_.conductivity);
+  const double r_wick_c = std::log(ri / rv) / (2.0 * pi * g.condenser_length * k_eff);
+  return r_wall_e + r_wick_e + r_wick_c + r_wall_c;
+}
+
+}  // namespace aeropack::twophase

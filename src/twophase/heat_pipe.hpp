@@ -1,0 +1,95 @@
+// Conventional heat-pipe design model (paper ref [3], Peterson).
+//
+// Computes the classical operating limits — capillary, sonic, entrainment,
+// boiling, viscous — and the conduction-path thermal resistance of a
+// cylindrical wicked heat pipe. Used by the COSEE SEB model to carry heat
+// from the dissipating components to the box edge.
+#pragma once
+
+#include <string>
+
+#include "materials/fluids.hpp"
+#include "materials/solid.hpp"
+
+namespace aeropack::twophase {
+
+/// Capillary wick structure parameters.
+struct Wick {
+  std::string kind;
+  double permeability = 0.0;          ///< Darcy permeability K [m^2]
+  double porosity = 0.0;              ///< [-]
+  double effective_pore_radius = 0.0; ///< r_eff for capillary pressure [m]
+
+  /// Effective conductivity of the liquid-saturated wick against a solid
+  /// matrix of conductivity k_solid (Maxwell lower-bound form for sintered
+  /// structures). [W/m K]
+  double effective_conductivity(double k_liquid, double k_solid) const;
+
+  static Wick sintered_powder();   ///< fine copper powder
+  static Wick screen_mesh();       ///< 2-layer 100-mesh screen
+  static Wick axial_grooves();     ///< aluminum extruded grooves
+};
+
+/// Cylindrical heat-pipe geometry. Lengths along the pipe axis.
+struct HeatPipeGeometry {
+  double outer_diameter = 6e-3;    ///< [m]
+  double wall_thickness = 0.5e-3;  ///< [m]
+  double wick_thickness = 0.75e-3; ///< [m]
+  double evaporator_length = 40e-3;
+  double adiabatic_length = 100e-3;
+  double condenser_length = 60e-3;
+
+  double inner_radius() const { return 0.5 * outer_diameter - wall_thickness; }
+  double vapor_radius() const { return inner_radius() - wick_thickness; }
+  double vapor_area() const;
+  double wick_area() const;
+  double total_length() const {
+    return evaporator_length + adiabatic_length + condenser_length;
+  }
+  /// Effective length for pressure-drop integrals: La + (Le + Lc)/2.
+  double effective_length() const {
+    return adiabatic_length + 0.5 * (evaporator_length + condenser_length);
+  }
+  void validate() const;  ///< throws std::invalid_argument on nonsense
+};
+
+/// All limits evaluated at one operating temperature / tilt.
+struct HeatPipeLimits {
+  double capillary = 0.0;    ///< [W]
+  double sonic = 0.0;
+  double entrainment = 0.0;
+  double boiling = 0.0;
+  double viscous = 0.0;
+  double governing = 0.0;    ///< min of the above
+  std::string governing_name;
+};
+
+class HeatPipe {
+ public:
+  HeatPipe(const materials::WorkingFluid& fluid, HeatPipeGeometry geometry, Wick wick,
+           materials::SolidMaterial wall);
+
+  /// Operating limits at vapor temperature `t_vapor_k` with the evaporator
+  /// elevated `tilt_rad` above the condenser (adverse tilt positive; a
+  /// gravity-aided pipe passes a negative angle).
+  HeatPipeLimits limits(double t_vapor_k, double tilt_rad = 0.0) const;
+
+  /// Maximum transportable power = governing limit. [W]
+  double max_power(double t_vapor_k, double tilt_rad = 0.0) const;
+
+  /// End-to-end thermal resistance (evaporator wall + wick, condenser wick +
+  /// wall; vapor path treated isothermal). [K/W]
+  double thermal_resistance(double t_vapor_k) const;
+
+  const HeatPipeGeometry& geometry() const { return geometry_; }
+  const Wick& wick() const { return wick_; }
+  const materials::WorkingFluid& fluid() const { return *fluid_; }
+
+ private:
+  const materials::WorkingFluid* fluid_;
+  HeatPipeGeometry geometry_;
+  Wick wick_;
+  materials::SolidMaterial wall_;
+};
+
+}  // namespace aeropack::twophase

@@ -1,0 +1,108 @@
+#include "twophase/loop_heat_pipe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/rootfind.hpp"
+
+namespace aeropack::twophase {
+
+using std::numbers::pi;
+
+void LhpDesign::validate() const {
+  if (wick_pore_radius <= 0.0 || wick_permeability <= 0.0 || wick_thickness <= 0.0 ||
+      wick_area <= 0.0 || evaporator_resistance <= 0.0 || vapor_line_length <= 0.0 ||
+      vapor_line_diameter <= 0.0 || liquid_line_length <= 0.0 || liquid_line_diameter <= 0.0 ||
+      condenser_length <= 0.0 || condenser_ua <= 0.0 || condenser_full_power <= 0.0)
+    throw std::invalid_argument("LhpDesign: non-positive parameter");
+  if (condenser_open_fraction_min <= 0.0 || condenser_open_fraction_min > 1.0)
+    throw std::invalid_argument("LhpDesign: open fraction floor must be in (0, 1]");
+}
+
+LoopHeatPipe::LoopHeatPipe(const materials::WorkingFluid& fluid, LhpDesign design)
+    : fluid_(&fluid), design_(design) {
+  design_.validate();
+}
+
+namespace {
+/// Laminar/turbulent pressure drop of mass flow mdot in a tube.
+double tube_pressure_drop(double mdot, double length, double diameter, double rho, double mu) {
+  if (mdot <= 0.0) return 0.0;
+  const double area = 0.25 * pi * diameter * diameter;
+  const double velocity = mdot / (rho * area);
+  const double re = rho * velocity * diameter / mu;
+  double f;  // Darcy friction factor
+  if (re < 2300.0)
+    f = 64.0 / re;
+  else
+    f = 0.3164 / std::pow(re, 0.25);  // Blasius
+  return f * (length / diameter) * 0.5 * rho * velocity * velocity;
+}
+}  // namespace
+
+LhpPressureBudget LoopHeatPipe::pressure_budget(double q_w, double t_vapor_k,
+                                                double elevation_m) const {
+  if (q_w < 0.0) throw std::invalid_argument("pressure_budget: negative power");
+  const auto s = fluid_->saturation(t_vapor_k);
+  constexpr double g_accel = 9.80665;
+  const double mdot = q_w / s.h_fg;
+
+  LhpPressureBudget b;
+  b.capillary_available = 2.0 * s.sigma / design_.wick_pore_radius;
+  // Darcy flow of liquid through the primary wick.
+  b.wick = s.mu_liquid * design_.wick_thickness * mdot /
+           (s.rho_liquid * design_.wick_permeability * design_.wick_area);
+  b.vapor_line = tube_pressure_drop(mdot, design_.vapor_line_length,
+                                    design_.vapor_line_diameter, s.rho_vapor, s.mu_vapor);
+  b.liquid_line = tube_pressure_drop(mdot, design_.liquid_line_length,
+                                     design_.liquid_line_diameter, s.rho_liquid, s.mu_liquid);
+  b.gravity = std::max(elevation_m, 0.0) * s.rho_liquid * g_accel;
+  return b;
+}
+
+double LoopHeatPipe::max_power(double t_vapor_k, double elevation_m) const {
+  const auto margin = [&](double q) {
+    return pressure_budget(q, t_vapor_k, elevation_m).margin();
+  };
+  if (margin(0.0) <= 0.0) return 0.0;  // gravity head alone exceeds the pump
+  double hi = 10.0;
+  while (margin(hi) > 0.0) {
+    hi *= 2.0;
+    if (hi > 1e6) return 1e6;  // effectively unlimited for this design
+  }
+  return numeric::brent(margin, 0.0, hi, {.tolerance = 1e-6, .max_iterations = 200});
+}
+
+double LoopHeatPipe::thermal_resistance(double q_w, double t_vapor_k) const {
+  (void)t_vapor_k;
+  // Variable-conductance condenser: at low power, part of the condenser is
+  // flooded with subcooled liquid, shrinking the effective two-phase area.
+  // Model the open fraction as proportional to power up to the design point
+  // where the full condenser is active.
+  const double frac = std::clamp(q_w / design_.condenser_full_power,
+                                 design_.condenser_open_fraction_min, 1.0);
+  const double r_cond = 1.0 / (design_.condenser_ua * frac);
+  return design_.evaporator_resistance + r_cond;
+}
+
+LhpOperatingPoint LoopHeatPipe::operate(double q_w, double t_sink_k, double elevation_m) const {
+  if (q_w < 0.0) throw std::invalid_argument("operate: negative power");
+  LhpOperatingPoint pt;
+  pt.power = q_w;
+  pt.resistance = thermal_resistance(q_w, t_sink_k);
+  const double frac = std::clamp(q_w / design_.condenser_full_power,
+                                 design_.condenser_open_fraction_min, 1.0);
+  pt.vapor_temperature = t_sink_k + q_w / (design_.condenser_ua * frac);
+  pt.evaporator_temperature = t_sink_k + q_w * pt.resistance;
+  // Clamp the budget evaluation into the fluid table to keep sweeps robust;
+  // the capillary margin is then evaluated at the nearest tabulated state.
+  const double t_eval =
+      std::clamp(pt.vapor_temperature, fluid_->t_min() + 1e-9, fluid_->t_max() - 1e-9);
+  pt.budget = pressure_budget(q_w, t_eval, elevation_m);
+  pt.within_capillary_limit = pt.budget.margin() > 0.0;
+  return pt;
+}
+
+}  // namespace aeropack::twophase

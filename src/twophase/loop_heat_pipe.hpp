@@ -1,0 +1,93 @@
+// Loop heat pipe (LHP) model (paper refs [4,5]: Maidanik; Launay, Sartre,
+// Bonjour). LHPs carry heat over long distances through small-bore vapor and
+// liquid lines, pumped by a fine-pore evaporator wick; the paper's COSEE
+// demonstrator uses two of them between the seat electronic box and the
+// seat structure, including a 22-degree tilt sensitivity case.
+//
+// The model covers:
+//  - the capillary pressure budget (wick, lines, gravity head from adverse
+//    elevation), giving the maximum transportable power;
+//  - the thermal resistance from evaporator saddle to condenser sink,
+//    including a variable-conductance condenser at low power (flooded
+//    condenser area);
+//  - operating-point solution against a sink temperature.
+#pragma once
+
+#include <string>
+
+#include "materials/fluids.hpp"
+
+namespace aeropack::twophase {
+
+struct LhpDesign {
+  // Evaporator / primary wick.
+  double wick_pore_radius = 1.2e-6;   ///< [m] (sintered nickel/titanium: ~1 um)
+  double wick_permeability = 4e-14;   ///< [m^2]
+  double wick_thickness = 5e-3;       ///< radial flow length [m]
+  double wick_area = 15e-4;           ///< flow cross-section [m^2]
+  double evaporator_resistance = 0.08;///< saddle + wall + evaporation [K/W]
+
+  // Transport lines.
+  double vapor_line_length = 0.8;     ///< [m]
+  double vapor_line_diameter = 3e-3;  ///< [m]
+  double liquid_line_length = 0.8;    ///< [m]
+  double liquid_line_diameter = 2e-3; ///< [m]
+
+  // Condenser.
+  double condenser_length = 0.5;      ///< tube length bonded to the sink [m]
+  double condenser_ua = 4.0;          ///< full-open condenser conductance [W/K]
+  double condenser_full_power = 60.0; ///< power at which the condenser is fully open [W]
+  double condenser_open_fraction_min = 0.15;  ///< flooded fraction floor at Q->0
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+/// Breakdown of the pressure budget at a given power.
+struct LhpPressureBudget {
+  double capillary_available = 0.0;  ///< 2 sigma / r_p [Pa]
+  double wick = 0.0;                 ///< Darcy drop through the wick [Pa]
+  double vapor_line = 0.0;
+  double liquid_line = 0.0;
+  double gravity = 0.0;              ///< adverse elevation head [Pa]
+  double total_demand() const { return wick + vapor_line + liquid_line + gravity; }
+  double margin() const { return capillary_available - total_demand(); }
+};
+
+struct LhpOperatingPoint {
+  double power = 0.0;                ///< [W]
+  double vapor_temperature = 0.0;    ///< [K]
+  double evaporator_temperature = 0.0;  ///< saddle temperature [K]
+  double resistance = 0.0;           ///< evaporator-to-sink [K/W]
+  LhpPressureBudget budget;
+  bool within_capillary_limit = false;
+};
+
+class LoopHeatPipe {
+ public:
+  LoopHeatPipe(const materials::WorkingFluid& fluid, LhpDesign design);
+
+  /// Pressure budget at power `q_w`, vapor temperature `t_vapor_k`, and
+  /// adverse elevation `elevation_m` (evaporator above condenser positive).
+  LhpPressureBudget pressure_budget(double q_w, double t_vapor_k, double elevation_m) const;
+
+  /// Maximum transportable power at the given state (bisection on the
+  /// pressure budget). [W]
+  double max_power(double t_vapor_k, double elevation_m) const;
+
+  /// Evaporator-to-sink thermal resistance at power `q_w` (variable
+  /// conductance condenser: partially flooded at low power). [K/W]
+  double thermal_resistance(double q_w, double t_vapor_k) const;
+
+  /// Solve the operating point for a given load and sink temperature.
+  /// Throws std::runtime_error if the fluid table range is exceeded.
+  LhpOperatingPoint operate(double q_w, double t_sink_k, double elevation_m) const;
+
+  const LhpDesign& design() const { return design_; }
+  const materials::WorkingFluid& fluid() const { return *fluid_; }
+
+ private:
+  const materials::WorkingFluid* fluid_;
+  LhpDesign design_;
+};
+
+}  // namespace aeropack::twophase

@@ -1,0 +1,68 @@
+#include "twophase/thermosyphon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aeropack::twophase {
+
+using std::numbers::pi;
+
+void ThermosyphonGeometry::validate() const {
+  if (inner_diameter <= 0.0 || evaporator_length <= 0.0 || condenser_length <= 0.0)
+    throw std::invalid_argument("ThermosyphonGeometry: non-positive dimension");
+  if (fill_ratio <= 0.0 || fill_ratio > 1.5)
+    throw std::invalid_argument("ThermosyphonGeometry: fill ratio out of range");
+}
+
+Thermosyphon::Thermosyphon(const materials::WorkingFluid& fluid, ThermosyphonGeometry geometry)
+    : fluid_(&fluid), geometry_(geometry) {
+  geometry_.validate();
+}
+
+double Thermosyphon::flooding_limit(double t_vapor_k, double inclination_rad) const {
+  if (inclination_rad >= 0.5 * pi) return 0.0;
+  const auto s = fluid_->saturation(t_vapor_k);
+  constexpr double g_accel = 9.80665;
+  const double area = 0.25 * pi * geometry_.inner_diameter * geometry_.inner_diameter;
+  // Kutateladze number ~ 3.2 for the counter-current flooding limit.
+  constexpr double kutateladze = 3.2;
+  const double q_vertical =
+      kutateladze * area * s.h_fg * std::sqrt(s.rho_vapor) *
+      std::pow(g_accel * s.sigma * (s.rho_liquid - s.rho_vapor), 0.25);
+  // Inclination derating (ESDU-style cosine factor on the gravity head).
+  return q_vertical * std::pow(std::cos(inclination_rad), 0.25);
+}
+
+double Thermosyphon::thermal_resistance(double t_vapor_k, double q_w) const {
+  const auto s = fluid_->saturation(t_vapor_k);
+  constexpr double g_accel = 9.80665;
+  const double d = geometry_.inner_diameter;
+  const double q = std::max(q_w, 1.0);
+
+  // Condenser: Nusselt falling-film condensation on the tube inner wall.
+  const double area_c = pi * d * geometry_.condenser_length;
+  const double flux_c = q / area_c;
+  // Film dT from Nusselt theory, solved via h = C * dT^{-1/4} form:
+  // h = 0.943 [rho_l (rho_l-rho_v) g h_fg k_l^3 / (mu_l L dT)]^{1/4}
+  const double c_cond = 0.943 * std::pow(s.rho_liquid * (s.rho_liquid - s.rho_vapor) * g_accel *
+                                             s.h_fg * std::pow(s.k_liquid, 3.0) /
+                                             (s.mu_liquid * geometry_.condenser_length),
+                                         0.25);
+  // flux = h dT = C dT^{3/4}  =>  dT = (flux / C)^{4/3}
+  const double dt_cond = std::pow(flux_c / c_cond, 4.0 / 3.0);
+
+  // Evaporator: nucleate pool boiling, Rohsenow with Csf = 0.013.
+  const double area_e = pi * d * geometry_.evaporator_length;
+  const double flux_e = q / area_e;
+  const double pr_l = s.mu_liquid * s.cp_liquid / s.k_liquid;
+  const double lc = std::sqrt(s.sigma / (g_accel * (s.rho_liquid - s.rho_vapor)));
+  constexpr double csf = 0.013;
+  // flux = mu_l h_fg / Lc * (cp dT / (Csf h_fg Pr))^3  =>  solve for dT
+  const double dt_boil = csf * s.h_fg * std::pow(pr_l, 1.0) / s.cp_liquid *
+                         std::cbrt(flux_e * lc / (s.mu_liquid * s.h_fg));
+  return (dt_cond + dt_boil) / q;
+}
+
+}  // namespace aeropack::twophase

@@ -1,0 +1,41 @@
+// Closed two-phase thermosyphon: gravity-driven counterpart to the heat pipe
+// (no wick — the condensate falls back to the evaporator). Mentioned in the
+// paper alongside HP and LHP as a candidate passive technology. Works only
+// with the condenser above the evaporator; its flooding (counter-current
+// flow) limit follows the Kutateladze criterion.
+#pragma once
+
+#include "materials/fluids.hpp"
+
+namespace aeropack::twophase {
+
+struct ThermosyphonGeometry {
+  double inner_diameter = 8e-3;     ///< [m]
+  double evaporator_length = 0.1;   ///< [m]
+  double condenser_length = 0.15;   ///< [m]
+  double fill_ratio = 0.5;          ///< liquid fill / evaporator volume
+
+  void validate() const;
+};
+
+class Thermosyphon {
+ public:
+  Thermosyphon(const materials::WorkingFluid& fluid, ThermosyphonGeometry geometry);
+
+  /// Counter-current flooding limit (Kutateladze, ESDU correlation form) at
+  /// the given vapor temperature and inclination from vertical
+  /// (0 = vertical, condenser up). Returns 0 for inclinations >= 90 deg
+  /// (evaporator no longer below the condenser). [W]
+  double flooding_limit(double t_vapor_k, double inclination_rad = 0.0) const;
+
+  /// Film-wise boiling + condensation resistance estimate (Nusselt falling
+  /// film in the condenser, Rohsenow-style pool boiling in the evaporator,
+  /// linearized at the given flux). [K/W]
+  double thermal_resistance(double t_vapor_k, double q_w) const;
+
+ private:
+  const materials::WorkingFluid* fluid_;
+  ThermosyphonGeometry geometry_;
+};
+
+}  // namespace aeropack::twophase

@@ -1,0 +1,118 @@
+#include "twophase/vapor_chamber.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "thermal/forced_air.hpp"
+#include "twophase/heat_pipe.hpp"
+
+namespace aeropack::twophase {
+
+using std::numbers::pi;
+
+void VaporChamberGeometry::validate() const {
+  if (length <= 0.0 || width <= 0.0 || total_thickness <= 0.0 || wall_thickness <= 0.0 ||
+      wick_thickness <= 0.0)
+    throw std::invalid_argument("VaporChamberGeometry: non-positive dimension");
+  if (vapor_core_thickness() <= 0.0)
+    throw std::invalid_argument("VaporChamberGeometry: walls + wicks leave no vapor core");
+}
+
+VaporChamber::VaporChamber(const materials::WorkingFluid& fluid, VaporChamberGeometry geometry,
+                           double wick_permeability, double wick_pore_radius,
+                           double wick_porosity, materials::SolidMaterial wall)
+    : fluid_(&fluid),
+      geometry_(geometry),
+      permeability_(wick_permeability),
+      pore_radius_(wick_pore_radius),
+      porosity_(wick_porosity),
+      wall_(std::move(wall)) {
+  geometry_.validate();
+  if (permeability_ <= 0.0 || pore_radius_ <= 0.0 || porosity_ <= 0.0 || porosity_ >= 1.0)
+    throw std::invalid_argument("VaporChamber: invalid wick parameters");
+}
+
+double VaporChamber::effective_in_plane_conductivity(double t_vapor_k) const {
+  const auto s = fluid_->saturation(t_vapor_k);
+  // Vapor-space "conductivity" from the kinetic saturation-line argument:
+  // k_vap = h_fg^2 rho_v P_v t_core^2 / (12 mu_v R T^2) per unit thickness —
+  // use the standard effective form; result is huge (1e4..1e5 W/mK), so the
+  // chamber behaves nearly isothermal until its limits.
+  const double t_core = geometry_.vapor_core_thickness();
+  const double r_gas = s.gas_constant();
+  const double k_vapor = s.h_fg * s.h_fg * s.rho_vapor * s.pressure * t_core * t_core /
+                         (12.0 * s.mu_vapor * r_gas * t_vapor_k * t_vapor_k);
+  // Parallel with the copper walls / wick sharing the cross-section.
+  const double f_wall = 2.0 * geometry_.wall_thickness / geometry_.total_thickness;
+  const double f_wick = 2.0 * geometry_.wick_thickness / geometry_.total_thickness;
+  const double f_core = t_core / geometry_.total_thickness;
+  Wick w;
+  w.permeability = permeability_;
+  w.porosity = porosity_;
+  w.effective_pore_radius = pore_radius_;
+  const double k_wick = w.effective_conductivity(s.k_liquid, wall_.conductivity);
+  return f_wall * wall_.conductivity + f_wick * k_wick + f_core * std::min(k_vapor, 2e5);
+}
+
+double VaporChamber::effective_through_conductivity(double t_vapor_k) const {
+  const auto s = fluid_->saturation(t_vapor_k);
+  Wick w;
+  w.permeability = permeability_;
+  w.porosity = porosity_;
+  w.effective_pore_radius = pore_radius_;
+  const double k_wick = w.effective_conductivity(s.k_liquid, wall_.conductivity);
+  // Series: wall + wick + (isothermal core) + wick + wall.
+  const double r_per_area = 2.0 * geometry_.wall_thickness / wall_.conductivity +
+                            2.0 * geometry_.wick_thickness / k_wick;
+  return geometry_.total_thickness / r_per_area;
+}
+
+double VaporChamber::capillary_limit(double t_vapor_k) const {
+  const auto s = fluid_->saturation(t_vapor_k);
+  // Radial Darcy return flow from rim (R2) to center (R1 ~ source radius):
+  // dP = mu Q ln(R2/R1) / (2 pi rho h_fg K t_wick). Use R1 = R2/10.
+  const double r2 = 0.5 * std::min(geometry_.length, geometry_.width);
+  const double r1 = r2 / 10.0;
+  const double dp_cap = 2.0 * s.sigma / pore_radius_;
+  return dp_cap * 2.0 * pi * s.rho_liquid * s.h_fg * permeability_ *
+         geometry_.wick_thickness / (s.mu_liquid * std::log(r2 / r1));
+}
+
+double VaporChamber::boiling_limit(double t_vapor_k, double source_area) const {
+  if (source_area <= 0.0) throw std::invalid_argument("boiling_limit: source area");
+  const auto s = fluid_->saturation(t_vapor_k);
+  // Critical evaporator flux ~ conduction across the wick at the superheat
+  // that nucleates (2 sigma / r_n budget), same form as the tube pipe.
+  Wick w;
+  w.permeability = permeability_;
+  w.porosity = porosity_;
+  w.effective_pore_radius = pore_radius_;
+  const double k_eff = w.effective_conductivity(s.k_liquid, wall_.conductivity);
+  constexpr double r_nucleation = 2.54e-7;
+  const double dp_nucleate = 2.0 * s.sigma / r_nucleation - 2.0 * s.sigma / pore_radius_;
+  const double superheat =
+      dp_nucleate * t_vapor_k / (s.h_fg * s.rho_vapor);  // Clausius-Clapeyron
+  const double flux_crit = k_eff * superheat / geometry_.wick_thickness;
+  return flux_crit * source_area;
+}
+
+double VaporChamber::spreading_resistance(double t_vapor_k, double source_area,
+                                          double h_back) const {
+  const double k_eff = effective_in_plane_conductivity(t_vapor_k);
+  return thermal::spreading_resistance(source_area, geometry_.length * geometry_.width,
+                                       geometry_.total_thickness, k_eff, h_back);
+}
+
+materials::SolidMaterial VaporChamber::as_equivalent_material() const {
+  materials::SolidMaterial m = wall_;
+  m.name = "vapor chamber (equivalent)";
+  m.conductivity = effective_in_plane_conductivity(330.0);
+  m.conductivity_through = effective_through_conductivity(330.0);
+  m.density = 3000.0;  // shell + fluid average
+  m.specific_heat = 600.0;
+  return m;
+}
+
+}  // namespace aeropack::twophase

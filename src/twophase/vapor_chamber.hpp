@@ -1,0 +1,65 @@
+// Flat-plate heat pipe ("vapor chamber") model for hot-spot spreading —
+// the natural two-phase answer to the paper's 10..100 W/cm^2 local heat
+// densities: the chamber behaves as a plate with a very high effective
+// in-plane conductivity as long as its capillary and boiling limits hold.
+#pragma once
+
+#include "materials/fluids.hpp"
+#include "materials/solid.hpp"
+
+namespace aeropack::twophase {
+
+struct VaporChamberGeometry {
+  double length = 0.09;          ///< [m]
+  double width = 0.09;           ///< [m]
+  double total_thickness = 3e-3; ///< [m]
+  double wall_thickness = 0.5e-3;
+  double wick_thickness = 0.5e-3;
+
+  double vapor_core_thickness() const {
+    return total_thickness - 2.0 * wall_thickness - 2.0 * wick_thickness;
+  }
+  void validate() const;
+};
+
+class VaporChamber {
+ public:
+  VaporChamber(const materials::WorkingFluid& fluid, VaporChamberGeometry geometry,
+               double wick_permeability = 5e-11, double wick_pore_radius = 20e-6,
+               double wick_porosity = 0.45,
+               materials::SolidMaterial wall = materials::copper());
+
+  /// Effective in-plane conductivity of the chamber treated as a solid
+  /// plate (vapor-space isothermality folded into an equivalent k). [W/m K]
+  double effective_in_plane_conductivity(double t_vapor_k) const;
+
+  /// Effective through-thickness conductivity (walls + wick evaporation /
+  /// condensation films in series). [W/m K]
+  double effective_through_conductivity(double t_vapor_k) const;
+
+  /// Capillary-limited power for a source at the plate center (radial
+  /// return flow from the rim). [W]
+  double capillary_limit(double t_vapor_k) const;
+
+  /// Evaporator-side boiling limit for a source of `source_area` [m^2]. [W]
+  double boiling_limit(double t_vapor_k, double source_area) const;
+
+  /// Spreading resistance of a centered source of `source_area` on the
+  /// chamber with film coefficient `h_back` on the opposite face (Lee et
+  /// al. on the equivalent solid plate). [K/W]
+  double spreading_resistance(double t_vapor_k, double source_area, double h_back) const;
+
+  /// The chamber rendered as an equivalent anisotropic material (for FV
+  /// board models). Uses 330 K properties.
+  materials::SolidMaterial as_equivalent_material() const;
+
+  const VaporChamberGeometry& geometry() const { return geometry_; }
+
+ private:
+  const materials::WorkingFluid* fluid_;
+  VaporChamberGeometry geometry_;
+  double permeability_, pore_radius_, porosity_;
+  materials::SolidMaterial wall_;
+};
+
+}  // namespace aeropack::twophase

@@ -1,0 +1,89 @@
+// Derating policy checks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/derating.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+ac::Equipment one_part_equipment(double power, double footprint) {
+  ac::Equipment eq;
+  ac::Module m;
+  m.name = "M";
+  ac::Board b;
+  b.name = "B";
+  ac::Component c;
+  c.reference = "U1";
+  c.power = power;
+  c.footprint_area = footprint;
+  b.components.push_back(c);
+  m.boards.push_back(b);
+  eq.modules.push_back(m);
+  return eq;
+}
+}  // namespace
+
+TEST(Derating, CompliantPartPasses) {
+  const auto eq = one_part_equipment(2.0, 4e-4);  // 0.5 W/cm^2
+  const auto rpt = ac::check_derating(eq, ac::DeratingPolicy::navmat(),
+                                      {ac::celsius_to_kelvin(80.0)},
+                                      ac::celsius_to_kelvin(125.0), {10.0});
+  EXPECT_TRUE(rpt.compliant);
+  EXPECT_EQ(rpt.findings.size(), 0u);
+  EXPECT_EQ(rpt.checks, 3u);
+}
+
+TEST(Derating, HotJunctionFlagged) {
+  const auto eq = one_part_equipment(2.0, 4e-4);
+  const auto rpt = ac::check_derating(eq, ac::DeratingPolicy::navmat(),
+                                      {ac::celsius_to_kelvin(110.0)},
+                                      ac::celsius_to_kelvin(125.0));
+  ASSERT_EQ(rpt.findings.size(), 1u);
+  EXPECT_EQ(rpt.findings[0].rule, "junction margin");
+  EXPECT_FALSE(rpt.compliant);
+}
+
+TEST(Derating, PowerRatioFlagged) {
+  const auto eq = one_part_equipment(8.0, 4e-4);
+  const auto rpt = ac::check_derating(eq, ac::DeratingPolicy::navmat(),
+                                      {ac::celsius_to_kelvin(70.0)},
+                                      ac::celsius_to_kelvin(125.0), {10.0});
+  // 8 W on a 10 W part exceeds the 60% NAVMAT fraction.
+  ASSERT_EQ(rpt.findings.size(), 1u);
+  EXPECT_EQ(rpt.findings[0].rule, "power derating");
+  EXPECT_NEAR(rpt.findings[0].allowed, 6.0, 1e-12);
+}
+
+TEST(Derating, FluxCapCatchesHotSpots) {
+  // 15 W on 1 cm^2 = 15 W/cm^2: over the NAVMAT 10 W/cm^2 cap — this is the
+  // rule that pushes designs toward the paper's two-phase spreaders.
+  const auto eq = one_part_equipment(15.0, 1e-4);
+  const auto rpt = ac::check_derating(eq, ac::DeratingPolicy::navmat(),
+                                      {ac::celsius_to_kelvin(70.0)},
+                                      ac::celsius_to_kelvin(125.0));
+  ASSERT_EQ(rpt.findings.size(), 1u);
+  EXPECT_EQ(rpt.findings[0].rule, "heat-flux cap");
+}
+
+TEST(Derating, CommercialPolicyIsLaxer) {
+  const auto eq = one_part_equipment(8.0, 1e-4);  // 8 W/cm^2, 110 C junction
+  const std::vector<double> tj = {ac::celsius_to_kelvin(110.0)};
+  const auto navmat = ac::check_derating(eq, ac::DeratingPolicy::navmat(), tj,
+                                         ac::celsius_to_kelvin(125.0), {10.0});
+  const auto commercial = ac::check_derating(eq, ac::DeratingPolicy::commercial(), tj,
+                                             ac::celsius_to_kelvin(125.0), {10.0});
+  EXPECT_GT(navmat.findings.size(), commercial.findings.size());
+}
+
+TEST(Derating, LengthMismatchThrows) {
+  const auto eq = one_part_equipment(2.0, 4e-4);
+  EXPECT_THROW(
+      ac::check_derating(eq, ac::DeratingPolicy::navmat(), {}, ac::celsius_to_kelvin(125.0)),
+      std::invalid_argument);
+  EXPECT_THROW(ac::check_derating(eq, ac::DeratingPolicy::navmat(),
+                                  {350.0, 350.0}, ac::celsius_to_kelvin(125.0)),
+               std::invalid_argument);
+}

@@ -1,0 +1,99 @@
+// Frequency allocation plan + the full Fig.-1 design procedure.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/design_procedure.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+
+TEST(FrequencyAllocation, BandLookupAndCompliance) {
+  ac::FrequencyAllocationPlan plan;
+  plan.allocate("chassis", 80.0, 150.0);
+  plan.allocate("power supply", 400.0, 600.0);  // the Ariane "around 500 Hz"
+  EXPECT_TRUE(plan.complies("power supply", 500.0));
+  EXPECT_FALSE(plan.complies("power supply", 200.0));
+  EXPECT_DOUBLE_EQ(plan.band("chassis").hi_hz, 150.0);
+  EXPECT_THROW(plan.band("unknown"), std::out_of_range);
+}
+
+TEST(FrequencyAllocation, RejectsOverlapsAndDuplicates) {
+  ac::FrequencyAllocationPlan plan;
+  plan.allocate("a", 100.0, 200.0);
+  EXPECT_THROW(plan.allocate("a", 300.0, 400.0), std::invalid_argument);
+  EXPECT_THROW(plan.allocate("b", 150.0, 250.0), std::invalid_argument);
+  EXPECT_THROW(plan.allocate("c", 200.0, 100.0), std::invalid_argument);
+  plan.allocate("d", 200.0, 300.0);  // touching is allowed
+}
+
+namespace {
+ac::DesignInputs sample_inputs() {
+  ac::Equipment eq;
+  eq.name = "demo unit";
+  ac::Module mod;
+  mod.name = "M1";
+  ac::Board b;
+  b.name = "board";
+  ac::Component c;
+  c.reference = "U1";
+  c.power = 6.0;
+  c.footprint_area = 4e-4;
+  c.x = 0.1;
+  c.y = 0.075;
+  b.components.push_back(c);
+  mod.boards.push_back(b);
+  eq.modules.push_back(mod);
+
+  af::PlateModel board(0.20, 0.15, 2e-3, am::fr4(), 6, 5);
+  board.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+  board.add_smeared_mass(2.0);
+
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(45.0);  // cargo-bay hot case
+  ac::DesignInputs in{eq, spec, board, "board", {}, af::do160_curve_c1(),
+                      0.04, 0.03, 12};
+  in.plan.allocate("board", 150.0, 1200.0);
+  return in;
+}
+}  // namespace
+
+TEST(DesignProcedure, HealthyDesignAccepted) {
+  const auto rpt = ac::run_design_procedure(sample_inputs());
+  EXPECT_TRUE(rpt.cooling.any_feasible);
+  EXPECT_TRUE(rpt.mechanical.frequency_allocated);
+  EXPECT_TRUE(rpt.mechanical.fatigue_ok);
+  EXPECT_TRUE(rpt.qualification.all_passed);
+  EXPECT_TRUE(rpt.thermal.mtbf_met);
+  EXPECT_TRUE(rpt.accepted);
+}
+
+TEST(DesignProcedure, MisallocatedFrequencyRejects) {
+  auto in = sample_inputs();
+  in.plan = {};
+  in.plan.allocate("board", 2000.0, 3000.0);  // board mode is far below this
+  const auto rpt = ac::run_design_procedure(in);
+  EXPECT_FALSE(rpt.mechanical.frequency_allocated);
+  EXPECT_FALSE(rpt.accepted);
+}
+
+TEST(DesignProcedure, ReportRendersAllSections) {
+  const auto rpt = ac::run_design_procedure(sample_inputs());
+  const std::string text = rpt.to_text();
+  EXPECT_NE(text.find("PACKAGING DESIGN DOCUMENT"), std::string::npos);
+  EXPECT_NE(text.find("Cooling selection"), std::string::npos);
+  EXPECT_NE(text.find("Thermal"), std::string::npos);
+  EXPECT_NE(text.find("Mechanical"), std::string::npos);
+  EXPECT_NE(text.find("Qualification"), std::string::npos);
+  EXPECT_NE(text.find("ACCEPTED"), std::string::npos);
+}
+
+TEST(DesignProcedure, MechanicalNumbersConsistent) {
+  const auto rpt = ac::run_design_procedure(sample_inputs());
+  EXPECT_GT(rpt.mechanical.fundamental_frequency, 150.0);
+  EXPECT_LT(rpt.mechanical.fundamental_frequency, 1200.0);
+  EXPECT_GT(rpt.mechanical.response_grms, 0.0);
+  EXPECT_GT(rpt.mechanical.steinberg_margin, 1.0);
+}

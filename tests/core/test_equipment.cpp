@@ -1,0 +1,70 @@
+// Equipment hierarchy model.
+#include <gtest/gtest.h>
+
+#include "core/equipment.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+ac::Equipment sample_equipment() {
+  ac::Equipment eq;
+  eq.name = "nav computer";
+  ac::Module mod;
+  mod.name = "CPU module";
+  ac::Board b;
+  b.name = "main";
+  b.components.push_back({"U1", 10.0, 4e-4, 1.5, 398.15, 0.1, 0.07,
+                          aeropack::reliability::PartType::Microprocessor,
+                          aeropack::reliability::Quality::FullMil, 1});
+  b.components.push_back({"U2", 2.5, 1e-4, 3.0, 398.15, 0.05, 0.07,
+                          aeropack::reliability::PartType::Memory,
+                          aeropack::reliability::Quality::FullMil, 4});
+  mod.boards.push_back(b);
+  eq.modules.push_back(mod);
+  return eq;
+}
+}  // namespace
+
+TEST(Equipment, PowerRollup) {
+  const auto eq = sample_equipment();
+  EXPECT_NEAR(eq.modules[0].boards[0].total_power(), 10.0 + 4 * 2.5, 1e-12);
+  EXPECT_NEAR(eq.total_power(), 20.0, 1e-12);
+}
+
+TEST(Equipment, ComponentFlux) {
+  const auto eq = sample_equipment();
+  EXPECT_NEAR(eq.modules[0].boards[0].components[0].flux(), 10.0 / 4e-4, 1e-9);
+}
+
+TEST(Equipment, SurfaceAreaOfEnvelope) {
+  ac::Equipment eq;
+  eq.length = 0.3;
+  eq.width = 0.2;
+  eq.height = 0.1;
+  EXPECT_NEAR(eq.surface_area(), 2.0 * (0.06 + 0.03 + 0.02), 1e-12);
+}
+
+TEST(Equipment, BomCarriesHierarchyAndCounts) {
+  const auto eq = sample_equipment();
+  const auto bom = eq.bill_of_materials(358.15);
+  ASSERT_EQ(bom.size(), 2u);
+  EXPECT_EQ(bom[0].reference, "CPU module/main/U1");
+  EXPECT_EQ(bom[1].count, 4);
+  EXPECT_DOUBLE_EQ(bom[0].junction_temperature, 358.15);
+}
+
+TEST(Units, CelsiusKelvinRoundTrip) {
+  EXPECT_DOUBLE_EQ(ac::celsius_to_kelvin(125.0), 398.15);
+  EXPECT_DOUBLE_EQ(ac::kelvin_to_celsius(ac::celsius_to_kelvin(-45.0)), -45.0);
+}
+
+TEST(Specification, DefaultsMatchPaperFigures) {
+  const ac::Specification spec;
+  EXPECT_DOUBLE_EQ(spec.junction_limit, 398.15);        // 125 C
+  EXPECT_DOUBLE_EQ(spec.local_ambient_limit, 358.15);   // 85 C
+  EXPECT_DOUBLE_EQ(spec.mtbf_target_hours, 40000.0);    // "about 40,000 h"
+  EXPECT_DOUBLE_EQ(spec.linear_acceleration_g, 9.0);    // "up to 9 g"
+  EXPECT_DOUBLE_EQ(spec.thermal_shock_low, 228.15);     // -45 C
+  EXPECT_DOUBLE_EQ(spec.thermal_shock_rate, 5.0);       // 5 C/min
+}

@@ -1,0 +1,138 @@
+// The Fig.-4 three-level thermal simulation chain.
+#include <gtest/gtest.h>
+
+#include "core/levels.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+ac::Equipment conduction_cooled_unit() {
+  ac::Equipment eq;
+  eq.name = "processing unit";
+  ac::Module mod;
+  mod.name = "M1";
+  ac::Board b;
+  b.name = "cpu board";
+  b.length = 0.20;
+  b.width = 0.15;
+  b.drain_thickness = 1.0e-3;  // aluminum core: required at this power
+  ac::Component cpu;
+  cpu.reference = "CPU";
+  cpu.power = 12.0;
+  cpu.footprint_area = 9e-4;
+  cpu.theta_jc = 0.8;
+  cpu.x = 0.10;
+  cpu.y = 0.075;
+  cpu.part_type = aeropack::reliability::PartType::Microprocessor;
+  ac::Component reg;
+  reg.reference = "REG";
+  reg.power = 5.0;
+  reg.footprint_area = 2e-4;
+  reg.theta_jc = 2.0;
+  reg.x = 0.05;
+  reg.y = 0.05;
+  reg.part_type = aeropack::reliability::PartType::PowerTransistor;
+  b.components = {cpu, reg};
+  mod.boards.push_back(b);
+  eq.modules.push_back(mod);
+  return eq;
+}
+}  // namespace
+
+TEST(Level1, CaseBetweenAmbientAndInternal) {
+  const auto eq = conduction_cooled_unit();
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(40.0);
+  const auto r = ac::run_level1(eq, spec, ac::CoolingTechnology::ConductionCooled);
+  EXPECT_GT(r.internal_air_temperature, r.case_temperature);
+  EXPECT_GT(r.case_temperature, spec.ambient_temperature);
+  EXPECT_TRUE(r.within_limits);
+}
+
+TEST(Level2, ComponentsCreateHotSpots) {
+  const auto eq = conduction_cooled_unit();
+  ac::Specification spec;
+  const auto r = ac::run_level2(eq.modules[0].boards[0], spec,
+                                ac::CoolingTechnology::ConductionCooled,
+                                ac::celsius_to_kelvin(50.0), 20);
+  EXPECT_GT(r.max_temperature, r.mean_temperature);
+  ASSERT_EQ(r.component_local_temperature.size(), 2u);
+  // Local board temperature under each part exceeds the wall temperature.
+  for (double t : r.component_local_temperature)
+    EXPECT_GT(t, ac::celsius_to_kelvin(50.0));
+  EXPECT_LT(r.energy_residual, 0.2);
+  EXPECT_GT(r.cell_count, 50u);
+}
+
+TEST(Level2, ThermalDrainCoolsTheBoard) {
+  // The paper's Level-2 design lever: "specific drains".
+  auto eq = conduction_cooled_unit();
+  ac::Specification spec;
+  auto& board = eq.modules[0].boards[0];
+  board.drain_thickness = 0.0;
+  const auto bare = ac::run_level2(board, spec, ac::CoolingTechnology::ConductionCooled,
+                                   ac::celsius_to_kelvin(50.0), 16);
+  board.drain_thickness = 1.0e-3;
+  const auto drained = ac::run_level2(board, spec, ac::CoolingTechnology::ConductionCooled,
+                                      ac::celsius_to_kelvin(50.0), 16);
+  EXPECT_LT(drained.max_temperature, bare.max_temperature - 30.0);
+}
+
+TEST(Level2, MoreCopperCoolsTheBoard) {
+  // The other Level-2 lever: "copper layers".
+  auto eq = conduction_cooled_unit();
+  ac::Specification spec;
+  auto& board = eq.modules[0].boards[0];
+  board.drain_thickness = 0.0;
+  board.stackup.copper_layers = 2;
+  const auto thin = ac::run_level2(board, spec, ac::CoolingTechnology::ConductionCooled,
+                                   ac::celsius_to_kelvin(50.0), 16);
+  board.stackup.copper_layers = 10;
+  const auto thick = ac::run_level2(board, spec, ac::CoolingTechnology::ConductionCooled,
+                                    ac::celsius_to_kelvin(50.0), 16);
+  EXPECT_LT(thick.max_temperature, thin.max_temperature - 1.0);
+}
+
+TEST(Level3, JunctionAboveBoardByThetaJc) {
+  const auto eq = conduction_cooled_unit();
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(45.0);
+  const auto all = ac::run_thermal_levels(eq, spec, ac::CoolingTechnology::ConductionCooled, 16);
+  ASSERT_EQ(all.level3.size(), 2u);
+  ASSERT_EQ(all.level2.size(), 1u);
+  for (std::size_t i = 0; i < all.level3.size(); ++i) {
+    EXPECT_GT(all.level3[i].junction_temperature,
+              all.level2[0].component_local_temperature[i]);
+  }
+  EXPECT_GE(all.worst_junction, all.level3[0].junction_temperature);
+}
+
+TEST(Level3, MtbfComputedAndComparedToTarget) {
+  const auto eq = conduction_cooled_unit();
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(45.0);
+  const auto all = ac::run_thermal_levels(eq, spec, ac::CoolingTechnology::ConductionCooled, 12);
+  EXPECT_GT(all.mtbf.mtbf_hours, 0.0);
+  EXPECT_EQ(all.mtbf.contributions.size(), 2u);
+  // Feasible design at these powers: junctions inside the 125 C limit.
+  for (const auto& c : all.level3) EXPECT_TRUE(c.within_limit) << c.reference;
+}
+
+TEST(Level3, HotterAmbientRaisesJunctions) {
+  const auto eq = conduction_cooled_unit();
+  ac::Specification cool;
+  cool.ambient_temperature = ac::celsius_to_kelvin(30.0);
+  ac::Specification hot;
+  hot.ambient_temperature = ac::celsius_to_kelvin(70.0);
+  const auto a = ac::run_thermal_levels(eq, cool, ac::CoolingTechnology::ConductionCooled, 12);
+  const auto b = ac::run_thermal_levels(eq, hot, ac::CoolingTechnology::ConductionCooled, 12);
+  EXPECT_GT(b.worst_junction, a.worst_junction + 20.0);
+}
+
+TEST(Levels, MeshTooCoarseThrows) {
+  const auto eq = conduction_cooled_unit();
+  EXPECT_THROW(ac::run_level2(eq.modules[0].boards[0], ac::Specification{},
+                              ac::CoolingTechnology::ConductionCooled, 320.0, 2),
+               std::invalid_argument);
+}

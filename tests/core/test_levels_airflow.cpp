@@ -1,0 +1,63 @@
+// Level-2 direct-air model: streamwise air heating (conjugate coupling).
+#include <gtest/gtest.h>
+
+#include "core/levels.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+ac::Board board_with_two_loads() {
+  ac::Board b;
+  b.name = "air-cooled";
+  b.length = 0.20;
+  b.width = 0.15;
+  b.drain_thickness = 0.0;
+  ac::Component up;  // near the inlet (x small)
+  up.reference = "UP";
+  up.power = 6.0;
+  up.footprint_area = 4e-4;
+  up.x = 0.03;
+  up.y = 0.075;
+  ac::Component down = up;  // mirrored near the outlet
+  down.reference = "DOWN";
+  down.x = 0.17;
+  b.components = {up, down};
+  return b;
+}
+}  // namespace
+
+TEST(Level2AirFlow, DownstreamComponentRunsHotter) {
+  // Identical parts at inlet and outlet: the outlet part must be hotter
+  // because the air arrives pre-heated — the effect the streamwise coupling
+  // exists to capture.
+  const auto b = board_with_two_loads();
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(40.0);
+  const auto r = ac::run_level2(b, spec, ac::CoolingTechnology::DirectAirFlow,
+                                spec.ambient_temperature, 20);
+  ASSERT_EQ(r.component_local_temperature.size(), 2u);
+  EXPECT_GT(r.component_local_temperature[1], r.component_local_temperature[0] + 0.5);
+}
+
+TEST(Level2AirFlow, EverythingAboveInlet) {
+  const auto b = board_with_two_loads();
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(40.0);
+  const auto r = ac::run_level2(b, spec, ac::CoolingTechnology::DirectAirFlow,
+                                spec.ambient_temperature, 16);
+  for (double t : r.component_local_temperature) EXPECT_GT(t, spec.ambient_temperature);
+  EXPECT_GT(r.max_temperature, r.mean_temperature);
+}
+
+TEST(Level2AirFlow, MorePowerMoreRise) {
+  auto b = board_with_two_loads();
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(40.0);
+  const auto low = ac::run_level2(b, spec, ac::CoolingTechnology::DirectAirFlow,
+                                  spec.ambient_temperature, 16);
+  for (auto& c : b.components) c.power *= 2.0;
+  const auto high = ac::run_level2(b, spec, ac::CoolingTechnology::DirectAirFlow,
+                                   spec.ambient_temperature, 16);
+  EXPECT_GT(high.max_temperature, low.max_temperature + 5.0);
+}

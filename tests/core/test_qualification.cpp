@@ -1,0 +1,110 @@
+// Qualification campaign simulator.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/qualification.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+ac::EquipmentUnderTest healthy_eut() {
+  ac::EquipmentUnderTest eut;
+  eut.name = "SEB assembly";
+  eut.mass = 4.0;
+  eut.fundamental_frequency = 180.0;
+  eut.damping_ratio = 0.05;
+  eut.mount_section_modulus = 3e-7;
+  eut.mount_length = 0.04;
+  eut.mount_yield = 276e6;
+  eut.board_edge = 0.25;
+  eut.board_thickness = 2e-3;
+  eut.critical_component_length = 0.03;
+  eut.worst_junction_at_ambient = [](double ambient) { return ambient + 35.0; };
+  return eut;
+}
+}  // namespace
+
+TEST(Qualification, HealthyUnitPassesAllFour) {
+  // The paper: "The seats have been submitted to all the different tests
+  // without damage."
+  const auto rpt = ac::run_campaign(healthy_eut());
+  ASSERT_EQ(rpt.results.size(), 4u);
+  for (const auto& t : rpt.results) EXPECT_TRUE(t.passed) << t.test << ": " << t.detail;
+  EXPECT_TRUE(rpt.all_passed);
+}
+
+TEST(Qualification, AccelerationMarginScalesWithLevel) {
+  const auto eut = healthy_eut();
+  ac::CampaignOptions nine;
+  nine.acceleration_g = 9.0;
+  ac::CampaignOptions thirty;
+  thirty.acceleration_g = 30.0;
+  const auto a = ac::run_linear_acceleration(eut, nine);
+  const auto b = ac::run_linear_acceleration(eut, thirty);
+  EXPECT_NEAR(a.margin / b.margin, 30.0 / 9.0, 1e-9);
+}
+
+TEST(Qualification, WeakBracketFailsAcceleration) {
+  auto eut = healthy_eut();
+  eut.mount_section_modulus = 5e-9;  // tiny bracket
+  const auto t = ac::run_linear_acceleration(eut, {});
+  EXPECT_FALSE(t.passed);
+  EXPECT_LT(t.margin, 1.0);
+}
+
+TEST(Qualification, SoftBoardFailsVibration) {
+  auto eut = healthy_eut();
+  eut.fundamental_frequency = 45.0;  // resonates inside the plateau
+  eut.board_thickness = 0.8e-3;
+  eut.critical_component_length = 0.06;
+  ac::CampaignOptions opts;
+  opts.vibration_curve = aeropack::fem::do160_curve_d1();  // severe zone
+  const auto t = ac::run_random_vibration(eut, opts);
+  EXPECT_FALSE(t.passed);
+}
+
+TEST(Qualification, HotterCurveLowersVibrationMargin) {
+  const auto eut = healthy_eut();
+  ac::CampaignOptions c1;
+  c1.vibration_curve = aeropack::fem::do160_curve_c1();
+  ac::CampaignOptions d1;
+  d1.vibration_curve = aeropack::fem::do160_curve_d1();
+  EXPECT_GT(ac::run_random_vibration(eut, c1).margin,
+            ac::run_random_vibration(eut, d1).margin);
+}
+
+TEST(Qualification, ClimaticFailsWhenJunctionBlowsLimit) {
+  auto eut = healthy_eut();
+  eut.worst_junction_at_ambient = [](double ambient) { return ambient + 90.0; };
+  ac::CampaignOptions opts;
+  opts.climatic_high = ac::celsius_to_kelvin(55.0);
+  const auto t = ac::run_climatic(eut, opts);
+  EXPECT_FALSE(t.passed);
+}
+
+TEST(Qualification, ClimaticNeedsThermalModel) {
+  auto eut = healthy_eut();
+  eut.worst_junction_at_ambient = nullptr;
+  EXPECT_THROW(ac::run_climatic(eut, {}), std::invalid_argument);
+}
+
+TEST(Qualification, ThermalShockMarginShrinksWithCycles) {
+  const auto eut = healthy_eut();
+  ac::CampaignOptions few;
+  few.shock_cycles = 10;
+  ac::CampaignOptions many;
+  many.shock_cycles = 500;
+  EXPECT_GT(ac::run_thermal_shock(eut, few).margin,
+            ac::run_thermal_shock(eut, many).margin);
+}
+
+TEST(Qualification, WiderShockRangeIsHarsher) {
+  const auto eut = healthy_eut();
+  ac::CampaignOptions mild;
+  mild.shock_low = ac::celsius_to_kelvin(-10.0);
+  ac::CampaignOptions paper;  // -45 / +55 default
+  EXPECT_GT(ac::run_thermal_shock(eut, mild).margin,
+            ac::run_thermal_shock(eut, paper).margin);
+}

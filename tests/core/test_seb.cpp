@@ -1,0 +1,103 @@
+// COSEE SEB scenario model — unit-level behaviour (the quantitative paper
+// reproduction lives in tests/integration/test_paper_claims.cpp).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/seb.hpp"
+#include "core/units.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+const double kCabin = ac::celsius_to_kelvin(25.0);
+}
+
+TEST(SebModel, EnergySplitsAcrossPaths) {
+  ac::SebModel m{ac::SebDesign{}};
+  const auto pt = m.solve(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  EXPECT_NEAR(pt.q_lhp_path + pt.q_natural_path, 60.0, 1e-6);
+  EXPECT_GT(pt.q_lhp_path, 0.0);
+  EXPECT_GT(pt.q_natural_path, 0.0);
+}
+
+TEST(SebModel, LhpAlwaysImproves) {
+  ac::SebModel m{ac::SebDesign{}};
+  for (double q : {10.0, 30.0, 60.0, 90.0}) {
+    const auto no = m.solve(q, kCabin, ac::SebCooling::NaturalOnly);
+    const auto yes = m.solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp);
+    EXPECT_LT(yes.dt_pcb_air, no.dt_pcb_air) << "Q=" << q;
+  }
+}
+
+TEST(SebModel, TiltDegradesButWorks) {
+  ac::SebModel m{ac::SebDesign{}};
+  const auto flat = m.solve(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp, 0.0);
+  const auto tilt = m.solve(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp, 22.0);
+  EXPECT_GT(tilt.dt_pcb_air, flat.dt_pcb_air);
+  EXPECT_LT(tilt.dt_pcb_air, 1.25 * flat.dt_pcb_air);  // small penalty only
+  EXPECT_TRUE(tilt.lhp_within_capillary);
+  EXPECT_GT(flat.lhp_capillary_margin, tilt.lhp_capillary_margin);
+}
+
+TEST(SebModel, MonotoneInPower) {
+  ac::SebModel m{ac::SebDesign{}};
+  double prev = 0.0;
+  for (double q : {5.0, 20.0, 50.0, 80.0, 110.0}) {
+    const auto pt = m.solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp);
+    EXPECT_GT(pt.dt_pcb_air, prev);
+    prev = pt.dt_pcb_air;
+  }
+}
+
+TEST(SebModel, StageResistancesSane) {
+  ac::SebModel m{ac::SebDesign{}};
+  EXPECT_GT(m.heat_pipe_stage_resistance(), 0.01);
+  EXPECT_LT(m.heat_pipe_stage_resistance(), 1.0);
+  EXPECT_GT(m.joint_stage_resistance(), 0.01);
+  EXPECT_LT(m.joint_stage_resistance(), 1.0);
+}
+
+TEST(SebModel, BetterTimShortensThePath) {
+  // The paper's motivation for NANOPACK: "this technology requires the use
+  // of many thermal interfaces; thus the optimization of the whole thermal
+  // path implies to improve the TIM".
+  ac::SebDesign pad;
+  pad.joint_tim = aeropack::tim::conventional_gap_pad();
+  ac::SebDesign nano;
+  nano.joint_tim = aeropack::tim::nanopack_multi_epoxy_silver_sphere();
+  ac::SebModel m_pad{pad};
+  ac::SebModel m_nano{nano};
+  const auto a = m_pad.solve(80.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const auto b = m_nano.solve(80.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  EXPECT_LT(b.dt_pcb_air, a.dt_pcb_air - 2.0);
+  EXPECT_GT(b.q_lhp_path, a.q_lhp_path);
+}
+
+TEST(SebModel, CapabilityInvertsDeltaT) {
+  ac::SebModel m{ac::SebDesign{}};
+  const double q60 = m.capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const auto check = m.solve(q60, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  EXPECT_NEAR(check.dt_pcb_air, 60.0, 0.05);
+}
+
+TEST(SebModel, InvalidInputsThrow) {
+  ac::SebModel m{ac::SebDesign{}};
+  EXPECT_THROW(m.solve(-1.0, kCabin, ac::SebCooling::NaturalOnly), std::invalid_argument);
+  EXPECT_THROW(m.solve(10.0, kCabin, ac::SebCooling::HeatPipesAndLhp, 90.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.capability_at_dt(0.0, kCabin, ac::SebCooling::NaturalOnly),
+               std::invalid_argument);
+  ac::SebDesign bad;
+  bad.lhp_count = 0;
+  EXPECT_THROW(ac::SebModel{bad}, std::invalid_argument);
+}
+
+TEST(SebModel, HotterCabinShiftsAbsoluteNotRelative) {
+  ac::SebModel m{ac::SebDesign{}};
+  const auto cool = m.solve(40.0, ac::celsius_to_kelvin(20.0), ac::SebCooling::HeatPipesAndLhp);
+  const auto warm = m.solve(40.0, ac::celsius_to_kelvin(40.0), ac::SebCooling::HeatPipesAndLhp);
+  // dT changes only weakly (via property/film variation), absolute T shifts.
+  EXPECT_NEAR(warm.dt_pcb_air, cool.dt_pcb_air, 3.0);
+  EXPECT_GT(warm.t_pcb, cool.t_pcb + 15.0);
+}

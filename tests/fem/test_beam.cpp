@@ -1,0 +1,77 @@
+// Beam element matrices.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/beam.hpp"
+#include "numeric/solve_dense.hpp"
+
+namespace af = aeropack::fem;
+namespace an = aeropack::numeric;
+
+TEST(BeamSection, RectangleProperties) {
+  const auto s = af::BeamSection::rectangle(0.02, 0.04);
+  EXPECT_DOUBLE_EQ(s.area, 8e-4);
+  EXPECT_NEAR(s.inertia, 0.02 * std::pow(0.04, 3) / 12.0, 1e-15);
+  EXPECT_THROW(af::BeamSection::rectangle(0.0, 0.1), std::invalid_argument);
+}
+
+TEST(BeamSection, TubeProperties) {
+  const auto s = af::BeamSection::tube(0.05, 0.002);
+  EXPECT_GT(s.area, 0.0);
+  EXPECT_GT(s.inertia, 0.0);
+  EXPECT_THROW(af::BeamSection::tube(0.05, 0.03), std::invalid_argument);
+}
+
+TEST(BeamStiffness, SymmetricAndSingularAsFreeBody) {
+  const auto s = af::BeamSection::rectangle(0.01, 0.01);
+  const an::Matrix k = af::beam_stiffness_local(70e9, s, 0.5);
+  EXPECT_LT(k.asymmetry(), 1e-6 * k.norm());
+  // Rigid-body translation produces zero force.
+  an::Vector rigid{1.0, 0.0, 0.0, 1.0, 0.0, 0.0};
+  const an::Vector f = k * rigid;
+  for (double v : f) EXPECT_NEAR(v, 0.0, 1e-3);
+}
+
+TEST(BeamStiffness, CantileverTipDeflection) {
+  // Tip force P on cantilever: delta = P L^3 / (3 E I). Single element is
+  // exact for Euler-Bernoulli.
+  const double e = 70e9, l = 0.5, p = 100.0;
+  const auto s = af::BeamSection::rectangle(0.01, 0.01);
+  const an::Matrix k = af::beam_stiffness_local(e, s, l);
+  // Fix node 1 (DOFs 0-2), load v2: reduced 3x3 system on (u2, v2, t2).
+  an::Matrix kr(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) kr(i, j) = k(3 + i, 3 + j);
+  const an::Vector u = an::solve(kr, {0.0, p, 0.0});
+  EXPECT_NEAR(u[1], p * l * l * l / (3.0 * e * s.inertia), 1e-12);
+}
+
+TEST(BeamMass, TotalMassPreserved) {
+  const double rho = 2700.0, l = 0.4;
+  const auto s = af::BeamSection::rectangle(0.01, 0.02);
+  const an::Matrix m = af::beam_mass_local(rho, s, l);
+  // Sum of translational (v) entries against a rigid unit translation gives
+  // the element mass.
+  an::Vector rigid{0.0, 1.0, 0.0, 0.0, 1.0, 0.0};
+  const an::Vector mv = m * rigid;
+  double total = 0.0;
+  for (std::size_t i : {1u, 4u}) total += mv[i];
+  EXPECT_NEAR(total, rho * s.area * l, 1e-9);
+}
+
+TEST(BeamTransformation, NinetyDegreesSwapsAxes) {
+  const an::Matrix t = af::beam_transformation(M_PI / 2.0);
+  // Local x maps to global y.
+  an::Vector g{1.0, 0.0, 0.0, 0.0, 0.0, 0.0};  // global ux at node 1
+  const an::Vector local = t * g;
+  EXPECT_NEAR(local[0], 0.0, 1e-12);
+  EXPECT_NEAR(local[1], -1.0, 1e-12);
+}
+
+TEST(BeamTransformation, OrthogonalMatrix) {
+  const an::Matrix t = af::beam_transformation(0.7);
+  const an::Matrix id = t * t.transposed();
+  EXPECT_LT((id - an::Matrix::identity(6)).norm(), 1e-12);
+}

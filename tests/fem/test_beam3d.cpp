@@ -1,0 +1,158 @@
+// 3-D space-frame element and model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fem/beam3d.hpp"
+#include "materials/solid.hpp"
+
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+namespace an = aeropack::numeric;
+
+TEST(Section3D, Factories) {
+  const auto r = af::Section3D::rectangle(0.02, 0.04);
+  EXPECT_DOUBLE_EQ(r.area, 8e-4);
+  EXPECT_GT(r.iz, r.iy);  // taller than wide in z-bending sense
+  EXPECT_GT(r.j, 0.0);
+  const auto rod = af::Section3D::rod(0.01);
+  EXPECT_NEAR(rod.j, 2.0 * rod.iy, 1e-15);
+  EXPECT_THROW(af::Section3D::tube(0.01, 0.006), std::invalid_argument);
+}
+
+TEST(Beam3D, StiffnessSymmetricWithRigidBodyNullspace) {
+  const auto s = af::Section3D::rod(0.01);
+  const an::Matrix k = af::beam3d_stiffness_local(am::aluminum_6061(), s, 0.5);
+  EXPECT_LT(k.asymmetry(), 1e-6 * k.norm());
+  // Rigid translation in each direction gives zero force.
+  for (std::size_t dir = 0; dir < 3; ++dir) {
+    an::Vector rigid(12, 0.0);
+    rigid[dir] = 1.0;
+    rigid[6 + dir] = 1.0;
+    const an::Vector f = k * rigid;
+    for (double v : f) EXPECT_NEAR(v, 0.0, 1e-3);
+  }
+}
+
+TEST(Beam3D, TransformationOrthogonal) {
+  const an::Matrix t = af::beam3d_transformation(0, 0, 0, 1, 2, 3);
+  const an::Matrix id = t * t.transposed();
+  EXPECT_LT((id - an::Matrix::identity(12)).norm(), 1e-12);
+  // Vertical member path (reference-vector switch).
+  const an::Matrix tv = af::beam3d_transformation(0, 0, 0, 0, 0, 2);
+  EXPECT_LT((tv * tv.transposed() - an::Matrix::identity(12)).norm(), 1e-12);
+}
+
+TEST(Frame3D, CantileverTipDeflectionBothPlanes) {
+  // delta = P L^3 / (3 E I) in y (Iz) and z (Iy).
+  const double l = 0.5, p = 100.0;
+  const auto s = af::Section3D::rectangle(0.01, 0.02);
+  const auto mat = am::aluminum_6061();
+  af::Frame3D f;
+  const auto a = f.add_node(0, 0, 0);
+  const auto b = f.add_node(l, 0, 0);
+  f.fix_all(a);
+  f.add_beam(a, b, mat, s);
+  an::Vector loads(f.dof_count(), 0.0);
+  loads[f.global_dof(b, 1)] = p;  // y force
+  loads[f.global_dof(b, 2)] = p;  // z force
+  const auto u = f.solve_static(loads);
+  const double e = mat.youngs_modulus;
+  EXPECT_NEAR(u[f.global_dof(b, 1)], p * l * l * l / (3.0 * e * s.iz), 1e-9);
+  EXPECT_NEAR(u[f.global_dof(b, 2)], p * l * l * l / (3.0 * e * s.iy), 1e-9);
+}
+
+TEST(Frame3D, TorsionOfShaft) {
+  // theta = T L / (G J).
+  const double l = 0.4, torque = 5.0;
+  const auto s = af::Section3D::rod(0.012);
+  const auto mat = am::steel_304();
+  af::Frame3D f;
+  const auto a = f.add_node(0, 0, 0);
+  const auto b = f.add_node(l, 0, 0);
+  f.fix_all(a);
+  f.add_beam(a, b, mat, s);
+  an::Vector loads(f.dof_count(), 0.0);
+  loads[f.global_dof(b, 3)] = torque;
+  const auto u = f.solve_static(loads);
+  const double g = mat.youngs_modulus / (2.0 * (1.0 + mat.poisson_ratio));
+  EXPECT_NEAR(u[f.global_dof(b, 3)], torque * l / (g * s.j), 1e-9);
+}
+
+TEST(Frame3D, CantileverFrequencyMatchesAnalytic) {
+  const double l = 0.3;
+  const auto s = af::Section3D::rectangle(0.015, 0.003);
+  const auto mat = am::aluminum_6061();
+  af::Frame3D f;
+  std::size_t prev = f.add_node(0, 0, 0);
+  f.fix_all(prev);
+  const std::size_t n = 6;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t node = f.add_node(l * static_cast<double>(i) / n, 0, 0);
+    f.add_beam(prev, node, mat, s);
+    prev = node;
+  }
+  const auto freqs = f.natural_frequencies();
+  const double beta = 1.8751040687;
+  // Weak axis (min I) governs the first mode.
+  const double imin = std::min(s.iy, s.iz);
+  const double f1 = beta * beta / (2.0 * std::numbers::pi) *
+                    std::sqrt(mat.youngs_modulus * imin /
+                              (mat.density * s.area * std::pow(l, 4.0)));
+  EXPECT_NEAR(freqs[0], f1, 0.02 * f1);
+}
+
+TEST(Frame3D, OutOfPlanePortalMode) {
+  // A 3-D portal frame has an out-of-plane sway mode a 2-D model cannot
+  // represent: check it exists and is the lowest.
+  const auto mat = am::aluminum_6061();
+  const auto s = af::Section3D::tube(0.02, 0.002);
+  af::Frame3D f;
+  const auto b1 = f.add_node(0, 0, 0);
+  const auto b2 = f.add_node(0.4, 0, 0);
+  const auto t1 = f.add_node(0, 0, 0.3);
+  const auto t2 = f.add_node(0.4, 0, 0.3);
+  f.fix_all(b1);
+  f.fix_all(b2);
+  f.add_beam(b1, t1, mat, s);
+  f.add_beam(b2, t2, mat, s);
+  f.add_beam(t1, t2, mat, s);
+  f.add_mass(t1, 1.0);
+  f.add_mass(t2, 1.0);
+  const auto freqs = f.natural_frequencies();
+  EXPECT_GT(freqs[0], 5.0);
+  EXPECT_LT(freqs[0], 500.0);
+  EXPECT_GT(freqs[1], freqs[0]);
+}
+
+TEST(Frame3D, StressRecoveryCantilever) {
+  // sigma = M c / I at the root: M = P L, c = sqrt(A)/2 (model's estimate).
+  const double l = 0.5, p = 50.0;
+  const auto s = af::Section3D::rectangle(0.02, 0.02);
+  const auto mat = am::aluminum_6061();
+  af::Frame3D f;
+  const auto a = f.add_node(0, 0, 0);
+  const auto b = f.add_node(l, 0, 0);
+  f.fix_all(a);
+  f.add_beam(a, b, mat, s);
+  an::Vector loads(f.dof_count(), 0.0);
+  loads[f.global_dof(b, 1)] = p;
+  const auto u = f.solve_static(loads);
+  const auto stresses = f.beam_stresses(u);
+  ASSERT_EQ(stresses.size(), 1u);
+  const double c = std::sqrt(s.area) / 2.0;
+  EXPECT_NEAR(stresses[0], p * l * c / s.iz, 0.02 * p * l * c / s.iz);
+}
+
+TEST(Frame3D, InvalidUsageThrows) {
+  af::Frame3D f;
+  const auto a = f.add_node(0, 0, 0);
+  EXPECT_THROW(f.add_beam(a, a, am::copper(), af::Section3D::rod(0.01)),
+               std::invalid_argument);
+  EXPECT_THROW(f.add_mass(a, 0.0), std::invalid_argument);
+  EXPECT_THROW(f.fix(a, 6), std::invalid_argument);
+  f.fix_all(a);
+  EXPECT_THROW(f.natural_frequencies(), std::logic_error);
+}

@@ -1,0 +1,73 @@
+// Steinberg PCB fatigue and Basquin/Miner accumulation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/fatigue.hpp"
+
+namespace af = aeropack::fem;
+
+TEST(Steinberg, AllowableDeflectionHandCalc) {
+  // B = 8 in, h = 0.08 in, L = 2 in, C = 1, r = 1:
+  // Z = 0.00022 * 8 / (0.08 * sqrt(2)) = 0.01556 in.
+  const double in = 0.0254;
+  const double z = af::steinberg_allowable_deflection(8.0 * in, 0.08 * in, 2.0 * in, 1.0, 1.0);
+  EXPECT_NEAR(z / in, 0.00022 * 8.0 / (0.08 * std::sqrt(2.0)), 1e-6);
+}
+
+TEST(Steinberg, ThickerBoardAllowsLess) {
+  // Allowable deflection shrinks with board thickness (stiffer board bends
+  // the leads more for the same curvature).
+  const double thin = af::steinberg_allowable_deflection(0.2, 1.6e-3, 0.03, 1.0, 1.0);
+  const double thick = af::steinberg_allowable_deflection(0.2, 3.2e-3, 0.03, 1.0, 1.0);
+  EXPECT_GT(thin, thick);
+}
+
+TEST(Steinberg, BgaPackagingFactorPenalizes) {
+  const double dip = af::steinberg_allowable_deflection(0.2, 1.6e-3, 0.03, 1.0, 1.0);
+  const double bga = af::steinberg_allowable_deflection(0.2, 1.6e-3, 0.03, 1.0, 2.25);
+  EXPECT_NEAR(dip / bga, 2.25, 1e-9);
+}
+
+TEST(Steinberg, DynamicDeflectionScalesInverseFrequencySquared) {
+  const double z100 = af::steinberg_dynamic_deflection(100.0, 5.0);
+  const double z200 = af::steinberg_dynamic_deflection(200.0, 5.0);
+  EXPECT_NEAR(z100 / z200, 4.0, 1e-9);
+}
+
+TEST(Steinberg, AssessmentPassFailBoundary) {
+  // High frequency + modest response: passes easily.
+  const auto good = af::steinberg_assess(0.2, 1.6e-3, 0.03, 1.0, 1.0, 400.0, 3.0);
+  EXPECT_TRUE(good.acceptable);
+  EXPECT_GT(good.margin, 1.0);
+  // Low frequency + violent response: fails.
+  const auto bad = af::steinberg_assess(0.2, 1.6e-3, 0.03, 1.0, 1.0, 40.0, 15.0);
+  EXPECT_FALSE(bad.acceptable);
+  EXPECT_LT(bad.margin, 1.0);
+  EXPECT_GT(good.life_hours_at_20m_cycles, bad.life_hours_at_20m_cycles);
+}
+
+TEST(Basquin, EnduranceScaling) {
+  // Halving stress with b = 0.1 multiplies life by 2^10 = 1024.
+  const double n1 = af::basquin_cycles_to_failure(500e6, 0.1, 100e6);
+  const double n2 = af::basquin_cycles_to_failure(500e6, 0.1, 50e6);
+  EXPECT_NEAR(n2 / n1, std::pow(2.0, 10.0), 1.0);
+}
+
+TEST(Basquin, StressAboveCoefficientFailsImmediately) {
+  EXPECT_DOUBLE_EQ(af::basquin_cycles_to_failure(100e6, 0.1, 200e6), 1.0);
+  EXPECT_THROW(af::basquin_cycles_to_failure(0.0, 0.1, 1e6), std::invalid_argument);
+}
+
+TEST(MinerThreeBand, DamageScalesLinearlyWithTime) {
+  const double d1 = af::miner_damage_three_band(120.0, 3600.0, 30e6, 500e6, 0.12);
+  const double d2 = af::miner_damage_three_band(120.0, 7200.0, 30e6, 500e6, 0.12);
+  EXPECT_NEAR(d2, 2.0 * d1, 1e-9 * d2);
+}
+
+TEST(MinerThreeBand, HigherStressMoreDamage) {
+  const double low = af::miner_damage_three_band(120.0, 3600.0, 20e6, 500e6, 0.12);
+  const double high = af::miner_damage_three_band(120.0, 3600.0, 60e6, 500e6, 0.12);
+  EXPECT_GT(high, 5.0 * low);
+}

@@ -1,0 +1,113 @@
+// Harmonic base-excitation sweeps (the Fig. 3 mechanical-filtering study).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/harmonic.hpp"
+#include "fem/sdof.hpp"
+
+namespace af = aeropack::fem;
+namespace an = aeropack::numeric;
+
+namespace {
+af::FrameModel sdof_model(double k, double mass) {
+  af::FrameModel m;
+  const std::size_t n = m.add_node(0.0, 0.0);
+  m.fix(n, af::Dof::Ux);
+  m.fix(n, af::Dof::Rz);
+  m.add_ground_spring(n, af::Dof::Uy, k);
+  m.add_mass(n, mass);
+  return m;
+}
+}  // namespace
+
+TEST(RayleighCoefficients, ReproduceTargetDamping) {
+  double alpha = 0.0, beta = 0.0;
+  af::rayleigh_coefficients(0.05, 50.0, 500.0, alpha, beta);
+  for (double f : {50.0, 500.0}) {
+    const double w = 2.0 * 3.14159265358979 * f;
+    const double zeta = 0.5 * (alpha / w + beta * w);
+    EXPECT_NEAR(zeta, 0.05, 1e-10);
+  }
+  EXPECT_THROW(af::rayleigh_coefficients(0.0, 50.0, 500.0, alpha, beta),
+               std::invalid_argument);
+}
+
+TEST(HarmonicSweep, SdofPeaksNearResonanceWithQ) {
+  const double k = 4e5, mass = 1.0, zeta = 0.05;
+  auto m = sdof_model(k, mass);
+  const double fn = af::natural_frequency_hz(k, mass);
+  const an::Vector freqs = an::linspace(0.2 * fn, 2.0 * fn, 241);
+  // Anchor the Rayleigh fit at fn so the modal damping ratio is exact there.
+  const auto sweep = af::harmonic_base_sweep(m, freqs, zeta, 0, af::Dof::Uy, 0.0, 1.0,
+                                             0.999 * fn, 1.001 * fn);
+  // Peak location and level.
+  std::size_t imax = 0;
+  for (std::size_t i = 1; i < sweep.amplitude.size(); ++i)
+    if (sweep.amplitude[i] > sweep.amplitude[imax]) imax = i;
+  EXPECT_NEAR(sweep.frequencies_hz[imax], fn, 0.03 * fn);
+  EXPECT_NEAR(sweep.amplitude[imax], af::resonant_amplification(zeta), 0.6);
+  // Low-frequency transmissibility ~ 1.
+  EXPECT_NEAR(sweep.amplitude[0], 1.0, 0.05);
+}
+
+TEST(HarmonicSweep, IsolationAboveCrossover) {
+  const double k = 1e5, mass = 4.0;  // fn ~ 25 Hz isolator
+  auto m = sdof_model(k, mass);
+  const double fn = af::natural_frequency_hz(k, mass);
+  const an::Vector freqs{4.0 * fn};
+  const auto sweep = af::harmonic_base_sweep(m, freqs, 0.05, 0, af::Dof::Uy);
+  EXPECT_LT(sweep.amplitude[0], 0.25);  // strong attenuation well above fn
+}
+
+TEST(HarmonicSweep, MatchesAnalyticTransmissibilityOffResonance) {
+  const double k = 2e5, mass = 2.0, zeta = 0.08;
+  auto m = sdof_model(k, mass);
+  const double fn = af::natural_frequency_hz(k, mass);
+  // Anchor the Rayleigh fit at fn so c = 2 zeta m wn exactly as the
+  // analytic transmissibility formula assumes.
+  for (double r : {0.5, 1.5, 3.0}) {
+    const double f = r * fn;
+    const auto sweep = af::harmonic_base_sweep(m, {f}, zeta, 0, af::Dof::Uy, 0.0, 1.0,
+                                               0.999 * fn, 1.001 * fn);
+    EXPECT_NEAR(sweep.amplitude[0], af::transmissibility(f, fn, zeta), 0.01)
+        << "r=" << r;
+  }
+}
+
+TEST(HarmonicSweep, WatchOnConstrainedDofThrows) {
+  auto m = sdof_model(1e5, 1.0);
+  EXPECT_THROW(af::harmonic_base_sweep(m, {10.0}, 0.05, 0, af::Dof::Ux),
+               std::invalid_argument);
+}
+
+TEST(FindPeaks, LocatesResonances) {
+  af::HarmonicSweep sweep;
+  sweep.frequencies_hz = {1, 2, 3, 4, 5};
+  sweep.amplitude = {1.0, 3.0, 1.0, 5.0, 1.0};
+  const auto peaks = af::find_peaks(sweep, 2.0);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 1u);
+  EXPECT_EQ(peaks[1], 3u);
+}
+
+TEST(TwoStageIsolation, SoftStageProtectsPayload) {
+  // The paper's IRS: rack sees the full environment, the isolated sensor
+  // sees a filtered one. Two-mass model: isolator (soft) under payload.
+  af::FrameModel m;
+  const std::size_t rack = m.add_node(0.0, 0.0);
+  const std::size_t imu = m.add_node(0.0, 0.1);
+  for (auto n : {rack, imu}) {
+    m.fix(n, af::Dof::Ux);
+    m.fix(n, af::Dof::Rz);
+  }
+  m.add_ground_spring(rack, af::Dof::Uy, 5e7);  // stiff rack mount ~ 500 Hz
+  m.add_mass(rack, 5.0);
+  m.add_spring(rack, imu, af::Dof::Uy, 3e5);  // soft isolator ~ 40 Hz
+  m.add_mass(imu, 4.0);
+  const an::Vector freqs{400.0};
+  const auto at_rack = af::harmonic_base_sweep(m, freqs, 0.1, rack, af::Dof::Uy);
+  const auto at_imu = af::harmonic_base_sweep(m, freqs, 0.1, imu, af::Dof::Uy);
+  EXPECT_LT(at_imu.amplitude[0], 0.3 * at_rack.amplitude[0]);
+}

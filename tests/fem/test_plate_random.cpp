@@ -1,0 +1,80 @@
+// Plate-level random vibration assessment.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fem/plate_random.hpp"
+#include "materials/solid.hpp"
+
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+
+namespace {
+af::PlateModel pcb() {
+  af::PlateModel p(0.2, 0.15, 1.6e-3, am::fr4(), 6, 5);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  p.add_smeared_mass(3.0);
+  return p;
+}
+}  // namespace
+
+TEST(PlateRandom, CenterComponentAssessed) {
+  const auto plate = pcb();
+  const auto a = af::assess_plate_random(plate, af::do160_curve_c1(), 0.04, 0.10, 0.075,
+                                         0.03);
+  EXPECT_GT(a.response_grms, 0.0);
+  EXPECT_GT(a.dominant_frequency, 50.0);
+  EXPECT_GT(a.modes_used, 2u);
+  EXPECT_GT(a.fatigue.margin, 0.0);
+}
+
+TEST(PlateRandom, CenterWorseThanCorner) {
+  // Fundamental mode peaks at the center: a part there sees more motion
+  // than one near a supported edge.
+  const auto plate = pcb();
+  const auto center = af::assess_plate_random(plate, af::do160_curve_d1(), 0.04, 0.10,
+                                              0.075, 0.03);
+  const auto near_edge = af::assess_plate_random(plate, af::do160_curve_d1(), 0.04, 0.035,
+                                                 0.03, 0.03);
+  EXPECT_GT(center.response_grms, near_edge.response_grms);
+}
+
+TEST(PlateRandom, HarsherCurveWorseMargin) {
+  const auto plate = pcb();
+  const auto c1 = af::assess_plate_random(plate, af::do160_curve_c1(), 0.04, 0.10, 0.075,
+                                          0.03);
+  const auto d1 = af::assess_plate_random(plate, af::do160_curve_d1(), 0.04, 0.10, 0.075,
+                                          0.03);
+  EXPECT_GT(c1.fatigue.margin, d1.fatigue.margin);
+}
+
+TEST(PlateRandom, BgaPenalizedVsDip) {
+  const auto plate = pcb();
+  const auto dip = af::assess_plate_random(plate, af::do160_curve_d1(), 0.04, 0.10, 0.075,
+                                           0.03, 1.0);
+  const auto bga = af::assess_plate_random(plate, af::do160_curve_d1(), 0.04, 0.10, 0.075,
+                                           0.03, 2.25);
+  EXPECT_GT(dip.fatigue.margin, bga.fatigue.margin);
+}
+
+TEST(PlateRandom, StiffeningImprovesMargin) {
+  // The design loop: thicker board -> higher modes -> less ASD + less
+  // deflection -> larger Steinberg margin.
+  af::PlateModel thin(0.2, 0.15, 1.2e-3, am::fr4(), 6, 5);
+  thin.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  thin.add_smeared_mass(3.0);
+  af::PlateModel thick(0.2, 0.15, 2.4e-3, am::fr4(), 6, 5);
+  thick.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  thick.add_smeared_mass(3.0);
+  const auto a = af::assess_plate_random(thin, af::do160_curve_d1(), 0.04, 0.10, 0.075, 0.03);
+  const auto b = af::assess_plate_random(thick, af::do160_curve_d1(), 0.04, 0.10, 0.075, 0.03);
+  EXPECT_GT(b.fatigue.margin, a.fatigue.margin);
+}
+
+TEST(PlateRandom, SupportedNodeRejected) {
+  const auto plate = pcb();
+  EXPECT_THROW(af::assess_plate_random(plate, af::do160_curve_c1(), 0.04, 0.0, 0.0, 0.03),
+               std::invalid_argument);
+  EXPECT_THROW(af::assess_plate_random(plate, af::do160_curve_c1(), 0.0, 0.1, 0.075, 0.03),
+               std::invalid_argument);
+}

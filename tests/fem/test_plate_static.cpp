@@ -1,0 +1,112 @@
+// Plate static pressure / quasi-static g-loading.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/fatigue.hpp"
+#include "fem/plate.hpp"
+#include "materials/solid.hpp"
+
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+
+TEST(PlateStatic, SimplySupportedUniformPressureMatchesNavier) {
+  // Square SS plate under uniform q: w_max = 0.00406 q a^4 / D.
+  const auto al = am::aluminum_6061();
+  const double a = 0.2, t = 2e-3, q = 1000.0;
+  af::PlateModel p(a, a, t, al, 8, 8);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  const auto u = p.solve_static_pressure(q);
+  double w_max = 0.0;
+  for (std::size_t n = 0; n < p.node_count(); ++n)
+    w_max = std::max(w_max, std::fabs(u[3 * n]));
+  const double d = af::plate_rigidity(al, t);
+  EXPECT_NEAR(w_max, 0.00406 * q * std::pow(a, 4.0) / d, 0.05 * w_max);
+}
+
+TEST(PlateStatic, ClampedPlateDeflectsLess) {
+  const auto fr4 = am::fr4();
+  af::PlateModel ss(0.2, 0.15, 1.6e-3, fr4, 8, 6);
+  ss.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  af::PlateModel cl(0.2, 0.15, 1.6e-3, fr4, 8, 6);
+  cl.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+  const auto us = ss.solve_static_pressure(500.0);
+  const auto uc = cl.solve_static_pressure(500.0);
+  double ws = 0.0, wc = 0.0;
+  for (std::size_t n = 0; n < ss.node_count(); ++n) {
+    ws = std::max(ws, std::fabs(us[3 * n]));
+    wc = std::max(wc, std::fabs(uc[3 * n]));
+  }
+  EXPECT_LT(wc, 0.5 * ws);
+}
+
+TEST(PlateStatic, DeflectionLinearInPressure) {
+  const auto fr4 = am::fr4();
+  af::PlateModel p(0.2, 0.15, 1.6e-3, fr4, 6, 5);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  const auto u1 = p.solve_static_pressure(100.0);
+  const auto u2 = p.solve_static_pressure(200.0);
+  for (std::size_t i = 0; i < u1.size(); ++i) EXPECT_NEAR(u2[i], 2.0 * u1[i], 1e-12);
+}
+
+TEST(PlateStatic, NineGDeflectionWellUnderSteinbergAllowable) {
+  // The paper's 9 g case: a populated avionics board barely moves compared
+  // to the vibration allowable — quasi-static acceleration is not the
+  // board-bending driver (vibration is).
+  const auto fr4 = am::fr4();
+  af::PlateModel p(0.2, 0.15, 1.6e-3, fr4, 6, 5);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  p.add_smeared_mass(3.0);
+  const double w9g = p.max_deflection_under_g(9.0);
+  EXPECT_GT(w9g, 0.0);
+  const double allowable = af::steinberg_allowable_deflection(0.2, 1.6e-3, 0.03, 1.0, 1.0);
+  EXPECT_LT(w9g, allowable);
+}
+
+TEST(PlateStatic, GSignIrrelevant) {
+  const auto fr4 = am::fr4();
+  af::PlateModel p(0.2, 0.15, 1.6e-3, fr4, 6, 5);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  EXPECT_DOUBLE_EQ(p.max_deflection_under_g(9.0), p.max_deflection_under_g(-9.0));
+}
+
+TEST(PlateStress, SimplySupportedCenterMomentMatchesNavier) {
+  // Square SS plate: M_max = 0.0479 q a^2 at the center; sigma = 6 M / t^2.
+  const auto al = am::aluminum_6061();
+  const double a = 0.2, t = 2e-3, q = 2000.0;
+  af::PlateModel p(a, a, t, al, 10, 10);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  const auto u = p.solve_static_pressure(q);
+  const double sigma = p.max_bending_stress(u);
+  const double sigma_exact = 6.0 * 0.0479 * q * a * a / (t * t);
+  EXPECT_NEAR(sigma, sigma_exact, 0.08 * sigma_exact);
+}
+
+TEST(PlateStress, ScalesLinearlyWithPressure) {
+  const auto fr4 = am::fr4();
+  af::PlateModel p(0.2, 0.15, 1.6e-3, fr4, 6, 5);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  const double s1 = p.max_bending_stress(p.solve_static_pressure(100.0));
+  const double s2 = p.max_bending_stress(p.solve_static_pressure(300.0));
+  EXPECT_NEAR(s2 / s1, 3.0, 1e-6);
+}
+
+TEST(PlateStress, NineGStressFarBelowYield) {
+  // The paper's 9 g case on a populated board: stresses are tiny compared to
+  // the laminate allowable — consistent with the quasi-static test passing.
+  const auto fr4 = am::fr4();
+  af::PlateModel p(0.2, 0.15, 1.6e-3, fr4, 6, 5);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  p.add_smeared_mass(3.0);
+  const double pressure = p.total_mass() / (0.2 * 0.15) * 9.0 * 9.80665;
+  const double sigma = p.max_bending_stress(p.solve_static_pressure(pressure));
+  EXPECT_LT(sigma, 0.05 * fr4.yield_strength);
+}
+
+TEST(PlateStress, DisplacementSizeChecked) {
+  const auto fr4 = am::fr4();
+  af::PlateModel p(0.2, 0.15, 1.6e-3, fr4, 4, 4);
+  EXPECT_THROW(p.max_bending_stress(aeropack::numeric::Vector(5, 0.0)),
+               std::invalid_argument);
+}

@@ -1,0 +1,109 @@
+// ASD curves (DO-160) and modal random-vibration response.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/random_vibration.hpp"
+#include "fem/sdof.hpp"
+#include "materials/solid.hpp"
+
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+
+TEST(AsdCurve, GrmsOfFlatSpectrum) {
+  // Flat 0.01 g^2/Hz over 20..2000 Hz: grms = sqrt(0.01 * 1980) ~ 4.45.
+  af::AsdCurve flat("flat", {20.0, 2000.0}, {0.01, 0.01});
+  EXPECT_NEAR(flat.grms(), std::sqrt(0.01 * 1980.0), 0.01);
+}
+
+TEST(AsdCurve, ScaledChangesGrmsBySqrt) {
+  const auto c = af::do160_curve_c1();
+  const auto c4 = c.scaled(4.0);
+  EXPECT_NEAR(c4.grms(), 2.0 * c.grms(), 1e-6);
+  EXPECT_THROW(c.scaled(0.0), std::invalid_argument);
+}
+
+TEST(Do160Curves, SeverityOrdering) {
+  // D1 (severe zone) > B1 (fuselage) > C1 (instrument panel).
+  const double gb = af::do160_curve_b1().grms();
+  const double gc = af::do160_curve_c1().grms();
+  const double gd = af::do160_curve_d1().grms();
+  EXPECT_GT(gd, gb);
+  EXPECT_GT(gb, gc);
+  // All in plausible ranges (~1-8 grms).
+  EXPECT_GT(gc, 0.5);
+  EXPECT_LT(gd, 10.0);
+}
+
+TEST(Do160Curves, CurveC1PlateauLevel) {
+  const auto c1 = af::do160_curve_c1();
+  EXPECT_NEAR(c1(100.0), 0.002, 1e-4);
+  EXPECT_LT(c1(2000.0), c1(100.0));
+}
+
+TEST(NavySpectrum, HitsRequestedGrms) {
+  const auto s = af::navy_ps_spectrum(6.0);
+  EXPECT_NEAR(s.grms(), 6.0, 0.01);
+}
+
+TEST(RandomResponse, SdofMatchesMiles) {
+  // Spring-mass model: the modal method must reduce exactly to Miles.
+  af::FrameModel m;
+  const std::size_t n = m.add_node(0.0, 0.0);
+  m.fix(n, af::Dof::Ux);
+  m.fix(n, af::Dof::Rz);
+  const double k = 5e5, mass = 2.0;
+  m.add_ground_spring(n, af::Dof::Uy, k);
+  m.add_mass(n, mass);
+  const double fn = af::natural_frequency_hz(k, mass);
+  af::AsdCurve flat("flat", {10.0, 2000.0}, {0.01, 0.01});
+  const auto res = af::random_response(m, flat, 0.05, n, af::Dof::Uy);
+  EXPECT_NEAR(res.response_grms, af::miles_grms(fn, 0.05, 0.01), 0.01);
+  EXPECT_NEAR(res.three_sigma_g, 3.0 * res.response_grms, 1e-12);
+}
+
+TEST(RandomResponse, OutOfBandModeContributesNothing) {
+  af::FrameModel m;
+  const std::size_t n = m.add_node(0.0, 0.0);
+  m.fix(n, af::Dof::Ux);
+  m.fix(n, af::Dof::Rz);
+  m.add_ground_spring(n, af::Dof::Uy, 1e3);  // fn ~ 3.6 Hz, below 10 Hz band
+  m.add_mass(n, 2.0);
+  af::AsdCurve flat("flat", {10.0, 2000.0}, {0.01, 0.01});
+  const auto res = af::random_response(m, flat, 0.05, n, af::Dof::Uy);
+  EXPECT_DOUBLE_EQ(res.response_grms, 0.0);
+}
+
+TEST(RandomResponse, InvalidDampingThrows) {
+  af::FrameModel m;
+  const std::size_t n = m.add_node(0.0, 0.0);
+  m.add_ground_spring(n, af::Dof::Uy, 1e3);
+  m.add_mass(n, 1.0);
+  af::AsdCurve flat("flat", {10.0, 2000.0}, {0.01, 0.01});
+  EXPECT_THROW(af::random_response(m, flat, 0.0, n, af::Dof::Uy), std::invalid_argument);
+}
+
+TEST(RandomResponse, CantileverBeamMultiMode) {
+  af::FrameModel m;
+  const auto mat = am::aluminum_6061();
+  const auto s = af::BeamSection::rectangle(0.02, 0.003);
+  std::size_t prev = m.add_node(0.0, 0.0);
+  m.fix_all(prev);
+  for (int i = 1; i <= 6; ++i) {
+    const std::size_t node = m.add_node(0.05 * i, 0.0);
+    m.add_beam(prev, node, mat, s);
+    prev = node;
+  }
+  const auto res =
+      af::random_response(m, af::do160_curve_d1(), 0.04, prev, af::Dof::Uy, 0.0, 1.0, 6);
+  EXPECT_GT(res.response_grms, 0.0);
+  EXPECT_GE(res.modes.size(), 2u);
+  // RSS combination is self-consistent across the per-mode contributions.
+  double sum_sq = 0.0;
+  for (const auto& mode : res.modes) {
+    EXPECT_GE(mode.grms_contribution, 0.0);
+    sum_sq += mode.grms_contribution * mode.grms_contribution;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq), res.response_grms, 1e-9);
+}

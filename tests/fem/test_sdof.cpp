@@ -1,0 +1,68 @@
+// SDOF design formulas: transmissibility, Miles, deflections.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fem/sdof.hpp"
+
+namespace af = aeropack::fem;
+
+TEST(Transmissibility, UnityAtZeroFrequency) {
+  EXPECT_NEAR(af::transmissibility(0.0, 100.0, 0.05), 1.0, 1e-12);
+}
+
+TEST(Transmissibility, PeakAtResonanceEqualsQ) {
+  const double zeta = 0.05;
+  const double t_res = af::transmissibility(100.0, 100.0, zeta);
+  // At r = 1: |T| = sqrt(1 + 4 z^2) / (2 z).
+  EXPECT_NEAR(t_res, std::sqrt(1.0 + 4.0 * zeta * zeta) / (2.0 * zeta), 1e-9);
+}
+
+TEST(Transmissibility, CrossoverAtSqrtTwo) {
+  const double fn = 50.0;
+  const double f_cross = af::isolation_start_frequency(fn);
+  EXPECT_NEAR(af::transmissibility(f_cross, fn, 0.1), 1.0, 1e-9);
+  EXPECT_LT(af::transmissibility(2.0 * f_cross, fn, 0.1), 1.0);
+  EXPECT_GT(af::transmissibility(0.9 * f_cross, fn, 0.1), 1.0);
+}
+
+TEST(Transmissibility, MoreDampingLowersPeakRaisesHighFrequency) {
+  const double light = af::transmissibility(100.0, 100.0, 0.02);
+  const double heavy = af::transmissibility(100.0, 100.0, 0.2);
+  EXPECT_GT(light, heavy);
+  // Above crossover, damping *hurts* isolation.
+  EXPECT_LT(af::transmissibility(500.0, 100.0, 0.02),
+            af::transmissibility(500.0, 100.0, 0.2));
+}
+
+TEST(ResonantAmplification, LightDampingApproximation) {
+  EXPECT_NEAR(af::resonant_amplification(0.05), 10.0, 0.05);
+  EXPECT_THROW(af::resonant_amplification(0.0), std::invalid_argument);
+  EXPECT_THROW(af::resonant_amplification(1.0), std::invalid_argument);
+}
+
+TEST(Miles, HandbookExample) {
+  // fn = 100 Hz, Q = 10 (zeta = 0.05), ASD = 0.04 g^2/Hz:
+  // grms = sqrt(pi/2 * 100 * 10 * 0.04) = sqrt(62.8) ~ 7.93.
+  EXPECT_NEAR(af::miles_grms(100.0, 0.05, 0.04), 7.93, 0.02);
+}
+
+TEST(Miles, ScalesWithSqrtAsd) {
+  const double a = af::miles_grms(80.0, 0.05, 0.01);
+  const double b = af::miles_grms(80.0, 0.05, 0.04);
+  EXPECT_NEAR(b, 2.0 * a, 1e-9);
+}
+
+TEST(NaturalFrequency, MatchesFormula) {
+  EXPECT_NEAR(af::natural_frequency_hz(4e4, 2.5),
+              std::sqrt(4e4 / 2.5) / (2.0 * std::numbers::pi), 1e-12);
+}
+
+TEST(StaticDeflection, OneHertzIsquarterMeter) {
+  // delta = g / (2 pi f)^2: for 1 Hz, ~0.248 m — the classic isolator rule.
+  EXPECT_NEAR(af::static_deflection(1.0), 0.2485, 0.001);
+  // 25 Hz isolator: ~0.4 mm.
+  EXPECT_NEAR(af::static_deflection(25.0), 0.000397, 1e-5);
+}

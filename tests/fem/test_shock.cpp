@@ -1,0 +1,72 @@
+// Shock response spectra and quasi-static acceleration checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fem/shock.hpp"
+
+namespace af = aeropack::fem;
+namespace an = aeropack::numeric;
+
+TEST(Pulses, HalfSineShape) {
+  const auto p = af::half_sine_pulse(100.0, 0.011);
+  EXPECT_DOUBLE_EQ(p(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(p(0.02), 0.0);
+  EXPECT_NEAR(p(0.0055), 100.0, 1e-9);
+  EXPECT_THROW(af::half_sine_pulse(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Pulses, SawtoothShape) {
+  const auto p = af::sawtooth_pulse(50.0, 0.01);
+  EXPECT_NEAR(p(0.01), 50.0, 1e-9);
+  EXPECT_NEAR(p(0.005), 25.0, 1e-9);
+}
+
+TEST(Srs, HighFrequencyAsymptoteEqualsPeak) {
+  // fn >> 1/duration: the oscillator tracks the input; SRS -> pulse peak.
+  const double peak = 100.0, dur = 0.011;
+  const auto pulse = af::half_sine_pulse(peak, dur);
+  const auto srs = af::shock_response_spectrum(pulse, dur, {2000.0}, 0.05);
+  EXPECT_NEAR(srs[0], peak, 0.05 * peak);
+}
+
+TEST(Srs, MidFrequencyAmplification) {
+  // Half-sine SRS peaks ~1.7-1.8x input near fn ~ 0.8/duration (Q >= 10).
+  const double peak = 100.0, dur = 0.011;
+  const auto pulse = af::half_sine_pulse(peak, dur);
+  const double f_peak = 0.8 / dur;
+  const auto srs = af::shock_response_spectrum(pulse, dur, {f_peak}, 0.05);
+  EXPECT_GT(srs[0], 1.5 * peak);
+  EXPECT_LT(srs[0], 2.0 * peak);
+}
+
+TEST(Srs, LowFrequencyRollsOff) {
+  const double peak = 100.0, dur = 0.011;
+  const auto pulse = af::half_sine_pulse(peak, dur);
+  const auto srs = af::shock_response_spectrum(pulse, dur, {5.0, 2000.0}, 0.05);
+  EXPECT_LT(srs[0], 0.5 * srs[1]);
+}
+
+TEST(Srs, MonotoneSetupChecks) {
+  const auto pulse = af::half_sine_pulse(1.0, 0.01);
+  EXPECT_THROW(af::shock_response_spectrum(pulse, 0.01, {100.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(af::shock_response_spectrum(pulse, 0.01, {0.0}, 0.05),
+               std::invalid_argument);
+}
+
+TEST(QuasiStatic, NineGBracketStress) {
+  // 5 kg on a 5 cm arm with S = 2e-7 m^3 at 9 g:
+  // M = 5 * 9 * 9.807 * 0.05 = 22.06 N m; sigma = 110.3 MPa.
+  const double s = af::quasi_static_cantilever_stress(9.0, 5.0, 0.05, 2e-7);
+  EXPECT_NEAR(s, 5.0 * 9.0 * 9.80665 * 0.05 / 2e-7, 1.0);
+  EXPECT_LT(s, 276e6);  // within 6061-T6 yield: the paper's test passes
+}
+
+TEST(QuasiStatic, SignIndependent) {
+  EXPECT_DOUBLE_EQ(af::quasi_static_cantilever_stress(9.0, 1.0, 0.1, 1e-6),
+                   af::quasi_static_cantilever_stress(-9.0, 1.0, 0.1, 1e-6));
+  EXPECT_THROW(af::quasi_static_cantilever_stress(9.0, 0.0, 0.1, 1e-6),
+               std::invalid_argument);
+}

@@ -1,0 +1,95 @@
+// Time-domain base-excitation (virtual shaker).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "fem/sdof.hpp"
+#include "fem/shock.hpp"
+#include "fem/transient.hpp"
+
+namespace af = aeropack::fem;
+
+namespace {
+af::FrameModel sdof(double k, double mass) {
+  af::FrameModel m;
+  const std::size_t n = m.add_node(0.0, 0.0);
+  m.fix(n, af::Dof::Ux);
+  m.fix(n, af::Dof::Rz);
+  m.add_ground_spring(n, af::Dof::Uy, k);
+  m.add_mass(n, mass);
+  return m;
+}
+}  // namespace
+
+TEST(BaseTransient, SineDwellReachesSteadyTransmissibility) {
+  const double k = 4e5, mass = 1.0, zeta = 0.05;
+  auto m = sdof(k, mass);
+  const double fn = af::natural_frequency_hz(k, mass);
+  const double f = 0.6 * fn;
+  const double w = 2.0 * std::numbers::pi * f;
+  const auto input = [w](double t) { return std::sin(w * t); };
+  const auto res = af::base_excitation_transient(m, input, 40.0 / f, 1.0 / (40.0 * f), zeta,
+                                                 0, af::Dof::Uy, 0.0, 1.0, 0.999 * fn,
+                                                 1.001 * fn);
+  // Steady peak of the absolute acceleration = |T(f)| * input amplitude.
+  double steady_peak = 0.0;
+  for (std::size_t i = res.acceleration.size() / 2; i < res.acceleration.size(); ++i)
+    steady_peak = std::max(steady_peak, std::fabs(res.acceleration[i]));
+  EXPECT_NEAR(steady_peak, af::transmissibility(f, fn, zeta), 0.05);
+}
+
+TEST(BaseTransient, HalfSinePeakMatchesSrs) {
+  const double k = 5e5, mass = 1.2, zeta = 0.05;
+  auto m = sdof(k, mass);
+  const double fn = af::natural_frequency_hz(k, mass);
+  const double peak = 100.0, dur = 0.011;
+  const auto pulse = af::half_sine_pulse(peak, dur);
+  const auto res = af::base_excitation_transient(m, pulse, dur + 0.5, 1e-4, zeta, 0,
+                                                 af::Dof::Uy, 0.0, 1.0, 0.999 * fn,
+                                                 1.001 * fn);
+  const auto srs = af::shock_response_spectrum(pulse, dur, {fn}, zeta);
+  EXPECT_NEAR(res.peak_acceleration, srs[0], 0.05 * srs[0]);
+}
+
+TEST(BaseTransient, StartsFromRest) {
+  auto m = sdof(1e5, 1.0);
+  const auto res = af::base_excitation_transient(
+      m, [](double) { return 0.0; }, 0.1, 1e-3, 0.05, 0, af::Dof::Uy);
+  EXPECT_DOUBLE_EQ(res.peak_acceleration, 0.0);
+  EXPECT_DOUBLE_EQ(res.peak_displacement, 0.0);
+}
+
+TEST(BaseTransient, InvalidInputsThrow) {
+  auto m = sdof(1e5, 1.0);
+  EXPECT_THROW(af::base_excitation_transient(m, nullptr, 1.0, 1e-3, 0.05, 0, af::Dof::Uy),
+               std::invalid_argument);
+  EXPECT_THROW(af::base_excitation_transient(
+                   m, [](double) { return 0.0; }, 1e-3, 1e-2, 0.05, 0, af::Dof::Uy),
+               std::invalid_argument);
+  EXPECT_THROW(af::base_excitation_transient(
+                   m, [](double) { return 0.0; }, 1.0, 1e-3, 0.05, 0, af::Dof::Ux),
+               std::invalid_argument);
+}
+
+TEST(BaseTransient, IsolatorCutsShockThrough) {
+  // Two-mass chain: isolated payload sees far less of a 50 g / 6 ms shock.
+  af::FrameModel m;
+  const std::size_t rack = m.add_node(0.0, 0.0);
+  const std::size_t payload = m.add_node(0.0, 0.1);
+  for (auto n : {rack, payload}) {
+    m.fix(n, af::Dof::Ux);
+    m.fix(n, af::Dof::Rz);
+  }
+  m.add_ground_spring(rack, af::Dof::Uy, 5e7);
+  m.add_mass(rack, 5.0);
+  m.add_spring(rack, payload, af::Dof::Uy, 5e4);  // ~18 Hz isolator
+  m.add_mass(payload, 4.0);
+  const auto pulse = af::half_sine_pulse(50.0 * 9.80665, 0.006);
+  const auto at_rack =
+      af::base_excitation_transient(m, pulse, 0.3, 5e-5, 0.1, rack, af::Dof::Uy);
+  const auto at_payload =
+      af::base_excitation_transient(m, pulse, 0.3, 5e-5, 0.1, payload, af::Dof::Uy);
+  EXPECT_LT(at_payload.peak_acceleration, 0.5 * at_rack.peak_acceleration);
+}

@@ -1,0 +1,150 @@
+// Cross-module property sweeps: invariants that must hold across wide
+// parameter ranges, exercising several subsystems per assertion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/seb.hpp"
+#include "core/units.hpp"
+#include "fem/plate.hpp"
+#include "fem/sdof.hpp"
+#include "materials/air.hpp"
+#include "materials/solid.hpp"
+#include "thermal/convection.hpp"
+#include "thermal/fv.hpp"
+#include "twophase/heat_pipe.hpp"
+
+namespace ac = aeropack::core;
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+namespace at = aeropack::thermal;
+namespace tp = aeropack::twophase;
+
+// --- Energy conservation of the FV solver across boundary-condition mixes ---
+class FvEnergyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FvEnergyProperty, ResidualTinyForAnyBcMix) {
+  const int variant = GetParam();
+  at::FvModel m(at::FvGrid::uniform(0.1, 0.08, 0.004, 10, 8, 2));
+  m.set_material(am::aluminum_6061());
+  m.add_power({2, 6, 2, 6, 0, 2}, 15.0);
+  switch (variant) {
+    case 0:
+      m.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(300.0));
+      break;
+    case 1:
+      m.set_boundary(at::Face::ZMax, at::BoundaryCondition::convection(40.0, 300.0));
+      break;
+    case 2:
+      m.set_boundary(at::Face::ZMax,
+                     at::BoundaryCondition::convection_radiation(10.0, 300.0, 0.8));
+      break;
+    case 3:
+      m.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(290.0));
+      m.set_boundary(at::Face::XMax, at::BoundaryCondition::convection(15.0, 310.0));
+      m.set_boundary(at::Face::YMin, at::BoundaryCondition::heat_flux(200.0));
+      break;
+    default:
+      m.set_boundary(at::Face::ZMin,
+                     at::BoundaryCondition::natural(at::SurfaceOrientation::HorizontalDown,
+                                                    0.08, 300.0));
+      m.set_boundary(at::Face::ZMax,
+                     at::BoundaryCondition::natural(at::SurfaceOrientation::HorizontalUp,
+                                                    0.08, 300.0));
+      break;
+  }
+  const auto sol = m.solve_steady();
+  ASSERT_TRUE(sol.converged);
+  EXPECT_LT(sol.energy_residual, 0.01 * 15.0) << "variant " << variant;
+  EXPECT_GT(sol.min_temperature, 250.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BcMixes, FvEnergyProperty, ::testing::Values(0, 1, 2, 3, 4));
+
+// --- Natural convection h is monotone in dT for all orientations/sizes -------
+class ConvectionMonotone
+    : public ::testing::TestWithParam<std::tuple<at::SurfaceOrientation, double>> {};
+
+TEST_P(ConvectionMonotone, FilmCoefficientRisesWithSuperheat) {
+  const auto [orient, length] = GetParam();
+  double prev = 0.0;
+  for (double dt : {5.0, 15.0, 40.0, 80.0}) {
+    const double h = at::h_natural_plate(orient, 300.0 + dt, 300.0, length);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvectionMonotone,
+    ::testing::Combine(::testing::Values(at::SurfaceOrientation::Vertical,
+                                         at::SurfaceOrientation::HorizontalUp,
+                                         at::SurfaceOrientation::HorizontalDown),
+                       ::testing::Values(0.05, 0.15, 0.4)));
+
+// --- Heat pipe governing limit falls with adverse tilt everywhere ------------
+class HeatPipeTilt : public ::testing::TestWithParam<double> {};
+
+TEST_P(HeatPipeTilt, GoverningLimitMonotoneInTilt) {
+  tp::HeatPipeGeometry g;
+  const tp::HeatPipe pipe(am::water(), g, tp::Wick::sintered_powder(), am::copper());
+  const double t = GetParam();
+  double prev = 1e18;
+  for (double tilt : {-0.3, 0.0, 0.2, 0.5, 0.9}) {
+    const double cap = pipe.limits(t, tilt).capillary;
+    EXPECT_LE(cap, prev + 1e-9);
+    prev = cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, HeatPipeTilt, ::testing::Values(300.0, 330.0, 360.0));
+
+// --- Plate effective mass never exceeds total mass ---------------------------
+class PlateEffectiveMass : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlateEffectiveMass, SumBoundedByTotal) {
+  const std::size_t mesh = GetParam();
+  af::PlateModel p(0.2, 0.16, 1.8e-3, am::fr4(), mesh, mesh);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  p.add_smeared_mass(2.0);
+  const auto res = p.solve_modal();
+  double sum = 0.0;
+  for (double m_eff : res.effective_masses) sum += m_eff;
+  EXPECT_LE(sum, p.total_mass() * 1.001);
+  EXPECT_GT(sum, 0.4 * p.total_mass());  // bulk of the mass is in the w modes
+  // (coarse meshes park a large tributary share on the constrained edges)
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, PlateEffectiveMass, ::testing::Values(4u, 6u));
+
+// --- SEB improvement factor holds across cabin temperatures ------------------
+class SebAcrossCabins : public ::testing::TestWithParam<double> {};
+
+TEST_P(SebAcrossCabins, LhpAlwaysWinsAndTiltAlwaysCosts) {
+  const double cabin = ac::celsius_to_kelvin(GetParam());
+  ac::SebModel m{ac::SebDesign{}};
+  const auto no = m.solve(50.0, cabin, ac::SebCooling::NaturalOnly);
+  const auto flat = m.solve(50.0, cabin, ac::SebCooling::HeatPipesAndLhp, 0.0);
+  const auto tilt = m.solve(50.0, cabin, ac::SebCooling::HeatPipesAndLhp, 22.0);
+  EXPECT_LT(flat.dt_pcb_air, 0.65 * no.dt_pcb_air);
+  EXPECT_GT(tilt.dt_pcb_air, flat.dt_pcb_air);
+  EXPECT_TRUE(tilt.lhp_within_capillary);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cabins, SebAcrossCabins, ::testing::Values(15.0, 25.0, 35.0));
+
+// --- ISA + convection: capability derates smoothly with altitude -------------
+class AltitudeDerating : public ::testing::TestWithParam<double> {};
+
+TEST_P(AltitudeDerating, NaturalConvectionWeakensMonotonically) {
+  const double length = GetParam();
+  double prev = 1e18;
+  for (double alt : {0.0, 3000.0, 8000.0, 15000.0}) {
+    const auto pt = am::isa_atmosphere(alt);
+    const double h = at::h_natural_vertical_plate(340.0, 300.0, length, pt.pressure);
+    EXPECT_LT(h, prev);
+    prev = h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AltitudeDerating, ::testing::Values(0.05, 0.1, 0.3));

@@ -1,0 +1,99 @@
+// End-to-end Fig.-1 flow: an initial design fails, the Level-2 levers fix
+// it — the iterate-to-accept loop the paper's procedure exists to drive.
+#include <gtest/gtest.h>
+
+#include "core/derating.hpp"
+#include "core/design_procedure.hpp"
+#include "core/units.hpp"
+#include "fem/plate.hpp"
+#include "materials/solid.hpp"
+
+namespace ac = aeropack::core;
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+
+namespace {
+ac::DesignInputs hot_first_pass() {
+  ac::Equipment eq;
+  eq.name = "iteration demo";
+  ac::Module mod;
+  mod.name = "M1";
+  ac::Board b;
+  b.name = "board";
+  b.stackup.copper_layers = 4;
+  b.drain_thickness = 0.0;  // first pass: no drain
+  ac::Component cpu;
+  cpu.reference = "CPU";
+  cpu.power = 15.0;
+  cpu.footprint_area = 9e-4;
+  cpu.theta_jc = 0.9;
+  cpu.x = 0.10;
+  cpu.y = 0.075;
+  cpu.part_type = aeropack::reliability::PartType::Microprocessor;
+  b.components.push_back(cpu);
+  mod.boards.push_back(b);
+  eq.modules.push_back(mod);
+
+  af::PlateModel plate(0.20, 0.15, 2e-3, am::fr4(), 6, 5);
+  plate.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+  plate.add_smeared_mass(2.5);
+
+  ac::Specification spec;
+  spec.ambient_temperature = ac::celsius_to_kelvin(55.0);
+
+  ac::DesignInputs in{eq, spec, plate, "board", {}, af::do160_curve_c1(), 0.04, 0.03, 12};
+  in.plan.allocate("board", 150.0, 1200.0);
+  return in;
+}
+}  // namespace
+
+TEST(DesignFlow, IterationTurnsRejectionIntoAcceptance) {
+  auto inputs = hot_first_pass();
+  const auto first = ac::run_design_procedure(inputs);
+  // A 15 W CPU on a plain 4-layer board at a 55 C bay runs far too hot —
+  // the first pass must not sail through.
+  const bool first_clean = first.thermal.mtbf_met &&
+                           first.qualification.all_passed &&
+                           first.thermal.worst_junction <= inputs.spec.junction_limit;
+  EXPECT_FALSE(first_clean);
+
+  // Fig.-1 loop: drain + more copper + low-power SKU.
+  auto& board = inputs.equipment.modules[0].boards[0];
+  board.drain_thickness = 1.6e-3;
+  board.stackup.copper_layers = 10;
+  board.components[0].power = 5.0;
+  board.components[0].theta_jc = 0.5;
+  const auto second = ac::run_design_procedure(inputs);
+  EXPECT_TRUE(second.accepted) << second.to_text();
+  EXPECT_LT(second.thermal.worst_junction, first.thermal.worst_junction - 10.0);
+}
+
+TEST(DesignFlow, DeratingAgreesWithLevel3) {
+  auto inputs = hot_first_pass();
+  auto& board = inputs.equipment.modules[0].boards[0];
+  board.drain_thickness = 1.6e-3;
+  board.components[0].power = 5.0;
+  const auto rpt = ac::run_design_procedure(inputs);
+
+  std::vector<double> junctions;
+  for (const auto& l3 : rpt.thermal.level3) junctions.push_back(l3.junction_temperature);
+  const auto derate = ac::check_derating(inputs.equipment, ac::DeratingPolicy::commercial(),
+                                         junctions, inputs.spec.junction_limit);
+  // A design the procedure accepts should also clear the relaxed policy.
+  EXPECT_TRUE(derate.compliant)
+      << (derate.findings.empty() ? "" : derate.findings[0].rule);
+}
+
+TEST(DesignFlow, HarsherEnvironmentFlipsTheVerdict) {
+  auto inputs = hot_first_pass();
+  auto& board = inputs.equipment.modules[0].boards[0];
+  board.drain_thickness = 1.6e-3;
+  board.stackup.copper_layers = 10;
+  board.components[0].power = 5.0;
+  board.components[0].theta_jc = 0.5;
+  ASSERT_TRUE(ac::run_design_procedure(inputs).accepted);
+
+  inputs.spec.ambient_temperature = ac::celsius_to_kelvin(84.0);  // no budget left
+  const auto hot = ac::run_design_procedure(inputs);
+  EXPECT_FALSE(hot.accepted);
+}

@@ -1,0 +1,152 @@
+// Integration suite: every quantitative claim of Sarno & Tantolin (DATE
+// 2010) reproduced as a test. Shapes and factors must hold; tolerances are
+// generous where the paper is approximate ("about", "up to").
+#include <gtest/gtest.h>
+
+#include "core/seb.hpp"
+#include "core/units.hpp"
+#include "thermal/forced_air.hpp"
+#include "tim/tim_material.hpp"
+
+namespace ac = aeropack::core;
+
+namespace {
+const double kCabin = ac::celsius_to_kelvin(25.0);
+
+const ac::SebModel& aluminum_seb() {
+  static const ac::SebModel model{ac::SebDesign{}};
+  return model;
+}
+
+const ac::SebModel& carbon_seb() {
+  static const ac::SebModel model = [] {
+    ac::SebDesign d;
+    d.seat.material = aeropack::materials::carbon_composite();
+    return ac::SebModel{d};
+  }();
+  return model;
+}
+}  // namespace
+
+// --- Fig. 10: "Without LHP" curve ------------------------------------------
+TEST(PaperFig10, WithoutLhp40WattsGivesSixtyKelvin) {
+  // Paper: natural convection alone holds 40 W at ~60 C PCB-air difference.
+  const auto pt = aluminum_seb().solve(40.0, kCabin, ac::SebCooling::NaturalOnly);
+  EXPECT_NEAR(pt.dt_pcb_air, 60.0, 6.0);
+}
+
+TEST(PaperFig10, CapabilityWithoutLhpIsFortyWatts) {
+  const double q = aluminum_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
+  EXPECT_NEAR(q, 40.0, 5.0);
+}
+
+// --- Fig. 10: "With LHP (horizontal)" ---------------------------------------
+TEST(PaperFig10, CapabilityWithLhpIsAboutHundredWatts) {
+  // Paper: "from 40 W up to 100 W with a constant PCB temperature".
+  const double q =
+      aluminum_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  EXPECT_NEAR(q, 100.0, 12.0);
+}
+
+TEST(PaperFig10, CapabilityIncreaseAboutPlus150Percent) {
+  const auto& m = aluminum_seb();
+  const double base = m.capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
+  const double lhp = m.capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const double increase = (lhp - base) / base;
+  EXPECT_GT(increase, 1.2);   // paper: +150%
+  EXPECT_LT(increase, 1.8);
+}
+
+TEST(PaperFig10, ThirtyTwoDegreeDecreaseAtFortyWatts) {
+  // Paper: "for a same dissipated power, for example 40W, the use of HP and
+  // LHP allow 32 C decrease on the PCB temperature".
+  const auto& m = aluminum_seb();
+  const double no = m.solve(40.0, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air;
+  const double yes = m.solve(40.0, kCabin, ac::SebCooling::HeatPipesAndLhp).dt_pcb_air;
+  EXPECT_NEAR(no - yes, 32.0, 5.0);
+}
+
+TEST(PaperFig10, LhpsCarryAboutFiftyEightWatts) {
+  // Paper annotation on Fig. 10: "Power dissipated by Loop heat pipes: 58 W"
+  // at the full ~100 W operating point.
+  const auto pt = aluminum_seb().solve(100.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  EXPECT_NEAR(pt.q_lhp_path, 58.0, 7.0);
+}
+
+// --- Fig. 10: "With LHP (22 deg tilt)" --------------------------------------
+TEST(PaperFig10, TiltPenaltySmallAndOperational) {
+  const auto& m = aluminum_seb();
+  for (double q : {20.0, 60.0, 100.0}) {
+    const auto flat = m.solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 0.0);
+    const auto tilt = m.solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 22.0);
+    EXPECT_GT(tilt.dt_pcb_air, flat.dt_pcb_air) << q;
+    EXPECT_LT(tilt.dt_pcb_air - flat.dt_pcb_air, 6.0) << q;  // curves close
+    EXPECT_TRUE(tilt.lhp_within_capillary) << q;  // "good thermal behavior"
+  }
+}
+
+// --- Carbon composite seat ---------------------------------------------------
+TEST(PaperCarbon, CapabilityAboutSeventyWatts) {
+  // Paper: "increase of 80% of the heat dissipation capability (from 38W up
+  // to 70W with a constant PCB temperature)".
+  const double q =
+      carbon_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  EXPECT_NEAR(q, 70.0, 9.0);
+}
+
+TEST(PaperCarbon, IncreaseAboutPlus80Percent) {
+  const double base = carbon_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
+  const double lhp =
+      carbon_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const double increase = (lhp - base) / base;
+  EXPECT_GT(increase, 0.5);
+  EXPECT_LT(increase, 1.1);
+}
+
+TEST(PaperCarbon, TwentyDegreeDecreaseAtFortyWatts) {
+  const auto& m = carbon_seb();
+  const double no = m.solve(40.0, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air;
+  const double yes = m.solve(40.0, kCabin, ac::SebCooling::HeatPipesAndLhp).dt_pcb_air;
+  EXPECT_NEAR(no - yes, 20.0, 5.0);
+}
+
+TEST(PaperCarbon, BelowAluminumButWorthwhile) {
+  // "the results are slightly under those obtained with aluminum ...
+  // nevertheless these results are of great interest".
+  const double al =
+      aluminum_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const double cf =
+      carbon_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  const double base = aluminum_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
+  EXPECT_LT(cf, al);
+  EXPECT_GT(cf, 1.4 * base);
+}
+
+// --- Section IV intro: forced-air limits -------------------------------------
+TEST(PaperHotSpot, ArincFlowCannotHoldTenWattsPerCm2) {
+  // "The standard approach using typical ARINC600 standard cooling
+  // conditions ... are no longer applicable" for 10..100 W/cm^2 hot spots;
+  // "up to ten times the standard air flow rate would be required".
+  aeropack::thermal::ArincAirSupply supply;
+  aeropack::thermal::CardChannel chan;
+  const auto r =
+      aeropack::thermal::analyze_hot_spot(supply, chan, 100.0, 10e4, 0.5, 383.15);
+  EXPECT_FALSE(r.feasible);
+  const double mult = aeropack::thermal::required_flow_multiplier(
+      supply, chan, 100.0, 2.0e4, 0.5, 383.15);
+  EXPECT_GT(mult, 2.0);   // well above the standard budget
+  EXPECT_LT(mult, 40.0);  // the "up to ten times" decade
+}
+
+// --- Section IV.B: NANOPACK results ------------------------------------------
+TEST(PaperNanopack, AdhesiveConductivities) {
+  EXPECT_DOUBLE_EQ(aeropack::tim::nanopack_mono_epoxy_silver_flake().conductivity, 6.0);
+  EXPECT_DOUBLE_EQ(aeropack::tim::nanopack_multi_epoxy_silver_sphere().conductivity, 9.5);
+}
+
+TEST(PaperNanopack, TwentyWattCompositeMeetsAllTargets) {
+  // "a metal-polymer composite with effective thermal conductivity as high
+  // as 20 W/mK" against the project targets (k=20, R<5 Kmm^2/W, BLT<20 um).
+  EXPECT_TRUE(aeropack::tim::meets_nanopack_targets(
+      aeropack::tim::nanopack_cnt_metal_polymer(), 0.5e6));
+}

@@ -1,0 +1,73 @@
+// Air properties and the ICAO standard atmosphere.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "materials/air.hpp"
+
+namespace am = aeropack::materials;
+
+TEST(Air, SeaLevelStandardValues) {
+  const auto a = am::air_at(288.15);
+  EXPECT_NEAR(a.density, 1.225, 0.005);
+  EXPECT_NEAR(a.viscosity, 1.79e-5, 0.05e-5);
+  EXPECT_NEAR(a.conductivity, 0.0253, 0.001);
+  EXPECT_NEAR(a.prandtl, 0.71, 0.02);
+}
+
+TEST(Air, HotAirIsLessDenseMoreViscous) {
+  const auto cold = am::air_at(273.15);
+  const auto hot = am::air_at(373.15);
+  EXPECT_GT(cold.density, hot.density);
+  EXPECT_LT(cold.viscosity, hot.viscosity);
+  EXPECT_LT(cold.conductivity, hot.conductivity);
+}
+
+TEST(Air, OutOfRangeThrows) {
+  EXPECT_THROW(am::air_at(100.0), std::invalid_argument);
+  EXPECT_THROW(am::air_at(2000.0), std::invalid_argument);
+  EXPECT_THROW(am::air_at(300.0, -1.0), std::invalid_argument);
+}
+
+TEST(Air, DerivedQuantitiesConsistent) {
+  const auto a = am::air_at(320.0);
+  EXPECT_NEAR(a.kinematic_viscosity(), a.viscosity / a.density, 1e-15);
+  EXPECT_NEAR(a.diffusivity(), a.conductivity / (a.density * a.specific_heat), 1e-15);
+  EXPECT_NEAR(a.beta, 1.0 / 320.0, 1e-12);
+}
+
+TEST(Isa, SeaLevel) {
+  const auto p = am::isa_atmosphere(0.0);
+  EXPECT_NEAR(p.temperature, 288.15, 1e-9);
+  EXPECT_NEAR(p.pressure, 101325.0, 1e-6);
+  EXPECT_NEAR(p.density, 1.225, 0.001);
+}
+
+TEST(Isa, StandardAltitudes) {
+  // 11 km tropopause: T = 216.65 K, p ~ 22632 Pa.
+  const auto p11 = am::isa_atmosphere(11000.0);
+  EXPECT_NEAR(p11.temperature, 216.65, 0.01);
+  EXPECT_NEAR(p11.pressure, 22632.0, 50.0);
+  // Cabin altitude 2400 m: p ~ 75.2 kPa.
+  const auto cabin = am::isa_atmosphere(2400.0);
+  EXPECT_NEAR(cabin.pressure, 75200.0, 500.0);
+}
+
+TEST(Isa, StratosphereIsothermal) {
+  const auto a = am::isa_atmosphere(12000.0);
+  const auto b = am::isa_atmosphere(15000.0);
+  EXPECT_DOUBLE_EQ(a.temperature, b.temperature);
+  EXPECT_GT(a.pressure, b.pressure);
+}
+
+TEST(Isa, OutOfRangeThrows) {
+  EXPECT_THROW(am::isa_atmosphere(-1000.0), std::invalid_argument);
+  EXPECT_THROW(am::isa_atmosphere(30000.0), std::invalid_argument);
+}
+
+TEST(BayAir, AltitudeDeratesDensity) {
+  const auto sl = am::bay_air(0.0, 328.15);
+  const auto fl = am::bay_air(8000.0, 328.15);
+  EXPECT_GT(sl.density, 1.8 * fl.density);
+  EXPECT_DOUBLE_EQ(sl.temperature, fl.temperature);
+}

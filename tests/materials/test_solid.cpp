@@ -1,0 +1,90 @@
+// Solid material catalogue and PCB stackup mixing rules.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "materials/solid.hpp"
+
+namespace am = aeropack::materials;
+
+TEST(SolidCatalogue, RepresentativeValues) {
+  const auto al = am::aluminum_6061();
+  EXPECT_NEAR(al.density, 2700.0, 1.0);
+  EXPECT_NEAR(al.conductivity, 167.0, 1.0);
+  EXPECT_TRUE(al.isotropic());
+  const auto cu = am::copper();
+  EXPECT_GT(cu.conductivity, 10.0 * am::steel_304().conductivity);
+  EXPECT_GT(am::aluminum_7075().yield_strength, am::aluminum_6061().yield_strength);
+}
+
+TEST(SolidCatalogue, Fr4IsTransverselyIsotropic) {
+  const auto fr4 = am::fr4();
+  EXPECT_FALSE(fr4.isotropic());
+  EXPECT_GT(fr4.conductivity, fr4.conductivity_through);
+}
+
+TEST(SolidCatalogue, CarbonCompositeIsPoorConductor) {
+  // The paper: "Compared to the aluminum, this material has a rather poor
+  // thermal conductivity".
+  EXPECT_LT(am::carbon_composite().conductivity, 0.1 * am::aluminum_6061().conductivity);
+}
+
+TEST(SolidCatalogue, DiffusivityPositive) {
+  for (const auto& m : {am::aluminum_6061(), am::copper(), am::fr4(), am::silicon(),
+                        am::carbon_composite(), am::titanium_6al4v()}) {
+    EXPECT_GT(m.diffusivity(), 0.0) << m.name;
+  }
+}
+
+TEST(PcbStackup, MoreCopperRaisesInPlaneConductivity) {
+  am::PcbStackup two;
+  two.copper_layers = 2;
+  am::PcbStackup eight;
+  eight.copper_layers = 8;
+  EXPECT_GT(eight.conductivity_in_plane(), two.conductivity_in_plane());
+  EXPECT_GT(eight.copper_fraction(), two.copper_fraction());
+}
+
+TEST(PcbStackup, InPlaneExceedsThroughThickness) {
+  am::PcbStackup s;
+  EXPECT_GT(s.conductivity_in_plane(), 10.0 * s.conductivity_through());
+}
+
+TEST(PcbStackup, ZeroCopperDegeneratesToFr4) {
+  am::PcbStackup s;
+  s.copper_layers = 0;
+  EXPECT_NEAR(s.conductivity_in_plane(), am::fr4().conductivity, 1e-9);
+  EXPECT_NEAR(s.conductivity_through(), am::fr4().conductivity_through, 1e-9);
+  EXPECT_NEAR(s.density(), am::fr4().density, 1e-9);
+}
+
+TEST(PcbStackup, InvalidGeometryThrows) {
+  am::PcbStackup s;
+  s.board_thickness = 0.0;
+  EXPECT_THROW(s.copper_fraction(), std::invalid_argument);
+  am::PcbStackup too_much;
+  too_much.copper_layers = 100;
+  too_much.copper_layer_thickness = 105e-6;
+  EXPECT_THROW(too_much.copper_fraction(), std::invalid_argument);
+}
+
+TEST(PcbStackup, AsMaterialCarriesEffectiveProperties) {
+  am::PcbStackup s;
+  const auto m = s.as_material();
+  EXPECT_NEAR(m.conductivity, s.conductivity_in_plane(), 1e-12);
+  EXPECT_NEAR(m.conductivity_through, s.conductivity_through(), 1e-12);
+  EXPECT_GT(m.density, am::fr4().density);
+}
+
+// Property sweep: copper fraction is monotone in layer count.
+class StackupSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StackupSweep, ConductivityBoundedByConstituents) {
+  am::PcbStackup s;
+  s.copper_layers = GetParam();
+  const double k = s.conductivity_in_plane();
+  EXPECT_GE(k, am::fr4().conductivity);
+  EXPECT_LE(k, am::copper().conductivity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, StackupSweep, ::testing::Values(0, 2, 4, 8, 12, 16));

@@ -1,0 +1,132 @@
+// Dense matrix / vector foundations.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "numeric/dense.hpp"
+
+namespace an = aeropack::numeric;
+// Vector is std::vector<double>; its operators live in aeropack::numeric and
+// are not found by ADL from here.
+using an::operator+;
+using an::operator-;
+
+TEST(DenseMatrix, ConstructsWithFill) {
+  an::Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(DenseMatrix, RejectsZeroDimension) {
+  EXPECT_THROW(an::Matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(an::Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(DenseMatrix, InitializerListAndEquality) {
+  an::Matrix a{{1, 2}, {3, 4}};
+  an::Matrix b{{1, 2}, {3, 4}};
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, RaggedInitializerThrows) {
+  EXPECT_THROW((an::Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, IdentityAndDiagonal) {
+  const an::Matrix i = an::Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const an::Matrix d = an::Matrix::diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(DenseMatrix, AtThrowsOutOfRange) {
+  an::Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(DenseMatrix, ArithmeticOperators) {
+  an::Matrix a{{1, 2}, {3, 4}};
+  an::Matrix b{{4, 3}, {2, 1}};
+  const an::Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const an::Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), -3.0);
+  const an::Matrix scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled(1, 1), 8.0);
+}
+
+TEST(DenseMatrix, ShapeMismatchThrows) {
+  an::Matrix a(2, 2), b(3, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(DenseMatrix, MatrixProductMatchesHandComputation) {
+  an::Matrix a{{1, 2}, {3, 4}};
+  an::Matrix b{{5, 6}, {7, 8}};
+  const an::Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, MatrixVectorProduct) {
+  an::Matrix a{{1, 2}, {3, 4}};
+  const an::Vector y = a * an::Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DenseMatrix, TransposeInvolution) {
+  an::Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const an::Matrix att = a.transposed().transposed();
+  EXPECT_EQ(a, att);
+  EXPECT_DOUBLE_EQ(a.transposed()(2, 1), 6.0);
+}
+
+TEST(DenseMatrix, AsymmetryAndSymmetrize) {
+  an::Matrix a{{1, 2}, {4, 1}};
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 2.0);
+  a.symmetrize();
+  EXPECT_DOUBLE_EQ(a.asymmetry(), 0.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+}
+
+TEST(DenseVector, DotNormAxpy) {
+  an::Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(an::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(an::dot(a, a), 25.0);
+  an::Vector y{1.0, 1.0};
+  an::axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+}
+
+TEST(DenseVector, SizeMismatchThrows) {
+  an::Vector a{1.0}, b{1.0, 2.0};
+  EXPECT_THROW(an::dot(a, b), std::invalid_argument);
+  EXPECT_THROW(a + b, std::invalid_argument);
+}
+
+TEST(DenseVector, Linspace) {
+  const an::Vector v = an::linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+  EXPECT_THROW(an::linspace(0.0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(DenseVector, MinMaxElements) {
+  an::Vector v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(an::max_element(v), 7.0);
+  EXPECT_DOUBLE_EQ(an::min_element(v), -1.0);
+  EXPECT_THROW(an::max_element({}), std::invalid_argument);
+}

@@ -1,0 +1,108 @@
+// Jacobi symmetric and generalized eigensolvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/eigen.hpp"
+#include "numeric/stats.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(EigenSymmetric, DiagonalMatrixReturnsSortedDiagonal) {
+  const auto res = an::eigen_symmetric(an::Matrix::diagonal({3.0, 1.0, 2.0}));
+  EXPECT_NEAR(res.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(res.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(res.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(EigenSymmetric, TwoByTwoClosedForm) {
+  an::Matrix a{{2, 1}, {1, 2}};
+  const auto res = an::eigen_symmetric(a);
+  EXPECT_NEAR(res.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(res.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenSymmetric, RejectsAsymmetric) {
+  an::Matrix a{{1, 2}, {0, 1}};
+  EXPECT_THROW(an::eigen_symmetric(a), std::invalid_argument);
+}
+
+TEST(EigenSymmetric, EigenvectorsOrthonormalAndSatisfyDefinition) {
+  an::Rng rng(7);
+  const std::size_t n = 8;
+  an::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  const auto res = an::eigen_symmetric(a);
+  // V^T V = I
+  const an::Matrix vtv = res.eigenvectors.transposed() * res.eigenvectors;
+  EXPECT_LT((vtv - an::Matrix::identity(n)).norm(), 1e-8);
+  // A v = lambda v for each pair
+  for (std::size_t j = 0; j < n; ++j) {
+    an::Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = res.eigenvectors(i, j);
+    const an::Vector av = a * v;
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(av[i], res.eigenvalues[j] * v[i], 1e-8);
+  }
+}
+
+TEST(EigenGeneralized, SdofPairRecoversOmegaSquared) {
+  // k = 100 N/m, m = 4 kg -> lambda = 25, f = 5/(2 pi) Hz.
+  an::Matrix k{{100.0}};
+  an::Matrix m{{4.0}};
+  const auto res = an::eigen_generalized(k, m);
+  EXPECT_NEAR(res.eigenvalues[0], 25.0, 1e-10);
+  const an::Vector f = an::natural_frequencies_hz(res);
+  EXPECT_NEAR(f[0], 5.0 / (2.0 * std::numbers::pi), 1e-10);
+}
+
+TEST(EigenGeneralized, TwoMassChainMatchesClosedForm) {
+  // Two equal masses m, springs k-k (fixed-free chain):
+  // lambda = (k/m) (3 -+ sqrt(5))/2
+  const double k = 200.0, m = 2.0;
+  an::Matrix km{{2.0 * k, -k}, {-k, k}};
+  an::Matrix mm{{m, 0.0}, {0.0, m}};
+  const auto res = an::eigen_generalized(km, mm);
+  const double l1 = k / m * (3.0 - std::sqrt(5.0)) / 2.0;
+  const double l2 = k / m * (3.0 + std::sqrt(5.0)) / 2.0;
+  EXPECT_NEAR(res.eigenvalues[0], l1, 1e-8 * l2);
+  EXPECT_NEAR(res.eigenvalues[1], l2, 1e-8 * l2);
+}
+
+TEST(EigenGeneralized, EigenvectorsMassOrthonormal) {
+  an::Rng rng(21);
+  const std::size_t n = 6;
+  an::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  an::Matrix k = b.transposed() * b;
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += 1.0;
+  an::Matrix m = an::Matrix::identity(n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0 + rng.uniform();
+  const auto res = an::eigen_generalized(k, m);
+  const an::Matrix xtmx = res.eigenvectors.transposed() * m * res.eigenvectors;
+  EXPECT_LT((xtmx - an::Matrix::identity(n)).norm(), 1e-7);
+  // All eigenvalues positive for SPD K.
+  for (double lam : res.eigenvalues) EXPECT_GT(lam, 0.0);
+}
+
+TEST(EigenGeneralized, ShapeMismatchThrows) {
+  EXPECT_THROW(an::eigen_generalized(an::Matrix(2, 2), an::Matrix(3, 3)),
+               std::invalid_argument);
+}
+
+TEST(NaturalFrequencies, ClampsNegativeNoise) {
+  an::EigenResult r;
+  r.eigenvalues = {-1e-9, 4.0 * std::numbers::pi * std::numbers::pi};
+  r.eigenvectors = an::Matrix::identity(2);
+  const an::Vector f = an::natural_frequencies_hz(r);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_NEAR(f[1], 1.0, 1e-12);
+}

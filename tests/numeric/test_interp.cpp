@@ -1,0 +1,83 @@
+// Interpolation tables: linear, log-log (PSD curves), cubic spline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/interp.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(LinearTable, InterpolatesAndClamps) {
+  an::LinearTable t({0.0, 1.0, 2.0}, {0.0, 10.0, 40.0});
+  EXPECT_DOUBLE_EQ(t(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(t(1.5), 25.0);
+  EXPECT_DOUBLE_EQ(t(-5.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(t(9.0), 40.0);   // clamp high
+}
+
+TEST(LinearTable, ExtrapolateUsesEndSlopes) {
+  an::LinearTable t({0.0, 1.0}, {0.0, 2.0});
+  EXPECT_DOUBLE_EQ(t.extrapolate(2.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.extrapolate(-1.0), -2.0);
+}
+
+TEST(LinearTable, RejectsBadInput) {
+  EXPECT_THROW(an::LinearTable({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(an::LinearTable({1.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(an::LinearTable({2.0, 1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(an::LinearTable({0.0, 1.0}, {0.0, 1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LinearTable, TrapezoidalIntegral) {
+  an::LinearTable t({0.0, 2.0}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(t.integral(), 4.0);
+}
+
+TEST(LogLogTable, PowerLawIsExact) {
+  // y = x^2 sampled at two points: log-log interpolation is exact between.
+  an::LogLogTable t({1.0, 100.0}, {1.0, 10000.0});
+  EXPECT_NEAR(t(10.0), 100.0, 1e-9);
+  EXPECT_NEAR(t(3.0), 9.0, 1e-9);
+}
+
+TEST(LogLogTable, IntegralOfPowerLaw) {
+  // Integral of x^2 from 1 to 10 = 333.
+  an::LogLogTable t({1.0, 10.0}, {1.0, 100.0});
+  EXPECT_NEAR(t.integral(1.0, 10.0), 333.0, 0.5);
+}
+
+TEST(LogLogTable, IntegralOfOneOverX) {
+  // y = 1/x: integral over [1, e] = 1.
+  an::LogLogTable t({1.0, 3.0}, {1.0, 1.0 / 3.0});
+  EXPECT_NEAR(t.integral(1.0, std::exp(1.0)), 1.0, 1e-3);
+}
+
+TEST(LogLogTable, RejectsNonPositive) {
+  EXPECT_THROW(an::LogLogTable({0.0, 1.0}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(an::LogLogTable({1.0, 2.0}, {1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(CubicSpline, ReproducesLinearDataExactly) {
+  an::CubicSpline s({0.0, 1.0, 2.0, 3.0}, {1.0, 3.0, 5.0, 7.0});
+  EXPECT_NEAR(s(0.5), 2.0, 1e-12);
+  EXPECT_NEAR(s(2.5), 6.0, 1e-12);
+  EXPECT_NEAR(s.derivative(1.5), 2.0, 1e-10);
+}
+
+TEST(CubicSpline, InterpolatesSmoothCurve) {
+  an::Vector x, y;
+  for (int i = 0; i <= 20; ++i) {
+    x.push_back(0.1 * i);
+    y.push_back(std::sin(x.back()));
+  }
+  an::CubicSpline s(x, y);
+  EXPECT_NEAR(s(0.95), std::sin(0.95), 1e-5);
+  EXPECT_NEAR(s.derivative(1.0), std::cos(1.0), 1e-3);
+}
+
+TEST(CubicSpline, ClampsOutsideRange) {
+  an::CubicSpline s({0.0, 1.0, 2.0}, {0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(s(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s(5.0), 0.0);
+}

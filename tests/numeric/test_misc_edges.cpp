@@ -1,0 +1,100 @@
+// Edge-coverage sweeps for the numeric layer: stream output, degenerate
+// tables, tiny systems — the paths the happy-path tests skip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "numeric/dense.hpp"
+#include "numeric/eigen.hpp"
+#include "numeric/interp.hpp"
+#include "numeric/ode.hpp"
+#include "numeric/solve_dense.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(MatrixStream, PrintsRowMajor) {
+  an::Matrix m{{1, 2}, {3, 4}};
+  std::ostringstream os;
+  os << m;
+  EXPECT_EQ(os.str(), "1 2\n3 4\n");
+}
+
+TEST(MatrixEdge, OneByOne) {
+  an::Matrix m{{4.0}};
+  EXPECT_TRUE(m.square());
+  EXPECT_DOUBLE_EQ(an::inverse(m)(0, 0), 0.25);
+  const auto eig = an::eigen_symmetric(m);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[0], 4.0);
+}
+
+TEST(MatrixEdge, SymmetrizeRejectsRectangular) {
+  an::Matrix m(2, 3);
+  EXPECT_THROW(m.symmetrize(), std::logic_error);
+  EXPECT_THROW(m.asymmetry(), std::logic_error);
+}
+
+TEST(LinearTableEdge, TwoPointTable) {
+  an::LinearTable t({1.0, 3.0}, {10.0, 30.0});
+  EXPECT_DOUBLE_EQ(t(2.0), 20.0);
+  EXPECT_DOUBLE_EQ(t.integral(), 40.0);
+  EXPECT_DOUBLE_EQ(t.x_min(), 1.0);
+  EXPECT_DOUBLE_EQ(t.x_max(), 3.0);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(CubicSplineEdge, TwoPointsReducesToLinear) {
+  an::CubicSpline s({0.0, 2.0}, {0.0, 4.0});
+  EXPECT_NEAR(s(1.0), 2.0, 1e-12);
+  EXPECT_NEAR(s.derivative(1.0), 2.0, 1e-12);
+}
+
+TEST(LogLogTableEdge, QueryAtKnots) {
+  an::LogLogTable t({1.0, 10.0, 100.0}, {1.0, 4.0, 2.0});
+  EXPECT_NEAR(t(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(t(10.0), 4.0, 1e-9);
+  EXPECT_NEAR(t(100.0), 2.0, 1e-9);
+  EXPECT_THROW(t(-1.0), std::invalid_argument);
+  EXPECT_THROW(t.integral(5.0, 2.0), std::invalid_argument);
+}
+
+TEST(EigenEdge, RepeatedEigenvaluesHandled) {
+  // 2x identity: both eigenvalues 1, eigenvectors still orthonormal.
+  const auto res = an::eigen_symmetric(an::Matrix::identity(4));
+  for (double lam : res.eigenvalues) EXPECT_NEAR(lam, 1.0, 1e-12);
+  const an::Matrix vtv = res.eigenvectors.transposed() * res.eigenvectors;
+  EXPECT_LT((vtv - an::Matrix::identity(4)).norm(), 1e-10);
+}
+
+TEST(OdeEdge, Rk45HitsEndpointExactly) {
+  const auto f = [](double, const an::Vector& y) { return an::Vector{-y[0]}; };
+  const auto tr = an::rk45(f, {1.0}, 0.0, 0.37);
+  EXPECT_NEAR(tr.times.back(), 0.37, 1e-12);
+  EXPECT_NEAR(tr.states.back()[0], std::exp(-0.37), 1e-6);
+}
+
+TEST(SolveEdge, LargeWellConditionedSystem) {
+  // 100x100 diagonally dominant system solves to machine-level residual.
+  const std::size_t n = 100;
+  an::Matrix a(n, n);
+  an::Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 4.0;
+    if (i > 0) a(i, i - 1) = -1.0;
+    if (i + 1 < n) a(i, i + 1) = -1.0;
+    b[i] = static_cast<double>(i % 7);
+  }
+  const an::Vector x = an::solve(a, b);
+  const an::Vector r = a * x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-10);
+}
+
+TEST(CholeskyEdge, LowerTriangleAccess) {
+  an::Matrix a{{9.0, 3.0}, {3.0, 5.0}};
+  const an::CholeskyFactorization chol(a);
+  EXPECT_DOUBLE_EQ(chol.lower()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(chol.lower()(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(chol.lower()(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(chol.lower()(1, 1), 2.0);
+}

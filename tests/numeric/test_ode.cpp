@@ -1,0 +1,96 @@
+// Time integrators: RK4, adaptive RK45, Newmark-beta.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "numeric/ode.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(Rk4, ExponentialDecayMatchesAnalytic) {
+  const auto f = [](double, const an::Vector& y) { return an::Vector{-2.0 * y[0]}; };
+  const auto tr = an::rk4(f, {1.0}, 0.0, 1.0, 200);
+  EXPECT_NEAR(tr.states.back()[0], std::exp(-2.0), 1e-9);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  const auto f = [](double, const an::Vector& y) { return an::Vector{-y[0]}; };
+  const double exact = std::exp(-1.0);
+  const double e1 = std::fabs(an::rk4(f, {1.0}, 0.0, 1.0, 10).states.back()[0] - exact);
+  const double e2 = std::fabs(an::rk4(f, {1.0}, 0.0, 1.0, 20).states.back()[0] - exact);
+  // Halving the step should reduce error by ~16x.
+  EXPECT_GT(e1 / e2, 12.0);
+}
+
+TEST(Rk4, InvalidSpanThrows) {
+  const auto f = [](double, const an::Vector& y) { return y; };
+  EXPECT_THROW(an::rk4(f, {1.0}, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(an::rk4(f, {1.0}, 1.0, 0.0, 10), std::invalid_argument);
+}
+
+TEST(Rk45, HarmonicOscillatorEnergyAccuracy) {
+  // y'' = -y as first-order system; after one period returns to start.
+  const auto f = [](double, const an::Vector& y) { return an::Vector{y[1], -y[0]}; };
+  const double period = 2.0 * std::numbers::pi;
+  an::Rk45Options opts;
+  opts.abs_tol = 1e-10;
+  opts.rel_tol = 1e-10;
+  const auto tr = an::rk45(f, {1.0, 0.0}, 0.0, period, opts);
+  EXPECT_NEAR(tr.states.back()[0], 1.0, 1e-6);
+  EXPECT_NEAR(tr.states.back()[1], 0.0, 1e-6);
+}
+
+TEST(Rk45, AdaptsStepOnStiffRamp) {
+  const auto f = [](double t, const an::Vector& y) {
+    return an::Vector{(t < 0.5) ? -y[0] : -50.0 * y[0]};
+  };
+  const auto tr = an::rk45(f, {1.0}, 0.0, 1.0);
+  EXPECT_GT(tr.times.size(), 10u);
+  EXPECT_GT(tr.states.back()[0], 0.0);
+  EXPECT_LT(tr.states.back()[0], std::exp(-0.5));
+}
+
+TEST(Newmark, SdofFreeVibrationConservesAmplitude) {
+  // m x'' + k x = 0, x0 = 1: average acceleration is energy-conserving.
+  an::Matrix m{{1.0}};
+  an::Matrix c{{0.0}};
+  an::Matrix k{{(2.0 * std::numbers::pi) * (2.0 * std::numbers::pi)}};  // fn = 1 Hz
+  const auto force = [](double) { return an::Vector{0.0}; };
+  const auto tr = an::newmark(m, c, k, force, {1.0}, {0.0}, 0.0, 1.0, 400);
+  // After one full period the displacement returns near 1.
+  EXPECT_NEAR(tr.displacement.back()[0], 1.0, 1e-3);
+}
+
+TEST(Newmark, StaticLoadConvergesToDeflection) {
+  an::Matrix m{{1.0}};
+  an::Matrix c{{30.0}};  // heavy damping
+  an::Matrix k{{100.0}};
+  const auto force = [](double) { return an::Vector{50.0}; };
+  const auto tr = an::newmark(m, c, k, force, {0.0}, {0.0}, 0.0, 10.0, 2000);
+  EXPECT_NEAR(tr.displacement.back()[0], 0.5, 1e-4);
+  EXPECT_NEAR(tr.velocity.back()[0], 0.0, 1e-4);
+}
+
+TEST(Newmark, ShapeMismatchThrows) {
+  an::Matrix m{{1.0}};
+  const auto force = [](double) { return an::Vector{0.0}; };
+  EXPECT_THROW(an::newmark(m, m, m, force, {0.0, 0.0}, {0.0}, 0.0, 1.0, 10),
+               std::invalid_argument);
+}
+
+TEST(Newmark, BaseExcitationPhaseLagAtResonance) {
+  // Harmonic force at resonance: response grows then saturates by damping.
+  const double wn = 2.0 * std::numbers::pi;
+  an::Matrix m{{1.0}};
+  an::Matrix c{{2.0 * 0.05 * wn}};
+  an::Matrix k{{wn * wn}};
+  const auto force = [wn](double t) { return an::Vector{std::sin(wn * t)}; };
+  const auto tr = an::newmark(m, c, k, force, {0.0}, {0.0}, 0.0, 30.0, 6000);
+  double peak = 0.0;
+  for (std::size_t i = tr.displacement.size() / 2; i < tr.displacement.size(); ++i)
+    peak = std::max(peak, std::fabs(tr.displacement[i][0]));
+  // Steady amplitude ~ Q/k = (1/(2*0.05)) / wn^2
+  EXPECT_NEAR(peak, 10.0 / (wn * wn), 0.05 * 10.0 / (wn * wn));
+}

@@ -1,0 +1,63 @@
+// Least-squares polynomial fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/polyfit.hpp"
+#include "numeric/stats.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(PolyFit, RecoversExactQuadratic) {
+  an::Vector x, y;
+  for (int i = 0; i <= 10; ++i) {
+    x.push_back(0.5 * i);
+    y.push_back(2.0 - 3.0 * x.back() + 0.5 * x.back() * x.back());
+  }
+  const auto fit = an::polyfit(x, y, 2);
+  for (double probe : {0.3, 2.2, 4.9})
+    EXPECT_NEAR(fit(probe), 2.0 - 3.0 * probe + 0.5 * probe * probe, 1e-9);
+  EXPECT_NEAR(fit.derivative(2.0), -3.0 + 1.0 * 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_LT(fit.rms_residual, 1e-9);
+}
+
+TEST(PolyFit, LinearFitUncenteredFrame) {
+  an::Vector x{1.0, 2.0, 3.0, 4.0};
+  an::Vector y{5.0, 7.0, 9.0, 11.0};  // y = 2x + 3
+  double slope = 0.0, intercept = 0.0;
+  an::linear_fit(x, y, slope, intercept);
+  EXPECT_NEAR(slope, 2.0, 1e-12);
+  EXPECT_NEAR(intercept, 3.0, 1e-12);
+}
+
+TEST(PolyFit, NoisyDataRSquaredBelowOne) {
+  an::Rng rng(5);
+  an::Vector x, y;
+  for (int i = 0; i < 60; ++i) {
+    x.push_back(0.1 * i);
+    y.push_back(1.0 + 2.0 * x.back() + rng.normal(0.0, 0.3));
+  }
+  const auto fit = an::polyfit(x, y, 1);
+  EXPECT_NEAR(fit.coefficients[1], 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.95);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_NEAR(fit.rms_residual, 0.3, 0.1);
+}
+
+TEST(PolyFit, CenteringHandlesLargeOffsets) {
+  // x around 1e6 would destroy an uncentered normal-equation fit.
+  an::Vector x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(1e6 + i);
+    y.push_back(4.0 * (x.back() - 1e6) - 7.0);
+  }
+  const auto fit = an::polyfit(x, y, 1);
+  EXPECT_NEAR(fit(1e6 + 10.5), 4.0 * 10.5 - 7.0, 1e-6);
+}
+
+TEST(PolyFit, InvalidInputsThrow) {
+  EXPECT_THROW(an::polyfit({1.0, 2.0}, {1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(an::polyfit({1.0, 2.0}, {1.0, 2.0}, 2), std::invalid_argument);
+}

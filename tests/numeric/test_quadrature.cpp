@@ -1,0 +1,53 @@
+// Gauss-Legendre and Simpson quadrature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/quadrature.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(GaussLegendre, WeightsSumToTwo) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    double sum = 0.0;
+    for (const auto& p : an::gauss_legendre(n)) sum += p.weight;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(GaussLegendre, OutOfRangeThrows) {
+  EXPECT_THROW(an::gauss_legendre(0), std::invalid_argument);
+  EXPECT_THROW(an::gauss_legendre(9), std::invalid_argument);
+}
+
+// Property: an n-point rule integrates polynomials up to degree 2n-1 exactly.
+class GaussExactness : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaussExactness, IntegratesMaxDegreePolynomialExactly) {
+  const std::size_t n = GetParam();
+  const std::size_t degree = 2 * n - 1;
+  const auto f = [degree](double x) { return std::pow(x, static_cast<double>(degree)); };
+  // Integral of x^d over [0, 1] = 1/(d+1).
+  const double got = an::integrate_gauss(f, 0.0, 1.0, n);
+  EXPECT_NEAR(got, 1.0 / static_cast<double>(degree + 1), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussExactness, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(IntegrateGauss, SineOverHalfPeriod) {
+  EXPECT_NEAR(an::integrate_gauss([](double x) { return std::sin(x); }, 0.0,
+                                  3.14159265358979323846, 8),
+              2.0, 1e-10);
+}
+
+TEST(IntegrateSimpson, MatchesAnalytic) {
+  EXPECT_NEAR(an::integrate_simpson([](double x) { return x * x; }, 0.0, 3.0, 4), 9.0, 1e-12);
+  EXPECT_NEAR(an::integrate_simpson([](double x) { return std::exp(x); }, 0.0, 1.0, 128),
+              std::exp(1.0) - 1.0, 1e-9);
+}
+
+TEST(IntegrateSimpson, OddPanelsThrow) {
+  EXPECT_THROW(an::integrate_simpson([](double x) { return x; }, 0.0, 1.0, 3),
+               std::invalid_argument);
+}

@@ -1,0 +1,66 @@
+// Root finding and fixed-point iteration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/rootfind.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(Brent, FindsSqrtTwo) {
+  const double r = an::brent([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Brent, FindsTranscendentalRoot) {
+  const double r = an::brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(r, 0.7390851332151607, 1e-9);
+}
+
+TEST(Brent, ExactEndpointRoots) {
+  EXPECT_DOUBLE_EQ(an::brent([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(an::brent([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Brent, NonBracketingThrows) {
+  EXPECT_THROW(an::brent([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, MatchesBrent) {
+  const auto f = [](double x) { return std::exp(x) - 3.0; };
+  const double rb = an::brent(f, 0.0, 2.0);
+  const double rs = an::bisect(f, 0.0, 2.0, {.tolerance = 1e-12, .max_iterations = 200});
+  EXPECT_NEAR(rb, rs, 1e-9);
+  EXPECT_NEAR(rb, std::log(3.0), 1e-9);
+}
+
+TEST(FixedPoint, ConvergesToCosineFixedPoint) {
+  const double r = an::fixed_point([](double x) { return std::cos(x); }, 1.0, 1.0);
+  EXPECT_NEAR(r, 0.7390851332151607, 1e-7);
+}
+
+TEST(FixedPoint, RelaxationStabilizesDivergentMap) {
+  // g(x) = 3.5 - x^2 near x ~ 1.37 has |g'| > 1: plain iteration diverges,
+  // heavy under-relaxation converges.
+  const double r = an::fixed_point([](double x) { return 3.5 - x * x; }, 1.0, 0.2,
+                                   {.tolerance = 1e-10, .max_iterations = 2000});
+  EXPECT_NEAR(r + r * r, 3.5, 1e-6);
+}
+
+TEST(FixedPoint, BadRelaxationThrows) {
+  EXPECT_THROW(an::fixed_point([](double x) { return x; }, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(an::fixed_point([](double x) { return x; }, 0.0, 1.5), std::invalid_argument);
+}
+
+TEST(BrentAutoBracket, ExpandsUntilBracketFound) {
+  const auto f = [](double x) { return x - 100.0; };
+  const double r = an::brent_auto_bracket(f, 0.0, 1.0, 1e6);
+  EXPECT_NEAR(r, 100.0, 1e-6);
+}
+
+TEST(BrentAutoBracket, GivesUpAtLimit) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_THROW(an::brent_auto_bracket(f, 0.0, 1.0, 100.0), std::runtime_error);
+}

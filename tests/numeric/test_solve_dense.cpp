@@ -1,0 +1,120 @@
+// Direct solvers: LU, Cholesky, tridiagonal, complex.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/dense.hpp"
+#include "numeric/solve_dense.hpp"
+#include "numeric/stats.hpp"
+
+namespace an = aeropack::numeric;
+using an::operator+;
+using an::operator-;
+
+TEST(LuFactorization, SolvesKnownSystem) {
+  an::Matrix a{{2, 1}, {1, 3}};
+  const an::Vector x = an::solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuFactorization, DeterminantMatchesClosedForm) {
+  an::Matrix a{{2, 1}, {1, 3}};
+  EXPECT_NEAR(an::LuFactorization(a).determinant(), 5.0, 1e-12);
+}
+
+TEST(LuFactorization, PivotsOnZeroDiagonal) {
+  an::Matrix a{{0, 1}, {1, 0}};
+  const an::Vector x = an::solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuFactorization, SingularDetection) {
+  an::Matrix a{{1, 2}, {2, 4}};
+  an::LuFactorization lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve(an::Vector{1.0, 1.0}), std::domain_error);
+}
+
+TEST(LuFactorization, InverseTimesOriginalIsIdentity) {
+  an::Matrix a{{4, 2, 1}, {2, 5, 3}, {1, 3, 6}};
+  const an::Matrix inv = an::inverse(a);
+  const an::Matrix prod = a * inv;
+  EXPECT_LT((prod - an::Matrix::identity(3)).norm(), 1e-10);
+}
+
+// Property: random SPD systems solve to small residual with both LU and
+// Cholesky, and the two agree.
+class SpdSolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpdSolveProperty, ResidualSmallAndFactorizationsAgree) {
+  const int n = GetParam();
+  an::Rng rng(1234u + static_cast<unsigned>(n));
+  an::Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+  // SPD: A = B^T B + n I
+  an::Matrix a = b.transposed() * b;
+  for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += static_cast<double>(n);
+  an::Vector rhs(static_cast<std::size_t>(n));
+  for (double& v : rhs) v = rng.normal();
+
+  const an::Vector x_lu = an::solve(a, rhs);
+  const an::Vector x_ch = an::CholeskyFactorization(a).solve(rhs);
+  const an::Vector residual = a * x_lu - rhs;
+  EXPECT_LT(an::norm2(residual), 1e-9 * (1.0 + an::norm2(rhs)));
+  EXPECT_LT(an::norm2(x_lu - x_ch), 1e-8 * (1.0 + an::norm2(x_lu)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdSolveProperty, ::testing::Values(2, 5, 10, 20, 40));
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  an::Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(an::CholeskyFactorization{a}, std::domain_error);
+}
+
+TEST(Cholesky, LowerTriangularSolvesRoundTrip) {
+  an::Matrix a{{4, 2}, {2, 5}};
+  an::CholeskyFactorization chol(a);
+  const an::Matrix l = chol.lower();
+  // L L^T == A
+  EXPECT_LT((l * l.transposed() - a).norm(), 1e-12);
+  const an::Vector y = chol.solve_lower({2.0, 3.0});
+  // L y = b
+  const an::Vector check = l * y;
+  EXPECT_NEAR(check[0], 2.0, 1e-12);
+  EXPECT_NEAR(check[1], 3.0, 1e-12);
+}
+
+TEST(Tridiagonal, MatchesDenseSolve) {
+  // -1 2 -1 Poisson system.
+  const std::size_t n = 8;
+  an::Vector lower(n - 1, -1.0), diag(n, 2.0), upper(n - 1, -1.0), rhs(n, 1.0);
+  const an::Vector x = an::solve_tridiagonal(lower, diag, upper, rhs);
+  an::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i > 0) a(i, i - 1) = -1.0;
+    if (i + 1 < n) a(i, i + 1) = -1.0;
+  }
+  const an::Vector xd = an::solve(a, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xd[i], 1e-10);
+}
+
+TEST(Tridiagonal, SizeMismatchThrows) {
+  EXPECT_THROW(an::solve_tridiagonal({1.0}, {1.0, 1.0, 1.0}, {1.0}, {1.0, 1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ComplexSolve, MatchesAnalyticComplexInverse) {
+  // (1 + i) x = 2  => x = 1 - i
+  an::Matrix ar{{1.0}};
+  an::Matrix ai{{1.0}};
+  an::Vector xr, xi;
+  an::solve_complex(ar, ai, {2.0}, {0.0}, xr, xi);
+  EXPECT_NEAR(xr[0], 1.0, 1e-12);
+  EXPECT_NEAR(xi[0], -1.0, 1e-12);
+}

@@ -1,0 +1,60 @@
+// Statistics helpers and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/stats.hpp"
+
+namespace an = aeropack::numeric;
+
+TEST(Stats, MeanStdRms) {
+  an::Vector v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(an::mean(v), 2.5);
+  EXPECT_NEAR(an::stddev(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(an::rms(v), std::sqrt(30.0 / 4.0), 1e-12);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(an::mean({}), std::invalid_argument);
+  EXPECT_THROW(an::rms({}), std::invalid_argument);
+}
+
+TEST(Stats, StddevOfSingleValueIsZero) { EXPECT_DOUBLE_EQ(an::stddev({5.0}), 0.0); }
+
+TEST(Rng, DeterministicForSameSeed) {
+  an::Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  an::Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff = any_diff || (a.uniform() != b.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  an::Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  an::Rng rng(7);
+  an::Vector samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.normal());
+  EXPECT_NEAR(an::mean(samples), 0.0, 0.03);
+  EXPECT_NEAR(an::stddev(samples), 1.0, 0.03);
+}
+
+TEST(Rng, ScaledNormal) {
+  an::Rng rng(11);
+  an::Vector samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(an::mean(samples), 10.0, 0.1);
+  EXPECT_NEAR(an::stddev(samples), 2.0, 0.1);
+}

@@ -1,0 +1,87 @@
+// Mission-profile reliability rollup.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "reliability/mission.hpp"
+
+namespace ar = aeropack::reliability;
+
+namespace {
+std::vector<ar::Part> small_bom() {
+  std::vector<ar::Part> bom;
+  ar::Part cpu;
+  cpu.reference = "CPU";
+  cpu.type = ar::PartType::Microprocessor;
+  cpu.junction_temperature = 353.15;
+  bom.push_back(cpu);
+  ar::Part rs;
+  rs.reference = "R";
+  rs.type = ar::PartType::Resistor;
+  rs.count = 100;
+  rs.junction_temperature = 353.15;
+  bom.push_back(rs);
+  return bom;
+}
+}  // namespace
+
+TEST(Mission, ShortHaulProfileSane) {
+  const auto p = ar::MissionProfile::short_haul();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_NEAR(p.mission_hours(), 3.1, 0.01);
+  EXPECT_GT(p.phases.size(), 2u);
+}
+
+TEST(Mission, ValidationCatchesNonsense) {
+  ar::MissionProfile p;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.phases.push_back({"x", 0.0, 0.0, ar::Environment::GroundBenign});
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Mission, EffectiveRateIsDutyWeighted) {
+  const auto bom = small_bom();
+  const auto rpt = ar::assess_mission(bom, ar::MissionProfile::short_haul());
+  // Bounded by the best and worst phase rates.
+  double lo = 1e18, hi = 0.0;
+  for (const auto& [name, rate] : rpt.phase_rates) {
+    lo = std::min(lo, rate);
+    hi = std::max(hi, rate);
+  }
+  EXPECT_GE(rpt.effective_failure_rate, lo);
+  EXPECT_LE(rpt.effective_failure_rate, hi);
+  EXPECT_NEAR(rpt.mtbf_hours * rpt.effective_failure_rate, 1e6, 1e-3);
+}
+
+TEST(Mission, HotterGroundSoakHurts) {
+  const auto bom = small_bom();
+  auto mild = ar::MissionProfile::short_haul();
+  auto harsh = mild;
+  harsh.phases[0].junction_offset = +40.0;  // desert apron
+  const auto a = ar::assess_mission(bom, mild);
+  const auto b = ar::assess_mission(bom, harsh);
+  EXPECT_LT(b.mtbf_hours, a.mtbf_hours);
+}
+
+TEST(Mission, AttachDamageTracksSwingAndRate) {
+  const auto bom = small_bom();
+  auto p = ar::MissionProfile::short_haul();
+  const auto base = ar::assess_mission(bom, p, 30.0);
+  const auto big_swing = ar::assess_mission(bom, p, 60.0);
+  EXPECT_GT(big_swing.annual_attach_damage, 3.0 * base.annual_attach_damage);
+  p.missions_per_year = 1400.0;
+  const auto busy = ar::assess_mission(bom, p, 30.0);
+  EXPECT_NEAR(busy.annual_attach_damage, 2.0 * base.annual_attach_damage, 1e-12);
+  EXPECT_LT(busy.attach_life_years, base.attach_life_years);
+}
+
+TEST(Mission, AnnualHoursRollup) {
+  const auto p = ar::MissionProfile::short_haul();
+  const auto rpt = ar::assess_mission(small_bom(), p);
+  EXPECT_NEAR(rpt.annual_operating_hours, p.mission_hours() * p.missions_per_year, 1e-9);
+}
+
+TEST(Mission, EmptyBomThrows) {
+  EXPECT_THROW(ar::assess_mission({}, ar::MissionProfile::short_haul()),
+               std::invalid_argument);
+}

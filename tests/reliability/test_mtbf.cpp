@@ -1,0 +1,128 @@
+// Failure-rate prediction and MTBF rollup.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "reliability/mtbf.hpp"
+
+namespace ar = aeropack::reliability;
+
+TEST(Arrhenius, UnityAtReference) {
+  EXPECT_DOUBLE_EQ(ar::arrhenius_factor(313.15, 313.15, 0.7), 1.0);
+}
+
+TEST(Arrhenius, HotterAccelerates) {
+  const double af = ar::arrhenius_factor(313.15, 398.15, 0.45);
+  EXPECT_GT(af, 5.0);
+  EXPECT_LT(af, 100.0);
+  EXPECT_LT(ar::arrhenius_factor(313.15, 293.15, 0.45), 1.0);
+}
+
+TEST(Arrhenius, InvalidInputsThrow) {
+  EXPECT_THROW(ar::arrhenius_factor(0.0, 300.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ar::arrhenius_factor(300.0, 300.0, -0.1), std::invalid_argument);
+}
+
+TEST(Factors, EnvironmentLadder) {
+  EXPECT_LT(ar::environment_factor(ar::Environment::GroundBenign),
+            ar::environment_factor(ar::Environment::AirborneInhabitedCargo));
+  EXPECT_LT(ar::environment_factor(ar::Environment::AirborneInhabitedCargo),
+            ar::environment_factor(ar::Environment::AirborneUninhabitedCargo));
+}
+
+TEST(Factors, CotsPenalty) {
+  // The paper's tension: "maximum use of low-cost plastic components or COTS
+  // components in severe avionics applications" — modeled as the pi_Q ladder.
+  EXPECT_GT(ar::quality_factor(ar::Quality::Commercial),
+            2.0 * ar::quality_factor(ar::Quality::FullMil));
+}
+
+TEST(PartRate, TemperatureAndCountScaling) {
+  ar::Part p;
+  p.type = ar::PartType::Microprocessor;
+  p.junction_temperature = 358.15;
+  const double l1 = ar::part_failure_rate(p, ar::Environment::AirborneInhabitedCargo);
+  p.count = 3;
+  EXPECT_NEAR(ar::part_failure_rate(p, ar::Environment::AirborneInhabitedCargo), 3.0 * l1,
+              1e-12);
+  p.count = 1;
+  p.junction_temperature = 398.15;
+  EXPECT_GT(ar::part_failure_rate(p, ar::Environment::AirborneInhabitedCargo), l1);
+  p.count = 0;
+  EXPECT_THROW(ar::part_failure_rate(p, ar::Environment::GroundBenign),
+               std::invalid_argument);
+}
+
+namespace {
+std::vector<ar::Part> typical_avionics_bom(double junction_k) {
+  std::vector<ar::Part> bom;
+  const auto add = [&](const char* ref, ar::PartType t, int count) {
+    ar::Part p;
+    p.reference = ref;
+    p.type = t;
+    p.count = count;
+    p.junction_temperature = junction_k;
+    bom.push_back(p);
+  };
+  add("CPU", ar::PartType::Microprocessor, 1);
+  add("RAM", ar::PartType::Memory, 4);
+  add("OPAMP", ar::PartType::AnalogIc, 12);
+  add("FET", ar::PartType::PowerTransistor, 6);
+  add("D", ar::PartType::Diode, 20);
+  add("R", ar::PartType::Resistor, 300);
+  add("C", ar::PartType::CeramicCapacitor, 200);
+  add("CT", ar::PartType::TantalumCapacitor, 12);
+  add("L", ar::PartType::Inductor, 10);
+  add("J", ar::PartType::Connector, 4);
+  add("XTAL", ar::PartType::Crystal, 2);
+  add("ATTACH", ar::PartType::SolderJointSet, 50);
+  return bom;
+}
+}  // namespace
+
+TEST(Mtbf, TypicalAvionicsNearPaperFigure) {
+  // The paper: "Typical MTBF for aerospace applications is about 40,000 h"
+  // with junctions kept cool. A representative BOM at 70 C junction in an
+  // inhabited-cargo bay should land in that decade.
+  const auto rpt =
+      ar::predict_mtbf(typical_avionics_bom(343.15), ar::Environment::AirborneInhabitedCargo);
+  EXPECT_GT(rpt.mtbf_hours, 20000.0);
+  EXPECT_LT(rpt.mtbf_hours, 120000.0);
+  EXPECT_EQ(rpt.contributions.size(), 12u);
+}
+
+TEST(Mtbf, HotterJunctionsShortenLife) {
+  const auto bom = typical_avionics_bom(343.15);
+  const auto cool = ar::predict_mtbf(bom, ar::Environment::AirborneInhabitedCargo);
+  const auto hot = ar::predict_mtbf_shifted(bom, ar::Environment::AirborneInhabitedCargo, 30.0);
+  EXPECT_GT(cool.mtbf_hours, 1.5 * hot.mtbf_hours);
+}
+
+TEST(Mtbf, CoolingPaysOffLikeThePaperClaims) {
+  // A 32 C junction reduction (the COSEE LHP result at 40 W) should buy a
+  // substantial MTBF improvement.
+  const auto bom = typical_avionics_bom(368.15);  // hot baseline
+  const auto base = ar::predict_mtbf(bom, ar::Environment::AirborneInhabitedCargo);
+  const auto cooled =
+      ar::predict_mtbf_shifted(bom, ar::Environment::AirborneInhabitedCargo, -32.0);
+  EXPECT_GT(cooled.mtbf_hours / base.mtbf_hours, 1.5);
+}
+
+TEST(Mtbf, EmptyBomThrows) {
+  EXPECT_THROW(ar::predict_mtbf({}, ar::Environment::GroundBenign), std::invalid_argument);
+}
+
+// Property: total failure rate is the sum of contributions for any BOM.
+class MtbfConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(MtbfConsistency, SeriesRollup) {
+  const auto rpt = ar::predict_mtbf(typical_avionics_bom(GetParam()),
+                                    ar::Environment::AirborneInhabitedCargo);
+  double sum = 0.0;
+  for (const auto& [ref, lambda] : rpt.contributions) sum += lambda;
+  EXPECT_NEAR(sum, rpt.total_failure_rate, 1e-12);
+  EXPECT_NEAR(rpt.mtbf_hours * rpt.total_failure_rate, 1e6, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Junctions, MtbfConsistency,
+                         ::testing::Values(323.15, 343.15, 363.15, 398.15));

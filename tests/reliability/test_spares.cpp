@@ -1,0 +1,54 @@
+// Fleet spares provisioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "reliability/spares.hpp"
+
+namespace ar = aeropack::reliability;
+
+TEST(Spares, PipelineDemandHandCalc) {
+  // 250 boxes, 3000 h/yr each, 30,000 h MTBF, 30-day turnaround:
+  // removals = 25/yr; pipeline = 25 * 30/365 ~ 2.05.
+  const double d = ar::pipeline_demand(30000.0, 250, 3000.0, 30.0);
+  EXPECT_NEAR(d, 25.0 * 30.0 / 365.0, 1e-9);
+  EXPECT_NEAR(ar::annual_removals(30000.0, 250, 3000.0), 25.0, 1e-9);
+}
+
+TEST(Spares, PoissonCdfProperties) {
+  EXPECT_DOUBLE_EQ(ar::poisson_cdf(5, 0.0), 1.0);
+  EXPECT_NEAR(ar::poisson_cdf(0, 1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(ar::poisson_cdf(1, 1.0), 2.0 * std::exp(-1.0), 1e-12);
+  // CDF is monotone in k and approaches 1.
+  double prev = 0.0;
+  for (std::size_t k = 0; k <= 20; ++k) {
+    const double c = ar::poisson_cdf(k, 5.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+  EXPECT_THROW(ar::poisson_cdf(1, -1.0), std::invalid_argument);
+}
+
+TEST(Spares, StockGrowsWithDemandAndFillRate) {
+  const std::size_t modest = ar::spares_required(40000.0, 250, 3000.0, 30.0, 0.95);
+  const std::size_t poor_mtbf = ar::spares_required(10000.0, 250, 3000.0, 30.0, 0.95);
+  const std::size_t high_fill = ar::spares_required(40000.0, 250, 3000.0, 30.0, 0.999);
+  EXPECT_GT(poor_mtbf, modest);
+  EXPECT_GE(high_fill, modest);
+}
+
+TEST(Spares, BetterCoolingCutsTheStock) {
+  // The paper's fleet argument in one assertion: the MTBF gained by the
+  // two-phase chain (roughly 1.5x at box level) reduces the spares pool.
+  const std::size_t fan_cooled = ar::spares_required(18000.0, 250, 3500.0, 45.0, 0.95);
+  const std::size_t passive = ar::spares_required(27000.0, 250, 3500.0, 45.0, 0.95);
+  EXPECT_LT(passive, fan_cooled);
+}
+
+TEST(Spares, InvalidInputsThrow) {
+  EXPECT_THROW(ar::pipeline_demand(0.0, 10, 3000.0, 30.0), std::invalid_argument);
+  EXPECT_THROW(ar::spares_required(30000.0, 10, 3000.0, 30.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ar::annual_removals(30000.0, 0, 3000.0), std::invalid_argument);
+}

@@ -1,0 +1,52 @@
+// Coffin-Manson / Norris-Landzberg thermal-cycling fatigue.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "reliability/thermal_cycling.hpp"
+
+namespace ar = aeropack::reliability;
+
+TEST(CoffinManson, InverseSquareDefault) {
+  const double n50 = ar::coffin_manson_cycles(50.0);
+  const double n100 = ar::coffin_manson_cycles(100.0);
+  EXPECT_NEAR(n50 / n100, 4.0, 1e-9);
+  EXPECT_THROW(ar::coffin_manson_cycles(0.0), std::invalid_argument);
+}
+
+TEST(CoffinManson, PaperShockProfileSurvivable) {
+  // -45/+55 C shock: dT = 100 K. Capability must exceed a typical 50-cycle
+  // qualification sequence by a wide margin ("without damage").
+  const double cycles = ar::coffin_manson_cycles(100.0);
+  EXPECT_GT(cycles, 500.0);
+}
+
+TEST(CoffinManson, AccelerationFactor) {
+  EXPECT_NEAR(ar::coffin_manson_acceleration(100.0, 50.0), 4.0, 1e-12);
+  EXPECT_NEAR(ar::coffin_manson_acceleration(100.0, 50.0, 2.5),
+              std::pow(2.0, 2.5), 1e-9);
+}
+
+TEST(NorrisLandzberg, RefinesCoffinManson) {
+  // Same dT, same peak, same frequency: reduces to the Coffin-Manson ratio.
+  const double af = ar::norris_landzberg_acceleration(100.0, 50.0, 24.0, 24.0, 328.15, 328.15);
+  EXPECT_NEAR(af, std::pow(2.0, 1.9), 1e-9);
+  // A cooler service peak makes the hot test more accelerating...
+  const double af_cool = ar::norris_landzberg_acceleration(100.0, 50.0, 24.0, 24.0, 328.15, 308.15);
+  EXPECT_GT(af_cool, af);
+  // ...while slower service cycling (creep has time to act) reduces it.
+  const double af_slow = ar::norris_landzberg_acceleration(100.0, 50.0, 24.0, 6.0, 328.15, 328.15);
+  EXPECT_LT(af_slow, af);
+}
+
+TEST(NorrisLandzberg, InvalidInputsThrow) {
+  EXPECT_THROW(ar::norris_landzberg_acceleration(100.0, 50.0, 0.0, 6.0, 328.15, 308.15),
+               std::invalid_argument);
+}
+
+TEST(ServiceLife, Scales) {
+  // 500 test cycles at AF 4 against 365 service cycles/year: ~5.5 years.
+  EXPECT_NEAR(ar::service_life_years(500.0, 4.0, 365.0), 2000.0 / 365.0, 1e-9);
+  EXPECT_THROW(ar::service_life_years(0.0, 4.0, 365.0), std::invalid_argument);
+}

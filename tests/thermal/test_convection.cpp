@@ -1,0 +1,102 @@
+// Convection and radiation correlations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "materials/air.hpp"
+#include "thermal/convection.hpp"
+
+namespace at = aeropack::thermal;
+
+TEST(NaturalConvection, VerticalPlateTypicalRange) {
+  // 0.3 m plate, 40 K over ambient: handbook h ~ 4-5 W/m^2 K.
+  const double h = at::h_natural_vertical_plate(340.0, 300.0, 0.3);
+  EXPECT_GT(h, 3.0);
+  EXPECT_LT(h, 7.0);
+}
+
+TEST(NaturalConvection, ZeroDeltaTGivesZero) {
+  EXPECT_DOUBLE_EQ(at::h_natural_vertical_plate(300.0, 300.0, 0.3), 0.0);
+}
+
+TEST(NaturalConvection, HotSideUpBeatsHotSideDown) {
+  const double up = at::h_natural_horizontal_up(340.0, 300.0, 0.1);
+  const double down = at::h_natural_horizontal_down(340.0, 300.0, 0.1);
+  EXPECT_GT(up, down);
+}
+
+TEST(NaturalConvection, IncreasesWithDeltaT) {
+  const double h1 = at::h_natural_vertical_plate(310.0, 300.0, 0.2);
+  const double h2 = at::h_natural_vertical_plate(360.0, 300.0, 0.2);
+  EXPECT_GT(h2, h1);
+}
+
+TEST(NaturalConvection, AltitudeDerating) {
+  // The paper's avionics context: convection weakens with air density.
+  const double sl = at::h_natural_vertical_plate(340.0, 300.0, 0.2, 101325.0);
+  const double alt = at::h_natural_vertical_plate(340.0, 300.0, 0.2, 30000.0);
+  EXPECT_GT(sl, 1.5 * alt);
+}
+
+TEST(NaturalConvection, CylinderTypicalRange) {
+  const double h = at::h_natural_horizontal_cylinder(340.0, 300.0, 0.03);
+  EXPECT_GT(h, 5.0);
+  EXPECT_LT(h, 12.0);
+}
+
+TEST(ForcedConvection, FlatPlateLaminarMatchesCorrelation) {
+  // Re = 1e5 at 0.5 m needs U ~ 3.2 m/s at 300 K: Nu = 0.664 sqrt(Re) Pr^1/3.
+  const auto air = aeropack::materials::air_at(300.0);
+  const double u = 1e5 * air.kinematic_viscosity() / 0.5;
+  const double h = at::h_forced_flat_plate(u, 0.5, 300.0);
+  const double nu_expected = 0.664 * std::sqrt(1e5) * std::cbrt(air.prandtl);
+  EXPECT_NEAR(h, nu_expected * air.conductivity / 0.5, 1e-6);
+}
+
+TEST(ForcedConvection, TurbulentBeatsLaminarAtSameLength) {
+  const double h_lam = at::h_forced_flat_plate(2.0, 0.3, 310.0);
+  const double h_turb = at::h_forced_flat_plate(30.0, 0.3, 310.0);
+  EXPECT_GT(h_turb, 4.0 * h_lam);
+}
+
+TEST(ForcedConvection, DuctLaminarPlateau) {
+  // Below transition, h is velocity independent (Nu = 7.54).
+  const double h1 = at::h_forced_duct(0.5, 0.008, 310.0);
+  const double h2 = at::h_forced_duct(1.0, 0.008, 310.0);
+  EXPECT_NEAR(h1, h2, 1e-9);
+  EXPECT_GT(h1, 10.0);
+}
+
+TEST(ForcedConvection, ZeroVelocityGivesZero) {
+  EXPECT_DOUBLE_EQ(at::h_forced_flat_plate(0.0, 0.3, 300.0), 0.0);
+  EXPECT_DOUBLE_EQ(at::h_forced_duct(0.0, 0.01, 300.0), 0.0);
+}
+
+TEST(ForcedConvection, InvalidInputsThrow) {
+  EXPECT_THROW(at::h_forced_flat_plate(-1.0, 0.3, 300.0), std::invalid_argument);
+  EXPECT_THROW(at::h_forced_duct(1.0, 0.0, 300.0), std::invalid_argument);
+}
+
+TEST(Radiation, LinearizedCoefficientMatchesStefanBoltzmann) {
+  const double h = at::h_radiation(350.0, 300.0, 1.0);
+  const double q = h * 50.0;
+  const double q_exact =
+      at::kStefanBoltzmann * (std::pow(350.0, 4.0) - std::pow(300.0, 4.0));
+  EXPECT_NEAR(q, q_exact, 1e-9);
+}
+
+TEST(Radiation, EmissivityBoundsChecked) {
+  EXPECT_THROW(at::h_radiation(350.0, 300.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(at::h_radiation(350.0, 300.0, 1.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(at::h_radiation(350.0, 300.0, 0.0), 0.0);
+}
+
+TEST(Orientation, DispatcherMatchesDirectCalls) {
+  EXPECT_DOUBLE_EQ(
+      at::h_natural_plate(at::SurfaceOrientation::Vertical, 340.0, 300.0, 0.2),
+      at::h_natural_vertical_plate(340.0, 300.0, 0.2));
+  EXPECT_DOUBLE_EQ(
+      at::h_natural_plate(at::SurfaceOrientation::HorizontalUp, 340.0, 300.0, 0.2),
+      at::h_natural_horizontal_up(340.0, 300.0, 0.2));
+}

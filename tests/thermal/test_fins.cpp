@@ -1,0 +1,67 @@
+// Fin conductances — the seat-structure heat sink physics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "materials/solid.hpp"
+#include "thermal/fins.hpp"
+
+namespace at = aeropack::thermal;
+namespace am = aeropack::materials;
+
+TEST(Fin, LongFinLimitSqrtHpkA) {
+  // tanh(mL) -> 1: G -> sqrt(h P k A).
+  const double h = 10.0, p = 0.1, k = 167.0, a = 8e-4;
+  const double g = at::fin_conductance(h, p, k, a, 100.0);
+  EXPECT_NEAR(g, std::sqrt(h * p * k * a), 1e-9);
+}
+
+TEST(Fin, ShortFinLimitHPL) {
+  // mL << 1: G ~ h P L (all surface at base temperature).
+  const double h = 5.0, p = 0.1, k = 400.0, a = 1e-3, l = 0.01;
+  const double g = at::fin_conductance(h, p, k, a, l);
+  EXPECT_NEAR(g, h * p * l, 0.01 * h * p * l);
+}
+
+TEST(Fin, EfficiencyBetweenZeroAndOne) {
+  for (double l : {0.01, 0.1, 0.5, 2.0}) {
+    const double eta = at::fin_efficiency(12.0, 0.1, 167.0, 8e-4, l);
+    EXPECT_GT(eta, 0.0);
+    EXPECT_LE(eta, 1.0);
+  }
+}
+
+TEST(Fin, EfficiencyDecreasesWithLength) {
+  const double e1 = at::fin_efficiency(12.0, 0.1, 167.0, 8e-4, 0.1);
+  const double e2 = at::fin_efficiency(12.0, 0.1, 167.0, 8e-4, 1.0);
+  EXPECT_GT(e1, e2);
+}
+
+TEST(Fin, ZeroFilmGivesZeroConductance) {
+  EXPECT_DOUBLE_EQ(at::fin_conductance(0.0, 0.1, 167.0, 8e-4, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(at::fin_efficiency(0.0, 0.1, 167.0, 8e-4, 0.5), 1.0);
+}
+
+TEST(Fin, InvalidInputsThrow) {
+  EXPECT_THROW(at::fin_parameter(10.0, 0.0, 167.0, 1e-4), std::invalid_argument);
+  EXPECT_THROW(at::fin_conductance(10.0, 0.1, 167.0, 1e-4, 0.0), std::invalid_argument);
+}
+
+TEST(RodSink, AluminumVsCarbonCompositeRatio) {
+  // The paper's carbon seat observation: low-k structure is a much weaker
+  // heat sink. At these proportions the ratio is large.
+  const double h = 12.0, d = 0.032;
+  const double g_al = at::rod_sink_conductance(h, d, am::aluminum_6061().conductivity, 0.55, 0.55);
+  const double g_cf = at::rod_sink_conductance(h, d, am::carbon_composite().conductivity, 0.55, 0.55);
+  EXPECT_GT(g_al, 3.0 * g_cf);
+}
+
+TEST(RodSink, AsymmetricHalvesAdd) {
+  const double h = 12.0, d = 0.032, k = 167.0;
+  const double g = at::rod_sink_conductance(h, d, k, 0.3, 0.7);
+  const double g1 = at::rod_sink_conductance(h, d, k, 0.3, 0.3) / 2.0;
+  const double g2 = at::rod_sink_conductance(h, d, k, 0.7, 0.7) / 2.0;
+  EXPECT_NEAR(g, g1 * 2.0 / 2.0 + g2 * 2.0 / 2.0 + (g1 + g2) - (g1 + g2), g * 0.01);
+  EXPECT_NEAR(g, g1 + g2, 1e-12);
+}

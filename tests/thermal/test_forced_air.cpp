@@ -1,0 +1,114 @@
+// ARINC 600 forced-air supply, hot-spot feasibility, spreading resistance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "thermal/forced_air.hpp"
+
+namespace at = aeropack::thermal;
+
+TEST(ArincSupply, MassFlowPerKilowatt) {
+  at::ArincAirSupply s;
+  // 220 kg/h per kW: 1 kW -> 0.0611 kg/s.
+  EXPECT_NEAR(s.mass_flow(1000.0), 220.0 / 3600.0, 1e-9);
+  EXPECT_NEAR(s.mass_flow(500.0), 110.0 / 3600.0, 1e-9);
+}
+
+TEST(ArincSupply, AirRiseIsPowerIndependent) {
+  at::ArincAirSupply s;
+  // dT = Q / (mdot cp) with mdot proportional to Q: constant ~16 K.
+  EXPECT_NEAR(s.air_rise(100.0), s.air_rise(1000.0), 1e-9);
+  EXPECT_NEAR(s.air_rise(1000.0), 1000.0 / ((220.0 / 3600.0) * 1006.0), 0.01);
+}
+
+TEST(ArincSupply, FlowMultiplierScales) {
+  at::ArincAirSupply s;
+  s.flow_multiplier = 2.0;
+  EXPECT_NEAR(s.air_rise(1000.0), 0.5 * 1000.0 / ((220.0 / 3600.0) * 1006.0), 0.01);
+}
+
+TEST(ArincSupply, NegativePowerThrows) {
+  at::ArincAirSupply s;
+  EXPECT_THROW(s.mass_flow(-1.0), std::invalid_argument);
+}
+
+TEST(HotSpot, ModerateFluxFeasible) {
+  at::ArincAirSupply s;
+  at::CardChannel chan;
+  // 1 W/cm^2 on a 50 W module.
+  const auto r = at::analyze_hot_spot(s, chan, 50.0, 1e4, 0.5, 383.15);
+  EXPECT_GT(r.h, 5.0);
+  EXPECT_TRUE(std::isfinite(r.film_rise));
+}
+
+TEST(HotSpot, PaperClaimHighFluxInfeasibleAtStandardFlow) {
+  // The paper: hot spots of 10..100 W/cm^2 cannot be held by the standard
+  // ARINC 600 flow; ~10x flow would be required.
+  at::ArincAirSupply s;
+  at::CardChannel chan;
+  const auto r10 = at::analyze_hot_spot(s, chan, 100.0, 10.0 * 1e4, 0.5, 383.15);
+  EXPECT_FALSE(r10.feasible);
+  const auto r100 = at::analyze_hot_spot(s, chan, 100.0, 100.0 * 1e4, 0.5, 383.15);
+  EXPECT_FALSE(r100.feasible);
+  EXPECT_GT(r100.film_rise, r10.film_rise);
+}
+
+TEST(HotSpot, MoreFlowLowersSurfaceTemperature) {
+  at::ArincAirSupply base;
+  at::ArincAirSupply boosted = base;
+  boosted.flow_multiplier = 10.0;
+  at::CardChannel chan;
+  const auto a = at::analyze_hot_spot(base, chan, 100.0, 5e4, 0.5, 383.15);
+  const auto b = at::analyze_hot_spot(boosted, chan, 100.0, 5e4, 0.5, 383.15);
+  EXPECT_LT(b.surface_temperature, a.surface_temperature);
+}
+
+TEST(HotSpot, PositionRaisesLocalAirTemperature) {
+  at::ArincAirSupply s;
+  at::CardChannel chan;
+  const auto inlet = at::analyze_hot_spot(s, chan, 200.0, 1e4, 0.0, 383.15);
+  const auto outlet = at::analyze_hot_spot(s, chan, 200.0, 1e4, 1.0, 383.15);
+  EXPECT_GT(outlet.local_air_temperature, inlet.local_air_temperature);
+  EXPECT_THROW(at::analyze_hot_spot(s, chan, 200.0, 1e4, 1.5, 383.15), std::invalid_argument);
+}
+
+TEST(RequiredFlow, GrowsWithFlux) {
+  at::ArincAirSupply s;
+  at::CardChannel chan;
+  const double m_low = at::required_flow_multiplier(s, chan, 100.0, 3e3, 0.5, 383.15);
+  const double m_high = at::required_flow_multiplier(s, chan, 100.0, 4e4, 0.5, 383.15);
+  EXPECT_GE(m_high, m_low);
+}
+
+TEST(RequiredFlow, ImpossibleReturnsInfinity) {
+  at::ArincAirSupply s;
+  at::CardChannel chan;
+  const double m = at::required_flow_multiplier(s, chan, 100.0, 1e6, 0.5, 383.15);
+  EXPECT_TRUE(std::isinf(m));
+}
+
+TEST(SpreadingResistance, ShrinksWithLargerSource) {
+  const double small = at::spreading_resistance(1e-4, 1e-2, 2e-3, 167.0, 500.0);
+  const double large = at::spreading_resistance(5e-3, 1e-2, 2e-3, 167.0, 500.0);
+  EXPECT_GT(small, large);
+}
+
+TEST(SpreadingResistance, FullCoverageApproaches1dPlusFilm) {
+  const double r = at::spreading_resistance(1e-2 - 1e-9, 1e-2, 2e-3, 167.0, 500.0);
+  const double r_1d = 2e-3 / (167.0 * 1e-2) + 1.0 / (500.0 * 1e-2);
+  EXPECT_NEAR(r, r_1d, 0.05 * r_1d);
+}
+
+TEST(SpreadingResistance, HigherConductivityHelps) {
+  const double r_al = at::spreading_resistance(1e-4, 1e-2, 2e-3, 167.0, 500.0);
+  const double r_cfrp = at::spreading_resistance(1e-4, 1e-2, 2e-3, 5.0, 500.0);
+  EXPECT_GT(r_cfrp, 3.0 * r_al);
+}
+
+TEST(SpreadingResistance, InvalidInputsThrow) {
+  EXPECT_THROW(at::spreading_resistance(0.0, 1e-2, 1e-3, 100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(at::spreading_resistance(2e-2, 1e-2, 1e-3, 100.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(at::spreading_resistance(1e-4, 1e-2, 1e-3, 100.0, 0.0), std::invalid_argument);
+}

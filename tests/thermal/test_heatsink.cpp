@@ -1,0 +1,106 @@
+// Plate-fin heat sink model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "thermal/heatsink.hpp"
+
+namespace at = aeropack::thermal;
+
+namespace {
+at::HeatSink standard_sink() { return at::HeatSink{}; }
+}  // namespace
+
+TEST(HeatSink, GeometryDerivations) {
+  const auto hs = standard_sink();
+  EXPECT_GE(hs.fin_count(), 10);
+  EXPECT_GT(hs.fin_area(), 5.0 * hs.exposed_base_area());
+  EXPECT_NO_THROW(hs.validate());
+}
+
+TEST(HeatSink, ValidationCatchesNonsense) {
+  at::HeatSink hs;
+  hs.fin_gap = 0.0;
+  EXPECT_THROW(hs.validate(), std::invalid_argument);
+  at::HeatSink wide;
+  wide.fin_thickness = 0.2;  // one fin fills the base
+  EXPECT_THROW(wide.validate(), std::invalid_argument);
+  at::HeatSink eps;
+  eps.emissivity = 1.5;
+  EXPECT_THROW(eps.validate(), std::invalid_argument);
+}
+
+TEST(HeatSink, NaturalConductancePlausible) {
+  // 0.15 x 0.10 m sink, 30 mm fins, 40 K over ambient: R ~ 1-2 K/W is the
+  // catalogue figure for this size class under natural convection.
+  const auto hs = standard_sink();
+  const double g = at::heatsink_conductance_natural(hs, 353.15, 313.15);
+  EXPECT_GT(g, 0.4);
+  EXPECT_LT(g, 5.0);
+}
+
+TEST(HeatSink, ForcedBeatsNatural) {
+  const auto hs = standard_sink();
+  const double gn = at::heatsink_conductance_natural(hs, 353.15, 313.15);
+  const double gf = at::heatsink_conductance_forced(hs, 4.0, 333.15);
+  EXPECT_GT(gf, 2.0 * gn);
+  EXPECT_THROW(at::heatsink_conductance_forced(hs, 0.0, 333.15), std::invalid_argument);
+}
+
+TEST(HeatSink, MoreVelocityMoreConductance) {
+  const auto hs = standard_sink();
+  EXPECT_GT(at::heatsink_conductance_forced(hs, 8.0, 333.15),
+            at::heatsink_conductance_forced(hs, 2.0, 333.15));
+}
+
+TEST(HeatSink, ResistanceIncludesBaseConduction) {
+  const auto hs = standard_sink();
+  const double r = at::heatsink_resistance(hs, 353.15, 313.15, 4.0);
+  const double r_base = hs.base_thickness / (hs.conductivity * hs.base_length * hs.base_width);
+  EXPECT_GT(r, r_base);
+  EXPECT_LT(r, 5.0);
+}
+
+TEST(HeatSink, BaseTemperatureSolvesEnergyBalance) {
+  const auto hs = standard_sink();
+  const double t_amb = 313.15;
+  const double t_base = at::heatsink_base_temperature(hs, 20.0, t_amb);
+  EXPECT_GT(t_base, t_amb);
+  const double r = at::heatsink_resistance(hs, t_base, t_amb);
+  EXPECT_NEAR((t_base - t_amb) / r, 20.0, 0.05);
+  EXPECT_DOUBLE_EQ(at::heatsink_base_temperature(hs, 0.0, t_amb), t_amb);
+}
+
+TEST(HeatSink, TallerFinsHelpUntilEfficiencyBites) {
+  at::HeatSink small = standard_sink();
+  small.fin_height = 10e-3;
+  at::HeatSink tall = standard_sink();
+  tall.fin_height = 40e-3;
+  const double g_small = at::heatsink_conductance_natural(small, 353.15, 313.15);
+  const double g_tall = at::heatsink_conductance_natural(tall, 353.15, 313.15);
+  EXPECT_GT(g_tall, g_small);
+  EXPECT_LT(g_tall, 4.0 * g_small);  // sub-linear: fin efficiency drops
+}
+
+TEST(HeatSink, OptimalGapMatchesBarCohenOrder) {
+  // For ~0.1 m plates at moderate dT, s_opt is in the 6-12 mm range.
+  const double s = at::optimal_fin_gap_natural(0.1, 353.15, 313.15);
+  EXPECT_GT(s, 4e-3);
+  EXPECT_LT(s, 15e-3);
+  // Altitude widens the optimum (weaker buoyancy).
+  const double s_alt = at::optimal_fin_gap_natural(0.1, 353.15, 313.15, 30000.0);
+  EXPECT_GT(s_alt, s);
+}
+
+TEST(HeatSink, NearOptimalGapBeatsExtremes) {
+  const double t_base = 353.15, t_amb = 313.15;
+  const double s_opt = at::optimal_fin_gap_natural(standard_sink().base_length, t_base, t_amb);
+  const auto with_gap = [&](double gap) {
+    at::HeatSink hs = standard_sink();
+    hs.fin_gap = gap;
+    return at::heatsink_conductance_natural(hs, t_base, t_amb);
+  };
+  const double g_opt = with_gap(s_opt);
+  EXPECT_GT(g_opt, with_gap(0.4 * s_opt));  // choked channels
+  EXPECT_GT(g_opt, with_gap(4.0 * s_opt));  // too few fins
+}

@@ -1,0 +1,124 @@
+// Lumped thermal resistance network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "thermal/convection.hpp"
+#include "thermal/network.hpp"
+
+namespace at = aeropack::thermal;
+
+TEST(ThermalNetwork, SingleResistorHandCalc) {
+  at::ThermalNetwork net;
+  const auto node = net.add_node("chip");
+  const auto amb = net.add_boundary("ambient", 300.0);
+  net.add_resistor(node, amb, 2.0);  // 2 K/W
+  net.add_heat_load(node, 10.0);
+  const auto sol = net.solve_steady();
+  EXPECT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.temperatures[node], 320.0, 1e-9);
+  EXPECT_LT(sol.energy_residual, 1e-9);
+}
+
+TEST(ThermalNetwork, SeriesChain) {
+  at::ThermalNetwork net;
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto amb = net.add_boundary("ambient", 300.0);
+  net.add_resistor(a, b, 1.0);
+  net.add_resistor(b, amb, 0.5);
+  net.add_heat_load(a, 20.0);
+  const auto sol = net.solve_steady();
+  EXPECT_NEAR(sol.temperatures[b], 310.0, 1e-9);
+  EXPECT_NEAR(sol.temperatures[a], 330.0, 1e-9);
+}
+
+TEST(ThermalNetwork, ParallelPathsSplitHeat) {
+  at::ThermalNetwork net;
+  const auto a = net.add_node("a");
+  const auto amb = net.add_boundary("ambient", 300.0);
+  net.add_conductor(a, amb, 1.0);
+  net.add_conductor(a, amb, 3.0);
+  net.add_heat_load(a, 40.0);
+  const auto sol = net.solve_steady();
+  EXPECT_NEAR(sol.temperatures[a], 310.0, 1e-9);  // G_total = 4 W/K
+}
+
+TEST(ThermalNetwork, TwoBoundariesPullNode) {
+  at::ThermalNetwork net;
+  const auto a = net.add_node("a");
+  const auto hot = net.add_boundary("hot", 400.0);
+  const auto cold = net.add_boundary("cold", 300.0);
+  net.add_conductor(a, hot, 1.0);
+  net.add_conductor(a, cold, 1.0);
+  const auto sol = net.solve_steady();
+  EXPECT_NEAR(sol.temperatures[a], 350.0, 1e-9);
+  // Heat flows hot -> a -> cold: check node_heat_flow signs.
+  EXPECT_NEAR(net.node_heat_flow(hot, sol.temperatures), 50.0, 1e-9);
+  EXPECT_NEAR(net.node_heat_flow(cold, sol.temperatures), -50.0, 1e-9);
+}
+
+TEST(ThermalNetwork, NonlinearRadiationConductor) {
+  // Pure radiation: q = sigma A (T^4 - Ta^4) via the linearized conductance.
+  at::ThermalNetwork net;
+  const auto s = net.add_node("surface");
+  const auto amb = net.add_boundary("ambient", 300.0);
+  const double area = 0.1;
+  net.add_nonlinear_conductor(s, amb, [area](double ta, double tb) {
+    return at::h_radiation(ta, tb, 0.9) * area;
+  });
+  net.add_heat_load(s, 50.0);
+  const auto sol = net.solve_steady();
+  ASSERT_TRUE(sol.converged);
+  const double q = 0.9 * at::kStefanBoltzmann * area *
+                   (std::pow(sol.temperatures[s], 4.0) - std::pow(300.0, 4.0));
+  EXPECT_NEAR(q, 50.0, 0.05);
+}
+
+TEST(ThermalNetwork, InvalidUsageThrows) {
+  at::ThermalNetwork net;
+  const auto a = net.add_node("a");
+  const auto amb = net.add_boundary("amb", 300.0);
+  EXPECT_THROW(net.add_conductor(a, a, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_conductor(a, amb, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_conductor(a, 99, 1.0), std::out_of_range);
+  EXPECT_THROW(net.add_heat_load(amb, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_boundary("bad", -1.0), std::invalid_argument);
+  EXPECT_THROW(net.set_boundary_temperature(a, 300.0), std::invalid_argument);
+}
+
+TEST(ThermalNetwork, BoundarySweepUpdatesSolution) {
+  at::ThermalNetwork net;
+  const auto a = net.add_node("a");
+  const auto amb = net.add_boundary("amb", 300.0);
+  net.add_conductor(a, amb, 2.0);
+  net.add_heat_load(a, 10.0);
+  EXPECT_NEAR(net.solve_steady().temperatures[a], 305.0, 1e-9);
+  net.set_boundary_temperature(amb, 350.0);
+  EXPECT_NEAR(net.solve_steady().temperatures[a], 355.0, 1e-9);
+  net.set_heat_load(a, 20.0);
+  EXPECT_NEAR(net.solve_steady().temperatures[a], 360.0, 1e-9);
+}
+
+TEST(ThermalNetwork, TransientApproachesSteadyState) {
+  at::ThermalNetwork net;
+  const auto a = net.add_node("a", 100.0);  // 100 J/K
+  const auto amb = net.add_boundary("amb", 300.0);
+  net.add_conductor(a, amb, 2.0);  // tau = 50 s
+  net.add_heat_load(a, 20.0);
+  aeropack::numeric::Vector init{300.0, 300.0};
+  const auto tr = net.solve_transient(400.0, 0.5, init);
+  EXPECT_NEAR(tr.temperatures.back()[a], 310.0, 0.05);
+  // At t = tau the rise should be ~63% of final.
+  const std::size_t i_tau = 100;  // 50 s / 0.5 s
+  const double rise = tr.temperatures[i_tau][a] - 300.0;
+  EXPECT_NEAR(rise, 10.0 * (1.0 - std::exp(-1.0)), 0.15);
+}
+
+TEST(ThermalNetwork, TransientBadStepThrows) {
+  at::ThermalNetwork net;
+  net.add_boundary("amb", 300.0);
+  EXPECT_THROW(net.solve_transient(1.0, 0.0, {300.0}), std::invalid_argument);
+  EXPECT_THROW(net.solve_transient(1.0, 0.1, {300.0, 300.0}), std::invalid_argument);
+}

@@ -1,0 +1,114 @@
+// View factors and gray-body enclosure radiosity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "thermal/convection.hpp"
+#include "thermal/radiation.hpp"
+
+namespace at = aeropack::thermal;
+namespace an = aeropack::numeric;
+
+TEST(ViewFactor, ParallelPlatesLimits) {
+  // Very close plates: F -> 1; very far: F -> 0.
+  EXPECT_NEAR(at::view_factor_parallel_rectangles(1.0, 1.0, 0.001), 1.0, 0.01);
+  EXPECT_LT(at::view_factor_parallel_rectangles(1.0, 1.0, 100.0), 0.001);
+}
+
+TEST(ViewFactor, ParallelSquaresHandbookValue) {
+  // Unit squares at unit spacing: F ~ 0.1998 (handbook).
+  EXPECT_NEAR(at::view_factor_parallel_rectangles(1.0, 1.0, 1.0), 0.1998, 0.002);
+}
+
+TEST(ViewFactor, PerpendicularHandbookValue) {
+  // Equal squares sharing an edge: F ~ 0.2 (handbook 0.20004).
+  EXPECT_NEAR(at::view_factor_perpendicular_rectangles(1.0, 1.0, 1.0), 0.200, 0.003);
+}
+
+TEST(ViewFactor, InvalidInputsThrow) {
+  EXPECT_THROW(at::view_factor_parallel_rectangles(0.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(at::view_factor_perpendicular_rectangles(1.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+namespace {
+/// Two infinite-parallel-plate-like surfaces closed by forcing F12 = 1.
+at::RadiationEnclosure two_plates(double e1, double t1, double e2, double t2) {
+  std::vector<at::RadiationSurface> s = {{"hot", 1.0, e1, t1}, {"cold", 1.0, e2, t2}};
+  an::Matrix f(2, 2);
+  f(0, 1) = 1.0;
+  f(1, 0) = 1.0;
+  return at::RadiationEnclosure(std::move(s), std::move(f));
+}
+}  // namespace
+
+TEST(Radiosity, BlackParallelPlatesMatchStefanBoltzmann) {
+  const auto enc = two_plates(1.0, 500.0, 1.0, 300.0);
+  const auto sol = enc.solve();
+  const double q_exact =
+      at::kStefanBoltzmann * (std::pow(500.0, 4.0) - std::pow(300.0, 4.0));
+  EXPECT_NEAR(sol.net_heat[0], q_exact, 1e-6 * q_exact);
+  EXPECT_NEAR(sol.net_heat[1], -q_exact, 1e-6 * q_exact);
+}
+
+TEST(Radiosity, GrayParallelPlatesMatchClosedForm) {
+  // q = sigma (T1^4 - T2^4) / (1/e1 + 1/e2 - 1) for equal-area facing plates.
+  const double e1 = 0.8, e2 = 0.5;
+  const auto enc = two_plates(e1, 450.0, e2, 300.0);
+  const auto sol = enc.solve();
+  const double q_exact = at::kStefanBoltzmann *
+                         (std::pow(450.0, 4.0) - std::pow(300.0, 4.0)) /
+                         (1.0 / e1 + 1.0 / e2 - 1.0);
+  EXPECT_NEAR(sol.net_heat[0], q_exact, 1e-9 * std::fabs(q_exact) + 1e-9);
+}
+
+TEST(Radiosity, EnergyConservationAcrossEnclosure) {
+  // Three-surface box: two prescribed, one adiabatic shield. Net heats must
+  // sum to zero and the shield must carry none.
+  std::vector<at::RadiationSurface> s = {{"hot", 1.0, 0.9, 420.0},
+                                         {"cold", 1.0, 0.7, 300.0},
+                                         {"shield", 2.0, 0.5, 0.0}};
+  an::Matrix f(3, 3);
+  f(0, 1) = 0.3;
+  f(0, 2) = 0.7;
+  f(1, 2) = 0.7;
+  f(1, 0) = 0.3;  // filled by reciprocity anyway
+  // Shield sees both plates: F20 = 0.35, F21 = 0.35 by reciprocity; rest self.
+  f(2, 2) = 0.3;
+  at::RadiationEnclosure enc(std::move(s), std::move(f));
+  const auto sol = enc.solve();
+  EXPECT_NEAR(sol.net_heat[0] + sol.net_heat[1] + sol.net_heat[2], 0.0, 1e-8);
+  EXPECT_NEAR(sol.net_heat[2], 0.0, 1e-8);
+  // The floating shield settles between the two plate temperatures.
+  EXPECT_GT(sol.temperatures[2], 300.0);
+  EXPECT_LT(sol.temperatures[2], 420.0);
+}
+
+TEST(Radiosity, LinearizedConductanceMatchesDirectExchange) {
+  const auto enc = two_plates(0.9, 350.0, 0.9, 300.0);
+  const double g = enc.linearized_conductance(0, 1);
+  const auto sol = enc.solve();
+  EXPECT_NEAR(g * (350.0 - 300.0), sol.net_heat[0], 1e-6 * std::fabs(sol.net_heat[0]));
+}
+
+TEST(Radiosity, BadViewFactorsRejected) {
+  std::vector<at::RadiationSurface> s = {{"a", 1.0, 0.9, 400.0}, {"b", 1.0, 0.9, 300.0}};
+  an::Matrix f(2, 2);  // rows sum to 0, not 1
+  EXPECT_THROW(at::RadiationEnclosure(std::move(s), std::move(f)), std::invalid_argument);
+  std::vector<at::RadiationSurface> bad = {{"a", 0.0, 0.9, 400.0}, {"b", 1.0, 0.9, 300.0}};
+  an::Matrix f2(2, 2);
+  f2(0, 1) = 1.0;
+  f2(1, 0) = 1.0;
+  EXPECT_THROW(at::RadiationEnclosure(std::move(bad), std::move(f2)), std::invalid_argument);
+}
+
+TEST(TwoSurfaceExchange, EnclosedBodyFormula) {
+  // Small body (A1) inside a large enclosure: q -> e1 A1 sigma (T1^4 - T2^4).
+  const double q = at::two_surface_exchange(0.1, 0.8, 400.0, 100.0, 0.2, 300.0);
+  const double q_limit =
+      0.8 * 0.1 * at::kStefanBoltzmann * (std::pow(400.0, 4.0) - std::pow(300.0, 4.0));
+  EXPECT_NEAR(q, q_limit, 0.02 * q_limit);
+  EXPECT_THROW(at::two_surface_exchange(0.0, 0.8, 400.0, 1.0, 0.5, 300.0),
+               std::invalid_argument);
+}

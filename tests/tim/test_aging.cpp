@@ -1,0 +1,72 @@
+// TIM degradation (pump-out / dry-out) models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tim/aging.hpp"
+
+namespace ap = aeropack::tim;
+
+TEST(TimAging, FreshJointHasUnityFactor) {
+  EXPECT_DOUBLE_EQ(ap::aging_factor(ap::AgingModel::grease(), 0.0, 40.0, 0.0, 353.15), 1.0);
+}
+
+TEST(TimAging, FactorGrowsWithCyclesLogarithmically) {
+  const auto m = ap::AgingModel::grease();
+  const double f100 = ap::aging_factor(m, 100.0, 40.0, 0.0, 353.15);
+  const double f10000 = ap::aging_factor(m, 10000.0, 40.0, 0.0, 353.15);
+  EXPECT_GT(f100, 1.0);
+  // Two extra decades -> twice the pump-out increment.
+  EXPECT_NEAR(f10000 - 1.0, 2.0 * (f100 - 1.0), 1e-9);
+}
+
+TEST(TimAging, SwingScalesQuadratically) {
+  const auto m = ap::AgingModel::grease();
+  const double f40 = ap::aging_factor(m, 1000.0, 40.0, 0.0, 353.15) - 1.0;
+  const double f80 = ap::aging_factor(m, 1000.0, 80.0, 0.0, 353.15) - 1.0;
+  EXPECT_NEAR(f80 / f40, 4.0, 1e-9);
+}
+
+TEST(TimAging, DryOutArrhenius) {
+  const auto m = ap::AgingModel::grease();
+  const double cool = ap::aging_factor(m, 0.0, 0.0, 10000.0, 333.15);
+  const double hot = ap::aging_factor(m, 0.0, 0.0, 10000.0, 373.15);
+  EXPECT_GT(hot, cool);
+}
+
+TEST(TimAging, AdhesivesBarelyAge) {
+  const double grease =
+      ap::aging_factor(ap::AgingModel::grease(), 5000.0, 60.0, 20000.0, 363.15);
+  const double adhesive =
+      ap::aging_factor(ap::AgingModel::cured_adhesive(), 5000.0, 60.0, 20000.0, 363.15);
+  EXPECT_GT(grease, 1.3);
+  EXPECT_LT(adhesive, 1.15);
+}
+
+TEST(TimAging, AgedMaterialResistanceGrows) {
+  const auto fresh = ap::conventional_grease();
+  const auto old =
+      ap::aged(fresh, ap::AgingModel::grease(), 5000.0, 60.0, 20000.0, 363.15);
+  EXPECT_GT(old.specific_resistance(0.3e6), 1.2 * fresh.specific_resistance(0.3e6));
+  EXPECT_DOUBLE_EQ(old.conductivity, fresh.conductivity);  // bulk unchanged
+}
+
+TEST(TimAging, ServiceLifeOrdering) {
+  // Grease joints need maintenance long before cured NANOPACK adhesives.
+  const double grease_life = ap::service_hours_to_budget(
+      ap::conventional_grease(), ap::AgingModel::grease(), 1.5, 50.0, 60.0, 363.15);
+  const double adhesive_life = ap::service_hours_to_budget(
+      ap::nanopack_mono_epoxy_silver_flake(), ap::AgingModel::cured_adhesive(), 1.5, 50.0,
+      60.0, 363.15);
+  EXPECT_LT(grease_life, 1e5);
+  EXPECT_GT(adhesive_life, 2.0 * grease_life);
+}
+
+TEST(TimAging, InvalidInputsThrow) {
+  EXPECT_THROW(ap::aging_factor(ap::AgingModel::grease(), -1.0, 40.0, 0.0, 353.15),
+               std::invalid_argument);
+  EXPECT_THROW(ap::service_hours_to_budget(ap::conventional_grease(),
+                                           ap::AgingModel::grease(), 0.9, 50.0, 60.0, 363.15),
+               std::invalid_argument);
+}

@@ -1,0 +1,78 @@
+// Virtual ASTM D5470 tester: measurement physics + achieved accuracy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tim/d5470.hpp"
+
+namespace ap = aeropack::tim;
+
+TEST(D5470, NoiselessMeasurementIsExact) {
+  ap::D5470Config cfg;
+  cfg.thermocouple_noise = 0.0;
+  cfg.thickness_noise = 0.0;
+  cfg.parasitic_loss_fraction = 0.0;
+  const auto m = ap::measure_once(ap::conventional_grease(), 0.3e6, cfg);
+  EXPECT_NEAR(m.measured_resistance, m.true_resistance, 1e-12);
+  EXPECT_DOUBLE_EQ(m.measured_blt, m.true_blt);
+  EXPECT_NEAR(m.error_kmm2, 0.0, 1e-6);
+}
+
+TEST(D5470, NoisyMeasurementWithinSpec) {
+  // The paper's tester: accuracy +/-1 K mm^2/W, thickness +/-2 um.
+  const auto m = ap::measure_once(ap::conventional_grease(), 0.3e6, {});
+  EXPECT_LT(std::fabs(m.error_kmm2), 3.0);  // 3-sigma-ish single shot
+}
+
+TEST(D5470, CharacterizationRecoversConductivity) {
+  // Grease squeezed at several pressures gives several bond lines; the ASTM
+  // line fit must recover bulk k and contact resistance.
+  ap::D5470Config cfg;
+  cfg.thermocouple_noise = 0.01;
+  const auto c =
+      ap::characterize(ap::conventional_grease(), {0.05e6, 0.15e6, 0.4e6, 1.0e6}, 8, cfg);
+  EXPECT_NEAR(c.conductivity, 3.0, 0.5);
+  EXPECT_NEAR(c.contact_resistance, 2.0e-6, 1.0e-6);
+}
+
+TEST(D5470, AccuracyMatchesPaperFigures) {
+  // With the instrument's nominal noise, achieved accuracies reproduce the
+  // published +/-1 K mm^2/W and +/-2 um.
+  const auto c = ap::characterize(ap::conventional_grease(),
+                                  {0.05e6, 0.1e6, 0.2e6, 0.5e6, 1.0e6}, 10, {});
+  EXPECT_LT(c.resistance_accuracy_kmm2, 1.0);
+  EXPECT_LT(c.thickness_accuracy_um, 3.0);
+  EXPECT_GT(c.thickness_accuracy_um, 1.0);  // ~2 um rms by construction
+}
+
+TEST(D5470, DeterministicForSameSeed) {
+  const auto a = ap::measure_once(ap::conventional_grease(), 0.3e6, {});
+  const auto b = ap::measure_once(ap::conventional_grease(), 0.3e6, {});
+  EXPECT_DOUBLE_EQ(a.measured_resistance, b.measured_resistance);
+}
+
+TEST(D5470, InputValidation) {
+  EXPECT_THROW(ap::characterize(ap::conventional_grease(), {0.3e6}, 5, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ap::characterize(ap::conventional_grease(), {0.1e6, 0.3e6}, 0, {}),
+               std::invalid_argument);
+  ap::D5470Config cfg;
+  cfg.thermocouples_per_bar = 1;
+  EXPECT_THROW(ap::measure_once(ap::conventional_grease(), 0.3e6, cfg),
+               std::invalid_argument);
+}
+
+TEST(D5470, ParasiticLossBiasesMeasurement) {
+  ap::D5470Config clean;
+  clean.thermocouple_noise = 0.0;
+  clean.thickness_noise = 0.0;
+  clean.parasitic_loss_fraction = 0.0;
+  ap::D5470Config lossy = clean;
+  lossy.parasitic_loss_fraction = 0.05;
+  const auto a = ap::measure_once(ap::conventional_gap_pad(), 0.3e6, clean);
+  const auto b = ap::measure_once(ap::conventional_gap_pad(), 0.3e6, lossy);
+  EXPECT_NEAR(a.error_kmm2, 0.0, 1e-6);
+  // Flux metering in the lower bar removes first-order loss error.
+  EXPECT_LT(std::fabs(b.error_kmm2), 0.1 * b.true_resistance * 1e6);
+}

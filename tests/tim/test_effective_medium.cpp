@@ -1,0 +1,96 @@
+// Effective-medium conductivity models for filled TIMs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tim/effective_medium.hpp"
+
+namespace ap = aeropack::tim;
+
+TEST(Maxwell, ZeroFillerReturnsMatrix) {
+  EXPECT_DOUBLE_EQ(ap::k_maxwell(0.2, 400.0, 0.0), 0.2);
+}
+
+TEST(Maxwell, DiluteLimitSlope) {
+  // For k_f >> k_m: k/k_m ~ 1 + 3 phi at small phi.
+  const double km = 0.2;
+  const double k = ap::k_maxwell(km, 400.0, 0.01);
+  EXPECT_NEAR(k / km, 1.0 + 3.0 * 0.01, 5e-3);
+}
+
+TEST(Bruggeman, ReducesToConstituentsAtLimits) {
+  EXPECT_NEAR(ap::k_bruggeman(0.2, 400.0, 0.0), 0.2, 1e-9);
+  EXPECT_NEAR(ap::k_bruggeman(0.2, 400.0, 1.0), 400.0, 1e-6);
+}
+
+TEST(Bruggeman, PercolatesAboveOneThird) {
+  // Symmetric Bruggeman has a percolation threshold at phi = 1/3 for high
+  // contrast: conductivity takes off there, unlike Maxwell.
+  const double km = 0.2, kf = 400.0;
+  const double below = ap::k_bruggeman(km, kf, 0.30);
+  const double above = ap::k_bruggeman(km, kf, 0.40);
+  EXPECT_GT(above, 20.0 * below);
+  EXPECT_GT(above / kf, 0.05);
+}
+
+TEST(LewisNielsen, MatchesMaxwellAtLowFill) {
+  const double km = 0.2, kf = 400.0;
+  EXPECT_NEAR(ap::k_lewis_nielsen(km, kf, 0.05), ap::k_maxwell(km, kf, 0.05),
+              0.1 * ap::k_maxwell(km, kf, 0.05));
+}
+
+TEST(LewisNielsen, DivergesNearMaxPacking) {
+  const double km = 0.2, kf = 400.0;
+  const double k50 = ap::k_lewis_nielsen(km, kf, 0.50);
+  const double k62 = ap::k_lewis_nielsen(km, kf, 0.62);
+  EXPECT_GT(k62, 3.0 * k50);
+  EXPECT_THROW(ap::k_lewis_nielsen(km, kf, 0.64), std::invalid_argument);
+}
+
+TEST(LewisNielsen, FlakesBeatSpheresAtSameLoading) {
+  // Higher shape factor (flakes/rods) conducts better at equal phi — why
+  // NANOPACK used silver *flakes*.
+  const double km = 0.2, kf = 400.0, phi = 0.3;
+  const double spheres = ap::k_lewis_nielsen(km, kf, phi, 1.5, 0.637);
+  const double flakes = ap::k_lewis_nielsen(km, kf, phi, 5.0, 0.52);
+  EXPECT_GT(flakes, spheres);
+}
+
+TEST(LewisNielsen, NanopackSixWattTargetReachable) {
+  // The paper's 6 W/m K silver-flake epoxy implies a realistic loading.
+  const double phi = ap::filler_fraction_for(6.0, 0.2, 420.0, 5.0, 0.52);
+  EXPECT_GT(phi, 0.15);
+  EXPECT_LT(phi, 0.50);
+  EXPECT_NEAR(ap::k_lewis_nielsen(0.2, 420.0, phi, 5.0, 0.52), 6.0, 1e-6);
+}
+
+TEST(FillerFractionFor, UnreachableTargetThrows) {
+  // Weak filler cannot make the matrix 100x better.
+  EXPECT_THROW(ap::filler_fraction_for(20.0, 0.2, 1.0), std::runtime_error);
+  EXPECT_THROW(ap::filler_fraction_for(0.1, 0.2, 400.0), std::invalid_argument);
+}
+
+TEST(CntArray, LinearInFractionAndEfficiency) {
+  // 3000 W/m K tubes, 10% areal fraction, 7% contact efficiency ~ 20 W/m K
+  // (the paper's metal-polymer CNT composite figure).
+  EXPECT_NEAR(ap::k_cnt_array(0.10, 3000.0, 0.0667), 20.0, 0.1);
+  EXPECT_THROW(ap::k_cnt_array(1.5, 3000.0, 0.1), std::invalid_argument);
+}
+
+// Property: all three models are monotone in phi and bounded by constituents.
+class EmtMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(EmtMonotone, BoundedAndIncreasing) {
+  const double km = 0.25, kf = 390.0;
+  const double phi = GetParam();
+  for (auto model : {ap::k_maxwell, ap::k_bruggeman}) {
+    const double k = model(km, kf, phi);
+    const double k_more = model(km, kf, phi + 0.02);
+    EXPECT_GE(k, km);
+    EXPECT_LE(k, kf);
+    EXPECT_GT(k_more, k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, EmtMonotone,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.6));

@@ -1,0 +1,96 @@
+// TIM material models and the NANOPACK catalogue.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tim/tim_material.hpp"
+
+namespace ap = aeropack::tim;
+
+TEST(TimMaterial, BltFallsWithPressure) {
+  const auto g = ap::conventional_grease();
+  EXPECT_GT(g.blt(0.0), g.blt(0.3e6));
+  EXPECT_GT(g.blt(0.3e6), g.blt(3e6));
+  EXPECT_GE(g.blt(100e6), g.blt_min);
+  EXPECT_THROW(g.blt(-1.0), std::invalid_argument);
+}
+
+TEST(TimMaterial, AdhesiveBltIsPressureIndependent) {
+  const auto a = ap::nanopack_mono_epoxy_silver_flake();
+  EXPECT_DOUBLE_EQ(a.blt(0.0), a.blt(1e6));
+}
+
+TEST(TimMaterial, ResistanceDecomposition) {
+  const auto g = ap::conventional_grease();
+  const double p = 0.3e6;
+  EXPECT_NEAR(g.specific_resistance(p),
+              g.blt(p) / g.conductivity + 2.0 * g.contact_resistance, 1e-15);
+  EXPECT_NEAR(g.specific_resistance_kmm2(p), g.specific_resistance(p) * 1e6, 1e-12);
+  EXPECT_NEAR(g.joint_resistance(1e-3, p), g.specific_resistance(p) / 1e-3, 1e-12);
+  EXPECT_THROW(g.joint_resistance(0.0, p), std::invalid_argument);
+}
+
+TEST(TimMaterial, NanopackAdhesivesMatchPaperConductivities) {
+  EXPECT_DOUBLE_EQ(ap::nanopack_mono_epoxy_silver_flake().conductivity, 6.0);
+  EXPECT_DOUBLE_EQ(ap::nanopack_multi_epoxy_silver_sphere().conductivity, 9.5);
+  EXPECT_DOUBLE_EQ(ap::nanopack_cnt_metal_polymer().conductivity, 20.0);
+  // Shear strength "measured to 14 MPa" for the mono-epoxy product.
+  EXPECT_DOUBLE_EQ(ap::nanopack_mono_epoxy_silver_flake().shear_strength, 14e6);
+}
+
+TEST(TimMaterial, NanopackAdhesivesElectricallyConductive) {
+  // "These adhesives are electrically conductive (10^-4 .. 10^-5 Ohm cm)".
+  const double r1 = ap::nanopack_mono_epoxy_silver_flake().electrical_resistivity;
+  const double r2 = ap::nanopack_multi_epoxy_silver_sphere().electrical_resistivity;
+  EXPECT_NEAR(r1, 1e-6, 1e-7);   // 10^-4 Ohm cm in Ohm m
+  EXPECT_NEAR(r2, 1e-7, 1e-8);   // 10^-5 Ohm cm
+  EXPECT_DOUBLE_EQ(ap::conventional_grease().electrical_resistivity, 0.0);
+}
+
+TEST(TimMaterial, CntCompositeMeetsProjectTargets) {
+  // Project objective: k up to 20 W/m K, R < 5 K mm^2/W at BLT < 20 um.
+  const auto cnt = ap::nanopack_cnt_metal_polymer();
+  const double p = 0.5e6;
+  EXPECT_TRUE(ap::meets_nanopack_targets(cnt, p));
+  EXPECT_LT(cnt.specific_resistance_kmm2(p), 5.0);
+  EXPECT_LT(cnt.blt(p), 20e-6);
+}
+
+TEST(TimMaterial, ConventionalMaterialsMissTargets) {
+  for (const auto& m : {ap::conventional_grease(), ap::conventional_gap_pad(),
+                        ap::conventional_adhesive(), ap::dry_contact()}) {
+    EXPECT_FALSE(ap::meets_nanopack_targets(m, 0.5e6)) << m.name;
+  }
+}
+
+TEST(TimMaterial, RankingNanopackBeatsConventional) {
+  const double p = 0.3e6;
+  const double best = ap::nanopack_gold_nanosponge().specific_resistance_kmm2(p);
+  const double grease = ap::conventional_grease().specific_resistance_kmm2(p);
+  const double pad = ap::conventional_gap_pad().specific_resistance_kmm2(p);
+  const double dry = ap::dry_contact().specific_resistance_kmm2(p);
+  EXPECT_LT(best, grease);
+  EXPECT_LT(grease, pad);
+  EXPECT_LT(pad, dry);
+}
+
+TEST(HncSurface, ReducesBltByTwentyPercent) {
+  // "micromachined hierarchical nested channels (HNC) ... reduce the final
+  // bond line thickness by > 20%".
+  const auto base = ap::conventional_grease();
+  const auto hnc = ap::with_hnc_surface(base);
+  const double p = 0.3e6;
+  EXPECT_NEAR(hnc.blt(p), 0.78 * base.blt(p), 1e-9);
+  EXPECT_LT(hnc.specific_resistance(p), base.specific_resistance(p));
+  EXPECT_THROW(ap::with_hnc_surface(base, 1.5), std::invalid_argument);
+}
+
+TEST(TimCatalogue, AllMaterialsSane) {
+  for (const auto& m : ap::all_tim_materials()) {
+    EXPECT_GT(m.conductivity, 0.0) << m.name;
+    EXPECT_GT(m.blt_min, 0.0) << m.name;
+    EXPECT_GE(m.blt_zero_pressure, m.blt_min) << m.name;
+    EXPECT_GE(m.contact_resistance, 0.0) << m.name;
+  }
+  EXPECT_EQ(ap::all_tim_materials().size(), 8u);
+}

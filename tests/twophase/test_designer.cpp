@@ -1,0 +1,77 @@
+// Heat-pipe sizing assistant.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "twophase/designer.hpp"
+
+namespace tp = aeropack::twophase;
+
+TEST(Designer, RequirementValidation) {
+  tp::TransportRequirement req;
+  req.power = 0.0;
+  EXPECT_THROW(req.validate(), std::invalid_argument);
+  tp::TransportRequirement m;
+  m.margin = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Designer, ModestDutyFindsSmallPipe) {
+  tp::TransportRequirement req;
+  req.power = 20.0;
+  req.transport_length = 0.10;
+  const auto d = tp::design_heat_pipe(req);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LE(d->geometry.outer_diameter, 8e-3);
+  EXPECT_GE(d->capacity, req.margin * req.power);
+  EXPECT_LE(d->resistance, req.max_resistance);
+  EXPECT_GT(d->mass, 0.0);
+}
+
+TEST(Designer, CandidatesSortedByMass) {
+  tp::TransportRequirement req;
+  req.power = 15.0;
+  const auto all = tp::enumerate_designs(req);
+  ASSERT_GT(all.size(), 3u);
+  for (std::size_t i = 1; i < all.size(); ++i) EXPECT_LE(all[i - 1].mass, all[i].mass);
+}
+
+TEST(Designer, HarderDutyNeedsBiggerPipe) {
+  tp::TransportRequirement easy;
+  easy.power = 10.0;
+  tp::TransportRequirement hard;
+  hard.power = 80.0;
+  const auto de = tp::design_heat_pipe(easy);
+  const auto dh = tp::design_heat_pipe(hard);
+  ASSERT_TRUE(de.has_value());
+  ASSERT_TRUE(dh.has_value());
+  EXPECT_GE(dh->geometry.outer_diameter, de->geometry.outer_diameter);
+  EXPECT_GT(dh->mass, de->mass);
+}
+
+TEST(Designer, AdverseTiltPrunesGroovedWicks) {
+  // Against gravity, only fine wicks survive — no axial-groove winner.
+  tp::TransportRequirement req;
+  req.power = 25.0;
+  req.adverse_tilt_rad = 0.5;  // ~30 degrees
+  const auto all = tp::enumerate_designs(req);
+  for (const auto& c : all) EXPECT_NE(c.wick.kind, "axial grooves");
+}
+
+TEST(Designer, ImpossibleDutyReturnsNullopt) {
+  tp::TransportRequirement req;
+  req.power = 5000.0;           // far beyond a single miniature pipe
+  req.transport_length = 1.0;
+  req.max_resistance = 0.05;
+  const auto d = tp::design_heat_pipe(req);
+  EXPECT_FALSE(d.has_value());  // -> escalate to LHP (the paper's regime)
+}
+
+TEST(Designer, ColdDutySelectsAmmonia) {
+  tp::TransportRequirement req;
+  req.power = 15.0;
+  req.t_vapor = 253.15;  // -20 C: water is frozen, ammonia shines
+  const auto d = tp::design_heat_pipe(req);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->fluid, "ammonia");
+}

@@ -1,0 +1,143 @@
+// Heat-pipe operating limits and resistance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "materials/fluids.hpp"
+#include "twophase/heat_pipe.hpp"
+
+namespace at = aeropack::twophase;
+namespace am = aeropack::materials;
+
+namespace {
+at::HeatPipe water_pipe() {
+  at::HeatPipeGeometry g;  // defaults: 6 mm OD copper/water
+  return at::HeatPipe(am::water(), g, at::Wick::sintered_powder(), am::copper());
+}
+}  // namespace
+
+TEST(Wick, EffectiveConductivityBetweenConstituents) {
+  const auto w = at::Wick::sintered_powder();
+  const double k = w.effective_conductivity(0.6, 390.0);
+  EXPECT_GT(k, 0.6);
+  EXPECT_LT(k, 390.0);
+  EXPECT_THROW(w.effective_conductivity(0.0, 390.0), std::invalid_argument);
+}
+
+TEST(Geometry, DerivedAreasConsistent) {
+  at::HeatPipeGeometry g;
+  EXPECT_NEAR(g.vapor_radius(), 0.5 * 6e-3 - 0.5e-3 - 0.75e-3, 1e-12);
+  EXPECT_NEAR(g.vapor_area(), std::numbers::pi * std::pow(g.vapor_radius(), 2.0), 1e-15);
+  EXPECT_GT(g.wick_area(), 0.0);
+  EXPECT_NEAR(g.effective_length(),
+              g.adiabatic_length + 0.5 * (g.evaporator_length + g.condenser_length), 1e-15);
+}
+
+TEST(Geometry, ValidationCatchesNonsense) {
+  at::HeatPipeGeometry g;
+  g.wick_thickness = 3e-3;  // wall+wick exceed radius
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  at::HeatPipeGeometry g2;
+  g2.evaporator_length = 0.0;
+  EXPECT_THROW(g2.validate(), std::invalid_argument);
+}
+
+TEST(HeatPipe, LimitsPositiveAndGoverningIsMin) {
+  const auto hp = water_pipe();
+  const auto lim = hp.limits(330.0, 0.0);
+  EXPECT_GT(lim.capillary, 0.0);
+  EXPECT_GT(lim.sonic, 0.0);
+  EXPECT_GT(lim.entrainment, 0.0);
+  EXPECT_GT(lim.boiling, 0.0);
+  EXPECT_GT(lim.viscous, 0.0);
+  const double min_all = std::min({lim.capillary, lim.sonic, lim.entrainment, lim.boiling,
+                                   lim.viscous});
+  EXPECT_DOUBLE_EQ(lim.governing, min_all);
+  EXPECT_FALSE(lim.governing_name.empty());
+}
+
+TEST(HeatPipe, CapillaryLimitTypicalMagnitude) {
+  // A 6 mm copper/water sintered pipe carries tens of watts horizontally.
+  const auto hp = water_pipe();
+  const double q = hp.limits(330.0, 0.0).capillary;
+  EXPECT_GT(q, 10.0);
+  EXPECT_LT(q, 500.0);
+}
+
+TEST(HeatPipe, AdverseTiltReducesCapillary) {
+  const auto hp = water_pipe();
+  const double flat = hp.limits(330.0, 0.0).capillary;
+  const double tilted = hp.limits(330.0, 0.3).capillary;  // ~17 deg adverse
+  const double aided = hp.limits(330.0, -0.3).capillary;
+  EXPECT_LT(tilted, flat);
+  EXPECT_GT(aided, flat);
+}
+
+TEST(HeatPipe, GravityCanShutDownCoarseWick) {
+  // Grooved aluminum/ammonia pipe against full gravity: capillary collapses.
+  at::HeatPipeGeometry g;
+  g.outer_diameter = 10e-3;
+  g.wall_thickness = 1e-3;
+  g.wick_thickness = 1e-3;
+  g.adiabatic_length = 0.5;
+  const at::HeatPipe hp(am::ammonia(), g, at::Wick::axial_grooves(), am::aluminum_6061());
+  const double vertical = hp.limits(293.15, std::numbers::pi / 2.0).capillary;
+  EXPECT_DOUBLE_EQ(vertical, 0.0);
+}
+
+TEST(HeatPipe, SonicLimitGrowsWithTemperature) {
+  const auto hp = water_pipe();
+  EXPECT_GT(hp.limits(360.0).sonic, hp.limits(300.0).sonic);
+}
+
+TEST(HeatPipe, ViscousLimitCollapsesAtLowTemperature) {
+  // At low vapor pressure the viscous limit collapses much faster than the
+  // sonic limit — the classic cold-start bottleneck of water pipes.
+  const auto hp = water_pipe();
+  const auto cold = hp.limits(295.0);
+  const auto hot = hp.limits(360.0);
+  EXPECT_LT(cold.viscous / cold.sonic, 0.1 * (hot.viscous / hot.sonic));
+  EXPECT_LT(cold.viscous, 0.01 * hot.viscous);
+}
+
+TEST(HeatPipe, ResistanceSmallAndLengthScaled) {
+  const auto hp = water_pipe();
+  const double r = hp.thermal_resistance(330.0);
+  EXPECT_GT(r, 0.005);
+  EXPECT_LT(r, 2.0);
+  // Longer condenser lowers the condenser-side resistance.
+  at::HeatPipeGeometry g2;
+  g2.condenser_length = 0.2;
+  const at::HeatPipe hp2(am::water(), g2, at::Wick::sintered_powder(), am::copper());
+  EXPECT_LT(hp2.thermal_resistance(330.0), r);
+}
+
+TEST(HeatPipe, FinerWickPumpsHarderButFlowsWorse) {
+  // Smaller pores raise capillary pressure but cut permeability: with the
+  // same geometry the sintered wick beats grooves against gravity, while
+  // grooves win horizontally (low flow resistance).
+  at::HeatPipeGeometry g;
+  const at::HeatPipe sintered(am::water(), g, at::Wick::sintered_powder(), am::copper());
+  const at::HeatPipe grooved(am::water(), g, at::Wick::axial_grooves(), am::copper());
+  const double tilt = 0.35;  // rad, ~0.07 m head
+  EXPECT_GT(grooved.limits(330.0, 0.0).capillary, sintered.limits(330.0, 0.0).capillary);
+  const double s_frac = sintered.limits(330.0, tilt).capillary /
+                        sintered.limits(330.0, 0.0).capillary;
+  const double g_frac = grooved.limits(330.0, tilt).capillary /
+                        std::max(grooved.limits(330.0, 0.0).capillary, 1e-9);
+  EXPECT_GT(s_frac, g_frac);  // sintered is the tilt-tolerant choice
+}
+
+// Property: capillary limit versus temperature exhibits the classical
+// bell-ish shape and stays positive over the useful band.
+class CapillaryVsTemperature : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapillaryVsTemperature, PositiveOverUsefulBand) {
+  const auto hp = water_pipe();
+  EXPECT_GT(hp.limits(GetParam()).capillary, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temps, CapillaryVsTemperature,
+                         ::testing::Values(300.0, 320.0, 340.0, 360.0, 390.0));

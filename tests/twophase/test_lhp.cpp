@@ -1,0 +1,108 @@
+// Loop heat pipe: pressure budget, max power, variable conductance, tilt.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "materials/fluids.hpp"
+#include "twophase/loop_heat_pipe.hpp"
+
+namespace at = aeropack::twophase;
+namespace am = aeropack::materials;
+
+namespace {
+at::LoopHeatPipe ammonia_lhp() { return at::LoopHeatPipe(am::ammonia(), at::LhpDesign{}); }
+}  // namespace
+
+TEST(LhpDesign, ValidationCatchesNonsense) {
+  at::LhpDesign d;
+  d.wick_pore_radius = 0.0;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  at::LhpDesign d2;
+  d2.condenser_open_fraction_min = 0.0;
+  EXPECT_THROW(d2.validate(), std::invalid_argument);
+}
+
+TEST(Lhp, CapillaryPressureHuge) {
+  // Micron pores + ammonia: tens of kPa of pumping head — the LHP's defining
+  // feature ("particularly interesting when the heat is transferred over
+  // large distance", as the paper puts it).
+  const auto lhp = ammonia_lhp();
+  const auto b = lhp.pressure_budget(50.0, 293.15, 0.0);
+  EXPECT_GT(b.capillary_available, 20e3);
+  EXPECT_GT(b.margin(), 0.0);
+}
+
+TEST(Lhp, PressureDemandGrowsWithPower) {
+  const auto lhp = ammonia_lhp();
+  const auto b10 = lhp.pressure_budget(10.0, 293.15, 0.0);
+  const auto b100 = lhp.pressure_budget(100.0, 293.15, 0.0);
+  EXPECT_GT(b100.total_demand(), b10.total_demand());
+  EXPECT_GT(b100.wick, b10.wick);
+}
+
+TEST(Lhp, GravityHeadFromElevation) {
+  const auto lhp = ammonia_lhp();
+  const auto flat = lhp.pressure_budget(20.0, 293.15, 0.0);
+  const auto raised = lhp.pressure_budget(20.0, 293.15, 0.3);
+  EXPECT_DOUBLE_EQ(flat.gravity, 0.0);
+  // rho_l g h ~ 610 * 9.81 * 0.3 ~ 1.8 kPa.
+  EXPECT_NEAR(raised.gravity, 610.0 * 9.80665 * 0.3, 100.0);
+}
+
+TEST(Lhp, MaxPowerLargeHorizontalFiniteTilted) {
+  const auto lhp = ammonia_lhp();
+  const double flat = lhp.max_power(293.15, 0.0);
+  const double tilted = lhp.max_power(293.15, 0.3);
+  EXPECT_GT(flat, 100.0);  // far beyond the COSEE loads
+  EXPECT_GT(flat, tilted);
+  EXPECT_GT(tilted, 50.0);  // the 22-degree case still works (paper result)
+}
+
+TEST(Lhp, VariableConductanceAtLowPower) {
+  const auto lhp = ammonia_lhp();
+  const double r_low = lhp.thermal_resistance(1.0, 293.15);
+  const double r_mid = lhp.thermal_resistance(30.0, 293.15);
+  const double r_full = lhp.thermal_resistance(200.0, 293.15);
+  EXPECT_GT(r_low, r_mid);
+  EXPECT_GE(r_mid, r_full);
+  // Fully open: evaporator + 1/UA.
+  at::LhpDesign d;
+  EXPECT_NEAR(r_full, d.evaporator_resistance + 1.0 / d.condenser_ua, 1e-9);
+}
+
+TEST(Lhp, OperatingPointConsistency) {
+  const auto lhp = ammonia_lhp();
+  const auto pt = lhp.operate(40.0, 293.15, 0.0);
+  EXPECT_GT(pt.evaporator_temperature, pt.vapor_temperature);
+  EXPECT_GT(pt.vapor_temperature, 293.15);
+  EXPECT_TRUE(pt.within_capillary_limit);
+  EXPECT_NEAR(pt.evaporator_temperature - 293.15, 40.0 * pt.resistance, 1e-9);
+}
+
+TEST(Lhp, NegativePowerThrows) {
+  const auto lhp = ammonia_lhp();
+  EXPECT_THROW(lhp.operate(-1.0, 293.15, 0.0), std::invalid_argument);
+  EXPECT_THROW(lhp.pressure_budget(-1.0, 293.15, 0.0), std::invalid_argument);
+}
+
+TEST(Lhp, ExtremeElevationKillsTransport) {
+  // A pathological design: huge pores can't fight a tall column.
+  at::LhpDesign d;
+  d.wick_pore_radius = 200e-6;  // coarse
+  const at::LoopHeatPipe weak(am::ammonia(), d);
+  // capillary = 2 sigma / r ~ 220 Pa; 0.1 m of ammonia ~ 600 Pa.
+  EXPECT_DOUBLE_EQ(weak.max_power(293.15, 0.5), 0.0);
+}
+
+// Property: the pressure margin decreases monotonically with power.
+class LhpMargin : public ::testing::TestWithParam<double> {};
+
+TEST_P(LhpMargin, MonotoneInPower) {
+  const auto lhp = ammonia_lhp();
+  const double q = GetParam();
+  const double m1 = lhp.pressure_budget(q, 293.15, 0.1).margin();
+  const double m2 = lhp.pressure_budget(q + 10.0, 293.15, 0.1).margin();
+  EXPECT_GT(m1, m2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, LhpMargin, ::testing::Values(0.0, 10.0, 50.0, 100.0, 300.0));

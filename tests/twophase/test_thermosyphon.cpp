@@ -1,0 +1,65 @@
+// Two-phase thermosyphon: flooding limit and film resistances.
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <stdexcept>
+
+#include "materials/fluids.hpp"
+#include "twophase/thermosyphon.hpp"
+
+namespace at = aeropack::twophase;
+namespace am = aeropack::materials;
+
+namespace {
+at::Thermosyphon water_syphon() {
+  return at::Thermosyphon(am::water(), at::ThermosyphonGeometry{});
+}
+}  // namespace
+
+TEST(Thermosyphon, GeometryValidation) {
+  at::ThermosyphonGeometry g;
+  g.inner_diameter = 0.0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+  at::ThermosyphonGeometry g2;
+  g2.fill_ratio = 2.0;
+  EXPECT_THROW(g2.validate(), std::invalid_argument);
+}
+
+TEST(Thermosyphon, FloodingLimitSubstantial) {
+  // An 8 mm water thermosyphon at 60 C carries hundreds of watts vertically.
+  const double q = water_syphon().flooding_limit(333.15, 0.0);
+  EXPECT_GT(q, 100.0);
+  EXPECT_LT(q, 5000.0);
+}
+
+TEST(Thermosyphon, InclinationDerates) {
+  const auto ts = water_syphon();
+  const double vertical = ts.flooding_limit(333.15, 0.0);
+  const double inclined = ts.flooding_limit(333.15, std::numbers::pi / 4.0);
+  EXPECT_GT(vertical, inclined);
+  EXPECT_GT(inclined, 0.0);
+}
+
+TEST(Thermosyphon, HorizontalOrInvertedIsDead) {
+  // The wickless pipe needs gravity return — the reason the COSEE SEB uses
+  // capillary devices instead (seats recline and the aircraft pitches).
+  const auto ts = water_syphon();
+  EXPECT_DOUBLE_EQ(ts.flooding_limit(333.15, std::numbers::pi / 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.flooding_limit(333.15, 2.0), 0.0);
+}
+
+TEST(Thermosyphon, ResistanceReasonableAndFallsWithPower) {
+  const auto ts = water_syphon();
+  const double r10 = ts.thermal_resistance(333.15, 10.0);
+  const double r100 = ts.thermal_resistance(333.15, 100.0);
+  EXPECT_GT(r10, 0.001);
+  EXPECT_LT(r10, 5.0);
+  // Boiling improves with flux faster than condensation degrades: overall
+  // resistance at higher power must not blow up.
+  EXPECT_LT(r100, 3.0 * r10);
+}
+
+TEST(Thermosyphon, HigherTemperatureCarriesMore) {
+  const auto ts = water_syphon();
+  EXPECT_GT(ts.flooding_limit(373.15, 0.0), ts.flooding_limit(303.15, 0.0));
+}

@@ -1,0 +1,75 @@
+// Vapor chamber (flat-plate heat pipe) hot-spot spreader.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "materials/fluids.hpp"
+#include "thermal/forced_air.hpp"
+#include "twophase/vapor_chamber.hpp"
+
+namespace tp = aeropack::twophase;
+namespace am = aeropack::materials;
+
+namespace {
+tp::VaporChamber chamber() {
+  return tp::VaporChamber(am::water(), tp::VaporChamberGeometry{});
+}
+}  // namespace
+
+TEST(VaporChamber, GeometryValidation) {
+  tp::VaporChamberGeometry g;
+  EXPECT_GT(g.vapor_core_thickness(), 0.0);
+  g.wall_thickness = 1.2e-3;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(VaporChamber, EffectiveConductivityFarBeyondCopper) {
+  // The whole point: in-plane k of thousands of W/m K.
+  const double k = chamber().effective_in_plane_conductivity(330.0);
+  EXPECT_GT(k, 2000.0);
+  EXPECT_LT(k, 3.0e5);
+}
+
+TEST(VaporChamber, ThroughConductivityModest) {
+  const double kt = chamber().effective_through_conductivity(330.0);
+  EXPECT_GT(kt, 3.0);
+  EXPECT_LT(kt, 400.0);
+  EXPECT_LT(kt, chamber().effective_in_plane_conductivity(330.0));
+}
+
+TEST(VaporChamber, CapillaryLimitCoversHotSpotDuty) {
+  // A 90 mm chamber should move >= 50 W from a central source.
+  EXPECT_GT(chamber().capillary_limit(330.0), 50.0);
+}
+
+TEST(VaporChamber, BoilingLimitScalesWithSourceArea) {
+  const double q1 = chamber().boiling_limit(330.0, 1e-4);
+  const double q4 = chamber().boiling_limit(330.0, 4e-4);
+  EXPECT_NEAR(q4 / q1, 4.0, 1e-9);
+  EXPECT_THROW(chamber().boiling_limit(330.0, 0.0), std::invalid_argument);
+}
+
+TEST(VaporChamber, SpreadsBetterThanCopperPlate) {
+  // Same geometry in solid copper vs the chamber: the chamber's spreading
+  // resistance must be substantially lower for a 1 cm^2 source.
+  const auto vc = chamber();
+  const double h_back = 200.0;
+  const double r_vc = vc.spreading_resistance(330.0, 1e-4, h_back);
+  const double r_cu = aeropack::thermal::spreading_resistance(
+      1e-4, vc.geometry().length * vc.geometry().width, vc.geometry().total_thickness,
+      am::copper().conductivity, h_back);
+  EXPECT_LT(r_vc, 0.75 * r_cu);
+}
+
+TEST(VaporChamber, EquivalentMaterialIsAnisotropic) {
+  const auto m = chamber().as_equivalent_material();
+  EXPECT_GT(m.conductivity, 50.0 * m.conductivity_through);
+  EXPECT_FALSE(m.isotropic());
+}
+
+TEST(VaporChamber, InvalidWickThrows) {
+  EXPECT_THROW(tp::VaporChamber(am::water(), tp::VaporChamberGeometry{}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(tp::VaporChamber(am::water(), tp::VaporChamberGeometry{}, 5e-11, 20e-6, 1.5),
+               std::invalid_argument);
+}
