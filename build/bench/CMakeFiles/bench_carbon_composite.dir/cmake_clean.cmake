@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_carbon_composite.dir/bench_carbon_composite.cpp.o"
+  "CMakeFiles/bench_carbon_composite.dir/bench_carbon_composite.cpp.o.d"
+  "bench_carbon_composite"
+  "bench_carbon_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_carbon_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

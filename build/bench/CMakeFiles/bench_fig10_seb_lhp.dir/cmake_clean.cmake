@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_seb_lhp.dir/bench_fig10_seb_lhp.cpp.o"
+  "CMakeFiles/bench_fig10_seb_lhp.dir/bench_fig10_seb_lhp.cpp.o.d"
+  "bench_fig10_seb_lhp"
+  "bench_fig10_seb_lhp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_seb_lhp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ariane_modal.dir/bench_fig2_ariane_modal.cpp.o"
+  "CMakeFiles/bench_fig2_ariane_modal.dir/bench_fig2_ariane_modal.cpp.o.d"
+  "bench_fig2_ariane_modal"
+  "bench_fig2_ariane_modal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ariane_modal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

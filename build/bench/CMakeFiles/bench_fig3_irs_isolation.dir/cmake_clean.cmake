@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_irs_isolation.dir/bench_fig3_irs_isolation.cpp.o"
+  "CMakeFiles/bench_fig3_irs_isolation.dir/bench_fig3_irs_isolation.cpp.o.d"
+  "bench_fig3_irs_isolation"
+  "bench_fig3_irs_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_irs_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_model_levels.dir/bench_fig4_model_levels.cpp.o"
+  "CMakeFiles/bench_fig4_model_levels.dir/bench_fig4_model_levels.cpp.o.d"
+  "bench_fig4_model_levels"
+  "bench_fig4_model_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_model_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

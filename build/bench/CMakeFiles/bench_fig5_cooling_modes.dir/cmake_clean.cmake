@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cooling_modes.dir/bench_fig5_cooling_modes.cpp.o"
+  "CMakeFiles/bench_fig5_cooling_modes.dir/bench_fig5_cooling_modes.cpp.o.d"
+  "bench_fig5_cooling_modes"
+  "bench_fig5_cooling_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cooling_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

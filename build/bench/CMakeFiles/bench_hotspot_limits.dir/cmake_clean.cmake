@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotspot_limits.dir/bench_hotspot_limits.cpp.o"
+  "CMakeFiles/bench_hotspot_limits.dir/bench_hotspot_limits.cpp.o.d"
+  "bench_hotspot_limits"
+  "bench_hotspot_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotspot_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

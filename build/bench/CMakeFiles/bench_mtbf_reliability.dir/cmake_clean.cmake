@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mtbf_reliability.dir/bench_mtbf_reliability.cpp.o"
+  "CMakeFiles/bench_mtbf_reliability.dir/bench_mtbf_reliability.cpp.o.d"
+  "bench_mtbf_reliability"
+  "bench_mtbf_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mtbf_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

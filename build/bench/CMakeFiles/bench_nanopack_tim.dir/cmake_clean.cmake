@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nanopack_tim.dir/bench_nanopack_tim.cpp.o"
+  "CMakeFiles/bench_nanopack_tim.dir/bench_nanopack_tim.cpp.o.d"
+  "bench_nanopack_tim"
+  "bench_nanopack_tim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nanopack_tim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qual_campaign.dir/bench_qual_campaign.cpp.o"
+  "CMakeFiles/bench_qual_campaign.dir/bench_qual_campaign.cpp.o.d"
+  "bench_qual_campaign"
+  "bench_qual_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qual_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

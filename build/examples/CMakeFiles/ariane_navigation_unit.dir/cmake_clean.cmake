@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariane_navigation_unit.dir/ariane_navigation_unit.cpp.o"
+  "CMakeFiles/ariane_navigation_unit.dir/ariane_navigation_unit.cpp.o.d"
+  "ariane_navigation_unit"
+  "ariane_navigation_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariane_navigation_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

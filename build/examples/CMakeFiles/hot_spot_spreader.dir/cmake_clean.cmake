@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_spot_spreader.dir/hot_spot_spreader.cpp.o"
+  "CMakeFiles/hot_spot_spreader.dir/hot_spot_spreader.cpp.o.d"
+  "hot_spot_spreader"
+  "hot_spot_spreader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_spot_spreader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hot_spot_spreader.
+# This may be replaced when dependencies are built.

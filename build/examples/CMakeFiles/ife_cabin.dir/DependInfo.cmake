@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ife_cabin.cpp" "examples/CMakeFiles/ife_cabin.dir/ife_cabin.cpp.o" "gcc" "examples/CMakeFiles/ife_cabin.dir/ife_cabin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_twophase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_tim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

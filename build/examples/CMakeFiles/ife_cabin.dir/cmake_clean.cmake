@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ife_cabin.dir/ife_cabin.cpp.o"
+  "CMakeFiles/ife_cabin.dir/ife_cabin.cpp.o.d"
+  "ife_cabin"
+  "ife_cabin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ife_cabin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

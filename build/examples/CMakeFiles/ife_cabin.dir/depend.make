@@ -1,0 +1,2 @@
+# Empty dependencies file for ife_cabin.
+# This may be replaced when dependencies are built.

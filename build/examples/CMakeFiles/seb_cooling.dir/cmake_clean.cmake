@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seb_cooling.dir/seb_cooling.cpp.o"
+  "CMakeFiles/seb_cooling.dir/seb_cooling.cpp.o.d"
+  "seb_cooling"
+  "seb_cooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seb_cooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

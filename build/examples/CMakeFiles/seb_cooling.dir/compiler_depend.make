@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for seb_cooling.
+# This may be replaced when dependencies are built.

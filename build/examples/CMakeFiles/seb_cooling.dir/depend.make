@@ -1,0 +1,2 @@
+# Empty dependencies file for seb_cooling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cooling_selection.cpp" "src/CMakeFiles/aeropack_core.dir/core/cooling_selection.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/cooling_selection.cpp.o.d"
+  "/root/repo/src/core/derating.cpp" "src/CMakeFiles/aeropack_core.dir/core/derating.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/derating.cpp.o.d"
+  "/root/repo/src/core/design_procedure.cpp" "src/CMakeFiles/aeropack_core.dir/core/design_procedure.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/design_procedure.cpp.o.d"
+  "/root/repo/src/core/equipment.cpp" "src/CMakeFiles/aeropack_core.dir/core/equipment.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/equipment.cpp.o.d"
+  "/root/repo/src/core/levels.cpp" "src/CMakeFiles/aeropack_core.dir/core/levels.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/levels.cpp.o.d"
+  "/root/repo/src/core/qualification.cpp" "src/CMakeFiles/aeropack_core.dir/core/qualification.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/qualification.cpp.o.d"
+  "/root/repo/src/core/rack.cpp" "src/CMakeFiles/aeropack_core.dir/core/rack.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/rack.cpp.o.d"
+  "/root/repo/src/core/seb.cpp" "src/CMakeFiles/aeropack_core.dir/core/seb.cpp.o" "gcc" "src/CMakeFiles/aeropack_core.dir/core/seb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_twophase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_tim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_core.dir/core/cooling_selection.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/cooling_selection.cpp.o.d"
+  "CMakeFiles/aeropack_core.dir/core/derating.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/derating.cpp.o.d"
+  "CMakeFiles/aeropack_core.dir/core/design_procedure.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/design_procedure.cpp.o.d"
+  "CMakeFiles/aeropack_core.dir/core/equipment.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/equipment.cpp.o.d"
+  "CMakeFiles/aeropack_core.dir/core/levels.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/levels.cpp.o.d"
+  "CMakeFiles/aeropack_core.dir/core/qualification.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/qualification.cpp.o.d"
+  "CMakeFiles/aeropack_core.dir/core/rack.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/rack.cpp.o.d"
+  "CMakeFiles/aeropack_core.dir/core/seb.cpp.o"
+  "CMakeFiles/aeropack_core.dir/core/seb.cpp.o.d"
+  "libaeropack_core.a"
+  "libaeropack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

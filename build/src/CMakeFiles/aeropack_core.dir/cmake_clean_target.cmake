@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaeropack_core.a"
+)

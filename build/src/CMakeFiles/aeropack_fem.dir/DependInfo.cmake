@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/beam.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/beam.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/beam.cpp.o.d"
+  "/root/repo/src/fem/beam3d.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/beam3d.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/beam3d.cpp.o.d"
+  "/root/repo/src/fem/fatigue.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/fatigue.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/fatigue.cpp.o.d"
+  "/root/repo/src/fem/frame.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/frame.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/frame.cpp.o.d"
+  "/root/repo/src/fem/harmonic.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/harmonic.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/harmonic.cpp.o.d"
+  "/root/repo/src/fem/plate.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/plate.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/plate.cpp.o.d"
+  "/root/repo/src/fem/plate_random.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/plate_random.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/plate_random.cpp.o.d"
+  "/root/repo/src/fem/random_vibration.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/random_vibration.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/random_vibration.cpp.o.d"
+  "/root/repo/src/fem/sdof.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/sdof.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/sdof.cpp.o.d"
+  "/root/repo/src/fem/shock.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/shock.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/shock.cpp.o.d"
+  "/root/repo/src/fem/transient.cpp" "src/CMakeFiles/aeropack_fem.dir/fem/transient.cpp.o" "gcc" "src/CMakeFiles/aeropack_fem.dir/fem/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_materials.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_fem.dir/fem/beam.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/beam.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/beam3d.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/beam3d.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/fatigue.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/fatigue.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/frame.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/frame.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/harmonic.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/harmonic.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/plate.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/plate.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/plate_random.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/plate_random.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/random_vibration.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/random_vibration.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/sdof.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/sdof.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/shock.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/shock.cpp.o.d"
+  "CMakeFiles/aeropack_fem.dir/fem/transient.cpp.o"
+  "CMakeFiles/aeropack_fem.dir/fem/transient.cpp.o.d"
+  "libaeropack_fem.a"
+  "libaeropack_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

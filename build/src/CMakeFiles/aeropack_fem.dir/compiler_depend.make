@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aeropack_fem.
+# This may be replaced when dependencies are built.

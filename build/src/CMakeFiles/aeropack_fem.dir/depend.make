@@ -1,0 +1,2 @@
+# Empty dependencies file for aeropack_fem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/materials/air.cpp" "src/CMakeFiles/aeropack_materials.dir/materials/air.cpp.o" "gcc" "src/CMakeFiles/aeropack_materials.dir/materials/air.cpp.o.d"
+  "/root/repo/src/materials/fluids.cpp" "src/CMakeFiles/aeropack_materials.dir/materials/fluids.cpp.o" "gcc" "src/CMakeFiles/aeropack_materials.dir/materials/fluids.cpp.o.d"
+  "/root/repo/src/materials/solid.cpp" "src/CMakeFiles/aeropack_materials.dir/materials/solid.cpp.o" "gcc" "src/CMakeFiles/aeropack_materials.dir/materials/solid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_materials.dir/materials/air.cpp.o"
+  "CMakeFiles/aeropack_materials.dir/materials/air.cpp.o.d"
+  "CMakeFiles/aeropack_materials.dir/materials/fluids.cpp.o"
+  "CMakeFiles/aeropack_materials.dir/materials/fluids.cpp.o.d"
+  "CMakeFiles/aeropack_materials.dir/materials/solid.cpp.o"
+  "CMakeFiles/aeropack_materials.dir/materials/solid.cpp.o.d"
+  "libaeropack_materials.a"
+  "libaeropack_materials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aeropack_materials.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/dense.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/dense.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/dense.cpp.o.d"
+  "/root/repo/src/numeric/eigen.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/eigen.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/eigen.cpp.o.d"
+  "/root/repo/src/numeric/interp.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/interp.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/interp.cpp.o.d"
+  "/root/repo/src/numeric/ode.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/ode.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/ode.cpp.o.d"
+  "/root/repo/src/numeric/polyfit.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/polyfit.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/polyfit.cpp.o.d"
+  "/root/repo/src/numeric/quadrature.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/quadrature.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/quadrature.cpp.o.d"
+  "/root/repo/src/numeric/rootfind.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/rootfind.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/rootfind.cpp.o.d"
+  "/root/repo/src/numeric/solve_dense.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/solve_dense.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/solve_dense.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/sparse.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/sparse.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/CMakeFiles/aeropack_numeric.dir/numeric/stats.cpp.o" "gcc" "src/CMakeFiles/aeropack_numeric.dir/numeric/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

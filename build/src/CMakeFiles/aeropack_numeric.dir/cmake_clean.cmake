@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_numeric.dir/numeric/dense.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/dense.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/eigen.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/eigen.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/interp.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/interp.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/ode.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/ode.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/polyfit.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/polyfit.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/quadrature.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/quadrature.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/rootfind.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/rootfind.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/solve_dense.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/solve_dense.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/sparse.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/sparse.cpp.o.d"
+  "CMakeFiles/aeropack_numeric.dir/numeric/stats.cpp.o"
+  "CMakeFiles/aeropack_numeric.dir/numeric/stats.cpp.o.d"
+  "libaeropack_numeric.a"
+  "libaeropack_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/mission.cpp" "src/CMakeFiles/aeropack_reliability.dir/reliability/mission.cpp.o" "gcc" "src/CMakeFiles/aeropack_reliability.dir/reliability/mission.cpp.o.d"
+  "/root/repo/src/reliability/mtbf.cpp" "src/CMakeFiles/aeropack_reliability.dir/reliability/mtbf.cpp.o" "gcc" "src/CMakeFiles/aeropack_reliability.dir/reliability/mtbf.cpp.o.d"
+  "/root/repo/src/reliability/spares.cpp" "src/CMakeFiles/aeropack_reliability.dir/reliability/spares.cpp.o" "gcc" "src/CMakeFiles/aeropack_reliability.dir/reliability/spares.cpp.o.d"
+  "/root/repo/src/reliability/thermal_cycling.cpp" "src/CMakeFiles/aeropack_reliability.dir/reliability/thermal_cycling.cpp.o" "gcc" "src/CMakeFiles/aeropack_reliability.dir/reliability/thermal_cycling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_reliability.dir/reliability/mission.cpp.o"
+  "CMakeFiles/aeropack_reliability.dir/reliability/mission.cpp.o.d"
+  "CMakeFiles/aeropack_reliability.dir/reliability/mtbf.cpp.o"
+  "CMakeFiles/aeropack_reliability.dir/reliability/mtbf.cpp.o.d"
+  "CMakeFiles/aeropack_reliability.dir/reliability/spares.cpp.o"
+  "CMakeFiles/aeropack_reliability.dir/reliability/spares.cpp.o.d"
+  "CMakeFiles/aeropack_reliability.dir/reliability/thermal_cycling.cpp.o"
+  "CMakeFiles/aeropack_reliability.dir/reliability/thermal_cycling.cpp.o.d"
+  "libaeropack_reliability.a"
+  "libaeropack_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/convection.cpp" "src/CMakeFiles/aeropack_thermal.dir/thermal/convection.cpp.o" "gcc" "src/CMakeFiles/aeropack_thermal.dir/thermal/convection.cpp.o.d"
+  "/root/repo/src/thermal/fins.cpp" "src/CMakeFiles/aeropack_thermal.dir/thermal/fins.cpp.o" "gcc" "src/CMakeFiles/aeropack_thermal.dir/thermal/fins.cpp.o.d"
+  "/root/repo/src/thermal/forced_air.cpp" "src/CMakeFiles/aeropack_thermal.dir/thermal/forced_air.cpp.o" "gcc" "src/CMakeFiles/aeropack_thermal.dir/thermal/forced_air.cpp.o.d"
+  "/root/repo/src/thermal/fv.cpp" "src/CMakeFiles/aeropack_thermal.dir/thermal/fv.cpp.o" "gcc" "src/CMakeFiles/aeropack_thermal.dir/thermal/fv.cpp.o.d"
+  "/root/repo/src/thermal/heatsink.cpp" "src/CMakeFiles/aeropack_thermal.dir/thermal/heatsink.cpp.o" "gcc" "src/CMakeFiles/aeropack_thermal.dir/thermal/heatsink.cpp.o.d"
+  "/root/repo/src/thermal/network.cpp" "src/CMakeFiles/aeropack_thermal.dir/thermal/network.cpp.o" "gcc" "src/CMakeFiles/aeropack_thermal.dir/thermal/network.cpp.o.d"
+  "/root/repo/src/thermal/radiation.cpp" "src/CMakeFiles/aeropack_thermal.dir/thermal/radiation.cpp.o" "gcc" "src/CMakeFiles/aeropack_thermal.dir/thermal/radiation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_materials.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

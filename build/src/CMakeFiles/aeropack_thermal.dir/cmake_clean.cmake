@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_thermal.dir/thermal/convection.cpp.o"
+  "CMakeFiles/aeropack_thermal.dir/thermal/convection.cpp.o.d"
+  "CMakeFiles/aeropack_thermal.dir/thermal/fins.cpp.o"
+  "CMakeFiles/aeropack_thermal.dir/thermal/fins.cpp.o.d"
+  "CMakeFiles/aeropack_thermal.dir/thermal/forced_air.cpp.o"
+  "CMakeFiles/aeropack_thermal.dir/thermal/forced_air.cpp.o.d"
+  "CMakeFiles/aeropack_thermal.dir/thermal/fv.cpp.o"
+  "CMakeFiles/aeropack_thermal.dir/thermal/fv.cpp.o.d"
+  "CMakeFiles/aeropack_thermal.dir/thermal/heatsink.cpp.o"
+  "CMakeFiles/aeropack_thermal.dir/thermal/heatsink.cpp.o.d"
+  "CMakeFiles/aeropack_thermal.dir/thermal/network.cpp.o"
+  "CMakeFiles/aeropack_thermal.dir/thermal/network.cpp.o.d"
+  "CMakeFiles/aeropack_thermal.dir/thermal/radiation.cpp.o"
+  "CMakeFiles/aeropack_thermal.dir/thermal/radiation.cpp.o.d"
+  "libaeropack_thermal.a"
+  "libaeropack_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

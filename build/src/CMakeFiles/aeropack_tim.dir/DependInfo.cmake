@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tim/aging.cpp" "src/CMakeFiles/aeropack_tim.dir/tim/aging.cpp.o" "gcc" "src/CMakeFiles/aeropack_tim.dir/tim/aging.cpp.o.d"
+  "/root/repo/src/tim/d5470.cpp" "src/CMakeFiles/aeropack_tim.dir/tim/d5470.cpp.o" "gcc" "src/CMakeFiles/aeropack_tim.dir/tim/d5470.cpp.o.d"
+  "/root/repo/src/tim/effective_medium.cpp" "src/CMakeFiles/aeropack_tim.dir/tim/effective_medium.cpp.o" "gcc" "src/CMakeFiles/aeropack_tim.dir/tim/effective_medium.cpp.o.d"
+  "/root/repo/src/tim/tim_material.cpp" "src/CMakeFiles/aeropack_tim.dir/tim/tim_material.cpp.o" "gcc" "src/CMakeFiles/aeropack_tim.dir/tim/tim_material.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_reliability.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_tim.dir/tim/aging.cpp.o"
+  "CMakeFiles/aeropack_tim.dir/tim/aging.cpp.o.d"
+  "CMakeFiles/aeropack_tim.dir/tim/d5470.cpp.o"
+  "CMakeFiles/aeropack_tim.dir/tim/d5470.cpp.o.d"
+  "CMakeFiles/aeropack_tim.dir/tim/effective_medium.cpp.o"
+  "CMakeFiles/aeropack_tim.dir/tim/effective_medium.cpp.o.d"
+  "CMakeFiles/aeropack_tim.dir/tim/tim_material.cpp.o"
+  "CMakeFiles/aeropack_tim.dir/tim/tim_material.cpp.o.d"
+  "libaeropack_tim.a"
+  "libaeropack_tim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_tim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

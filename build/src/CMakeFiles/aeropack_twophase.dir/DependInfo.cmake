@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twophase/designer.cpp" "src/CMakeFiles/aeropack_twophase.dir/twophase/designer.cpp.o" "gcc" "src/CMakeFiles/aeropack_twophase.dir/twophase/designer.cpp.o.d"
+  "/root/repo/src/twophase/heat_pipe.cpp" "src/CMakeFiles/aeropack_twophase.dir/twophase/heat_pipe.cpp.o" "gcc" "src/CMakeFiles/aeropack_twophase.dir/twophase/heat_pipe.cpp.o.d"
+  "/root/repo/src/twophase/loop_heat_pipe.cpp" "src/CMakeFiles/aeropack_twophase.dir/twophase/loop_heat_pipe.cpp.o" "gcc" "src/CMakeFiles/aeropack_twophase.dir/twophase/loop_heat_pipe.cpp.o.d"
+  "/root/repo/src/twophase/thermosyphon.cpp" "src/CMakeFiles/aeropack_twophase.dir/twophase/thermosyphon.cpp.o" "gcc" "src/CMakeFiles/aeropack_twophase.dir/twophase/thermosyphon.cpp.o.d"
+  "/root/repo/src/twophase/vapor_chamber.cpp" "src/CMakeFiles/aeropack_twophase.dir/twophase/vapor_chamber.cpp.o" "gcc" "src/CMakeFiles/aeropack_twophase.dir/twophase/vapor_chamber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_thermal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

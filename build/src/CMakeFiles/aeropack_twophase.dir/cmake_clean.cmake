@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeropack_twophase.dir/twophase/designer.cpp.o"
+  "CMakeFiles/aeropack_twophase.dir/twophase/designer.cpp.o.d"
+  "CMakeFiles/aeropack_twophase.dir/twophase/heat_pipe.cpp.o"
+  "CMakeFiles/aeropack_twophase.dir/twophase/heat_pipe.cpp.o.d"
+  "CMakeFiles/aeropack_twophase.dir/twophase/loop_heat_pipe.cpp.o"
+  "CMakeFiles/aeropack_twophase.dir/twophase/loop_heat_pipe.cpp.o.d"
+  "CMakeFiles/aeropack_twophase.dir/twophase/thermosyphon.cpp.o"
+  "CMakeFiles/aeropack_twophase.dir/twophase/thermosyphon.cpp.o.d"
+  "CMakeFiles/aeropack_twophase.dir/twophase/vapor_chamber.cpp.o"
+  "CMakeFiles/aeropack_twophase.dir/twophase/vapor_chamber.cpp.o.d"
+  "libaeropack_twophase.a"
+  "libaeropack_twophase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeropack_twophase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

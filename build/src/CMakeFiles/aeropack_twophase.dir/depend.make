@@ -1,0 +1,2 @@
+# Empty dependencies file for aeropack_twophase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_cooling_selection.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_cooling_selection.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_cooling_selection.cpp.o.d"
+  "/root/repo/tests/core/test_derating.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_derating.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_derating.cpp.o.d"
+  "/root/repo/tests/core/test_design_procedure.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_design_procedure.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_design_procedure.cpp.o.d"
+  "/root/repo/tests/core/test_equipment.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_equipment.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_equipment.cpp.o.d"
+  "/root/repo/tests/core/test_levels.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_levels.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_levels.cpp.o.d"
+  "/root/repo/tests/core/test_levels_airflow.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_levels_airflow.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_levels_airflow.cpp.o.d"
+  "/root/repo/tests/core/test_qualification.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_qualification.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_qualification.cpp.o.d"
+  "/root/repo/tests/core/test_rack.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_rack.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_rack.cpp.o.d"
+  "/root/repo/tests/core/test_seb.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_seb.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_seb.cpp.o.d"
+  "/root/repo/tests/core/test_seb_transient.cpp" "tests/CMakeFiles/aeropack_tests.dir/core/test_seb_transient.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/core/test_seb_transient.cpp.o.d"
+  "/root/repo/tests/fem/test_beam.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_beam.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_beam.cpp.o.d"
+  "/root/repo/tests/fem/test_beam3d.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_beam3d.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_beam3d.cpp.o.d"
+  "/root/repo/tests/fem/test_fatigue.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_fatigue.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_fatigue.cpp.o.d"
+  "/root/repo/tests/fem/test_frame.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_frame.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_frame.cpp.o.d"
+  "/root/repo/tests/fem/test_harmonic.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_harmonic.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_harmonic.cpp.o.d"
+  "/root/repo/tests/fem/test_plate.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_plate.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_plate.cpp.o.d"
+  "/root/repo/tests/fem/test_plate_random.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_plate_random.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_plate_random.cpp.o.d"
+  "/root/repo/tests/fem/test_plate_static.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_plate_static.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_plate_static.cpp.o.d"
+  "/root/repo/tests/fem/test_random_vibration.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_random_vibration.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_random_vibration.cpp.o.d"
+  "/root/repo/tests/fem/test_sdof.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_sdof.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_sdof.cpp.o.d"
+  "/root/repo/tests/fem/test_shock.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_shock.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_shock.cpp.o.d"
+  "/root/repo/tests/fem/test_transient.cpp" "tests/CMakeFiles/aeropack_tests.dir/fem/test_transient.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/fem/test_transient.cpp.o.d"
+  "/root/repo/tests/integration/test_bracket_3d.cpp" "tests/CMakeFiles/aeropack_tests.dir/integration/test_bracket_3d.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/integration/test_bracket_3d.cpp.o.d"
+  "/root/repo/tests/integration/test_cross_module_properties.cpp" "tests/CMakeFiles/aeropack_tests.dir/integration/test_cross_module_properties.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/integration/test_cross_module_properties.cpp.o.d"
+  "/root/repo/tests/integration/test_design_flow.cpp" "tests/CMakeFiles/aeropack_tests.dir/integration/test_design_flow.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/integration/test_design_flow.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cpp" "tests/CMakeFiles/aeropack_tests.dir/integration/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/integration/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/materials/test_air.cpp" "tests/CMakeFiles/aeropack_tests.dir/materials/test_air.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/materials/test_air.cpp.o.d"
+  "/root/repo/tests/materials/test_fluids.cpp" "tests/CMakeFiles/aeropack_tests.dir/materials/test_fluids.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/materials/test_fluids.cpp.o.d"
+  "/root/repo/tests/materials/test_solid.cpp" "tests/CMakeFiles/aeropack_tests.dir/materials/test_solid.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/materials/test_solid.cpp.o.d"
+  "/root/repo/tests/numeric/test_dense.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_dense.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_dense.cpp.o.d"
+  "/root/repo/tests/numeric/test_eigen.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_eigen.cpp.o.d"
+  "/root/repo/tests/numeric/test_interp.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_interp.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_interp.cpp.o.d"
+  "/root/repo/tests/numeric/test_misc_edges.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_misc_edges.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_misc_edges.cpp.o.d"
+  "/root/repo/tests/numeric/test_ode.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_ode.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_ode.cpp.o.d"
+  "/root/repo/tests/numeric/test_polyfit.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_polyfit.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_polyfit.cpp.o.d"
+  "/root/repo/tests/numeric/test_quadrature.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_quadrature.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_quadrature.cpp.o.d"
+  "/root/repo/tests/numeric/test_rootfind.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_rootfind.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_rootfind.cpp.o.d"
+  "/root/repo/tests/numeric/test_solve_dense.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_solve_dense.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_solve_dense.cpp.o.d"
+  "/root/repo/tests/numeric/test_sparse.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_sparse.cpp.o.d"
+  "/root/repo/tests/numeric/test_stats.cpp" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_stats.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/numeric/test_stats.cpp.o.d"
+  "/root/repo/tests/reliability/test_mission.cpp" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_mission.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_mission.cpp.o.d"
+  "/root/repo/tests/reliability/test_mtbf.cpp" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_mtbf.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_mtbf.cpp.o.d"
+  "/root/repo/tests/reliability/test_spares.cpp" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_spares.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_spares.cpp.o.d"
+  "/root/repo/tests/reliability/test_thermal_cycling.cpp" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_thermal_cycling.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/reliability/test_thermal_cycling.cpp.o.d"
+  "/root/repo/tests/thermal/test_convection.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_convection.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_convection.cpp.o.d"
+  "/root/repo/tests/thermal/test_fins.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_fins.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_fins.cpp.o.d"
+  "/root/repo/tests/thermal/test_forced_air.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_forced_air.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_forced_air.cpp.o.d"
+  "/root/repo/tests/thermal/test_fv.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_fv.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_fv.cpp.o.d"
+  "/root/repo/tests/thermal/test_fv_interface.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_fv_interface.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_fv_interface.cpp.o.d"
+  "/root/repo/tests/thermal/test_heatsink.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_heatsink.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_heatsink.cpp.o.d"
+  "/root/repo/tests/thermal/test_network.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_network.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_network.cpp.o.d"
+  "/root/repo/tests/thermal/test_radiation.cpp" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_radiation.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/thermal/test_radiation.cpp.o.d"
+  "/root/repo/tests/tim/test_aging.cpp" "tests/CMakeFiles/aeropack_tests.dir/tim/test_aging.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/tim/test_aging.cpp.o.d"
+  "/root/repo/tests/tim/test_d5470.cpp" "tests/CMakeFiles/aeropack_tests.dir/tim/test_d5470.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/tim/test_d5470.cpp.o.d"
+  "/root/repo/tests/tim/test_effective_medium.cpp" "tests/CMakeFiles/aeropack_tests.dir/tim/test_effective_medium.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/tim/test_effective_medium.cpp.o.d"
+  "/root/repo/tests/tim/test_tim_material.cpp" "tests/CMakeFiles/aeropack_tests.dir/tim/test_tim_material.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/tim/test_tim_material.cpp.o.d"
+  "/root/repo/tests/twophase/test_designer.cpp" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_designer.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_designer.cpp.o.d"
+  "/root/repo/tests/twophase/test_heat_pipe.cpp" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_heat_pipe.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_heat_pipe.cpp.o.d"
+  "/root/repo/tests/twophase/test_lhp.cpp" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_lhp.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_lhp.cpp.o.d"
+  "/root/repo/tests/twophase/test_thermosyphon.cpp" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_thermosyphon.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_thermosyphon.cpp.o.d"
+  "/root/repo/tests/twophase/test_vapor_chamber.cpp" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_vapor_chamber.cpp.o" "gcc" "tests/CMakeFiles/aeropack_tests.dir/twophase/test_vapor_chamber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aeropack_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_twophase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_tim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aeropack_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
