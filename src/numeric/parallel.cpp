@@ -1,0 +1,214 @@
+#include "numeric/parallel.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace aeropack::numeric {
+
+namespace {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("AEROPACK_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t& thread_count_storage() {
+  static std::size_t n = default_thread_count();
+  return n;
+}
+
+}  // namespace
+
+std::size_t thread_count() { return thread_count_storage(); }
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> threads;
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  const std::function<void(std::size_t)>* job = nullptr;
+  std::atomic<std::size_t> n_tasks{0};
+  std::atomic<std::size_t> next_task{0};
+  std::atomic<std::size_t> completed{0};
+  std::size_t generation = 0;
+  bool stop = false;
+  std::exception_ptr error;
+
+  // Claim tasks from the shared counter until the job is exhausted. The
+  // release store of next_task in run() makes job / n_tasks visible here.
+  // n_tasks is reloaded after every claim: a worker lingering from an
+  // earlier job may drain into the next one, and comparing against a stale
+  // task count here could skip the final cv_done notification (deadlock).
+  void drain() {
+    for (;;) {
+      const std::size_t t = next_task.fetch_add(1, std::memory_order_acq_rel);
+      const std::size_t total = n_tasks.load(std::memory_order_acquire);
+      if (t >= total) break;
+      try {
+        (*job)(t);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          n_tasks.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv_done.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::size_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_work.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+      }
+      drain();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl), workers_(workers) {
+  impl_->threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  // Rebuilt (leaked + replaced) when set_thread_count() changes the size;
+  // the process-lifetime pool is intentionally never destroyed to avoid
+  // static-destruction-order races with user code.
+  static ThreadPool* pool = new ThreadPool(thread_count() - 1);
+  if (pool->threads() != thread_count()) {
+    delete pool;
+    pool = new ThreadPool(thread_count() - 1);
+  }
+  return *pool;
+}
+
+void set_thread_count(std::size_t n) {
+  thread_count_storage() = (n == 0) ? default_thread_count() : n;
+  ThreadPool::instance();  // resize eagerly so the next kernel is consistent
+}
+
+void ThreadPool::run(std::size_t n_tasks, const std::function<void(std::size_t)>& fn) {
+  if (n_tasks == 0) return;
+  if (workers_ == 0 || n_tasks == 1) {
+    for (std::size_t t = 0; t < n_tasks; ++t) fn(t);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = &fn;
+    impl_->completed.store(0, std::memory_order_relaxed);
+    impl_->n_tasks.store(n_tasks, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    ++impl_->generation;
+    // Release store: workers that acquire next_task see job and n_tasks.
+    impl_->next_task.store(0, std::memory_order_release);
+  }
+  impl_->cv_work.notify_all();
+  impl_->drain();  // calling thread participates
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->cv_done.wait(lock,
+                        [&] { return impl_->completed.load(std::memory_order_acquire) == n_tasks; });
+    if (impl_->error) {
+      std::exception_ptr e = impl_->error;
+      impl_->error = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t threads = thread_count();
+  if (threads == 1 || n < 2) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(threads, n);
+  const std::size_t base = n / chunks, extra = n % chunks;
+  ThreadPool::instance().run(chunks, [&](std::size_t c) {
+    // First `extra` chunks carry one extra element.
+    const std::size_t lo = begin + c * base + std::min(c, extra);
+    const std::size_t hi = lo + base + (c < extra ? 1 : 0);
+    fn(lo, hi);
+  });
+}
+
+namespace {
+
+/// Fixed reduction chunk: independent of thread count, so per-chunk partial
+/// sums and their in-order combination are reproducible bit-for-bit.
+constexpr std::size_t kReductionChunk = 2048;
+
+template <typename ChunkSum>
+double chunked_reduce(std::size_t n, ChunkSum&& chunk_sum) {
+  const std::size_t chunks = (n + kReductionChunk - 1) / kReductionChunk;
+  if (chunks <= 1) return n == 0 ? 0.0 : chunk_sum(0, n);
+  std::vector<double> partial(chunks, 0.0);
+  const auto fill = [&](std::size_t c) {
+    const std::size_t lo = c * kReductionChunk;
+    const std::size_t hi = std::min(lo + kReductionChunk, n);
+    partial[c] = chunk_sum(lo, hi);
+  };
+  if (thread_count() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) fill(c);
+  } else {
+    ThreadPool::instance().run(chunks, fill);
+  }
+  double acc = 0.0;
+  for (const double p : partial) acc += p;  // in chunk order: deterministic
+  return acc;
+}
+
+}  // namespace
+
+double parallel_dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("parallel_dot: size mismatch");
+  return chunked_reduce(a.size(), [&](std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += a[i] * b[i];
+    return s;
+  });
+}
+
+double parallel_norm2(const Vector& v) { return std::sqrt(parallel_dot(v, v)); }
+
+void parallel_axpy(double alpha, const Vector& x, Vector& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("parallel_axpy: size mismatch");
+  parallel_for(0, x.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+  });
+}
+
+}  // namespace aeropack::numeric

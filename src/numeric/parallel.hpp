@@ -1,0 +1,75 @@
+// Shared-memory parallel execution layer: a small static-partition thread
+// pool plus deterministic data-parallel kernels for the iterative solvers.
+//
+// Design constraints (see DESIGN.md "Threading model"):
+//  - Thread count comes from the AEROPACK_THREADS environment variable
+//    (default: hardware concurrency); set_thread_count() overrides at runtime.
+//  - At n == 1 every entry point degrades to a plain serial loop — no pool,
+//    no synchronization, exceptions propagate directly.
+//  - Reductions (dot / norm2) accumulate fixed-size chunks and sum the
+//    per-chunk partials in chunk order, so the floating-point result is
+//    bit-identical for ANY thread count (including the serial fallback).
+//  - Exceptions thrown inside worker tasks are captured and rethrown on the
+//    calling thread (first one wins).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::numeric {
+
+/// Number of threads parallel kernels will use (>= 1).
+std::size_t thread_count();
+
+/// Override the thread count; 0 restores the AEROPACK_THREADS / hardware
+/// default. Must not be called concurrently with running parallel kernels.
+void set_thread_count(std::size_t n);
+
+/// Static-partition pool: `thread_count() - 1` persistent workers, the
+/// calling thread participates as the last worker. No work stealing — tasks
+/// are claimed from a shared atomic counter, which for the `parallel_for`
+/// use of one chunk per thread amounts to a static partition.
+class ThreadPool {
+ public:
+  /// Process-wide pool sized by thread_count(); resized lazily on demand.
+  static ThreadPool& instance();
+
+  std::size_t threads() const { return workers_ + 1; }
+
+  /// Run fn(task_index) for every task_index in [0, n_tasks). Blocks until
+  /// all tasks complete. The first exception thrown by a task is rethrown
+  /// here. Serial (inline) when n_tasks <= 1 or the pool has no workers.
+  void run(std::size_t n_tasks, const std::function<void(std::size_t)>& fn);
+
+  ~ThreadPool();
+
+ private:
+  explicit ThreadPool(std::size_t workers);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  friend void set_thread_count(std::size_t);
+  struct Impl;
+  Impl* impl_;
+  std::size_t workers_ = 0;
+};
+
+/// Split [begin, end) into one contiguous chunk per thread and run
+/// fn(chunk_begin, chunk_end) on each. fn must only write disjoint state per
+/// index; the partition boundaries carry no floating-point consequence for
+/// elementwise kernels. Serial loop when thread_count() == 1.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Deterministic chunked reductions. The chunk size is a compile-time
+/// constant (not thread-dependent), so results are identical across thread
+/// counts to the last bit.
+double parallel_dot(const Vector& a, const Vector& b);
+double parallel_norm2(const Vector& v);
+
+/// y += alpha * x, partitioned across threads (elementwise, exact).
+void parallel_axpy(double alpha, const Vector& x, Vector& y);
+
+}  // namespace aeropack::numeric

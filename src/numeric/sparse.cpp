@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "numeric/parallel.hpp"
+
 namespace aeropack::numeric {
 
 SparseBuilder::SparseBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
@@ -61,17 +63,32 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t
   if (row_ptr_.size() != rows_ + 1 || col_idx_.size() != values_.size() ||
       row_ptr_.back() != values_.size())
     throw std::invalid_argument("CsrMatrix: inconsistent structure");
+  // Sorted-column invariant: at() relies on binary search within each row.
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = row_ptr_[i] + 1; k < row_ptr_[i + 1]; ++k)
+      if (col_idx_[k - 1] >= col_idx_[k])
+        throw std::invalid_argument("CsrMatrix: column indices not strictly sorted within row");
+  for (const std::size_t j : col_idx_)
+    if (j >= cols_) throw std::invalid_argument("CsrMatrix: column index out of range");
 }
 
 Vector CsrMatrix::multiply(const Vector& x) const {
-  if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
-  Vector y(rows_, 0.0);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) acc += values_[k] * x[col_idx_[k]];
-    y[i] = acc;
-  }
+  Vector y;
+  multiply(x, y);
   return y;
+}
+
+void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  y.assign(rows_, 0.0);
+  parallel_for(0, rows_, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+        acc += values_[k] * x[col_idx_[k]];
+      y[i] = acc;
+    }
+  });
 }
 
 Vector CsrMatrix::diagonal() const {
@@ -115,47 +132,68 @@ Vector jacobi_preconditioner(const CsrMatrix& a) {
 }
 
 void hadamard(const Vector& a, const Vector& b, Vector& out) {
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  parallel_for(0, a.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = a[i] * b[i];
+  });
 }
 
 }  // namespace
 
 IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
-                                   const IterativeOptions& opts) {
+                                   const IterativeOptions& opts, const Vector* x0) {
   if (a.rows() != a.cols() || b.size() != a.rows())
     throw std::invalid_argument("conjugate_gradient: shape mismatch");
+  if (x0 && x0->size() != b.size())
+    throw std::invalid_argument("conjugate_gradient: warm-start size mismatch");
   const std::size_t n = b.size();
   IterativeResult res;
-  res.x.assign(n, 0.0);
-  const double bnorm = norm2(b);
+  const double bnorm = parallel_norm2(b);
   if (bnorm == 0.0) {
+    res.x.assign(n, 0.0);
     res.converged = true;
     return res;
   }
+  res.x = x0 ? *x0 : Vector(n, 0.0);
   const Vector inv_d = jacobi_preconditioner(a);
-  Vector r = b;  // r = b - A*0
+  Vector r(n);
+  if (x0) {
+    a.multiply(res.x, r);  // r = b - A x0
+    parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) r[i] = b[i] - r[i];
+    });
+    res.residual = parallel_norm2(r) / bnorm;
+    if (res.residual < opts.tolerance) {
+      res.converged = true;  // warm start already good enough
+      return res;
+    }
+  } else {
+    r = b;  // r = b - A*0
+  }
   Vector z(n);
   hadamard(inv_d, r, z);
   Vector p = z;
-  double rz = dot(r, z);
+  Vector ap(n);
+  double rz = parallel_dot(r, z);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    const Vector ap = a.multiply(p);
-    const double pap = dot(p, ap);
+    a.multiply(p, ap);
+    const double pap = parallel_dot(p, ap);
     if (pap <= 0.0) break;  // not SPD (or breakdown)
     const double alpha = rz / pap;
-    axpy(alpha, p, res.x);
-    axpy(-alpha, ap, r);
+    parallel_axpy(alpha, p, res.x);
+    parallel_axpy(-alpha, ap, r);
     res.iterations = it + 1;
-    res.residual = norm2(r) / bnorm;
+    res.residual = parallel_norm2(r) / bnorm;
     if (res.residual < opts.tolerance) {
       res.converged = true;
       return res;
     }
     hadamard(inv_d, r, z);
-    const double rz_new = dot(r, z);
+    const double rz_new = parallel_dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) p[i] = z[i] + beta * p[i];
+    });
   }
   return res;
 }

@@ -35,6 +35,10 @@ class SparseBuilder {
 };
 
 /// Compressed sparse row matrix (immutable structure, mutable values).
+///
+/// Invariant (checked at construction): column indices are strictly
+/// increasing within every row. SparseBuilder::build() guarantees this;
+/// at() exploits it with a binary search.
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -45,8 +49,12 @@ class CsrMatrix {
   std::size_t cols() const { return cols_; }
   std::size_t nonzeros() const { return values_.size(); }
 
-  /// y = A x
+  /// y = A x. Row-partitioned across threads (see numeric/parallel.hpp);
+  /// each row's accumulation order is fixed, so the result is identical
+  /// for every thread count.
   Vector multiply(const Vector& x) const;
+  /// y = A x without allocating (y is resized to rows()).
+  void multiply(const Vector& x, Vector& y) const;
   /// Extract the diagonal (missing entries are 0).
   Vector diagonal() const;
   /// Max |a_ij - a_ji|; O(nnz log nnz) via lookup. For tests.
@@ -81,8 +89,15 @@ struct IterativeOptions {
 };
 
 /// Preconditioned (Jacobi) conjugate gradient for SPD systems.
+///
+/// `x0` (optional) warm-starts the iteration; the Picard/transient loops of
+/// the FV thermal solver pass the previous pass/step solution, cutting the
+/// inner iteration count sharply. SpMV and all reductions run on the
+/// parallel layer with deterministic chunked partial sums, so the returned
+/// solution is bit-identical across thread counts.
 IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
-                                   const IterativeOptions& opts = {});
+                                   const IterativeOptions& opts = {},
+                                   const Vector* x0 = nullptr);
 
 /// BiCGSTAB for general nonsymmetric systems (Jacobi preconditioned).
 IterativeResult bicgstab(const CsrMatrix& a, const Vector& b, const IterativeOptions& opts = {});

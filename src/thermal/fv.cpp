@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "numeric/parallel.hpp"
+
 namespace aeropack::thermal {
 
 using numeric::Vector;
@@ -326,66 +328,123 @@ static void for_each_boundary_face(const FvGrid& g, const Vector& kx, const Vect
     }
 }
 
-void FvModel::assemble(const Vector& temps, const FvOptions& opts, numeric::SparseBuilder& a,
-                       Vector& rhs, const Vector* prev, double inv_dt) const {
+FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
+                                                     double inv_dt) const {
   const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  const std::size_t n = grid_.cell_count();
+  const std::size_t sxy = nx * ny;
 
-  // Sources and (transient) capacity terms.
-  for (std::size_t k = 0; k < nz; ++k)
-    for (std::size_t j = 0; j < ny; ++j)
-      for (std::size_t i = 0; i < nx; ++i) {
-        const std::size_t c = grid_.index(i, j, k);
-        rhs[c] += source_[c];
-        if (inv_dt > 0.0) {
-          const double cap = rho_cp_[c] * grid_.cell_volume(i, j, k) * inv_dt;
-          a.add(c, c, cap);
-          rhs[c] += cap * (*prev)[c];
+  // Face conductances: temperature-independent, computed exactly once.
+  // gx[(i,j,k)], i in [0,nx-1): conductance of the face between cells
+  // (i,j,k) and (i+1,j,k); gy/gz analogous.
+  std::vector<double> gx(nx > 1 ? (nx - 1) * ny * nz : 0, 0.0);
+  std::vector<double> gy(ny > 1 ? nx * (ny - 1) * nz : 0, 0.0);
+  std::vector<double> gz(nz > 1 ? sxy * (nz - 1) : 0, 0.0);
+  numeric::parallel_for(0, nz, [&](std::size_t klo, std::size_t khi) {
+    for (std::size_t k = klo; k < khi; ++k)
+      for (std::size_t j = 0; j < ny; ++j) {
+        for (std::size_t i = 0; i + 1 < nx; ++i)
+          gx[i + (nx - 1) * (j + ny * k)] = face_conductance_x(i, i + 1, j, k, opts.scheme);
+        if (j + 1 < ny)
+          for (std::size_t i = 0; i < nx; ++i)
+            gy[i + nx * (j + (ny - 1) * k)] = face_conductance_y(j, j + 1, i, k, opts.scheme);
+        if (k + 1 < nz)
+          for (std::size_t i = 0; i < nx; ++i)
+            gz[i + nx * (j + ny * k)] = face_conductance_z(k, k + 1, i, j, opts.scheme);
+      }
+  });
+
+  AssemblyCache cache;
+  if (inv_dt > 0.0) {
+    cache.capacity.assign(n, 0.0);
+    for (std::size_t k = 0; k < nz; ++k)
+      for (std::size_t j = 0; j < ny; ++j)
+        for (std::size_t i = 0; i < nx; ++i) {
+          const std::size_t c = grid_.index(i, j, k);
+          cache.capacity[c] = rho_cp_[c] * grid_.cell_volume(i, j, k) * inv_dt;
         }
-      }
+  }
 
-  // Internal faces.
+  // Symbolic structure: 7-point stencil, columns emitted in ascending order
+  // (offsets -sxy < -nx < -1 < 0 < +1 < +nx < +sxy for existing neighbors),
+  // which satisfies the CsrMatrix sorted-column invariant by construction.
+  std::vector<std::size_t> row_ptr(n + 1, 0);
   for (std::size_t k = 0; k < nz; ++k)
     for (std::size_t j = 0; j < ny; ++j)
-      for (std::size_t i = 0; i + 1 < nx; ++i) {
-        const double g = face_conductance_x(i, i + 1, j, k, opts.scheme);
-        const std::size_t p = grid_.index(i, j, k), q = grid_.index(i + 1, j, k);
-        a.add(p, p, g);
-        a.add(q, q, g);
-        a.add(p, q, -g);
-        a.add(q, p, -g);
-      }
-  for (std::size_t k = 0; k < nz; ++k)
-    for (std::size_t j = 0; j + 1 < ny; ++j)
       for (std::size_t i = 0; i < nx; ++i) {
-        const double g = face_conductance_y(j, j + 1, i, k, opts.scheme);
-        const std::size_t p = grid_.index(i, j, k), q = grid_.index(i, j + 1, k);
-        a.add(p, p, g);
-        a.add(q, q, g);
-        a.add(p, q, -g);
-        a.add(q, p, -g);
+        const std::size_t stencil = 1 + (i > 0) + (i + 1 < nx) + (j > 0) + (j + 1 < ny) +
+                                    (k > 0) + (k + 1 < nz);
+        row_ptr[grid_.index(i, j, k) + 1] = stencil;
       }
-  for (std::size_t k = 0; k + 1 < nz; ++k)
-    for (std::size_t j = 0; j < ny; ++j)
-      for (std::size_t i = 0; i < nx; ++i) {
-        const double g = face_conductance_z(k, k + 1, i, j, opts.scheme);
-        const std::size_t p = grid_.index(i, j, k), q = grid_.index(i, j, k + 1);
-        a.add(p, p, g);
-        a.add(q, q, g);
-        a.add(p, q, -g);
-        a.add(q, p, -g);
-      }
+  for (std::size_t c = 0; c < n; ++c) row_ptr[c + 1] += row_ptr[c];
 
-  // Boundary faces.
+  const std::size_t nnz = row_ptr[n];
+  std::vector<std::size_t> col_idx(nnz);
+  cache.base_values.assign(nnz, 0.0);
+  cache.diag_index.assign(n, 0);
+  numeric::parallel_for(0, nz, [&](std::size_t klo, std::size_t khi) {
+    for (std::size_t k = klo; k < khi; ++k)
+      for (std::size_t j = 0; j < ny; ++j)
+        for (std::size_t i = 0; i < nx; ++i) {
+          const std::size_t c = grid_.index(i, j, k);
+          std::size_t w = row_ptr[c];
+          double diag = cache.capacity.empty() ? 0.0 : cache.capacity[c];
+          const auto off_diag = [&](std::size_t col, double g) {
+            col_idx[w] = col;
+            cache.base_values[w] = -g;
+            ++w;
+            diag += g;
+          };
+          if (k > 0) off_diag(c - sxy, gz[i + nx * (j + ny * (k - 1))]);
+          if (j > 0) off_diag(c - nx, gy[i + nx * (j - 1 + (ny - 1) * k)]);
+          if (i > 0) off_diag(c - 1, gx[i - 1 + (nx - 1) * (j + ny * k)]);
+          const std::size_t dpos = w;
+          col_idx[w] = c;
+          ++w;
+          if (i + 1 < nx) off_diag(c + 1, gx[i + (nx - 1) * (j + ny * k)]);
+          if (j + 1 < ny) off_diag(c + nx, gy[i + nx * (j + (ny - 1) * k)]);
+          if (k + 1 < nz) off_diag(c + sxy, gz[i + nx * (j + ny * k)]);
+          cache.base_values[dpos] = diag;
+          cache.diag_index[c] = dpos;
+        }
+  });
+
+  // Static right-hand side: volumetric sources + prescribed boundary fluxes.
+  cache.base_rhs = source_;
   for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
     const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    if (bc.kind == BoundaryKind::HeatFlux)
+      cache.base_rhs[grid_.index(f.i, f.j, f.k)] += bc.flux * f.area;
+  });
+
+  cache.matrix = numeric::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                                    std::vector<double>(cache.base_values));
+  return cache;
+}
+
+void FvModel::update_boundary_terms(AssemblyCache& cache, const Vector& temps,
+                                    const Vector* prev, Vector& rhs) const {
+  std::vector<double>& values = cache.matrix.values();
+  numeric::parallel_for(0, values.size(), [&](std::size_t lo, std::size_t hi) {
+    std::copy(cache.base_values.begin() + static_cast<std::ptrdiff_t>(lo),
+              cache.base_values.begin() + static_cast<std::ptrdiff_t>(hi),
+              values.begin() + static_cast<std::ptrdiff_t>(lo));
+  });
+  rhs = cache.base_rhs;
+  if (!cache.capacity.empty() && prev) {
+    numeric::parallel_for(0, rhs.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t c = lo; c < hi; ++c) rhs[c] += cache.capacity[c] * (*prev)[c];
+    });
+  }
+  // Boundary films are the only temperature-dependent coefficients; the
+  // surface is O(n^(2/3)) so this per-pass rewrite is cheap.
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    if (bc.kind == BoundaryKind::HeatFlux) return;  // already in base_rhs
     const std::size_t c = grid_.index(f.i, f.j, f.k);
-    if (bc.kind == BoundaryKind::HeatFlux) {
-      rhs[c] += bc.flux * f.area;
-      return;
-    }
     const double g = boundary_conductance(bc, f.area, f.half, f.k_cell, temps[c]);
     if (g <= 0.0) return;
-    a.add(c, c, g);
+    values[cache.diag_index[c]] += g;
     rhs[c] += g * bc.temperature;
   });
 }
@@ -438,13 +497,16 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
 
   Vector temps(n, t_guess);
   FvSolution sol;
+  // Fast path: symbolic structure + static coefficients assembled once;
+  // Picard passes rewrite only boundary terms and warm-start CG from the
+  // previous pass's temperature field.
+  AssemblyCache cache = build_assembly_cache(opts, 0.0);
+  sol.structure_assemblies = 1;
+  Vector rhs(n);
   const std::size_t passes = nonlinear ? opts.max_picard_iterations : 1;
   for (std::size_t it = 0; it < passes; ++it) {
-    numeric::SparseBuilder builder(n, n);
-    Vector rhs(n, 0.0);
-    assemble(temps, opts, builder, rhs, nullptr, 0.0);
-    const numeric::CsrMatrix a = builder.build();
-    const auto lin = numeric::conjugate_gradient(a, rhs, opts.linear);
+    update_boundary_terms(cache, temps, nullptr, rhs);
+    const auto lin = numeric::conjugate_gradient(cache.matrix, rhs, opts.linear, &temps);
     if (!lin.converged)
       throw std::runtime_error("FvModel::solve_steady: linear solver failed to converge");
     sol.linear_iterations += lin.iterations;
@@ -473,14 +535,18 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt, double t_i
   out.times.push_back(0.0);
   out.temperatures.push_back(temps);
   const std::size_t steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+  // Structure + capacity assembled once for the whole march; each implicit
+  // Euler step rewrites boundary terms and warm-starts CG from the previous
+  // step's field instead of re-converging from scratch.
+  AssemblyCache cache = build_assembly_cache(opts, 1.0 / dt);
+  out.structure_assemblies = 1;
+  Vector rhs(n);
   for (std::size_t s = 1; s <= steps; ++s) {
-    numeric::SparseBuilder builder(n, n);
-    Vector rhs(n, 0.0);
-    assemble(temps, opts, builder, rhs, &temps, 1.0 / dt);
-    const numeric::CsrMatrix a = builder.build();
-    const auto lin = numeric::conjugate_gradient(a, rhs, opts.linear);
+    update_boundary_terms(cache, temps, &temps, rhs);
+    const auto lin = numeric::conjugate_gradient(cache.matrix, rhs, opts.linear, &temps);
     if (!lin.converged)
       throw std::runtime_error("FvModel::solve_transient: linear solver failed");
+    out.linear_iterations += lin.iterations;
     temps = lin.x;
     out.times.push_back(dt * static_cast<double>(s));
     out.temperatures.push_back(temps);

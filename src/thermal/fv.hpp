@@ -109,6 +109,10 @@ struct FvSolution {
   numeric::Vector temperatures;  ///< per cell [K]
   std::size_t picard_iterations = 0;
   std::size_t linear_iterations = 0;  ///< total inner CG iterations
+  /// Number of CSR symbolic assemblies performed. With the cached fast path
+  /// this is 1 per solve regardless of Picard pass count — only boundary
+  /// values are rewritten in place between passes.
+  std::size_t structure_assemblies = 0;
   bool converged = false;
   double energy_residual = 0.0;  ///< |sources - boundary outflow| [W]
   double max_temperature = 0.0;
@@ -118,6 +122,8 @@ struct FvSolution {
 struct FvTransientSolution {
   numeric::Vector times;
   std::vector<numeric::Vector> temperatures;
+  std::size_t linear_iterations = 0;       ///< total inner CG iterations
+  std::size_t structure_assemblies = 0;    ///< symbolic assemblies (1 with caching)
 };
 
 class FvModel {
@@ -171,12 +177,28 @@ class FvModel {
 
   void check_range(const CellRange& r) const;
   const BoundaryCondition& boundary_for(Face f, std::size_t a, std::size_t b) const;
-  /// Assemble the steady system for given (possibly temperature-dependent)
-  /// boundary film coefficients. `temps` is the current iterate used to
-  /// linearize radiation / natural convection.
-  void assemble(const numeric::Vector& temps, const FvOptions& opts,
-                numeric::SparseBuilder& a, numeric::Vector& rhs,
-                const numeric::Vector* prev, double inv_dt) const;
+
+  /// Cached system assembly. The 7-point CSR sparsity pattern and every
+  /// temperature-independent coefficient (internal face conductances,
+  /// transient capacity, volumetric sources, prescribed fluxes) are computed
+  /// once per solve; Picard passes and time steps only rewrite the
+  /// temperature-dependent boundary terms in place.
+  struct AssemblyCache {
+    numeric::CsrMatrix matrix;              ///< pattern + working values
+    std::vector<double> base_values;        ///< values without boundary film terms
+    std::vector<std::size_t> diag_index;    ///< per-row offset of the diagonal entry
+    numeric::Vector base_rhs;               ///< sources + prescribed-flux terms [W]
+    numeric::Vector capacity;               ///< rho*cp*V/dt per cell (transient only)
+  };
+
+  /// Build the symbolic structure + static coefficients. `inv_dt > 0`
+  /// switches on the implicit-Euler capacity terms.
+  AssemblyCache build_assembly_cache(const FvOptions& opts, double inv_dt) const;
+  /// Rewrite boundary film conductances (linearized at `temps`) into the
+  /// cached matrix and produce the full right-hand side. `prev` supplies the
+  /// previous time-step field for the transient capacity source term.
+  void update_boundary_terms(AssemblyCache& cache, const numeric::Vector& temps,
+                             const numeric::Vector* prev, numeric::Vector& rhs) const;
   double face_conductance_x(std::size_t i0, std::size_t i1, std::size_t j, std::size_t k,
                             FaceConductanceScheme scheme) const;
   double face_conductance_y(std::size_t j0, std::size_t j1, std::size_t i, std::size_t k,

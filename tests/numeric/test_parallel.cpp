@@ -1,0 +1,200 @@
+// Parallel execution layer: ThreadPool semantics and bit-exact equivalence
+// of the parallel kernels across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/parallel.hpp"
+#include "numeric/sparse.hpp"
+#include "numeric/stats.hpp"
+
+namespace an = aeropack::numeric;
+
+namespace {
+
+/// Restores the ambient thread count when a test exits (even on failure).
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(an::thread_count()) {}
+  ~ThreadCountGuard() { an::set_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+/// 3-D 7-point Poisson matrix on an n^3 grid (SPD), via the builder.
+an::CsrMatrix poisson3d(std::size_t n) {
+  const std::size_t total = n * n * n;
+  an::SparseBuilder b(total, total);
+  const auto idx = [n](std::size_t i, std::size_t j, std::size_t k) {
+    return i + n * (j + n * k);
+  };
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = idx(i, j, k);
+        b.add(c, c, 6.0 + 1.0);  // +1: keep it SPD with Neumann-like edges
+        if (i > 0) b.add(c, idx(i - 1, j, k), -1.0);
+        if (i + 1 < n) b.add(c, idx(i + 1, j, k), -1.0);
+        if (j > 0) b.add(c, idx(i, j - 1, k), -1.0);
+        if (j + 1 < n) b.add(c, idx(i, j + 1, k), -1.0);
+        if (k > 0) b.add(c, idx(i, j, k - 1), -1.0);
+        if (k + 1 < n) b.add(c, idx(i, j, k + 1), -1.0);
+      }
+  return b.build();
+}
+
+an::Vector random_vector(std::size_t n, unsigned seed) {
+  an::Rng rng(seed);
+  an::Vector v(n);
+  for (double& x : v) x = rng.normal();
+  return v;
+}
+
+const std::size_t kThreadSweep[] = {1, 2, 8};
+
+}  // namespace
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadCountGuard guard;
+  an::set_thread_count(4);
+  std::atomic<int> calls{0};
+  an::ThreadPool::instance().run(0, [&](std::size_t) { ++calls; });
+  an::parallel_for(5, 5, [&](std::size_t, std::size_t) { ++calls; });
+  an::parallel_for(7, 3, [&](std::size_t, std::size_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RangeSmallerThanThreadCountVisitsEachIndexOnce) {
+  ThreadCountGuard guard;
+  an::set_thread_count(8);
+  std::vector<std::atomic<int>> visits(3);
+  an::parallel_for(0, 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, LargeRangePartitionCoversEverything) {
+  ThreadCountGuard guard;
+  an::set_thread_count(5);
+  const std::size_t n = 1003;  // not divisible by 5: uneven chunks
+  std::vector<std::atomic<int>> visits(n);
+  an::parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadCountGuard guard;
+  an::set_thread_count(4);
+  EXPECT_THROW(an::parallel_for(0, 100,
+                                [](std::size_t lo, std::size_t) {
+                                  if (lo == 0) throw std::runtime_error("task failed");
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a throwing job.
+  std::atomic<int> sum{0};
+  an::parallel_for(0, 10, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, SerialFallbackPropagatesExceptionsDirectly) {
+  ThreadCountGuard guard;
+  an::set_thread_count(1);
+  EXPECT_THROW(
+      an::parallel_for(0, 4, [](std::size_t, std::size_t) { throw std::logic_error("serial"); }),
+      std::logic_error);
+}
+
+TEST(ParallelKernels, DotAndNormBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const an::Vector a = random_vector(10000, 1u);
+  const an::Vector b = random_vector(10000, 2u);
+  an::set_thread_count(1);
+  const double dot_ref = an::parallel_dot(a, b);
+  const double norm_ref = an::parallel_norm2(a);
+  for (const std::size_t t : kThreadSweep) {
+    an::set_thread_count(t);
+    EXPECT_EQ(an::parallel_dot(a, b), dot_ref) << t << " threads";
+    EXPECT_EQ(an::parallel_norm2(a), norm_ref) << t << " threads";
+  }
+}
+
+TEST(ParallelKernels, AxpyMatchesSerialExactly) {
+  ThreadCountGuard guard;
+  const an::Vector x = random_vector(5000, 3u);
+  an::Vector y_ref = random_vector(5000, 4u);
+  an::Vector y1 = y_ref;
+  an::set_thread_count(1);
+  an::parallel_axpy(0.37, x, y_ref);
+  for (const std::size_t t : kThreadSweep) {
+    an::set_thread_count(t);
+    an::Vector y = y1;
+    an::parallel_axpy(0.37, x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) ASSERT_EQ(y[i], y_ref[i]) << t << " threads";
+  }
+}
+
+TEST(ParallelKernels, SpmvEquivalentAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const an::CsrMatrix a = poisson3d(12);  // 1728 rows
+  const an::Vector x = random_vector(a.cols(), 5u);
+  an::set_thread_count(1);
+  const an::Vector y_ref = a.multiply(x);
+  for (const std::size_t t : kThreadSweep) {
+    an::set_thread_count(t);
+    const an::Vector y = a.multiply(x);
+    ASSERT_EQ(y.size(), y_ref.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_NEAR(y[i], y_ref[i], 1e-12) << t << " threads, row " << i;
+  }
+}
+
+TEST(ParallelKernels, CgEquivalentAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const an::CsrMatrix a = poisson3d(10);  // 1000 unknowns
+  const an::Vector b = random_vector(a.rows(), 6u);
+  an::set_thread_count(1);
+  const auto ref = an::conjugate_gradient(a, b);
+  ASSERT_TRUE(ref.converged);
+  for (const std::size_t t : kThreadSweep) {
+    an::set_thread_count(t);
+    const auto res = an::conjugate_gradient(a, b);
+    ASSERT_TRUE(res.converged) << t << " threads";
+    EXPECT_EQ(res.iterations, ref.iterations) << t << " threads";
+    for (std::size_t i = 0; i < res.x.size(); ++i)
+      ASSERT_NEAR(res.x[i], ref.x[i], 1e-12) << t << " threads, entry " << i;
+  }
+}
+
+TEST(ParallelKernels, WarmStartedCgMatchesColdSolution) {
+  ThreadCountGuard guard;
+  an::set_thread_count(2);
+  const an::CsrMatrix a = poisson3d(8);
+  const an::Vector b = random_vector(a.rows(), 7u);
+  const auto cold = an::conjugate_gradient(a, b);
+  ASSERT_TRUE(cold.converged);
+  // Warm start from a perturbed copy of the solution: same answer, far
+  // fewer iterations.
+  an::Vector x0 = cold.x;
+  for (double& v : x0) v += 1e-6;
+  const auto warm = an::conjugate_gradient(a, b, {}, &x0);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations / 2);
+  for (std::size_t i = 0; i < warm.x.size(); ++i) ASSERT_NEAR(warm.x[i], cold.x[i], 1e-8);
+}
+
+TEST(ParallelKernels, SetThreadCountZeroRestoresDefault) {
+  ThreadCountGuard guard;
+  an::set_thread_count(3);
+  EXPECT_EQ(an::thread_count(), 3u);
+  an::set_thread_count(0);
+  EXPECT_GE(an::thread_count(), 1u);
+}

@@ -99,6 +99,33 @@ TEST(FvModel, RadiationBoundaryPicardConverges) {
   EXPECT_LT(sol.energy_residual, 0.01);
 }
 
+TEST(FvModel, PicardLoopAssemblesStructureOnce) {
+  // Nonlinear (radiation) boundary forces multiple Picard passes, but the
+  // CSR structure must be assembled exactly once — passes only rewrite the
+  // boundary film terms in place.
+  auto m = slab_model(10, 50.0);
+  m.add_power(m.all_cells(), 20.0);
+  m.set_boundary(at::Face::XMax,
+                 at::BoundaryCondition::convection_radiation(5.0, 300.0, 0.9));
+  const auto sol = m.solve_steady();
+  ASSERT_TRUE(sol.converged);
+  EXPECT_GT(sol.picard_iterations, 1u);
+  EXPECT_EQ(sol.structure_assemblies, 1u);
+}
+
+TEST(FvModel, TransientAssemblesStructureOnceAndWarmStarts) {
+  at::FvModel m(at::FvGrid::uniform(0.02, 0.02, 0.02, 4, 4, 4));
+  m.set_material(am::aluminum_6061());
+  m.set_boundary(at::Face::XMin, at::BoundaryCondition::convection(50.0, 300.0));
+  const auto tr = m.solve_transient(10.0, 0.5, 350.0);
+  EXPECT_EQ(tr.structure_assemblies, 1u);
+  EXPECT_EQ(tr.temperatures.size(), 21u);
+  // Warm-started steps converge in far fewer inner iterations than the
+  // dimension bound (64 unknowns) per step would allow from a cold start.
+  EXPECT_GT(tr.linear_iterations, 0u);
+  EXPECT_LT(tr.linear_iterations, 20u * 64u);
+}
+
 TEST(FvModel, NoSinkThrows) {
   auto m = slab_model(4, 10.0);
   m.add_power(m.all_cells(), 1.0);
