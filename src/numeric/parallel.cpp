@@ -38,31 +38,46 @@ struct ThreadPool::Impl {
   std::condition_variable cv_work;
   std::condition_variable cv_done;
   const std::function<void(std::size_t)>* job = nullptr;
-  std::atomic<std::size_t> n_tasks{0};
+  // Claims are generation-tagged through a monotonic window: the current
+  // job owns task ids [task_base, task_end) and next_task never passes
+  // task_end (CAS, not fetch_add), so a worker lingering in drain() from a
+  // previous job cannot claim — or burn — a slot of the next job during
+  // run()'s setup. task_base and job are plain members: they are written
+  // before the release store of task_end and only read after a claim
+  // validated against an acquire load of it.
   std::atomic<std::size_t> next_task{0};
+  std::atomic<std::size_t> task_end{0};
   std::atomic<std::size_t> completed{0};
+  std::size_t task_base = 0;
   std::size_t generation = 0;
   bool stop = false;
   std::exception_ptr error;
 
-  // Claim tasks from the shared counter until the job is exhausted. The
-  // release store of next_task in run() makes job / n_tasks visible here.
-  // n_tasks is reloaded after every claim: a worker lingering from an
-  // earlier job may drain into the next one, and comparing against a stale
-  // task count here could skip the final cv_done notification (deadlock).
+  // Claim tasks until the current window is exhausted. A claim is valid
+  // only while next_task < task_end; since next_task equals the previous
+  // window's end when run() publishes a new one (every prior task was
+  // claimed before run() returned), any valid claim lies inside the
+  // current window, and the acquire load of task_end that admitted it
+  // synchronizes with run()'s release store — job and task_base are
+  // visible.
   void drain() {
     for (;;) {
-      const std::size_t t = next_task.fetch_add(1, std::memory_order_acq_rel);
-      const std::size_t total = n_tasks.load(std::memory_order_acquire);
-      if (t >= total) break;
+      const std::size_t end = task_end.load(std::memory_order_acquire);
+      std::size_t t = next_task.load(std::memory_order_relaxed);
+      do {
+        if (t >= end) return;
+      } while (!next_task.compare_exchange_weak(t, t + 1, std::memory_order_acq_rel,
+                                                std::memory_order_relaxed));
       try {
-        (*job)(t);
+        (*job)(t - task_base);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!error) error = std::current_exception();
       }
-      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-          n_tasks.load(std::memory_order_acquire)) {
+      // A valid claim implies `end` is the current job's window end, so
+      // end - task_base is this job's task count. Exactly that many valid
+      // claims exist — completed cannot overshoot.
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 >= end - task_base) {
         std::lock_guard<std::mutex> lock(mutex);
         cv_done.notify_all();
       }
@@ -100,9 +115,14 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool& ThreadPool::instance() {
-  // Rebuilt (leaked + replaced) when set_thread_count() changes the size;
-  // the process-lifetime pool is intentionally never destroyed to avoid
-  // static-destruction-order races with user code.
+  // Process-lifetime pool, intentionally leaked at exit (never a static
+  // object) to avoid static-destruction-order races with user code. A
+  // thread-count change joins and REPLACES the pool, which invalidates any
+  // previously returned reference — so, as documented in the header,
+  // instance() and set_thread_count() must only be called from the single
+  // thread that drives the parallel kernels, and a ThreadPool& must not be
+  // held across set_thread_count(). The check-then-delete below relies on
+  // that single-threaded discipline.
   static ThreadPool* pool = new ThreadPool(thread_count() - 1);
   if (pool->threads() != thread_count()) {
     delete pool;
@@ -126,18 +146,22 @@ void ThreadPool::run(std::size_t n_tasks, const std::function<void(std::size_t)>
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->job = &fn;
     impl_->completed.store(0, std::memory_order_relaxed);
-    impl_->n_tasks.store(n_tasks, std::memory_order_relaxed);
     impl_->error = nullptr;
     ++impl_->generation;
-    // Release store: workers that acquire next_task see job and n_tasks.
-    impl_->next_task.store(0, std::memory_order_release);
+    // next_task sits exactly at the previous window's end here: the prior
+    // run() only returned once all its tasks were claimed, and claims never
+    // pass task_end. The new window starts there; the release store of
+    // task_end publishes job / task_base to any worker whose claim it
+    // admits.
+    impl_->task_base = impl_->next_task.load(std::memory_order_relaxed);
+    impl_->task_end.store(impl_->task_base + n_tasks, std::memory_order_release);
   }
   impl_->cv_work.notify_all();
   impl_->drain();  // calling thread participates
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
     impl_->cv_done.wait(lock,
-                        [&] { return impl_->completed.load(std::memory_order_acquire) == n_tasks; });
+                        [&] { return impl_->completed.load(std::memory_order_acquire) >= n_tasks; });
     if (impl_->error) {
       std::exception_ptr e = impl_->error;
       impl_->error = nullptr;

@@ -25,6 +25,8 @@ std::size_t thread_count();
 
 /// Override the thread count; 0 restores the AEROPACK_THREADS / hardware
 /// default. Must not be called concurrently with running parallel kernels.
+/// Resizing replaces the process-wide pool: any ThreadPool& previously
+/// obtained from ThreadPool::instance() is invalidated.
 void set_thread_count(std::size_t n);
 
 /// Static-partition pool: `thread_count() - 1` persistent workers, the
@@ -34,6 +36,9 @@ void set_thread_count(std::size_t n);
 class ThreadPool {
  public:
   /// Process-wide pool sized by thread_count(); resized lazily on demand.
+  /// Call only from the single thread that drives the parallel kernels
+  /// (resizing is unsynchronized), and do not hold the returned reference
+  /// across set_thread_count() — resizing replaces the pool.
   static ThreadPool& instance();
 
   std::size_t threads() const { return workers_ + 1; }

@@ -1,6 +1,7 @@
 #include "numeric/sparse.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -80,6 +81,7 @@ Vector CsrMatrix::multiply(const Vector& x) const {
 
 void CsrMatrix::multiply(const Vector& x, Vector& y) const {
   if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  assert(&x != &y && "CsrMatrix::multiply: y must not alias x");
   y.assign(rows_, 0.0);
   parallel_for(0, rows_, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {

@@ -53,7 +53,8 @@ class CsrMatrix {
   /// each row's accumulation order is fixed, so the result is identical
   /// for every thread count.
   Vector multiply(const Vector& x) const;
-  /// y = A x without allocating (y is resized to rows()).
+  /// y = A x without allocating (y is resized to rows()). y must not alias
+  /// x: y is zeroed up front, before other threads' row chunks read x.
   void multiply(const Vector& x, Vector& y) const;
   /// Extract the diagonal (missing entries are 0).
   Vector diagonal() const;

@@ -89,6 +89,25 @@ TEST(ThreadPool, LargeRangePartitionCoversEverything) {
   for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
 }
 
+TEST(ThreadPool, AlternatingSmallAndLargeJobsVisitEachTaskOnce) {
+  // Regression: a worker lingering in the previous job's claim loop used to
+  // grab a stale counter value during the next job's setup. A small job
+  // followed immediately by a much larger one (the per-CG-iteration
+  // parallel_for + chunked-reduce pattern) could then run a task twice and
+  // deadlock the completion wait. Hammer that hand-off.
+  ThreadCountGuard guard;
+  an::set_thread_count(8);
+  auto& pool = an::ThreadPool::instance();
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::atomic<int>> small(4);
+    pool.run(small.size(), [&](std::size_t t) { ++small[t]; });
+    std::vector<std::atomic<int>> large(128);
+    pool.run(large.size(), [&](std::size_t t) { ++large[t]; });
+    for (const auto& v : small) ASSERT_EQ(v.load(), 1) << "round " << round;
+    for (const auto& v : large) ASSERT_EQ(v.load(), 1) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, ExceptionsPropagateToCaller) {
   ThreadCountGuard guard;
   an::set_thread_count(4);
