@@ -167,6 +167,15 @@ void FvModel::add_power(const CellRange& r, double watts) {
         source_[grid_.index(i, j, k)] += watts * grid_.cell_volume(i, j, k) / vol;
 }
 
+void FvModel::add_power_density(const std::function<double(double, double, double)>& qv) {
+  for (std::size_t k = 0; k < grid_.nz(); ++k)
+    for (std::size_t j = 0; j < grid_.ny(); ++j)
+      for (std::size_t i = 0; i < grid_.nx(); ++i)
+        source_[grid_.index(i, j, k)] +=
+            qv(grid_.x_center(i), grid_.y_center(j), grid_.z_center(k)) *
+            grid_.cell_volume(i, j, k);
+}
+
 void FvModel::clear_power() { std::fill(source_.begin(), source_.end(), 0.0); }
 
 void FvModel::set_boundary(Face f, const BoundaryCondition& bc) {
@@ -528,9 +537,18 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
 
 FvTransientSolution FvModel::solve_transient(double t_end, double dt, double t_initial,
                                              const FvOptions& opts) const {
-  if (dt <= 0.0 || t_end <= dt) throw std::invalid_argument("solve_transient: bad time step");
+  return solve_transient(t_end, dt, Vector(grid_.cell_count(), t_initial), opts);
+}
+
+FvTransientSolution FvModel::solve_transient(double t_end, double dt,
+                                             const Vector& initial_temperatures,
+                                             const FvOptions& opts) const {
+  if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("solve_transient: bad time step");
   const std::size_t n = grid_.cell_count();
-  Vector temps(n, t_initial);
+  if (initial_temperatures.size() != n)
+    throw std::invalid_argument("solve_transient: initial field size mismatch");
+  dt = std::min(dt, t_end);  // a march shorter than one step = one step of t_end
+  Vector temps = initial_temperatures;
   FvTransientSolution out;
   out.times.push_back(0.0);
   out.temperatures.push_back(temps);

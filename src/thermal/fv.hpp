@@ -147,6 +147,10 @@ class FvModel {
 
   /// Add total power [W] uniformly distributed over a sub-box.
   void add_power(const CellRange& r, double watts);
+  /// Add a volumetric source field: `qv(x, y, z)` [W/m^3] evaluated at each
+  /// cell center (midpoint rule) and scaled by the cell volume. Used by the
+  /// manufactured-solutions harness to inject spatially varying sources.
+  void add_power_density(const std::function<double(double, double, double)>& qv);
   /// Clear all sources (for power sweeps).
   void clear_power();
 
@@ -158,8 +162,18 @@ class FvModel {
 
   FvSolution solve_steady(const FvOptions& opts = {}) const;
 
-  /// Implicit Euler transient from a uniform initial temperature.
+  /// Implicit Euler transient from a uniform initial temperature. `dt` is
+  /// clamped to `t_end` (a march shorter than one step degenerates to a
+  /// single implicit step of size `t_end`); throws on non-positive `dt` or
+  /// `t_end`.
   FvTransientSolution solve_transient(double t_end, double dt, double t_initial,
+                                      const FvOptions& opts = {}) const;
+
+  /// Implicit Euler transient from a full per-cell initial field (needed by
+  /// the manufactured-solutions transient ladder, whose exact initial state
+  /// is spatially varying). Same time-step semantics as above.
+  FvTransientSolution solve_transient(double t_end, double dt,
+                                      const numeric::Vector& initial_temperatures,
                                       const FvOptions& opts = {}) const;
 
   /// Highest cell temperature within a sub-box of a solution.

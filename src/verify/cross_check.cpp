@@ -1,0 +1,218 @@
+#include "verify/cross_check.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "thermal/fins.hpp"
+#include "thermal/network.hpp"
+
+namespace aeropack::verify {
+
+namespace {
+
+using thermal::BoundaryCondition;
+using thermal::Face;
+using thermal::FvGrid;
+using thermal::FvModel;
+using thermal::FvOptions;
+
+FvOptions tight_options(thermal::FaceConductanceScheme scheme) {
+  FvOptions opts;
+  opts.scheme = scheme;
+  opts.linear.tolerance = 1e-13;
+  return opts;
+}
+
+thermal::SteadyOptions network_options() {
+  thermal::SteadyOptions opts;
+  opts.tolerance = 1e-12;
+  return opts;
+}
+
+/// Run the FV model twice and fill the shared result fields.
+void solve_fv_twice(const FvModel& m, const FvOptions& opts, CrossCheckResult& r) {
+  const auto first = m.solve_steady(opts);
+  const auto repeat = m.solve_steady(opts);
+  if (!first.converged || !repeat.converged)
+    throw std::runtime_error("cross_check: FV solve did not converge");
+  r.fv_field = first.temperatures;
+  r.fv_field_repeat = repeat.temperatures;
+  r.fv_structure_assemblies = first.structure_assemblies;
+  r.fv_picard_iterations = first.picard_iterations;
+}
+
+}  // namespace
+
+CrossCheckResult cross_check_slab(std::size_t cells, thermal::FaceConductanceScheme scheme) {
+  if (cells < 2) throw std::invalid_argument("cross_check_slab: need >= 2 cells");
+  const double length = 0.2, width = 0.04, thick = 0.01;  // [m]
+  const double k = 140.0;                                 // [W/m K]
+  const double t_left = 330.0, t_right = 300.0;           // [K]
+  const double power = 25.0;                              // [W]
+  const double area = width * thick;
+  const double qv = power / (length * area);  // [W/m^3]
+  const double dx = length / static_cast<double>(cells);
+
+  CrossCheckResult r;
+  r.name = "slab";
+
+  // Analytic: T(x) = t_left + (t_right - t_left) x/L + qv/(2k) x (L - x),
+  // evaluated at the mid cell's center.
+  const std::size_t mid = cells / 2;
+  const double x_mid = (static_cast<double>(mid) + 0.5) * dx;
+  r.analytic = t_left + (t_right - t_left) * x_mid / length +
+               qv / (2.0 * k) * x_mid * (length - x_mid);
+
+  // Network: one node per cell center, axial conductances kA/dx, half-cell
+  // couplings to the two boundary nodes, per-cell source load.
+  {
+    thermal::ThermalNetwork net;
+    std::vector<thermal::NodeId> nodes;
+    for (std::size_t i = 0; i < cells; ++i) {
+      nodes.push_back(net.add_node("cell" + std::to_string(i)));
+      net.add_heat_load(nodes.back(), qv * area * dx);
+    }
+    const auto left = net.add_boundary("left", t_left);
+    const auto right = net.add_boundary("right", t_right);
+    const double g_axial = k * area / dx;
+    for (std::size_t i = 0; i + 1 < cells; ++i) net.add_conductor(nodes[i], nodes[i + 1], g_axial);
+    net.add_conductor(left, nodes.front(), 2.0 * g_axial);
+    net.add_conductor(right, nodes.back(), 2.0 * g_axial);
+    const auto sol = net.solve_steady(network_options());
+    if (!sol.converged) throw std::runtime_error("cross_check_slab: network did not converge");
+    r.network = sol.temperatures[nodes[mid]];
+  }
+
+  // Finite volume: same bar discretized along x.
+  FvModel m(FvGrid::uniform(length, width, thick, cells, 1, 1));
+  m.set_conductivity(m.all_cells(), k, k, k);
+  m.add_power(m.all_cells(), power);
+  m.set_boundary(Face::XMin, BoundaryCondition::fixed(t_left));
+  m.set_boundary(Face::XMax, BoundaryCondition::fixed(t_right));
+  solve_fv_twice(m, tight_options(scheme), r);
+  r.fv = r.fv_field[m.grid().index(mid, 0, 0)];
+  return r;
+}
+
+CrossCheckResult cross_check_fin(std::size_t cells, thermal::FaceConductanceScheme scheme) {
+  if (cells < 2) throw std::invalid_argument("cross_check_fin: need >= 2 cells");
+  const double length = 0.12, width = 0.03, thick = 0.004;  // [m]
+  const double k = 200.0;                                   // [W/m K]
+  const double h = 25.0;                                    // [W/m^2 K]
+  const double t_base = 350.0, t_air = 300.0;               // [K]
+  const double area = width * thick;
+  const double perimeter = 2.0 * (width + thick);
+  const double dx = length / static_cast<double>(cells);
+
+  CrossCheckResult r;
+  r.name = "fin";
+
+  // Analytic adiabatic-tip fin: theta(x) = theta_b cosh(m (L - x)) / cosh(mL),
+  // at the tip cell's center.
+  const double m_fin = thermal::fin_parameter(h, perimeter, k, area);
+  const double x_tip = length - 0.5 * dx;
+  r.analytic = t_air + (t_base - t_air) * std::cosh(m_fin * (length - x_tip)) /
+                           std::cosh(m_fin * length);
+
+  // Network: axial chain + per-node film conductance h P dx to the air.
+  {
+    thermal::ThermalNetwork net;
+    std::vector<thermal::NodeId> nodes;
+    for (std::size_t i = 0; i < cells; ++i)
+      nodes.push_back(net.add_node("fin" + std::to_string(i)));
+    const auto base = net.add_boundary("base", t_base);
+    const auto air = net.add_boundary("air", t_air);
+    const double g_axial = k * area / dx;
+    for (std::size_t i = 0; i + 1 < cells; ++i) net.add_conductor(nodes[i], nodes[i + 1], g_axial);
+    net.add_conductor(base, nodes.front(), 2.0 * g_axial);
+    for (std::size_t i = 0; i < cells; ++i) net.add_conductor(nodes[i], air, h * perimeter * dx);
+    const auto sol = net.solve_steady(network_options());
+    if (!sol.converged) throw std::runtime_error("cross_check_fin: network did not converge");
+    r.network = sol.temperatures[nodes.back()];
+  }
+
+  // Finite volume: bar along x, convecting lateral faces, adiabatic tip.
+  FvModel m(FvGrid::uniform(length, width, thick, cells, 1, 1));
+  m.set_conductivity(m.all_cells(), k, k, k);
+  m.set_boundary(Face::XMin, BoundaryCondition::fixed(t_base));
+  for (Face f : {Face::YMin, Face::YMax, Face::ZMin, Face::ZMax})
+    m.set_boundary(f, BoundaryCondition::convection(h, t_air));
+  solve_fv_twice(m, tight_options(scheme), r);
+  r.fv = r.fv_field[m.grid().index(cells - 1, 0, 0)];
+  return r;
+}
+
+CrossCheckResult cross_check_card(std::size_t layers, thermal::FaceConductanceScheme scheme) {
+  if (layers < 4) throw std::invalid_argument("cross_check_card: need >= 4 layers");
+  const double side = 0.08, stack = 0.006;        // [m]
+  const double k = 18.0;                          // [W/m K] (laminate-ish)
+  const double t_rail = 293.15;                   // [K]
+  const double power = 12.0;                      // [W]
+  const double r_contact = 2.0e-4;                // bond line [K m^2/W]
+  const std::size_t contact_plane = layers / 2 - 1;
+  const double area = side * side;
+  const double dz = stack / static_cast<double>(layers);
+
+  CrossCheckResult r;
+  r.name = "card";
+
+  // Analytic series path from the hot-face cell center to the rail: flux
+  // enters the top face uniformly, so every resistance between the top cell
+  // center and the fixed face carries the full power.
+  const double n_interior_faces = static_cast<double>(layers - 1);
+  const double resistance = (n_interior_faces * dz + 0.5 * dz) / (k * area) + r_contact / area;
+  r.analytic = t_rail + power * resistance;
+
+  // Network: per-layer chain with the contact resistance inserted in series
+  // at the bond plane.
+  {
+    thermal::ThermalNetwork net;
+    std::vector<thermal::NodeId> nodes;
+    for (std::size_t i = 0; i < layers; ++i)
+      nodes.push_back(net.add_node("layer" + std::to_string(i)));
+    const auto rail = net.add_boundary("rail", t_rail);
+    const double g_axial = k * area / dz;
+    for (std::size_t i = 0; i + 1 < layers; ++i) {
+      double g = g_axial;
+      if (i == contact_plane) g = 1.0 / (1.0 / g_axial + r_contact / area);
+      net.add_conductor(nodes[i], nodes[i + 1], g);
+    }
+    net.add_conductor(rail, nodes.front(), 2.0 * g_axial);
+    net.add_heat_load(nodes.back(), power);
+    const auto sol = net.solve_steady(network_options());
+    if (!sol.converged) throw std::runtime_error("cross_check_card: network did not converge");
+    r.network = sol.temperatures[nodes.back()];
+  }
+
+  // Finite volume: single column of layers along z, flux in at ZMax, rail at
+  // ZMin, contact resistance on the bond plane.
+  FvModel m(FvGrid::uniform(side, side, stack, 1, 1, layers));
+  m.set_conductivity(m.all_cells(), k, k, k);
+  m.add_interface_z(contact_plane, r_contact);
+  m.set_boundary(Face::ZMin, BoundaryCondition::fixed(t_rail));
+  m.set_boundary(Face::ZMax, BoundaryCondition::heat_flux(power / area));
+  solve_fv_twice(m, tight_options(scheme), r);
+  r.fv = r.fv_field[m.grid().index(0, 0, layers - 1)];
+  return r;
+}
+
+thermal::FvModel nonlinear_box_model(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("nonlinear_box_model: n must be >= 1");
+  FvModel m(FvGrid::uniform(0.1, 0.08, 0.02, n, n, std::max<std::size_t>(n / 2, 1)));
+  m.set_conductivity(m.all_cells(), 15.0, 15.0, 3.0);
+  const auto all = m.all_cells();
+  // A hot corner patch plus a background load.
+  thermal::CellRange hot = all;
+  hot.i1 = std::max<std::size_t>(all.i1 / 2, 1);
+  hot.j1 = std::max<std::size_t>(all.j1 / 2, 1);
+  m.add_power(hot, 6.0);
+  m.add_power(all, 2.0);
+  m.set_boundary(Face::ZMin,
+                 BoundaryCondition::natural(thermal::SurfaceOrientation::HorizontalUp, 0.1,
+                                            293.15));
+  m.set_boundary(Face::ZMax, BoundaryCondition::convection_radiation(6.0, 293.15, 0.8));
+  m.set_boundary(Face::XMin, BoundaryCondition::convection(12.0, 293.15));
+  return m;
+}
+
+}  // namespace aeropack::verify

@@ -1,0 +1,64 @@
+// Cross-solver equivalence checks: one physical problem solved three ways —
+// closed-form analytic, lumped ThermalNetwork chain, and the 3-D FvModel —
+// with toleranced agreement on a headline scalar. This is the paper's Fig. 4
+// model-level contract made executable: the Level-1 network and Level-2/3
+// finite-volume models must tell the same story where their domains overlap.
+//
+// Each family also returns the FV field solved twice on the same model so
+// callers can assert the determinism contract (cached assembly + warm-started
+// CG must reproduce a cold solve bit-for-bit).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "numeric/dense.hpp"
+#include "thermal/fv.hpp"
+
+namespace aeropack::verify {
+
+struct CrossCheckResult {
+  std::string name;
+  /// The family's headline scalar [K] from each model level.
+  double analytic = 0.0;
+  double network = 0.0;
+  double fv = 0.0;
+  /// FV field from the first solve and from an identical repeat solve.
+  numeric::Vector fv_field;
+  numeric::Vector fv_field_repeat;
+  /// Assembly-cache counter from the FV solve (must be 1: one symbolic
+  /// assembly regardless of Picard pass count).
+  std::size_t fv_structure_assemblies = 0;
+  std::size_t fv_picard_iterations = 0;
+};
+
+/// 1-D slab, fixed temperatures at both ends, uniform volumetric source.
+/// Headline scalar: temperature at the cell nearest the midplane. The
+/// network chain mirrors the FV discretization (half-cell end couplings), so
+/// network and FV agree to solver tolerance while the analytic parabola
+/// differs only by the O(h^2) discretization error.
+CrossCheckResult cross_check_slab(std::size_t cells,
+                                  thermal::FaceConductanceScheme scheme =
+                                      thermal::FaceConductanceScheme::HarmonicMean);
+
+/// Straight rectangular fin: fixed base, convecting lateral faces, adiabatic
+/// tip. Headline scalar: tip temperature vs the cosh/cosh fin solution.
+CrossCheckResult cross_check_fin(std::size_t cells,
+                                 thermal::FaceConductanceScheme scheme =
+                                     thermal::FaceConductanceScheme::HarmonicMean);
+
+/// Through-thickness conduction card: prescribed heat flux on the component
+/// face, a bond-line contact resistance mid-stack (FvModel::add_interface_z),
+/// fixed cold rail on the far face. Headline scalar: hot-face cell
+/// temperature vs the series-resistance sum.
+CrossCheckResult cross_check_card(std::size_t layers,
+                                  thermal::FaceConductanceScheme scheme =
+                                      thermal::FaceConductanceScheme::HarmonicMean);
+
+/// A small box with nonlinear boundaries (ConvectionRadiation + natural
+/// convection) and an interior source: no closed form, but it drives the
+/// Picard loop through several warm-started passes, which is exactly the
+/// path the determinism and thread-sweep suites need to pin down.
+thermal::FvModel nonlinear_box_model(std::size_t n);
+
+}  // namespace aeropack::verify

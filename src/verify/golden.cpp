@@ -1,0 +1,151 @@
+#include "verify/golden.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "verify/tolerance.hpp"
+
+namespace aeropack::verify {
+
+bool golden_update_requested() {
+  const char* v = std::getenv("AEROPACK_UPDATE_GOLDEN");
+  return v != nullptr && std::strcmp(v, "") != 0 && std::strcmp(v, "0") != 0;
+}
+
+namespace {
+
+[[noreturn]] void malformed(const std::string& path, const std::string& why) {
+  throw std::runtime_error("golden file " + path + ": " + why);
+}
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+std::string parse_string(const std::string& s, std::size_t& i, const std::string& path) {
+  if (i >= s.size() || s[i] != '"') malformed(path, "expected '\"'");
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) malformed(path, "dangling escape");
+    }
+    out += s[i++];
+  }
+  if (i >= s.size()) malformed(path, "unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, double> read_golden_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("golden file " + path +
+                             ": missing (run with AEROPACK_UPDATE_GOLDEN=1 to create it)");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string s = buf.str();
+
+  std::map<std::string, double> values;
+  std::size_t i = 0;
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != '{') malformed(path, "expected '{'");
+  ++i;
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '}') return values;  // empty object
+  while (true) {
+    skip_ws(s, i);
+    const std::string key = parse_string(s, i, path);
+    skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') malformed(path, "expected ':' after key " + key);
+    ++i;
+    skip_ws(s, i);
+    char* end = nullptr;
+    const double v = std::strtod(s.c_str() + i, &end);
+    if (end == s.c_str() + i) malformed(path, "expected number for key " + key);
+    i = static_cast<std::size_t>(end - s.c_str());
+    if (!values.emplace(key, v).second) malformed(path, "duplicate key " + key);
+    skip_ws(s, i);
+    if (i >= s.size()) malformed(path, "unterminated object");
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '}') break;
+    malformed(path, "expected ',' or '}'");
+  }
+  return values;
+}
+
+void write_golden_file(const std::string& path, const std::map<std::string, double>& values) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("golden file " + path + ": cannot open for writing");
+  out << "{\n";
+  std::size_t emitted = 0;
+  char num[64];
+  for (const auto& [key, value] : values) {
+    std::snprintf(num, sizeof(num), "%.17g", value);
+    out << "  \"" << key << "\": " << num;
+    out << (++emitted < values.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  if (!out) throw std::runtime_error("golden file " + path + ": write failed");
+}
+
+GoldenRecorder::GoldenRecorder(std::string name, std::string directory)
+    : name_(std::move(name)), path_(std::move(directory)) {
+  if (!path_.empty() && path_.back() != '/') path_ += '/';
+  path_ += name_ + ".json";
+}
+
+void GoldenRecorder::record(const std::string& key, double value) {
+  if (!values_.emplace(key, value).second)
+    throw std::logic_error("GoldenRecorder: duplicate key " + key);
+}
+
+std::vector<std::string> GoldenRecorder::finish(double rel_tol) const {
+  if (golden_update_requested()) {
+    write_golden_file(path_, values_);
+    return {};
+  }
+  std::vector<std::string> report;
+  std::map<std::string, double> baseline;
+  try {
+    baseline = read_golden_file(path_);
+  } catch (const std::exception& e) {
+    report.emplace_back(e.what());
+  }
+  if (report.empty()) {
+    char line[256];
+    for (const auto& [key, value] : values_) {
+      const auto it = baseline.find(key);
+      if (it == baseline.end()) {
+        report.push_back("missing golden key: " + key);
+        continue;
+      }
+      if (!rel_close(value, it->second, rel_tol)) {
+        std::snprintf(line, sizeof(line),
+                      "golden mismatch: %s  baseline=%.17g  current=%.17g  rel_err=%.3e",
+                      key.c_str(), it->second, value, rel_error(value, it->second));
+        report.emplace_back(line);
+      }
+    }
+    for (const auto& [key, value] : baseline)
+      if (values_.find(key) == values_.end())
+        report.push_back("stale golden key (no longer recorded): " + key);
+  }
+  if (!report.empty())
+    report.push_back("to accept the new values, rerun with: AEROPACK_UPDATE_GOLDEN=1 ctest -L verify -R " +
+                     name_ + " && git diff tests/verify/golden/");
+  return report;
+}
+
+}  // namespace aeropack::verify

@@ -1,0 +1,55 @@
+// Golden-file regression framework. A test records named scalar results
+// (figure ordinates, capability numbers, MTBF hours); the recorder either
+// checks them against a committed JSON baseline or — when the
+// AEROPACK_UPDATE_GOLDEN environment variable is set — rewrites the baseline
+// in place. Mismatch reports end with the exact command to regenerate the
+// goldens so a legitimate behavior change is a one-liner to accept.
+//
+// The JSON subset is a single flat object of "key": number pairs, written
+// with round-trippable %.17g doubles and sorted keys so regeneration diffs
+// stay minimal.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aeropack::verify {
+
+/// True when AEROPACK_UPDATE_GOLDEN is set to anything but "" or "0".
+bool golden_update_requested();
+
+/// Parse a flat {"key": number, ...} JSON file. Throws std::runtime_error on
+/// missing file or malformed content.
+std::map<std::string, double> read_golden_file(const std::string& path);
+
+/// Write the map as sorted, round-trippable JSON. Throws on I/O failure.
+void write_golden_file(const std::string& path, const std::map<std::string, double>& values);
+
+class GoldenRecorder {
+ public:
+  /// Records compare against (or regenerate) `directory`/`name`.json.
+  GoldenRecorder(std::string name, std::string directory);
+
+  /// Record one scalar under a unique key (throws on duplicates — a
+  /// duplicate key silently overwriting would mask a test-authoring bug).
+  void record(const std::string& key, double value);
+
+  /// Finish the recording session. In update mode the baseline file is
+  /// rewritten and an empty report is returned. Otherwise the baseline is
+  /// loaded and every recorded value compared at `rel_tol` relative
+  /// tolerance (with a tiny absolute floor near zero); the returned report
+  /// is empty on success, else one line per mismatch / missing key / stale
+  /// baseline key plus a final ready-to-run regeneration command.
+  std::vector<std::string> finish(double rel_tol = 1e-9) const;
+
+  const std::string& path() const { return path_; }
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace aeropack::verify

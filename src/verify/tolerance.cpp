@@ -1,0 +1,74 @@
+#include "verify/tolerance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace aeropack::verify {
+
+double abs_error(double a, double b) { return std::fabs(a - b); }
+
+double rel_error(double a, double b) {
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  if (scale == 0.0) return 0.0;
+  return std::fabs(a - b) / scale;
+}
+
+bool rel_close_floor(double a, double b, double rel_tol, double abs_floor) {
+  return std::fabs(a - b) <= rel_tol * std::max(std::fabs(a), std::fabs(b)) + abs_floor;
+}
+
+bool rel_close(double a, double b, double rel_tol) {
+  return rel_close_floor(a, b, rel_tol, 1e-12);
+}
+
+namespace {
+void check_sizes(const numeric::Vector& a, const numeric::Vector& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("verify: field size mismatch in comparison");
+}
+}  // namespace
+
+double max_abs_diff(const numeric::Vector& a, const numeric::Vector& b) {
+  check_sizes(a, b);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+double max_rel_diff(const numeric::Vector& a, const numeric::Vector& b) {
+  check_sizes(a, b);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, rel_error(a[i], b[i]));
+  return worst;
+}
+
+bool bitwise_equal(const numeric::Vector& a, const numeric::Vector& b) {
+  return a.size() == b.size() && first_bitwise_difference(a, b) == a.size();
+}
+
+std::size_t first_bitwise_difference(const numeric::Vector& a, const numeric::Vector& b) {
+  check_sizes(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) return i;
+  return a.size();
+}
+
+double weighted_l2_diff(const numeric::Vector& a, const numeric::Vector& b,
+                        const numeric::Vector& weights) {
+  check_sizes(a, b);
+  if (!weights.empty() && weights.size() != a.size())
+    throw std::invalid_argument("verify: weight size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    const double d = a[i] - b[i];
+    num += w * d * d;
+    den += w;
+  }
+  if (den <= 0.0) throw std::invalid_argument("verify: non-positive total weight");
+  return std::sqrt(num / den);
+}
+
+}  // namespace aeropack::verify

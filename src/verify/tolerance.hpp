@@ -1,0 +1,49 @@
+// Error metrics shared by every verification tier: relative/absolute error,
+// toleranced closeness predicates (usable directly in EXPECT_PRED3), and
+// bitwise field comparison for the determinism contracts (cached vs cold
+// solves, thread-count sweeps) where "close" is not good enough.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::verify {
+
+/// |a - b|.
+double abs_error(double a, double b);
+
+/// |a - b| / max(|a|, |b|); zero when both are zero.
+double rel_error(double a, double b);
+
+/// True when |a - b| <= rel_tol * max(|a|, |b|) + abs_floor. The absolute
+/// floor keeps near-zero comparisons meaningful (a pure relative test on
+/// values straddling zero never passes).
+bool rel_close_floor(double a, double b, double rel_tol, double abs_floor);
+
+/// rel_close_floor with a 1e-12 floor. Deliberately NOT an overload so the
+/// bare name resolves in gtest's EXPECT_PRED3(rel_close, a, b, tol).
+bool rel_close(double a, double b, double rel_tol);
+
+/// Largest |a[i] - b[i]| over two equal-length fields; throws on mismatch.
+double max_abs_diff(const numeric::Vector& a, const numeric::Vector& b);
+
+/// Largest rel_error(a[i], b[i]) over two equal-length fields.
+double max_rel_diff(const numeric::Vector& a, const numeric::Vector& b);
+
+/// True when the two fields are identical to the last bit (memcmp-style
+/// double equality; +0.0 and -0.0 differ, NaN never matches). This is the
+/// contract for deterministic reductions across thread counts and for
+/// repeated solves of the same model.
+bool bitwise_equal(const numeric::Vector& a, const numeric::Vector& b);
+
+/// Index of the first bitwise difference, or a.size() when equal.
+std::size_t first_bitwise_difference(const numeric::Vector& a, const numeric::Vector& b);
+
+/// Volume-weighted (or plain when weights empty) L2 norm of the difference
+/// field: sqrt(sum w_i (a_i - b_i)^2 / sum w_i). The manufactured-solutions
+/// ladder measures discretization error in this norm.
+double weighted_l2_diff(const numeric::Vector& a, const numeric::Vector& b,
+                        const numeric::Vector& weights = {});
+
+}  // namespace aeropack::verify

@@ -1,14 +1,18 @@
 // Integration suite: every quantitative claim of Sarno & Tantolin (DATE
 // 2010) reproduced as a test. Shapes and factors must hold; tolerances are
-// generous where the paper is approximate ("about", "up to").
+// relative (verify::rel_close) and generous where the paper is approximate
+// ("about", "up to") — the old ad-hoc absolute epsilons encoded the same
+// windows, this states them as fractions of the paper value.
 #include <gtest/gtest.h>
 
 #include "core/seb.hpp"
 #include "core/units.hpp"
 #include "thermal/forced_air.hpp"
 #include "tim/tim_material.hpp"
+#include "verify/tolerance.hpp"
 
 namespace ac = aeropack::core;
+using aeropack::verify::rel_close;
 
 namespace {
 const double kCabin = ac::celsius_to_kelvin(25.0);
@@ -32,12 +36,12 @@ const ac::SebModel& carbon_seb() {
 TEST(PaperFig10, WithoutLhp40WattsGivesSixtyKelvin) {
   // Paper: natural convection alone holds 40 W at ~60 C PCB-air difference.
   const auto pt = aluminum_seb().solve(40.0, kCabin, ac::SebCooling::NaturalOnly);
-  EXPECT_NEAR(pt.dt_pcb_air, 60.0, 6.0);
+  EXPECT_PRED3(rel_close, pt.dt_pcb_air, 60.0, 0.10);
 }
 
 TEST(PaperFig10, CapabilityWithoutLhpIsFortyWatts) {
   const double q = aluminum_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
-  EXPECT_NEAR(q, 40.0, 5.0);
+  EXPECT_PRED3(rel_close, q, 40.0, 0.125);
 }
 
 // --- Fig. 10: "With LHP (horizontal)" ---------------------------------------
@@ -45,7 +49,7 @@ TEST(PaperFig10, CapabilityWithLhpIsAboutHundredWatts) {
   // Paper: "from 40 W up to 100 W with a constant PCB temperature".
   const double q =
       aluminum_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
-  EXPECT_NEAR(q, 100.0, 12.0);
+  EXPECT_PRED3(rel_close, q, 100.0, 0.12);
 }
 
 TEST(PaperFig10, CapabilityIncreaseAboutPlus150Percent) {
@@ -53,8 +57,8 @@ TEST(PaperFig10, CapabilityIncreaseAboutPlus150Percent) {
   const double base = m.capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly);
   const double lhp = m.capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
   const double increase = (lhp - base) / base;
-  EXPECT_GT(increase, 1.2);   // paper: +150%
-  EXPECT_LT(increase, 1.8);
+  // Paper: +150%; accept the same +/-20%-of-ratio window as the seed.
+  EXPECT_PRED3(rel_close, increase, 1.5, 0.20);
 }
 
 TEST(PaperFig10, ThirtyTwoDegreeDecreaseAtFortyWatts) {
@@ -63,14 +67,14 @@ TEST(PaperFig10, ThirtyTwoDegreeDecreaseAtFortyWatts) {
   const auto& m = aluminum_seb();
   const double no = m.solve(40.0, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air;
   const double yes = m.solve(40.0, kCabin, ac::SebCooling::HeatPipesAndLhp).dt_pcb_air;
-  EXPECT_NEAR(no - yes, 32.0, 5.0);
+  EXPECT_PRED3(rel_close, no - yes, 32.0, 0.16);
 }
 
 TEST(PaperFig10, LhpsCarryAboutFiftyEightWatts) {
   // Paper annotation on Fig. 10: "Power dissipated by Loop heat pipes: 58 W"
   // at the full ~100 W operating point.
   const auto pt = aluminum_seb().solve(100.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
-  EXPECT_NEAR(pt.q_lhp_path, 58.0, 7.0);
+  EXPECT_PRED3(rel_close, pt.q_lhp_path, 58.0, 0.12);
 }
 
 // --- Fig. 10: "With LHP (22 deg tilt)" --------------------------------------
@@ -91,7 +95,7 @@ TEST(PaperCarbon, CapabilityAboutSeventyWatts) {
   // to 70W with a constant PCB temperature)".
   const double q =
       carbon_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
-  EXPECT_NEAR(q, 70.0, 9.0);
+  EXPECT_PRED3(rel_close, q, 70.0, 0.13);
 }
 
 TEST(PaperCarbon, IncreaseAboutPlus80Percent) {
@@ -99,15 +103,14 @@ TEST(PaperCarbon, IncreaseAboutPlus80Percent) {
   const double lhp =
       carbon_seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
   const double increase = (lhp - base) / base;
-  EXPECT_GT(increase, 0.5);
-  EXPECT_LT(increase, 1.1);
+  EXPECT_PRED3(rel_close, increase, 0.8, 0.38);
 }
 
 TEST(PaperCarbon, TwentyDegreeDecreaseAtFortyWatts) {
   const auto& m = carbon_seb();
   const double no = m.solve(40.0, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air;
   const double yes = m.solve(40.0, kCabin, ac::SebCooling::HeatPipesAndLhp).dt_pcb_air;
-  EXPECT_NEAR(no - yes, 20.0, 5.0);
+  EXPECT_PRED3(rel_close, no - yes, 20.0, 0.25);
 }
 
 TEST(PaperCarbon, BelowAluminumButWorthwhile) {

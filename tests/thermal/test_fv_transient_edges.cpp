@@ -1,0 +1,124 @@
+// Transient FV edge cases that went untested since the seed: time steps
+// larger than the horizon, zero-power sources, single-cell grids, and the
+// initial-field overload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "thermal/fv.hpp"
+
+namespace at = aeropack::thermal;
+
+namespace {
+
+at::FvModel lumped_cell(double k, double rho_cp_density, double cp) {
+  // 2 cm cube, single cell, convection on XMax to 300 K air.
+  at::FvModel m(at::FvGrid::uniform(0.02, 0.02, 0.02, 1, 1, 1));
+  aeropack::materials::SolidMaterial mat;
+  mat.conductivity = k;
+  mat.conductivity_through = k;
+  mat.density = rho_cp_density;
+  mat.specific_heat = cp;
+  m.set_material(m.all_cells(), mat);
+  m.set_boundary(at::Face::XMax, at::BoundaryCondition::convection(50.0, 300.0));
+  return m;
+}
+
+}  // namespace
+
+TEST(FvTransientEdges, RejectsNonPositiveTimeParameters) {
+  auto m = lumped_cell(100.0, 2700.0, 900.0);
+  EXPECT_THROW(m.solve_transient(10.0, 0.0, 300.0), std::invalid_argument);
+  EXPECT_THROW(m.solve_transient(10.0, -1.0, 300.0), std::invalid_argument);
+  EXPECT_THROW(m.solve_transient(0.0, 1.0, 300.0), std::invalid_argument);
+  EXPECT_THROW(m.solve_transient(-10.0, 1.0, 300.0), std::invalid_argument);
+}
+
+TEST(FvTransientEdges, DtLargerThanHorizonClampsToSingleStep) {
+  auto m = lumped_cell(100.0, 2700.0, 900.0);
+  const auto clamped = m.solve_transient(2.0, 50.0, 350.0);
+  ASSERT_EQ(clamped.times.size(), 2u);  // initial state + one implicit step
+  EXPECT_DOUBLE_EQ(clamped.times.back(), 2.0);
+  // Identical to asking for the step size outright.
+  const auto direct = m.solve_transient(2.0, 2.0, 350.0);
+  ASSERT_EQ(direct.times.size(), 2u);
+  EXPECT_DOUBLE_EQ(direct.temperatures.back()[0], clamped.temperatures.back()[0]);
+}
+
+TEST(FvTransientEdges, DtEqualToHorizonTakesExactlyOneStep) {
+  auto m = lumped_cell(100.0, 2700.0, 900.0);
+  const auto out = m.solve_transient(5.0, 5.0, 340.0);
+  ASSERT_EQ(out.times.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.times[0], 0.0);
+  EXPECT_DOUBLE_EQ(out.times[1], 5.0);
+  EXPECT_LT(out.temperatures.back()[0], 340.0);  // cooling toward the sink
+  EXPECT_GT(out.temperatures.back()[0], 300.0);
+}
+
+TEST(FvTransientEdges, ZeroPowerAtSinkTemperatureStaysPut) {
+  // No sources and the initial field already at the sink temperature: every
+  // step must hold exactly (the warm-started CG sees a zero residual).
+  auto m = lumped_cell(100.0, 2700.0, 900.0);
+  const auto out = m.solve_transient(100.0, 10.0, 300.0);
+  for (const auto& field : out.temperatures) EXPECT_DOUBLE_EQ(field[0], 300.0);
+  EXPECT_EQ(out.structure_assemblies, 1u);
+}
+
+TEST(FvTransientEdges, ZeroPowerSingleCellMatchesLumpedDecay) {
+  // Single cell + convection = the lumped-capacitance problem. Implicit
+  // Euler: theta_{n+1} = theta_n / (1 + dt UA / C) with the film conductance
+  // in series with the half-cell conduction path.
+  const double k = 100.0, rho = 2700.0, cp = 900.0, side = 0.02;
+  auto m = lumped_cell(k, rho, cp);
+  const double area = side * side;
+  const double g_cond = k * area / (0.5 * side);
+  const double g_film = 50.0 * area;
+  const double ua = 1.0 / (1.0 / g_cond + 1.0 / g_film);
+  const double capacity = rho * cp * side * side * side;
+  const double dt = 30.0;
+  const auto out = m.solve_transient(300.0, dt, 350.0);
+  double theta = 50.0;
+  for (std::size_t s = 1; s < out.times.size(); ++s) {
+    theta /= 1.0 + dt * ua / capacity;
+    EXPECT_NEAR(out.temperatures[s][0], 300.0 + theta, 1e-6) << "step " << s;
+  }
+  // And the march must monotonically cool toward (never past) the sink.
+  for (std::size_t s = 1; s < out.times.size(); ++s) {
+    EXPECT_LT(out.temperatures[s][0], out.temperatures[s - 1][0]);
+    EXPECT_GT(out.temperatures[s][0], 300.0);
+  }
+}
+
+TEST(FvTransientEdges, SingleCellSteadyMatchesLumpedResistance) {
+  auto m = lumped_cell(100.0, 2700.0, 900.0);
+  m.add_power(m.all_cells(), 4.0);
+  const auto sol = m.solve_steady();
+  ASSERT_TRUE(sol.converged);
+  const double area = 0.02 * 0.02;
+  const double g_cond = 100.0 * area / 0.01;
+  const double g_film = 50.0 * area;
+  const double ua = 1.0 / (1.0 / g_cond + 1.0 / g_film);
+  EXPECT_NEAR(sol.temperatures[0], 300.0 + 4.0 / ua, 1e-6);
+  EXPECT_LT(sol.energy_residual, 1e-9);
+}
+
+TEST(FvTransientEdges, InitialFieldOverloadChecksSizeAndSeedsState) {
+  at::FvModel m(at::FvGrid::uniform(0.1, 0.02, 0.02, 4, 1, 1));
+  m.set_conductivity(m.all_cells(), 50.0, 50.0, 50.0);
+  m.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(300.0));
+  EXPECT_THROW(m.solve_transient(10.0, 1.0, aeropack::numeric::Vector(3, 300.0)),
+               std::invalid_argument);
+  const aeropack::numeric::Vector initial{310.0, 320.0, 330.0, 340.0};
+  const auto out = m.solve_transient(10.0, 1.0, initial);
+  ASSERT_FALSE(out.temperatures.empty());
+  // The recorded step 0 is the seed field itself.
+  for (std::size_t i = 0; i < initial.size(); ++i)
+    EXPECT_DOUBLE_EQ(out.temperatures.front()[i], initial[i]);
+  // Uniform-overload equivalence: a constant vector seed behaves identically.
+  const auto a = m.solve_transient(10.0, 1.0, 325.0);
+  const auto b = m.solve_transient(10.0, 1.0, aeropack::numeric::Vector(4, 325.0));
+  for (std::size_t s = 0; s < a.temperatures.size(); ++s)
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_DOUBLE_EQ(a.temperatures[s][i], b.temperatures[s][i]);
+}

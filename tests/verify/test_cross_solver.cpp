@@ -1,0 +1,89 @@
+// Cross-solver equivalence: the slab / fin / conduction-card families solved
+// three ways (closed form, ThermalNetwork, FvModel) must agree, and the FV
+// assembly-cache + warm-start fast path must reproduce a cold solve
+// bit-for-bit.
+#include <gtest/gtest.h>
+
+#include "verify/cross_check.hpp"
+#include "verify/tolerance.hpp"
+
+namespace av = aeropack::verify;
+namespace at = aeropack::thermal;
+
+namespace {
+
+// The network chains mirror the FV discretization exactly, so those two
+// levels agree to linear-solver tolerance; the analytic reference differs by
+// the O(h^2) discretization error at the chosen resolutions.
+void expect_three_way_agreement(const av::CrossCheckResult& r) {
+  EXPECT_LT(av::abs_error(r.fv, r.network), 1e-2) << r.name;      // [K]
+  EXPECT_LT(av::abs_error(r.fv, r.analytic), 5e-2) << r.name;     // [K]
+  EXPECT_LT(av::abs_error(r.network, r.analytic), 5e-2) << r.name;
+}
+
+void expect_deterministic_fast_path(const av::CrossCheckResult& r) {
+  EXPECT_EQ(r.fv_structure_assemblies, 1u) << r.name;
+  EXPECT_TRUE(av::bitwise_equal(r.fv_field, r.fv_field_repeat))
+      << r.name << ": cached vs cold solve diverge at index "
+      << av::first_bitwise_difference(r.fv_field, r.fv_field_repeat);
+}
+
+}  // namespace
+
+TEST(CrossSolver, SlabThreeWayAgreement) {
+  for (auto scheme :
+       {at::FaceConductanceScheme::HarmonicMean, at::FaceConductanceScheme::ArithmeticMean}) {
+    const auto r = av::cross_check_slab(64, scheme);
+    expect_three_way_agreement(r);
+    expect_deterministic_fast_path(r);
+  }
+}
+
+TEST(CrossSolver, FinThreeWayAgreement) {
+  for (auto scheme :
+       {at::FaceConductanceScheme::HarmonicMean, at::FaceConductanceScheme::ArithmeticMean}) {
+    const auto r = av::cross_check_fin(96, scheme);
+    expect_three_way_agreement(r);
+    expect_deterministic_fast_path(r);
+  }
+}
+
+TEST(CrossSolver, CardThreeWayAgreement) {
+  for (auto scheme :
+       {at::FaceConductanceScheme::HarmonicMean, at::FaceConductanceScheme::ArithmeticMean}) {
+    const auto r = av::cross_check_card(12, scheme);
+    expect_three_way_agreement(r);
+    expect_deterministic_fast_path(r);
+  }
+}
+
+TEST(CrossSolver, SlabConvergesTowardAnalyticUnderRefinement) {
+  const double coarse = av::abs_error(av::cross_check_slab(16).fv,
+                                      av::cross_check_slab(16).analytic);
+  const double fine = av::abs_error(av::cross_check_slab(64).fv,
+                                    av::cross_check_slab(64).analytic);
+  EXPECT_LT(fine, coarse);
+}
+
+TEST(CrossSolver, CardSeriesResistanceIsExact) {
+  // A pure 1-D series path has zero truncation error: all three levels are
+  // the same resistor sum, including the bond-line contact term.
+  const auto r = av::cross_check_card(12);
+  EXPECT_LT(av::abs_error(r.fv, r.analytic), 1e-6);
+  EXPECT_LT(av::abs_error(r.network, r.analytic), 1e-6);
+}
+
+TEST(CrossSolver, NonlinearBoxPicardWarmStartIsDeterministic) {
+  // Nonlinear boundaries force a multi-pass Picard loop with warm-started
+  // CG; two independent solves must still match to the last bit.
+  const auto model = av::nonlinear_box_model(8);
+  const auto a = model.solve_steady();
+  const auto b = model.solve_steady();
+  ASSERT_TRUE(a.converged);
+  EXPECT_GT(a.picard_iterations, 2u);  // actually nonlinear
+  EXPECT_EQ(a.structure_assemblies, 1u);
+  EXPECT_TRUE(av::bitwise_equal(a.temperatures, b.temperatures))
+      << "diverges at index " << av::first_bitwise_difference(a.temperatures, b.temperatures);
+  EXPECT_EQ(a.picard_iterations, b.picard_iterations);
+  EXPECT_EQ(a.linear_iterations, b.linear_iterations);
+}

@@ -1,0 +1,126 @@
+// Unit tests of the golden-file framework itself: JSON round trip, mismatch
+// and staleness detection, the update-mode rewrite, and the regeneration
+// hint appended to every failure report.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "verify/golden.hpp"
+
+namespace av = aeropack::verify;
+
+namespace {
+
+/// Scoped setenv/unsetenv for AEROPACK_UPDATE_GOLDEN.
+struct UpdateModeGuard {
+  explicit UpdateModeGuard(const char* value) {
+    ::setenv("AEROPACK_UPDATE_GOLDEN", value, 1);
+  }
+  ~UpdateModeGuard() { ::unsetenv("AEROPACK_UPDATE_GOLDEN"); }
+};
+
+std::string temp_dir() { return ::testing::TempDir(); }
+
+bool report_mentions(const std::vector<std::string>& report, const std::string& needle) {
+  for (const auto& line : report)
+    if (line.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+}  // namespace
+
+TEST(GoldenFile, RoundTripsValuesExactly) {
+  const std::string path = temp_dir() + "roundtrip.json";
+  const std::map<std::string, double> values{
+      {"plain", 1.5}, {"tiny", 3.0e-17}, {"negative", -273.15}, {"irrational", 0.1 + 0.2}};
+  av::write_golden_file(path, values);
+  const auto back = av::read_golden_file(path);
+  ASSERT_EQ(back.size(), values.size());
+  for (const auto& [key, v] : values) {
+    ASSERT_TRUE(back.count(key)) << key;
+    EXPECT_EQ(back.at(key), v) << key;  // %.17g must round-trip to the bit
+  }
+}
+
+TEST(GoldenFile, MissingFileAndMalformedContentThrow) {
+  EXPECT_THROW(av::read_golden_file(temp_dir() + "does_not_exist.json"), std::runtime_error);
+  const std::string path = temp_dir() + "malformed.json";
+  std::ofstream(path) << "{ \"key\": not_a_number }";
+  EXPECT_THROW(av::read_golden_file(path), std::runtime_error);
+  std::ofstream(path) << "[1, 2, 3]";
+  EXPECT_THROW(av::read_golden_file(path), std::runtime_error);
+  std::ofstream(path) << "{ \"a\": 1, \"a\": 2 }";
+  EXPECT_THROW(av::read_golden_file(path), std::runtime_error);
+}
+
+TEST(GoldenFile, EmptyObjectIsValid) {
+  const std::string path = temp_dir() + "empty.json";
+  std::ofstream(path) << "{}";
+  EXPECT_TRUE(av::read_golden_file(path).empty());
+}
+
+TEST(GoldenRecorder, PassesAgainstMatchingBaseline) {
+  av::write_golden_file(temp_dir() + "match.json", {{"a", 1.0}, {"b", 2.0}});
+  av::GoldenRecorder rec("match", temp_dir());
+  rec.record("a", 1.0);
+  rec.record("b", 2.0 * (1.0 + 1e-12));  // inside the relative tolerance
+  EXPECT_TRUE(rec.finish(1e-9).empty());
+}
+
+TEST(GoldenRecorder, ReportsMismatchWithRegenerationCommand) {
+  av::write_golden_file(temp_dir() + "drift.json", {{"a", 1.0}});
+  av::GoldenRecorder rec("drift", temp_dir());
+  rec.record("a", 1.02);
+  const auto report = rec.finish(1e-9);
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(report_mentions(report, "golden mismatch: a"));
+  EXPECT_TRUE(report_mentions(report, "AEROPACK_UPDATE_GOLDEN=1"))
+      << "failure report must tell the user how to regenerate";
+  EXPECT_TRUE(report_mentions(report, "ctest -L verify"));
+}
+
+TEST(GoldenRecorder, DetectsMissingAndStaleKeys) {
+  av::write_golden_file(temp_dir() + "keys.json", {{"kept", 1.0}, {"stale", 2.0}});
+  av::GoldenRecorder rec("keys", temp_dir());
+  rec.record("kept", 1.0);
+  rec.record("new", 3.0);
+  const auto report = rec.finish();
+  EXPECT_TRUE(report_mentions(report, "missing golden key: new"));
+  EXPECT_TRUE(report_mentions(report, "stale golden key"));
+}
+
+TEST(GoldenRecorder, MissingBaselineExplainsHowToCreateIt) {
+  av::GoldenRecorder rec("never_written", temp_dir());
+  rec.record("a", 1.0);
+  const auto report = rec.finish();
+  ASSERT_FALSE(report.empty());
+  EXPECT_TRUE(report_mentions(report, "missing"));
+  EXPECT_TRUE(report_mentions(report, "AEROPACK_UPDATE_GOLDEN"));
+}
+
+TEST(GoldenRecorder, UpdateModeRewritesBaseline) {
+  const std::string path = temp_dir() + "regen.json";
+  av::write_golden_file(path, {{"a", 1.0}});
+  {
+    UpdateModeGuard update("1");
+    EXPECT_TRUE(av::golden_update_requested());
+    av::GoldenRecorder rec("regen", temp_dir());
+    rec.record("a", 42.0);
+    EXPECT_TRUE(rec.finish().empty());  // update mode never fails
+  }
+  EXPECT_FALSE(av::golden_update_requested());
+  EXPECT_EQ(av::read_golden_file(path).at("a"), 42.0);
+}
+
+TEST(GoldenRecorder, UpdateModeRespectsZeroAsOff) {
+  UpdateModeGuard update("0");
+  EXPECT_FALSE(av::golden_update_requested());
+}
+
+TEST(GoldenRecorder, DuplicateKeyThrows) {
+  av::GoldenRecorder rec("dupe", temp_dir());
+  rec.record("a", 1.0);
+  EXPECT_THROW(rec.record("a", 1.0), std::logic_error);
+}

@@ -1,0 +1,119 @@
+// Golden regression suite: the repo's headline figure outputs (Fig. 2 modal
+// placement, Fig. 10 dT-vs-power curves, the MTBF rollup) frozen as JSON
+// baselines under tests/verify/golden/. Any solver change that moves these
+// numbers fails here with a diff and a ready-to-run regeneration command
+// (AEROPACK_UPDATE_GOLDEN=1 ctest -L verify).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/seb.hpp"
+#include "core/units.hpp"
+#include "fem/plate.hpp"
+#include "materials/solid.hpp"
+#include "reliability/mtbf.hpp"
+#include "verify/golden.hpp"
+
+namespace ac = aeropack::core;
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+namespace ar = aeropack::reliability;
+namespace av = aeropack::verify;
+
+namespace {
+
+const char* golden_dir() { return AEROPACK_GOLDEN_DIR; }
+
+void expect_golden(const av::GoldenRecorder& rec) {
+  std::string joined;
+  for (const auto& line : rec.finish()) joined += "\n  " + line;
+  EXPECT_TRUE(joined.empty()) << rec.path() << ":" << joined;
+}
+
+/// Fig. 2 power-supply board (the bench_fig2 design sweep, verbatim physics).
+af::PlateModel ps_board(double thickness, double doubler_factor) {
+  af::PlateModel p(0.16, 0.10, thickness, am::fr4(), 8, 5);
+  p.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+  p.add_smeared_mass(2.5);
+  p.add_point_mass(0.05, 0.05, 0.18);
+  p.add_point_mass(0.11, 0.05, 0.09);
+  if (doubler_factor > 1.0) p.add_doubler(0.03, 0.13, 0.02, 0.08, doubler_factor);
+  return p;
+}
+
+const double kCabin = ac::celsius_to_kelvin(25.0);
+
+const ac::SebModel& seb() {
+  static const ac::SebModel model{ac::SebDesign{}};
+  return model;
+}
+
+std::vector<ar::Part> avionics_bom(double junction_k) {
+  std::vector<ar::Part> bom;
+  const auto add = [&](const char* ref, ar::PartType t, int n) {
+    ar::Part p;
+    p.reference = ref;
+    p.type = t;
+    p.count = n;
+    p.junction_temperature = junction_k;
+    bom.push_back(p);
+  };
+  add("CPU", ar::PartType::Microprocessor, 1);
+  add("DRAM", ar::PartType::Memory, 4);
+  add("ANALOG", ar::PartType::AnalogIc, 12);
+  add("PWR-FET", ar::PartType::PowerTransistor, 6);
+  add("DIODE", ar::PartType::Diode, 20);
+  add("R", ar::PartType::Resistor, 300);
+  add("C-CER", ar::PartType::CeramicCapacitor, 200);
+  add("C-TANT", ar::PartType::TantalumCapacitor, 12);
+  add("L", ar::PartType::Inductor, 10);
+  add("CONN", ar::PartType::Connector, 4);
+  add("XTAL", ar::PartType::Crystal, 2);
+  add("ATTACH", ar::PartType::SolderJointSet, 50);
+  return bom;
+}
+
+}  // namespace
+
+TEST(GoldenRegression, Fig2ModalPlacement) {
+  av::GoldenRecorder rec("fig2_modal", golden_dir());
+  rec.record("f1_hz[1.6mm_bare]", ps_board(1.6e-3, 1.0).fundamental_frequency());
+  rec.record("f1_hz[2.4mm]", ps_board(2.4e-3, 1.0).fundamental_frequency());
+  rec.record("f1_hz[2.4mm_doubler_x1.8]", ps_board(2.4e-3, 1.8).fundamental_frequency());
+  rec.record("f1_hz[3.2mm_doubler_x1.8]", ps_board(3.2e-3, 1.8).fundamental_frequency());
+  expect_golden(rec);
+}
+
+TEST(GoldenRegression, Fig10SebCoolingCurves) {
+  av::GoldenRecorder rec("fig10_seb", golden_dir());
+  for (double q : {20.0, 40.0, 60.0, 100.0}) {
+    const std::string suffix = "[" + std::to_string(static_cast<int>(q)) + "W]";
+    rec.record("dt_no_lhp_k" + suffix,
+               seb().solve(q, kCabin, ac::SebCooling::NaturalOnly).dt_pcb_air);
+    rec.record("dt_lhp_k" + suffix,
+               seb().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 0.0).dt_pcb_air);
+    rec.record("dt_lhp_tilt22_k" + suffix,
+               seb().solve(q, kCabin, ac::SebCooling::HeatPipesAndLhp, 22.0).dt_pcb_air);
+  }
+  const auto full = seb().solve(100.0, kCabin, ac::SebCooling::HeatPipesAndLhp);
+  rec.record("q_lhp_path_w[100W]", full.q_lhp_path);
+  rec.record("capability_w[no_lhp_dt60]",
+             seb().capability_at_dt(60.0, kCabin, ac::SebCooling::NaturalOnly));
+  rec.record("capability_w[lhp_dt60]",
+             seb().capability_at_dt(60.0, kCabin, ac::SebCooling::HeatPipesAndLhp));
+  expect_golden(rec);
+}
+
+TEST(GoldenRegression, MtbfRollup) {
+  av::GoldenRecorder rec("mtbf_rollup", golden_dir());
+  for (double tj_c : {55.0, 70.0, 102.0}) {
+    const auto rpt = ar::predict_mtbf(avionics_bom(ac::celsius_to_kelvin(tj_c)),
+                                      ar::Environment::AirborneInhabitedCargo);
+    rec.record("mtbf_h[tj" + std::to_string(static_cast<int>(tj_c)) + "C]", rpt.mtbf_hours);
+  }
+  auto cots = avionics_bom(ac::celsius_to_kelvin(70.0));
+  for (auto& p : cots) p.quality = ar::Quality::Commercial;
+  rec.record("mtbf_h[tj70C_commercial]",
+             ar::predict_mtbf(cots, ar::Environment::AirborneInhabitedCargo).mtbf_hours);
+  expect_golden(rec);
+}

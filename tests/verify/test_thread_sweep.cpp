@@ -1,0 +1,91 @@
+// Thread-count determinism sweep: the MMS and cross-solver suites must
+// produce bit-identical fields at 1, 2 and 8 threads (the runtime equivalent
+// of AEROPACK_THREADS=1,2,8), locking in the deterministic-reduction
+// contract of the parallel layer for every solver path the verification
+// tier exercises.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numeric/parallel.hpp"
+#include "thermal/fv.hpp"
+#include "verify/cross_check.hpp"
+#include "verify/mms.hpp"
+#include "verify/tolerance.hpp"
+
+namespace an = aeropack::numeric;
+namespace at = aeropack::thermal;
+namespace av = aeropack::verify;
+
+namespace {
+
+const std::vector<std::size_t> kThreadSweep{1, 2, 8};
+
+struct ThreadCountGuard {
+  ThreadCountGuard() : saved_(an::thread_count()) {}
+  ~ThreadCountGuard() { an::set_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+template <typename Fn>
+void expect_bit_identical_across_threads(const char* what, Fn&& field_at_current_threads) {
+  ThreadCountGuard guard;
+  an::set_thread_count(kThreadSweep.front());
+  const aeropack::numeric::Vector reference = field_at_current_threads();
+  for (std::size_t t : kThreadSweep) {
+    an::set_thread_count(t);
+    const aeropack::numeric::Vector field = field_at_current_threads();
+    EXPECT_TRUE(av::bitwise_equal(reference, field))
+        << what << ": " << kThreadSweep.front() << " vs " << t
+        << " threads diverge at index " << av::first_bitwise_difference(reference, field);
+  }
+}
+
+}  // namespace
+
+TEST(ThreadSweep, CrossSolverFieldsBitIdentical) {
+  expect_bit_identical_across_threads("slab", [] { return av::cross_check_slab(64).fv_field; });
+  expect_bit_identical_across_threads("fin", [] { return av::cross_check_fin(96).fv_field; });
+  expect_bit_identical_across_threads("card", [] { return av::cross_check_card(12).fv_field; });
+}
+
+TEST(ThreadSweep, NonlinearPicardSolveBitIdentical) {
+  const auto model = av::nonlinear_box_model(10);
+  expect_bit_identical_across_threads("nonlinear box", [&] {
+    const auto sol = model.solve_steady();
+    EXPECT_TRUE(sol.converged);
+    return sol.temperatures;
+  });
+}
+
+TEST(ThreadSweep, TransientMarchBitIdentical) {
+  const auto model = av::nonlinear_box_model(8);
+  expect_bit_identical_across_threads("transient march", [&] {
+    const auto out = model.solve_transient(120.0, 10.0, 293.15);
+    return out.temperatures.back();
+  });
+}
+
+TEST(ThreadSweep, MmsLadderErrorsExactlyReproducible) {
+  // The MMS error norms are pure functions of the solved fields, so the
+  // whole convergence report — every rung and the fitted order — must be
+  // exactly equal (==, not near) at any thread count.
+  ThreadCountGuard guard;
+  const auto mms = av::mms_graded_k(0.1, 0.12, 0.08, 10.0, 1.5, 300.0, 40.0);
+  an::set_thread_count(1);
+  const auto reference =
+      av::mms_steady_order(mms, {8, 16}, at::FaceConductanceScheme::HarmonicMean);
+  for (std::size_t t : kThreadSweep) {
+    an::set_thread_count(t);
+    const auto report =
+        av::mms_steady_order(mms, {8, 16}, at::FaceConductanceScheme::HarmonicMean);
+    ASSERT_EQ(report.ladder.size(), reference.ladder.size());
+    for (std::size_t i = 0; i < report.ladder.size(); ++i) {
+      EXPECT_EQ(report.ladder[i].l2_error, reference.ladder[i].l2_error) << t;
+      EXPECT_EQ(report.ladder[i].max_error, reference.ladder[i].max_error) << t;
+    }
+    EXPECT_EQ(report.observed_order, reference.observed_order) << t;
+  }
+}
