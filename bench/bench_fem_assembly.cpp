@@ -1,0 +1,197 @@
+// BENCH-FEM-ASSEMBLY — shared DofMap/SparseAssembler layer + sparse modal path.
+//
+// Sweeps the Fig. 2 power-supply board across mesh refinements and thread
+// counts, timing the CSR assembly (DofMap + triplet scatter + build), the
+// dense Jacobi generalized eigensolve, and the sparse shift-invert subspace
+// iteration. Emits BENCH_fem_assembly.json (machine-readable) so later PRs
+// can track the perf trajectory, plus the usual table on stdout.
+//
+// Headline numbers: the dense-vs-sparse crossover mesh, and the finest-mesh
+// speedup of the shift-invert path over the dense eigensolve.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fem/modal.hpp"
+#include "fem/plate.hpp"
+#include "materials/solid.hpp"
+#include "numeric/parallel.hpp"
+#include "numeric/sparse.hpp"
+
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+namespace an = aeropack::numeric;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Best-of-reps wall time of fn() in milliseconds.
+template <typename Fn>
+double time_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best * 1e3;
+}
+
+/// The Fig. 2 power-supply board (clamped, smeared + point masses, doubler)
+/// at an arbitrary mesh refinement.
+af::PlateModel ps_board(std::size_t nx, std::size_t ny) {
+  af::PlateModel p(0.16, 0.10, 1.6e-3, am::fr4(), nx, ny);
+  p.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+  p.add_smeared_mass(2.5);
+  p.add_point_mass(0.05, 0.05, 0.18);
+  p.add_point_mass(0.11, 0.05, 0.09);
+  p.add_doubler(0.03, 0.13, 0.02, 0.08, 2.0);
+  return p;
+}
+
+struct ThreadTiming {
+  std::size_t threads = 1;
+  double sparse_modal_ms = 0.0;
+};
+
+struct MeshResult {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t free_dofs = 0;
+  std::size_t nonzeros = 0;
+  double assembly_ms = 0.0;     ///< DofMap + element scatter + CSR build
+  double dense_modal_ms = 0.0;  ///< full-spectrum Jacobi on the dense pencil
+  std::vector<ThreadTiming> timings;
+};
+
+void write_json(const std::string& path, std::size_t hardware, std::size_t n_modes,
+                const std::vector<std::size_t>& thread_counts,
+                const std::vector<MeshResult>& meshes) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("  (could not write %s)\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"fem_assembly\",\n";
+  out << "  \"hardware_threads\": " << hardware << ",\n";
+  out << "  \"n_modes\": " << n_modes << ",\n";
+  out << "  \"thread_counts\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    out << thread_counts[i] << (i + 1 < thread_counts.size() ? ", " : "");
+  out << "],\n  \"meshes\": [\n";
+  for (std::size_t g = 0; g < meshes.size(); ++g) {
+    const MeshResult& r = meshes[g];
+    out << "    {\n      \"nx\": " << r.nx << ", \"ny\": " << r.ny
+        << ", \"free_dofs\": " << r.free_dofs << ", \"nonzeros\": " << r.nonzeros << ",\n";
+    out << "      \"assembly_ms\": " << r.assembly_ms
+        << ", \"dense_modal_ms\": " << r.dense_modal_ms << ",\n";
+    out << "      \"threads\": [\n";
+    for (std::size_t t = 0; t < r.timings.size(); ++t) {
+      const ThreadTiming& tt = r.timings[t];
+      out << "        {\"threads\": " << tt.threads
+          << ", \"sparse_modal_ms\": " << tt.sparse_modal_ms
+          << ", \"dense_over_sparse\": "
+          << (tt.sparse_modal_ms > 0.0 ? r.dense_modal_ms / tt.sparse_modal_ms : 0.0) << "}"
+          << (t + 1 < r.timings.size() ? ",\n" : "\n");
+    }
+    out << "      ]\n    }" << (g + 1 < meshes.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("  series written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n================================================================\n");
+  std::printf("BENCH-FEM-ASSEMBLY — DofMap/SparseAssembler + sparse modal path\n");
+  std::printf("CSR assembly / dense Jacobi / shift-invert vs mesh and threads\n");
+  std::printf("================================================================\n");
+
+  const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  if (hardware > 4) thread_counts.push_back(hardware);
+  const std::size_t n_modes = 8;
+  std::printf("  hardware threads: %zu, modes requested: %zu\n\n", hardware, n_modes);
+
+  const std::vector<std::pair<std::size_t, std::size_t>> sizes{
+      {8, 5}, {12, 8}, {16, 10}, {20, 13}, {24, 15}};
+  std::vector<MeshResult> results;
+
+  for (const auto& [nx, ny] : sizes) {
+    MeshResult res;
+    res.nx = nx;
+    res.ny = ny;
+    const af::PlateModel plate = ps_board(nx, ny);
+    const int reps = nx <= 12 ? 5 : (nx <= 16 ? 3 : 1);
+
+    an::set_thread_count(1);
+    an::CsrMatrix k, m;
+    res.assembly_ms = time_ms(std::max(reps, 3), [&] { plate.reduced_sparse(k, m); });
+    res.free_dofs = k.rows();
+    res.nonzeros = k.nonzeros();
+
+    af::ModalOptions dense_opts;
+    dense_opts.n_modes = n_modes;
+    dense_opts.path = af::ModalPath::Dense;
+    res.dense_modal_ms = time_ms(reps, [&] {
+      const auto modes = plate.solve_modal(dense_opts);
+      (void)modes;
+    });
+
+    af::ModalOptions sparse_opts;
+    sparse_opts.n_modes = n_modes;
+    sparse_opts.path = af::ModalPath::Sparse;
+    for (const std::size_t t : thread_counts) {
+      an::set_thread_count(t);
+      ThreadTiming tt;
+      tt.threads = t;
+      tt.sparse_modal_ms = time_ms(reps, [&] {
+        const auto modes = plate.solve_modal(sparse_opts);
+        (void)modes;
+      });
+      res.timings.push_back(tt);
+    }
+    results.push_back(res);
+    std::printf("  %2zux%-2zu (%4zu free dofs, %7zu nnz): assembly %7.3f ms, "
+                "dense %9.3f ms, sparse@1t %8.3f ms\n",
+                nx, ny, res.free_dofs, res.nonzeros, res.assembly_ms, res.dense_modal_ms,
+                res.timings.front().sparse_modal_ms);
+  }
+  an::set_thread_count(0);
+
+  std::printf("\n  %-8s | %-9s | %-8s | %-12s | %-12s | %-10s\n", "mesh", "free dof", "threads",
+              "dense [ms]", "sparse [ms]", "dense/sparse");
+  std::printf("  ---------+-----------+----------+--------------+--------------+------------\n");
+  for (const MeshResult& r : results)
+    for (const ThreadTiming& tt : r.timings)
+      std::printf("  %2zux%-5zu | %9zu | %8zu | %12.3f | %12.3f | %9.2fx\n", r.nx, r.ny,
+                  r.free_dofs, tt.threads, r.dense_modal_ms, tt.sparse_modal_ms,
+                  tt.sparse_modal_ms > 0.0 ? r.dense_modal_ms / tt.sparse_modal_ms : 0.0);
+
+  // Crossover: the coarsest mesh where shift-invert already beats dense.
+  for (const MeshResult& r : results) {
+    if (r.dense_modal_ms > r.timings.front().sparse_modal_ms) {
+      std::printf("\n  headline: dense/sparse crossover at %zux%zu (%zu free dofs)\n", r.nx,
+                  r.ny, r.free_dofs);
+      break;
+    }
+  }
+  const MeshResult& big = results.back();
+  double best_sparse = 1e300;
+  for (const ThreadTiming& tt : big.timings) best_sparse = std::min(best_sparse, tt.sparse_modal_ms);
+  std::printf("  headline: %zux%zu (%zu free dofs) sparse shift-invert %.2fx faster than "
+              "dense Jacobi (best thread count)\n\n",
+              big.nx, big.ny, big.free_dofs,
+              best_sparse > 0.0 ? big.dense_modal_ms / best_sparse : 0.0);
+
+  write_json("BENCH_fem_assembly.json", hardware, n_modes, thread_counts, results);
+  return 0;
+}

@@ -4,11 +4,14 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "numeric/assembly.hpp"
 #include "numeric/solve_dense.hpp"
 
 namespace aeropack::fem {
 
+using numeric::CsrMatrix;
 using numeric::Matrix;
+using numeric::SparseAssembler;
 using numeric::Vector;
 
 Section3D Section3D::rectangle(double width, double height) {
@@ -220,11 +223,15 @@ std::size_t Frame3D::global_dof(std::size_t node, std::size_t dof) const {
   return node * 6 + dof;
 }
 
-void Frame3D::assemble(Matrix& k, Matrix& m) const {
-  const std::size_t n = dof_count();
-  if (n == 0) throw std::logic_error("Frame3D: empty model");
-  k = Matrix(n, n);
-  m = Matrix(n, n);
+void Frame3D::assemble_csr(const DofMap* map, CsrMatrix& k, CsrMatrix& m) const {
+  if (dof_count() == 0) throw std::logic_error("Frame3D: empty model");
+  const std::size_t n = map ? map->free_count() : dof_count();
+  if (n == 0) throw std::logic_error("Frame3D: all DOFs fixed");
+  SparseAssembler ka(n, n), ma(n, n);
+  ka.reserve(144 * beams_.size() + n);
+  ma.reserve(144 * beams_.size() + 3 * masses_.size() + n);
+
+  std::vector<std::size_t> dofs(12);
   for (const Beam& b : beams_) {
     const Coord& p1 = coords_[b.n1];
     const Coord& p2 = coords_[b.n2];
@@ -233,69 +240,72 @@ void Frame3D::assemble(Matrix& k, Matrix& m) const {
     const Matrix t = beam3d_transformation(p1.x, p1.y, p1.z, p2.x, p2.y, p2.z);
     const Matrix ke = t.transposed() * beam3d_stiffness_local(b.mat, b.section, l) * t;
     const Matrix me = t.transposed() * beam3d_mass_local(b.mat, b.section, l) * t;
-    std::size_t map[12];
     for (std::size_t d = 0; d < 6; ++d) {
-      map[d] = b.n1 * 6 + d;
-      map[6 + d] = b.n2 * 6 + d;
+      dofs[d] = b.n1 * 6 + d;
+      dofs[6 + d] = b.n2 * 6 + d;
     }
-    for (std::size_t i = 0; i < 12; ++i)
-      for (std::size_t j = 0; j < 12; ++j) {
-        k(map[i], map[j]) += ke(i, j);
-        m(map[i], map[j]) += me(i, j);
-      }
+    if (map) dofs = map->map_dofs(dofs);
+    ka.scatter(dofs, ke);
+    ma.scatter(dofs, me);
   }
   for (const auto& [node, mass] : masses_)
-    for (std::size_t d = 0; d < 3; ++d) m(node * 6 + d, node * 6 + d) += mass;
+    for (std::size_t d = 0; d < 3; ++d) {
+      const std::size_t g = map ? map->to_free(node * 6 + d) : node * 6 + d;
+      if (g != DofMap::kFixed) ma.add(g, g, mass);
+    }
+  // Explicit structural diagonal (zero-valued; sums unchanged) so the
+  // massless-DOF clamp and the skyline factorization always find it.
+  for (std::size_t i = 0; i < n; ++i) {
+    ka.add(i, i, 0.0);
+    ma.add(i, i, 0.0);
+  }
+  k = ka.finalize();
+  m = ma.finalize();
+}
+
+DofMap Frame3D::dof_map() const {
+  if (dof_count() == 0) throw std::logic_error("Frame3D: empty model");
+  DofMap map(dof_count());
+  for (std::size_t i = 0; i < fixed_.size(); ++i)
+    if (fixed_[i]) map.fix(i);
+  if (map.free_count() == 0) throw std::logic_error("Frame3D: all DOFs fixed");
+  return map;
+}
+
+void Frame3D::reduced_sparse(CsrMatrix& k, CsrMatrix& m) const {
+  const DofMap map = dof_map();
+  assemble_csr(&map, k, m);
+  // Guard against massless DOFs (rotations of a lumped-mass-only node):
+  // a tiny inertia keeps M positive definite.
+  clamp_massless_diagonal(m);
 }
 
 Matrix Frame3D::stiffness_matrix() const {
-  Matrix k, m;
-  assemble(k, m);
-  return k;
+  CsrMatrix k, m;
+  assemble_csr(nullptr, k, m);
+  return k.to_dense();
 }
 
 Matrix Frame3D::mass_matrix() const {
-  Matrix k, m;
-  assemble(k, m);
-  return m;
+  CsrMatrix k, m;
+  assemble_csr(nullptr, k, m);
+  return m.to_dense();
 }
 
 Vector Frame3D::solve_static(const Vector& loads) const {
   if (loads.size() != dof_count()) throw std::invalid_argument("solve_static: load size");
-  Matrix kf, mf;
-  assemble(kf, mf);
-  std::vector<std::size_t> map;
-  for (std::size_t i = 0; i < dof_count(); ++i)
-    if (!fixed_[i]) map.push_back(i);
-  if (map.empty()) throw std::logic_error("Frame3D: all DOFs fixed");
-  Matrix k(map.size(), map.size());
-  Vector f(map.size());
-  for (std::size_t i = 0; i < map.size(); ++i) {
-    f[i] = loads[map[i]];
-    for (std::size_t j = 0; j < map.size(); ++j) k(i, j) = kf(map[i], map[j]);
-  }
-  const Vector u = numeric::solve(k, f);
-  Vector full(dof_count(), 0.0);
-  for (std::size_t i = 0; i < map.size(); ++i) full[map[i]] = u[i];
-  return full;
+  const DofMap dmap = dof_map();
+  CsrMatrix k, m;
+  assemble_csr(&dmap, k, m);
+  const Vector f = dmap.reduce(loads);
+  const Vector u = numeric::solve(k.to_dense(), f);
+  return dmap.expand(u);
 }
 
-Vector Frame3D::natural_frequencies() const {
-  Matrix kf, mf;
-  assemble(kf, mf);
-  std::vector<std::size_t> map;
-  for (std::size_t i = 0; i < dof_count(); ++i)
-    if (!fixed_[i]) map.push_back(i);
-  if (map.empty()) throw std::logic_error("Frame3D: all DOFs fixed");
-  Matrix k(map.size(), map.size()), m(map.size(), map.size());
-  for (std::size_t i = 0; i < map.size(); ++i)
-    for (std::size_t j = 0; j < map.size(); ++j) {
-      k(i, j) = kf(map[i], map[j]);
-      m(i, j) = mf(map[i], map[j]);
-    }
-  for (std::size_t i = 0; i < map.size(); ++i)
-    if (m(i, i) <= 0.0) m(i, i) = 1e-9;
-  return numeric::natural_frequencies_hz(numeric::eigen_generalized(k, m));
+Vector Frame3D::natural_frequencies(const ModalOptions& opts) const {
+  CsrMatrix k, m;
+  reduced_sparse(k, m);
+  return solve_reduced_modes(k, m, opts).frequencies_hz;
 }
 
 Vector Frame3D::beam_stresses(const Vector& displacements) const {

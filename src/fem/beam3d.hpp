@@ -4,9 +4,12 @@
 // navigation unit's mounting truss is inherently three-dimensional.
 #pragma once
 
+#include "fem/dof_map.hpp"
+#include "fem/modal.hpp"
 #include "materials/solid.hpp"
 #include "numeric/dense.hpp"
 #include "numeric/eigen.hpp"
+#include "numeric/sparse.hpp"
 
 namespace aeropack::fem {
 
@@ -56,8 +59,15 @@ class Frame3D {
 
   /// Static displacement under a full-DOF load vector.
   numeric::Vector solve_static(const numeric::Vector& loads) const;
-  /// Natural frequencies [Hz], ascending.
-  numeric::Vector natural_frequencies() const;
+  /// Natural frequencies [Hz], ascending. `opts` picks the dense/sparse
+  /// eigensolver path and bounds the returned mode count.
+  numeric::Vector natural_frequencies(const ModalOptions& opts = {}) const;
+
+  /// Constraint map built from fix()/fix_all() calls.
+  DofMap dof_map() const;
+  /// Reduced (free-DOF) sparse stiffness/mass pencil; the mass diagonal is
+  /// already guarded against massless DOFs (see fem/modal.hpp).
+  void reduced_sparse(numeric::CsrMatrix& k, numeric::CsrMatrix& m) const;
   /// Peak axial+bending von-Mises-ish stress in each beam for a static
   /// solution (outer-fiber bending + axial). [Pa]
   numeric::Vector beam_stresses(const numeric::Vector& displacements) const;
@@ -71,7 +81,9 @@ class Frame3D {
     materials::SolidMaterial mat;
     Section3D section;
   };
-  void assemble(numeric::Matrix& k, numeric::Matrix& m) const;
+  /// Scatter all elements into sparse assemblers. `map` == nullptr
+  /// assembles full-DOF; otherwise fixed DOFs are dropped.
+  void assemble_csr(const DofMap* map, numeric::CsrMatrix& k, numeric::CsrMatrix& m) const;
   void check_node(std::size_t n) const;
 
   std::vector<Coord> coords_;

@@ -1,0 +1,83 @@
+#include "fem/dof_map.hpp"
+
+#include <stdexcept>
+
+#include "numeric/assembly.hpp"
+
+namespace aeropack::fem {
+
+static_assert(DofMap::kFixed == numeric::SparseAssembler::kDiscard,
+              "DofMap::kFixed must match SparseAssembler::kDiscard so mapped "
+              "DOF lists feed scatter() directly");
+
+DofMap::DofMap(std::size_t full_dof_count) : fixed_(full_dof_count, false) {
+  if (full_dof_count == 0) throw std::invalid_argument("DofMap: zero DOFs");
+}
+
+void DofMap::fix(std::size_t full_dof) {
+  if (full_dof >= fixed_.size()) throw std::out_of_range("DofMap::fix");
+  fixed_[full_dof] = true;
+  built_ = false;
+}
+
+bool DofMap::is_fixed(std::size_t full_dof) const {
+  if (full_dof >= fixed_.size()) throw std::out_of_range("DofMap::is_fixed");
+  return fixed_[full_dof];
+}
+
+void DofMap::ensure_built() const {
+  if (built_) return;
+  to_free_.assign(fixed_.size(), kFixed);
+  free_to_full_.clear();
+  for (std::size_t i = 0; i < fixed_.size(); ++i)
+    if (!fixed_[i]) {
+      to_free_[i] = free_to_full_.size();
+      free_to_full_.push_back(i);
+    }
+  built_ = true;
+}
+
+std::size_t DofMap::free_count() const {
+  ensure_built();
+  return free_to_full_.size();
+}
+
+std::size_t DofMap::to_free(std::size_t full_dof) const {
+  if (full_dof >= fixed_.size()) throw std::out_of_range("DofMap::to_free");
+  ensure_built();
+  return to_free_[full_dof];
+}
+
+const std::vector<std::size_t>& DofMap::free_to_full() const {
+  ensure_built();
+  return free_to_full_;
+}
+
+std::vector<std::size_t> DofMap::map_dofs(const std::vector<std::size_t>& full_dofs) const {
+  ensure_built();
+  std::vector<std::size_t> out(full_dofs.size());
+  for (std::size_t i = 0; i < full_dofs.size(); ++i) {
+    if (full_dofs[i] >= fixed_.size()) throw std::out_of_range("DofMap::map_dofs");
+    out[i] = to_free_[full_dofs[i]];
+  }
+  return out;
+}
+
+numeric::Vector DofMap::reduce(const numeric::Vector& full) const {
+  if (full.size() != fixed_.size()) throw std::invalid_argument("DofMap::reduce: size mismatch");
+  ensure_built();
+  numeric::Vector out(free_to_full_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = full[free_to_full_[i]];
+  return out;
+}
+
+numeric::Vector DofMap::expand(const numeric::Vector& reduced) const {
+  ensure_built();
+  if (reduced.size() != free_to_full_.size())
+    throw std::invalid_argument("DofMap::expand: size mismatch");
+  numeric::Vector out(fixed_.size(), 0.0);
+  for (std::size_t i = 0; i < reduced.size(); ++i) out[free_to_full_[i]] = reduced[i];
+  return out;
+}
+
+}  // namespace aeropack::fem

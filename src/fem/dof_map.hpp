@@ -1,0 +1,55 @@
+// Shared node/DOF numbering and constraint handling for the FEM models.
+//
+// Every structural model in this module (planar frame, space frame, plate)
+// used to carry its own copy of the fix/reduce/expand bookkeeping. DofMap is
+// the single implementation: mark DOFs fixed, then map between full-DOF and
+// free-DOF (reduced) index spaces. Fixed DOFs map to kFixed, which equals
+// numeric::SparseAssembler::kDiscard so a mapped DOF list can be handed
+// straight to SparseAssembler::scatter to assemble reduced matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace aeropack::fem {
+
+class DofMap {
+ public:
+  /// Free-index value of a fixed DOF (== numeric::SparseAssembler::kDiscard).
+  static constexpr std::size_t kFixed = static_cast<std::size_t>(-1);
+
+  explicit DofMap(std::size_t full_dof_count);
+
+  /// Constrain a full DOF to zero. Idempotent.
+  void fix(std::size_t full_dof);
+  bool is_fixed(std::size_t full_dof) const;
+
+  std::size_t full_count() const { return fixed_.size(); }
+  std::size_t free_count() const;
+
+  /// Free index of a full DOF, or kFixed if constrained.
+  std::size_t to_free(std::size_t full_dof) const;
+  /// Ascending full-DOF indices of the free DOFs.
+  const std::vector<std::size_t>& free_to_full() const;
+
+  /// Map an element's full-DOF connectivity to free indices (kFixed entries
+  /// mark constrained DOFs); feed the result to SparseAssembler::scatter.
+  std::vector<std::size_t> map_dofs(const std::vector<std::size_t>& full_dofs) const;
+
+  /// Gather the free entries of a full-DOF vector.
+  numeric::Vector reduce(const numeric::Vector& full) const;
+  /// Scatter a free-DOF vector back to full size (zeros at fixed DOFs).
+  numeric::Vector expand(const numeric::Vector& reduced) const;
+
+ private:
+  void ensure_built() const;
+
+  std::vector<bool> fixed_;
+  mutable bool built_ = false;
+  mutable std::vector<std::size_t> to_free_;
+  mutable std::vector<std::size_t> free_to_full_;
+};
+
+}  // namespace aeropack::fem

@@ -3,11 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "numeric/assembly.hpp"
 #include "numeric/solve_dense.hpp"
 
 namespace aeropack::fem {
 
+using numeric::CsrMatrix;
 using numeric::Matrix;
+using numeric::SparseAssembler;
 using numeric::Vector;
 
 std::size_t FrameModel::add_node(double x, double y) {
@@ -71,10 +74,24 @@ std::size_t FrameModel::free_dof_count() const {
   return n;
 }
 
-Matrix FrameModel::stiffness_matrix() const {
-  const std::size_t n = dof_count();
-  if (n == 0) throw std::logic_error("FrameModel: empty model");
-  Matrix k(n, n);
+DofMap FrameModel::dof_map() const {
+  if (dof_count() == 0) throw std::logic_error("FrameModel: empty model");
+  DofMap map(dof_count());
+  for (std::size_t i = 0; i < fixed_.size(); ++i)
+    if (fixed_[i]) map.fix(i);
+  if (map.free_count() == 0) throw std::logic_error("FrameModel: all DOFs fixed");
+  return map;
+}
+
+void FrameModel::assemble_csr(const DofMap* map, CsrMatrix& k, CsrMatrix& m) const {
+  const std::size_t n = map ? map->free_count() : dof_count();
+  if (dof_count() == 0) throw std::logic_error("FrameModel: empty model");
+  if (n == 0) throw std::logic_error("FrameModel: all DOFs fixed");
+  SparseAssembler ka(n, n), ma(n, n);
+  ka.reserve(36 * beams_.size() + 4 * springs_.size() + n);
+  ma.reserve(36 * beams_.size() + 3 * masses_.size() + n);
+
+  std::vector<std::size_t> dofs(6);
   for (const Beam& b : beams_) {
     const double dx = nodes_[b.n2].x - nodes_[b.n1].x;
     const double dy = nodes_[b.n2].y - nodes_[b.n1].y;
@@ -82,72 +99,75 @@ Matrix FrameModel::stiffness_matrix() const {
     const double angle = std::atan2(dy, dx);
     const Matrix t = beam_transformation(angle);
     const Matrix ke = t.transposed() * beam_stiffness_local(b.e, b.section, l) * t;
-    const std::size_t map[6] = {global_dof(b.n1, Dof::Ux), global_dof(b.n1, Dof::Uy),
-                                global_dof(b.n1, Dof::Rz), global_dof(b.n2, Dof::Ux),
-                                global_dof(b.n2, Dof::Uy), global_dof(b.n2, Dof::Rz)};
-    for (std::size_t i = 0; i < 6; ++i)
-      for (std::size_t j = 0; j < 6; ++j) k(map[i], map[j]) += ke(i, j);
+    const Matrix me = t.transposed() * beam_mass_local(b.rho, b.section, l) * t;
+    dofs = {global_dof(b.n1, Dof::Ux), global_dof(b.n1, Dof::Uy), global_dof(b.n1, Dof::Rz),
+            global_dof(b.n2, Dof::Ux), global_dof(b.n2, Dof::Uy), global_dof(b.n2, Dof::Rz)};
+    if (map) dofs = map->map_dofs(dofs);
+    ka.scatter(dofs, ke);
+    ma.scatter(dofs, me);
   }
+  auto mapped = [&](std::size_t full) { return map ? map->to_free(full) : full; };
   for (const Spring& s : springs_) {
-    const std::size_t a = global_dof(s.n1, s.dof);
+    const std::size_t a = mapped(global_dof(s.n1, s.dof));
     if (s.n2 == kGround) {
-      k(a, a) += s.k;
+      if (a != DofMap::kFixed) ka.add(a, a, s.k);
     } else {
-      const std::size_t b = global_dof(s.n2, s.dof);
-      k(a, a) += s.k;
-      k(b, b) += s.k;
-      k(a, b) -= s.k;
-      k(b, a) -= s.k;
+      const std::size_t b = mapped(global_dof(s.n2, s.dof));
+      if (a != DofMap::kFixed) ka.add(a, a, s.k);
+      if (b != DofMap::kFixed) ka.add(b, b, s.k);
+      if (a != DofMap::kFixed && b != DofMap::kFixed) {
+        ka.add(a, b, -s.k);
+        ka.add(b, a, -s.k);
+      }
     }
   }
-  return k;
+  for (const PointMass& pm : masses_) {
+    const std::size_t ux = mapped(global_dof(pm.node, Dof::Ux));
+    const std::size_t uy = mapped(global_dof(pm.node, Dof::Uy));
+    const std::size_t rz = mapped(global_dof(pm.node, Dof::Rz));
+    if (ux != DofMap::kFixed) ma.add(ux, ux, pm.mass);
+    if (uy != DofMap::kFixed) ma.add(uy, uy, pm.mass);
+    if (rz != DofMap::kFixed) ma.add(rz, rz, pm.inertia);
+  }
+  // Explicit structural diagonal (zero-valued, so sums are unchanged): the
+  // massless-DOF guard and the skyline factorization need every diagonal
+  // entry present even when no element touches it.
+  for (std::size_t i = 0; i < n; ++i) {
+    ka.add(i, i, 0.0);
+    ma.add(i, i, 0.0);
+  }
+  k = ka.finalize();
+  m = ma.finalize();
+}
+
+Matrix FrameModel::stiffness_matrix() const {
+  CsrMatrix k, m;
+  assemble_csr(nullptr, k, m);
+  return k.to_dense();
 }
 
 Matrix FrameModel::mass_matrix() const {
-  const std::size_t n = dof_count();
-  if (n == 0) throw std::logic_error("FrameModel: empty model");
-  Matrix m(n, n);
-  for (const Beam& b : beams_) {
-    const double dx = nodes_[b.n2].x - nodes_[b.n1].x;
-    const double dy = nodes_[b.n2].y - nodes_[b.n1].y;
-    const double l = std::hypot(dx, dy);
-    const double angle = std::atan2(dy, dx);
-    const Matrix t = beam_transformation(angle);
-    const Matrix me = t.transposed() * beam_mass_local(b.rho, b.section, l) * t;
-    const std::size_t map[6] = {global_dof(b.n1, Dof::Ux), global_dof(b.n1, Dof::Uy),
-                                global_dof(b.n1, Dof::Rz), global_dof(b.n2, Dof::Ux),
-                                global_dof(b.n2, Dof::Uy), global_dof(b.n2, Dof::Rz)};
-    for (std::size_t i = 0; i < 6; ++i)
-      for (std::size_t j = 0; j < 6; ++j) m(map[i], map[j]) += me(i, j);
-  }
-  for (const PointMass& pm : masses_) {
-    m(global_dof(pm.node, Dof::Ux), global_dof(pm.node, Dof::Ux)) += pm.mass;
-    m(global_dof(pm.node, Dof::Uy), global_dof(pm.node, Dof::Uy)) += pm.mass;
-    m(global_dof(pm.node, Dof::Rz), global_dof(pm.node, Dof::Rz)) += pm.inertia;
-  }
-  return m;
+  CsrMatrix k, m;
+  assemble_csr(nullptr, k, m);
+  return m.to_dense();
+}
+
+void FrameModel::reduced_sparse(CsrMatrix& k, CsrMatrix& m) const {
+  const DofMap map = dof_map();
+  assemble_csr(&map, k, m);
+  // Guard against massless DOFs (e.g. rotation of a node carried only by
+  // springs): add a tiny inertia so M stays positive definite.
+  clamp_massless_diagonal(m);
 }
 
 void FrameModel::reduced_system(Matrix& k, Matrix& m,
                                 std::vector<std::size_t>& free_to_full) const {
-  const Matrix kf = stiffness_matrix();
-  const Matrix mf = mass_matrix();
-  free_to_full.clear();
-  for (std::size_t i = 0; i < dof_count(); ++i)
-    if (!fixed_[i]) free_to_full.push_back(i);
-  const std::size_t nr = free_to_full.size();
-  if (nr == 0) throw std::logic_error("FrameModel: all DOFs fixed");
-  k = Matrix(nr, nr);
-  m = Matrix(nr, nr);
-  for (std::size_t i = 0; i < nr; ++i)
-    for (std::size_t j = 0; j < nr; ++j) {
-      k(i, j) = kf(free_to_full[i], free_to_full[j]);
-      m(i, j) = mf(free_to_full[i], free_to_full[j]);
-    }
-  // Guard against massless DOFs (e.g. rotation of a node carried only by
-  // springs): add a tiny inertia so M stays positive definite.
-  for (std::size_t i = 0; i < nr; ++i)
-    if (m(i, i) <= 0.0) m(i, i) = 1e-9;
+  const DofMap map = dof_map();
+  free_to_full = map.free_to_full();
+  CsrMatrix ks, ms;
+  reduced_sparse(ks, ms);
+  k = ks.to_dense();
+  m = ms.to_dense();
 }
 
 Vector FrameModel::solve_static(const Vector& loads) const {
@@ -183,29 +203,29 @@ double FrameModel::total_mass() const {
   return m;
 }
 
-ModalResult FrameModel::solve_modal(double ex_x, double ex_y) const {
-  Matrix k, m;
-  std::vector<std::size_t> map;
-  reduced_system(k, m, map);
-  const numeric::EigenResult eig = numeric::eigen_generalized(k, m);
+ModalResult FrameModel::solve_modal(double ex_x, double ex_y, const ModalOptions& opts) const {
+  const DofMap dmap = dof_map();
+  CsrMatrix k, m;
+  reduced_sparse(k, m);
+  const ReducedModes modes = solve_reduced_modes(k, m, opts);
+  const std::vector<std::size_t>& map = dmap.free_to_full();
+  const std::size_t nr = map.size();
+  const std::size_t nm = modes.eigenvalues.size();
 
   ModalResult res;
-  res.frequencies_hz = numeric::natural_frequencies_hz(eig);
-  const std::size_t nr = map.size();
-  res.shapes = Matrix(dof_count(), nr);
-  for (std::size_t j = 0; j < nr; ++j)
-    for (std::size_t i = 0; i < nr; ++i) res.shapes(map[i], j) = eig.eigenvectors(i, j);
+  res.frequencies_hz = modes.frequencies_hz;
+  res.shapes = Matrix(dof_count(), nm);
+  for (std::size_t j = 0; j < nm; ++j)
+    for (std::size_t i = 0; i < nr; ++i) res.shapes(map[i], j) = modes.shapes(i, j);
 
   // Participation factors: gamma_j = phi_j^T M r (phi M-orthonormal).
-  const Vector r_full = influence_vector(ex_x, ex_y);
-  Vector r(nr);
-  for (std::size_t i = 0; i < nr; ++i) r[i] = r_full[map[i]];
-  const Vector mr = m * r;
-  res.participation_factors.resize(nr);
-  res.effective_masses.resize(nr);
-  for (std::size_t j = 0; j < nr; ++j) {
+  const Vector r = dmap.reduce(influence_vector(ex_x, ex_y));
+  const Vector mr = m.multiply(r);
+  res.participation_factors.resize(nm);
+  res.effective_masses.resize(nm);
+  for (std::size_t j = 0; j < nm; ++j) {
     double gamma = 0.0;
-    for (std::size_t i = 0; i < nr; ++i) gamma += eig.eigenvectors(i, j) * mr[i];
+    for (std::size_t i = 0; i < nr; ++i) gamma += modes.shapes(i, j) * mr[i];
     res.participation_factors[j] = gamma;
     res.effective_masses[j] = gamma * gamma;  // phi M-orthonormal => m_eff = gamma^2
   }

@@ -10,9 +10,12 @@
 #include <vector>
 
 #include "fem/beam.hpp"
+#include "fem/dof_map.hpp"
+#include "fem/modal.hpp"
 #include "materials/solid.hpp"
 #include "numeric/dense.hpp"
 #include "numeric/eigen.hpp"
+#include "numeric/sparse.hpp"
 
 namespace aeropack::fem {
 
@@ -58,13 +61,22 @@ class FrameModel {
   numeric::Vector solve_static(const numeric::Vector& loads) const;
 
   /// Modal analysis. `excitation` is the unit base-acceleration direction
-  /// used for participation factors (e.g. {1, 0} = x shake).
-  ModalResult solve_modal(double ex_x = 0.0, double ex_y = 1.0) const;
+  /// used for participation factors (e.g. {1, 0} = x shake). `opts` picks
+  /// the dense/sparse eigensolver path and bounds the returned mode count.
+  ModalResult solve_modal(double ex_x = 0.0, double ex_y = 1.0,
+                          const ModalOptions& opts = {}) const;
+
+  /// Constraint map built from fix()/fix_all() calls.
+  DofMap dof_map() const;
 
   /// Reduced (free-DOF) matrices and the free->full index map, for the
   /// dynamics modules.
   void reduced_system(numeric::Matrix& k, numeric::Matrix& m,
                       std::vector<std::size_t>& free_to_full) const;
+
+  /// Reduced (free-DOF) sparse stiffness/mass pencil; the mass diagonal is
+  /// already guarded against massless DOFs (see fem/modal.hpp).
+  void reduced_sparse(numeric::CsrMatrix& k, numeric::CsrMatrix& m) const;
 
   /// Rigid-body influence vector for unit base acceleration in (ax, ay):
   /// full-DOF vector with ax at every Ux, ay at every Uy.
@@ -95,6 +107,10 @@ class FrameModel {
   static constexpr std::size_t kGround = static_cast<std::size_t>(-1);
 
   void check_node(std::size_t n) const;
+  /// Scatter all elements (beams, springs, lumped masses) into sparse
+  /// assemblers. `map` == nullptr assembles in full-DOF numbering; otherwise
+  /// fixed DOFs are discarded and the result is the reduced pencil.
+  void assemble_csr(const DofMap* map, numeric::CsrMatrix& k, numeric::CsrMatrix& m) const;
 
   std::vector<Node> nodes_;
   std::vector<Beam> beams_;

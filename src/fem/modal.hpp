@@ -1,0 +1,56 @@
+// Shared modal front-end for the FEM models: one entry point that takes the
+// reduced (free-DOF) stiffness/mass pair in sparse form and picks between
+// the dense Jacobi eigensolver (small problems; exhaustive spectrum) and the
+// sparse shift-invert subspace iteration (large problems; lowest modes).
+//
+// All three structural models (FrameModel, Frame3D, PlateModel) route their
+// modal solves through solve_reduced_modes, so the dense/sparse crossover
+// and the massless-DOF handling live in exactly one place.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/dense.hpp"
+#include "numeric/sparse.hpp"
+
+namespace aeropack::fem {
+
+enum class ModalPath {
+  Auto,   ///< dense at or below ModalOptions::dense_threshold free DOFs
+  Dense,  ///< force the dense Jacobi path (full spectrum available)
+  Sparse  ///< force shift-invert subspace iteration
+};
+
+struct ModalOptions {
+  /// Number of lowest modes to return. 0 = all modes on the dense path,
+  /// 16 on the sparse path (a full sparse spectrum is never wanted).
+  std::size_t n_modes = 0;
+  ModalPath path = ModalPath::Auto;
+  /// Auto crossover: free-DOF counts at or below this use the dense solver.
+  std::size_t dense_threshold = 360;
+  /// Spectral shift for the sparse solver (0 targets the lowest modes).
+  double shift = 0.0;
+};
+
+struct ReducedModes {
+  numeric::Vector eigenvalues;     ///< ascending, length = returned modes
+  numeric::Vector frequencies_hz;  ///< sqrt(lambda)/2pi, zero-clamped noise
+  numeric::Matrix shapes;          ///< free-DOF shapes, M-orthonormal columns
+  bool used_sparse = false;
+};
+
+/// Lowest modes of K phi = lambda M phi on the reduced (free-DOF) pencil.
+/// The dense path densifies and solves the full spectrum (then truncates),
+/// the sparse path runs shift-invert subspace iteration; both orderings are
+/// deterministic and bit-identical across thread counts.
+ReducedModes solve_reduced_modes(const numeric::CsrMatrix& k, const numeric::CsrMatrix& m,
+                                 const ModalOptions& opts = {});
+
+/// Replace non-positive diagonal entries of a reduced mass matrix with
+/// `epsilon` (massless DOFs, e.g. a rotation carried only by springs, would
+/// otherwise make M indefinite). The diagonal must be structurally present;
+/// assemblers guarantee that by scattering explicit zeros on the diagonal.
+/// Throws std::logic_error if a diagonal entry is structurally missing.
+void clamp_massless_diagonal(numeric::CsrMatrix& m, double epsilon = 1e-9);
+
+}  // namespace aeropack::fem

@@ -3,17 +3,29 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <map>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
+#include "numeric/assembly.hpp"
 #include "numeric/eigen.hpp"
 #include "numeric/quadrature.hpp"
 #include "numeric/solve_dense.hpp"
+#include "numeric/sparse_cholesky.hpp"
 
 namespace aeropack::fem {
 
+using numeric::CsrMatrix;
 using numeric::Matrix;
+using numeric::SparseAssembler;
 using numeric::Vector;
+
+namespace {
+/// Free-DOF count at or below which static solves densify and use the
+/// pivoted LU (mirrors ModalOptions::dense_threshold for the modal path).
+constexpr std::size_t kDenseStaticThreshold = 360;
+}  // namespace
 
 double plate_rigidity(const materials::SolidMaterial& m, double thickness) {
   if (thickness <= 0.0) throw std::invalid_argument("plate_rigidity: thickness must be > 0");
@@ -178,15 +190,24 @@ double PlateModel::total_mass() const {
   return m;
 }
 
-void PlateModel::assemble(Matrix& k, Matrix& m) const {
-  const std::size_t ndof = dof_count();
-  k = Matrix(ndof, ndof);
-  m = Matrix(ndof, ndof);
+void PlateModel::assemble_csr(const DofMap* map, CsrMatrix& k, CsrMatrix& m) const {
+  const std::size_t n = map ? map->free_count() : dof_count();
+  if (n == 0) throw std::logic_error("PlateModel: all DOFs fixed");
+  SparseAssembler ka(n, n), ma(n, n);
+  ka.reserve(144 * nx_ * ny_ + n);
+  ma.reserve(144 * nx_ * ny_ + point_masses_.size() + n);
+
   const double a = lx_ / static_cast<double>(nx_);
   const double b = ly_ / static_cast<double>(ny_);
   const double d0 = plate_rigidity(material_, thickness_);
   const double mpa0 = material_.density * thickness_ + smeared_mass_;
 
+  // The mesh is uniform, so elements share matrices whenever their doubler
+  // factors coincide; cache per (stiffness factor, mass factor) pair. With
+  // no doublers the whole mesh uses a single pair.
+  std::map<std::pair<double, double>, std::pair<Matrix, Matrix>> cache;
+
+  std::vector<std::size_t> dofs(12);
   for (std::size_t ej = 0; ej < ny_; ++ej)
     for (std::size_t ei = 0; ei < nx_; ++ei) {
       // Element property factors from doublers covering the element center.
@@ -198,32 +219,42 @@ void PlateModel::assemble(Matrix& k, Matrix& m) const {
           dfac *= dd.factor * dd.factor * dd.factor;
           mfac *= dd.factor;
         }
-      const Matrix ke = acm_plate_stiffness(a, b, d0 * dfac, material_.poisson_ratio);
-      const Matrix me = acm_plate_mass(a, b, mpa0 * mfac);
+      auto it = cache.find({dfac, mfac});
+      if (it == cache.end())
+        it = cache
+                 .emplace(std::make_pair(dfac, mfac),
+                          std::make_pair(
+                              acm_plate_stiffness(a, b, d0 * dfac, material_.poisson_ratio),
+                              acm_plate_mass(a, b, mpa0 * mfac)))
+                 .first;
       const std::size_t nodes[4] = {node_index(ei, ej), node_index(ei + 1, ej),
                                     node_index(ei + 1, ej + 1), node_index(ei, ej + 1)};
-      for (std::size_t i = 0; i < 12; ++i)
-        for (std::size_t j = 0; j < 12; ++j) {
-          const std::size_t gi = 3 * nodes[i / 3] + i % 3;
-          const std::size_t gj = 3 * nodes[j / 3] + j % 3;
-          k(gi, gj) += ke(i, j);
-          m(gi, gj) += me(i, j);
-        }
+      for (std::size_t i = 0; i < 12; ++i) dofs[i] = 3 * nodes[i / 3] + i % 3;
+      if (map) dofs = map->map_dofs(dofs);
+      ka.scatter(dofs, it->second.first);
+      ma.scatter(dofs, it->second.second);
     }
 
-  for (const auto& [node, mass] : point_masses_) m(3 * node, 3 * node) += mass;
+  for (const auto& [node, mass] : point_masses_) {
+    const std::size_t w = map ? map->to_free(3 * node) : 3 * node;
+    if (w != DofMap::kFixed) ma.add(w, w, mass);
+  }
+  // Explicit structural diagonal (zero-valued; sums unchanged) so the
+  // massless-DOF clamp and the skyline factorization always find it.
+  for (std::size_t i = 0; i < n; ++i) {
+    ka.add(i, i, 0.0);
+    ma.add(i, i, 0.0);
+  }
+  k = ka.finalize();
+  m = ma.finalize();
 }
 
-PlateModalResult PlateModel::solve_modal() const {
-  Matrix kf, mf;
-  assemble(kf, mf);
-
-  // Build the fixed-DOF set from edge supports and point supports.
-  std::vector<bool> fixed(dof_count(), false);
+DofMap PlateModel::dof_map() const {
+  DofMap map(dof_count());
   auto fix_node = [&](std::size_t node, bool w, bool wx, bool wy) {
-    if (w) fixed[3 * node + 0] = true;
-    if (wx) fixed[3 * node + 1] = true;
-    if (wy) fixed[3 * node + 2] = true;
+    if (w) map.fix(3 * node + 0);
+    if (wx) map.fix(3 * node + 1);
+    if (wy) map.fix(3 * node + 2);
   };
   for (std::size_t j = 0; j <= ny_; ++j) {
     if (edge_[0] != EdgeSupport::Free)  // x = 0 edge: tangent direction is y
@@ -238,36 +269,38 @@ PlateModalResult PlateModel::solve_modal() const {
       fix_node(node_index(i, ny_), true, true, edge_[3] == EdgeSupport::Clamped);
   }
   for (std::size_t node : point_supports_) fix_node(node, true, false, false);
+  if (map.free_count() == 0) throw std::logic_error("PlateModel: all DOFs fixed");
+  return map;
+}
 
-  std::vector<std::size_t> map;
-  for (std::size_t i = 0; i < dof_count(); ++i)
-    if (!fixed[i]) map.push_back(i);
-  const std::size_t nr = map.size();
-  if (nr == 0) throw std::logic_error("PlateModel: all DOFs fixed");
+void PlateModel::reduced_sparse(CsrMatrix& k, CsrMatrix& m) const {
+  const DofMap map = dof_map();
+  assemble_csr(&map, k, m);
+}
 
-  Matrix k(nr, nr), m(nr, nr);
-  for (std::size_t i = 0; i < nr; ++i)
-    for (std::size_t j = 0; j < nr; ++j) {
-      k(i, j) = kf(map[i], map[j]);
-      m(i, j) = mf(map[i], map[j]);
-    }
+PlateModalResult PlateModel::solve_modal(const ModalOptions& opts) const {
+  const DofMap dmap = dof_map();
+  CsrMatrix k, m;
+  assemble_csr(&dmap, k, m);
+  const ReducedModes modes = solve_reduced_modes(k, m, opts);
+  const std::size_t nr = dmap.free_count();
+  const std::size_t nm = modes.eigenvalues.size();
 
-  const numeric::EigenResult eig = numeric::eigen_generalized(k, m);
   PlateModalResult res;
-  res.frequencies_hz = numeric::natural_frequencies_hz(eig);
-  res.shapes = eig.eigenvectors;
-  res.free_to_full = map;
+  res.frequencies_hz = modes.frequencies_hz;
+  res.shapes = modes.shapes;
+  res.free_to_full = dmap.free_to_full();
 
   // Out-of-plane participation: r = 1 on every free w DOF.
   Vector r(nr, 0.0);
   for (std::size_t i = 0; i < nr; ++i)
-    if (map[i] % 3 == 0) r[i] = 1.0;
-  const Vector mr = m * r;
-  res.participation_factors.resize(nr);
-  res.effective_masses.resize(nr);
-  for (std::size_t j = 0; j < nr; ++j) {
+    if (res.free_to_full[i] % 3 == 0) r[i] = 1.0;
+  const Vector mr = m.multiply(r);
+  res.participation_factors.resize(nm);
+  res.effective_masses.resize(nm);
+  for (std::size_t j = 0; j < nm; ++j) {
     double gamma = 0.0;
-    for (std::size_t i = 0; i < nr; ++i) gamma += eig.eigenvectors(i, j) * mr[i];
+    for (std::size_t i = 0; i < nr; ++i) gamma += modes.shapes(i, j) * mr[i];
     res.participation_factors[j] = gamma;
     res.effective_masses[j] = gamma * gamma;
   }
@@ -275,28 +308,9 @@ PlateModalResult PlateModel::solve_modal() const {
 }
 
 numeric::Vector PlateModel::solve_static_pressure(double pressure) const {
-  Matrix kf, mf;
-  assemble(kf, mf);
-
-  std::vector<bool> fixed(dof_count(), false);
-  auto fix_node = [&](std::size_t node, bool w, bool wx, bool wy) {
-    if (w) fixed[3 * node + 0] = true;
-    if (wx) fixed[3 * node + 1] = true;
-    if (wy) fixed[3 * node + 2] = true;
-  };
-  for (std::size_t j = 0; j <= ny_; ++j) {
-    if (edge_[0] != EdgeSupport::Free)
-      fix_node(node_index(0, j), true, edge_[0] == EdgeSupport::Clamped, true);
-    if (edge_[1] != EdgeSupport::Free)
-      fix_node(node_index(nx_, j), true, edge_[1] == EdgeSupport::Clamped, true);
-  }
-  for (std::size_t i = 0; i <= nx_; ++i) {
-    if (edge_[2] != EdgeSupport::Free)
-      fix_node(node_index(i, 0), true, true, edge_[2] == EdgeSupport::Clamped);
-    if (edge_[3] != EdgeSupport::Free)
-      fix_node(node_index(i, ny_), true, true, edge_[3] == EdgeSupport::Clamped);
-  }
-  for (std::size_t node : point_supports_) fix_node(node, true, false, false);
+  const DofMap dmap = dof_map();
+  CsrMatrix k, m;
+  assemble_csr(&dmap, k, m);
 
   // Consistent load: lump the pressure tributary area onto the w DOFs
   // (exact for uniform meshes to the order of the element).
@@ -309,21 +323,25 @@ numeric::Vector PlateModel::solve_static_pressure(double pressure) const {
       const double wy = (j == 0 || j == ny_) ? 0.5 : 1.0;
       f[3 * node_index(i, j)] = pressure * a * b * wx * wy;
     }
+  const Vector fr = dmap.reduce(f);
 
-  std::vector<std::size_t> map;
-  for (std::size_t i = 0; i < dof_count(); ++i)
-    if (!fixed[i]) map.push_back(i);
-  if (map.empty()) throw std::logic_error("PlateModel: all DOFs fixed");
-  Matrix k(map.size(), map.size());
-  Vector fr(map.size());
-  for (std::size_t i = 0; i < map.size(); ++i) {
-    fr[i] = f[map[i]];
-    for (std::size_t j = 0; j < map.size(); ++j) k(i, j) = kf(map[i], map[j]);
+  Vector u;
+  if (dmap.free_count() <= kDenseStaticThreshold) {
+    u = numeric::solve(k.to_dense(), fr);
+  } else {
+    try {
+      u = numeric::SkylineCholesky(k).solve(fr);
+    } catch (const std::length_error&) {
+      numeric::IterativeOptions io;
+      io.tolerance = 1e-12;
+      io.max_iterations = std::max<std::size_t>(10000, 20 * fr.size());
+      const numeric::IterativeResult res = numeric::conjugate_gradient(k, fr, io);
+      if (!res.converged)
+        throw std::runtime_error("PlateModel::solve_static_pressure: CG did not converge");
+      u = res.x;
+    }
   }
-  const Vector u = numeric::solve(k, fr);
-  Vector full(dof_count(), 0.0);
-  for (std::size_t i = 0; i < map.size(); ++i) full[map[i]] = u[i];
-  return full;
+  return dmap.expand(u);
 }
 
 double PlateModel::max_deflection_under_g(double n_g) const {
@@ -385,7 +403,11 @@ double PlateModel::max_bending_stress(const Vector& u) const {
 }
 
 double PlateModel::fundamental_frequency() const {
-  const auto res = solve_modal();
+  // Only the bottom of the spectrum is wanted; bound the mode count so the
+  // sparse path stays a partial eigensolve on fine meshes.
+  ModalOptions opts;
+  opts.n_modes = 8;
+  const auto res = solve_modal(opts);
   for (double f : res.frequencies_hz)
     if (f > 1e-3) return f;
   return 0.0;

@@ -9,8 +9,11 @@
 #include <cstddef>
 #include <vector>
 
+#include "fem/dof_map.hpp"
+#include "fem/modal.hpp"
 #include "materials/solid.hpp"
 #include "numeric/dense.hpp"
+#include "numeric/sparse.hpp"
 
 namespace aeropack::fem {
 
@@ -59,10 +62,18 @@ class PlateModel {
   /// Node nearest a physical location.
   std::size_t nearest_node(double x, double y) const;
 
-  PlateModalResult solve_modal() const;
+  /// Modal analysis on the free DOFs. `opts` picks the dense/sparse
+  /// eigensolver path and bounds the returned mode count (default: every
+  /// mode on the dense path, lowest 16 on the sparse path).
+  PlateModalResult solve_modal(const ModalOptions& opts = {}) const;
 
   /// Fundamental frequency [Hz].
   double fundamental_frequency() const;
+
+  /// Constraint map from the edge supports and point supports.
+  DofMap dof_map() const;
+  /// Reduced (free-DOF) sparse stiffness/mass pencil.
+  void reduced_sparse(numeric::CsrMatrix& k, numeric::CsrMatrix& m) const;
 
   /// Static deflection field under a uniform lateral pressure [Pa]
   /// (positive = +w). Returns the full-DOF displacement vector.
@@ -83,7 +94,9 @@ class PlateModel {
   double total_mass() const;
 
  private:
-  void assemble(numeric::Matrix& k, numeric::Matrix& m) const;
+  /// Scatter all plate elements and point masses into sparse assemblers.
+  /// `map` == nullptr assembles full-DOF; otherwise fixed DOFs are dropped.
+  void assemble_csr(const DofMap* map, numeric::CsrMatrix& k, numeric::CsrMatrix& m) const;
 
   double lx_, ly_, thickness_;
   materials::SolidMaterial material_;

@@ -14,7 +14,11 @@ PlateRandomAssessment assess_plate_random(const PlateModel& plate, const AsdCurv
                                           std::size_t n_modes) {
   if (zeta <= 0.0 || zeta >= 1.0)
     throw std::invalid_argument("assess_plate_random: zeta must be in (0, 1)");
-  const auto modes = plate.solve_modal();
+  // Bound the eigensolve to the modes actually summed (plus headroom for
+  // near-rigid modes skipped below) so fine meshes take the sparse path.
+  ModalOptions mopts;
+  mopts.n_modes = n_modes + 8;
+  const auto modes = plate.solve_modal(mopts);
   const std::size_t node = plate.nearest_node(x, y);
 
   // Locate the free w DOF of the watch node.

@@ -51,7 +51,11 @@ RandomVibrationResult random_response(const FrameModel& model, const AsdCurve& i
                                       double ex_x, double ex_y, std::size_t n_modes) {
   if (zeta <= 0.0 || zeta >= 1.0)
     throw std::invalid_argument("random_response: zeta must be in (0, 1)");
-  const ModalResult modes = model.solve_modal(ex_x, ex_y);
+  // Bound the eigensolve to the modes actually summed (plus headroom for
+  // rigid-body modes skipped below) so large frames take the sparse path.
+  ModalOptions mopts;
+  mopts.n_modes = n_modes + 8;
+  const ModalResult modes = model.solve_modal(ex_x, ex_y, mopts);
   const std::size_t watch = model.global_dof(watch_node, watch_dof);
 
   RandomVibrationResult out;

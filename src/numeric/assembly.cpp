@@ -1,0 +1,30 @@
+#include "numeric/assembly.hpp"
+
+#include <stdexcept>
+
+namespace aeropack::numeric {
+
+SparseAssembler::SparseAssembler(std::size_t rows, std::size_t cols) : builder_(rows, cols) {}
+
+void SparseAssembler::reserve(std::size_t entries) { builder_.reserve(entries); }
+
+void SparseAssembler::add(std::size_t i, std::size_t j, double v) { builder_.add(i, j, v); }
+
+void SparseAssembler::scatter(const std::vector<std::size_t>& dofs, const Matrix& element) {
+  if (!element.square() || dofs.size() != element.rows())
+    throw std::invalid_argument("SparseAssembler::scatter: dof/element shape mismatch");
+  const std::size_t n = dofs.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t gi = dofs[r];
+    if (gi == kDiscard) continue;
+    for (std::size_t c = 0; c < n; ++c) {
+      const std::size_t gj = dofs[c];
+      if (gj == kDiscard) continue;
+      builder_.add(gi, gj, element(r, c));
+    }
+  }
+}
+
+CsrMatrix SparseAssembler::finalize() const { return builder_.build(); }
+
+}  // namespace aeropack::numeric

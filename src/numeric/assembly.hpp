@@ -1,0 +1,55 @@
+// Triplet-buffered sparse assembly: scatter dense element matrices into a
+// coordinate buffer, finalize once to a sorted CsrMatrix.
+//
+// This is the shared structural-assembly primitive the FEM stack sits on
+// (see fem/dof_map.hpp for the companion DOF bookkeeping): every model —
+// 2-D frames, 3-D space frames, ACM plates — scatters its element matrices
+// through one SparseAssembler instead of hand-rolling dense K/M fills.
+// Entries flagged kDiscard (fixed DOFs) are dropped during the scatter, so
+// the assembler produces the constraint-reduced operator directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.hpp"
+#include "numeric/sparse.hpp"
+
+namespace aeropack::numeric {
+
+/// Accumulates element contributions as (i, j, v) triplets and finalizes to
+/// CSR. Duplicate coordinates are summed in a deterministic order (stable
+/// insertion order within each coordinate), so assembly is bit-identical
+/// run to run and independent of the thread count.
+class SparseAssembler {
+ public:
+  /// Row/column index marking a discarded (fixed/constrained) DOF in
+  /// scatter(); such rows and columns of the element matrix are skipped.
+  static constexpr std::size_t kDiscard = static_cast<std::size_t>(-1);
+
+  SparseAssembler(std::size_t rows, std::size_t cols);
+
+  /// Pre-size the triplet buffer (e.g. element_count * block_size^2).
+  void reserve(std::size_t entries);
+
+  /// Accumulate a single coefficient.
+  void add(std::size_t i, std::size_t j, double v);
+
+  /// Scatter a square dense element matrix: entry (r, c) accumulates into
+  /// global (dofs[r], dofs[c]). dofs.size() must equal element.rows() ==
+  /// element.cols(); indices equal to kDiscard drop their row/column.
+  void scatter(const std::vector<std::size_t>& dofs, const Matrix& element);
+
+  std::size_t rows() const { return builder_.rows(); }
+  std::size_t cols() const { return builder_.cols(); }
+  std::size_t entry_count() const { return builder_.entry_count(); }
+
+  /// Sort, merge duplicates and build the CSR matrix. The assembler can keep
+  /// accumulating afterwards (finalize is non-destructive).
+  CsrMatrix finalize() const;
+
+ private:
+  SparseBuilder builder_;
+};
+
+}  // namespace aeropack::numeric

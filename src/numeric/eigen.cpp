@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <numbers>
 #include <numeric>
 #include <stdexcept>
 
+#include "numeric/parallel.hpp"
 #include "numeric/solve_dense.hpp"
+#include "numeric/sparse_cholesky.hpp"
 
 namespace aeropack::numeric {
 
@@ -84,7 +88,14 @@ EigenResult eigen_generalized(const Matrix& k, const Matrix& m) {
   if (!k.square() || !m.square() || k.rows() != m.rows())
     throw std::invalid_argument("eigen_generalized: shape mismatch");
   const std::size_t n = k.rows();
-  const CholeskyFactorization chol(m);
+  std::unique_ptr<CholeskyFactorization> chol_ptr;
+  try {
+    chol_ptr = std::make_unique<CholeskyFactorization>(m);
+  } catch (const std::domain_error&) {
+    throw std::domain_error(
+        "eigen_generalized: mass matrix is not positive definite (indefinite or singular M)");
+  }
+  const CholeskyFactorization& chol = *chol_ptr;
 
   // A = L^-1 K L^-T, built column by column.
   Matrix a(n, n);
@@ -119,13 +130,185 @@ EigenResult eigen_generalized(const Matrix& k, const Matrix& m) {
   return res;
 }
 
-Vector natural_frequencies_hz(const EigenResult& modes) {
-  Vector f(modes.eigenvalues.size());
+namespace {
+
+/// One column solve of the shift-invert operator: y = (K - sigma*M)^-1 b.
+/// Wraps either a skyline factorization or a CG fallback behind one call.
+struct ShiftedOperator {
+  std::unique_ptr<SkylineCholesky> factor;  // null => iterative fallback
+  CsrMatrix matrix;                         // K - sigma*M (kept for CG)
+  double sigma = 0.0;
+
+  Vector solve(const Vector& b) const {
+    if (factor) return factor->solve(b);
+    IterativeOptions io;
+    io.tolerance = 1e-13;
+    io.max_iterations = std::max<std::size_t>(10000, 20 * b.size());
+    IterativeResult res = conjugate_gradient(matrix, b, io);
+    if (!res.converged)
+      throw std::domain_error(
+          "eigen_generalized_sparse: CG fallback did not converge on the shifted operator");
+    return std::move(res.x);
+  }
+};
+
+/// Factor K - sigma*M, walking a ladder of increasingly negative shifts when
+/// the requested one is indefinite (K + |sigma|M is SPD whenever M is PD and
+/// K is PSD, so the ladder terminates for well-posed pencils).
+ShiftedOperator make_shifted_operator(const CsrMatrix& k, const CsrMatrix& m,
+                                      const SparseEigenOptions& opts) {
+  std::vector<double> shifts{opts.shift};
+  if (opts.shift == 0.0) {
+    const Vector kd = k.diagonal();
+    const Vector md = m.diagonal();
+    double scale = 0.0;
+    for (std::size_t i = 0; i < kd.size(); ++i)
+      if (md[i] > 0.0) scale = std::max(scale, kd[i] / md[i]);
+    if (scale <= 0.0) scale = 1.0;
+    for (const double f : {1e-2, 1e-1, 1.0}) shifts.push_back(-f * scale);
+  }
+  for (const double sigma : shifts) {
+    ShiftedOperator op;
+    op.sigma = sigma;
+    op.matrix = (sigma == 0.0) ? k : add_scaled(k, -sigma, m);
+    try {
+      op.factor = std::make_unique<SkylineCholesky>(op.matrix, opts.max_envelope);
+      return op;
+    } catch (const std::length_error&) {
+      return op;  // envelope over budget: iterative fallback on this shift
+    } catch (const std::domain_error&) {
+      continue;  // indefinite at this shift, try a more negative one
+    }
+  }
+  throw std::domain_error(
+      "eigen_generalized_sparse: K - sigma*M not positive definite for any trial shift "
+      "(is the mass matrix positive definite?)");
+}
+
+/// Deterministic start block for the subspace iteration (Bathe's recipe):
+/// column 0 carries the mass/stiffness diagonal ratios, the middle columns
+/// are unit vectors at the largest-ratio DOFs, the last column is filled
+/// from a fixed-seed LCG so the block spans a generic subspace.
+std::vector<Vector> starting_block(const CsrMatrix& k, const CsrMatrix& m, std::size_t q) {
+  const std::size_t n = k.rows();
+  const Vector kd = k.diagonal();
+  const Vector md = m.diagonal();
+  Vector ratio(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) ratio[i] = (kd[i] > 0.0) ? md[i] / kd[i] : 0.0;
+
+  std::vector<Vector> x(q, Vector(n, 0.0));
+  x[0] = ratio;
+  if (parallel_norm2(x[0]) == 0.0) x[0].assign(n, 1.0);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return ratio[a] > ratio[b]; });
+  for (std::size_t j = 1; j + 1 < q; ++j) x[j][order[(j - 1) % n]] = 1.0;
+
+  if (q > 1) {
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    for (std::size_t i = 0; i < n; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      x[q - 1][i] = static_cast<double>(state >> 11) /
+                        static_cast<double>(std::uint64_t{1} << 53) -
+                    0.5;
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
+                                     std::size_t n_modes, const SparseEigenOptions& opts) {
+  if (k.rows() != k.cols() || m.rows() != m.cols() || k.rows() != m.rows())
+    throw std::invalid_argument("eigen_generalized_sparse: shape mismatch");
+  const std::size_t n = k.rows();
+  if (n == 0 || n_modes == 0 || n_modes > n)
+    throw std::invalid_argument("eigen_generalized_sparse: invalid mode count");
+
+  const std::size_t q =
+      std::min(n, std::max(2 * n_modes, n_modes + opts.subspace_extra));
+  const ShiftedOperator op = make_shifted_operator(k, m, opts);
+
+  std::vector<Vector> x = starting_block(k, m, q);
+  std::vector<Vector> y(q), ky(q), my(q);
+  Vector prev(n_modes, 0.0);
+  EigenResult ritz;  // q x q Rayleigh-Ritz solution of the current subspace
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    // Inverse-iterate the block: y_j = (K - sigma*M)^-1 (M x_j).
+    Vector rhs;
+    for (std::size_t j = 0; j < q; ++j) {
+      m.multiply(x[j], rhs);
+      y[j] = op.solve(rhs);
+    }
+    // Project onto the subspace: Kr = Y^T K Y, Mr = Y^T M Y (with the
+    // *unshifted* K so the Ritz values are the physical eigenvalues).
+    for (std::size_t j = 0; j < q; ++j) {
+      ky[j] = k.multiply(y[j]);
+      my[j] = m.multiply(y[j]);
+    }
+    Matrix kr(q, q), mr(q, q);
+    for (std::size_t i = 0; i < q; ++i)
+      for (std::size_t j = i; j < q; ++j) {
+        kr(i, j) = kr(j, i) = parallel_dot(y[i], ky[j]);
+        mr(i, j) = mr(j, i) = parallel_dot(y[i], my[j]);
+      }
+    try {
+      ritz = eigen_generalized(kr, mr);
+    } catch (const std::domain_error&) {
+      throw std::domain_error(
+          "eigen_generalized_sparse: Rayleigh-Ritz mass projection lost rank "
+          "(mass matrix indefinite or start block degenerate)");
+    }
+    // X <- Y * Q; since Mr = Y^T M Y and Q is Mr-orthonormal, the new block
+    // is M-orthonormal, which keeps the iteration well conditioned.
+    for (std::size_t j = 0; j < q; ++j) {
+      Vector& col = x[j];
+      col.assign(n, 0.0);
+      for (std::size_t s = 0; s < q; ++s) {
+        const double w = ritz.eigenvectors(s, j);
+        if (w != 0.0) parallel_axpy(w, y[s], col);
+      }
+    }
+    double drift = 0.0;
+    for (std::size_t j = 0; j < n_modes; ++j) {
+      const double lam = ritz.eigenvalues[j];
+      drift = std::max(drift, std::fabs(lam - prev[j]) / std::max(std::fabs(lam), 1e-30));
+      prev[j] = lam;
+    }
+    if (it > 0 && drift <= opts.tolerance) break;
+  }
+
+  EigenResult res;
+  res.sweeps = ritz.sweeps;
+  res.eigenvalues.assign(ritz.eigenvalues.begin(),
+                         ritz.eigenvalues.begin() + static_cast<std::ptrdiff_t>(n_modes));
+  res.eigenvectors = Matrix(n, n_modes);
+  for (std::size_t j = 0; j < n_modes; ++j)
+    for (std::size_t i = 0; i < n; ++i) res.eigenvectors(i, j) = x[j][i];
+  return res;
+}
+
+Vector natural_frequencies_hz(const Vector& eigenvalues) {
+  double lam_max = 0.0;
+  for (const double lam : eigenvalues) lam_max = std::max(lam_max, lam);
+  const double zero_tol = 1e-8 * std::max(lam_max, 1.0);
+  Vector f(eigenvalues.size());
   for (std::size_t i = 0; i < f.size(); ++i) {
-    const double lam = std::max(modes.eigenvalues[i], 0.0);
-    f[i] = std::sqrt(lam) / (2.0 * std::numbers::pi);
+    const double lam = eigenvalues[i];
+    if (lam < -zero_tol)
+      throw std::domain_error(
+          "natural_frequencies_hz: negative eigenvalue (indefinite stiffness/mass pencil)");
+    f[i] = std::sqrt(std::max(lam, 0.0)) / (2.0 * std::numbers::pi);
   }
   return f;
+}
+
+Vector natural_frequencies_hz(const EigenResult& modes) {
+  return natural_frequencies_hz(modes.eigenvalues);
 }
 
 }  // namespace aeropack::numeric

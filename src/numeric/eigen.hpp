@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "numeric/dense.hpp"
+#include "numeric/sparse.hpp"
 
 namespace aeropack::numeric {
 
@@ -25,10 +26,41 @@ EigenResult eigen_symmetric(const Matrix& a, double symmetry_tol = 1e-8);
 
 /// Generalized problem K x = lambda M x, K symmetric, M symmetric positive
 /// definite. Eigenvectors are M-orthonormal: X^T M X = I.
+/// Throws std::domain_error if M is indefinite or singular.
 EigenResult eigen_generalized(const Matrix& k, const Matrix& m);
 
-/// Natural frequencies [Hz] from a generalized stiffness/mass eigensolution.
-/// Negative eigenvalues (numerical noise on rigid-body modes) clamp to 0.
+struct SparseEigenOptions {
+  /// Spectral shift sigma for the shift-invert operator (K - sigma*M)^-1 M.
+  /// 0 targets the lowest modes; if K - sigma*M is not positive definite the
+  /// solver retries with negative shifts (K + |sigma|M is SPD for PSD K).
+  double shift = 0.0;
+  /// Subspace width is min(n, max(2*n_modes, n_modes + subspace_extra)).
+  std::size_t subspace_extra = 8;
+  std::size_t max_iterations = 100;
+  /// Relative eigenvalue drift below which the iteration stops.
+  double tolerance = 1e-12;
+  /// Envelope budget for the skyline factorization of K - sigma*M; when
+  /// exceeded the solver falls back to conjugate gradients.
+  std::size_t max_envelope = std::size_t{1} << 28;
+};
+
+/// Lowest `n_modes` eigenpairs of K x = lambda M x for sparse symmetric K
+/// (positive semi-definite) and M (positive definite), via shift-invert
+/// subspace iteration with Rayleigh-Ritz projection. Eigenvectors are
+/// M-orthonormal. The inner factorization is a serial skyline Cholesky (CG
+/// fallback), the SpMV/dot kernels run on the deterministic parallel layer,
+/// so results are bit-identical across thread counts.
+/// Throws std::invalid_argument on shape errors, std::domain_error if no
+/// trial shift yields a usable operator.
+EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
+                                     std::size_t n_modes,
+                                     const SparseEigenOptions& opts = {});
+
+/// Natural frequencies [Hz] from generalized stiffness/mass eigenvalues.
+/// Eigenvalues within a small tolerance of zero (rigid-body-mode noise)
+/// clamp to 0; genuinely negative eigenvalues indicate an indefinite pencil
+/// and throw std::domain_error instead of being silently flattened.
+Vector natural_frequencies_hz(const Vector& eigenvalues);
 Vector natural_frequencies_hz(const EigenResult& modes);
 
 }  // namespace aeropack::numeric

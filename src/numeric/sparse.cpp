@@ -22,10 +22,15 @@ void SparseBuilder::add(std::size_t i, std::size_t j, double v) {
 CsrMatrix SparseBuilder::build() const {
   std::vector<std::size_t> order(entries_.size());
   std::iota(order.begin(), order.end(), 0);
+  // Tie-break equal (i,j) keys by insertion index so duplicate entries
+  // accumulate in the order they were added — FEM assembly then sums element
+  // contributions in element order, bit-identical to a dense scatter loop.
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const Entry& ea = entries_[a];
     const Entry& eb = entries_[b];
-    return ea.i != eb.i ? ea.i < eb.i : ea.j < eb.j;
+    if (ea.i != eb.i) return ea.i < eb.i;
+    if (ea.j != eb.j) return ea.j < eb.j;
+    return a < b;
   });
 
   std::vector<std::size_t> row_count(rows_, 0);
@@ -123,6 +128,39 @@ Matrix CsrMatrix::to_dense() const {
   for (std::size_t i = 0; i < rows_; ++i)
     for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) m(i, col_idx_[k]) += values_[k];
   return m;
+}
+
+CsrMatrix add_scaled(const CsrMatrix& a, double alpha, const CsrMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("add_scaled: shape mismatch");
+  std::vector<std::size_t> row_ptr(a.rows() + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(a.nonzeros() + b.nonzeros());
+  values.reserve(a.nonzeros() + b.nonzeros());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    std::size_t ka = a.row_ptr()[i];
+    std::size_t kb = b.row_ptr()[i];
+    const std::size_t ea = a.row_ptr()[i + 1];
+    const std::size_t eb = b.row_ptr()[i + 1];
+    while (ka < ea || kb < eb) {
+      const std::size_t ja = ka < ea ? a.col_idx()[ka] : static_cast<std::size_t>(-1);
+      const std::size_t jb = kb < eb ? b.col_idx()[kb] : static_cast<std::size_t>(-1);
+      if (ja < jb) {
+        col_idx.push_back(ja);
+        values.push_back(a.values()[ka++]);
+      } else if (jb < ja) {
+        col_idx.push_back(jb);
+        values.push_back(alpha * b.values()[kb++]);
+      } else {
+        col_idx.push_back(ja);
+        values.push_back(a.values()[ka++] + alpha * b.values()[kb++]);
+      }
+    }
+    row_ptr[i + 1] = values.size();
+  }
+  return CsrMatrix(a.rows(), a.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
 }
 
 namespace {

@@ -18,6 +18,9 @@ class SparseBuilder {
  public:
   SparseBuilder(std::size_t rows, std::size_t cols);
 
+  /// Pre-size the triplet buffer.
+  void reserve(std::size_t entries) { entries_.reserve(entries); }
+
   void add(std::size_t i, std::size_t j, double v);
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -76,6 +79,11 @@ class CsrMatrix {
   std::vector<std::size_t> col_idx_;
   std::vector<double> values_;
 };
+
+/// c = a + alpha * b (structures merged row-wise; both operands must share
+/// dimensions). Used to form the shifted operator K - sigma*M for the
+/// shift-invert eigensolver without densifying.
+CsrMatrix add_scaled(const CsrMatrix& a, double alpha, const CsrMatrix& b);
 
 struct IterativeResult {
   Vector x;

@@ -1,0 +1,78 @@
+// DofMap: the shared fix/reduce/expand bookkeeping for the FEM models.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fem/dof_map.hpp"
+#include "numeric/assembly.hpp"
+
+namespace af = aeropack::fem;
+namespace an = aeropack::numeric;
+
+TEST(DofMap, MapsFreeDofsInAscendingOrder) {
+  af::DofMap map(6);
+  map.fix(1);
+  map.fix(4);
+  EXPECT_EQ(map.full_count(), 6u);
+  EXPECT_EQ(map.free_count(), 4u);
+  const std::vector<std::size_t> expected{0, 2, 3, 5};
+  EXPECT_EQ(map.free_to_full(), expected);
+  EXPECT_EQ(map.to_free(0), 0u);
+  EXPECT_EQ(map.to_free(1), af::DofMap::kFixed);
+  EXPECT_EQ(map.to_free(2), 1u);
+  EXPECT_EQ(map.to_free(5), 3u);
+  EXPECT_TRUE(map.is_fixed(4));
+  EXPECT_FALSE(map.is_fixed(3));
+}
+
+TEST(DofMap, FixIsIdempotentAndRebuildsLazily) {
+  af::DofMap map(4);
+  map.fix(2);
+  map.fix(2);
+  EXPECT_EQ(map.free_count(), 3u);
+  map.fix(0);  // mutate after a query: maps must rebuild
+  EXPECT_EQ(map.free_count(), 2u);
+  EXPECT_EQ(map.to_free(1), 0u);
+}
+
+TEST(DofMap, ReduceExpandRoundTrip) {
+  af::DofMap map(5);
+  map.fix(0);
+  map.fix(3);
+  const an::Vector full{10.0, 11.0, 12.0, 13.0, 14.0};
+  const an::Vector reduced = map.reduce(full);
+  const an::Vector expected{11.0, 12.0, 14.0};
+  EXPECT_EQ(reduced, expected);
+  const an::Vector back = map.expand(reduced);
+  const an::Vector expected_full{0.0, 11.0, 12.0, 0.0, 14.0};
+  EXPECT_EQ(back, expected_full);
+}
+
+TEST(DofMap, MapDofsFeedsScatterDirectly) {
+  af::DofMap map(4);
+  map.fix(1);
+  const auto mapped = map.map_dofs({0, 1, 3});
+  ASSERT_EQ(mapped.size(), 3u);
+  EXPECT_EQ(mapped[0], 0u);
+  EXPECT_EQ(mapped[1], af::DofMap::kFixed);
+  EXPECT_EQ(mapped[2], 2u);
+  // kFixed rows/columns are discarded by the assembler.
+  an::SparseAssembler a(map.free_count(), map.free_count());
+  an::Matrix el{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  a.scatter(mapped, el);
+  const an::CsrMatrix c = a.finalize();
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(c.at(2, 2), 9.0);
+  EXPECT_EQ(c.nonzeros(), 4u);
+}
+
+TEST(DofMap, ErrorsOnBadIndicesAndEmptyMap) {
+  EXPECT_THROW(af::DofMap(0), std::invalid_argument);
+  af::DofMap map(3);
+  EXPECT_THROW(map.fix(3), std::out_of_range);
+  EXPECT_THROW(map.to_free(7), std::out_of_range);
+  EXPECT_THROW(map.reduce(an::Vector(2, 0.0)), std::invalid_argument);
+  EXPECT_THROW(map.expand(an::Vector(5, 0.0)), std::invalid_argument);
+}

@@ -1,0 +1,120 @@
+// Dense-vs-sparse modal equivalence on the plate stack: the shift-invert
+// subspace iteration must reproduce the dense Jacobi spectrum on both a
+// textbook simply-supported plate and the Fig. 2 power-supply board, and be
+// bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fem/modal.hpp"
+#include "fem/plate.hpp"
+#include "materials/solid.hpp"
+#include "numeric/parallel.hpp"
+
+namespace af = aeropack::fem;
+namespace am = aeropack::materials;
+namespace an = aeropack::numeric;
+
+namespace {
+
+af::PlateModel ss_plate() {
+  af::PlateModel p(0.30, 0.20, 2e-3, am::fr4(), 10, 8);
+  p.set_edge(af::EdgeSupport::SimplySupported, true, true, true, true);
+  return p;
+}
+
+/// Fig. 2 power-supply board (same physics as the golden regression model).
+af::PlateModel ps_board(double thickness, double doubler_factor) {
+  af::PlateModel p(0.16, 0.10, thickness, am::fr4(), 8, 5);
+  p.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+  p.add_smeared_mass(2.5);
+  p.add_point_mass(0.05, 0.05, 0.18);
+  p.add_point_mass(0.11, 0.05, 0.09);
+  if (doubler_factor > 1.0) p.add_doubler(0.03, 0.13, 0.02, 0.08, doubler_factor);
+  return p;
+}
+
+void expect_paths_agree(const af::PlateModel& plate, std::size_t n_modes, double freq_rtol) {
+  af::ModalOptions dense_opts, sparse_opts;
+  dense_opts.n_modes = n_modes;
+  dense_opts.path = af::ModalPath::Dense;
+  sparse_opts.n_modes = n_modes;
+  sparse_opts.path = af::ModalPath::Sparse;
+  const auto dense = plate.solve_modal(dense_opts);
+  const auto sparse = plate.solve_modal(sparse_opts);
+  ASSERT_EQ(dense.frequencies_hz.size(), n_modes);
+  ASSERT_EQ(sparse.frequencies_hz.size(), n_modes);
+
+  an::CsrMatrix k, m;
+  plate.reduced_sparse(k, m);
+  const std::size_t nr = k.rows();
+  // Antisymmetric modes have participation factors that are pure numerical
+  // noise; compare against the largest factor, not mode-by-mode magnitude.
+  double pf_scale = 0.0;
+  for (std::size_t j = 0; j < n_modes; ++j)
+    pf_scale = std::max(pf_scale, std::fabs(dense.participation_factors[j]));
+  for (std::size_t j = 0; j < n_modes; ++j) {
+    EXPECT_NEAR(sparse.frequencies_hz[j], dense.frequencies_hz[j],
+                freq_rtol * dense.frequencies_hz[j])
+        << "mode " << j;
+    // Shapes agree up to sign: both are M-orthonormal, so |phi_s . M phi_d| = 1.
+    an::Vector pd(nr);
+    for (std::size_t i = 0; i < nr; ++i) pd[i] = dense.shapes(i, j);
+    const an::Vector mpd = m.multiply(pd);
+    double overlap = 0.0;
+    for (std::size_t i = 0; i < nr; ++i) overlap += sparse.shapes(i, j) * mpd[i];
+    EXPECT_NEAR(std::fabs(overlap), 1.0, 1e-6) << "mode " << j;
+    EXPECT_NEAR(std::fabs(sparse.participation_factors[j]),
+                std::fabs(dense.participation_factors[j]), 1e-5 * pf_scale)
+        << "mode " << j;
+  }
+}
+
+}  // namespace
+
+TEST(ModalSparse, SimplySupportedPlateDenseVsSparse) {
+  expect_paths_agree(ss_plate(), 6, 1e-7);
+}
+
+TEST(ModalSparse, Fig2BoardDenseVsSparse) {
+  expect_paths_agree(ps_board(1.6e-3, 1.0), 6, 1e-7);
+  expect_paths_agree(ps_board(2.4e-3, 2.0), 6, 1e-7);
+}
+
+TEST(ModalSparse, SparseFundamentalTracksAnalyticSolution) {
+  const auto plate = ss_plate();
+  af::ModalOptions opts;
+  opts.n_modes = 3;
+  opts.path = af::ModalPath::Sparse;
+  const auto modes = plate.solve_modal(opts);
+  const double analytic = af::ss_plate_frequency(0.30, 0.20, 2e-3, am::fr4(), 1, 1);
+  EXPECT_NEAR(modes.frequencies_hz[0], analytic, 0.05 * analytic);
+}
+
+TEST(ModalSparse, BitIdenticalAcrossThreadCounts) {
+  const std::size_t original = an::thread_count();
+  const auto plate = ps_board(1.6e-3, 2.0);
+  af::ModalOptions opts;
+  opts.n_modes = 5;
+  opts.path = af::ModalPath::Sparse;
+
+  an::set_thread_count(1);
+  const auto baseline = plate.solve_modal(opts);
+  for (const std::size_t threads : {2u, 8u}) {
+    an::set_thread_count(threads);
+    const auto run = plate.solve_modal(opts);
+    ASSERT_EQ(run.frequencies_hz.size(), baseline.frequencies_hz.size());
+    for (std::size_t j = 0; j < baseline.frequencies_hz.size(); ++j) {
+      EXPECT_EQ(run.frequencies_hz[j], baseline.frequencies_hz[j])
+          << "threads=" << threads << " mode=" << j;
+      EXPECT_EQ(run.participation_factors[j], baseline.participation_factors[j])
+          << "threads=" << threads << " mode=" << j;
+    }
+    for (std::size_t j = 0; j < baseline.frequencies_hz.size(); ++j)
+      for (std::size_t i = 0; i < baseline.free_to_full.size(); ++i)
+        ASSERT_EQ(run.shapes(i, j), baseline.shapes(i, j))
+            << "threads=" << threads << " mode=" << j << " dof=" << i;
+  }
+  an::set_thread_count(original);
+}

@@ -1,0 +1,137 @@
+// SparseAssembler scatter semantics, skyline Cholesky, and add_scaled.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/assembly.hpp"
+#include "numeric/solve_dense.hpp"
+#include "numeric/sparse.hpp"
+#include "numeric/sparse_cholesky.hpp"
+#include "numeric/stats.hpp"
+
+namespace an = aeropack::numeric;
+
+namespace {
+
+/// Banded SPD test matrix: 1-D stiffness chain with a heavier diagonal.
+an::CsrMatrix chain_spd(std::size_t n, double diag_boost = 0.5) {
+  an::SparseBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0 + diag_boost);
+    if (i + 1 < n) {
+      b.add(i, i + 1, -1.0);
+      b.add(i + 1, i, -1.0);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+TEST(SparseAssembler, ScatterAccumulatesElementMatrix) {
+  an::SparseAssembler asm3(3, 3);
+  an::Matrix e{{1.0, 2.0}, {3.0, 4.0}};
+  asm3.scatter({0, 2}, e);
+  asm3.scatter({0, 2}, e);  // duplicate contributions accumulate
+  const an::CsrMatrix a = asm3.finalize();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 6.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), 8.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+}
+
+TEST(SparseAssembler, DiscardedDofsAreDropped) {
+  an::SparseAssembler asm2(2, 2);
+  an::Matrix e{{1.0, 2.0}, {3.0, 4.0}};
+  asm2.scatter({an::SparseAssembler::kDiscard, 1}, e);
+  const an::CsrMatrix a = asm2.finalize();
+  EXPECT_EQ(a.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+}
+
+TEST(SparseAssembler, ScatterShapeMismatchThrows) {
+  an::SparseAssembler a(3, 3);
+  EXPECT_THROW(a.scatter({0, 1, 2}, an::Matrix(2, 2)), std::invalid_argument);
+  EXPECT_THROW(a.scatter({0, 1}, an::Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(SparseAssembler, MatchesDenseScatterLoop) {
+  an::Rng rng(11);
+  const std::size_t n = 12;
+  an::SparseAssembler sp(n, n);
+  an::Matrix dense(n, n);
+  for (int e = 0; e < 20; ++e) {
+    std::vector<std::size_t> dofs(3);
+    for (auto& d : dofs) d = static_cast<std::size_t>(rng.uniform() * n) % n;
+    if (dofs[0] == dofs[1] || dofs[1] == dofs[2] || dofs[0] == dofs[2]) continue;
+    an::Matrix el(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) el(i, j) = rng.normal();
+    sp.scatter(dofs, el);
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) dense(dofs[i], dofs[j]) += el(i, j);
+  }
+  // Insertion-order duplicate accumulation makes this exact, not approximate.
+  EXPECT_EQ((sp.finalize().to_dense() - dense).norm(), 0.0);
+}
+
+TEST(SkylineCholesky, SolvesBandedSpdSystem) {
+  const std::size_t n = 50;
+  const an::CsrMatrix a = chain_spd(n);
+  an::Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = std::sin(0.3 * static_cast<double>(i));
+  const an::SkylineCholesky chol(a);
+  const an::Vector x = chol.solve(b);
+  const an::Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-11);
+  EXPECT_EQ(chol.size(), n);
+  // Chain envelope: row 0 holds 1 entry, each later row 2.
+  EXPECT_EQ(chol.envelope_size(), 2 * n - 1);
+}
+
+TEST(SkylineCholesky, MatchesDenseCholesky) {
+  const std::size_t n = 30;
+  const an::CsrMatrix a = chain_spd(n, 1.25);
+  an::Vector b(n, 1.0);
+  const an::Vector xs = an::SkylineCholesky(a).solve(b);
+  const an::Vector xd = an::CholeskyFactorization(a.to_dense()).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-12);
+}
+
+TEST(SkylineCholesky, ThrowsOnIndefiniteMatrix) {
+  an::SparseBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, -1.0);
+  EXPECT_THROW(an::SkylineCholesky{b.build()}, std::domain_error);
+}
+
+TEST(SkylineCholesky, EnvelopeBudgetThrowsLengthError) {
+  const an::CsrMatrix a = chain_spd(16);
+  EXPECT_THROW(an::SkylineCholesky(a, /*max_envelope=*/4), std::length_error);
+}
+
+TEST(AddScaled, MergesDisjointAndOverlappingStructure) {
+  an::SparseBuilder ba(2, 3), bb(2, 3);
+  ba.add(0, 0, 1.0);
+  ba.add(0, 2, 2.0);
+  ba.add(1, 1, 3.0);
+  bb.add(0, 1, 4.0);
+  bb.add(0, 2, 5.0);
+  bb.add(1, 0, 6.0);
+  const an::CsrMatrix c = an::add_scaled(ba.build(), -2.0, bb.build());
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), -8.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 2), 2.0 - 10.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), -12.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 3.0);
+}
+
+TEST(AddScaled, ShapeMismatchThrows) {
+  an::SparseBuilder a(2, 2), b(3, 3);
+  a.add(0, 0, 1.0);
+  b.add(0, 0, 1.0);
+  EXPECT_THROW(an::add_scaled(a.build(), 1.0, b.build()), std::invalid_argument);
+}

@@ -1,4 +1,4 @@
-// Jacobi symmetric and generalized eigensolvers.
+// Jacobi symmetric, generalized, and sparse shift-invert eigensolvers.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -6,9 +6,30 @@
 #include <stdexcept>
 
 #include "numeric/eigen.hpp"
+#include "numeric/sparse.hpp"
 #include "numeric/stats.hpp"
 
 namespace an = aeropack::numeric;
+
+namespace {
+
+/// Fixed-fixed spring-mass chain: K tridiagonal, M diagonal with a gentle
+/// gradient — a banded SPD pencil with a known-good dense reference.
+void chain_pencil(std::size_t n, an::CsrMatrix& k, an::CsrMatrix& m) {
+  an::SparseBuilder kb(n, n), mb(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kb.add(i, i, 2000.0);
+    if (i + 1 < n) {
+      kb.add(i, i + 1, -1000.0);
+      kb.add(i + 1, i, -1000.0);
+    }
+    mb.add(i, i, 1.0 + 0.01 * static_cast<double>(i));
+  }
+  k = kb.build();
+  m = mb.build();
+}
+
+}  // namespace
 
 TEST(EigenSymmetric, DiagonalMatrixReturnsSortedDiagonal) {
   const auto res = an::eigen_symmetric(an::Matrix::diagonal({3.0, 1.0, 2.0}));
@@ -98,6 +119,12 @@ TEST(EigenGeneralized, ShapeMismatchThrows) {
                std::invalid_argument);
 }
 
+TEST(EigenGeneralized, IndefiniteMassThrowsDomainError) {
+  an::Matrix k{{2.0, 0.0}, {0.0, 2.0}};
+  an::Matrix m{{1.0, 0.0}, {0.0, -1.0}};
+  EXPECT_THROW(an::eigen_generalized(k, m), std::domain_error);
+}
+
 TEST(NaturalFrequencies, ClampsNegativeNoise) {
   an::EigenResult r;
   r.eigenvalues = {-1e-9, 4.0 * std::numbers::pi * std::numbers::pi};
@@ -105,4 +132,81 @@ TEST(NaturalFrequencies, ClampsNegativeNoise) {
   const an::Vector f = an::natural_frequencies_hz(r);
   EXPECT_DOUBLE_EQ(f[0], 0.0);
   EXPECT_NEAR(f[1], 1.0, 1e-12);
+}
+
+TEST(NaturalFrequencies, GenuinelyNegativeEigenvalueThrows) {
+  // -1 is far outside rigid-body noise relative to the spectrum: report it.
+  EXPECT_THROW(an::natural_frequencies_hz(an::Vector{-1.0, 40.0}), std::domain_error);
+  // But noise-level negatives still clamp via the vector overload.
+  const an::Vector f = an::natural_frequencies_hz(an::Vector{-1e-12, 40.0});
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+}
+
+TEST(EigenGeneralizedSparse, MatchesDenseOnBandedPencil) {
+  const std::size_t n = 60, nm = 6;
+  an::CsrMatrix k, m;
+  chain_pencil(n, k, m);
+  const auto dense = an::eigen_generalized(k.to_dense(), m.to_dense());
+  const auto sparse = an::eigen_generalized_sparse(k, m, nm);
+  ASSERT_EQ(sparse.eigenvalues.size(), nm);
+  for (std::size_t j = 0; j < nm; ++j)
+    EXPECT_NEAR(sparse.eigenvalues[j], dense.eigenvalues[j],
+                1e-9 * dense.eigenvalues[j]);
+  // Shapes match the dense ones up to sign: |phi_s . M phi_d| = 1.
+  for (std::size_t j = 0; j < nm; ++j) {
+    an::Vector pd(n), ps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pd[i] = dense.eigenvectors(i, j);
+      ps[i] = sparse.eigenvectors(i, j);
+    }
+    const an::Vector mpd = m.multiply(pd);
+    double overlap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) overlap += ps[i] * mpd[i];
+    EXPECT_NEAR(std::fabs(overlap), 1.0, 1e-7);
+  }
+}
+
+TEST(EigenGeneralizedSparse, ResidualAndMassOrthonormality) {
+  const std::size_t n = 80, nm = 5;
+  an::CsrMatrix k, m;
+  chain_pencil(n, k, m);
+  const auto res = an::eigen_generalized_sparse(k, m, nm);
+  for (std::size_t j = 0; j < nm; ++j) {
+    an::Vector phi(n);
+    for (std::size_t i = 0; i < n; ++i) phi[i] = res.eigenvectors(i, j);
+    const an::Vector kp = k.multiply(phi);
+    const an::Vector mp = m.multiply(phi);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(kp[i], res.eigenvalues[j] * mp[i], 1e-6 * res.eigenvalues[j]);
+    for (std::size_t jj = 0; jj <= j; ++jj) {
+      an::Vector other(n);
+      for (std::size_t i = 0; i < n; ++i) other[i] = res.eigenvectors(i, jj);
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += other[i] * mp[i];
+      EXPECT_NEAR(dot, jj == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(EigenGeneralizedSparse, CgFallbackMatchesSkylinePath) {
+  const std::size_t n = 40, nm = 4;
+  an::CsrMatrix k, m;
+  chain_pencil(n, k, m);
+  const auto direct = an::eigen_generalized_sparse(k, m, nm);
+  an::SparseEigenOptions opts;
+  opts.max_envelope = 1;  // force the conjugate-gradient inner solver
+  const auto iterative = an::eigen_generalized_sparse(k, m, nm, opts);
+  for (std::size_t j = 0; j < nm; ++j)
+    EXPECT_NEAR(iterative.eigenvalues[j], direct.eigenvalues[j],
+                1e-8 * direct.eigenvalues[j]);
+}
+
+TEST(EigenGeneralizedSparse, InvalidArgumentsThrow) {
+  an::CsrMatrix k, m;
+  chain_pencil(8, k, m);
+  EXPECT_THROW(an::eigen_generalized_sparse(k, m, 0), std::invalid_argument);
+  EXPECT_THROW(an::eigen_generalized_sparse(k, m, 9), std::invalid_argument);
+  an::CsrMatrix k2, m2;
+  chain_pencil(5, k2, m2);
+  EXPECT_THROW(an::eigen_generalized_sparse(k, m2, 2), std::invalid_argument);
 }
