@@ -4,23 +4,66 @@
 //  (b) effective-medium model choice (Maxwell / Bruggeman / Lewis-Nielsen)
 //      against the percolation behaviour real filled TIMs show;
 //  (c) Level-1 resistive network vs Level-2 finite volume: accuracy vs cost;
-//  (d) LHP fixed-conductance vs variable-conductance condenser at low power.
+//  (d) LHP fixed-conductance vs variable-conductance condenser at low power;
+//  (e) telemetry cost: the instrumented CG loop with the obs registry
+//      dormant vs fully enabled (the observability layer must be free).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "core/levels.hpp"
 #include "core/units.hpp"
 #include "materials/solid.hpp"
+#include "numeric/sparse.hpp"
+#include "obs/registry.hpp"
 #include "thermal/fv.hpp"
 #include "tim/effective_medium.hpp"
 #include "twophase/loop_heat_pipe.hpp"
 
 namespace at = aeropack::thermal;
 namespace ac = aeropack::core;
+namespace an = aeropack::numeric;
 namespace ap = aeropack::tim;
 namespace tp = aeropack::twophase;
+namespace obs = aeropack::obs;
 
 namespace {
+
+/// SPD 7-point stencil on an n^3 grid (columns in ascending order), the same
+/// operator the telemetry overhead test pins down in tests/obs.
+an::CsrMatrix laplacian_3d(std::size_t n) {
+  an::SparseBuilder b(n * n * n, n * n * n);
+  const auto idx = [n](std::size_t i, std::size_t j, std::size_t k) {
+    return i + n * (j + n * k);
+  };
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = idx(i, j, k);
+        double diag = 0.5;
+        const auto nb = [&](std::size_t q) {
+          b.add(c, q, -1.0);
+          diag += 1.0;
+        };
+        if (i > 0) nb(idx(i - 1, j, k));
+        if (i + 1 < n) nb(idx(i + 1, j, k));
+        if (j > 0) nb(idx(i, j - 1, k));
+        if (j + 1 < n) nb(idx(i, j + 1, k));
+        if (k > 0) nb(idx(i, j, k - 1));
+        if (k + 1 < n) nb(idx(i, j, k + 1));
+        b.add(c, c, diag);
+      }
+  return b.build();
+}
+
+/// Fixed-work CG solve (tolerance 0 never converges early) for timing.
+an::IterativeOptions fixed_work_cg(std::size_t iterations) {
+  an::IterativeOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_iterations = iterations;
+  return opts;
+}
 
 at::FvModel contrast_bar() {
   // Heavy-copper board section (k~150 drain) feeding a plain section
@@ -107,6 +150,36 @@ void report() {
     std::printf("      (the flooded-condenser penalty at low power is what the fixed-UA\n"
                 "       model misses; both agree once the condenser is fully open)\n");
   }
+
+  // (e) Telemetry cost on the CG hot loop: dormant vs fully enabled.
+  // Interleaved best-of-N so slow drift hits both sides equally.
+  {
+    const bool was_enabled = obs::enabled();
+    const an::CsrMatrix a = laplacian_3d(32);
+    const an::Vector b(a.rows(), 1.0);
+    const an::IterativeOptions opts = fixed_work_cg(100);
+    const auto time_solve = [&] {
+      const auto t0 = std::chrono::steady_clock::now();
+      const an::IterativeResult res = an::conjugate_gradient(a, b, opts);
+      (void)res;
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+    obs::disable();
+    time_solve();  // warm caches
+    double dormant = 1e300, enabled = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      obs::disable();
+      dormant = std::min(dormant, time_solve());
+      obs::enable();
+      enabled = std::min(enabled, time_solve());
+    }
+    if (!was_enabled) obs::disable();
+    std::printf("\n  (e) Telemetry on the 32^3 CG loop (100 fixed iterations):\n");
+    std::printf("      dormant registry: %8.3f ms/solve\n", dormant * 1e3);
+    std::printf("      enabled registry: %8.3f ms/solve  (%.2f%% overhead — the dormant\n"
+                "       path is a single relaxed load, so even live counters are noise)\n",
+                enabled * 1e3, (enabled / dormant - 1.0) * 100.0);
+  }
   std::printf("\n");
 }
 
@@ -129,6 +202,34 @@ void bm_fv_arithmetic(benchmark::State& state) {
   }
 }
 BENCHMARK(bm_fv_arithmetic)->Unit(benchmark::kMillisecond);
+
+void bm_cg_telemetry_dormant(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::disable();
+  const an::CsrMatrix a = laplacian_3d(24);
+  const an::Vector b(a.rows(), 1.0);
+  const an::IterativeOptions opts = fixed_work_cg(50);
+  for (auto _ : state) {
+    auto res = an::conjugate_gradient(a, b, opts);
+    benchmark::DoNotOptimize(res);
+  }
+  if (was_enabled) obs::enable();
+}
+BENCHMARK(bm_cg_telemetry_dormant)->Unit(benchmark::kMillisecond);
+
+void bm_cg_telemetry_enabled(benchmark::State& state) {
+  const bool was_enabled = obs::enabled();
+  obs::enable();
+  const an::CsrMatrix a = laplacian_3d(24);
+  const an::Vector b(a.rows(), 1.0);
+  const an::IterativeOptions opts = fixed_work_cg(50);
+  for (auto _ : state) {
+    auto res = an::conjugate_gradient(a, b, opts);
+    benchmark::DoNotOptimize(res);
+  }
+  if (!was_enabled) obs::disable();
+}
+BENCHMARK(bm_cg_telemetry_enabled)->Unit(benchmark::kMillisecond);
 
 void bm_emt_models(benchmark::State& state) {
   for (auto _ : state) {

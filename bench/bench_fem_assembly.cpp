@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -21,10 +22,12 @@
 #include "materials/solid.hpp"
 #include "numeric/parallel.hpp"
 #include "numeric/sparse.hpp"
+#include "obs/report.hpp"
 
 namespace af = aeropack::fem;
 namespace am = aeropack::materials;
 namespace an = aeropack::numeric;
+namespace obs = aeropack::obs;
 
 namespace {
 
@@ -109,7 +112,28 @@ void write_json(const std::string& path, std::size_t hardware, std::size_t n_mod
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  // --smoke: coarsest mesh + fixed {1,2} thread sweep, the configuration the
+  // CI bench-smoke job freezes counter expectations for (bench/expected/).
+  // --report <out.json>: enable telemetry and write the obs run report.
+  bool smoke = false;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(std::string("--report=").size());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (supported: --smoke, --report <out.json>)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (!report_path.empty()) obs::enable();
+
   std::printf("\n================================================================\n");
   std::printf("BENCH-FEM-ASSEMBLY — DofMap/SparseAssembler + sparse modal path\n");
   std::printf("CSR assembly / dense Jacobi / shift-invert vs mesh and threads\n");
@@ -119,10 +143,15 @@ int main() {
   std::vector<std::size_t> thread_counts{1, 2, 4};
   if (hardware > 4) thread_counts.push_back(hardware);
   const std::size_t n_modes = 8;
+  std::vector<std::pair<std::size_t, std::size_t>> sizes{
+      {8, 5}, {12, 8}, {16, 10}, {20, 13}, {24, 15}};
+  if (smoke) {
+    sizes = {{8, 5}};
+    thread_counts = {1, 2};
+    std::printf("  smoke mode: 8x5 mesh only, threads {1, 2}\n");
+  }
   std::printf("  hardware threads: %zu, modes requested: %zu\n\n", hardware, n_modes);
 
-  const std::vector<std::pair<std::size_t, std::size_t>> sizes{
-      {8, 5}, {12, 8}, {16, 10}, {20, 13}, {24, 15}};
   std::vector<MeshResult> results;
 
   for (const auto& [nx, ny] : sizes) {
@@ -193,5 +222,20 @@ int main() {
               best_sparse > 0.0 ? big.dense_modal_ms / best_sparse : 0.0);
 
   write_json("BENCH_fem_assembly.json", hardware, n_modes, thread_counts, results);
+
+  if (!report_path.empty()) {
+    obs::Report report = obs::Report::capture("bench_fem_assembly", an::thread_count());
+    report.set_meta("smoke", smoke ? 1.0 : 0.0);
+    report.set_meta("largest_free_dofs", static_cast<double>(results.back().free_dofs));
+    report.set_meta("largest_nonzeros", static_cast<double>(results.back().nonzeros));
+    report.write(report_path);
+    std::printf("  run report written to %s\n", report_path.c_str());
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bench failed: %s\n", e.what());
+  return 1;
+} catch (...) {
+  std::fprintf(stderr, "bench failed: unknown exception\n");
+  return 1;
 }

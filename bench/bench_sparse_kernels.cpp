@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -19,11 +20,13 @@
 #include "materials/solid.hpp"
 #include "numeric/parallel.hpp"
 #include "numeric/sparse.hpp"
+#include "obs/report.hpp"
 #include "thermal/fv.hpp"
 
 namespace an = aeropack::numeric;
 namespace at = aeropack::thermal;
 namespace am = aeropack::materials;
+namespace obs = aeropack::obs;
 
 namespace {
 
@@ -124,7 +127,28 @@ void write_json(const std::string& path, std::size_t hardware,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) try {
+  // --smoke: smallest grid + fixed {1,2} thread sweep, the configuration the
+  // CI bench-smoke job freezes counter expectations for (bench/expected/).
+  // --report <out.json>: enable telemetry and write the obs run report.
+  bool smoke = false;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(std::string("--report=").size());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (supported: --smoke, --report <out.json>)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (!report_path.empty()) obs::enable();
+
   std::printf("\n================================================================\n");
   std::printf("BENCH-SPARSE — multithreaded sparse kernels + FV assembly caching\n");
   std::printf("SpMV / CG / steady FV solve vs grid size and AEROPACK_THREADS\n");
@@ -133,9 +157,14 @@ int main() {
   const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
   std::vector<std::size_t> thread_counts{1, 2, 4};
   if (hardware > 4) thread_counts.push_back(hardware);
+  std::vector<std::size_t> sizes{8, 16, 32, 64};
+  if (smoke) {
+    sizes = {8};
+    thread_counts = {1, 2};
+    std::printf("  smoke mode: n=8^3 only, threads {1, 2}\n");
+  }
   std::printf("  hardware threads: %zu\n\n", hardware);
 
-  const std::vector<std::size_t> sizes{8, 16, 32, 64};
   std::vector<GridResult> results;
 
   for (const std::size_t n : sizes) {
@@ -244,5 +273,20 @@ int main() {
               big.triplet_assembly_ms);
 
   write_json("BENCH_sparse_kernels.json", hardware, thread_counts, results);
+
+  if (!report_path.empty()) {
+    obs::Report report = obs::Report::capture("bench_sparse_kernels", an::thread_count());
+    report.set_meta("smoke", smoke ? 1.0 : 0.0);
+    report.set_meta("largest_cells", static_cast<double>(results.back().cells));
+    report.set_meta("largest_nonzeros", static_cast<double>(results.back().nonzeros));
+    report.write(report_path);
+    std::printf("  run report written to %s\n", report_path.c_str());
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bench failed: %s\n", e.what());
+  return 1;
+} catch (...) {
+  std::fprintf(stderr, "bench failed: unknown exception\n");
+  return 1;
 }

@@ -7,9 +7,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include "numeric/parallel.hpp"
+#include "obs/report.hpp"
 
 namespace bench_util {
 
@@ -58,14 +62,59 @@ inline void write_csv(const std::string& path, const std::vector<std::string>& c
   std::printf("  series written to %s\n", path.c_str());
 }
 
-/// Standard main body: print the table, then run the registered benchmarks.
-inline int run(int argc, char** argv, void (*print_report)()) {
+/// Pull `--report <path>` / `--report=<path>` out of argv before
+/// google-benchmark sees it and return the path ("" if absent). Requesting a
+/// report turns telemetry on for the whole run so the captured counters cover
+/// every solve the bench performs.
+inline std::string extract_report_path(int& argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const std::string arg = argv[r];
+    if (arg == "--report" && r + 1 < argc) {
+      path = argv[++r];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      path = arg.substr(std::string("--report=").size());
+    } else {
+      argv[w++] = argv[r];
+    }
+  }
+  argc = w;
+  if (!path.empty()) aeropack::obs::enable();
+  return path;
+}
+
+/// Run label for the report: the binary name without its directory.
+inline std::string bench_name(const char* argv0) {
+  std::string name = (argv0 != nullptr && *argv0 != '\0') ? argv0 : "bench";
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
+
+/// Standard main body: print the table, run the registered benchmarks, then
+/// write the run report if one was requested. An escaping exception becomes a
+/// nonzero exit with the message on stderr — CI needs red, not a bench that
+/// dies mid-print with status 0 lost in a pipe.
+inline int run(int argc, char** argv, void (*print_report)()) try {
+  const std::string report_path = extract_report_path(argc, argv);
+  const std::string name = bench_name(argc > 0 ? argv[0] : nullptr);
   print_report();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!report_path.empty()) {
+    aeropack::obs::Report::capture(name, aeropack::numeric::thread_count()).write(report_path);
+    std::printf("  run report written to %s\n", report_path.c_str());
+  }
   return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bench failed: %s\n", e.what());
+  return 1;
+} catch (...) {
+  std::fprintf(stderr, "bench failed: unknown exception\n");
+  return 1;
 }
 
 }  // namespace bench_util

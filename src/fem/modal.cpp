@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "numeric/eigen.hpp"
+#include "obs/registry.hpp"
 
 namespace aeropack::fem {
 
@@ -39,6 +40,15 @@ ReducedModes solve_reduced_modes(const CsrMatrix& k, const CsrMatrix& m,
     case ModalPath::Sparse: dense = false; break;
     case ModalPath::Auto: dense = n <= opts.dense_threshold; break;
   }
+
+  static obs::Counter& modal_solves = obs::Registry::instance().counter("fem.modal_solves");
+  static obs::Counter& dense_solves = obs::Registry::instance().counter("fem.modal_dense");
+  static obs::Counter& sparse_solves = obs::Registry::instance().counter("fem.modal_sparse");
+  modal_solves.add();
+  (dense ? dense_solves : sparse_solves).add();
+  if (obs::enabled())
+    obs::Registry::instance().gauge("fem.free_dofs").set(static_cast<double>(n));
+  obs::ScopedTimer span(dense ? "fem.modal_dense" : "fem.modal_sparse");
 
   ReducedModes res;
   if (dense) {

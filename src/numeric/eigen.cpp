@@ -11,6 +11,7 @@
 #include "numeric/parallel.hpp"
 #include "numeric/solve_dense.hpp"
 #include "numeric/sparse_cholesky.hpp"
+#include "obs/registry.hpp"
 
 namespace aeropack::numeric {
 
@@ -167,6 +168,8 @@ ShiftedOperator make_shifted_operator(const CsrMatrix& k, const CsrMatrix& m,
     if (scale <= 0.0) scale = 1.0;
     for (const double f : {1e-2, 1e-1, 1.0}) shifts.push_back(-f * scale);
   }
+  static obs::Counter& retries = obs::Registry::instance().counter("numeric.eigen.shift_retries");
+  static obs::Counter& fallbacks = obs::Registry::instance().counter("numeric.eigen.cg_fallbacks");
   for (const double sigma : shifts) {
     ShiftedOperator op;
     op.sigma = sigma;
@@ -175,8 +178,10 @@ ShiftedOperator make_shifted_operator(const CsrMatrix& k, const CsrMatrix& m,
       op.factor = std::make_unique<SkylineCholesky>(op.matrix, opts.max_envelope);
       return op;
     } catch (const std::length_error&) {
+      fallbacks.add();
       return op;  // envelope over budget: iterative fallback on this shift
     } catch (const std::domain_error&) {
+      retries.add();
       continue;  // indefinite at this shift, try a more negative one
     }
   }
@@ -228,6 +233,12 @@ EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
   if (n == 0 || n_modes == 0 || n_modes > n)
     throw std::invalid_argument("eigen_generalized_sparse: invalid mode count");
 
+  static obs::Counter& solves = obs::Registry::instance().counter("numeric.eigen.sparse_solves");
+  static obs::Counter& sweeps =
+      obs::Registry::instance().counter("numeric.eigen.subspace_iterations");
+  obs::ScopedTimer span("numeric.eigen_sparse");
+  solves.add();
+
   const std::size_t q =
       std::min(n, std::max(2 * n_modes, n_modes + opts.subspace_extra));
   const ShiftedOperator op = make_shifted_operator(k, m, opts);
@@ -238,6 +249,7 @@ EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
   EigenResult ritz;  // q x q Rayleigh-Ritz solution of the current subspace
 
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    sweeps.add();
     // Inverse-iterate the block: y_j = (K - sigma*M)^-1 (M x_j).
     Vector rhs;
     for (std::size_t j = 0; j < q; ++j) {

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
+
 namespace aeropack::numeric {
 
 namespace {
@@ -138,6 +140,12 @@ void set_thread_count(std::size_t n) {
 
 void ThreadPool::run(std::size_t n_tasks, const std::function<void(std::size_t)>& fn) {
   if (n_tasks == 0) return;
+  // Deepest task window published at once. Thread-dependent (scheduling)
+  // telemetry: report-only, excluded from the deterministic-counter
+  // contracts in tests/obs/.
+  static obs::Highwater& queue_hw =
+      obs::Registry::instance().highwater("numeric.pool.queue_depth_highwater");
+  queue_hw.record(n_tasks);
   if (workers_ == 0 || n_tasks == 1) {
     for (std::size_t t = 0; t < n_tasks; ++t) fn(t);
     return;
@@ -173,13 +181,19 @@ void ThreadPool::run(std::size_t n_tasks, const std::function<void(std::size_t)>
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
+  static obs::Counter& for_calls = obs::Registry::instance().counter("numeric.parallel_for.calls");
+  static obs::Counter& for_chunks =
+      obs::Registry::instance().counter("numeric.parallel_for.chunks");
+  for_calls.add();
   const std::size_t n = end - begin;
   const std::size_t threads = thread_count();
   if (threads == 1 || n < 2) {
+    for_chunks.add();
     fn(begin, end);
     return;
   }
   const std::size_t chunks = std::min(threads, n);
+  for_chunks.add(chunks);
   const std::size_t base = n / chunks, extra = n % chunks;
   ThreadPool::instance().run(chunks, [&](std::size_t c) {
     // First `extra` chunks carry one extra element.

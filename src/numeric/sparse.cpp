@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "numeric/parallel.hpp"
+#include "obs/registry.hpp"
 
 namespace aeropack::numeric {
 
@@ -87,6 +88,8 @@ Vector CsrMatrix::multiply(const Vector& x) const {
 void CsrMatrix::multiply(const Vector& x, Vector& y) const {
   if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
   assert(&x != &y && "CsrMatrix::multiply: y must not alias x");
+  static obs::Counter& spmv_calls = obs::Registry::instance().counter("numeric.spmv.calls");
+  spmv_calls.add();
   y.assign(rows_, 0.0);
   parallel_for(0, rows_, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
@@ -177,10 +180,8 @@ void hadamard(const Vector& a, const Vector& b, Vector& out) {
   });
 }
 
-}  // namespace
-
-IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
-                                   const IterativeOptions& opts, const Vector* x0) {
+IterativeResult cg_impl(const CsrMatrix& a, const Vector& b, const IterativeOptions& opts,
+                        const Vector* x0) {
   if (a.rows() != a.cols() || b.size() != a.rows())
     throw std::invalid_argument("conjugate_gradient: shape mismatch");
   if (x0 && x0->size() != b.size())
@@ -234,6 +235,28 @@ IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
     parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) p[i] = z[i] + beta * p[i];
     });
+  }
+  return res;
+}
+
+}  // namespace
+
+IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                                   const IterativeOptions& opts, const Vector* x0) {
+  static obs::Counter& cg_solves = obs::Registry::instance().counter("numeric.cg.solves");
+  static obs::Counter& cg_iters = obs::Registry::instance().counter("numeric.cg.iterations");
+  static obs::Counter& cg_warm = obs::Registry::instance().counter("numeric.cg.warmstart_hits");
+  obs::ScopedTimer span("numeric.cg");
+  const IterativeResult res = cg_impl(a, b, opts, x0);
+  cg_solves.add();
+  cg_iters.add(res.iterations);
+  // A warm start good enough that CG never iterated (covers the trivial
+  // zero-RHS solve too — the warm start is exact there).
+  if (x0 != nullptr && res.converged && res.iterations == 0) cg_warm.add();
+  if (obs::enabled()) {
+    obs::Registry::instance().gauge("numeric.cg.last_residual").set(res.residual);
+    obs::Registry::instance().gauge("numeric.cg.last_iterations").set(
+        static_cast<double>(res.iterations));
   }
   return res;
 }

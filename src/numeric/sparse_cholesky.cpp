@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace aeropack::numeric {
 
 SkylineCholesky::SkylineCholesky(const CsrMatrix& a, std::size_t max_envelope) : n_(a.rows()) {
@@ -49,6 +51,15 @@ SkylineCholesky::SkylineCholesky(const CsrMatrix& a, std::size_t max_envelope) :
       throw std::domain_error("SkylineCholesky: matrix not positive definite");
     l(i, i) = std::sqrt(diag);
   }
+
+  // Counted only on success: indefinite/over-budget attempts are reported by
+  // the shift-ladder instrumentation in eigen.cpp instead.
+  static obs::Counter& factorizations =
+      obs::Registry::instance().counter("numeric.skyline.factorizations");
+  factorizations.add();
+  if (obs::enabled())
+    obs::Registry::instance().gauge("numeric.skyline.last_envelope")
+        .set(static_cast<double>(offset_[n_]));
 }
 
 Vector SkylineCholesky::solve(const Vector& b) const {

@@ -1,0 +1,157 @@
+// Structured solver telemetry: a process-wide registry of named monotonic
+// counters, last-write gauges, high-water marks and an RAII span timer tree.
+//
+// Design constraints (see DESIGN.md "Observability"):
+//  - Zero dependencies: obs sits below numeric in the subsystem order so
+//    every layer (kernels, solvers, benches) can report through it.
+//  - Dormant by default: instrumentation is compiled in but every mutation
+//    is gated on one relaxed atomic-bool load, so hot loops pay a single
+//    predictable branch when telemetry is off (the 64^3 CG overhead test in
+//    tests/obs/test_overhead.cpp pins this to run-to-run noise).
+//  - Enabled via the AEROPACK_TELEMETRY environment variable (any value but
+//    "" or "0", read once before main) or programmatically with enable().
+//  - Counters are std::atomic and safe to bump from worker threads; spans
+//    (ScopedTimer) keep a thread-local cursor into a mutex-guarded tree, so
+//    nesting is tracked per thread and the structure stays consistent.
+//  - Counter*addresses* handed out by Registry are stable for the process
+//    lifetime; Registry::reset() zeroes values but never invalidates them,
+//    which lets instrumentation sites cache `static obs::Counter&` refs.
+//
+// The algorithmic counters (Picard passes, CG iterations, factorizations,
+// subspace sweeps) are bit-deterministic across thread counts — the PR 1-3
+// determinism invariants — so exact values can be frozen as golden contracts
+// (tests/obs/) and gated in CI. Scheduling counters (parallel chunks, pool
+// queue high-water) are thread-dependent and excluded from those contracts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aeropack::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True when telemetry mutations are recorded. One relaxed load — this is
+/// the dormant fast path every instrumentation site branches on.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Turn telemetry on/off at runtime (also settable via AEROPACK_TELEMETRY).
+void enable();
+void disable();
+
+/// Monotonic event counter. add() is safe from any thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write scalar (final residuals, problem sizes). Safe from any thread;
+/// concurrent writers race benignly (last write wins).
+class Gauge {
+ public:
+  void set(double v) {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Monotonic maximum of recorded values (queue depths, envelope sizes).
+class Highwater {
+ public:
+  void record(std::uint64_t v) {
+    if (!enabled()) return;
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// One flattened node of the span-timer tree (preorder).
+struct TimerEntry {
+  std::string path;  ///< "/"-joined span names from the root, e.g. "fv.solve_steady/fv.assemble"
+  std::uint64_t calls = 0;
+  double seconds = 0.0;
+  std::size_t depth = 0;  ///< nesting depth (top-level spans are 0)
+};
+
+/// Process-wide telemetry registry. Lookup creates on first use and returns
+/// a reference with process-lifetime stability, so hot paths resolve their
+/// instruments once (`static obs::Counter& c = ...counter("name");`).
+class Registry {
+ public:
+  /// Leaked singleton (never destroyed: instrumentation sites may fire
+  /// during static teardown).
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Highwater& highwater(const std::string& name);
+
+  /// Zero every counter/gauge/highwater and all span statistics. Instrument
+  /// addresses and the span-tree structure stay valid. Must not be called
+  /// while a ScopedTimer span is open.
+  void reset();
+
+  /// Snapshots for reports and tests. counters() merges plain counters and
+  /// high-water marks into one monotonic map.
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  /// Preorder flatten of the span tree; spans with zero calls are omitted.
+  std::vector<TimerEntry> timers() const;
+
+ private:
+  Registry();
+  ~Registry() = delete;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  friend class ScopedTimer;
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII nested span: accumulates wall time and call count under the
+/// innermost open span of the current thread. Dormant-telemetry spans cost
+/// one branch and touch no shared state. Spans must be strictly nested per
+/// thread (automatic with scoped lifetime).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  void* node_ = nullptr;    // TimerNode*, null when dormant at construction
+  void* parent_ = nullptr;  // previous thread-local cursor
+  std::int64_t t0_ns_ = 0;
+};
+
+/// "prefix.NN.suffix"-style key for per-iteration gauges; pads the index to
+/// two digits so report keys sort in pass order.
+std::string indexed_key(const char* prefix, std::size_t index, const char* suffix);
+
+}  // namespace aeropack::obs

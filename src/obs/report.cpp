@@ -1,0 +1,74 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aeropack::obs {
+
+Report Report::capture(const std::string& name, std::size_t threads) {
+  Report r;
+  r.name_ = name;
+  r.threads_ = threads;
+  const Registry& reg = Registry::instance();
+  r.counters_ = reg.counters();
+  r.gauges_ = reg.gauges();
+  r.timers_ = reg.timers();
+  return r;
+}
+
+void Report::set_meta(const std::string& key, double value) { meta_[key] = value; }
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Keys are dotted instrument names (no quotes/backslashes in practice), but
+// escape anyway so a stray name cannot produce invalid JSON.
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  // One flat object of scalar values, section-prefixed keys, sorted within
+  // each section — the golden-file JSON subset plus one string-valued
+  // "report" label, which tools/check_report.py skips when gating counters.
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"report\": \"" << escape(name_) << "\",\n";
+  out << "  \"threads\": " << threads_;
+  for (const auto& [key, value] : meta_)
+    out << ",\n  \"meta." << escape(key) << "\": " << fmt_double(value);
+  for (const auto& [key, value] : counters_)
+    out << ",\n  \"counters." << escape(key) << "\": " << value;
+  for (const auto& [key, value] : gauges_)
+    out << ",\n  \"gauges." << escape(key) << "\": " << fmt_double(value);
+  for (const auto& entry : timers_) {
+    out << ",\n  \"timers." << escape(entry.path) << ".calls\": " << entry.calls;
+    out << ",\n  \"timers." << escape(entry.path) << ".seconds\": " << fmt_double(entry.seconds);
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+void Report::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("obs::Report: cannot open " + path + " for writing");
+  out << to_json();
+  if (!out) throw std::runtime_error("obs::Report: write to " + path + " failed");
+}
+
+}  // namespace aeropack::obs

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "numeric/parallel.hpp"
+#include "obs/registry.hpp"
 
 namespace aeropack::thermal {
 
@@ -339,6 +340,10 @@ static void for_each_boundary_face(const FvGrid& g, const Vector& kx, const Vect
 
 FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
                                                      double inv_dt) const {
+  static obs::Counter& assemblies =
+      obs::Registry::instance().counter("fv.structure_assemblies");
+  assemblies.add();
+  obs::ScopedTimer span("fv.assemble_structure");
   const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
   const std::size_t n = grid_.cell_count();
   const std::size_t sxy = nx * ny;
@@ -433,6 +438,9 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
 
 void FvModel::update_boundary_terms(AssemblyCache& cache, const Vector& temps,
                                     const Vector* prev, Vector& rhs) const {
+  static obs::Counter& updates = obs::Registry::instance().counter("fv.boundary_updates");
+  updates.add();
+  obs::ScopedTimer span("fv.update_boundary");
   std::vector<double>& values = cache.matrix.values();
   numeric::parallel_for(0, values.size(), [&](std::size_t lo, std::size_t hi) {
     std::copy(cache.base_values.begin() + static_cast<std::ptrdiff_t>(lo),
@@ -506,6 +514,13 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
 
   Vector temps(n, t_guess);
   FvSolution sol;
+  static obs::Counter& steady_solves = obs::Registry::instance().counter("fv.steady_solves");
+  static obs::Counter& picard_passes = obs::Registry::instance().counter("fv.picard_passes");
+  static obs::Counter& cg_iterations = obs::Registry::instance().counter("fv.cg_iterations");
+  static obs::Counter& warmstart_hits = obs::Registry::instance().counter("fv.warmstart_hits");
+  steady_solves.add();
+  obs::ScopedTimer span("fv.solve_steady");
+  if (obs::enabled()) obs::Registry::instance().gauge("fv.cells").set(static_cast<double>(n));
   // Fast path: symbolic structure + static coefficients assembled once;
   // Picard passes rewrite only boundary terms and warm-start CG from the
   // previous pass's temperature field.
@@ -518,6 +533,19 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
     const auto lin = numeric::conjugate_gradient(cache.matrix, rhs, opts.linear, &temps);
     if (!lin.converged)
       throw std::runtime_error("FvModel::solve_steady: linear solver failed to converge");
+    picard_passes.add();
+    cg_iterations.add(lin.iterations);
+    if (lin.iterations == 0) warmstart_hits.add();
+    if (obs::enabled()) {
+      // Per-pass convergence trace: how many CG iterations each Picard pass
+      // cost and where its linear residual landed.
+      obs::Registry::instance()
+          .gauge(obs::indexed_key("fv.picard", it + 1, "cg_iterations"))
+          .set(static_cast<double>(lin.iterations));
+      obs::Registry::instance()
+          .gauge(obs::indexed_key("fv.picard", it + 1, "residual"))
+          .set(lin.residual);
+    }
     sol.linear_iterations += lin.iterations;
     double delta = 0.0;
     for (std::size_t c = 0; c < n; ++c) delta = std::max(delta, std::fabs(lin.x[c] - temps[c]));
@@ -556,6 +584,9 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt,
   // Structure + capacity assembled once for the whole march; each implicit
   // Euler step rewrites boundary terms and warm-starts CG from the previous
   // step's field instead of re-converging from scratch.
+  static obs::Counter& transient_steps = obs::Registry::instance().counter("fv.transient_steps");
+  static obs::Counter& warmstart_hits = obs::Registry::instance().counter("fv.warmstart_hits");
+  obs::ScopedTimer span("fv.solve_transient");
   AssemblyCache cache = build_assembly_cache(opts, 1.0 / dt);
   out.structure_assemblies = 1;
   Vector rhs(n);
@@ -564,6 +595,8 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt,
     const auto lin = numeric::conjugate_gradient(cache.matrix, rhs, opts.linear, &temps);
     if (!lin.converged)
       throw std::runtime_error("FvModel::solve_transient: linear solver failed");
+    transient_steps.add();
+    if (lin.iterations == 0) warmstart_hits.add();
     out.linear_iterations += lin.iterations;
     temps = lin.x;
     out.times.push_back(dt * static_cast<double>(s));

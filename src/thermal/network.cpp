@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "numeric/solve_dense.hpp"
+#include "obs/registry.hpp"
 
 namespace aeropack::thermal {
 
@@ -166,9 +167,17 @@ SteadySolution ThermalNetwork::solve_steady(const SteadyOptions& opts) const {
       std::any_of(conductors_.begin(), conductors_.end(),
                   [](const Conductor& c) { return static_cast<bool>(c.fn); });
 
+  static obs::Counter& steady_solves =
+      obs::Registry::instance().counter("network.steady_solves");
+  static obs::Counter& picard_passes =
+      obs::Registry::instance().counter("network.picard_passes");
+  steady_solves.add();
+  obs::ScopedTimer span("network.solve_steady");
+
   SteadySolution sol;
   const std::size_t max_it = nonlinear ? opts.max_picard_iterations : 1;
   for (std::size_t it = 0; it < max_it; ++it) {
+    picard_passes.add();
     const auto g = evaluate_conductances(temps);
     const Vector next = solve_linearized(g);
     double delta = 0.0;
@@ -233,11 +242,18 @@ TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     if (!nodes_[i].boundary) unknown_index[i] = static_cast<std::ptrdiff_t>(n_unknown++);
 
+  static obs::Counter& transient_steps =
+      obs::Registry::instance().counter("network.transient_steps");
+  static obs::Counter& transient_picard =
+      obs::Registry::instance().counter("network.transient_picard_passes");
+  obs::ScopedTimer span("network.solve_transient");
   const std::size_t n_steps = static_cast<std::size_t>(std::ceil(t_end / dt));
   for (std::size_t s = 1; s <= n_steps; ++s) {
+    transient_steps.add();
     // A few Picard passes per implicit step to handle nonlinear conductors.
     Vector iterate = temps;
     for (std::size_t pic = 0; pic < 5; ++pic) {
+      transient_picard.add();
       const auto gv = evaluate_conductances(iterate);
       Matrix a(std::max<std::size_t>(n_unknown, 1), std::max<std::size_t>(n_unknown, 1));
       Vector rhs(std::max<std::size_t>(n_unknown, 1), 0.0);

@@ -100,8 +100,8 @@ void write_golden_file(const std::string& path, const std::map<std::string, doub
   if (!out) throw std::runtime_error("golden file " + path + ": write failed");
 }
 
-GoldenRecorder::GoldenRecorder(std::string name, std::string directory)
-    : name_(std::move(name)), path_(std::move(directory)) {
+GoldenRecorder::GoldenRecorder(std::string name, std::string directory, std::string ctest_label)
+    : name_(std::move(name)), path_(std::move(directory)), label_(std::move(ctest_label)) {
   if (!path_.empty() && path_.back() != '/') path_ += '/';
   path_ += name_ + ".json";
 }
@@ -143,8 +143,8 @@ std::vector<std::string> GoldenRecorder::finish(double rel_tol) const {
         report.push_back("stale golden key (no longer recorded): " + key);
   }
   if (!report.empty())
-    report.push_back("to accept the new values, rerun with: AEROPACK_UPDATE_GOLDEN=1 ctest -L verify -R " +
-                     name_ + " && git diff tests/verify/golden/");
+    report.push_back("to accept the new values, rerun with: AEROPACK_UPDATE_GOLDEN=1 ctest -L " +
+                     label_ + " -R " + name_ + " && git diff " + path_);
   return report;
 }
 

@@ -29,7 +29,11 @@ void write_golden_file(const std::string& path, const std::map<std::string, doub
 class GoldenRecorder {
  public:
   /// Records compare against (or regenerate) `directory`/`name`.json.
-  GoldenRecorder(std::string name, std::string directory);
+  /// `ctest_label` is the test label named in the regeneration command a
+  /// mismatch report prints — "verify" for the golden regression suite, but
+  /// other tiers (e.g. the `obs` counter contracts) reuse the recorder
+  /// against their own baseline directories.
+  GoldenRecorder(std::string name, std::string directory, std::string ctest_label = "verify");
 
   /// Record one scalar under a unique key (throws on duplicates — a
   /// duplicate key silently overwriting would mask a test-authoring bug).
@@ -49,6 +53,7 @@ class GoldenRecorder {
  private:
   std::string name_;
   std::string path_;
+  std::string label_;
   std::map<std::string, double> values_;
 };
 

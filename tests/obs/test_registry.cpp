@@ -1,0 +1,182 @@
+// Unit tests for the telemetry registry: instrument semantics, the
+// enable/disable gate, address stability across reset(), and the span tree.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace obs = aeropack::obs;
+
+namespace {
+
+/// Every obs test enables telemetry on a clean registry and restores the
+/// dormant default on exit so the suites stay order-independent.
+struct TelemetryGuard {
+  TelemetryGuard() {
+    obs::enable();
+    obs::Registry::instance().reset();
+  }
+  ~TelemetryGuard() { obs::disable(); }
+};
+
+}  // namespace
+
+TEST(ObsRegistry, CounterAccumulatesAndResets) {
+  TelemetryGuard guard;
+  obs::Counter& c = obs::Registry::instance().counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  obs::Registry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsRegistry, InstrumentReferencesAreStableAcrossLookupAndReset) {
+  TelemetryGuard guard;
+  obs::Registry& reg = obs::Registry::instance();
+  obs::Counter& first = reg.counter("test.stable");
+  // Force rebalancing inserts around it.
+  for (int i = 0; i < 100; ++i) reg.counter("test.stable." + std::to_string(i));
+  reg.reset();
+  EXPECT_EQ(&first, &reg.counter("test.stable"));
+}
+
+TEST(ObsRegistry, DormantInstrumentsRecordNothing) {
+  obs::Registry::instance().reset();
+  obs::disable();
+  obs::Counter& c = obs::Registry::instance().counter("test.dormant.counter");
+  obs::Gauge& g = obs::Registry::instance().gauge("test.dormant.gauge");
+  obs::Highwater& h = obs::Registry::instance().highwater("test.dormant.hw");
+  c.add(7);
+  g.set(3.5);
+  h.record(9);
+  {
+    obs::ScopedTimer span("test.dormant.span");
+  }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.value(), 0u);
+  for (const auto& t : obs::Registry::instance().timers())
+    EXPECT_NE(t.path, "test.dormant.span");
+}
+
+TEST(ObsRegistry, EnableDisableGateIsLive) {
+  TelemetryGuard guard;
+  obs::Counter& c = obs::Registry::instance().counter("test.gate");
+  c.add();
+  obs::disable();
+  c.add();
+  obs::enable();
+  c.add();
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(ObsRegistry, GaugeKeepsLastWriteAndHighwaterKeepsMax) {
+  TelemetryGuard guard;
+  obs::Gauge& g = obs::Registry::instance().gauge("test.gauge");
+  g.set(10.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  obs::Highwater& h = obs::Registry::instance().highwater("test.hw");
+  h.record(3);
+  h.record(17);
+  h.record(5);
+  EXPECT_EQ(h.value(), 17u);
+}
+
+TEST(ObsRegistry, CountersSnapshotMergesHighwaters) {
+  TelemetryGuard guard;
+  obs::Registry::instance().counter("test.snap.count").add(4);
+  obs::Registry::instance().highwater("test.snap.hw").record(9);
+  const auto snap = obs::Registry::instance().counters();
+  EXPECT_EQ(snap.at("test.snap.count"), 4u);
+  EXPECT_EQ(snap.at("test.snap.hw"), 9u);
+}
+
+TEST(ObsRegistry, ScopedTimerBuildsNestedPaths) {
+  TelemetryGuard guard;
+  {
+    obs::ScopedTimer outer("outer");
+    {
+      obs::ScopedTimer inner("inner");
+    }
+    {
+      obs::ScopedTimer inner("inner");
+    }
+  }
+  {
+    obs::ScopedTimer outer("outer");
+  }
+  bool saw_outer = false, saw_inner = false;
+  for (const auto& t : obs::Registry::instance().timers()) {
+    if (t.path == "outer") {
+      saw_outer = true;
+      EXPECT_EQ(t.calls, 2u);
+      EXPECT_EQ(t.depth, 0u);
+      EXPECT_GE(t.seconds, 0.0);
+    }
+    if (t.path == "outer/inner") {
+      saw_inner = true;
+      EXPECT_EQ(t.calls, 2u);
+      EXPECT_EQ(t.depth, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST(ObsRegistry, SpanOpenedWhileEnabledClosesCleanlyAfterDisable) {
+  TelemetryGuard guard;
+  {
+    obs::ScopedTimer span("test.straddle");
+    obs::disable();
+  }  // must still accumulate into the node it opened
+  obs::enable();
+  bool found = false;
+  for (const auto& t : obs::Registry::instance().timers())
+    if (t.path == "test.straddle") {
+      found = true;
+      EXPECT_EQ(t.calls, 1u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsRegistry, TimersFromWorkerThreadsNestPerThread) {
+  TelemetryGuard guard;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w)
+    workers.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        obs::ScopedTimer outer("worker_span");
+        obs::ScopedTimer inner("inner");
+      }
+    });
+  for (auto& t : workers) t.join();
+  std::uint64_t outer_calls = 0, inner_calls = 0;
+  for (const auto& t : obs::Registry::instance().timers()) {
+    if (t.path == "worker_span") outer_calls = t.calls;
+    if (t.path == "worker_span/inner") inner_calls = t.calls;
+  }
+  EXPECT_EQ(outer_calls, 200u);
+  EXPECT_EQ(inner_calls, 200u);
+}
+
+TEST(ObsRegistry, ConcurrentCounterAddsAreLossless) {
+  TelemetryGuard guard;
+  obs::Counter& c = obs::Registry::instance().counter("test.concurrent");
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w)
+    workers.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add();
+    });
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(c.value(), 80000u);
+}
+
+TEST(ObsRegistry, IndexedKeyPadsToTwoDigits) {
+  EXPECT_EQ(obs::indexed_key("fv.picard", 3, "residual"), "fv.picard.03.residual");
+  EXPECT_EQ(obs::indexed_key("fv.picard", 12, "residual"), "fv.picard.12.residual");
+}

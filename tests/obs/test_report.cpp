@@ -1,0 +1,100 @@
+// obs::Report serialization: flat BENCH_*.json-style output with stable
+// section-prefixed keys, written reports parse back with the golden-file
+// reader (modulo the one string-valued "report" label).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "obs/report.hpp"
+#include "verify/golden.hpp"
+
+namespace obs = aeropack::obs;
+namespace av = aeropack::verify;
+
+namespace {
+
+struct TelemetryGuard {
+  TelemetryGuard() {
+    obs::enable();
+    obs::Registry::instance().reset();
+  }
+  ~TelemetryGuard() { obs::disable(); }
+};
+
+obs::Report sample_report() {
+  obs::Registry::instance().counter("sample.solves").add(3);
+  obs::Registry::instance().gauge("sample.residual").set(1.5e-11);
+  obs::Registry::instance().highwater("sample.queue").record(7);
+  {
+    obs::ScopedTimer outer("sample.outer");
+    obs::ScopedTimer inner("sample.inner");
+  }
+  obs::Report r = obs::Report::capture("unit_test", 2);
+  r.set_meta("cells", 4096.0);
+  return r;
+}
+
+}  // namespace
+
+TEST(ObsReport, CaptureSnapshotsRegistry) {
+  TelemetryGuard guard;
+  const obs::Report r = sample_report();
+  EXPECT_EQ(r.name(), "unit_test");
+  EXPECT_EQ(r.threads(), 2u);
+  EXPECT_EQ(r.counters().at("sample.solves"), 3u);
+  EXPECT_EQ(r.counters().at("sample.queue"), 7u);
+  EXPECT_EQ(r.gauges().at("sample.residual"), 1.5e-11);
+  ASSERT_FALSE(r.timers().empty());
+}
+
+TEST(ObsReport, JsonIsFlatSectionPrefixedAndOrdered) {
+  TelemetryGuard guard;
+  const std::string json = sample_report().to_json();
+  EXPECT_NE(json.find("\"report\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"meta.cells\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"counters.sample.solves\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"counters.sample.queue\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges.sample.residual\": 1.5e-11"), std::string::npos);
+  EXPECT_NE(json.find("\"timers.sample.outer.calls\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"timers.sample.outer/sample.inner.calls\": 1"), std::string::npos);
+  // Sections appear in a fixed order so diffs between reports stay minimal.
+  EXPECT_LT(json.find("\"threads\""), json.find("\"meta."));
+  EXPECT_LT(json.find("\"meta."), json.find("\"counters."));
+  EXPECT_LT(json.find("\"counters."), json.find("\"gauges."));
+  EXPECT_LT(json.find("\"gauges."), json.find("\"timers."));
+}
+
+TEST(ObsReport, WrittenFileRoundTripsThroughGoldenReader) {
+  TelemetryGuard guard;
+  const std::string path = ::testing::TempDir() + "obs_report_roundtrip.json";
+  obs::Report r = sample_report();
+  r.write(path);
+  // The golden reader wants pure numbers; strip the one string-valued label
+  // the same way tools/check_report.py does before gating counters.
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  const std::size_t pos = content.find("  \"report\": \"unit_test\",\n");
+  ASSERT_NE(pos, std::string::npos);
+  content.erase(pos, std::string("  \"report\": \"unit_test\",\n").size());
+  {
+    std::ofstream out(path);
+    out << content;
+  }
+  const auto values = av::read_golden_file(path);
+  EXPECT_EQ(values.at("threads"), 2.0);
+  EXPECT_EQ(values.at("meta.cells"), 4096.0);
+  EXPECT_EQ(values.at("counters.sample.solves"), 3.0);
+  EXPECT_EQ(values.at("gauges.sample.residual"), 1.5e-11);
+  EXPECT_GE(values.at("timers.sample.outer.seconds"), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(ObsReport, WriteToUnwritablePathThrows) {
+  TelemetryGuard guard;
+  EXPECT_THROW(sample_report().write("/nonexistent_dir_for_obs/report.json"),
+               std::runtime_error);
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Gate a bench run report against checked-in deterministic-counter expectations.
+
+Usage:
+    check_report.py <report.json> <expected.json>
+
+The report is the flat JSON an aeropack bench writes via `--report out.json`
+(obs::Report::to_json: "counters.*", "gauges.*", "timers.*" keys plus the one
+string-valued "report" label). The expected file lists only the counters that
+are deterministic for the smoke configuration — algorithmic counters (CG
+iterations, SpMV calls, Picard passes, factorizations, subspace sweeps) that
+PR 1-3's invariants make bit-identical across thread counts and machines.
+Timers, gauges and scheduling counters (numeric.parallel_for.*,
+numeric.pool.*) are never gated: they legitimately vary run to run.
+
+Exit status: 0 if every expected counter matches exactly, 1 on any drift or
+missing key, 2 on usage/parse errors.
+
+Regenerating after an intentional algorithmic change:
+    ./bench_<name> --smoke --report report.json
+    python3 tools/check_report.py report.json bench/expected/bench_<name>.expected.json --update
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_report: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    update = "--update" in argv
+    args = [a for a in argv if a != "--update"]
+    if len(args) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    report_path, expected_path = args[1], args[2]
+    report = load(report_path)
+
+    if update:
+        # Freeze the deterministic counters of this report as the new
+        # expectation. Scheduling counters vary with the machine's core count
+        # and chunking, so they are excluded at generation time.
+        skip = ("counters.numeric.parallel_for.", "counters.numeric.pool.")
+        expected = {
+            key: value
+            for key, value in sorted(report.items())
+            if key.startswith("counters.") and not key.startswith(skip) and value != 0
+        }
+        with open(expected_path, "w", encoding="utf-8") as fh:
+            json.dump(expected, fh, indent=2)
+            fh.write("\n")
+        print(f"check_report: wrote {len(expected)} counter expectations to {expected_path}")
+        return 0
+
+    expected = load(expected_path)
+    failures = []
+    for key, want in sorted(expected.items()):
+        if not key.startswith("counters."):
+            failures.append(f"  {key}: expected file must only gate counters.* keys")
+            continue
+        got = report.get(key)
+        if got is None:
+            failures.append(f"  {key}: missing from report (expected {want})")
+        elif got != want:
+            failures.append(f"  {key}: {got} != expected {want}")
+
+    if failures:
+        print(f"check_report: {report_path} drifted from {expected_path}:")
+        print("\n".join(failures))
+        print(
+            "\nIf the change is intentional (an algorithmic change that shifts "
+            "iteration/assembly counts), regenerate the expectations:\n"
+            f"  ./<bench_binary> --smoke --report report.json\n"
+            f"  python3 tools/check_report.py report.json {expected_path} --update\n"
+            "and commit the updated expected file. The obs golden baselines "
+            "(tests/obs/golden/) usually need the matching refresh:\n"
+            "  AEROPACK_UPDATE_GOLDEN=1 ctest -L obs"
+        )
+        return 1
+
+    print(
+        f"check_report: {report_path} matches {expected_path} "
+        f"({len(expected)} counters, exact)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
