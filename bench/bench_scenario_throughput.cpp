@@ -1,0 +1,310 @@
+// BENCH-SCENARIO — co-design batch throughput on isolated ExecutionContexts.
+//
+// The paper's co-design loop (Fig. 1) evaluates thermal and mechanical
+// models against one specification; a trade study multiplies that into a
+// batch of independent what-if scenarios. This bench drives a mixed batch —
+// an SEB power sweep (Fig. 10), modal placement variants of the Fig. 2
+// avionics board, and FV slab heat-load variants — through
+// core::ScenarioRunner, sweeping the worker count and recording
+// scenarios/sec. Every scenario runs on its own ExecutionContext, so the
+// numbers also demonstrate the isolation contract: per-scenario counters
+// come back deterministic and identical at every worker count.
+//
+// --smoke freezes a reduced batch at workers {1, 2} for the CI bench-smoke
+// job; the per-scenario counters land in the obs report under
+// "<scenario>.<counter>" keys and are gated against bench/expected/.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/qualification.hpp"
+#include "core/scenario_runner.hpp"
+#include "core/seb.hpp"
+#include "fem/plate.hpp"
+#include "materials/solid.hpp"
+#include "numeric/parallel.hpp"
+#include "obs/report.hpp"
+#include "thermal/fv.hpp"
+
+namespace ac = aeropack::core;
+namespace an = aeropack::numeric;
+namespace at = aeropack::thermal;
+namespace am = aeropack::materials;
+namespace af = aeropack::fem;
+namespace obs = aeropack::obs;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// SEB operating point at one sweep power (Fig. 10 ordinate, LHP chain).
+ac::ScenarioFn seb_scenario(double power_w, double tilt_deg) {
+  return [power_w, tilt_deg](aeropack::ExecutionContext&) {
+    const ac::SebModel seb{ac::SebDesign{}};
+    const ac::SebOperatingPoint op =
+        seb.solve(power_w, 295.15, ac::SebCooling::HeatPipesAndLhp, tilt_deg);
+    return std::map<std::string, double>{
+        {"dt_pcb_air", op.dt_pcb_air},
+        {"q_lhp_path", op.q_lhp_path},
+        {"t_pcb", op.t_pcb},
+    };
+  };
+}
+
+/// Fig. 2 style placement variant: the heavy component slides along the
+/// board, the fundamental frequency is the scenario output. Sparse modal
+/// path so the context's pool does the work.
+ac::ScenarioFn modal_scenario(double mass_x) {
+  return [mass_x](aeropack::ExecutionContext&) {
+    af::PlateModel board(0.16, 0.10, 1.6e-3, am::fr4(), 8, 5);
+    board.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+    board.add_smeared_mass(2.5);
+    board.add_point_mass(mass_x, 0.05, 0.18);
+    board.add_doubler(0.03, 0.13, 0.02, 0.08, 1.8);
+    af::ModalOptions opts;
+    opts.n_modes = 6;
+    opts.path = af::ModalPath::Sparse;
+    const af::PlateModalResult modes = board.solve_modal(opts);
+    return std::map<std::string, double>{
+        {"f1_hz", modes.frequencies_hz[0]},
+        {"f2_hz", modes.frequencies_hz[1]},
+    };
+  };
+}
+
+/// FV slab at one heat load: the qualification-campaign style thermal check.
+ac::ScenarioFn fv_scenario(double power_w) {
+  return [power_w](aeropack::ExecutionContext&) {
+    at::FvModel slab(at::FvGrid::uniform(0.1, 0.02, 0.01, 16, 4, 4));
+    slab.set_material(am::aluminum_6061());
+    slab.add_power({0, 16, 0, 4, 0, 4}, power_w);
+    slab.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(300.0));
+    slab.set_boundary(at::Face::XMax, at::BoundaryCondition::fixed(320.0));
+    const at::FvSolution sol = slab.solve_steady();
+    return std::map<std::string, double>{
+        {"t_max", sol.max_temperature},
+    };
+  };
+}
+
+/// Full qualification campaign for a board variant: the modal solve feeds
+/// the EUT's fundamental frequency, an FV solve feeds its junction
+/// temperature model, then the DO-160-style campaign runs end to end.
+ac::ScenarioFn qual_scenario(double thickness) {
+  return [thickness](aeropack::ExecutionContext&) {
+    af::PlateModel board(0.16, 0.10, thickness, am::fr4(), 8, 5);
+    board.set_edge(af::EdgeSupport::Clamped, true, true, true, true);
+    board.add_smeared_mass(2.5);
+    board.add_point_mass(0.05, 0.05, 0.18);
+    af::ModalOptions opts;
+    opts.n_modes = 1;
+    opts.path = af::ModalPath::Sparse;
+    const double f1 = board.solve_modal(opts).frequencies_hz[0];
+
+    ac::EquipmentUnderTest eut;
+    eut.name = "board";
+    eut.fundamental_frequency = f1;
+    eut.board_thickness = thickness;
+    eut.worst_junction_at_ambient = [](double ambient) {
+      at::FvModel slab(at::FvGrid::uniform(0.1, 0.02, 0.01, 12, 3, 3));
+      slab.set_material(am::aluminum_6061());
+      slab.add_power({0, 12, 0, 3, 0, 3}, 6.0);
+      slab.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(ambient));
+      return slab.solve_steady().max_temperature;
+    };
+    const ac::CampaignReport report = ac::run_campaign(eut);
+    double min_margin = 1e300;
+    for (const ac::TestResult& r : report.results) min_margin = std::min(min_margin, r.margin);
+    return std::map<std::string, double>{
+        {"f1_hz", f1},
+        {"all_passed", report.all_passed ? 1.0 : 0.0},
+        {"min_margin", min_margin},
+    };
+  };
+}
+
+void add_scenarios(ac::ScenarioRunner& runner, bool smoke) {
+  const std::vector<double> powers =
+      smoke ? std::vector<double>{60.0, 120.0}
+            : std::vector<double>{40.0, 60.0, 80.0, 100.0, 120.0};
+  for (const double p : powers) {
+    char name[32];
+    std::snprintf(name, sizeof name, "seb_p%03d", static_cast<int>(p));
+    runner.add(name, seb_scenario(p, p >= 100.0 ? 22.0 : 0.0));
+  }
+  const std::vector<double> xs =
+      smoke ? std::vector<double>{0.05} : std::vector<double>{0.03, 0.05, 0.08, 0.11};
+  for (const double x : xs) {
+    char name[32];
+    std::snprintf(name, sizeof name, "modal_x%03d", static_cast<int>(x * 1e3));
+    runner.add(name, modal_scenario(x));
+  }
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{5.0} : std::vector<double>{2.0, 5.0, 8.0, 12.0};
+  for (const double q : loads) {
+    char name[32];
+    std::snprintf(name, sizeof name, "fv_q%03d", static_cast<int>(q));
+    runner.add(name, fv_scenario(q));
+  }
+  if (!smoke) {
+    for (const double t : {1.2e-3, 1.6e-3, 2.0e-3}) {
+      char name[32];
+      std::snprintf(name, sizeof name, "qual_t%03d", static_cast<int>(t * 1e5));
+      runner.add(name, qual_scenario(t));
+    }
+  }
+}
+
+struct SweepPoint {
+  std::size_t workers = 1;
+  double seconds = 0.0;
+  double scenarios_per_sec = 0.0;
+};
+
+void write_json(const std::string& path, std::size_t hardware, std::size_t n_scenarios,
+                const std::vector<SweepPoint>& sweep) {
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("  (could not write %s)\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"scenario_throughput\",\n";
+  out << "  \"hardware_threads\": " << hardware << ",\n";
+  out << "  \"scenarios\": " << n_scenarios << ",\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    out << "    {\"workers\": " << p.workers << ", \"seconds\": " << p.seconds
+        << ", \"scenarios_per_sec\": " << p.scenarios_per_sec
+        << ", \"speedup_vs_1\": "
+        << (p.seconds > 0.0 ? sweep.front().seconds / p.seconds : 0.0) << "}"
+        << (i + 1 < sweep.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("  series written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  // --smoke: reduced batch + workers {1, 2}, the configuration the CI
+  // bench-smoke job freezes per-scenario counter expectations for.
+  // --report <out.json>: write the obs run report with every scenario's
+  // counters merged under "<scenario>." prefixes.
+  bool smoke = false;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(std::string("--report=").size());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s (supported: --smoke, --report <out.json>)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (!report_path.empty()) obs::enable();
+
+  std::printf("\n================================================================\n");
+  std::printf("BENCH-SCENARIO — co-design batch throughput on isolated contexts\n");
+  std::printf("SEB sweep + modal placement + FV loads via core::ScenarioRunner\n");
+  std::printf("================================================================\n");
+
+  const std::size_t hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> worker_counts{1, 2, 4};
+  if (hardware > 4) worker_counts.push_back(hardware);
+  if (smoke) {
+    worker_counts = {1, 2};
+    std::printf("  smoke mode: reduced batch, workers {1, 2}\n");
+  }
+  std::printf("  hardware threads: %zu\n\n", hardware);
+
+  std::vector<SweepPoint> sweep;
+  std::vector<ac::ScenarioResult> reference;  // workers=1 run, for the report
+  for (const std::size_t w : worker_counts) {
+    ac::ScenarioRunnerOptions opts;
+    opts.workers = w;
+    opts.threads_per_scenario = 1;
+    opts.telemetry = !report_path.empty() || w == worker_counts.front();
+    ac::ScenarioRunner runner(opts);
+    add_scenarios(runner, smoke);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ac::ScenarioResult> results = runner.run();
+    SweepPoint point;
+    point.workers = w;
+    point.seconds = seconds_since(t0);
+    point.scenarios_per_sec =
+        point.seconds > 0.0 ? static_cast<double>(results.size()) / point.seconds : 0.0;
+    sweep.push_back(point);
+
+    for (const ac::ScenarioResult& r : results)
+      if (!r.ok) {
+        std::fprintf(stderr, "scenario %s failed: %s\n", r.name.c_str(), r.error.c_str());
+        return 1;
+      }
+    // Isolation contract: outputs at w workers match the serial run exactly.
+    if (w == worker_counts.front()) {
+      reference = std::move(results);
+    } else {
+      for (std::size_t i = 0; i < results.size(); ++i)
+        for (const auto& [key, value] : results[i].values)
+          if (value != reference[i].values.at(key)) {
+            std::fprintf(stderr, "scenario %s: %s drifted at %zu workers (%.17g != %.17g)\n",
+                         results[i].name.c_str(), key.c_str(), w, value,
+                         reference[i].values.at(key));
+            return 1;
+          }
+    }
+    std::printf("  workers=%2zu: %5.2f s, %6.2f scenarios/sec (speedup %.2fx)\n", w,
+                point.seconds, point.scenarios_per_sec,
+                point.seconds > 0.0 ? sweep.front().seconds / point.seconds : 0.0);
+  }
+
+  std::printf("\n  %-8s | %-10s | %-16s | %-10s\n", "workers", "wall [s]", "scenarios/sec",
+              "speedup");
+  std::printf("  ---------+------------+------------------+----------\n");
+  for (const SweepPoint& p : sweep)
+    std::printf("  %8zu | %10.3f | %16.2f | %9.2fx\n", p.workers, p.seconds,
+                p.scenarios_per_sec, p.seconds > 0.0 ? sweep.front().seconds / p.seconds : 0.0);
+  const SweepPoint& best =
+      *std::max_element(sweep.begin(), sweep.end(), [](const SweepPoint& a, const SweepPoint& b) {
+        return a.scenarios_per_sec < b.scenarios_per_sec;
+      });
+  std::printf("\n  headline: %zu scenarios, best %.2f scenarios/sec at %zu workers"
+              " (%.2fx over serial)\n\n",
+              reference.size(), best.scenarios_per_sec, best.workers,
+              best.seconds > 0.0 ? sweep.front().seconds / best.seconds : 0.0);
+
+  write_json("BENCH_scenario_throughput.json", hardware, reference.size(), sweep);
+
+  if (!report_path.empty()) {
+    obs::Report report = obs::Report::capture("bench_scenario_throughput", an::thread_count());
+    report.set_meta("smoke", smoke ? 1.0 : 0.0);
+    report.set_meta("scenarios", static_cast<double>(reference.size()));
+    report.set_meta("best_workers", static_cast<double>(best.workers));
+    // Per-scenario isolated cost profiles from the serial reference run —
+    // deterministic at any worker count, so CI gates them.
+    for (const ac::ScenarioResult& r : reference) report.add_counters(r.name, r.counters);
+    report.write(report_path);
+    std::printf("  run report written to %s\n", report_path.c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bench failed: %s\n", e.what());
+  return 1;
+} catch (...) {
+  std::fprintf(stderr, "bench failed: unknown exception\n");
+  return 1;
+}

@@ -1,0 +1,91 @@
+// aeropack::ExecutionContext — one isolated execution environment for the
+// solver stack: a thread pool, an obs telemetry registry and the run
+// configuration, owned together so independent solves can run concurrently
+// without sharing mutable process state.
+//
+// Ownership model (see DESIGN.md "Execution contexts"):
+//  - The numeric kernels and the obs instrumentation sites resolve
+//    thread-local "current" handles (numeric::current_pool(),
+//    obs::current()). With nothing bound they fall back to the process-wide
+//    singletons — today's behavior, bit-for-bit, which is what keeps every
+//    existing golden valid.
+//  - ExecutionContext::Use binds a context's pool and registry to the
+//    calling thread (RAII, restores the previous binding), so a whole solve
+//    — FvModel, ThermalNetwork, the sparse modal path — lands on that
+//    context without threading a handle through every call.
+//  - One context serves one driving thread at a time; distinct contexts on
+//    distinct threads are fully independent (no shared instruments, no
+//    shared task queue). This is the contract core::ScenarioRunner builds
+//    on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "numeric/parallel.hpp"
+#include "obs/registry.hpp"
+
+namespace aeropack {
+
+/// Run configuration for a fresh context.
+struct ExecutionConfig {
+  /// Total threads the context's pool runs kernels on (0 is clamped to 1).
+  /// Deliberately NOT defaulted from AEROPACK_THREADS: batch executors size
+  /// contexts explicitly against their worker count.
+  std::size_t threads = 1;
+  /// Arm the context's registry from birth (per-context telemetry does not
+  /// read AEROPACK_TELEMETRY — that variable governs the process default).
+  bool telemetry = false;
+};
+
+class ExecutionContext {
+ public:
+  /// Fresh isolated context: its own pool and its own registry.
+  explicit ExecutionContext(const ExecutionConfig& config = {});
+  ~ExecutionContext();
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// The process-default context, wrapping ThreadPool::instance() and
+  /// obs::Registry::instance() (non-owning, process lifetime). Binding it is
+  /// a no-op by construction: unbound threads already resolve to the same
+  /// singletons.
+  static ExecutionContext& process();
+
+  numeric::ThreadPool& pool() { return *pool_; }
+  obs::Registry& metrics() { return *registry_; }
+  const obs::Registry& metrics() const { return *registry_; }
+  std::size_t threads() const { return pool_->threads(); }
+
+  /// RAII binding: while alive, the constructing thread's parallel kernels
+  /// run on this context's pool and its instrumentation records into this
+  /// context's registry. Nests (restores the previous binding); must be
+  /// destroyed on the thread that created it, and the context must outlive
+  /// every Use of it.
+  class Use {
+   public:
+    explicit Use(ExecutionContext& ctx)
+        : prev_pool_(numeric::exchange_current_pool(ctx.pool_)),
+          prev_registry_(obs::exchange_current(ctx.registry_)) {}
+    ~Use() {
+      obs::exchange_current(prev_registry_);
+      numeric::exchange_current_pool(prev_pool_);
+    }
+    Use(const Use&) = delete;
+    Use& operator=(const Use&) = delete;
+
+   private:
+    numeric::ThreadPool* prev_pool_;
+    obs::Registry* prev_registry_;
+  };
+
+ private:
+  ExecutionContext(numeric::ThreadPool* pool, obs::Registry* registry);  // process()
+
+  std::unique_ptr<numeric::ThreadPool> owned_pool_;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  numeric::ThreadPool* pool_;
+  obs::Registry* registry_;
+};
+
+}  // namespace aeropack

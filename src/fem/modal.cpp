@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/context.hpp"
 #include "numeric/eigen.hpp"
 #include "obs/registry.hpp"
 
@@ -41,13 +42,13 @@ ReducedModes solve_reduced_modes(const CsrMatrix& k, const CsrMatrix& m,
     case ModalPath::Auto: dense = n <= opts.dense_threshold; break;
   }
 
-  static obs::Counter& modal_solves = obs::Registry::instance().counter("fem.modal_solves");
-  static obs::Counter& dense_solves = obs::Registry::instance().counter("fem.modal_dense");
-  static obs::Counter& sparse_solves = obs::Registry::instance().counter("fem.modal_sparse");
+  static thread_local obs::CounterHandle modal_solves{"fem.modal_solves"};
+  static thread_local obs::CounterHandle dense_solves{"fem.modal_dense"};
+  static thread_local obs::CounterHandle sparse_solves{"fem.modal_sparse"};
   modal_solves.add();
   (dense ? dense_solves : sparse_solves).add();
   if (obs::enabled())
-    obs::Registry::instance().gauge("fem.free_dofs").set(static_cast<double>(n));
+    obs::current().gauge("fem.free_dofs").set(static_cast<double>(n));
   obs::ScopedTimer span(dense ? "fem.modal_dense" : "fem.modal_sparse");
 
   ReducedModes res;
@@ -75,6 +76,12 @@ ReducedModes solve_reduced_modes(const CsrMatrix& k, const CsrMatrix& m,
   }
   res.frequencies_hz = numeric::natural_frequencies_hz(res.eigenvalues);
   return res;
+}
+
+ReducedModes solve_reduced_modes(ExecutionContext& ctx, const CsrMatrix& k,
+                                 const CsrMatrix& m, const ModalOptions& opts) {
+  const ExecutionContext::Use use(ctx);
+  return solve_reduced_modes(k, m, opts);
 }
 
 }  // namespace aeropack::fem

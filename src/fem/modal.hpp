@@ -13,6 +13,10 @@
 #include "numeric/dense.hpp"
 #include "numeric/sparse.hpp"
 
+namespace aeropack {
+class ExecutionContext;
+}
+
 namespace aeropack::fem {
 
 enum class ModalPath {
@@ -45,6 +49,10 @@ struct ReducedModes {
 /// deterministic and bit-identical across thread counts.
 ReducedModes solve_reduced_modes(const numeric::CsrMatrix& k, const numeric::CsrMatrix& m,
                                  const ModalOptions& opts = {});
+/// Same solve, pinned to an ExecutionContext (kernels on the context's pool,
+/// telemetry in its registry; bit-identical results at any thread count).
+ReducedModes solve_reduced_modes(ExecutionContext& ctx, const numeric::CsrMatrix& k,
+                                 const numeric::CsrMatrix& m, const ModalOptions& opts = {});
 
 /// Replace non-positive diagonal entries of a reduced mass matrix with
 /// `epsilon` (massless DOFs, e.g. a rotation carried only by springs, would

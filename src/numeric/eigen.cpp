@@ -168,8 +168,8 @@ ShiftedOperator make_shifted_operator(const CsrMatrix& k, const CsrMatrix& m,
     if (scale <= 0.0) scale = 1.0;
     for (const double f : {1e-2, 1e-1, 1.0}) shifts.push_back(-f * scale);
   }
-  static obs::Counter& retries = obs::Registry::instance().counter("numeric.eigen.shift_retries");
-  static obs::Counter& fallbacks = obs::Registry::instance().counter("numeric.eigen.cg_fallbacks");
+  static thread_local obs::CounterHandle retries{"numeric.eigen.shift_retries"};
+  static thread_local obs::CounterHandle fallbacks{"numeric.eigen.cg_fallbacks"};
   for (const double sigma : shifts) {
     ShiftedOperator op;
     op.sigma = sigma;
@@ -233,9 +233,8 @@ EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
   if (n == 0 || n_modes == 0 || n_modes > n)
     throw std::invalid_argument("eigen_generalized_sparse: invalid mode count");
 
-  static obs::Counter& solves = obs::Registry::instance().counter("numeric.eigen.sparse_solves");
-  static obs::Counter& sweeps =
-      obs::Registry::instance().counter("numeric.eigen.subspace_iterations");
+  static thread_local obs::CounterHandle solves{"numeric.eigen.sparse_solves"};
+  static thread_local obs::CounterHandle sweeps{"numeric.eigen.subspace_iterations"};
   obs::ScopedTimer span("numeric.eigen_sparse");
   solves.add();
 
@@ -302,6 +301,23 @@ EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
   for (std::size_t j = 0; j < n_modes; ++j)
     for (std::size_t i = 0; i < n; ++i) res.eigenvectors(i, j) = x[j][i];
   return res;
+}
+
+EigenResult eigen_generalized_sparse(ThreadPool& pool, const CsrMatrix& k,
+                                     const CsrMatrix& m, std::size_t n_modes,
+                                     const SparseEigenOptions& opts) {
+  // Bind `pool` as the calling thread's current pool for the duration, so
+  // every kernel in the iteration (SpMV, dots, axpys, the CG fallback) lands
+  // on it without threading a handle through each call site.
+  ThreadPool* const prev = exchange_current_pool(&pool);
+  try {
+    EigenResult res = eigen_generalized_sparse(k, m, n_modes, opts);
+    exchange_current_pool(prev);
+    return res;
+  } catch (...) {
+    exchange_current_pool(prev);
+    throw;
+  }
 }
 
 Vector natural_frequencies_hz(const Vector& eigenvalues) {

@@ -55,6 +55,11 @@ struct SparseEigenOptions {
 EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
                                      std::size_t n_modes,
                                      const SparseEigenOptions& opts = {});
+/// Same, with every parallel kernel pinned to `pool` (the pool-less overload
+/// runs on the calling thread's current pool).
+EigenResult eigen_generalized_sparse(ThreadPool& pool, const CsrMatrix& k,
+                                     const CsrMatrix& m, std::size_t n_modes,
+                                     const SparseEigenOptions& opts = {});
 
 /// Natural frequencies [Hz] from generalized stiffness/mass eigenvalues.
 /// Eigenvalues within a small tolerance of zero (rigid-body-mode noise)

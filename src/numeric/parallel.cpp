@@ -13,8 +13,20 @@
 
 namespace aeropack::numeric {
 
+namespace detail {
+thread_local ThreadPool* t_pool = nullptr;
+}  // namespace detail
+
+ThreadPool* exchange_current_pool(ThreadPool* p) {
+  ThreadPool* prev = detail::t_pool;
+  detail::t_pool = p;
+  return prev;
+}
+
 namespace {
 
+// Re-read on every call so set_thread_count(0) picks up AEROPACK_THREADS
+// changes made after startup (the restore path is pinned by tests).
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("AEROPACK_THREADS")) {
     char* end = nullptr;
@@ -32,7 +44,10 @@ std::size_t& thread_count_storage() {
 
 }  // namespace
 
-std::size_t thread_count() { return thread_count_storage(); }
+std::size_t thread_count() {
+  if (detail::t_pool != nullptr) return detail::t_pool->threads();
+  return thread_count_storage();
+}
 
 struct ThreadPool::Impl {
   std::vector<std::thread> threads;
@@ -87,7 +102,14 @@ struct ThreadPool::Impl {
   }
 
   void worker_loop() {
-    std::size_t seen = 0;
+    std::size_t seen;
+    {
+      // Workers spawned by resize() join a pool whose generation already
+      // advanced; start from it so they don't drain an exhausted window.
+      // Safe: spawning never overlaps an in-flight job on this pool.
+      std::lock_guard<std::mutex> lock(mutex);
+      seen = generation;
+    }
     for (;;) {
       {
         std::unique_lock<std::mutex> lock(mutex);
@@ -98,42 +120,60 @@ struct ThreadPool::Impl {
       drain();
     }
   }
+
+  void spawn(std::size_t workers) {
+    threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+      threads.emplace_back([this] { worker_loop(); });
+  }
+
+  void join_all() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (std::thread& t : threads) t.join();
+    threads.clear();
+    stop = false;
+  }
 };
 
-ThreadPool::ThreadPool(std::size_t workers) : impl_(new Impl), workers_(workers) {
-  impl_->threads.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i)
-    impl_->threads.emplace_back([this] { impl_->worker_loop(); });
+ThreadPool::ThreadPool(std::size_t threads)
+    : impl_(new Impl), workers_(threads == 0 ? 0 : threads - 1) {
+  impl_->spawn(workers_);
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->stop = true;
-  }
-  impl_->cv_work.notify_all();
-  for (std::thread& t : impl_->threads) t.join();
+  impl_->join_all();
   delete impl_;
+}
+
+void ThreadPool::resize(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  if (threads == this->threads()) return;
+  impl_->join_all();
+  workers_ = threads - 1;
+  impl_->spawn(workers_);
 }
 
 ThreadPool& ThreadPool::instance() {
   // Process-lifetime pool, intentionally leaked at exit (never a static
   // object) to avoid static-destruction-order races with user code. A
-  // thread-count change joins and REPLACES the pool, which invalidates any
-  // previously returned reference — so, as documented in the header,
+  // thread-count change resizes this same object in place, so references
+  // returned here stay valid forever; sizing is still unsynchronized, so
   // instance() and set_thread_count() must only be called from the single
-  // thread that drives the parallel kernels, and a ThreadPool& must not be
-  // held across set_thread_count(). The check-then-delete below relies on
-  // that single-threaded discipline.
-  static ThreadPool* pool = new ThreadPool(thread_count() - 1);
-  if (pool->threads() != thread_count()) {
-    delete pool;
-    pool = new ThreadPool(thread_count() - 1);
-  }
+  // thread that drives the default pool's kernels.
+  static ThreadPool* const pool = new ThreadPool(thread_count_storage());
+  if (pool->threads() != thread_count_storage()) pool->resize(thread_count_storage());
   return *pool;
 }
 
 void set_thread_count(std::size_t n) {
+  if (detail::t_pool != nullptr)
+    throw std::logic_error(
+        "numeric::set_thread_count: this thread is bound to an ExecutionContext "
+        "pool; set ExecutionConfig::threads when building the context instead");
   thread_count_storage() = (n == 0) ? default_thread_count() : n;
   ThreadPool::instance();  // resize eagerly so the next kernel is consistent
 }
@@ -142,9 +182,9 @@ void ThreadPool::run(std::size_t n_tasks, const std::function<void(std::size_t)>
   if (n_tasks == 0) return;
   // Deepest task window published at once. Thread-dependent (scheduling)
   // telemetry: report-only, excluded from the deterministic-counter
-  // contracts in tests/obs/.
-  static obs::Highwater& queue_hw =
-      obs::Registry::instance().highwater("numeric.pool.queue_depth_highwater");
+  // contracts in tests/obs/. Recorded into the driving thread's current
+  // registry — workers never touch instruments.
+  static thread_local obs::HighwaterHandle queue_hw{"numeric.pool.queue_depth_highwater"};
   queue_hw.record(n_tasks);
   if (workers_ == 0 || n_tasks == 1) {
     for (std::size_t t = 0; t < n_tasks; ++t) fn(t);
@@ -178,15 +218,14 @@ void ThreadPool::run(std::size_t n_tasks, const std::function<void(std::size_t)>
   }
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
-  static obs::Counter& for_calls = obs::Registry::instance().counter("numeric.parallel_for.calls");
-  static obs::Counter& for_chunks =
-      obs::Registry::instance().counter("numeric.parallel_for.chunks");
+  static thread_local obs::CounterHandle for_calls{"numeric.parallel_for.calls"};
+  static thread_local obs::CounterHandle for_chunks{"numeric.parallel_for.chunks"};
   for_calls.add();
   const std::size_t n = end - begin;
-  const std::size_t threads = thread_count();
+  const std::size_t threads = pool.threads();
   if (threads == 1 || n < 2) {
     for_chunks.add();
     fn(begin, end);
@@ -195,12 +234,17 @@ void parallel_for(std::size_t begin, std::size_t end,
   const std::size_t chunks = std::min(threads, n);
   for_chunks.add(chunks);
   const std::size_t base = n / chunks, extra = n % chunks;
-  ThreadPool::instance().run(chunks, [&](std::size_t c) {
+  pool.run(chunks, [&](std::size_t c) {
     // First `extra` chunks carry one extra element.
     const std::size_t lo = begin + c * base + std::min(c, extra);
     const std::size_t hi = lo + base + (c < extra ? 1 : 0);
     fn(lo, hi);
   });
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for(current_pool(), begin, end, fn);
 }
 
 namespace {
@@ -210,7 +254,7 @@ namespace {
 constexpr std::size_t kReductionChunk = 2048;
 
 template <typename ChunkSum>
-double chunked_reduce(std::size_t n, ChunkSum&& chunk_sum) {
+double chunked_reduce(ThreadPool& pool, std::size_t n, ChunkSum&& chunk_sum) {
   const std::size_t chunks = (n + kReductionChunk - 1) / kReductionChunk;
   if (chunks <= 1) return n == 0 ? 0.0 : chunk_sum(0, n);
   std::vector<double> partial(chunks, 0.0);
@@ -219,10 +263,10 @@ double chunked_reduce(std::size_t n, ChunkSum&& chunk_sum) {
     const std::size_t hi = std::min(lo + kReductionChunk, n);
     partial[c] = chunk_sum(lo, hi);
   };
-  if (thread_count() == 1) {
+  if (pool.threads() == 1) {
     for (std::size_t c = 0; c < chunks; ++c) fill(c);
   } else {
-    ThreadPool::instance().run(chunks, fill);
+    pool.run(chunks, fill);
   }
   double acc = 0.0;
   for (const double p : partial) acc += p;  // in chunk order: deterministic
@@ -231,22 +275,34 @@ double chunked_reduce(std::size_t n, ChunkSum&& chunk_sum) {
 
 }  // namespace
 
-double parallel_dot(const Vector& a, const Vector& b) {
+double parallel_dot(ThreadPool& pool, const Vector& a, const Vector& b) {
   if (a.size() != b.size()) throw std::invalid_argument("parallel_dot: size mismatch");
-  return chunked_reduce(a.size(), [&](std::size_t lo, std::size_t hi) {
+  return chunked_reduce(pool, a.size(), [&](std::size_t lo, std::size_t hi) {
     double s = 0.0;
     for (std::size_t i = lo; i < hi; ++i) s += a[i] * b[i];
     return s;
   });
 }
 
-double parallel_norm2(const Vector& v) { return std::sqrt(parallel_dot(v, v)); }
+double parallel_dot(const Vector& a, const Vector& b) {
+  return parallel_dot(current_pool(), a, b);
+}
 
-void parallel_axpy(double alpha, const Vector& x, Vector& y) {
+double parallel_norm2(ThreadPool& pool, const Vector& v) {
+  return std::sqrt(parallel_dot(pool, v, v));
+}
+
+double parallel_norm2(const Vector& v) { return parallel_norm2(current_pool(), v); }
+
+void parallel_axpy(ThreadPool& pool, double alpha, const Vector& x, Vector& y) {
   if (x.size() != y.size()) throw std::invalid_argument("parallel_axpy: size mismatch");
-  parallel_for(0, x.size(), [&](std::size_t lo, std::size_t hi) {
+  parallel_for(pool, 0, x.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
   });
+}
+
+void parallel_axpy(double alpha, const Vector& x, Vector& y) {
+  parallel_axpy(current_pool(), alpha, x, y);
 }
 
 }  // namespace aeropack::numeric

@@ -1,9 +1,20 @@
 // Shared-memory parallel execution layer: a small static-partition thread
 // pool plus deterministic data-parallel kernels for the iterative solvers.
 //
-// Design constraints (see DESIGN.md "Threading model"):
-//  - Thread count comes from the AEROPACK_THREADS environment variable
-//    (default: hardware concurrency); set_thread_count() overrides at runtime.
+// Design constraints (see DESIGN.md "Threading model" and "Execution
+// contexts"):
+//  - Pools are first-class objects: every kernel has an overload taking the
+//    `ThreadPool&` it must run on, and the legacy free-function signatures
+//    resolve the calling thread's *current* pool — the one bound by
+//    aeropack::ExecutionContext::Use, defaulting to the process-wide
+//    ThreadPool::instance(). Concurrent solves on distinct pools from
+//    distinct threads are safe; one pool must still only be driven by one
+//    thread at a time.
+//  - The default pool's thread count comes from the AEROPACK_THREADS
+//    environment variable (default: hardware concurrency);
+//    set_thread_count() overrides at runtime and resizes the default pool
+//    IN PLACE, so references from ThreadPool::instance() stay valid across
+//    resizes for the whole process lifetime.
 //  - At n == 1 every entry point degrades to a plain serial loop — no pool,
 //    no synchronization, exceptions propagate directly.
 //  - Reductions (dot / norm2) accumulate fixed-size chunks and sum the
@@ -20,25 +31,46 @@
 
 namespace aeropack::numeric {
 
-/// Number of threads parallel kernels will use (>= 1).
+class ThreadPool;
+
+namespace detail {
+/// Pool bound to this thread by ExecutionContext::Use; null means the
+/// process-wide default. Not touched directly — see current_pool() below.
+extern thread_local ThreadPool* t_pool;
+}  // namespace detail
+
+/// Number of threads parallel kernels on this thread will use (>= 1): the
+/// current pool's size when an ExecutionContext is bound, else the
+/// process-wide setting.
 std::size_t thread_count();
 
-/// Override the thread count; 0 restores the AEROPACK_THREADS / hardware
-/// default. Must not be called concurrently with running parallel kernels.
-/// Resizing replaces the process-wide pool: any ThreadPool& previously
-/// obtained from ThreadPool::instance() is invalidated.
+/// Override the process-wide thread count; 0 restores the default, re-reading
+/// AEROPACK_THREADS (falling back to hardware concurrency). Must not be
+/// called concurrently with running parallel kernels, and throws
+/// std::logic_error when the calling thread is bound to an ExecutionContext
+/// pool (size that context instead). The default pool resizes in place:
+/// ThreadPool& references from instance() remain valid.
 void set_thread_count(std::size_t n);
 
-/// Static-partition pool: `thread_count() - 1` persistent workers, the
-/// calling thread participates as the last worker. No work stealing — tasks
-/// are claimed from a shared atomic counter, which for the `parallel_for`
-/// use of one chunk per thread amounts to a static partition.
+/// Static-partition pool: `threads - 1` persistent workers, the calling
+/// thread participates as the last worker. No work stealing — tasks are
+/// claimed from a shared atomic counter, which for the `parallel_for` use of
+/// one chunk per thread amounts to a static partition. One pool, one driving
+/// thread at a time; distinct pools may be driven concurrently.
 class ThreadPool {
  public:
-  /// Process-wide pool sized by thread_count(); resized lazily on demand.
-  /// Call only from the single thread that drives the parallel kernels
-  /// (resizing is unsynchronized), and do not hold the returned reference
-  /// across set_thread_count() — resizing replaces the pool.
+  /// Standalone pool with `threads` total participants (0 is clamped to 1,
+  /// i.e. no workers — every run() is inline). Owned by ExecutionContext in
+  /// normal use.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool sized by the set_thread_count() setting. The object
+  /// lives (at one address) for the whole process: set_thread_count()
+  /// resizes it in place, so holding the returned reference across a resize
+  /// is safe. Drive it from one thread at a time.
   static ThreadPool& instance();
 
   std::size_t threads() const { return workers_ + 1; }
@@ -48,33 +80,48 @@ class ThreadPool {
   /// here. Serial (inline) when n_tasks <= 1 or the pool has no workers.
   void run(std::size_t n_tasks, const std::function<void(std::size_t)>& fn);
 
-  ~ThreadPool();
-
  private:
-  explicit ThreadPool(std::size_t workers);
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
   friend void set_thread_count(std::size_t);
+  /// Join all workers and respawn `threads - 1` new ones. Callable only
+  /// while no job is in flight on this pool.
+  void resize(std::size_t threads);
+
   struct Impl;
   Impl* impl_;
   std::size_t workers_ = 0;
 };
 
-/// Split [begin, end) into one contiguous chunk per thread and run
+/// Pool the parallel kernels of this thread run on: the one bound by
+/// ExecutionContext::Use, or the process default.
+inline ThreadPool& current_pool() {
+  return detail::t_pool != nullptr ? *detail::t_pool : ThreadPool::instance();
+}
+
+/// Bind `p` as this thread's current pool (nullptr restores the process
+/// default); returns the previous binding. Prefer ExecutionContext::Use,
+/// which pairs this with the matching obs-registry binding.
+ThreadPool* exchange_current_pool(ThreadPool* p);
+
+/// Split [begin, end) into one contiguous chunk per pool thread and run
 /// fn(chunk_begin, chunk_end) on each. fn must only write disjoint state per
 /// index; the partition boundaries carry no floating-point consequence for
-/// elementwise kernels. Serial loop when thread_count() == 1.
+/// elementwise kernels. Serial loop when the pool has one thread. The
+/// pool-less overload runs on current_pool().
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 
 /// Deterministic chunked reductions. The chunk size is a compile-time
 /// constant (not thread-dependent), so results are identical across thread
-/// counts to the last bit.
+/// counts — and across pools — to the last bit.
+double parallel_dot(ThreadPool& pool, const Vector& a, const Vector& b);
 double parallel_dot(const Vector& a, const Vector& b);
+double parallel_norm2(ThreadPool& pool, const Vector& v);
 double parallel_norm2(const Vector& v);
 
 /// y += alpha * x, partitioned across threads (elementwise, exact).
+void parallel_axpy(ThreadPool& pool, double alpha, const Vector& x, Vector& y);
 void parallel_axpy(double alpha, const Vector& x, Vector& y);
 
 }  // namespace aeropack::numeric

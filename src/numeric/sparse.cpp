@@ -79,19 +79,25 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<std::size_t
     if (j >= cols_) throw std::invalid_argument("CsrMatrix: column index out of range");
 }
 
-Vector CsrMatrix::multiply(const Vector& x) const {
+Vector CsrMatrix::multiply(const Vector& x) const { return multiply(current_pool(), x); }
+
+Vector CsrMatrix::multiply(ThreadPool& pool, const Vector& x) const {
   Vector y;
-  multiply(x, y);
+  multiply(pool, x, y);
   return y;
 }
 
 void CsrMatrix::multiply(const Vector& x, Vector& y) const {
+  multiply(current_pool(), x, y);
+}
+
+void CsrMatrix::multiply(ThreadPool& pool, const Vector& x, Vector& y) const {
   if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
   assert(&x != &y && "CsrMatrix::multiply: y must not alias x");
-  static obs::Counter& spmv_calls = obs::Registry::instance().counter("numeric.spmv.calls");
+  static thread_local obs::CounterHandle spmv_calls{"numeric.spmv.calls"};
   spmv_calls.add();
   y.assign(rows_, 0.0);
-  parallel_for(0, rows_, [&](std::size_t lo, std::size_t hi) {
+  parallel_for(pool, 0, rows_, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       double acc = 0.0;
       for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
@@ -174,21 +180,25 @@ Vector jacobi_preconditioner(const CsrMatrix& a) {
   return inv_d;
 }
 
-void hadamard(const Vector& a, const Vector& b, Vector& out) {
-  parallel_for(0, a.size(), [&](std::size_t lo, std::size_t hi) {
+void hadamard(ThreadPool& pool, const Vector& a, const Vector& b, Vector& out) {
+  parallel_for(pool, 0, a.size(), [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) out[i] = a[i] * b[i];
   });
 }
 
-IterativeResult cg_impl(const CsrMatrix& a, const Vector& b, const IterativeOptions& opts,
-                        const Vector* x0) {
+void hadamard(const Vector& a, const Vector& b, Vector& out) {
+  hadamard(current_pool(), a, b, out);
+}
+
+IterativeResult cg_impl(ThreadPool& pool, const CsrMatrix& a, const Vector& b,
+                        const IterativeOptions& opts, const Vector* x0) {
   if (a.rows() != a.cols() || b.size() != a.rows())
     throw std::invalid_argument("conjugate_gradient: shape mismatch");
   if (x0 && x0->size() != b.size())
     throw std::invalid_argument("conjugate_gradient: warm-start size mismatch");
   const std::size_t n = b.size();
   IterativeResult res;
-  const double bnorm = parallel_norm2(b);
+  const double bnorm = parallel_norm2(pool, b);
   if (bnorm == 0.0) {
     res.x.assign(n, 0.0);
     res.converged = true;
@@ -198,11 +208,11 @@ IterativeResult cg_impl(const CsrMatrix& a, const Vector& b, const IterativeOpti
   const Vector inv_d = jacobi_preconditioner(a);
   Vector r(n);
   if (x0) {
-    a.multiply(res.x, r);  // r = b - A x0
-    parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    a.multiply(pool, res.x, r);  // r = b - A x0
+    parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) r[i] = b[i] - r[i];
     });
-    res.residual = parallel_norm2(r) / bnorm;
+    res.residual = parallel_norm2(pool, r) / bnorm;
     if (res.residual < opts.tolerance) {
       res.converged = true;  // warm start already good enough
       return res;
@@ -211,28 +221,28 @@ IterativeResult cg_impl(const CsrMatrix& a, const Vector& b, const IterativeOpti
     r = b;  // r = b - A*0
   }
   Vector z(n);
-  hadamard(inv_d, r, z);
+  hadamard(pool, inv_d, r, z);
   Vector p = z;
   Vector ap(n);
-  double rz = parallel_dot(r, z);
+  double rz = parallel_dot(pool, r, z);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
-    a.multiply(p, ap);
-    const double pap = parallel_dot(p, ap);
+    a.multiply(pool, p, ap);
+    const double pap = parallel_dot(pool, p, ap);
     if (pap <= 0.0) break;  // not SPD (or breakdown)
     const double alpha = rz / pap;
-    parallel_axpy(alpha, p, res.x);
-    parallel_axpy(-alpha, ap, r);
+    parallel_axpy(pool, alpha, p, res.x);
+    parallel_axpy(pool, -alpha, ap, r);
     res.iterations = it + 1;
-    res.residual = parallel_norm2(r) / bnorm;
+    res.residual = parallel_norm2(pool, r) / bnorm;
     if (res.residual < opts.tolerance) {
       res.converged = true;
       return res;
     }
-    hadamard(inv_d, r, z);
-    const double rz_new = parallel_dot(r, z);
+    hadamard(pool, inv_d, r, z);
+    const double rz_new = parallel_dot(pool, r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) p[i] = z[i] + beta * p[i];
     });
   }
@@ -243,20 +253,26 @@ IterativeResult cg_impl(const CsrMatrix& a, const Vector& b, const IterativeOpti
 
 IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
                                    const IterativeOptions& opts, const Vector* x0) {
-  static obs::Counter& cg_solves = obs::Registry::instance().counter("numeric.cg.solves");
-  static obs::Counter& cg_iters = obs::Registry::instance().counter("numeric.cg.iterations");
-  static obs::Counter& cg_warm = obs::Registry::instance().counter("numeric.cg.warmstart_hits");
+  return conjugate_gradient(current_pool(), a, b, opts, x0);
+}
+
+IterativeResult conjugate_gradient(ThreadPool& pool, const CsrMatrix& a, const Vector& b,
+                                   const IterativeOptions& opts, const Vector* x0) {
+  static thread_local obs::CounterHandle cg_solves{"numeric.cg.solves"};
+  static thread_local obs::CounterHandle cg_iters{"numeric.cg.iterations"};
+  static thread_local obs::CounterHandle cg_warm{"numeric.cg.warmstart_hits"};
   obs::ScopedTimer span("numeric.cg");
-  const IterativeResult res = cg_impl(a, b, opts, x0);
+  const IterativeResult res = cg_impl(pool, a, b, opts, x0);
   cg_solves.add();
   cg_iters.add(res.iterations);
   // A warm start good enough that CG never iterated (covers the trivial
   // zero-RHS solve too — the warm start is exact there).
   if (x0 != nullptr && res.converged && res.iterations == 0) cg_warm.add();
   if (obs::enabled()) {
-    obs::Registry::instance().gauge("numeric.cg.last_residual").set(res.residual);
-    obs::Registry::instance().gauge("numeric.cg.last_iterations").set(
-        static_cast<double>(res.iterations));
+    static thread_local obs::GaugeHandle cg_residual{"numeric.cg.last_residual"};
+    static thread_local obs::GaugeHandle cg_last_iters{"numeric.cg.last_iterations"};
+    cg_residual.set(res.residual);
+    cg_last_iters.set(static_cast<double>(res.iterations));
   }
   return res;
 }

@@ -12,6 +12,7 @@
 namespace aeropack::numeric {
 
 class CsrMatrix;
+class ThreadPool;
 
 /// Coordinate-format accumulator; duplicate (i,j) entries are summed on build.
 class SparseBuilder {
@@ -54,11 +55,14 @@ class CsrMatrix {
 
   /// y = A x. Row-partitioned across threads (see numeric/parallel.hpp);
   /// each row's accumulation order is fixed, so the result is identical
-  /// for every thread count.
+  /// for every thread count. The pool-less overloads run on the calling
+  /// thread's current pool.
   Vector multiply(const Vector& x) const;
+  Vector multiply(ThreadPool& pool, const Vector& x) const;
   /// y = A x without allocating (y is resized to rows()). y must not alias
   /// x: y is zeroed up front, before other threads' row chunks read x.
   void multiply(const Vector& x, Vector& y) const;
+  void multiply(ThreadPool& pool, const Vector& x, Vector& y) const;
   /// Extract the diagonal (missing entries are 0).
   Vector diagonal() const;
   /// Max |a_ij - a_ji|; O(nnz log nnz) via lookup. For tests.
@@ -103,8 +107,12 @@ struct IterativeOptions {
 /// the FV thermal solver pass the previous pass/step solution, cutting the
 /// inner iteration count sharply. SpMV and all reductions run on the
 /// parallel layer with deterministic chunked partial sums, so the returned
-/// solution is bit-identical across thread counts.
+/// solution is bit-identical across thread counts — and across pools. The
+/// pool-less overload runs on the calling thread's current pool.
 IterativeResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                                   const IterativeOptions& opts = {},
+                                   const Vector* x0 = nullptr);
+IterativeResult conjugate_gradient(ThreadPool& pool, const CsrMatrix& a, const Vector& b,
                                    const IterativeOptions& opts = {},
                                    const Vector* x0 = nullptr);
 

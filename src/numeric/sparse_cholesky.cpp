@@ -54,12 +54,12 @@ SkylineCholesky::SkylineCholesky(const CsrMatrix& a, std::size_t max_envelope) :
 
   // Counted only on success: indefinite/over-budget attempts are reported by
   // the shift-ladder instrumentation in eigen.cpp instead.
-  static obs::Counter& factorizations =
-      obs::Registry::instance().counter("numeric.skyline.factorizations");
+  static thread_local obs::CounterHandle factorizations{"numeric.skyline.factorizations"};
   factorizations.add();
-  if (obs::enabled())
-    obs::Registry::instance().gauge("numeric.skyline.last_envelope")
-        .set(static_cast<double>(offset_[n_]));
+  if (obs::enabled()) {
+    static thread_local obs::GaugeHandle envelope{"numeric.skyline.last_envelope"};
+    envelope.set(static_cast<double>(offset_[n_]));
+  }
 }
 
 Vector SkylineCholesky::solve(const Vector& b) const {

@@ -8,24 +8,17 @@
 namespace aeropack::obs {
 
 namespace detail {
-std::atomic<bool> g_enabled{false};
-
-namespace {
-// Reads AEROPACK_TELEMETRY once before main. A set, non-empty, non-"0" value
-// arms every dormant instrumentation site in the process.
-struct EnvInit {
-  EnvInit() {
-    const char* v = std::getenv("AEROPACK_TELEMETRY");
-    if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0'))
-      g_enabled.store(true, std::memory_order_relaxed);
-  }
-};
-const EnvInit env_init;
-}  // namespace
+thread_local Registry* t_current = nullptr;
 }  // namespace detail
 
-void enable() { detail::g_enabled.store(true, std::memory_order_relaxed); }
-void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+Registry* exchange_current(Registry* r) {
+  Registry* prev = detail::t_current;
+  detail::t_current = r;
+  return prev;
+}
+
+void enable() { current().enable(); }
+void disable() { current().disable(); }
 
 namespace {
 
@@ -33,6 +26,21 @@ std::int64_t now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+// A set, non-empty, non-"0" AEROPACK_TELEMETRY arms the process-default
+// registry at first use (per-context registries arm via ExecutionConfig).
+bool env_telemetry_enabled() {
+  const char* v = std::getenv("AEROPACK_TELEMETRY");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+std::uint64_t next_registry_uid() {
+  // Starts at 1: handles reserve 0 as their unresolved sentinel. Never
+  // reused, so a stale handle can never mistake a new registry allocated at
+  // a destroyed one's address for the registry it cached.
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 // One span-tree node. calls/ns are atomics so closing a span never takes the
@@ -46,8 +54,10 @@ struct TimerNode {
 };
 
 // Innermost open span of this thread; new spans attach under it. Null means
-// the next span opens at the root.
-thread_local TimerNode* t_current = nullptr;
+// the next span opens at the root of the thread's current registry. Spans
+// must close before the current registry changes, so one cursor serves all
+// registries.
+thread_local TimerNode* t_span = nullptr;
 
 }  // namespace
 
@@ -89,27 +99,30 @@ struct Registry::Impl {
   }
 };
 
-Registry::Registry() : impl_(new Impl) {}
+Registry::Registry(bool enabled)
+    : armed_(enabled), uid_(next_registry_uid()), impl_(new Impl) {}
+
+Registry::~Registry() { delete impl_; }
 
 Registry& Registry::instance() {
   // Leaked: telemetry may fire from destructors of other static objects.
-  static Registry* const reg = new Registry();
+  static Registry* const reg = new Registry(env_telemetry_enabled());
   return *reg;
 }
 
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->counters[name];
+  return impl_->counters.try_emplace(name, &armed_).first->second;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->gauges[name];
+  return impl_->gauges.try_emplace(name, &armed_).first->second;
 }
 
 Highwater& Registry::highwater(const std::string& name) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
-  return impl_->highwaters[name];
+  return impl_->highwaters.try_emplace(name, &armed_).first->second;
 }
 
 void Registry::reset() {
@@ -143,13 +156,14 @@ std::vector<TimerEntry> Registry::timers() const {
 }
 
 ScopedTimer::ScopedTimer(const char* name) {
-  if (!enabled()) return;
-  Registry::Impl* impl = Registry::instance().impl_;
-  TimerNode* parent = t_current != nullptr ? t_current : &impl->timer_root;
+  Registry& reg = current();
+  if (!reg.enabled()) return;
+  Registry::Impl* impl = reg.impl_;
+  TimerNode* parent = t_span != nullptr ? t_span : &impl->timer_root;
   TimerNode* node = impl->child_of(parent, name);
   node_ = node;
-  parent_ = t_current;
-  t_current = node;
+  parent_ = t_span;
+  t_span = node;
   t0_ns_ = now_ns();
 }
 
@@ -158,7 +172,7 @@ ScopedTimer::~ScopedTimer() {
   TimerNode* node = static_cast<TimerNode*>(node_);
   node->calls.fetch_add(1, std::memory_order_relaxed);
   node->ns.fetch_add(now_ns() - t0_ns_, std::memory_order_relaxed);
-  t_current = static_cast<TimerNode*>(parent_);
+  t_span = static_cast<TimerNode*>(parent_);
 }
 
 std::string indexed_key(const char* prefix, std::size_t index, const char* suffix) {

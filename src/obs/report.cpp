@@ -8,17 +8,26 @@
 namespace aeropack::obs {
 
 Report Report::capture(const std::string& name, std::size_t threads) {
+  return capture(current(), name, threads);
+}
+
+Report Report::capture(const Registry& registry, const std::string& name,
+                       std::size_t threads) {
   Report r;
   r.name_ = name;
   r.threads_ = threads;
-  const Registry& reg = Registry::instance();
-  r.counters_ = reg.counters();
-  r.gauges_ = reg.gauges();
-  r.timers_ = reg.timers();
+  r.counters_ = registry.counters();
+  r.gauges_ = registry.gauges();
+  r.timers_ = registry.timers();
   return r;
 }
 
 void Report::set_meta(const std::string& key, double value) { meta_[key] = value; }
+
+void Report::add_counters(const std::string& prefix,
+                          const std::map<std::string, std::uint64_t>& counters) {
+  for (const auto& [key, value] : counters) counters_[prefix + "." + key] = value;
+}
 
 namespace {
 

@@ -16,13 +16,25 @@ namespace aeropack::obs {
 
 class Report {
  public:
-  /// Snapshot the process-wide registry. `name` labels the run (bench binary
-  /// or scenario); `threads` is supplied by the caller (obs sits below
-  /// numeric, so it cannot ask the thread pool itself).
+  /// Snapshot the calling thread's current registry (the one bound by
+  /// ExecutionContext::Use, else the process default). `name` labels the run
+  /// (bench binary or scenario); `threads` is supplied by the caller (obs
+  /// sits below numeric, so it cannot ask the thread pool itself).
   static Report capture(const std::string& name, std::size_t threads);
+
+  /// Snapshot a specific registry — e.g. an ExecutionContext's metrics after
+  /// the solve finished, from a thread the context was never bound on.
+  static Report capture(const Registry& registry, const std::string& name,
+                        std::size_t threads);
 
   /// Attach run metadata (mesh sizes, DOF counts, config) as "meta.<key>".
   void set_meta(const std::string& key, double value);
+
+  /// Merge an externally captured counter map under "counters.<prefix>.<key>"
+  /// — how ScenarioRunner results fold each scenario's isolated registry
+  /// into one report (keys stay sorted, so emission order is deterministic).
+  void add_counters(const std::string& prefix,
+                    const std::map<std::string, std::uint64_t>& counters);
 
   const std::string& name() const { return name_; }
   std::size_t threads() const { return threads_; }

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/context.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/registry.hpp"
 
@@ -340,8 +341,7 @@ static void for_each_boundary_face(const FvGrid& g, const Vector& kx, const Vect
 
 FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
                                                      double inv_dt) const {
-  static obs::Counter& assemblies =
-      obs::Registry::instance().counter("fv.structure_assemblies");
+  static thread_local obs::CounterHandle assemblies{"fv.structure_assemblies"};
   assemblies.add();
   obs::ScopedTimer span("fv.assemble_structure");
   const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
@@ -438,7 +438,7 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
 
 void FvModel::update_boundary_terms(AssemblyCache& cache, const Vector& temps,
                                     const Vector* prev, Vector& rhs) const {
-  static obs::Counter& updates = obs::Registry::instance().counter("fv.boundary_updates");
+  static thread_local obs::CounterHandle updates{"fv.boundary_updates"};
   updates.add();
   obs::ScopedTimer span("fv.update_boundary");
   std::vector<double>& values = cache.matrix.values();
@@ -514,13 +514,13 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
 
   Vector temps(n, t_guess);
   FvSolution sol;
-  static obs::Counter& steady_solves = obs::Registry::instance().counter("fv.steady_solves");
-  static obs::Counter& picard_passes = obs::Registry::instance().counter("fv.picard_passes");
-  static obs::Counter& cg_iterations = obs::Registry::instance().counter("fv.cg_iterations");
-  static obs::Counter& warmstart_hits = obs::Registry::instance().counter("fv.warmstart_hits");
+  static thread_local obs::CounterHandle steady_solves{"fv.steady_solves"};
+  static thread_local obs::CounterHandle picard_passes{"fv.picard_passes"};
+  static thread_local obs::CounterHandle cg_iterations{"fv.cg_iterations"};
+  static thread_local obs::CounterHandle warmstart_hits{"fv.warmstart_hits"};
   steady_solves.add();
   obs::ScopedTimer span("fv.solve_steady");
-  if (obs::enabled()) obs::Registry::instance().gauge("fv.cells").set(static_cast<double>(n));
+  if (obs::enabled()) obs::current().gauge("fv.cells").set(static_cast<double>(n));
   // Fast path: symbolic structure + static coefficients assembled once;
   // Picard passes rewrite only boundary terms and warm-start CG from the
   // previous pass's temperature field.
@@ -539,10 +539,10 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
     if (obs::enabled()) {
       // Per-pass convergence trace: how many CG iterations each Picard pass
       // cost and where its linear residual landed.
-      obs::Registry::instance()
+      obs::current()
           .gauge(obs::indexed_key("fv.picard", it + 1, "cg_iterations"))
           .set(static_cast<double>(lin.iterations));
-      obs::Registry::instance()
+      obs::current()
           .gauge(obs::indexed_key("fv.picard", it + 1, "residual"))
           .set(lin.residual);
     }
@@ -563,9 +563,27 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
   return sol;
 }
 
+FvSolution FvModel::solve_steady(ExecutionContext& ctx, const FvOptions& opts) const {
+  const ExecutionContext::Use use(ctx);
+  return solve_steady(opts);
+}
+
 FvTransientSolution FvModel::solve_transient(double t_end, double dt, double t_initial,
                                              const FvOptions& opts) const {
   return solve_transient(t_end, dt, Vector(grid_.cell_count(), t_initial), opts);
+}
+
+FvTransientSolution FvModel::solve_transient(ExecutionContext& ctx, double t_end, double dt,
+                                             double t_initial, const FvOptions& opts) const {
+  const ExecutionContext::Use use(ctx);
+  return solve_transient(t_end, dt, t_initial, opts);
+}
+
+FvTransientSolution FvModel::solve_transient(ExecutionContext& ctx, double t_end, double dt,
+                                             const Vector& initial_temperatures,
+                                             const FvOptions& opts) const {
+  const ExecutionContext::Use use(ctx);
+  return solve_transient(t_end, dt, initial_temperatures, opts);
 }
 
 FvTransientSolution FvModel::solve_transient(double t_end, double dt,
@@ -584,8 +602,8 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt,
   // Structure + capacity assembled once for the whole march; each implicit
   // Euler step rewrites boundary terms and warm-starts CG from the previous
   // step's field instead of re-converging from scratch.
-  static obs::Counter& transient_steps = obs::Registry::instance().counter("fv.transient_steps");
-  static obs::Counter& warmstart_hits = obs::Registry::instance().counter("fv.warmstart_hits");
+  static thread_local obs::CounterHandle transient_steps{"fv.transient_steps"};
+  static thread_local obs::CounterHandle warmstart_hits{"fv.warmstart_hits"};
   obs::ScopedTimer span("fv.solve_transient");
   AssemblyCache cache = build_assembly_cache(opts, 1.0 / dt);
   out.structure_assemblies = 1;

@@ -25,6 +25,10 @@
 #include "numeric/sparse.hpp"
 #include "thermal/convection.hpp"
 
+namespace aeropack {
+class ExecutionContext;
+}
+
 namespace aeropack::thermal {
 
 /// Tensor-product grid: cell sizes along each axis.
@@ -161,6 +165,10 @@ class FvModel {
   void set_boundary_patch(Face f, const CellRange& r, const BoundaryCondition& bc);
 
   FvSolution solve_steady(const FvOptions& opts = {}) const;
+  /// Same solve, pinned to an ExecutionContext: kernels run on the context's
+  /// pool and telemetry lands in the context's registry. Results are
+  /// bit-identical to the pool-less overload at any thread count.
+  FvSolution solve_steady(ExecutionContext& ctx, const FvOptions& opts = {}) const;
 
   /// Implicit Euler transient from a uniform initial temperature. `dt` is
   /// clamped to `t_end` (a march shorter than one step degenerates to a
@@ -168,11 +176,16 @@ class FvModel {
   /// `t_end`.
   FvTransientSolution solve_transient(double t_end, double dt, double t_initial,
                                       const FvOptions& opts = {}) const;
+  FvTransientSolution solve_transient(ExecutionContext& ctx, double t_end, double dt,
+                                      double t_initial, const FvOptions& opts = {}) const;
 
   /// Implicit Euler transient from a full per-cell initial field (needed by
   /// the manufactured-solutions transient ladder, whose exact initial state
   /// is spatially varying). Same time-step semantics as above.
   FvTransientSolution solve_transient(double t_end, double dt,
+                                      const numeric::Vector& initial_temperatures,
+                                      const FvOptions& opts = {}) const;
+  FvTransientSolution solve_transient(ExecutionContext& ctx, double t_end, double dt,
                                       const numeric::Vector& initial_temperatures,
                                       const FvOptions& opts = {}) const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/context.hpp"
 #include "numeric/solve_dense.hpp"
 #include "obs/registry.hpp"
 
@@ -167,10 +168,8 @@ SteadySolution ThermalNetwork::solve_steady(const SteadyOptions& opts) const {
       std::any_of(conductors_.begin(), conductors_.end(),
                   [](const Conductor& c) { return static_cast<bool>(c.fn); });
 
-  static obs::Counter& steady_solves =
-      obs::Registry::instance().counter("network.steady_solves");
-  static obs::Counter& picard_passes =
-      obs::Registry::instance().counter("network.picard_passes");
+  static thread_local obs::CounterHandle steady_solves{"network.steady_solves"};
+  static thread_local obs::CounterHandle picard_passes{"network.picard_passes"};
   steady_solves.add();
   obs::ScopedTimer span("network.solve_steady");
 
@@ -208,6 +207,12 @@ SteadySolution ThermalNetwork::solve_steady(const SteadyOptions& opts) const {
   return sol;
 }
 
+SteadySolution ThermalNetwork::solve_steady(ExecutionContext& ctx,
+                                            const SteadyOptions& opts) const {
+  const ExecutionContext::Use use(ctx);
+  return solve_steady(opts);
+}
+
 double ThermalNetwork::node_heat_flow(NodeId id, const Vector& temps) const {
   check_node(id);
   const auto g = evaluate_conductances(temps);
@@ -242,10 +247,8 @@ TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
   for (std::size_t i = 0; i < nodes_.size(); ++i)
     if (!nodes_[i].boundary) unknown_index[i] = static_cast<std::ptrdiff_t>(n_unknown++);
 
-  static obs::Counter& transient_steps =
-      obs::Registry::instance().counter("network.transient_steps");
-  static obs::Counter& transient_picard =
-      obs::Registry::instance().counter("network.transient_picard_passes");
+  static thread_local obs::CounterHandle transient_steps{"network.transient_steps"};
+  static thread_local obs::CounterHandle transient_picard{"network.transient_picard_passes"};
   obs::ScopedTimer span("network.solve_transient");
   const std::size_t n_steps = static_cast<std::size_t>(std::ceil(t_end / dt));
   for (std::size_t s = 1; s <= n_steps; ++s) {
@@ -305,6 +308,14 @@ TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
     out.temperatures.push_back(temps);
   }
   return out;
+}
+
+TransientSolution ThermalNetwork::solve_transient(ExecutionContext& ctx, double t_end,
+                                                  double dt,
+                                                  const Vector& initial_temperatures,
+                                                  const SteadyOptions& opts) const {
+  const ExecutionContext::Use use(ctx);
+  return solve_transient(t_end, dt, initial_temperatures, opts);
 }
 
 }  // namespace aeropack::thermal

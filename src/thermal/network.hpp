@@ -17,6 +17,10 @@
 
 #include "numeric/dense.hpp"
 
+namespace aeropack {
+class ExecutionContext;
+}
+
 namespace aeropack::thermal {
 
 using NodeId = std::size_t;
@@ -68,11 +72,17 @@ class ThermalNetwork {
   void set_heat_load(NodeId node, double watts);
 
   SteadySolution solve_steady(const SteadyOptions& opts = {}) const;
+  /// Same solve, pinned to an ExecutionContext (kernels on the context's
+  /// pool, telemetry in its registry; bit-identical results).
+  SteadySolution solve_steady(ExecutionContext& ctx, const SteadyOptions& opts = {}) const;
 
   /// Implicit-Euler transient from a uniform or given initial state.
   /// Diffusion nodes with zero capacitance are treated as quasi-steady
   /// (arithmetic: tiny capacitance floor). Throws on dt <= 0.
   TransientSolution solve_transient(double t_end, double dt,
+                                    const numeric::Vector& initial_temperatures,
+                                    const SteadyOptions& opts = {}) const;
+  TransientSolution solve_transient(ExecutionContext& ctx, double t_end, double dt,
                                     const numeric::Vector& initial_temperatures,
                                     const SteadyOptions& opts = {}) const;
 

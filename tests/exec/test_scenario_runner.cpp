@@ -1,0 +1,177 @@
+// core::ScenarioRunner: batch semantics (order, errors, re-run), per-scenario
+// counter isolation, and bit-identical outputs at every worker count.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scenario_runner.hpp"
+#include "materials/solid.hpp"
+#include "numeric/parallel.hpp"
+#include "thermal/fv.hpp"
+
+namespace ac = aeropack::core;
+namespace an = aeropack::numeric;
+namespace at = aeropack::thermal;
+namespace am = aeropack::materials;
+
+namespace {
+
+/// Small FV slab solve — enough numeric work to exercise the context's pool
+/// and leave a counter trail.
+ac::ScenarioFn slab_scenario(double power_w) {
+  return [power_w](aeropack::ExecutionContext&) {
+    at::FvModel slab(at::FvGrid::uniform(0.1, 0.02, 0.01, 12, 3, 3));
+    slab.set_material(am::aluminum_6061());
+    slab.add_power({0, 12, 0, 3, 0, 3}, power_w);
+    slab.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(300.0));
+    const at::FvSolution sol = slab.solve_steady();
+    return std::map<std::string, double>{{"t_max", sol.max_temperature}};
+  };
+}
+
+std::uint64_t counter_of(const ac::ScenarioResult& r, const std::string& key) {
+  const auto it = r.counters.find(key);
+  return it == r.counters.end() ? 0u : it->second;
+}
+
+}  // namespace
+
+TEST(ScenarioRunner, RejectsZeroWorkersAndEmptyScenarios) {
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 0;
+  EXPECT_THROW(ac::ScenarioRunner bad(opts), std::invalid_argument);
+  ac::ScenarioRunner runner;
+  EXPECT_THROW(runner.add("empty", ac::ScenarioFn{}), std::invalid_argument);
+}
+
+TEST(ScenarioRunner, ResultsComeBackInAddOrder) {
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 4;
+  ac::ScenarioRunner runner(opts);
+  for (int i = 0; i < 9; ++i) {
+    const double v = 1.5 * i;
+    runner.add("s" + std::to_string(i),
+               [v](aeropack::ExecutionContext&) {
+                 return std::map<std::string, double>{{"v", v}};
+               });
+  }
+  ASSERT_EQ(runner.scenario_count(), 9u);
+  const std::vector<ac::ScenarioResult> results = runner.run();
+  ASSERT_EQ(results.size(), 9u);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(results[i].name, "s" + std::to_string(i));
+    EXPECT_TRUE(results[i].ok);
+    EXPECT_DOUBLE_EQ(results[i].values.at("v"), 1.5 * i);
+  }
+}
+
+TEST(ScenarioRunner, ThrowingScenarioIsCapturedWithoutAbortingTheBatch) {
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 2;
+  ac::ScenarioRunner runner(opts);
+  runner.add("good", slab_scenario(4.0));
+  runner.add("bad", [](aeropack::ExecutionContext&) -> std::map<std::string, double> {
+    throw std::runtime_error("diverged");
+  });
+  runner.add("also_good", slab_scenario(6.0));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_EQ(results[1].error, "diverged");
+  EXPECT_TRUE(results[1].values.empty());
+  EXPECT_TRUE(results[2].ok);
+}
+
+TEST(ScenarioRunner, OutputsBitIdenticalAcrossWorkerCounts) {
+  const auto run_with = [](std::size_t workers) {
+    ac::ScenarioRunnerOptions opts;
+    opts.workers = workers;
+    ac::ScenarioRunner runner(opts);
+    for (const double q : {2.0, 5.0, 9.0, 13.0})
+      runner.add("q" + std::to_string(static_cast<int>(q)), slab_scenario(q));
+    return runner.run();
+  };
+  const auto serial = run_with(1);
+  for (const std::size_t w : {2u, 4u}) {
+    const auto batch = run_with(w);
+    ASSERT_EQ(batch.size(), serial.size()) << w << " workers";
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(batch[i].ok);
+      // Exact double equality: same context config => same pool partition
+      // and chunked reductions => the same bits.
+      EXPECT_EQ(batch[i].values.at("t_max"), serial[i].values.at("t_max"))
+          << w << " workers, scenario " << i;
+    }
+  }
+}
+
+TEST(ScenarioRunner, EachScenarioGetsItsOwnCounterProfile) {
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 2;
+  opts.telemetry = true;
+  ac::ScenarioRunner runner(opts);
+  runner.add("one_solve", slab_scenario(5.0));
+  runner.add("two_solves", [](aeropack::ExecutionContext& ctx) {
+    std::map<std::string, double> out = slab_scenario(5.0)(ctx);
+    out.merge(slab_scenario(7.0)(ctx));
+    return out;
+  });
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(counter_of(results[0], "fv.steady_solves"), 1u);
+  EXPECT_EQ(counter_of(results[1], "fv.steady_solves"), 2u);
+  EXPECT_GT(counter_of(results[0], "fv.cg_iterations"), 0u);
+}
+
+TEST(ScenarioRunner, TelemetryOffLeavesCountersEmpty) {
+  ac::ScenarioRunnerOptions opts;
+  opts.telemetry = false;
+  ac::ScenarioRunner runner(opts);
+  runner.add("quiet", slab_scenario(5.0));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_TRUE(results[0].counters.empty());
+}
+
+TEST(ScenarioRunner, BatchDoesNotTouchTheProcessRegistry) {
+  const auto before = aeropack::obs::Registry::instance().counters();
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 2;
+  opts.telemetry = true;
+  ac::ScenarioRunner runner(opts);
+  runner.add("a", slab_scenario(3.0));
+  runner.add("b", slab_scenario(8.0));
+  const auto results = runner.run();
+  for (const auto& r : results) ASSERT_TRUE(r.ok);
+  EXPECT_EQ(aeropack::obs::Registry::instance().counters(), before);
+}
+
+TEST(ScenarioRunner, RunnerIsRerunnableWithFreshCounters) {
+  ac::ScenarioRunnerOptions opts;
+  opts.telemetry = true;
+  ac::ScenarioRunner runner(opts);
+  runner.add("slab", slab_scenario(6.0));
+  const auto first = runner.run();
+  const auto second = runner.run();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(first[0].values.at("t_max"), second[0].values.at("t_max"));
+  // Fresh context per run: counters do not accumulate across runs.
+  EXPECT_EQ(counter_of(first[0], "fv.steady_solves"),
+            counter_of(second[0], "fv.steady_solves"));
+}
+
+TEST(ScenarioRunner, MoreWorkersThanScenariosIsFine) {
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 16;
+  ac::ScenarioRunner runner(opts);
+  runner.add("only", slab_scenario(4.0));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+}

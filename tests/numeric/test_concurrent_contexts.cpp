@@ -1,0 +1,127 @@
+// Concurrent FV solves on isolated ExecutionContexts (TSan-gated under the
+// numeric label): two FvModel::solve_steady runs driven from two distinct
+// std::threads, each on its own context, must be data-race free and
+// bit-identical to the serial runs of the same models.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "exec/context.hpp"
+#include "materials/solid.hpp"
+#include "numeric/parallel.hpp"
+#include "thermal/fv.hpp"
+
+namespace an = aeropack::numeric;
+namespace at = aeropack::thermal;
+namespace am = aeropack::materials;
+using aeropack::ExecutionConfig;
+using aeropack::ExecutionContext;
+
+namespace {
+
+at::FvModel slab(double power_w) {
+  at::FvModel m(at::FvGrid::uniform(0.1, 0.02, 0.01, 16, 4, 4));
+  m.set_material(am::aluminum_6061());
+  m.add_power({0, 16, 0, 4, 0, 4}, power_w);
+  m.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(300.0));
+  m.set_boundary(at::Face::XMax, at::BoundaryCondition::fixed(320.0));
+  return m;
+}
+
+void expect_bit_identical(const an::Vector& got, const an::Vector& want,
+                          const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    ASSERT_EQ(got[i], want[i]) << label << ", cell " << i;
+}
+
+}  // namespace
+
+TEST(ConcurrentContexts, TwoSteadySolvesMatchSerialBitForBit) {
+  const at::FvModel model_a = slab(5.0);
+  const at::FvModel model_b = slab(11.0);
+
+  // Serial references on fresh contexts with the same per-context config.
+  ExecutionConfig cfg;
+  cfg.threads = 2;
+  an::Vector ref_a, ref_b;
+  {
+    ExecutionContext ctx(cfg);
+    ref_a = model_a.solve_steady(ctx).temperatures;
+  }
+  {
+    ExecutionContext ctx(cfg);
+    ref_b = model_b.solve_steady(ctx).temperatures;
+  }
+
+  // A few rounds so TSan gets real interleavings, not one lucky schedule.
+  for (int round = 0; round < 4; ++round) {
+    an::Vector got_a, got_b;
+    std::thread ta([&] {
+      ExecutionContext ctx(cfg);
+      got_a = model_a.solve_steady(ctx).temperatures;
+    });
+    std::thread tb([&] {
+      ExecutionContext ctx(cfg);
+      got_b = model_b.solve_steady(ctx).temperatures;
+    });
+    ta.join();
+    tb.join();
+    expect_bit_identical(got_a, ref_a, "model A");
+    expect_bit_identical(got_b, ref_b, "model B");
+  }
+}
+
+TEST(ConcurrentContexts, ConcurrentTransientMatchesSerial) {
+  const at::FvModel model = slab(7.0);
+  ExecutionConfig cfg;
+  cfg.threads = 2;
+  an::Vector ref;
+  {
+    ExecutionContext ctx(cfg);
+    ref = model.solve_transient(ctx, 5.0, 1.0, 300.0).temperatures.back();
+  }
+  an::Vector got_a, got_b;
+  std::thread ta([&] {
+    ExecutionContext ctx(cfg);
+    got_a = model.solve_transient(ctx, 5.0, 1.0, 300.0).temperatures.back();
+  });
+  std::thread tb([&] {
+    ExecutionContext ctx(cfg);
+    got_b = model.solve_transient(ctx, 5.0, 1.0, 300.0).temperatures.back();
+  });
+  ta.join();
+  tb.join();
+  expect_bit_identical(got_a, ref, "thread A");
+  expect_bit_identical(got_b, ref, "thread B");
+}
+
+TEST(ConcurrentContexts, ConcurrentKernelsOnDistinctPoolsAgreeWithSerial) {
+  an::Vector x(20000);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 0.25 + 0.5 * static_cast<double>(i % 97);
+  ExecutionConfig cfg;
+  cfg.threads = 3;
+  double ref = 0.0;
+  {
+    ExecutionContext ctx(cfg);
+    const ExecutionContext::Use use(ctx);
+    ref = an::parallel_norm2(x);
+  }
+  double got_a = 0.0, got_b = 0.0;
+  std::thread ta([&] {
+    ExecutionContext ctx(cfg);
+    const ExecutionContext::Use use(ctx);
+    for (int r = 0; r < 50; ++r) got_a = an::parallel_norm2(x);
+  });
+  std::thread tb([&] {
+    ExecutionContext ctx(cfg);
+    const ExecutionContext::Use use(ctx);
+    for (int r = 0; r < 50; ++r) got_b = an::parallel_norm2(x);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(got_a, ref);
+  EXPECT_EQ(got_b, ref);
+}

@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "numeric/parallel.hpp"
@@ -216,4 +218,58 @@ TEST(ParallelKernels, SetThreadCountZeroRestoresDefault) {
   EXPECT_EQ(an::thread_count(), 3u);
   an::set_thread_count(0);
   EXPECT_GE(an::thread_count(), 1u);
+}
+
+TEST(ThreadPool, InstanceReferenceStaysValidAcrossSetThreadCount) {
+  // Regression: set_thread_count() used to tear the default pool down and
+  // build a new one, leaving every previously returned instance() reference
+  // dangling. The pool now resizes in place: same address, new worker set,
+  // old handles fully usable.
+  ThreadCountGuard guard;
+  an::set_thread_count(2);
+  an::ThreadPool& before = an::ThreadPool::instance();
+  EXPECT_EQ(before.threads(), 2u);
+
+  an::set_thread_count(6);
+  EXPECT_EQ(&an::ThreadPool::instance(), &before);
+  EXPECT_EQ(before.threads(), 6u);
+
+  // The held reference must be live after every resize direction.
+  an::set_thread_count(1);
+  EXPECT_EQ(&an::ThreadPool::instance(), &before);
+  std::vector<std::atomic<int>> visits(100);
+  before.run(0, [](std::size_t) {});
+  an::set_thread_count(4);
+  an::parallel_for(0, visits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, SetThreadCountZeroReReadsEnvironment) {
+  // set_thread_count(0) restores the *default*, and the default re-reads
+  // AEROPACK_THREADS at restore time (not the value cached at startup).
+  ThreadCountGuard guard;
+  const char* old_env = std::getenv("AEROPACK_THREADS");
+  const std::string saved = old_env != nullptr ? old_env : "";
+
+  setenv("AEROPACK_THREADS", "5", 1);
+  an::set_thread_count(0);
+  EXPECT_EQ(an::thread_count(), 5u);
+
+  setenv("AEROPACK_THREADS", "2", 1);
+  an::set_thread_count(0);
+  EXPECT_EQ(an::thread_count(), 2u);
+
+  // Unset (or unparsable) falls back to hardware concurrency, min 1.
+  unsetenv("AEROPACK_THREADS");
+  an::set_thread_count(0);
+  EXPECT_GE(an::thread_count(), 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) EXPECT_EQ(an::thread_count(), static_cast<std::size_t>(hw));
+
+  if (old_env != nullptr)
+    setenv("AEROPACK_THREADS", saved.c_str(), 1);
+  else
+    unsetenv("AEROPACK_THREADS");
 }

@@ -47,12 +47,17 @@ def main(argv):
     if update:
         # Freeze the deterministic counters of this report as the new
         # expectation. Scheduling counters vary with the machine's core count
-        # and chunking, so they are excluded at generation time.
-        skip = ("counters.numeric.parallel_for.", "counters.numeric.pool.")
+        # and chunking, so they are excluded at generation time — whether
+        # they are bare ("counters.numeric.parallel_for.calls") or nested
+        # under a scenario prefix, as bench_scenario_throughput emits
+        # ("counters.<scenario>.numeric.parallel_for.calls").
+        skip = ("numeric.parallel_for.", "numeric.pool.")
         expected = {
             key: value
             for key, value in sorted(report.items())
-            if key.startswith("counters.") and not key.startswith(skip) and value != 0
+            if key.startswith("counters.")
+            and not any(fragment in key for fragment in skip)
+            and value != 0
         }
         with open(expected_path, "w", encoding="utf-8") as fh:
             json.dump(expected, fh, indent=2)
