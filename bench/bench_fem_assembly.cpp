@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,16 +36,41 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-/// Best-of-reps wall time of fn() in milliseconds.
+/// Median-of-reps wall time of fn() in milliseconds. Medians (not best-of)
+/// because the table's dense/sparse and cross-thread columns are ratios of
+/// two timings: a lucky best-of outlier in either operand made them noise.
+/// Callers pass reps >= 5.
 template <typename Fn>
 double time_ms(int reps, Fn&& fn) {
-  double best = 1e300;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
-    best = std::min(best, seconds_since(t0));
+    samples.push_back(seconds_since(t0));
   }
-  return best * 1e3;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2] * 1e3;
+}
+
+/// Round-trip of an empty parallel dispatch (one no-op task per thread) on a
+/// warm pool, median over many reps. Uses ThreadPool::run directly so the
+/// grain layer cannot serialize it away — this is the raw scheduling cost
+/// the grain thresholds exist to amortize.
+double dispatch_overhead_ns(std::size_t threads) {
+  an::ThreadPool pool(threads);
+  const std::function<void(std::size_t)> noop = [](std::size_t) {};
+  for (int w = 0; w < 32; ++w) pool.run(threads, noop);
+  constexpr int kReps = 201;
+  std::vector<double> samples;
+  samples.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.run(threads, noop);
+    samples.push_back(seconds_since(t0));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2] * 1e9;
 }
 
 /// The Fig. 2 power-supply board (clamped, smeared + point masses, doubler)
@@ -76,6 +102,7 @@ struct MeshResult {
 
 void write_json(const std::string& path, std::size_t hardware, std::size_t n_modes,
                 const std::vector<std::size_t>& thread_counts,
+                const std::vector<double>& dispatch_ns,
                 const std::vector<MeshResult>& meshes) {
   std::ofstream out(path);
   if (!out) {
@@ -85,7 +112,11 @@ void write_json(const std::string& path, std::size_t hardware, std::size_t n_mod
   out << "{\n  \"bench\": \"fem_assembly\",\n";
   out << "  \"hardware_threads\": " << hardware << ",\n";
   out << "  \"n_modes\": " << n_modes << ",\n";
-  out << "  \"thread_counts\": [";
+  out << "  \"dispatch_overhead_ns\": [";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    out << "{\"threads\": " << thread_counts[i] << ", \"ns\": " << dispatch_ns[i] << "}"
+        << (i + 1 < thread_counts.size() ? ", " : "");
+  out << "],\n  \"thread_counts\": [";
   for (std::size_t i = 0; i < thread_counts.size(); ++i)
     out << thread_counts[i] << (i + 1 < thread_counts.size() ? ", " : "");
   out << "],\n  \"meshes\": [\n";
@@ -152,6 +183,14 @@ int main(int argc, char** argv) try {
   }
   std::printf("  hardware threads: %zu, modes requested: %zu\n\n", hardware, n_modes);
 
+  std::printf("  dispatch overhead (empty parallel dispatch, warm pool):\n");
+  std::vector<double> dispatch_ns;
+  for (const std::size_t t : thread_counts) {
+    dispatch_ns.push_back(dispatch_overhead_ns(t));
+    std::printf("    threads=%zu %9.0f ns\n", t, dispatch_ns.back());
+  }
+  std::printf("\n");
+
   std::vector<MeshResult> results;
 
   for (const auto& [nx, ny] : sizes) {
@@ -159,7 +198,9 @@ int main(int argc, char** argv) try {
     res.nx = nx;
     res.ny = ny;
     const af::PlateModel plate = ps_board(nx, ny);
-    const int reps = nx <= 12 ? 5 : (nx <= 16 ? 3 : 1);
+    // Medians need odd reps >= 5. Smoke stays at 5: the frozen counter
+    // expectations (bench/expected/) count iterations across all reps.
+    const int reps = smoke ? 5 : (nx <= 12 ? 7 : 5);
 
     an::set_thread_count(1);
     an::CsrMatrix k, m;
@@ -221,7 +262,7 @@ int main(int argc, char** argv) try {
               big.nx, big.ny, big.free_dofs,
               best_sparse > 0.0 ? big.dense_modal_ms / best_sparse : 0.0);
 
-  write_json("BENCH_fem_assembly.json", hardware, n_modes, thread_counts, results);
+  write_json("BENCH_fem_assembly.json", hardware, n_modes, thread_counts, dispatch_ns, results);
 
   if (!report_path.empty()) {
     obs::Report report = obs::Report::capture("bench_fem_assembly", an::thread_count());

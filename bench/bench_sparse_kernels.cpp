@@ -34,16 +34,41 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
-/// Best-of-reps wall time of fn() in milliseconds.
+/// Median-of-reps wall time of fn() in milliseconds. Medians (not best-of)
+/// because the reported speedup cells are ratios of two timings: a lucky
+/// best-of outlier in either operand made the small-grid speedups pure
+/// noise. Callers pass reps >= 5.
 template <typename Fn>
 double time_ms(int reps, Fn&& fn) {
-  double best = 1e300;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const auto t0 = std::chrono::steady_clock::now();
     fn();
-    best = std::min(best, seconds_since(t0));
+    samples.push_back(seconds_since(t0));
   }
-  return best * 1e3;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2] * 1e3;
+}
+
+/// Round-trip of an empty parallel dispatch (one no-op task per thread) on a
+/// warm pool, median over many reps. Uses ThreadPool::run directly so the
+/// grain layer cannot serialize it away — this is the raw scheduling cost
+/// the grain thresholds exist to amortize.
+double dispatch_overhead_ns(std::size_t threads) {
+  an::ThreadPool pool(threads);
+  const std::function<void(std::size_t)> noop = [](std::size_t) {};
+  for (int w = 0; w < 32; ++w) pool.run(threads, noop);
+  constexpr int kReps = 201;
+  std::vector<double> samples;
+  samples.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.run(threads, noop);
+    samples.push_back(seconds_since(t0));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2] * 1e9;
 }
 
 /// An aluminum block with a hot component footprint and convective walls —
@@ -64,6 +89,10 @@ struct ThreadTiming {
   double cg_ms = 0.0;
   std::size_t cg_iterations = 0;
   double steady_ms = 0.0;
+  // Chebyshev(3)-preconditioned CG on the same system; measured for grids
+  // >= 32^3, where the iteration cut pays for the extra SpMVs.
+  double cheby_cg_ms = 0.0;
+  std::size_t cheby_cg_iterations = 0;
 };
 
 struct GridResult {
@@ -90,6 +119,7 @@ double legacy_assembly_ms(const an::CsrMatrix& pattern, int reps) {
 
 void write_json(const std::string& path, std::size_t hardware,
                 const std::vector<std::size_t>& thread_counts,
+                const std::vector<double>& dispatch_ns,
                 const std::vector<GridResult>& grids) {
   std::ofstream out(path);
   if (!out) {
@@ -101,7 +131,11 @@ void write_json(const std::string& path, std::size_t hardware,
   out << "  \"thread_counts\": [";
   for (std::size_t i = 0; i < thread_counts.size(); ++i)
     out << thread_counts[i] << (i + 1 < thread_counts.size() ? ", " : "");
-  out << "],\n  \"grids\": [\n";
+  out << "],\n  \"dispatch_overhead_ns\": [\n";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i)
+    out << "    {\"threads\": " << thread_counts[i] << ", \"ns\": " << dispatch_ns[i]
+        << "}" << (i + 1 < thread_counts.size() ? ",\n" : "\n");
+  out << "  ],\n  \"grids\": [\n";
   for (std::size_t g = 0; g < grids.size(); ++g) {
     const GridResult& r = grids[g];
     out << "    {\n      \"n\": " << r.n << ", \"cells\": " << r.cells
@@ -114,6 +148,8 @@ void write_json(const std::string& path, std::size_t hardware,
       const ThreadTiming& tt = r.timings[t];
       out << "        {\"threads\": " << tt.threads << ", \"spmv_ms\": " << tt.spmv_ms
           << ", \"cg_ms\": " << tt.cg_ms << ", \"cg_iterations\": " << tt.cg_iterations
+          << ", \"cheby_cg_ms\": " << tt.cheby_cg_ms
+          << ", \"cheby_cg_iterations\": " << tt.cheby_cg_iterations
           << ", \"steady_ms\": " << tt.steady_ms
           << ", \"steady_speedup_vs_1\": "
           << (tt.steady_ms > 0.0 ? r.timings.front().steady_ms / tt.steady_ms : 0.0) << "}"
@@ -130,19 +166,26 @@ void write_json(const std::string& path, std::size_t hardware,
 int main(int argc, char** argv) try {
   // --smoke: smallest grid + fixed {1,2} thread sweep, the configuration the
   // CI bench-smoke job freezes counter expectations for (bench/expected/).
+  // --scaling: 32^3 only, threads {1, 2} — the cheap configuration the CI
+  // speedup-floor gate (tools/check_report.py --speedups) runs against;
+  // writes BENCH_sparse_scaling.json.
   // --report <out.json>: enable telemetry and write the obs run report.
   bool smoke = false;
+  bool scaling = false;
   std::string report_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--scaling") {
+      scaling = true;
     } else if (arg == "--report" && i + 1 < argc) {
       report_path = argv[++i];
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(std::string("--report=").size());
     } else {
-      std::fprintf(stderr, "unknown argument: %s (supported: --smoke, --report <out.json>)\n",
+      std::fprintf(stderr,
+                   "unknown argument: %s (supported: --smoke, --scaling, --report <out.json>)\n",
                    arg.c_str());
       return 2;
     }
@@ -162,8 +205,20 @@ int main(int argc, char** argv) try {
     sizes = {8};
     thread_counts = {1, 2};
     std::printf("  smoke mode: n=8^3 only, threads {1, 2}\n");
+  } else if (scaling) {
+    sizes = {32};
+    thread_counts = {1, 2};
+    std::printf("  scaling mode: n=32^3 only, threads {1, 2}\n");
   }
   std::printf("  hardware threads: %zu\n\n", hardware);
+
+  std::printf("  dispatch overhead (empty parallel dispatch, warm pool):\n");
+  std::vector<double> dispatch_ns;
+  for (const std::size_t t : thread_counts) {
+    dispatch_ns.push_back(dispatch_overhead_ns(t));
+    std::printf("    threads=%zu  %8.0f ns\n", t, dispatch_ns.back());
+  }
+  std::printf("\n");
 
   std::vector<GridResult> results;
 
@@ -171,7 +226,9 @@ int main(int argc, char** argv) try {
     GridResult res;
     res.n = n;
     res.cells = n * n * n;
-    const int reps = n <= 16 ? 5 : (n <= 32 ? 3 : 1);
+    // Median-of-k needs k >= 5 on every cell — the former single-shot 64^3
+    // timing is exactly what made speedup columns unreproducible.
+    const int reps = 5;
 
     const at::FvModel model = make_model(n);
 
@@ -218,6 +275,13 @@ int main(int argc, char** argv) try {
         an::IterativeResult cg;
         tt.cg_ms = time_ms(reps, [&] { cg = an::conjugate_gradient(a, rhs); });
         tt.cg_iterations = cg.iterations;
+        if (n >= 32) {
+          an::IterativeOptions copts;
+          copts.chebyshev_degree = 3;
+          an::IterativeResult ccg;
+          tt.cheby_cg_ms = time_ms(reps, [&] { ccg = an::conjugate_gradient(a, rhs, copts); });
+          tt.cheby_cg_iterations = ccg.iterations;
+        }
         tt.steady_ms = time_ms(reps, [&] {
           const auto sol = model.solve_steady(opts);
           (void)sol;
@@ -272,7 +336,19 @@ int main(int argc, char** argv) try {
               " Picard pass on 64^3\n\n",
               big.triplet_assembly_ms);
 
-  write_json("BENCH_sparse_kernels.json", hardware, thread_counts, results);
+  // Chebyshev headline (printed whenever a grid measured it).
+  for (const GridResult& r : results) {
+    if (r.timings.empty() || r.timings.front().cheby_cg_iterations == 0) continue;
+    const ThreadTiming& tt = r.timings.front();
+    std::printf("  cheby(3) CG on %zu^3: %zu -> %zu iterations (%.0f%% cut), %.3f -> %.3f ms\n",
+                r.n, tt.cg_iterations, tt.cheby_cg_iterations,
+                100.0 * (1.0 - static_cast<double>(tt.cheby_cg_iterations) /
+                                   static_cast<double>(tt.cg_iterations)),
+                tt.cg_ms, tt.cheby_cg_ms);
+  }
+
+  write_json(scaling ? "BENCH_sparse_scaling.json" : "BENCH_sparse_kernels.json", hardware,
+             thread_counts, dispatch_ns, results);
 
   if (!report_path.empty()) {
     obs::Report report = obs::Report::capture("bench_sparse_kernels", an::thread_count());

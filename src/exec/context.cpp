@@ -3,7 +3,8 @@
 namespace aeropack {
 
 ExecutionContext::ExecutionContext(const ExecutionConfig& config)
-    : owned_pool_(std::make_unique<numeric::ThreadPool>(config.threads)),
+    : config_(config),
+      owned_pool_(std::make_unique<numeric::ThreadPool>(config.threads)),
       owned_registry_(std::make_unique<obs::Registry>(config.telemetry)),
       pool_(owned_pool_.get()),
       registry_(owned_registry_.get()) {}

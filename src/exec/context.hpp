@@ -36,6 +36,11 @@ struct ExecutionConfig {
   /// Arm the context's registry from birth (per-context telemetry does not
   /// read AEROPACK_TELEMETRY — that variable governs the process default).
   bool telemetry = false;
+  /// Chebyshev degree for CG preconditioning in solvers pinned to this
+  /// context (numeric::IterativeOptions::chebyshev_degree): solvers that
+  /// leave their own degree at 0 inherit this one. 0 (default) keeps plain
+  /// Jacobi everywhere — the setting existing goldens were recorded under.
+  std::size_t cg_chebyshev_degree = 0;
 };
 
 class ExecutionContext {
@@ -56,6 +61,10 @@ class ExecutionContext {
   obs::Registry& metrics() { return *registry_; }
   const obs::Registry& metrics() const { return *registry_; }
   std::size_t threads() const { return pool_->threads(); }
+  /// The configuration this context was built from (process() reports the
+  /// defaults). Solvers pinned to the context read tuning knobs — currently
+  /// cg_chebyshev_degree — from here.
+  const ExecutionConfig& config() const { return config_; }
 
   /// RAII binding: while alive, the constructing thread's parallel kernels
   /// run on this context's pool and its instrumentation records into this
@@ -82,6 +91,7 @@ class ExecutionContext {
  private:
   ExecutionContext(numeric::ThreadPool* pool, obs::Registry* registry);  // process()
 
+  ExecutionConfig config_;
   std::unique_ptr<numeric::ThreadPool> owned_pool_;
   std::unique_ptr<obs::Registry> owned_registry_;
   numeric::ThreadPool* pool_;

@@ -1,0 +1,134 @@
+#include "numeric/cheby.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/parallel.hpp"
+
+namespace aeropack::numeric {
+
+namespace {
+
+/// One application of B = D^-1 A: out = inv_d ∘ (A v). `tmp` holds A v.
+void apply_jacobi_operator(ThreadPool& pool, const CsrMatrix& a,
+                           const Vector& inv_d, const Vector& v, Vector& tmp,
+                           Vector& out) {
+  a.multiply(pool, v, tmp);
+  out.resize(tmp.size());
+  parallel_for(pool, 0, tmp.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = inv_d[i] * tmp[i];
+  });
+}
+
+}  // namespace
+
+SpectralBounds estimate_jacobi_spectrum(ThreadPool& pool, const CsrMatrix& a,
+                                        const Vector& inv_d,
+                                        std::size_t iterations) {
+  if (a.rows() != a.cols() || inv_d.size() != a.rows())
+    throw std::invalid_argument("estimate_jacobi_spectrum: shape mismatch");
+  const std::size_t n = a.rows();
+  SpectralBounds bounds;
+  if (n == 0) return bounds;
+
+  // Upper bound by Gershgorin row sums of B = D^-1 A: lambda_max <=
+  // max_i sum_j |a_ij| / |a_ii|. A guaranteed cover is non-negotiable here:
+  // eigenvalues above lambda_max are AMPLIFIED by the polynomial (the
+  // preconditioner can even go indefinite), while eigenvalues below
+  // lambda_min merely converge at the unaccelerated rate. Power iteration
+  // is useless for this bound — the top of a Poisson-like spectrum is
+  // clustered, so it underestimates for any affordable iteration count.
+  const std::vector<std::size_t>& row_ptr = a.row_ptr();
+  const std::vector<double>& values = a.values();
+  double gersh = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      row += std::fabs(values[k]);
+    row *= std::fabs(inv_d[i]);
+    if (row > gersh) gersh = row;
+  }
+  if (!(gersh > 0.0)) return bounds;  // degenerate matrix: caller falls back
+  bounds.lambda_max = gersh;
+
+  // Lower bound by power iteration on the flipped operator s*I - B, whose
+  // dominant eigenvalue is s - lambda_min. The estimate only needs to land
+  // inside the low cluster (see above), so a fixed small iteration count
+  // from the all-ones vector — the smooth, low-eigenvalue direction — is
+  // enough, and deterministic.
+  const double s = gersh;
+  Vector v(n, 1.0), bv(n), tmp(n);
+  const auto normalize_into = [&](const Vector& src, double nrm, Vector& dst) {
+    const double inv = 1.0 / nrm;
+    parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) dst[i] = inv * src[i];
+    });
+  };
+  normalize_into(v, parallel_norm2(pool, v), v);
+  double mu = 0.0;
+  for (std::size_t k = 0; k < iterations; ++k) {
+    a.multiply(pool, v, tmp);
+    parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) bv[i] = s * v[i] - inv_d[i] * tmp[i];
+    });
+    mu = parallel_norm2(pool, bv);
+    if (mu == 0.0) break;
+    normalize_into(bv, mu, v);
+  }
+  double lo = 0.95 * (s - mu);
+  // ||.||-based estimates of the flipped operator can overshoot s (B is
+  // only similar to symmetric, not symmetric); clamp into a usable interval
+  // rather than losing the whole acceleration.
+  const double floor_ = bounds.lambda_max / 64.0;
+  if (!(lo > floor_)) lo = floor_;
+  if (lo >= bounds.lambda_max) lo = floor_;
+  bounds.lambda_min = lo;
+  return bounds;
+}
+
+ChebyshevJacobi::ChebyshevJacobi(const CsrMatrix& a, const Vector& inv_d,
+                                 const SpectralBounds& bounds,
+                                 std::size_t degree)
+    : a_(&a), inv_d_(&inv_d), degree_(degree) {
+  if (!bounds.usable())
+    throw std::invalid_argument("ChebyshevJacobi: unusable spectral bounds");
+  if (degree_ < 1) throw std::invalid_argument("ChebyshevJacobi: degree < 1");
+  theta_ = 0.5 * (bounds.lambda_max + bounds.lambda_min);
+  delta_ = 0.5 * (bounds.lambda_max - bounds.lambda_min);
+  sigma1_ = theta_ / delta_;
+}
+
+void ChebyshevJacobi::apply(ThreadPool& pool, const Vector& r,
+                            const Vector& jacobi_r, Vector& z) {
+  const std::size_t n = jacobi_r.size();
+  const Vector& inv_d = *inv_d_;
+  z.resize(n);
+  d_.resize(n);
+  // First term: z = d = (1/theta) D^-1 r.
+  const double inv_theta = 1.0 / theta_;
+  parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const double di = inv_theta * jacobi_r[i];
+      d_[i] = di;
+      z[i] = di;
+    }
+  });
+  double rho = 1.0 / sigma1_;
+  for (std::size_t k = 2; k <= degree_; ++k) {
+    a_->multiply(pool, z, az_);
+    const double rho_next = 1.0 / (2.0 * sigma1_ - rho);
+    const double c_d = rho_next * rho;
+    const double c_w = 2.0 * rho_next / delta_;
+    parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double w = inv_d[i] * (r[i] - az_[i]);
+        const double di = c_d * d_[i] + c_w * w;
+        d_[i] = di;
+        z[i] += di;
+      }
+    });
+    rho = rho_next;
+  }
+}
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,83 @@
+// Chebyshev polynomial acceleration of the Jacobi preconditioner.
+//
+// ChebyshevJacobi applies z = q(D^-1 A) D^-1 r where q is the degree-(m-1)
+// Chebyshev polynomial whose residual 1 - lambda q(lambda) is equioscillating
+// on the eigenvalue interval [lambda_min, lambda_max] of the Jacobi-scaled
+// operator B = D^-1 A. Used as the CG preconditioner it behaves like m
+// Jacobi-CG iterations per CG iteration at the price of m-1 extra SpMVs —
+// trading global reductions (latency-bound) for streaming work
+// (bandwidth-bound) and cutting the iteration count at 32^3-64^3 FV grids.
+//
+// B is similar to the symmetric D^-1/2 A D^-1/2, so q(B) D^-1 is symmetric;
+// it is positive definite as long as [lambda_min, lambda_max] covers the
+// true spectrum (|1 - lambda q| < 1 there implies q > 0). The bounds from
+// estimate_jacobi_spectrum() carry safety margins for exactly that reason,
+// and callers must fall back to plain Jacobi when the estimate degenerates
+// (see SpectralBounds::usable()).
+//
+// Determinism: apply() is a fixed sequence of SpMVs and elementwise sweeps,
+// and the bound estimate is a Gershgorin scan plus a fixed-iteration power
+// method from a fixed start vector — every operation rides the deterministic
+// parallel layer, so results are bit-identical across thread counts and
+// pools.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/dense.hpp"
+#include "numeric/sparse.hpp"
+
+namespace aeropack::numeric {
+
+class ThreadPool;
+
+/// Eigenvalue bounds of the Jacobi-preconditioned operator D^-1 A.
+struct SpectralBounds {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+
+  /// True when the estimate brackets a usable SPD interval.
+  bool usable() const {
+    return lambda_min > 0.0 && lambda_max > lambda_min;
+  }
+};
+
+/// Estimate [lambda_min, lambda_max] of D^-1 A deterministically.
+/// lambda_max is the Gershgorin row-sum bound max_i sum_j |a_ij|/|a_ii| — a
+/// guaranteed cover (power iteration cannot reach the clustered top of
+/// Poisson-like spectra, and an undershot upper bound makes the polynomial
+/// amplify the missed modes). lambda_min comes from `iterations` fixed power
+/// steps on the shifted operator s*I - D^-1 A from the all-ones vector
+/// (narrowed by 5%, clamped into [lambda_max/64, lambda_max)). Costs
+/// `iterations` SpMVs — negligible against the solve it accelerates.
+SpectralBounds estimate_jacobi_spectrum(ThreadPool& pool, const CsrMatrix& a,
+                                        const Vector& inv_d,
+                                        std::size_t iterations = 10);
+
+/// Fixed-degree Chebyshev smoother on the Jacobi-preconditioned operator,
+/// in the standard three-term form (theta/delta center/half-width). One
+/// apply() costs degree-1 SpMVs plus degree elementwise sweeps. Degree 1
+/// reproduces scaled Jacobi; callers gate on degree >= 2.
+class ChebyshevJacobi {
+ public:
+  /// `a` and `inv_d` must outlive the object; `bounds` must be usable().
+  ChebyshevJacobi(const CsrMatrix& a, const Vector& inv_d,
+                  const SpectralBounds& bounds, std::size_t degree);
+
+  std::size_t degree() const { return degree_; }
+
+  /// z = q(D^-1 A) D^-1 r. `jacobi_r` is the precomputed D^-1 r (the fused
+  /// CG update already produces it, saving one sweep); z is resized. r, and
+  /// jacobi_r must not alias z.
+  void apply(ThreadPool& pool, const Vector& r, const Vector& jacobi_r,
+             Vector& z);
+
+ private:
+  const CsrMatrix* a_;
+  const Vector* inv_d_;
+  std::size_t degree_;
+  double theta_, delta_, sigma1_;
+  Vector d_, az_;  // iteration scratch, reused across apply() calls
+};
+
+}  // namespace aeropack::numeric

@@ -1,0 +1,43 @@
+#include "numeric/grain.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace aeropack::numeric::grain {
+
+bool disabled() {
+  static const bool off = [] {
+    const char* env = std::getenv("AEROPACK_GRAIN");
+    return env != nullptr &&
+           (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0);
+  }();
+  return off;
+}
+
+std::size_t hardware_parallelism() {
+  static const std::size_t hw = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? static_cast<std::size_t>(n) : std::size_t{1};
+  }();
+  return hw;
+}
+
+namespace {
+std::atomic<int> g_force_fan_out{0};
+}  // namespace
+
+bool fan_out_forced() {
+  return g_force_fan_out.load(std::memory_order_relaxed) != 0;
+}
+
+ScopedForceFanOut::ScopedForceFanOut() {
+  g_force_fan_out.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedForceFanOut::~ScopedForceFanOut() {
+  g_force_fan_out.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace aeropack::numeric::grain

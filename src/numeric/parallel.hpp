@@ -15,11 +15,19 @@
 //    set_thread_count() overrides at runtime and resizes the default pool
 //    IN PLACE, so references from ThreadPool::instance() stay valid across
 //    resizes for the whole process lifetime.
+//  - Dispatch is granularity-aware (numeric/grain.hpp): every kernel
+//    estimates its work (elements × cost class) and runs as a plain serial
+//    loop below the calibrated fan-out threshold — small solves never touch
+//    the pool, so threads cannot make them slower.
+//  - Workers use a bounded spin-then-park wakeup protocol (per-worker state
+//    word, exponential backoff to a condition variable), so a warm dispatch
+//    costs ~100 ns instead of a futex wake chain.
 //  - At n == 1 every entry point degrades to a plain serial loop — no pool,
 //    no synchronization, exceptions propagate directly.
-//  - Reductions (dot / norm2) accumulate fixed-size chunks and sum the
-//    per-chunk partials in chunk order, so the floating-point result is
-//    bit-identical for ANY thread count (including the serial fallback).
+//  - Reductions (dot / norm2, and the fused CG kernels) accumulate
+//    fixed-size chunks and sum the per-chunk partials in chunk order, so the
+//    floating-point result is bit-identical for ANY thread count (including
+//    the serial fallback).
 //  - Exceptions thrown inside worker tasks are captured and rethrown on the
 //    calling thread (first one wins).
 #pragma once
@@ -28,6 +36,7 @@
 #include <functional>
 
 #include "numeric/dense.hpp"
+#include "numeric/grain.hpp"
 
 namespace aeropack::numeric {
 
@@ -57,6 +66,11 @@ void set_thread_count(std::size_t n);
 /// claimed from a shared atomic counter, which for the `parallel_for` use of
 /// one chunk per thread amounts to a static partition. One pool, one driving
 /// thread at a time; distinct pools may be driven concurrently.
+///
+/// Wakeup: workers spin briefly on an atomic job sequence (cpu-relax, then
+/// yielding backoff), then park on a condition variable behind a per-worker
+/// state word. run() only touches the mutex/cv when a worker is actually
+/// parked, so back-to-back dispatches on a warm pool are lock-free.
 class ThreadPool {
  public:
   /// Standalone pool with `threads` total participants (0 is clamped to 1,
@@ -102,13 +116,22 @@ inline ThreadPool& current_pool() {
 /// which pairs this with the matching obs-registry binding.
 ThreadPool* exchange_current_pool(ThreadPool* p);
 
-/// Split [begin, end) into one contiguous chunk per pool thread and run
+/// Split [begin, end) into one contiguous chunk per planned thread and run
 /// fn(chunk_begin, chunk_end) on each. fn must only write disjoint state per
 /// index; the partition boundaries carry no floating-point consequence for
-/// elementwise kernels. Serial loop when the pool has one thread. The
-/// pool-less overload runs on current_pool().
+/// elementwise kernels. `work` is the grain estimate gating fan-out: below
+/// the calibrated threshold the whole range runs as one inline serial call.
+/// The overloads without `work` assume one stream element per index — loops
+/// whose body is heavier per index (FV cell fills, SpMV rows) must pass an
+/// explicit estimate. The pool-less overloads run on current_pool().
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  grain::Work work);
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn);
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  grain::Work work);
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -123,5 +146,28 @@ double parallel_norm2(const Vector& v);
 /// y += alpha * x, partitioned across threads (elementwise, exact).
 void parallel_axpy(ThreadPool& pool, double alpha, const Vector& x, Vector& y);
 void parallel_axpy(double alpha, const Vector& x, Vector& y);
+
+/// Fused single-pass CG kernels. Each replaces a sequence of axpy/hadamard
+/// passes plus chunked reductions with one sweep over the operands, roughly
+/// halving the memory traffic of a CG iteration. Per element the arithmetic
+/// is identical to the unfused sequence, and the reductions use the same
+/// fixed chunk size and in-order partial summation — so the results are
+/// bit-identical to the separate kernels at every thread count.
+struct CgFused {
+  double rr = 0.0;  ///< <r, r> after the update
+  double rz = 0.0;  ///< <r, z> after the update
+};
+
+/// x += alpha*p; r += (-alpha)*ap; z = inv_d ∘ r; returns {<r,r>, <r,z>}.
+CgFused cg_fused_update(ThreadPool& pool, double alpha, const Vector& p,
+                        const Vector& ap, const Vector& inv_d, Vector& x,
+                        Vector& r, Vector& z);
+CgFused cg_fused_update(double alpha, const Vector& p, const Vector& ap,
+                        const Vector& inv_d, Vector& x, Vector& r, Vector& z);
+
+/// z = d ∘ r; returns <r, z> (deterministic chunked reduction).
+double fused_hadamard_dot(ThreadPool& pool, const Vector& d, const Vector& r,
+                          Vector& z);
+double fused_hadamard_dot(const Vector& d, const Vector& r, Vector& z);
 
 }  // namespace aeropack::numeric

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
+#include "numeric/cheby.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/registry.hpp"
 
@@ -97,14 +99,18 @@ void CsrMatrix::multiply(ThreadPool& pool, const Vector& x, Vector& y) const {
   static thread_local obs::CounterHandle spmv_calls{"numeric.spmv.calls"};
   spmv_calls.add();
   y.assign(rows_, 0.0);
-  parallel_for(pool, 0, rows_, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      double acc = 0.0;
-      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
-        acc += values_[k] * x[col_idx_[k]];
-      y[i] = acc;
-    }
-  });
+  // Grain estimate by nonzeros, not rows: the per-row work is the row's
+  // nonzero count, and the row partition is what fans out.
+  parallel_for(pool, 0, rows_,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   double acc = 0.0;
+                   for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+                     acc += values_[k] * x[col_idx_[k]];
+                   y[i] = acc;
+                 }
+               },
+               grain::Work::elements(nonzeros(), grain::Cost::kSpmv));
 }
 
 Vector CsrMatrix::diagonal() const {
@@ -220,26 +226,60 @@ IterativeResult cg_impl(ThreadPool& pool, const CsrMatrix& a, const Vector& b,
   } else {
     r = b;  // r = b - A*0
   }
-  Vector z(n);
-  hadamard(pool, inv_d, r, z);
+  // Optional Chebyshev acceleration (opts.chebyshev_degree >= 2): estimate
+  // the Jacobi-operator spectrum once, fall back to plain Jacobi when the
+  // estimate is unusable. Off by default — the Jacobi path below is
+  // bit-identical to the historical unfused kernels, so goldens and counter
+  // expectations hold.
+  ChebyshevJacobi* cheby = nullptr;
+  std::optional<ChebyshevJacobi> cheby_storage;
+  if (opts.chebyshev_degree >= 2) {
+    const SpectralBounds bounds = estimate_jacobi_spectrum(pool, a, inv_d);
+    if (bounds.usable()) {
+      cheby_storage.emplace(a, inv_d, bounds, opts.chebyshev_degree);
+      cheby = &*cheby_storage;
+      static thread_local obs::CounterHandle cg_cheby{"numeric.cg.cheby_solves"};
+      cg_cheby.add();
+    }
+  }
+  // jac = D^-1 r: the Jacobi path uses it as the preconditioned residual z
+  // directly; the Chebyshev path feeds it to the polynomial. The fused CG
+  // update below keeps it current for free.
+  Vector jac(n);
+  Vector z;
+  double rz;
+  if (cheby != nullptr) {
+    hadamard(pool, inv_d, r, jac);
+    cheby->apply(pool, r, jac, z);
+    rz = parallel_dot(pool, r, z);
+  } else {
+    z.resize(n);
+    rz = fused_hadamard_dot(pool, inv_d, r, z);
+  }
   Vector p = z;
   Vector ap(n);
-  double rz = parallel_dot(pool, r, z);
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     a.multiply(pool, p, ap);
     const double pap = parallel_dot(pool, p, ap);
     if (pap <= 0.0) break;  // not SPD (or breakdown)
     const double alpha = rz / pap;
-    parallel_axpy(pool, alpha, p, res.x);
-    parallel_axpy(pool, -alpha, ap, r);
+    // One fused sweep replaces two axpys, a hadamard and two dots: updates
+    // x and r, refreshes D^-1 r, and returns <r,r> and <r, D^-1 r> through
+    // the same fixed-chunk in-order reduction the separate kernels used —
+    // iterates and residuals are bit-identical to the unfused loop.
+    Vector& zj = cheby != nullptr ? jac : z;
+    const CgFused f = cg_fused_update(pool, alpha, p, ap, inv_d, res.x, r, zj);
     res.iterations = it + 1;
-    res.residual = parallel_norm2(pool, r) / bnorm;
+    res.residual = std::sqrt(f.rr) / bnorm;
     if (res.residual < opts.tolerance) {
       res.converged = true;
       return res;
     }
-    hadamard(pool, inv_d, r, z);
-    const double rz_new = parallel_dot(pool, r, z);
+    double rz_new = f.rz;
+    if (cheby != nullptr) {
+      cheby->apply(pool, r, jac, z);
+      rz_new = parallel_dot(pool, r, z);
+    }
     const double beta = rz_new / rz;
     rz = rz_new;
     parallel_for(pool, 0, n, [&](std::size_t lo, std::size_t hi) {

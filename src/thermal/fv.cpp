@@ -354,19 +354,24 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
   std::vector<double> gx(nx > 1 ? (nx - 1) * ny * nz : 0, 0.0);
   std::vector<double> gy(ny > 1 ? nx * (ny - 1) * nz : 0, 0.0);
   std::vector<double> gz(nz > 1 ? sxy * (nz - 1) : 0, 0.0);
-  numeric::parallel_for(0, nz, [&](std::size_t klo, std::size_t khi) {
-    for (std::size_t k = klo; k < khi; ++k)
-      for (std::size_t j = 0; j < ny; ++j) {
-        for (std::size_t i = 0; i + 1 < nx; ++i)
-          gx[i + (nx - 1) * (j + ny * k)] = face_conductance_x(i, i + 1, j, k, opts.scheme);
-        if (j + 1 < ny)
-          for (std::size_t i = 0; i < nx; ++i)
-            gy[i + nx * (j + (ny - 1) * k)] = face_conductance_y(j, j + 1, i, k, opts.scheme);
-        if (k + 1 < nz)
-          for (std::size_t i = 0; i < nx; ++i)
-            gz[i + nx * (j + ny * k)] = face_conductance_z(k, k + 1, i, j, opts.scheme);
-      }
-  });
+  // The range is nz but each index fills a full plane of faces: the grain
+  // estimate must count cells, or the dispatcher would serialize real work.
+  numeric::parallel_for(
+      0, nz,
+      [&](std::size_t klo, std::size_t khi) {
+        for (std::size_t k = klo; k < khi; ++k)
+          for (std::size_t j = 0; j < ny; ++j) {
+            for (std::size_t i = 0; i + 1 < nx; ++i)
+              gx[i + (nx - 1) * (j + ny * k)] = face_conductance_x(i, i + 1, j, k, opts.scheme);
+            if (j + 1 < ny)
+              for (std::size_t i = 0; i < nx; ++i)
+                gy[i + nx * (j + (ny - 1) * k)] = face_conductance_y(j, j + 1, i, k, opts.scheme);
+            if (k + 1 < nz)
+              for (std::size_t i = 0; i < nx; ++i)
+                gz[i + nx * (j + ny * k)] = face_conductance_z(k, k + 1, i, j, opts.scheme);
+          }
+      },
+      numeric::grain::Work::elements(n, numeric::grain::Cost::kCell));
 
   AssemblyCache cache;
   if (inv_dt > 0.0) {
@@ -396,7 +401,9 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
   std::vector<std::size_t> col_idx(nnz);
   cache.base_values.assign(nnz, 0.0);
   cache.diag_index.assign(n, 0);
-  numeric::parallel_for(0, nz, [&](std::size_t klo, std::size_t khi) {
+  numeric::parallel_for(
+      0, nz,
+      [&](std::size_t klo, std::size_t khi) {
     for (std::size_t k = klo; k < khi; ++k)
       for (std::size_t j = 0; j < ny; ++j)
         for (std::size_t i = 0; i < nx; ++i) {
@@ -421,7 +428,8 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
           cache.base_values[dpos] = diag;
           cache.diag_index[c] = dpos;
         }
-  });
+      },
+      numeric::grain::Work::elements(n, numeric::grain::Cost::kCell));
 
   // Static right-hand side: volumetric sources + prescribed boundary fluxes.
   cache.base_rhs = source_;
@@ -563,9 +571,21 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
   return sol;
 }
 
+namespace {
+
+// Context-pinned solves inherit the context's Chebyshev degree unless the
+// caller set one explicitly on the linear options.
+FvOptions with_context_tuning(const ExecutionContext& ctx, FvOptions opts) {
+  if (opts.linear.chebyshev_degree == 0)
+    opts.linear.chebyshev_degree = ctx.config().cg_chebyshev_degree;
+  return opts;
+}
+
+}  // namespace
+
 FvSolution FvModel::solve_steady(ExecutionContext& ctx, const FvOptions& opts) const {
   const ExecutionContext::Use use(ctx);
-  return solve_steady(opts);
+  return solve_steady(with_context_tuning(ctx, opts));
 }
 
 FvTransientSolution FvModel::solve_transient(double t_end, double dt, double t_initial,
@@ -576,14 +596,14 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt, double t_i
 FvTransientSolution FvModel::solve_transient(ExecutionContext& ctx, double t_end, double dt,
                                              double t_initial, const FvOptions& opts) const {
   const ExecutionContext::Use use(ctx);
-  return solve_transient(t_end, dt, t_initial, opts);
+  return solve_transient(t_end, dt, t_initial, with_context_tuning(ctx, opts));
 }
 
 FvTransientSolution FvModel::solve_transient(ExecutionContext& ctx, double t_end, double dt,
                                              const Vector& initial_temperatures,
                                              const FvOptions& opts) const {
   const ExecutionContext::Use use(ctx);
-  return solve_transient(t_end, dt, initial_temperatures, opts);
+  return solve_transient(t_end, dt, initial_temperatures, with_context_tuning(ctx, opts));
 }
 
 FvTransientSolution FvModel::solve_transient(double t_end, double dt,

@@ -1,0 +1,163 @@
+// Chebyshev-accelerated Jacobi preconditioning: spectral bound estimation
+// must cover the Jacobi-preconditioned spectrum, the accelerated CG must cut
+// iterations without moving the answer, and the whole path must stay
+// bit-identical across thread counts (it is built from the same
+// deterministic kernels as everything else).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "numeric/cheby.hpp"
+#include "numeric/grain.hpp"
+#include "numeric/parallel.hpp"
+#include "numeric/sparse.hpp"
+
+namespace an = aeropack::numeric;
+
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(an::thread_count()) {}
+  ~ThreadCountGuard() { an::set_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+/// 3-D 7-point Poisson matrix on an n^3 grid (SPD), via the builder.
+an::CsrMatrix poisson3d(std::size_t n) {
+  const std::size_t total = n * n * n;
+  an::SparseBuilder b(total, total);
+  const auto idx = [n](std::size_t i, std::size_t j, std::size_t k) {
+    return i + n * (j + n * k);
+  };
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = idx(i, j, k);
+        b.add(c, c, 6.0 + 1.0);
+        if (i > 0) b.add(c, idx(i - 1, j, k), -1.0);
+        if (i + 1 < n) b.add(c, idx(i + 1, j, k), -1.0);
+        if (j > 0) b.add(c, idx(i, j - 1, k), -1.0);
+        if (j + 1 < n) b.add(c, idx(i, j + 1, k), -1.0);
+        if (k > 0) b.add(c, idx(i, j, k - 1), -1.0);
+        if (k + 1 < n) b.add(c, idx(i, j, k + 1), -1.0);
+      }
+  return b.build();
+}
+
+an::Vector inverse_diagonal(const an::CsrMatrix& a) {
+  an::Vector inv_d(a.rows(), 1.0);
+  const auto& row_ptr = a.row_ptr();
+  const auto& cols = a.col_idx();
+  const auto& vals = a.values();
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      if (cols[k] == i && vals[k] != 0.0) inv_d[i] = 1.0 / vals[k];
+  return inv_d;
+}
+
+}  // namespace
+
+TEST(ChebyshevSpectrum, BoundsCoverTheJacobiPoissonSpectrum) {
+  const an::CsrMatrix a = poisson3d(8);
+  const an::Vector inv_d = inverse_diagonal(a);
+  an::ThreadPool pool(1);
+  const an::SpectralBounds bounds = an::estimate_jacobi_spectrum(pool, a, inv_d);
+  ASSERT_TRUE(bounds.usable());
+  // D^-1 A for this matrix has spectrum inside (0, 13/7]; the Gershgorin
+  // upper bound is exactly 13/7 and must never be undershot — eigenvalues
+  // above lambda_max are amplified by the polynomial.
+  EXPECT_NEAR(bounds.lambda_max, 13.0 / 7.0, 1e-12);
+  EXPECT_GT(bounds.lambda_min, 0.0);
+  EXPECT_LT(bounds.lambda_min, bounds.lambda_max);
+}
+
+TEST(ChebyshevSpectrum, DeterministicAcrossCalls) {
+  const an::CsrMatrix a = poisson3d(6);
+  const an::Vector inv_d = inverse_diagonal(a);
+  an::ThreadPool pool(1);
+  const an::SpectralBounds b1 = an::estimate_jacobi_spectrum(pool, a, inv_d);
+  const an::SpectralBounds b2 = an::estimate_jacobi_spectrum(pool, a, inv_d);
+  EXPECT_EQ(b1.lambda_min, b2.lambda_min);
+  EXPECT_EQ(b1.lambda_max, b2.lambda_max);
+}
+
+TEST(ChebyshevJacobi, RejectsDegenerateSetups) {
+  const an::CsrMatrix a = poisson3d(4);
+  const an::Vector inv_d = inverse_diagonal(a);
+  an::SpectralBounds bad;  // lambda_min = lambda_max = 0: unusable
+  EXPECT_THROW(an::ChebyshevJacobi(a, inv_d, bad, 3), std::invalid_argument);
+  an::SpectralBounds ok{0.1, 1.9};
+  EXPECT_THROW(an::ChebyshevJacobi(a, inv_d, ok, 0), std::invalid_argument);
+}
+
+TEST(ChebyshevJacobi, DegreeOneIsScaledJacobi) {
+  // With degree 1 the polynomial is z = (1/theta) D^-1 r — a scaled Jacobi
+  // application; verify the closed form element-wise.
+  const an::CsrMatrix a = poisson3d(4);
+  const an::Vector inv_d = inverse_diagonal(a);
+  an::ThreadPool pool(1);
+  const an::SpectralBounds bounds = an::estimate_jacobi_spectrum(pool, a, inv_d);
+  ASSERT_TRUE(bounds.usable());
+  an::ChebyshevJacobi cheby(a, inv_d, bounds, 1);
+  const std::size_t n = a.rows();
+  an::Vector r(n, 2.0), jac(n), z;
+  for (std::size_t i = 0; i < n; ++i) jac[i] = inv_d[i] * r[i];
+  cheby.apply(pool, r, jac, z);
+  const double inv_theta = 2.0 / (bounds.lambda_max + bounds.lambda_min);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(z[i], inv_theta * jac[i]);
+}
+
+TEST(ChebyshevCg, CutsIterationsWithoutMovingTheAnswer) {
+  ThreadCountGuard guard;
+  an::set_thread_count(1);
+  const an::CsrMatrix a = poisson3d(16);
+  const an::Vector b(a.rows(), 1.0);
+  an::IterativeOptions plain;
+  plain.tolerance = 1e-10;
+  const an::IterativeResult jacobi = an::conjugate_gradient(a, b, plain);
+  ASSERT_TRUE(jacobi.converged);
+
+  an::IterativeOptions accel = plain;
+  accel.chebyshev_degree = 3;
+  const an::IterativeResult cheby = an::conjugate_gradient(a, b, accel);
+  ASSERT_TRUE(cheby.converged);
+
+  // The acceptance bar is >= 30% fewer iterations on FV steady solves; the
+  // same polynomial on the raw Poisson operator clears it with margin.
+  EXPECT_LE(cheby.iterations, (jacobi.iterations * 7) / 10)
+      << "cheby " << cheby.iterations << " vs jacobi " << jacobi.iterations;
+
+  // Same linear system, same answer (both converged to 1e-10).
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    max_diff = std::max(max_diff, std::fabs(cheby.x[i] - jacobi.x[i]));
+  EXPECT_LT(max_diff, 1e-7);
+}
+
+TEST(ChebyshevCg, BitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const an::CsrMatrix a = poisson3d(12);
+  const an::Vector b(a.rows(), 1.0);
+  an::IterativeOptions opts;
+  opts.tolerance = 1e-9;
+  opts.chebyshev_degree = 4;
+
+  an::set_thread_count(1);
+  const an::IterativeResult ref = an::conjugate_gradient(a, b, opts);
+  ASSERT_TRUE(ref.converged);
+
+  // Force the pool path so the sweep exercises real cross-thread chunking.
+  an::grain::ScopedForceFanOut force;
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    an::set_thread_count(t);
+    const an::IterativeResult run = an::conjugate_gradient(a, b, opts);
+    ASSERT_TRUE(run.converged);
+    EXPECT_EQ(run.iterations, ref.iterations) << "t=" << t;
+    EXPECT_EQ(run.x, ref.x) << "t=" << t;
+  }
+}

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "numeric/grain.hpp"
 #include "numeric/parallel.hpp"
 #include "numeric/sparse.hpp"
 #include "obs/registry.hpp"
@@ -55,6 +56,9 @@ TEST(ObsThreading, InstrumentedParallelCgWithTelemetryEnabled) {
   TelemetryGuard telemetry;
   ThreadCountGuard threads;
   an::set_thread_count(8);
+  // Force full fan-out: this suite exists to race worker threads against the
+  // registry, so grain must not serialize the kernels on small machines.
+  an::grain::ScopedForceFanOut force;
 
   const an::CsrMatrix a = banded_spd(20000);
   const an::Vector b(a.rows(), 1.0);
@@ -75,6 +79,7 @@ TEST(ObsThreading, WorkerThreadsShareInstrumentsRacelessly) {
   TelemetryGuard telemetry;
   ThreadCountGuard threads;
   an::set_thread_count(8);
+  an::grain::ScopedForceFanOut force;
 
   obs::Counter& events = obs::Registry::instance().counter("test.worker.events");
   obs::Highwater& widest = obs::Registry::instance().highwater("test.worker.widest");
@@ -105,6 +110,7 @@ TEST(ObsThreading, EnableDisableRacesWithWorkerMutations) {
   TelemetryGuard telemetry;
   ThreadCountGuard threads;
   an::set_thread_count(4);
+  an::grain::ScopedForceFanOut force;
   obs::Counter& c = obs::Registry::instance().counter("test.gate.race");
   for (int round = 0; round < 20; ++round) {
     if (round % 2 == 0)

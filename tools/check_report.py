@@ -3,6 +3,7 @@
 
 Usage:
     check_report.py <report.json> <expected.json>
+    check_report.py --speedups <BENCH json> [--floor 0.95]
 
 The report is the flat JSON an aeropack bench writes via `--report out.json`
 (obs::Report::to_json: "counters.*", "gauges.*", "timers.*" keys plus the one
@@ -12,6 +13,13 @@ iterations, SpMV calls, Picard passes, factorizations, subspace sweeps) that
 PR 1-3's invariants make bit-identical across thread counts and machines.
 Timers, gauges and scheduling counters (numeric.parallel_for.*,
 numeric.pool.*) are never gated: they legitimately vary run to run.
+
+--speedups mode gates parallel scaling instead of counters: it reads a
+BENCH_*.json series (the nested grids[].threads[] layout bench_sparse_kernels
+writes) and fails if any grid with n >= 32 reports steady_speedup_vs_1 below
+the floor at 2 threads, or if no qualifying cell exists at all. This is the
+CI tripwire that keeps dispatch-overhead regressions (threads making solves
+slower) from landing silently.
 
 Exit status: 0 if every expected counter matches exactly, 1 on any drift or
 missing key, 2 on usage/parse errors.
@@ -25,6 +33,49 @@ import json
 import sys
 
 
+def check_speedups(bench_path, floor):
+    bench = load(bench_path)
+    grids = bench.get("grids")
+    if not isinstance(grids, list):
+        print(f"check_report: {bench_path} has no grids[] series", file=sys.stderr)
+        return 2
+    failures = []
+    checked = 0
+    for grid in grids:
+        n = grid.get("n", 0)
+        if n < 32:
+            continue
+        for cell in grid.get("threads", []):
+            if cell.get("threads") != 2:
+                continue
+            checked += 1
+            speedup = cell.get("steady_speedup_vs_1", 0.0)
+            if speedup < floor:
+                failures.append(
+                    f"  n={n}^3 threads=2: steady_speedup_vs_1 = {speedup:.3f} < floor {floor}"
+                )
+    if checked == 0:
+        print(
+            f"check_report: {bench_path} has no n>=32 cell at 2 threads — "
+            "nothing to gate (run the bench with --scaling or the full sweep)"
+        )
+        return 1
+    if failures:
+        print(f"check_report: parallel scaling regression in {bench_path}:")
+        print("\n".join(failures))
+        print(
+            "\nThreads are making the steady solve slower. Check the grain "
+            "thresholds (src/numeric/grain.hpp) and the dispatch_overhead_ns "
+            "section of the bench output before touching the floor."
+        )
+        return 1
+    print(
+        f"check_report: {bench_path} scaling ok "
+        f"({checked} cell(s) at 2 threads, floor {floor})"
+    )
+    return 0
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -35,6 +86,22 @@ def load(path):
 
 
 def main(argv):
+    if "--speedups" in argv:
+        args = [a for a in argv[1:] if a != "--speedups"]
+        floor = 0.95
+        if "--floor" in args:
+            i = args.index("--floor")
+            try:
+                floor = float(args[i + 1])
+            except (IndexError, ValueError):
+                print("check_report: --floor needs a number", file=sys.stderr)
+                return 2
+            del args[i : i + 2]
+        if len(args) != 1:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return check_speedups(args[0], floor)
+
     update = "--update" in argv
     args = [a for a in argv if a != "--update"]
     if len(args) != 3:
