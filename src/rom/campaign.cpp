@@ -1,0 +1,56 @@
+#include "rom/campaign.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace aeropack::rom {
+
+void add_campaign(core::ScenarioRunner& runner, const thermal::FvModel& model,
+                  const RomSpec& spec, const RomModel& rom,
+                  const std::vector<CampaignCase>& cases, const thermal::FvOptions& fv) {
+  if (rom.port_count() != spec.ports.size() || rom.map_count() != spec.maps.size())
+    throw std::invalid_argument("add_campaign: rom does not match the spec layout");
+  // Shared read-only state: ScenarioFn is copied into worker threads, so the
+  // captured model/spec/rom live behind shared_ptr and are only read.
+  auto shared_rom = std::make_shared<const RomModel>(rom);
+  auto shared_spec = std::make_shared<const RomSpec>(spec);
+
+  for (const CampaignCase& c : cases) {
+    check_inputs(spec, c.inputs);
+    if (c.fidelity == Fidelity::Compact) {
+      runner.add(c.name, [shared_rom, inputs = c.inputs](ExecutionContext&) {
+        const RomSteadyResult r = shared_rom->steady(inputs);
+        std::map<std::string, double> out;
+        for (std::size_t p = 0; p < shared_rom->port_count(); ++p) {
+          out["T." + shared_rom->port_name(p)] = r.port_temperatures[p];
+          out["Q." + shared_rom->port_name(p)] = r.port_heat_flows[p];
+        }
+        out["full_order"] = 0.0;
+        return out;
+      });
+    } else {
+      // Configure the full-order copy once, at queue time; the scenario only
+      // solves it (on its own context) and extracts port outputs.
+      auto configured = std::make_shared<thermal::FvModel>(model);
+      apply_inputs(*configured, spec, c.inputs);
+      runner.add(c.name, [configured, shared_spec, shared_rom, inputs = c.inputs,
+                          fv](ExecutionContext& ctx) {
+        const thermal::FvSolution sol = configured->solve_steady(ctx, fv);
+        const numeric::Vector temps =
+            port_surface_temperatures(*configured, *shared_spec, sol.temperatures);
+        const numeric::Vector flows =
+            port_heat_flows(*configured, *shared_spec, inputs, sol.temperatures, fv);
+        std::map<std::string, double> out;
+        for (std::size_t p = 0; p < shared_rom->port_count(); ++p) {
+          out["T." + shared_rom->port_name(p)] = temps[p];
+          out["Q." + shared_rom->port_name(p)] = flows[p];
+        }
+        out["full_order"] = 1.0;
+        return out;
+      });
+    }
+  }
+}
+
+}  // namespace aeropack::rom

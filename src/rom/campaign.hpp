@@ -1,0 +1,44 @@
+// Scenario-campaign bridge: evaluate one port/power layout over many input
+// vectors through core::ScenarioRunner, choosing compact-model or full-order
+// fidelity per scenario.
+//
+// This is ROADMAP item 1's "millions of scenario queries" shape: a campaign
+// sweeps sink temperatures and dissipation levels; most scenarios run the
+// microsecond RomModel evaluation, while spot-check scenarios re-run the
+// same inputs through the full FvModel steady solve. Both fidelities report
+// the same keys ("T.<port>" / "Q.<port>"), so downstream consumers compare
+// them directly, and each scenario's isolated counter profile shows which
+// path it took (rom.steady_evals vs. fv.steady_solves).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario_runner.hpp"
+#include "rom/rom.hpp"
+
+namespace aeropack::rom {
+
+enum class Fidelity {
+  Compact,    ///< evaluate the RomModel (microseconds)
+  FullOrder,  ///< configure + solve the full FvModel (reference)
+};
+
+struct CampaignCase {
+  std::string name;
+  RomInputs inputs;
+  Fidelity fidelity = Fidelity::Compact;
+};
+
+/// Queue one scenario per case onto `runner`. Compact cases share `rom`
+/// (const evaluation, thread-safe); full-order cases own a copy of `model`
+/// configured via apply_inputs at queue time and solve it on the scenario's
+/// ExecutionContext. Every scenario returns "T.<port>" [K] and "Q.<port>"
+/// [W, into the body] for each port, plus "full_order" (0/1).
+/// Throws std::invalid_argument if any case's inputs do not match the spec.
+void add_campaign(core::ScenarioRunner& runner, const thermal::FvModel& model,
+                  const RomSpec& spec, const RomModel& rom,
+                  const std::vector<CampaignCase>& cases,
+                  const thermal::FvOptions& fv = {});
+
+}  // namespace aeropack::rom

@@ -1,0 +1,68 @@
+#include "rom/canonical.hpp"
+
+#include "materials/solid.hpp"
+
+namespace aeropack::rom {
+
+using thermal::CellRange;
+using thermal::Face;
+using thermal::FvGrid;
+using thermal::FvModel;
+
+CanonicalCase fig2_board() {
+  const std::size_t nx = 16, ny = 10, nz = 2;
+  FvModel model(FvGrid::uniform(0.16, 0.10, 1.6e-3, nx, ny, nz));
+  materials::PcbStackup stack;
+  model.set_material(stack.as_material());
+
+  RomSpec spec;
+  // Wedge-lock rails along the two short edges; effective clamp film.
+  spec.ports.push_back({"rail_left", Face::XMin, CellRange{0, 0, 0, ny, 0, nz}, 400.0});
+  spec.ports.push_back({"rail_right", Face::XMax, CellRange{0, 0, 0, ny, 0, nz}, 400.0});
+  // Component side washed by cabin air.
+  spec.ports.push_back({"top_air", Face::ZMax, CellRange{0, nx, 0, ny, 0, 0}, 15.0});
+
+  RomPowerMap cpu;
+  cpu.name = "cpu";
+  cpu.regions.push_back({CellRange{6, 9, 4, 7, nz - 1, nz}, 1.0});
+  spec.maps.push_back(cpu);
+
+  RomPowerMap psu;
+  psu.name = "psu";
+  psu.regions.push_back({CellRange{12, 15, 2, 5, nz - 1, nz}, 1.0});
+  spec.maps.push_back(psu);
+
+  return {std::move(model), std::move(spec)};
+}
+
+CanonicalCase seb_box() {
+  const std::size_t nx = 15, ny = 12, nz = 4;
+  FvModel model(FvGrid::uniform(0.30, 0.25, 0.036, nx, ny, nz));
+  // Chassis floor (k = 0) in aluminum, the card volume above in FR4.
+  model.set_material(materials::fr4());
+  model.set_material(CellRange{0, nx, 0, ny, 0, 1}, materials::aluminum_6061());
+  // Bond line between the floor and the card stack.
+  model.add_interface_z(0, 2.0e-4);
+
+  RomSpec spec;
+  // Seat-rod attachment saddles: patches on the two long sides of the floor.
+  spec.ports.push_back({"seat_rail_a", Face::YMin, CellRange{3, 12, 0, 0, 0, 1}, 250.0});
+  spec.ports.push_back({"seat_rail_b", Face::YMax, CellRange{3, 12, 0, 0, 0, 1}, 250.0});
+  // Box skin to cabin air (natural convection, linearized film).
+  spec.ports.push_back({"skin", Face::ZMax, CellRange{0, nx, 0, ny, 0, 0}, 6.0});
+
+  RomPowerMap pcb;
+  pcb.name = "pcb_components";
+  pcb.regions.push_back({CellRange{2, 6, 3, 9, 2, 3}, 2.0});
+  pcb.regions.push_back({CellRange{9, 13, 3, 9, 2, 3}, 1.0});
+  spec.maps.push_back(pcb);
+
+  RomPowerMap psu;
+  psu.name = "psu";
+  psu.regions.push_back({CellRange{6, 9, 8, 11, 1, 2}, 1.0});
+  spec.maps.push_back(psu);
+
+  return {std::move(model), std::move(spec)};
+}
+
+}  // namespace aeropack::rom

@@ -1,0 +1,39 @@
+// Canonical reduction targets shared by the golden suite, the verification
+// ladder and bench_rom.
+//
+// Two fixed models anchor the rom tier the way the slab/fin/card trio
+// anchors the cross-solver checks:
+//  - fig2_board: the paper's Fig. 2 electronic board unit — a conduction-
+//    cooled PCB clamped into two wedge-lock rails, its top face washed by
+//    cabin air, with CPU and PSU dissipation zones. Three ports, two maps.
+//  - seb_box: a conduction model of the Fig. 10 seat electronic box — an
+//    aluminum chassis floor under an FR4 card stack (TIM plane between),
+//    heat leaving through two seat-rod attachment patches and the box skin.
+//    Three ports, two maps.
+//
+// Geometry, materials, grids and specs are fixed constants: the golden files
+// in tests/rom/golden/ freeze the reduced models of exactly these functions.
+#pragma once
+
+#include "rom/rom.hpp"
+
+namespace aeropack::rom {
+
+/// A model plus the port/power-map layout to reduce it with.
+struct CanonicalCase {
+  thermal::FvModel model;
+  RomSpec spec;
+};
+
+/// Fig. 2 board: 160 x 100 x 1.6 mm 4-layer PCB, 16 x 10 x 2 cells.
+/// Ports: rail_left (XMin, h=400), rail_right (XMax, h=400),
+/// top_air (ZMax, h=15). Maps: cpu (center), psu (right edge).
+CanonicalCase fig2_board();
+
+/// SEB conduction box: 300 x 250 x 36 mm, 15 x 12 x 4 cells; aluminum floor
+/// layer, FR4 card volume above, TIM interface between (k-plane 0).
+/// Ports: seat_rail_a (YMin patch, h=250), seat_rail_b (YMax patch, h=250),
+/// skin (ZMax, h=6). Maps: pcb_components (two zones), psu (one zone).
+CanonicalCase seb_box();
+
+}  // namespace aeropack::rom

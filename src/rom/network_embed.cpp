@@ -1,0 +1,39 @@
+#include "rom/network_embed.hpp"
+
+#include <stdexcept>
+
+namespace aeropack::rom {
+
+NetworkEmbedding embed_rom(thermal::ThermalNetwork& net, const RomModel& rom,
+                           const std::string& prefix, const numeric::Vector& map_powers,
+                           double min_conductance) {
+  if (map_powers.size() != rom.map_count())
+    throw std::invalid_argument("embed_rom: expected " + std::to_string(rom.map_count()) +
+                                " map powers, got " + std::to_string(map_powers.size()));
+
+  NetworkEmbedding out;
+  out.port_conductance = rom.port_conductance_matrix();
+  const numeric::Matrix split = rom.port_power_split();
+  const std::size_t p_count = rom.port_count();
+
+  out.port_nodes.reserve(p_count);
+  for (std::size_t p = 0; p < p_count; ++p)
+    out.port_nodes.push_back(net.add_node(prefix + "." + rom.port_name(p)));
+
+  for (std::size_t p = 0; p < p_count; ++p)
+    for (std::size_t q = p + 1; q < p_count; ++q) {
+      const double g = -out.port_conductance(p, q);
+      if (g > min_conductance) net.add_conductor(out.port_nodes[p], out.port_nodes[q], g);
+    }
+
+  out.port_loads.assign(p_count, 0.0);
+  for (std::size_t p = 0; p < p_count; ++p) {
+    double load = 0.0;
+    for (std::size_t m = 0; m < rom.map_count(); ++m) load += split(p, m) * map_powers[m];
+    out.port_loads[p] = load;
+    if (load != 0.0) net.add_heat_load(out.port_nodes[p], load);
+  }
+  return out;
+}
+
+}  // namespace aeropack::rom

@@ -1,0 +1,42 @@
+// Equipment-level embedding: drop a component-level RomModel into a lumped
+// ThermalNetwork as a handful of nodes and conductors.
+//
+// The paper's Fig. 4 equipment level reasons about boxes and boards through
+// resistive networks; a DELPHI-style compact model is exactly a multi-port
+// resistive equivalent. At steady state the ROM's port behavior is
+//   Q_p = sum_q K(p,q) T_q - sum_m W(p,m) P_m
+// with K the symmetric zero-row-sum port conductance matrix and W the power
+// split. That is reproduced exactly by: one network node per port, a linear
+// conductor -K(p,q) between every port pair, and a heat load
+// sum_m W(p,m) P_m injected at each port node. The caller then couples the
+// port nodes to the surrounding equipment network (rails, chassis, air
+// nodes) — the compact model itself stays boundary-condition independent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rom/rom.hpp"
+#include "thermal/network.hpp"
+
+namespace aeropack::rom {
+
+struct NetworkEmbedding {
+  /// One diffusion node per port, in port order, named "prefix.port_name".
+  std::vector<thermal::NodeId> port_nodes;
+  /// The port conductance matrix the conductors were built from [W/K].
+  numeric::Matrix port_conductance;
+  /// Heat load injected at each port node [W] (the power-split image of
+  /// `map_powers`).
+  numeric::Vector port_loads;
+};
+
+/// Add the ROM's steady port equivalent to `net`. `map_powers` holds one
+/// total power [W] per ROM power map (throws std::invalid_argument on size
+/// mismatch). Port-pair conductances below `min_conductance` [W/K] are
+/// dropped (roundoff-negative couplings never enter the network).
+NetworkEmbedding embed_rom(thermal::ThermalNetwork& net, const RomModel& rom,
+                           const std::string& prefix, const numeric::Vector& map_powers,
+                           double min_conductance = 1e-12);
+
+}  // namespace aeropack::rom

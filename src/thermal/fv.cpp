@@ -211,6 +211,11 @@ void FvModel::set_boundary_patch(Face f, const CellRange& r, const BoundaryCondi
   }
 }
 
+void FvModel::clear_boundary_overrides() {
+  for (auto& patches : patch_bc_)
+    std::fill(patches.begin(), patches.end(), std::nullopt);
+}
+
 const BoundaryCondition& FvModel::boundary_for(Face f, std::size_t a, std::size_t b) const {
   const auto& patches = patch_bc_[static_cast<std::size_t>(f)];
   std::size_t idx = 0;
@@ -472,6 +477,42 @@ void FvModel::update_boundary_terms(AssemblyCache& cache, const Vector& temps,
     values[cache.diag_index[c]] += g;
     rhs[c] += g * bc.temperature;
   });
+}
+
+LinearSteadySystem FvModel::linearize_steady(const FvOptions& opts) const {
+  bool nonlinear = false;
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    if (bc.kind == BoundaryKind::ConvectionRadiation ||
+        bc.kind == BoundaryKind::NaturalConvection)
+      nonlinear = true;
+  });
+  if (nonlinear)
+    throw std::invalid_argument(
+        "FvModel::linearize_steady: model has temperature-dependent boundary "
+        "conditions (ConvectionRadiation / NaturalConvection); only linear "
+        "boundaries admit a single constant operator");
+
+  AssemblyCache cache = build_assembly_cache(opts, 0.0);
+  LinearSteadySystem sys;
+  // All boundary conductances are temperature-independent here, so the
+  // iterate passed to the boundary rewrite is arbitrary.
+  const Vector temps(grid_.cell_count(), 0.0);
+  update_boundary_terms(cache, temps, nullptr, sys.rhs);
+  sys.matrix = std::move(cache.matrix);
+  return sys;
+}
+
+numeric::Vector FvModel::cell_capacities() const {
+  const std::size_t nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  Vector cap(grid_.cell_count(), 0.0);
+  for (std::size_t k = 0; k < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t c = grid_.index(i, j, k);
+        cap[c] = rho_cp_[c] * grid_.cell_volume(i, j, k);
+      }
+  return cap;
 }
 
 double FvModel::energy_residual(const Vector& temps, const FvOptions& opts) const {

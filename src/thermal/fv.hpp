@@ -130,6 +130,17 @@ struct FvTransientSolution {
   std::size_t structure_assemblies = 0;    ///< symbolic assemblies (1 with caching)
 };
 
+/// The assembled steady linear system A T = b of a model whose boundary
+/// conditions are all temperature-independent (Adiabatic, FixedTemperature,
+/// fixed-h Convection, HeatFlux). This is the operator the compact-model
+/// reduction pipeline (aeropack::rom) projects onto its snapshot basis: the
+/// matrix is SPD with the 7-point CSR structure, and the right-hand side is
+/// affine in the boundary sink temperatures and source powers.
+struct LinearSteadySystem {
+  numeric::CsrMatrix matrix;  ///< SPD conduction + boundary-film operator
+  numeric::Vector rhs;        ///< sources + flux terms + film * sink terms [W]
+};
+
 class FvModel {
  public:
   explicit FvModel(FvGrid grid);
@@ -163,6 +174,10 @@ class FvModel {
   /// Override the condition on a rectangular patch of a face. The patch is
   /// specified by the in-plane index range of the face's cells.
   void set_boundary_patch(Face f, const CellRange& r, const BoundaryCondition& bc);
+  /// Drop every patch override, restoring the per-face default everywhere.
+  /// The compact-model builder (aeropack::rom) uses this to rebase a copied
+  /// model onto its own port layout.
+  void clear_boundary_overrides();
 
   FvSolution solve_steady(const FvOptions& opts = {}) const;
   /// Same solve, pinned to an ExecutionContext: kernels run on the context's
@@ -188,6 +203,19 @@ class FvModel {
   FvTransientSolution solve_transient(ExecutionContext& ctx, double t_end, double dt,
                                       const numeric::Vector& initial_temperatures,
                                       const FvOptions& opts = {}) const;
+
+  /// Assemble the steady system A T = b once and hand it out. Only valid for
+  /// models whose boundary conditions are all temperature-independent; throws
+  /// std::invalid_argument when any boundary face is ConvectionRadiation or
+  /// NaturalConvection (those linearize per Picard pass and have no single
+  /// constant operator). Used by aeropack::rom for snapshot generation and
+  /// Galerkin projection, and by the verification ladder for energy-norm
+  /// error measurements.
+  LinearSteadySystem linearize_steady(const FvOptions& opts = {}) const;
+
+  /// Lumped thermal capacity rho*cp*V [J/K] of every cell, in cell index
+  /// order — the diagonal capacitance operator of the transient problem.
+  numeric::Vector cell_capacities() const;
 
   /// Highest cell temperature within a sub-box of a solution.
   double region_max(const numeric::Vector& temps, const CellRange& r) const;

@@ -1,0 +1,64 @@
+#include "verify/rom_check.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/parallel.hpp"
+#include "numeric/sparse.hpp"
+
+namespace aeropack::verify {
+
+using numeric::Vector;
+
+RomLadderResult rom_equivalence_ladder(const thermal::FvModel& model, const rom::RomSpec& spec,
+                                       const rom::RomInputs& inputs,
+                                       const rom::RomOptions& opts) {
+  // Full-order reference: the configured model solved tight, plus its
+  // operator for the energy-norm error metric.
+  thermal::FvModel reference = model;
+  rom::apply_inputs(reference, spec, inputs);
+  thermal::FvOptions fv = opts.fv;
+  fv.linear.tolerance = opts.snapshot_tolerance;
+  const thermal::FvSolution sol = reference.solve_steady(fv);
+  if (!sol.converged)
+    throw std::runtime_error("rom_equivalence_ladder: reference FV solve did not converge");
+  const thermal::LinearSteadySystem sys = reference.linearize_steady(fv);
+
+  const Vector fv_ports = rom::port_surface_temperatures(reference, spec, sol.temperatures);
+  const double fv_norm = numeric::parallel_norm2(sol.temperatures);
+  Vector a_t = sys.matrix.multiply(sol.temperatures);
+  const double fv_energy = std::sqrt(numeric::parallel_dot(sol.temperatures, a_t));
+
+  const rom::RomModel full = rom::build_rom(model, spec, opts);
+
+  RomLadderResult out;
+  out.fv_energy_residual = sol.energy_residual;
+  for (std::size_t r = 1; r <= full.usable_rank(); ++r) {
+    const rom::RomModel truncated = full.at_rank(r);
+    const rom::RomSteadyResult steady = truncated.steady(inputs);
+    const Vector field = truncated.reconstruct(steady.reduced_coordinates);
+
+    Vector err = field;
+    numeric::parallel_axpy(-1.0, sol.temperatures, err);
+    const Vector a_e = sys.matrix.multiply(err);
+
+    RomLadderRung rung;
+    rung.rank = r;
+    rung.field_error = numeric::parallel_norm2(err) / fv_norm;
+    rung.energy_error = std::sqrt(numeric::parallel_dot(err, a_e)) / fv_energy;
+    for (std::size_t p = 0; p < fv_ports.size(); ++p)
+      rung.port_temp_error =
+          std::max(rung.port_temp_error, std::abs(steady.port_temperatures[p] - fv_ports[p]));
+    rung.estimate = truncated.error_estimate();
+    out.rungs.push_back(rung);
+  }
+
+  out.monotone = true;
+  for (std::size_t i = 1; i < out.rungs.size(); ++i)
+    if (out.rungs[i].energy_error > out.rungs[i - 1].energy_error * (1.0 + 1e-9))
+      out.monotone = false;
+  if (!out.rungs.empty()) out.full_rank_field_error = out.rungs.back().field_error;
+  return out;
+}
+
+}  // namespace aeropack::verify

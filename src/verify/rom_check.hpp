@@ -1,0 +1,51 @@
+// ROM-vs-full-FV equivalence ladder: the compact-model counterpart of the
+// MMS convergence ladders. One model, one spec, one input vector; the full
+// FvModel steady solve is the reference, and the ladder evaluates the
+// reduced model at every rank from 1 to the usable basis rank.
+//
+// The Galerkin projection is optimal in the operator's energy norm over the
+// POD subspace, and the POD basis is nested — so the energy-norm error MUST
+// be non-increasing as the rank grows. That is the monotone-decay contract
+// the rom verify tier gates, with the per-rank errors golden-frozen on the
+// canonical Fig. 2 board and SEB box models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rom/rom.hpp"
+
+namespace aeropack::verify {
+
+struct RomLadderRung {
+  std::size_t rank = 0;
+  /// Relative L2 error of the reconstructed steady field vs. the FV field.
+  double field_error = 0.0;
+  /// Relative energy-norm (A-norm) error of the steady field — the metric
+  /// Galerkin optimality makes monotone over nested bases.
+  double energy_error = 0.0;
+  /// Max absolute port-temperature error [K].
+  double port_temp_error = 0.0;
+  /// The ROM's own a-priori estimate (POD tail energy) at this rank.
+  double estimate = 0.0;
+};
+
+struct RomLadderResult {
+  std::vector<RomLadderRung> rungs;  ///< ranks ascending, 1..usable_rank
+  /// True when energy_error is non-increasing across the whole ladder
+  /// (within a 1 + 1e-9 roundoff factor).
+  bool monotone = false;
+  /// field_error of the highest rung (the full usable basis).
+  double full_rank_field_error = 0.0;
+  /// Reference FV solution energy residual [W] (solver health check).
+  double fv_energy_residual = 0.0;
+};
+
+/// Run the ladder. The reference solve and every reduced evaluation use the
+/// deterministic kernels, so the result is bit-identical across thread
+/// counts. Throws what build_rom / apply_inputs throw on bad specs.
+RomLadderResult rom_equivalence_ladder(const thermal::FvModel& model, const rom::RomSpec& spec,
+                                       const rom::RomInputs& inputs,
+                                       const rom::RomOptions& opts = {});
+
+}  // namespace aeropack::verify

@@ -1,0 +1,96 @@
+// Scenario-campaign fidelity swap: the same input vectors evaluated through
+// the compact model and through the full FV solve inside ScenarioRunner
+// must agree on port temperatures, and each scenario's isolated counter
+// profile must show which fidelity it ran (rom.steady_evals vs.
+// fv.steady_solves) — ROM evaluation swapped in per scenario, not per
+// process.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "core/scenario_runner.hpp"
+#include "rom/campaign.hpp"
+#include "rom/canonical.hpp"
+
+namespace ar = aeropack::rom;
+namespace ac = aeropack::core;
+
+namespace {
+
+ar::RomInputs sweep_point(double rail_k, double power_w) {
+  ar::RomInputs in;
+  in.sink_temperatures = {rail_k, rail_k + 5.0, 303.15};
+  in.map_powers = {power_w, 0.6 * power_w};
+  return in;
+}
+
+}  // namespace
+
+TEST(RomCampaign, FidelitySwapAgreesAndCountsBothPaths) {
+  const ar::CanonicalCase c = ar::fig2_board();
+  const ar::RomModel rom = ar::build_rom(c.model, c.spec);
+
+  std::vector<ar::CampaignCase> cases;
+  cases.push_back({"p10.compact", sweep_point(313.15, 10.0), ar::Fidelity::Compact});
+  cases.push_back({"p10.full", sweep_point(313.15, 10.0), ar::Fidelity::FullOrder});
+  cases.push_back({"p25.compact", sweep_point(318.15, 25.0), ar::Fidelity::Compact});
+  cases.push_back({"p25.full", sweep_point(318.15, 25.0), ar::Fidelity::FullOrder});
+
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 2;
+  opts.threads_per_scenario = 1;
+  opts.telemetry = true;
+  ac::ScenarioRunner runner(opts);
+  ar::add_campaign(runner, c.model, c.spec, rom, cases);
+
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), cases.size());
+  for (const auto& r : results) ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+
+  // Compact and full-order runs of the same point agree at ROM accuracy.
+  for (std::size_t pair = 0; pair < 2; ++pair) {
+    const auto& compact = results[2 * pair];
+    const auto& full = results[2 * pair + 1];
+    EXPECT_EQ(compact.values.at("full_order"), 0.0);
+    EXPECT_EQ(full.values.at("full_order"), 1.0);
+    for (const auto& [key, value] : full.values) {
+      if (key.rfind("T.", 0) != 0) continue;
+      EXPECT_NEAR(compact.values.at(key), value, 0.05) << compact.name << " " << key;
+    }
+    // Heat flows agree to a fraction of the dissipated power.
+    for (const auto& [key, value] : full.values) {
+      if (key.rfind("Q.", 0) != 0) continue;
+      EXPECT_NEAR(compact.values.at(key), value, 0.2) << compact.name << " " << key;
+    }
+  }
+
+  // Isolated per-scenario counters prove which path each scenario took.
+  for (const auto& r : results) {
+    const bool full = r.values.at("full_order") == 1.0;
+    const auto rom_evals = r.counters.find("rom.steady_evals");
+    const auto fv_solves = r.counters.find("fv.steady_solves");
+    if (full) {
+      ASSERT_NE(fv_solves, r.counters.end()) << r.name;
+      EXPECT_GE(fv_solves->second, 1u) << r.name;
+      EXPECT_TRUE(rom_evals == r.counters.end() || rom_evals->second == 0u) << r.name;
+    } else {
+      ASSERT_NE(rom_evals, r.counters.end()) << r.name;
+      EXPECT_EQ(rom_evals->second, 1u) << r.name;
+      EXPECT_TRUE(fv_solves == r.counters.end() || fv_solves->second == 0u) << r.name;
+    }
+  }
+}
+
+TEST(RomCampaign, RejectsMismatchedInputsAtQueueTime) {
+  const ar::CanonicalCase c = ar::fig2_board();
+  const ar::RomModel rom = ar::build_rom(c.model, c.spec);
+  ac::ScenarioRunner runner;
+  ar::RomInputs bad;
+  bad.sink_temperatures = {300.0};  // 1 of 3
+  bad.map_powers = {1.0, 1.0};
+  EXPECT_THROW(
+      ar::add_campaign(runner, c.model, c.spec, rom, {{"bad", bad, ar::Fidelity::Compact}}),
+      std::invalid_argument);
+  EXPECT_EQ(runner.scenario_count(), 0u);
+}

@@ -1,0 +1,79 @@
+// Golden compact models: the Fig. 2 board and SEB box reductions frozen as
+// JSON baselines under tests/rom/golden/ — basis rank, POD modal energies,
+// port-to-port resistances, power splits and steady port responses. Any
+// change to snapshot policy, POD ordering or projection that moves these
+// numbers fails here with a diff and the regeneration command
+// (AEROPACK_UPDATE_GOLDEN=1 ctest -L rom).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "rom/canonical.hpp"
+#include "rom/rom.hpp"
+#include "verify/golden.hpp"
+
+namespace ar = aeropack::rom;
+namespace an = aeropack::numeric;
+namespace av = aeropack::verify;
+
+namespace {
+
+const char* golden_dir() { return AEROPACK_ROM_GOLDEN_DIR; }
+
+void expect_golden(const av::GoldenRecorder& rec) {
+  std::string joined;
+  for (const auto& line : rec.finish(1e-7)) joined += "\n  " + line;
+  EXPECT_TRUE(joined.empty()) << rec.path() << ":" << joined;
+}
+
+void record_compact_model(av::GoldenRecorder& rec, const ar::CanonicalCase& c,
+                          const ar::RomInputs& inputs) {
+  const ar::RomModel rom = ar::build_rom(c.model, c.spec);
+  rec.record("usable_rank", static_cast<double>(rom.usable_rank()));
+  rec.record("snapshots", static_cast<double>(rom.build_info().snapshot_count));
+
+  // Leading POD energies: the spectral fingerprint of the snapshot set.
+  const std::size_t n_modes = std::min<std::size_t>(4, rom.usable_rank());
+  for (std::size_t k = 0; k < n_modes; ++k)
+    rec.record("pod_energy." + std::to_string(k), rom.pod_energies()[k]);
+
+  // Port-to-port resistances [K/W] — the DELPHI-style compact network.
+  const an::Matrix kmat = rom.port_conductance_matrix();
+  for (std::size_t p = 0; p < rom.port_count(); ++p)
+    for (std::size_t q = p + 1; q < rom.port_count(); ++q)
+      rec.record("R." + rom.port_name(p) + "." + rom.port_name(q), -1.0 / kmat(p, q));
+
+  // Power splits: fraction of each map's dissipation exiting each port.
+  const an::Matrix w = rom.port_power_split();
+  for (std::size_t m = 0; m < rom.map_count(); ++m)
+    for (std::size_t p = 0; p < rom.port_count(); ++p)
+      rec.record("split." + rom.map_name(m) + "." + rom.port_name(p), w(p, m));
+
+  // Steady port response at the canonical operating point.
+  const ar::RomSteadyResult steady = rom.steady(inputs);
+  for (std::size_t p = 0; p < rom.port_count(); ++p) {
+    rec.record("T." + rom.port_name(p), steady.port_temperatures[p]);
+    rec.record("Q." + rom.port_name(p), steady.port_heat_flows[p]);
+  }
+}
+
+}  // namespace
+
+TEST(RomGolden, Fig2BoardCompactModel) {
+  av::GoldenRecorder rec("rom_fig2_board", golden_dir(), "rom");
+  ar::RomInputs inputs;
+  inputs.sink_temperatures = {313.15, 318.15, 303.15};  // rails hot, air cooler
+  inputs.map_powers = {12.0, 8.0};                      // cpu, psu [W]
+  record_compact_model(rec, ar::fig2_board(), inputs);
+  expect_golden(rec);
+}
+
+TEST(RomGolden, SebBoxCompactModel) {
+  av::GoldenRecorder rec("rom_seb_box", golden_dir(), "rom");
+  ar::RomInputs inputs;
+  inputs.sink_temperatures = {308.15, 308.15, 298.15};  // seat rods, cabin air
+  inputs.map_powers = {45.0, 15.0};                     // pcb_components, psu [W]
+  record_compact_model(rec, ar::seb_box(), inputs);
+  expect_golden(rec);
+}

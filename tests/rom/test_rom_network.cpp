@@ -1,0 +1,112 @@
+// Equipment-level embedding: a component-level compact model dropped into a
+// lumped ThermalNetwork must reproduce the ROM's own steady port solution
+// when its port nodes see the same sink temperatures, and must satisfy the
+// network's energy balance — the Fig. 4 component -> equipment handoff made
+// executable.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "rom/canonical.hpp"
+#include "rom/network_embed.hpp"
+#include "thermal/network.hpp"
+
+namespace ar = aeropack::rom;
+namespace an = aeropack::numeric;
+namespace at = aeropack::thermal;
+
+namespace {
+
+/// Sinks stiffly coupled to the port nodes: with G >> K the node
+/// temperatures pin to the sinks and the embedding must match rom.steady().
+constexpr double kStiff = 1e8;
+
+}  // namespace
+
+TEST(RomNetwork, EmbeddingReproducesRomSteadyPortState) {
+  const ar::CanonicalCase c = ar::fig2_board();
+  const ar::RomModel rom = ar::build_rom(c.model, c.spec);
+
+  ar::RomInputs inputs;
+  inputs.sink_temperatures = {313.15, 318.15, 303.15};
+  inputs.map_powers = {12.0, 8.0};
+  const ar::RomSteadyResult reference = rom.steady(inputs);
+
+  at::ThermalNetwork net;
+  const ar::NetworkEmbedding emb = ar::embed_rom(net, rom, "board", inputs.map_powers);
+  ASSERT_EQ(emb.port_nodes.size(), rom.port_count());
+  EXPECT_EQ(net.node_name(emb.port_nodes[0]), "board.rail_left");
+
+  for (std::size_t p = 0; p < rom.port_count(); ++p) {
+    const at::NodeId sink = net.add_boundary("sink." + rom.port_name(p),
+                                             inputs.sink_temperatures[p]);
+    net.add_conductor(emb.port_nodes[p], sink, kStiff);
+  }
+  const at::SteadySolution sol = net.solve_steady();
+  ASSERT_TRUE(sol.converged);
+
+  // Stiffly pinned port nodes sit at the sink temperatures, and the heat
+  // crossing into each sink equals the ROM's port outflow -Q_p up to the
+  // pinning error.
+  for (std::size_t p = 0; p < rom.port_count(); ++p) {
+    EXPECT_NEAR(sol.temperatures[emb.port_nodes[p]], inputs.sink_temperatures[p], 1e-4);
+    const double into_sink =
+        kStiff * (sol.temperatures[emb.port_nodes[p]] - inputs.sink_temperatures[p]);
+    EXPECT_NEAR(into_sink, -reference.port_heat_flows[p], 1e-3) << rom.port_name(p);
+  }
+
+  // Global balance: everything the maps dissipate crosses into the sinks.
+  double total_into_sinks = 0.0;
+  for (std::size_t p = 0; p < rom.port_count(); ++p)
+    total_into_sinks +=
+        kStiff * (sol.temperatures[emb.port_nodes[p]] - inputs.sink_temperatures[p]);
+  EXPECT_NEAR(total_into_sinks, inputs.map_powers[0] + inputs.map_powers[1], 1e-3);
+}
+
+TEST(RomNetwork, EmbeddedModelRespondsToEquipmentNetwork) {
+  // The same compact model, now coupled through finite conductances to one
+  // chassis node — the equipment level decides the port temperatures. The
+  // embedding must agree with evaluating the ROM at the network's solved
+  // port temperatures (self-consistency of the two representations).
+  const ar::CanonicalCase c = ar::seb_box();
+  const ar::RomModel rom = ar::build_rom(c.model, c.spec);
+
+  an::Vector powers{40.0, 12.0};
+  at::ThermalNetwork net;
+  const ar::NetworkEmbedding emb = ar::embed_rom(net, rom, "seb", powers);
+
+  const double t_cabin = 297.15;
+  const an::Vector g_cabin{4.0, 4.0, 1.5};  // rail_a, rail_b, skin couplings
+  const at::NodeId cabin = net.add_boundary("cabin", t_cabin);
+  for (std::size_t p = 0; p < rom.port_count(); ++p)
+    net.add_conductor(emb.port_nodes[p], cabin, g_cabin[p]);
+
+  const at::SteadySolution sol = net.solve_steady();
+  ASSERT_TRUE(sol.converged);
+
+  // Self-consistency: evaluate the ROM with the network's solved port
+  // temperatures as sinks — the heat the body pushes out of each port
+  // (-Q_p) must equal what the equipment conductor carries to the cabin.
+  ar::RomInputs back;
+  back.sink_temperatures = {sol.temperatures[emb.port_nodes[0]],
+                            sol.temperatures[emb.port_nodes[1]],
+                            sol.temperatures[emb.port_nodes[2]]};
+  back.map_powers = powers;
+  const ar::RomSteadyResult rs = rom.steady(back);
+  double total_to_cabin = 0.0;
+  for (std::size_t p = 0; p < rom.port_count(); ++p) {
+    const double to_cabin = g_cabin[p] * (sol.temperatures[emb.port_nodes[p]] - t_cabin);
+    EXPECT_NEAR(to_cabin, -rs.port_heat_flows[p], 1e-6) << rom.port_name(p);
+    EXPECT_GT(sol.temperatures[emb.port_nodes[p]], t_cabin);
+    total_to_cabin += to_cabin;
+  }
+  // Every dissipated watt reaches the cabin.
+  EXPECT_NEAR(total_to_cabin, powers[0] + powers[1], 1e-6);
+}
+
+TEST(RomNetwork, EmbedValidatesMapPowers) {
+  const ar::CanonicalCase c = ar::fig2_board();
+  const ar::RomModel rom = ar::build_rom(c.model, c.spec);
+  at::ThermalNetwork net;
+  EXPECT_THROW(ar::embed_rom(net, rom, "x", an::Vector{1.0}), std::invalid_argument);
+}
