@@ -25,11 +25,13 @@
 
 #include "core/qualification.hpp"
 #include "core/scenario_runner.hpp"
+#include "core/scenario_service.hpp"
 #include "core/seb.hpp"
 #include "fem/plate.hpp"
 #include "materials/solid.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/report.hpp"
+#include "rom/service_graphs.hpp"
 #include "thermal/fv.hpp"
 
 namespace ac = aeropack::core;
@@ -169,6 +171,88 @@ struct SweepPoint {
   double scenarios_per_sec = 0.0;
 };
 
+// ---- campaign mode: ScenarioService over ScenarioSpec schemas -----------
+//
+// A design campaign interleaves four spec families block by block:
+//   - seb_point power sweep (Fig. 10 ordinate) — closed form, no artifact;
+//   - modal_plate placement variants (Fig. 2) — every variant moves point
+//     mass only, so all share ONE cached stiffness factorization;
+//   - fv_slab_steady load variants — all share ONE cached FV assembly;
+//   - rom_board_steady operating points — all share ONE cached RomModel
+//     (the expensive build amortized over the whole campaign).
+// Every block also re-submits an earlier SEB point under a new name, so
+// content-hash deduplication fires throughout.
+std::vector<ac::ScenarioSpec> make_campaign(std::size_t n_points) {
+  std::vector<ac::ScenarioSpec> specs;
+  specs.reserve(n_points);
+  char name[48];
+  for (std::size_t b = 0; specs.size() < n_points; ++b) {
+    const std::size_t block_start = specs.size();
+    for (std::size_t j = 0; j < 2 && specs.size() < n_points; ++j) {
+      const double power = 40.0 + static_cast<double>((2 * b + j) % 160) * 0.5;
+      ac::ScenarioSpec seb;
+      std::snprintf(name, sizeof name, "seb_b%zu_%zu", b, j);
+      seb.name = name;
+      seb.graph = "seb_point";
+      seb.loads = {{"power_w", power}};
+      specs.push_back(seb);
+    }
+    for (std::size_t j = 0; j < 2 && specs.size() < n_points; ++j) {
+      const double x = 0.030 + static_cast<double>((2 * b + j) % 40) * 0.002;
+      ac::ScenarioSpec modal;
+      std::snprintf(name, sizeof name, "modal_b%zu_%zu", b, j);
+      modal.name = name;
+      modal.graph = "modal_plate";
+      modal.params = {{"mass_x", x}};
+      specs.push_back(modal);
+    }
+    if (specs.size() < n_points) {
+      ac::ScenarioSpec fv;
+      std::snprintf(name, sizeof name, "fv_b%zu", b);
+      fv.name = name;
+      fv.graph = "fv_slab_steady";
+      fv.loads = {{"power_w", 2.0 + static_cast<double>(b % 60) * 0.25}};
+      fv.boundaries = {{"t_hot", 310.0 + static_cast<double>(b % 5)}};
+      specs.push_back(fv);
+    }
+    for (std::size_t j = 0; j < 6 && specs.size() < n_points; ++j) {
+      ac::ScenarioSpec rom;
+      std::snprintf(name, sizeof name, "rom_b%zu_%zu", b, j);
+      rom.name = name;
+      rom.graph = "rom_board_steady";
+      rom.loads = {{"cpu", static_cast<double>((6 * b + j) % 100) * 0.2},
+                   {"psu", static_cast<double>((b + j) % 50) * 0.1}};
+      rom.boundaries = {{"rail_left", 313.0}, {"rail_right", 315.0},
+                        {"top_air", 300.0 + static_cast<double>(b % 8)}};
+      specs.push_back(rom);
+    }
+    if (specs.size() < n_points) {  // duplicate of this block's first SEB point
+      ac::ScenarioSpec dup = specs[block_start];
+      dup.name += "_dup";
+      specs.push_back(dup);
+    }
+  }
+  return specs;
+}
+
+ac::ScenarioServiceOptions campaign_options(std::size_t workers, bool use_cache) {
+  ac::ScenarioServiceOptions opts;
+  opts.workers = workers;
+  opts.threads_per_scenario = 1;
+  // Counters come from ArtifactCache/ScenarioService lifetime stats, not
+  // per-scenario registries — campaign scenarios are microsolves, so
+  // per-scenario registry setup would dominate what we measure.
+  opts.telemetry = false;
+  opts.use_cache = use_cache;
+  opts.deduplicate = use_cache;  // baseline = legacy semantics: every spec solves
+  return opts;
+}
+
+int fail_campaign(const char* what) {
+  std::fprintf(stderr, "campaign gate failed: %s\n", what);
+  return 1;
+}
+
 void write_json(const std::string& path, std::size_t hardware, std::size_t n_scenarios,
                 const std::vector<SweepPoint>& sweep) {
   std::ofstream out(path);
@@ -200,6 +284,7 @@ int main(int argc, char** argv) try {
   // counters merged under "<scenario>." prefixes.
   bool smoke = false;
   std::string report_path;
+  std::size_t campaign_points = 0;  // 0 = default for the mode
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -208,12 +293,20 @@ int main(int argc, char** argv) try {
       report_path = argv[++i];
     } else if (arg.rfind("--report=", 0) == 0) {
       report_path = arg.substr(std::string("--report=").size());
+    } else if (arg == "--campaign" && i + 1 < argc) {
+      campaign_points = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg.rfind("--campaign=", 0) == 0) {
+      campaign_points =
+          static_cast<std::size_t>(std::stoul(arg.substr(std::string("--campaign=").size())));
     } else {
-      std::fprintf(stderr, "unknown argument: %s (supported: --smoke, --report <out.json>)\n",
+      std::fprintf(stderr,
+                   "unknown argument: %s (supported: --smoke, --report <out.json>, "
+                   "--campaign <points>)\n",
                    arg.c_str());
       return 2;
     }
   }
+  if (campaign_points == 0) campaign_points = smoke ? 240 : 10080;
   if (!report_path.empty()) obs::enable();
 
   std::printf("\n================================================================\n");
@@ -289,6 +382,83 @@ int main(int argc, char** argv) try {
 
   write_json("BENCH_scenario_throughput.json", hardware, reference.size(), sweep);
 
+  // ---- campaign section: ScenarioService + artifact cache ---------------
+  //
+  // The same bench binary drives the schema-first path: a >= 10^4-point
+  // design campaign (240 in smoke) through ScenarioService three ways —
+  // cached at 1 worker (the deterministic run whose cache counters CI
+  // gates), cached at several workers (throughput), and cache-less at 1
+  // worker (the cold baseline the cached run must beat and match to the
+  // bit). Smoke self-gates: hit rate >= 0.5, speedup >= 2x, bitwise equal.
+  std::printf("\n----------------------------------------------------------------\n");
+  std::printf("campaign: %zu design points via core::ScenarioService\n", campaign_points);
+  std::printf("----------------------------------------------------------------\n");
+  const std::vector<ac::ScenarioSpec> campaign = make_campaign(campaign_points);
+
+  ac::ScenarioService cached(campaign_options(1, true));
+  aeropack::rom::register_rom_graphs(cached);
+  auto t0c = std::chrono::steady_clock::now();
+  const std::vector<ac::ScenarioResult> cached_results = cached.run(campaign);
+  const double cached_secs = seconds_since(t0c);
+  const ac::ArtifactCacheStats cstats = cached.cache().stats();
+  const ac::ScenarioServiceStats sstats = cached.stats();
+
+  ac::ScenarioService plain(campaign_options(1, false));
+  aeropack::rom::register_rom_graphs(plain);
+  t0c = std::chrono::steady_clock::now();
+  const std::vector<ac::ScenarioResult> plain_results = plain.run(campaign);
+  const double plain_secs = seconds_since(t0c);
+
+  const std::size_t campaign_workers = smoke ? 2 : std::min<std::size_t>(hardware, 8);
+  ac::ScenarioService wide(campaign_options(campaign_workers, true));
+  aeropack::rom::register_rom_graphs(wide);
+  t0c = std::chrono::steady_clock::now();
+  const std::vector<ac::ScenarioResult> wide_results = wide.run(campaign);
+  const double wide_secs = seconds_since(t0c);
+
+  for (const auto* results : {&cached_results, &plain_results, &wide_results})
+    for (const ac::ScenarioResult& r : *results)
+      if (!r.ok) {
+        std::fprintf(stderr, "campaign scenario %s failed: %s\n", r.name.c_str(),
+                     r.error.c_str());
+        return 1;
+      }
+  // Bit-identity gate: cached (1 and N workers) vs the cache-less baseline.
+  for (std::size_t i = 0; i < campaign.size(); ++i)
+    for (const auto& [key, value] : plain_results[i].values) {
+      if (cached_results[i].values.at(key) != value)
+        return fail_campaign("cached values drifted from the no-cache baseline");
+      if (wide_results[i].values.at(key) != value)
+        return fail_campaign("multi-worker cached values drifted from the baseline");
+    }
+
+  const double hit_total = static_cast<double>(cstats.hits + cstats.misses);
+  const double hit_rate = hit_total > 0.0 ? static_cast<double>(cstats.hits) / hit_total : 0.0;
+  const double cached_rate =
+      cached_secs > 0.0 ? static_cast<double>(campaign.size()) / cached_secs : 0.0;
+  const double plain_rate =
+      plain_secs > 0.0 ? static_cast<double>(campaign.size()) / plain_secs : 0.0;
+  const double speedup = plain_secs > 0.0 && cached_secs > 0.0 ? plain_secs / cached_secs : 0.0;
+  std::printf("  cache:   %llu hits / %llu misses (hit rate %.3f), %llu insertions, "
+              "%llu evictions\n",
+              static_cast<unsigned long long>(cstats.hits),
+              static_cast<unsigned long long>(cstats.misses), hit_rate,
+              static_cast<unsigned long long>(cstats.insertions),
+              static_cast<unsigned long long>(cstats.evictions));
+  std::printf("  dedup:   %llu of %llu submissions resolved without a solve\n",
+              static_cast<unsigned long long>(sstats.dedup_hits),
+              static_cast<unsigned long long>(sstats.submitted));
+  std::printf("  cached   w=1:  %7.2f s, %9.1f scenarios/sec\n", cached_secs, cached_rate);
+  std::printf("  no-cache w=1:  %7.2f s, %9.1f scenarios/sec\n", plain_secs, plain_rate);
+  std::printf("  cached   w=%zu:  %7.2f s, %9.1f scenarios/sec\n", campaign_workers, wide_secs,
+              wide_secs > 0.0 ? static_cast<double>(campaign.size()) / wide_secs : 0.0);
+  std::printf("  campaign headline: %.2fx scenarios/sec over no-cache at 1 worker\n\n", speedup);
+
+  if (smoke) {
+    if (hit_rate < 0.5) return fail_campaign("artifact-cache hit rate below 0.5");
+    if (speedup < 2.0) return fail_campaign("cached throughput below 2x the no-cache baseline");
+  }
+
   if (!report_path.empty()) {
     obs::Report report = obs::Report::capture("bench_scenario_throughput", an::thread_count());
     report.set_meta("smoke", smoke ? 1.0 : 0.0);
@@ -296,7 +466,23 @@ int main(int argc, char** argv) try {
     report.set_meta("best_workers", static_cast<double>(best.workers));
     // Per-scenario isolated cost profiles from the serial reference run —
     // deterministic at any worker count, so CI gates them.
-    for (const ac::ScenarioResult& r : reference) report.add_counters(r.name, r.counters);
+    for (const ac::ScenarioResult& r : reference) {
+      report.add_counters(r.name, r.counters);
+      report.add_gauges(r.name, r.gauges);
+    }
+    // Campaign cache/dedup totals from the serial cached run: submit order
+    // is fixed and the worker drains FIFO, so these are exact constants CI
+    // gates (check_report.py, plus the --cache-floor tripwire).
+    report.set_meta("campaign.points", static_cast<double>(campaign.size()));
+    report.set_meta("campaign.hit_rate", hit_rate);
+    report.set_meta("campaign.speedup_vs_no_cache", speedup);
+    report.add_counters("svc", {{"cache.hits", cstats.hits},
+                                {"cache.misses", cstats.misses},
+                                {"cache.insertions", cstats.insertions},
+                                {"cache.evictions", cstats.evictions},
+                                {"cache.dedup_hits", sstats.dedup_hits},
+                                {"scenarios.submitted", sstats.submitted},
+                                {"scenarios.executed", sstats.executed}});
     report.write(report_path);
     std::printf("  run report written to %s\n", report_path.c_str());
   }

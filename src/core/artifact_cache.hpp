@@ -1,0 +1,135 @@
+// core::ArtifactCache — a keyed, sharded, capacity-bounded store of shared
+// immutable solver artifacts (DESIGN.md "Scenario service").
+//
+// The cache maps a 64-bit structural key to a type-erased
+// shared_ptr<const void>. Values are immutable by contract: producers
+// (thermal::FvAssembly, fem::ModalFactorization, rom::RomModel) expose
+// only const operations, so a cached artifact may be consumed concurrently
+// from any number of scenario workers without synchronization beyond the
+// lookup itself.
+//
+// Determinism contract: keys are FNV-1a hashes over the exact IEEE-754 bit
+// patterns of every input that shapes the artifact. Hash-equal inputs are
+// bitwise-equal inputs, the builders are deterministic, so a cache hit
+// hands back an artifact bitwise identical to what a cold build would have
+// produced — which is why cached solves gate bit-identical to cold solves
+// (tests/svc/test_artifact_reuse.cpp, plain + TSan).
+//
+// Concurrency: N shards (key-partitioned), each a reader-writer-locked
+// map. Lookups take shared locks; inserts/evictions take exclusive locks
+// on one shard only. get_or_build runs the builder OUTSIDE any lock — two
+// threads may race to build the same key, both builds are deterministic
+// and equal, one insert wins, the loser's copy is dropped (benign,
+// counted as a hit for the loser since the value was served).
+//
+// Eviction: when a shard would exceed its share of capacity_bytes, the
+// entries with the lowest (1 + hits) / cost_bytes utility are dropped
+// first (cost-aware LFU; ties broken by older last-access tick). Eviction
+// never touches other shards.
+//
+// Observability: svc.cache.{hits,misses,insertions,evictions} counters in
+// the calling thread's obs registry, plus always-on internal totals via
+// stats() for tests and the bench gates.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <typeinfo>
+#include <unordered_map>
+#include <vector>
+
+namespace aeropack::core {
+
+struct ArtifactCacheOptions {
+  /// Number of key-partitioned shards (0 is clamped to 1). More shards =
+  /// less lock contention between unrelated keys.
+  std::size_t shards = 8;
+  /// Total capacity across all shards, in artifact cost_bytes. 0 disables
+  /// storage entirely (every lookup misses; inserts are dropped) — useful
+  /// as a no-cache baseline that still exercises the code path.
+  std::size_t capacity_bytes = std::size_t{1} << 30;
+};
+
+struct ArtifactCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+class ArtifactCache {
+ public:
+  explicit ArtifactCache(const ArtifactCacheOptions& options = {});
+  ~ArtifactCache();
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Typed lookup. Returns null on absent key OR type mismatch (a key
+  /// collision across artifact types is treated as a miss, never a cast).
+  template <typename T>
+  std::shared_ptr<const T> find(std::uint64_t key) {
+    auto erased = find_erased(key, typeid(T));
+    return std::static_pointer_cast<const T>(std::move(erased));
+  }
+
+  /// Insert (first writer wins; an existing entry under the key is kept).
+  /// `cost_bytes` drives capacity accounting and eviction utility.
+  template <typename T>
+  void insert(std::uint64_t key, std::shared_ptr<const T> value, std::size_t cost_bytes) {
+    insert_erased(key, std::shared_ptr<const void>(std::move(value)), typeid(T), cost_bytes);
+  }
+
+  /// find-or-build convenience: on miss, runs `build()` outside all locks,
+  /// inserts the result (cost from `cost(*value)`) and returns it. Racing
+  /// builders are benign — see the header comment.
+  template <typename T, typename BuildFn, typename CostFn>
+  std::shared_ptr<const T> get_or_build(std::uint64_t key, BuildFn&& build, CostFn&& cost) {
+    if (auto hit = find<T>(key)) return hit;
+    std::shared_ptr<const T> built = build();
+    if (built) insert<T>(key, built, cost(*built));
+    return built;
+  }
+
+  /// Lifetime totals (always on, independent of obs telemetry).
+  ArtifactCacheStats stats() const;
+
+  const ArtifactCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;
+    const std::type_info* type = nullptr;
+    std::size_t cost_bytes = 0;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> last_access{0};
+  };
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    // unique_ptr: Entry holds atomics (non-movable), and lookups bump the
+    // per-entry counters under a shared lock.
+    std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> entries;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(std::uint64_t key);
+  std::shared_ptr<const void> find_erased(std::uint64_t key, const std::type_info& type);
+  void insert_erased(std::uint64_t key, std::shared_ptr<const void> value,
+                     const std::type_info& type, std::size_t cost_bytes);
+  void evict_locked(Shard& shard, std::size_t budget);
+
+  ArtifactCacheOptions options_;
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace aeropack::core

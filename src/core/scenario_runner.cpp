@@ -1,10 +1,7 @@
 #include "core/scenario_runner.hpp"
 
-#include <atomic>
-#include <chrono>
-#include <exception>
 #include <stdexcept>
-#include <thread>
+#include <utility>
 
 namespace aeropack::core {
 
@@ -18,47 +15,23 @@ void ScenarioRunner::add(std::string name, ScenarioFn fn) {
 }
 
 std::vector<ScenarioResult> ScenarioRunner::run() const {
-  std::vector<ScenarioResult> results(scenarios_.size());
+  // Transient service, legacy configuration: no dedup (every closure runs),
+  // no artifact cache (per-scenario counters stay exactly what an isolated
+  // cold solve produces — the contract bench/expected/ freezes).
+  ScenarioServiceOptions sopts;
+  sopts.workers = opts_.workers;
+  sopts.threads_per_scenario = opts_.threads_per_scenario;
+  sopts.telemetry = opts_.telemetry;
+  sopts.deduplicate = false;
+  sopts.use_cache = false;
+  ScenarioService service(sopts);
 
-  // Workers pull indices from a shared dispenser; each scenario gets a fresh
-  // context created, bound, driven and torn down entirely on one worker
-  // thread, so no pool or registry is ever touched from two threads.
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= scenarios_.size()) return;
-      ScenarioResult& out = results[i];
-      out.name = scenarios_[i].name;
-      ExecutionConfig cfg;
-      cfg.threads = opts_.threads_per_scenario;
-      cfg.telemetry = opts_.telemetry;
-      ExecutionContext ctx(cfg);
-      const auto t0 = std::chrono::steady_clock::now();
-      try {
-        const ExecutionContext::Use use(ctx);
-        out.values = scenarios_[i].fn(ctx);
-        out.ok = true;
-      } catch (const std::exception& e) {
-        out.error = e.what();
-      } catch (...) {
-        out.error = "unknown exception";
-      }
-      out.seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-      if (opts_.telemetry) out.counters = ctx.metrics().counters();
-    }
-  };
-
-  const std::size_t n_workers = std::min(opts_.workers, scenarios_.size());
-  if (n_workers <= 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(n_workers);
-  for (std::size_t w = 0; w < n_workers; ++w) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
+  std::vector<ScenarioService::Ticket> tickets;
+  tickets.reserve(scenarios_.size());
+  for (const Scenario& s : scenarios_) tickets.push_back(service.submit(s.name, s.fn));
+  std::vector<ScenarioResult> results;
+  results.reserve(tickets.size());
+  for (const auto& t : tickets) results.push_back(service.wait(t));
   return results;
 }
 

@@ -1,47 +1,26 @@
 // core::ScenarioRunner — batch executor for independent co-design scenarios.
 //
-// The paper's Fig. 1 co-design loop evaluates mechanical and thermal models
-// in parallel against one specification; scaled up, a trade study is a batch
-// of independent what-if scenarios (an SEB power sweep, modal placement
-// variants, a qualification campaign). Each scenario runs on its own
-// aeropack::ExecutionContext — its own thread pool and telemetry registry —
-// so N scenarios execute concurrently with zero shared mutable state, and
-// every scenario's cost profile (counters) comes back isolated in its
-// result.
+// Compatibility shim over core::ScenarioService (DESIGN.md "Scenario
+// service"): the runner keeps the original add-closures-then-run() API and
+// its exact execution semantics — fresh ExecutionContext per scenario,
+// results in add() order, isolated per-scenario counters — by driving a
+// service configured with deduplication and the artifact cache OFF. Batches
+// that want the schema, dedup and cross-scenario artifact reuse submit
+// core::ScenarioSpec values to a ScenarioService directly.
 //
 // Determinism: a scenario's numeric results are bit-identical whether the
 // batch runs on 1 worker or 16, because each scenario's kernels run on its
 // private pool with the deterministic chunked reductions, and contexts are
-// handed out with identical configuration. Results are returned in add()
-// order regardless of completion order.
+// handed out with identical configuration.
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "exec/context.hpp"
+#include "core/scenario_service.hpp"
 
 namespace aeropack::core {
-
-/// One scenario: runs against the context it was handed (already bound to
-/// the calling thread) and returns named scalar outputs (peak temperature,
-/// first mode, margin...). Throwing marks the scenario failed without
-/// aborting the batch.
-using ScenarioFn = std::function<std::map<std::string, double>(ExecutionContext&)>;
-
-struct ScenarioResult {
-  std::string name;
-  bool ok = false;
-  std::string error;  ///< exception message when !ok
-  std::map<std::string, double> values;  ///< scenario outputs
-  /// The scenario's isolated cost profile: counters + high-water marks from
-  /// its private registry (empty when telemetry is off).
-  std::map<std::string, std::uint64_t> counters;
-  double seconds = 0.0;  ///< wall time of this scenario's run
-};
 
 struct ScenarioRunnerOptions {
   /// Concurrent scenario workers (each drives one context at a time).
@@ -64,7 +43,8 @@ class ScenarioRunner {
   /// Run every queued scenario and return results in add() order. Scenarios
   /// are dispatched to `workers` threads; each runs with a fresh
   /// ExecutionContext bound to its worker thread. The queue is left intact,
-  /// so a runner can be re-run (fresh contexts, fresh counters).
+  /// so a runner can be re-run (fresh contexts, fresh counters — a
+  /// transient ScenarioService is built per run() call).
   std::vector<ScenarioResult> run() const;
 
  private:

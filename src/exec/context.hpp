@@ -25,6 +25,10 @@
 #include "numeric/parallel.hpp"
 #include "obs/registry.hpp"
 
+namespace aeropack::core {
+class ArtifactCache;  // core/artifact_cache.hpp — exec never links against core
+}
+
 namespace aeropack {
 
 /// Run configuration for a fresh context.
@@ -41,6 +45,12 @@ struct ExecutionConfig {
   /// leave their own degree at 0 inherit this one. 0 (default) keeps plain
   /// Jacobi everywhere — the setting existing goldens were recorded under.
   std::size_t cg_chebyshev_degree = 0;
+  /// Optional shared artifact cache (non-owning; must outlive the context).
+  /// Solver graphs that run under core::ScenarioService probe it for
+  /// reusable immutable artifacts — FV assemblies, modal factorizations,
+  /// ROM models. Null (default) means every solve builds from scratch,
+  /// which is the behavior all existing goldens were recorded under.
+  core::ArtifactCache* artifact_cache = nullptr;
 };
 
 class ExecutionContext {
@@ -65,6 +75,9 @@ class ExecutionContext {
   /// defaults). Solvers pinned to the context read tuning knobs — currently
   /// cg_chebyshev_degree — from here.
   const ExecutionConfig& config() const { return config_; }
+  /// The shared artifact cache this context may consult, or nullptr when the
+  /// run is uncached (direct solves, the ScenarioRunner compatibility path).
+  core::ArtifactCache* artifact_cache() const { return config_.artifact_cache; }
 
   /// RAII binding: while alive, the constructing thread's parallel kernels
   /// run on this context's pool and its instrumentation records into this

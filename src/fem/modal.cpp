@@ -84,4 +84,70 @@ ReducedModes solve_reduced_modes(ExecutionContext& ctx, const CsrMatrix& k,
   return solve_reduced_modes(k, m, opts);
 }
 
+std::size_t ModalFactorization::cost_bytes() const {
+  return sizeof(ModalFactorization) + (op ? op->cost_bytes() : 0);
+}
+
+namespace {
+
+numeric::SparseEigenOptions sparse_options(const ModalOptions& opts) {
+  numeric::SparseEigenOptions seo;
+  seo.shift = opts.shift;
+  return seo;
+}
+
+void check_modal_pencil(const CsrMatrix& k, const CsrMatrix& m) {
+  if (k.rows() != k.cols() || m.rows() != m.cols() || k.rows() != m.rows())
+    throw std::invalid_argument("factorize_modal: shape mismatch");
+  if (k.rows() == 0) throw std::invalid_argument("factorize_modal: empty system");
+}
+
+}  // namespace
+
+ModalFactorization factorize_modal(const CsrMatrix& k, const CsrMatrix& m,
+                                   const ModalOptions& opts) {
+  check_modal_pencil(k, m);
+  static thread_local obs::CounterHandle factorizations{"fem.modal_factorizations"};
+  factorizations.add();
+  ModalFactorization f;
+  f.rows = k.rows();
+  f.shift = opts.shift;
+  numeric::ShiftedFactorization op = numeric::factorize_shift_invert(k, m, sparse_options(opts));
+  f.ladder_free = op.sigma == opts.shift;
+  f.op = std::make_shared<const numeric::ShiftedFactorization>(std::move(op));
+  return f;
+}
+
+ReducedModes solve_reduced_modes(const CsrMatrix& k, const CsrMatrix& m,
+                                 const ModalOptions& opts, const ModalFactorization& cached) {
+  check_modal_pencil(k, m);
+  const std::size_t n = k.rows();
+  if (!cached.op || cached.rows != n)
+    throw std::invalid_argument(
+        "solve_reduced_modes: cached factorization does not match the pencil size");
+  if (cached.shift != opts.shift)
+    throw std::invalid_argument(
+        "solve_reduced_modes: cached factorization was built for a different shift "
+        "(bit-identity with the cold path would not hold)");
+
+  static thread_local obs::CounterHandle modal_solves{"fem.modal_solves"};
+  static thread_local obs::CounterHandle sparse_solves{"fem.modal_sparse"};
+  modal_solves.add();
+  sparse_solves.add();
+  if (obs::enabled())
+    obs::current().gauge("fem.free_dofs").set(static_cast<double>(n));
+  obs::ScopedTimer span("fem.modal_sparse");
+
+  ReducedModes res;
+  const std::size_t nm =
+      (opts.n_modes == 0) ? std::min<std::size_t>(16, n) : std::min(opts.n_modes, n);
+  const numeric::EigenResult eig =
+      numeric::eigen_generalized_sparse(k, m, nm, sparse_options(opts), *cached.op);
+  res.eigenvalues = eig.eigenvalues;
+  res.shapes = eig.eigenvectors;
+  res.used_sparse = true;
+  res.frequencies_hz = numeric::natural_frequencies_hz(res.eigenvalues);
+  return res;
+}
+
 }  // namespace aeropack::fem

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 
 #include "numeric/dense.hpp"
+#include "numeric/eigen.hpp"
 #include "numeric/sparse.hpp"
 
 namespace aeropack {
@@ -53,6 +56,39 @@ ReducedModes solve_reduced_modes(const numeric::CsrMatrix& k, const numeric::Csr
 /// telemetry in its registry; bit-identical results at any thread count).
 ReducedModes solve_reduced_modes(ExecutionContext& ctx, const numeric::CsrMatrix& k,
                                  const numeric::CsrMatrix& m, const ModalOptions& opts = {});
+
+/// The factorization half of a sparse modal solve, split out as an immutable
+/// artifact for core::ArtifactCache: building it does the skyline Cholesky
+/// work; re-using it makes subsequent solve_reduced_modes calls pure
+/// back-substitution + subspace iteration. Shareable across threads (solve
+/// paths are const) and across models whose reduced pencils match.
+struct ModalFactorization {
+  std::shared_ptr<const numeric::ShiftedFactorization> op;
+  std::size_t rows = 0;          ///< free-DOF count the operator was built for
+  /// True when the resolved shift equals the requested one (no ladder
+  /// retries). Only such factorizations may enter a cache under a key that
+  /// does not hash M: at sigma == shift the factored matrix is exactly
+  /// K - shift*M, and at shift == 0 it is K alone.
+  bool ladder_free = false;
+  double shift = 0.0;            ///< the requested spectral shift
+
+  std::size_t cost_bytes() const;
+};
+
+/// Factor the shift-invert operator of the sparse modal path for `opts`
+/// (ModalPath is ignored — the factorization only exists on the sparse
+/// path). Deterministic; bumps the same numeric.skyline/eigen counters the
+/// direct sparse solve would.
+ModalFactorization factorize_modal(const numeric::CsrMatrix& k, const numeric::CsrMatrix& m,
+                                   const ModalOptions& opts = {});
+
+/// Sparse modal solve on a pre-built factorization of exactly this (K, M,
+/// opts) pencil — bit-identical to the factorizing sparse path, with zero
+/// factorization work (the cache-hit half of the split). Forces the sparse
+/// path regardless of opts.path/dense_threshold.
+/// Throws std::invalid_argument when `cached` does not match the pencil.
+ReducedModes solve_reduced_modes(const numeric::CsrMatrix& k, const numeric::CsrMatrix& m,
+                                 const ModalOptions& opts, const ModalFactorization& cached);
 
 /// Replace non-positive diagonal entries of a reduced mass matrix with
 /// `epsilon` (massless DOFs, e.g. a rotation carried only by springs, would

@@ -131,33 +131,27 @@ EigenResult eigen_generalized(const Matrix& k, const Matrix& m) {
   return res;
 }
 
-namespace {
+Vector ShiftedFactorization::solve(const Vector& b) const {
+  if (factor) return factor->solve(b);
+  IterativeOptions io;
+  io.tolerance = 1e-13;
+  io.max_iterations = std::max<std::size_t>(10000, 20 * b.size());
+  IterativeResult res = conjugate_gradient(matrix, b, io);
+  if (!res.converged)
+    throw std::domain_error(
+        "eigen_generalized_sparse: CG fallback did not converge on the shifted operator");
+  return std::move(res.x);
+}
 
-/// One column solve of the shift-invert operator: y = (K - sigma*M)^-1 b.
-/// Wraps either a skyline factorization or a CG fallback behind one call.
-struct ShiftedOperator {
-  std::unique_ptr<SkylineCholesky> factor;  // null => iterative fallback
-  CsrMatrix matrix;                         // K - sigma*M (kept for CG)
-  double sigma = 0.0;
+std::size_t ShiftedFactorization::cost_bytes() const {
+  std::size_t bytes = matrix.values().size() * (sizeof(double) + sizeof(std::size_t)) +
+                      matrix.row_ptr().size() * sizeof(std::size_t);
+  if (factor) bytes += factor->envelope_size() * sizeof(double);
+  return bytes;
+}
 
-  Vector solve(const Vector& b) const {
-    if (factor) return factor->solve(b);
-    IterativeOptions io;
-    io.tolerance = 1e-13;
-    io.max_iterations = std::max<std::size_t>(10000, 20 * b.size());
-    IterativeResult res = conjugate_gradient(matrix, b, io);
-    if (!res.converged)
-      throw std::domain_error(
-          "eigen_generalized_sparse: CG fallback did not converge on the shifted operator");
-    return std::move(res.x);
-  }
-};
-
-/// Factor K - sigma*M, walking a ladder of increasingly negative shifts when
-/// the requested one is indefinite (K + |sigma|M is SPD whenever M is PD and
-/// K is PSD, so the ladder terminates for well-posed pencils).
-ShiftedOperator make_shifted_operator(const CsrMatrix& k, const CsrMatrix& m,
-                                      const SparseEigenOptions& opts) {
+ShiftedFactorization factorize_shift_invert(const CsrMatrix& k, const CsrMatrix& m,
+                                            const SparseEigenOptions& opts) {
   std::vector<double> shifts{opts.shift};
   if (opts.shift == 0.0) {
     const Vector kd = k.diagonal();
@@ -171,11 +165,11 @@ ShiftedOperator make_shifted_operator(const CsrMatrix& k, const CsrMatrix& m,
   static thread_local obs::CounterHandle retries{"numeric.eigen.shift_retries"};
   static thread_local obs::CounterHandle fallbacks{"numeric.eigen.cg_fallbacks"};
   for (const double sigma : shifts) {
-    ShiftedOperator op;
+    ShiftedFactorization op;
     op.sigma = sigma;
     op.matrix = (sigma == 0.0) ? k : add_scaled(k, -sigma, m);
     try {
-      op.factor = std::make_unique<SkylineCholesky>(op.matrix, opts.max_envelope);
+      op.factor = std::make_shared<const SkylineCholesky>(op.matrix, opts.max_envelope);
       return op;
     } catch (const std::length_error&) {
       fallbacks.add();
@@ -189,6 +183,8 @@ ShiftedOperator make_shifted_operator(const CsrMatrix& k, const CsrMatrix& m,
       "eigen_generalized_sparse: K - sigma*M not positive definite for any trial shift "
       "(is the mass matrix positive definite?)");
 }
+
+namespace {
 
 /// Deterministic start block for the subspace iteration (Bathe's recipe):
 /// column 0 carries the mass/stiffness diagonal ratios, the middle columns
@@ -223,24 +219,26 @@ std::vector<Vector> starting_block(const CsrMatrix& k, const CsrMatrix& m, std::
   return x;
 }
 
-}  // namespace
-
-EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
-                                     std::size_t n_modes, const SparseEigenOptions& opts) {
+void check_sparse_eigen_shapes(const CsrMatrix& k, const CsrMatrix& m, std::size_t n_modes) {
   if (k.rows() != k.cols() || m.rows() != m.cols() || k.rows() != m.rows())
     throw std::invalid_argument("eigen_generalized_sparse: shape mismatch");
   const std::size_t n = k.rows();
   if (n == 0 || n_modes == 0 || n_modes > n)
     throw std::invalid_argument("eigen_generalized_sparse: invalid mode count");
+}
 
-  static thread_local obs::CounterHandle solves{"numeric.eigen.sparse_solves"};
+/// The subspace iteration itself, on an already-built shift-invert operator.
+/// No instrumentation of its own beyond the per-sweep counter: the public
+/// overloads own the solve counter and timer span so the factorizing and
+/// cache-hit paths report identically shaped telemetry.
+EigenResult run_subspace_iteration(const CsrMatrix& k, const CsrMatrix& m,
+                                   std::size_t n_modes, const SparseEigenOptions& opts,
+                                   const ShiftedFactorization& op) {
+  const std::size_t n = k.rows();
   static thread_local obs::CounterHandle sweeps{"numeric.eigen.subspace_iterations"};
-  obs::ScopedTimer span("numeric.eigen_sparse");
-  solves.add();
 
   const std::size_t q =
       std::min(n, std::max(2 * n_modes, n_modes + opts.subspace_extra));
-  const ShiftedOperator op = make_shifted_operator(k, m, opts);
 
   std::vector<Vector> x = starting_block(k, m, q);
   std::vector<Vector> y(q), ky(q), my(q);
@@ -301,6 +299,31 @@ EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
   for (std::size_t j = 0; j < n_modes; ++j)
     for (std::size_t i = 0; i < n; ++i) res.eigenvectors(i, j) = x[j][i];
   return res;
+}
+
+}  // namespace
+
+EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
+                                     std::size_t n_modes, const SparseEigenOptions& opts) {
+  check_sparse_eigen_shapes(k, m, n_modes);
+  static thread_local obs::CounterHandle solves{"numeric.eigen.sparse_solves"};
+  obs::ScopedTimer span("numeric.eigen_sparse");
+  solves.add();
+  const ShiftedFactorization op = factorize_shift_invert(k, m, opts);
+  return run_subspace_iteration(k, m, n_modes, opts, op);
+}
+
+EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
+                                     std::size_t n_modes, const SparseEigenOptions& opts,
+                                     const ShiftedFactorization& op) {
+  check_sparse_eigen_shapes(k, m, n_modes);
+  if (op.matrix.rows() != k.rows() || op.matrix.cols() != k.cols())
+    throw std::invalid_argument(
+        "eigen_generalized_sparse: shifted factorization does not match the pencil size");
+  static thread_local obs::CounterHandle solves{"numeric.eigen.sparse_solves"};
+  obs::ScopedTimer span("numeric.eigen_sparse");
+  solves.add();
+  return run_subspace_iteration(k, m, n_modes, opts, op);
 }
 
 EigenResult eigen_generalized_sparse(ThreadPool& pool, const CsrMatrix& k,

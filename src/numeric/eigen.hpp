@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "numeric/dense.hpp"
 #include "numeric/sparse.hpp"
 
 namespace aeropack::numeric {
+
+class SkylineCholesky;
 
 struct EigenResult {
   Vector eigenvalues;   ///< ascending order
@@ -44,6 +47,40 @@ struct SparseEigenOptions {
   std::size_t max_envelope = std::size_t{1} << 28;
 };
 
+/// A factorized shift-invert operator (K - sigma*M)^-1 — the expensive half
+/// of a sparse modal solve, split out so a scenario cache can build it once
+/// and share it across solves. solve() is const, serial and therefore
+/// bit-deterministic, so concurrent solves on a shared factorization are
+/// race-free and reproduce the owning solve's bits exactly.
+///
+/// Caching contract: the factorization depends on K, M, `sigma` and the
+/// envelope budget. When the shift ladder retried (the stored `sigma`
+/// differs from the requested shift) the operator mixes M into the factored
+/// matrix even though the request looked K-only — callers must only cache a
+/// factorization under a key that covers every matrix the resolved shift
+/// mixes in (see fem::factorize_modal, which caches only ladder-free
+/// sigma == 0 factorizations keyed by K alone).
+struct ShiftedFactorization {
+  std::shared_ptr<const SkylineCholesky> factor;  ///< null => CG fallback
+  CsrMatrix matrix;                               ///< K - sigma*M (kept for CG)
+  double sigma = 0.0;
+
+  /// y = (K - sigma*M)^-1 b via the skyline factor, or CG when the envelope
+  /// was over budget. Throws std::domain_error if the CG fallback stalls.
+  Vector solve(const Vector& b) const;
+  /// Approximate resident size, for cost-aware cache eviction.
+  std::size_t cost_bytes() const;
+};
+
+/// Build the shift-invert operator for `eigen_generalized_sparse`: factor
+/// K - sigma*M, walking a ladder of increasingly negative shifts when the
+/// requested one is indefinite (K + |sigma|*M is SPD for PSD K and PD M, so
+/// the ladder terminates for well-posed pencils). Falls back to an
+/// unfactored CG operator when the envelope exceeds opts.max_envelope.
+/// Throws std::domain_error when no trial shift yields a usable operator.
+ShiftedFactorization factorize_shift_invert(const CsrMatrix& k, const CsrMatrix& m,
+                                            const SparseEigenOptions& opts = {});
+
 /// Lowest `n_modes` eigenpairs of K x = lambda M x for sparse symmetric K
 /// (positive semi-definite) and M (positive definite), via shift-invert
 /// subspace iteration with Rayleigh-Ritz projection. Eigenvectors are
@@ -55,6 +92,14 @@ struct SparseEigenOptions {
 EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
                                      std::size_t n_modes,
                                      const SparseEigenOptions& opts = {});
+/// Same iteration on a pre-built (possibly cache-shared) factorization of
+/// exactly this (K, M, opts) combination. Bit-identical to the factorizing
+/// overload; performs no factorization work, so "numeric.skyline.*" counters
+/// stay untouched on a cache hit.
+/// Throws std::invalid_argument if `op` does not match the pencil's size.
+EigenResult eigen_generalized_sparse(const CsrMatrix& k, const CsrMatrix& m,
+                                     std::size_t n_modes, const SparseEigenOptions& opts,
+                                     const ShiftedFactorization& op);
 /// Same, with every parallel kernel pinned to `pool` (the pool-less overload
 /// runs on the calling thread's current pool).
 EigenResult eigen_generalized_sparse(ThreadPool& pool, const CsrMatrix& k,

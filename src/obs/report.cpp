@@ -29,6 +29,10 @@ void Report::add_counters(const std::string& prefix,
   for (const auto& [key, value] : counters) counters_[prefix + "." + key] = value;
 }
 
+void Report::add_gauges(const std::string& prefix, const std::map<std::string, double>& gauges) {
+  for (const auto& [key, value] : gauges) gauges_[prefix + "." + key] = value;
+}
+
 namespace {
 
 std::string fmt_double(double v) {

@@ -36,6 +36,10 @@ class Report {
   void add_counters(const std::string& prefix,
                     const std::map<std::string, std::uint64_t>& counters);
 
+  /// Gauge-valued counterpart of add_counters: merge an externally captured
+  /// gauge map under "gauges.<prefix>.<key>" (ScenarioResult::gauges).
+  void add_gauges(const std::string& prefix, const std::map<std::string, double>& gauges);
+
   const std::string& name() const { return name_; }
   std::size_t threads() const { return threads_; }
   const std::map<std::string, std::uint64_t>& counters() const { return counters_; }

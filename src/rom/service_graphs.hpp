@@ -1,0 +1,33 @@
+// ROM-backed solver graphs for core::ScenarioService.
+//
+// These live in rom (not core) because the library layering puts rom above
+// core: core::ScenarioService registers only graphs over layers it links
+// (thermal, fem, its own SEB model), and rom contributes its graphs through
+// the service's extension point. Call register_rom_graphs() on a service to
+// add:
+//  - "rom_board_steady": steady port response of the canonical Fig. 2
+//    board compact model (rom::fig2_board).
+//  - "rom_seb_steady":   steady port response of the canonical SEB box
+//    compact model (rom::seb_box).
+// Both build the RomModel once per structure through the service's
+// ArtifactCache (rom/cache.hpp) and evaluate each spec's loads/boundaries
+// on the reduced system — the build-once / evaluate-many pattern that
+// makes 10^4-point campaigns tractable.
+//
+// Spec conventions (defaults in parentheses):
+//  params:     rank (0 = automatic POD-energy rank)
+//  loads:      one entry per power map, keyed by map name, watts (0)
+//  boundaries: one entry per port, keyed by port name, sink kelvin (300)
+// Outputs: "t_<port>" area-weighted port temperature [K], "q_<port>" heat
+// into the body [W], "error_estimate" (POD tail), "rank".
+#pragma once
+
+namespace aeropack::core {
+class ScenarioService;
+}
+
+namespace aeropack::rom {
+
+void register_rom_graphs(core::ScenarioService& service);
+
+}  // namespace aeropack::rom

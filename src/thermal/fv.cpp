@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "exec/context.hpp"
+#include "numeric/hashing.hpp"
 #include "numeric/parallel.hpp"
 #include "obs/registry.hpp"
 
@@ -344,8 +345,37 @@ static void for_each_boundary_face(const FvGrid& g, const Vector& kx, const Vect
     }
 }
 
-FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
-                                                     double inv_dt) const {
+std::size_t FvAssembly::cost_bytes() const {
+  return sizeof(FvAssembly) +
+         matrix.values().size() * (sizeof(double) + sizeof(std::size_t)) +
+         matrix.row_ptr().size() * sizeof(std::size_t) +
+         base_values.size() * sizeof(double) + diag_index.size() * sizeof(std::size_t) +
+         capacity.size() * sizeof(double);
+}
+
+std::uint64_t FvModel::structural_hash(const FvOptions& opts, double inv_dt) const {
+  numeric::StructuralHasher h;
+  h.add("thermal.fv_assembly");
+  // Grid geometry as exact cell-size bits.
+  h.add(static_cast<std::uint64_t>(grid_.nx()))
+      .add(static_cast<std::uint64_t>(grid_.ny()))
+      .add(static_cast<std::uint64_t>(grid_.nz()));
+  for (std::size_t i = 0; i < grid_.nx(); ++i) h.add(grid_.dx(i));
+  for (std::size_t j = 0; j < grid_.ny(); ++j) h.add(grid_.dy(j));
+  for (std::size_t k = 0; k < grid_.nz(); ++k) h.add(grid_.dz(k));
+  // Every per-cell coefficient the assembly bakes in. Sources and boundary
+  // conditions are deliberately absent: they are per-solve inputs.
+  h.add(kx_).add(ky_).add(kz_).add(rho_cp_);
+  h.add(static_cast<std::uint64_t>(interfaces_z_.size()));
+  for (const auto& [plane, r_spec] : interfaces_z_)
+    h.add(static_cast<std::uint64_t>(plane)).add(r_spec);
+  h.add(static_cast<std::uint64_t>(opts.scheme));
+  h.add(inv_dt);
+  return h.value();
+}
+
+std::shared_ptr<const FvAssembly> FvModel::build_assembly(const FvOptions& opts,
+                                                          double inv_dt) const {
   static thread_local obs::CounterHandle assemblies{"fv.structure_assemblies"};
   assemblies.add();
   obs::ScopedTimer span("fv.assemble_structure");
@@ -378,14 +408,16 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
       },
       numeric::grain::Work::elements(n, numeric::grain::Cost::kCell));
 
-  AssemblyCache cache;
+  auto cache = std::make_shared<FvAssembly>();
+  cache->inv_dt = inv_dt;
+  cache->structural_hash = structural_hash(opts, inv_dt);
   if (inv_dt > 0.0) {
-    cache.capacity.assign(n, 0.0);
+    cache->capacity.assign(n, 0.0);
     for (std::size_t k = 0; k < nz; ++k)
       for (std::size_t j = 0; j < ny; ++j)
         for (std::size_t i = 0; i < nx; ++i) {
           const std::size_t c = grid_.index(i, j, k);
-          cache.capacity[c] = rho_cp_[c] * grid_.cell_volume(i, j, k) * inv_dt;
+          cache->capacity[c] = rho_cp_[c] * grid_.cell_volume(i, j, k) * inv_dt;
         }
   }
 
@@ -404,8 +436,8 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
 
   const std::size_t nnz = row_ptr[n];
   std::vector<std::size_t> col_idx(nnz);
-  cache.base_values.assign(nnz, 0.0);
-  cache.diag_index.assign(n, 0);
+  cache->base_values.assign(nnz, 0.0);
+  cache->diag_index.assign(n, 0);
   numeric::parallel_for(
       0, nz,
       [&](std::size_t klo, std::size_t khi) {
@@ -414,10 +446,10 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
         for (std::size_t i = 0; i < nx; ++i) {
           const std::size_t c = grid_.index(i, j, k);
           std::size_t w = row_ptr[c];
-          double diag = cache.capacity.empty() ? 0.0 : cache.capacity[c];
+          double diag = cache->capacity.empty() ? 0.0 : cache->capacity[c];
           const auto off_diag = [&](std::size_t col, double g) {
             col_idx[w] = col;
-            cache.base_values[w] = -g;
+            cache->base_values[w] = -g;
             ++w;
             diag += g;
           };
@@ -430,40 +462,52 @@ FvModel::AssemblyCache FvModel::build_assembly_cache(const FvOptions& opts,
           if (i + 1 < nx) off_diag(c + 1, gx[i + (nx - 1) * (j + ny * k)]);
           if (j + 1 < ny) off_diag(c + nx, gy[i + nx * (j + (ny - 1) * k)]);
           if (k + 1 < nz) off_diag(c + sxy, gz[i + nx * (j + ny * k)]);
-          cache.base_values[dpos] = diag;
-          cache.diag_index[c] = dpos;
+          cache->base_values[dpos] = diag;
+          cache->diag_index[c] = dpos;
         }
       },
       numeric::grain::Work::elements(n, numeric::grain::Cost::kCell));
 
-  // Static right-hand side: volumetric sources + prescribed boundary fluxes.
-  cache.base_rhs = source_;
-  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
-    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
-    if (bc.kind == BoundaryKind::HeatFlux)
-      cache.base_rhs[grid_.index(f.i, f.j, f.k)] += bc.flux * f.area;
-  });
-
-  cache.matrix = numeric::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
-                                    std::vector<double>(cache.base_values));
+  cache->matrix = numeric::CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                                     std::vector<double>(cache->base_values));
   return cache;
 }
 
-void FvModel::update_boundary_terms(AssemblyCache& cache, const Vector& temps,
+numeric::Vector FvModel::build_base_rhs() const {
+  // Static right-hand side: volumetric sources + prescribed boundary fluxes.
+  Vector base_rhs = source_;
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& bc = boundary_for(f.face, f.a, f.b);
+    if (bc.kind == BoundaryKind::HeatFlux)
+      base_rhs[grid_.index(f.i, f.j, f.k)] += bc.flux * f.area;
+  });
+  return base_rhs;
+}
+
+FvModel::Workspace FvModel::make_workspace(std::shared_ptr<const FvAssembly> assembly) const {
+  Workspace ws;
+  ws.matrix = assembly->matrix;  // private working copy; the shared artifact stays immutable
+  ws.base_rhs = build_base_rhs();
+  ws.assembly = std::move(assembly);
+  return ws;
+}
+
+void FvModel::update_boundary_terms(Workspace& ws, const Vector& temps,
                                     const Vector* prev, Vector& rhs) const {
   static thread_local obs::CounterHandle updates{"fv.boundary_updates"};
   updates.add();
   obs::ScopedTimer span("fv.update_boundary");
-  std::vector<double>& values = cache.matrix.values();
+  const FvAssembly& a = *ws.assembly;
+  std::vector<double>& values = ws.matrix.values();
   numeric::parallel_for(0, values.size(), [&](std::size_t lo, std::size_t hi) {
-    std::copy(cache.base_values.begin() + static_cast<std::ptrdiff_t>(lo),
-              cache.base_values.begin() + static_cast<std::ptrdiff_t>(hi),
+    std::copy(a.base_values.begin() + static_cast<std::ptrdiff_t>(lo),
+              a.base_values.begin() + static_cast<std::ptrdiff_t>(hi),
               values.begin() + static_cast<std::ptrdiff_t>(lo));
   });
-  rhs = cache.base_rhs;
-  if (!cache.capacity.empty() && prev) {
+  rhs = ws.base_rhs;
+  if (!a.capacity.empty() && prev) {
     numeric::parallel_for(0, rhs.size(), [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t c = lo; c < hi; ++c) rhs[c] += cache.capacity[c] * (*prev)[c];
+      for (std::size_t c = lo; c < hi; ++c) rhs[c] += a.capacity[c] * (*prev)[c];
     });
   }
   // Boundary films are the only temperature-dependent coefficients; the
@@ -474,7 +518,7 @@ void FvModel::update_boundary_terms(AssemblyCache& cache, const Vector& temps,
     const std::size_t c = grid_.index(f.i, f.j, f.k);
     const double g = boundary_conductance(bc, f.area, f.half, f.k_cell, temps[c]);
     if (g <= 0.0) return;
-    values[cache.diag_index[c]] += g;
+    values[a.diag_index[c]] += g;
     rhs[c] += g * bc.temperature;
   });
 }
@@ -493,13 +537,13 @@ LinearSteadySystem FvModel::linearize_steady(const FvOptions& opts) const {
         "conditions (ConvectionRadiation / NaturalConvection); only linear "
         "boundaries admit a single constant operator");
 
-  AssemblyCache cache = build_assembly_cache(opts, 0.0);
+  Workspace ws = make_workspace(build_assembly(opts, 0.0));
   LinearSteadySystem sys;
   // All boundary conductances are temperature-independent here, so the
   // iterate passed to the boundary rewrite is arbitrary.
   const Vector temps(grid_.cell_count(), 0.0);
-  update_boundary_terms(cache, temps, nullptr, sys.rhs);
-  sys.matrix = std::move(cache.matrix);
+  update_boundary_terms(ws, temps, nullptr, sys.rhs);
+  sys.matrix = std::move(ws.matrix);
   return sys;
 }
 
@@ -532,7 +576,8 @@ double FvModel::energy_residual(const Vector& temps, const FvOptions& opts) cons
   return std::fabs(sources - outflow);
 }
 
-FvSolution FvModel::solve_steady(const FvOptions& opts) const {
+FvSolution FvModel::solve_steady_impl(const FvOptions& opts,
+                                      std::shared_ptr<const FvAssembly> assembly) const {
   const std::size_t n = grid_.cell_count();
   // Check that the problem is bounded: at least one face must sink heat.
   bool has_sink = false;
@@ -572,14 +617,26 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
   if (obs::enabled()) obs::current().gauge("fv.cells").set(static_cast<double>(n));
   // Fast path: symbolic structure + static coefficients assembled once;
   // Picard passes rewrite only boundary terms and warm-start CG from the
-  // previous pass's temperature field.
-  AssemblyCache cache = build_assembly_cache(opts, 0.0);
-  sol.structure_assemblies = 1;
+  // previous pass's temperature field. A caller-supplied shared assembly
+  // skips the structural pass entirely (cache-hit path) — the workspace
+  // copies the static values so the shared artifact stays immutable.
+  if (!assembly) {
+    assembly = build_assembly(opts, 0.0);
+    sol.structure_assemblies = 1;
+  } else {
+    if (assembly->inv_dt != 0.0 ||
+        assembly->structural_hash != structural_hash(opts, 0.0))
+      throw std::invalid_argument(
+          "FvModel::solve_steady: shared assembly does not match this model "
+          "(structural hash or inv_dt differs)");
+    sol.structure_assemblies = 0;
+  }
+  Workspace ws = make_workspace(std::move(assembly));
   Vector rhs(n);
   const std::size_t passes = nonlinear ? opts.max_picard_iterations : 1;
   for (std::size_t it = 0; it < passes; ++it) {
-    update_boundary_terms(cache, temps, nullptr, rhs);
-    const auto lin = numeric::conjugate_gradient(cache.matrix, rhs, opts.linear, &temps);
+    update_boundary_terms(ws, temps, nullptr, rhs);
+    const auto lin = numeric::conjugate_gradient(ws.matrix, rhs, opts.linear, &temps);
     if (!lin.converged)
       throw std::runtime_error("FvModel::solve_steady: linear solver failed to converge");
     picard_passes.add();
@@ -612,6 +669,17 @@ FvSolution FvModel::solve_steady(const FvOptions& opts) const {
   return sol;
 }
 
+FvSolution FvModel::solve_steady(const FvOptions& opts) const {
+  return solve_steady_impl(opts, nullptr);
+}
+
+FvSolution FvModel::solve_steady(const std::shared_ptr<const FvAssembly>& assembly,
+                                 const FvOptions& opts) const {
+  if (!assembly)
+    throw std::invalid_argument("FvModel::solve_steady: null shared assembly");
+  return solve_steady_impl(opts, assembly);
+}
+
 namespace {
 
 // Context-pinned solves inherit the context's Chebyshev degree unless the
@@ -627,6 +695,13 @@ FvOptions with_context_tuning(const ExecutionContext& ctx, FvOptions opts) {
 FvSolution FvModel::solve_steady(ExecutionContext& ctx, const FvOptions& opts) const {
   const ExecutionContext::Use use(ctx);
   return solve_steady(with_context_tuning(ctx, opts));
+}
+
+FvSolution FvModel::solve_steady(ExecutionContext& ctx,
+                                 const std::shared_ptr<const FvAssembly>& assembly,
+                                 const FvOptions& opts) const {
+  const ExecutionContext::Use use(ctx);
+  return solve_steady(assembly, with_context_tuning(ctx, opts));
 }
 
 FvTransientSolution FvModel::solve_transient(double t_end, double dt, double t_initial,
@@ -666,12 +741,12 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt,
   static thread_local obs::CounterHandle transient_steps{"fv.transient_steps"};
   static thread_local obs::CounterHandle warmstart_hits{"fv.warmstart_hits"};
   obs::ScopedTimer span("fv.solve_transient");
-  AssemblyCache cache = build_assembly_cache(opts, 1.0 / dt);
+  Workspace ws = make_workspace(build_assembly(opts, 1.0 / dt));
   out.structure_assemblies = 1;
   Vector rhs(n);
   for (std::size_t s = 1; s <= steps; ++s) {
-    update_boundary_terms(cache, temps, &temps, rhs);
-    const auto lin = numeric::conjugate_gradient(cache.matrix, rhs, opts.linear, &temps);
+    update_boundary_terms(ws, temps, &temps, rhs);
+    const auto lin = numeric::conjugate_gradient(ws.matrix, rhs, opts.linear, &temps);
     if (!lin.converged)
       throw std::runtime_error("FvModel::solve_transient: linear solver failed");
     transient_steps.add();

@@ -16,7 +16,9 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -141,6 +143,30 @@ struct LinearSteadySystem {
   numeric::Vector rhs;        ///< sources + flux terms + film * sink terms [W]
 };
 
+/// The immutable structural half of an FV solve: the 7-point CSR pattern,
+/// every temperature-independent internal coefficient (face conductances,
+/// contact interfaces, implicit-Euler capacity) — and nothing that depends
+/// on sources or boundary conditions, which stay on the model and are
+/// applied per solve into a private workspace. Two models that differ only
+/// in loads/boundaries therefore share one FvAssembly, which is what the
+/// scenario-service ArtifactCache exploits across a qualification campaign.
+///
+/// Shareability contract: all fields are written once by
+/// FvModel::build_assembly and never mutated afterwards; concurrent solves
+/// on distinct ExecutionContexts may read one assembly freely, and a solve
+/// on a cached assembly is bitwise identical to the cold-start solve that
+/// would have built it (gated by tests/svc/test_artifact_reuse.cpp).
+struct FvAssembly {
+  numeric::CsrMatrix matrix;            ///< pattern + boundary-free values
+  std::vector<double> base_values;      ///< matrix values without boundary films
+  std::vector<std::size_t> diag_index;  ///< per-row offset of the diagonal entry
+  numeric::Vector capacity;             ///< rho*cp*V/dt per cell (transient only)
+  double inv_dt = 0.0;                  ///< 0 for steady assemblies
+  std::uint64_t structural_hash = 0;    ///< FvModel::structural_hash at build time
+  /// Approximate resident size, for cost-aware cache eviction.
+  std::size_t cost_bytes() const;
+};
+
 class FvModel {
  public:
   explicit FvModel(FvGrid grid);
@@ -184,6 +210,32 @@ class FvModel {
   /// pool and telemetry lands in the context's registry. Results are
   /// bit-identical to the pool-less overload at any thread count.
   FvSolution solve_steady(ExecutionContext& ctx, const FvOptions& opts = {}) const;
+
+  /// Hash of everything a steady/transient assembly depends on: grid
+  /// geometry, per-cell conductivities and capacities, z-interfaces, the
+  /// face-conductance scheme and `inv_dt` — and deliberately NOT sources or
+  /// boundary conditions, which are per-solve inputs. Equal hashes guarantee
+  /// build_assembly would produce bitwise-identical artifacts, so this is
+  /// the ArtifactCache key for FV assemblies.
+  std::uint64_t structural_hash(const FvOptions& opts = {}, double inv_dt = 0.0) const;
+
+  /// Assemble the shareable structural artifact once (counts one
+  /// "fv.structure_assemblies"). `inv_dt > 0` bakes in the implicit-Euler
+  /// capacity terms for a transient march with that step.
+  std::shared_ptr<const FvAssembly> build_assembly(const FvOptions& opts = {},
+                                                   double inv_dt = 0.0) const;
+
+  /// Steady solve on a pre-built (possibly cache-shared) steady assembly:
+  /// skips symbolic assembly entirely (structure_assemblies == 0 in the
+  /// solution) and is bitwise identical to the assembling overload. Throws
+  /// std::invalid_argument when the assembly's structural hash does not
+  /// match this model at `opts` (it was built for different structure) or
+  /// when it is a transient assembly.
+  FvSolution solve_steady(const std::shared_ptr<const FvAssembly>& assembly,
+                          const FvOptions& opts = {}) const;
+  FvSolution solve_steady(ExecutionContext& ctx,
+                          const std::shared_ptr<const FvAssembly>& assembly,
+                          const FvOptions& opts = {}) const;
 
   /// Implicit Euler transient from a uniform initial temperature. `dt` is
   /// clamped to `t_end` (a march shorter than one step degenerates to a
@@ -233,27 +285,27 @@ class FvModel {
   void check_range(const CellRange& r) const;
   const BoundaryCondition& boundary_for(Face f, std::size_t a, std::size_t b) const;
 
-  /// Cached system assembly. The 7-point CSR sparsity pattern and every
-  /// temperature-independent coefficient (internal face conductances,
-  /// transient capacity, volumetric sources, prescribed fluxes) are computed
-  /// once per solve; Picard passes and time steps only rewrite the
-  /// temperature-dependent boundary terms in place.
-  struct AssemblyCache {
-    numeric::CsrMatrix matrix;              ///< pattern + working values
-    std::vector<double> base_values;        ///< values without boundary film terms
-    std::vector<std::size_t> diag_index;    ///< per-row offset of the diagonal entry
-    numeric::Vector base_rhs;               ///< sources + prescribed-flux terms [W]
-    numeric::Vector capacity;               ///< rho*cp*V/dt per cell (transient only)
+  /// Per-solve mutable state layered over an immutable (possibly shared)
+  /// FvAssembly: a working copy of the matrix for the boundary-film rewrite
+  /// and this model's static right-hand side (sources + prescribed fluxes).
+  /// Picard passes and time steps only rewrite the temperature-dependent
+  /// boundary terms in place; the shared assembly is never touched.
+  struct Workspace {
+    std::shared_ptr<const FvAssembly> assembly;
+    numeric::CsrMatrix matrix;   ///< working copy: base values + boundary films
+    numeric::Vector base_rhs;    ///< sources + prescribed-flux terms [W]
   };
 
-  /// Build the symbolic structure + static coefficients. `inv_dt > 0`
-  /// switches on the implicit-Euler capacity terms.
-  AssemblyCache build_assembly_cache(const FvOptions& opts, double inv_dt) const;
+  Workspace make_workspace(std::shared_ptr<const FvAssembly> assembly) const;
+  /// Volumetric sources + prescribed boundary fluxes of this model [W].
+  numeric::Vector build_base_rhs() const;
   /// Rewrite boundary film conductances (linearized at `temps`) into the
-  /// cached matrix and produce the full right-hand side. `prev` supplies the
-  /// previous time-step field for the transient capacity source term.
-  void update_boundary_terms(AssemblyCache& cache, const numeric::Vector& temps,
+  /// workspace matrix and produce the full right-hand side. `prev` supplies
+  /// the previous time-step field for the transient capacity source term.
+  void update_boundary_terms(Workspace& ws, const numeric::Vector& temps,
                              const numeric::Vector* prev, numeric::Vector& rhs) const;
+  FvSolution solve_steady_impl(const FvOptions& opts,
+                               std::shared_ptr<const FvAssembly> assembly) const;
   double face_conductance_x(std::size_t i0, std::size_t i1, std::size_t j, std::size_t k,
                             FaceConductanceScheme scheme) const;
   double face_conductance_y(std::size_t j0, std::size_t j1, std::size_t i, std::size_t k,

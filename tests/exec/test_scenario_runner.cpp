@@ -175,3 +175,47 @@ TEST(ScenarioRunner, MoreWorkersThanScenariosIsFine) {
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].ok);
 }
+
+TEST(ScenarioRunner, ThrowingScenarioRerunsIdenticallyWithFreshCounters) {
+  // Re-run contract for failures: the second run() reproduces the same
+  // ok/error outcome per scenario, and counters come from a fresh context
+  // both times (no accumulation across runs, failed or not).
+  ac::ScenarioRunnerOptions opts;
+  opts.workers = 2;
+  ac::ScenarioRunner runner(opts);
+  runner.add("good", slab_scenario(4.0));
+  runner.add("bad", [](aeropack::ExecutionContext&) -> std::map<std::string, double> {
+    at::FvModel slab(at::FvGrid::uniform(0.1, 0.02, 0.01, 8, 2, 2));
+    slab.set_material(am::aluminum_6061());
+    slab.add_power({0, 8, 0, 2, 0, 2}, 5.0);
+    slab.set_boundary(at::Face::XMin, at::BoundaryCondition::fixed(300.0));
+    slab.solve_steady();  // leaves a counter trail before failing
+    throw std::runtime_error("diverged after the solve");
+  });
+  const auto first = runner.run();
+  const auto second = runner.run();
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_TRUE(first[0].ok);
+  EXPECT_TRUE(second[0].ok);
+  EXPECT_FALSE(first[1].ok);
+  EXPECT_FALSE(second[1].ok);
+  EXPECT_EQ(first[1].error, second[1].error);
+  EXPECT_EQ(first[1].error, "diverged after the solve");
+  // A failed scenario still reports the counters it accrued — identically
+  // on both runs because each run drove a fresh registry.
+  EXPECT_EQ(counter_of(first[1], "fv.steady_solves"), 1u);
+  EXPECT_EQ(first[1].counters, second[1].counters);
+  EXPECT_EQ(first[0].counters, second[0].counters);
+}
+
+TEST(ScenarioRunner, ResultsCarryGaugesFromTheScenarioRegistry) {
+  ac::ScenarioRunner runner;
+  runner.add("slab", slab_scenario(4.0));
+  const auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok);
+  // Gauge capture rides along with counters: problem size + per-pass
+  // convergence traces from the scenario's isolated registry.
+  EXPECT_EQ(results[0].gauges.at("fv.cells"), 12.0 * 3.0 * 3.0);
+}

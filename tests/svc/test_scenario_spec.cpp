@@ -1,0 +1,118 @@
+// core::ScenarioSpec — schema contracts: lossless serialize round-trips
+// (hexfloat doubles, escaped names), content-hash identity and the
+// structural/content hash split the artifact cache keys on.
+#include "core/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ac = aeropack::core;
+
+namespace {
+
+ac::ScenarioSpec sample_spec() {
+  ac::ScenarioSpec spec;
+  spec.name = "seb_p060";
+  spec.graph = "seb_point";
+  spec.params = {{"tilt_deg", 22.0}};
+  spec.loads = {{"power_w", 60.0}};
+  spec.boundaries = {{"t_ambient", 295.15}};
+  return spec;
+}
+
+TEST(ScenarioSpec, SerializeRoundTripsLosslessly) {
+  const ac::ScenarioSpec spec = sample_spec();
+  const ac::ScenarioSpec back = ac::ScenarioSpec::deserialize(spec.serialize());
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(spec.content_hash(), back.content_hash());
+  EXPECT_EQ(spec.structural_hash(), back.structural_hash());
+}
+
+TEST(ScenarioSpec, RoundTripPreservesExactDoubleBits) {
+  ac::ScenarioSpec spec;
+  spec.name = "bits";
+  spec.graph = "g";
+  // Values that decimal formatting would mangle: an irrational dyadic mess,
+  // a denormal, a negative zero and the largest finite double.
+  spec.params = {{"pi", 3.141592653589793},
+                 {"denormal", 5e-324},
+                 {"negzero", -0.0},
+                 {"huge", std::numeric_limits<double>::max()}};
+  const ac::ScenarioSpec back = ac::ScenarioSpec::deserialize(spec.serialize());
+  for (const auto& [key, value] : spec.params) {
+    const double b = back.params.at(key);
+    EXPECT_EQ(std::signbit(value), std::signbit(b)) << key;
+    EXPECT_EQ(value, b) << key;
+  }
+  EXPECT_EQ(spec.content_hash(), back.content_hash());
+}
+
+TEST(ScenarioSpec, EscapesStructuralCharactersInNames) {
+  ac::ScenarioSpec spec;
+  spec.name = "odd|name=with%chars";
+  spec.graph = "g|=";
+  spec.params = {{"k|e=y%", 1.0}};
+  const ac::ScenarioSpec back = ac::ScenarioSpec::deserialize(spec.serialize());
+  EXPECT_EQ(spec, back);
+}
+
+TEST(ScenarioSpec, NameIsExcludedFromContentHash) {
+  ac::ScenarioSpec a = sample_spec();
+  ac::ScenarioSpec b = sample_spec();
+  b.name = "a_different_label";
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_EQ(a.structural_hash(), b.structural_hash());
+}
+
+TEST(ScenarioSpec, LoadsChangeContentButNotStructure) {
+  ac::ScenarioSpec a = sample_spec();
+  ac::ScenarioSpec b = sample_spec();
+  b.loads["power_w"] = 120.0;
+  b.boundaries["t_ambient"] = 300.0;
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  EXPECT_EQ(a.structural_hash(), b.structural_hash());
+}
+
+TEST(ScenarioSpec, ParamsAndGraphChangeBothHashes) {
+  const ac::ScenarioSpec a = sample_spec();
+  ac::ScenarioSpec b = sample_spec();
+  b.params["tilt_deg"] = 0.0;
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  EXPECT_NE(a.structural_hash(), b.structural_hash());
+  ac::ScenarioSpec c = sample_spec();
+  c.graph = "fv_slab_steady";
+  EXPECT_NE(a.content_hash(), c.content_hash());
+  EXPECT_NE(a.structural_hash(), c.structural_hash());
+}
+
+TEST(ScenarioSpec, HashDistinguishesWhichMapHoldsAKey) {
+  // The same key/value pair in params vs loads must not collide: one keys
+  // shared structure, the other does not.
+  ac::ScenarioSpec a;
+  a.graph = "g";
+  a.params = {{"x", 1.0}};
+  ac::ScenarioSpec b;
+  b.graph = "g";
+  b.loads = {{"x", 1.0}};
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(ScenarioSpec, DeserializeRejectsMalformedInput) {
+  EXPECT_THROW(ac::ScenarioSpec::deserialize(""), std::invalid_argument);
+  EXPECT_THROW(ac::ScenarioSpec::deserialize("scenario/2|name=a|graph=g"),
+               std::invalid_argument);
+  EXPECT_THROW(ac::ScenarioSpec::deserialize("scenario/1|name=a"), std::invalid_argument);
+  EXPECT_THROW(ac::ScenarioSpec::deserialize("scenario/1|name=a|graph=g|p:x=notanumber"),
+               std::invalid_argument);
+  EXPECT_THROW(ac::ScenarioSpec::deserialize("scenario/1|name=a|graph=g|z:x=1"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ac::ScenarioSpec::deserialize("scenario/1|name=a|graph=g|p:x=0x1p+0|p:x=0x1p+1"),
+      std::invalid_argument);
+  EXPECT_THROW(ac::ScenarioSpec::deserialize("scenario/1|name=a%2|graph=g"),
+               std::invalid_argument);
+}
+
+}  // namespace

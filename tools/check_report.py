@@ -4,6 +4,7 @@
 Usage:
     check_report.py <report.json> <expected.json>
     check_report.py --speedups <BENCH json> [--floor 0.95]
+    check_report.py --cache-floor <rate> <report.json>
 
 The report is the flat JSON an aeropack bench writes via `--report out.json`
 (obs::Report::to_json: "counters.*", "gauges.*", "timers.*" keys plus the one
@@ -20,6 +21,14 @@ writes) and fails if any grid with n >= 32 reports steady_speedup_vs_1 below
 the floor at 2 threads, or if no qualifying cell exists at all. This is the
 CI tripwire that keeps dispatch-overhead regressions (threads making solves
 slower) from landing silently.
+
+--cache-floor mode gates the scenario-service artifact cache instead: it
+reads counters.svc.cache.{hits,misses} from a campaign report
+(bench_scenario_throughput --smoke emits them from the deterministic
+workers=1 cached run) and fails if the hit rate hits/(hits+misses) falls
+below the floor — the tripwire that keeps structural-hash regressions
+(every lookup missing because a key accidentally hashes per-scenario data)
+from landing silently.
 
 Exit status: 0 if every expected counter matches exactly, 1 on any drift or
 missing key, 2 on usage/parse errors.
@@ -76,6 +85,35 @@ def check_speedups(bench_path, floor):
     return 0
 
 
+def check_cache_floor(report_path, floor):
+    report = load(report_path)
+    hits = report.get("counters.svc.cache.hits")
+    misses = report.get("counters.svc.cache.misses")
+    if hits is None or misses is None:
+        print(
+            f"check_report: {report_path} has no counters.svc.cache.hits/misses — "
+            "run the bench with a campaign section (--smoke) to emit them",
+            file=sys.stderr,
+        )
+        return 2
+    total = hits + misses
+    rate = hits / total if total else 0.0
+    if total == 0 or rate < floor:
+        print(
+            f"check_report: artifact-cache hit rate regression in {report_path}:\n"
+            f"  svc.cache: {hits} hits / {misses} misses = {rate:.3f} < floor {floor}\n"
+            "\nScenarios that should share structure are missing the cache. Check "
+            "the structural hashes (FvModel::structural_hash, rom_key) for inputs "
+            "that vary per scenario before touching the floor."
+        )
+        return 1
+    print(
+        f"check_report: {report_path} cache hit rate ok "
+        f"({hits}/{total} = {rate:.3f}, floor {floor})"
+    )
+    return 0
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -101,6 +139,18 @@ def main(argv):
             print(__doc__, file=sys.stderr)
             return 2
         return check_speedups(args[0], floor)
+
+    if "--cache-floor" in argv:
+        args = [a for a in argv[1:] if a != "--cache-floor"]
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        try:
+            floor = float(args[0])
+        except ValueError:
+            print("check_report: --cache-floor needs a rate in [0, 1]", file=sys.stderr)
+            return 2
+        return check_cache_floor(args[1], floor)
 
     update = "--update" in argv
     args = [a for a in argv if a != "--update"]
