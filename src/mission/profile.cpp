@@ -1,0 +1,333 @@
+#include "mission/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "numeric/hashing.hpp"
+
+namespace aeropack::mission {
+
+namespace {
+
+constexpr std::string_view kMagic = "mission/1";
+
+// Same wire conventions as core::ScenarioSpec: '%', '|' and '=' carry
+// structure, so they (and control characters) are %XX-escaped in names, and
+// doubles are written as C99 hexfloats so the parsed profile hashes to the
+// same value as the original.
+void append_escaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    if (c == '%' || c == '|' || c == '=' || c == ',' || c < 0x20) {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", c);
+      out += buf;
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size())
+        throw std::invalid_argument("Profile::deserialize: truncated escape");
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi < 0 || lo < 0)
+        throw std::invalid_argument("Profile::deserialize: bad escape digit");
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("Profile::deserialize: empty value");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size())
+    throw std::invalid_argument("Profile::deserialize: unparsable value '" + s + "'");
+  return v;
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+double lerp(double a, double b, double frac) { return a + (b - a) * frac; }
+
+}  // namespace
+
+// --- Phase -----------------------------------------------------------------
+
+Phase Phase::constant(std::string name, double duration, double t_ambient, double h_scale,
+                      double power_scale) {
+  Phase p;
+  p.name = std::move(name);
+  p.duration = duration;
+  p.t_ambient_start = p.t_ambient_end = t_ambient;
+  p.h_scale_start = p.h_scale_end = h_scale;
+  p.power_scale_start = p.power_scale_end = power_scale;
+  p.t_sink_start = p.t_sink_end = t_ambient;
+  return p;
+}
+
+Phase Phase::ramp(std::string name, double duration, double t_from, double t_to, double h_scale,
+                  double power_scale) {
+  Phase p;
+  p.name = std::move(name);
+  p.duration = duration;
+  p.t_ambient_start = t_from;
+  p.t_ambient_end = t_to;
+  p.h_scale_start = p.h_scale_end = h_scale;
+  p.power_scale_start = p.power_scale_end = power_scale;
+  p.t_sink_start = t_from;
+  p.t_sink_end = t_to;
+  return p;
+}
+
+// --- Profile ---------------------------------------------------------------
+
+void Profile::add_phase(Phase phase) {
+  if (!(phase.duration > 0.0) || !std::isfinite(phase.duration))
+    throw std::invalid_argument("Profile::add_phase: duration must be positive and finite");
+  for (double v : {phase.t_ambient_start, phase.t_ambient_end, phase.t_sink_start,
+                   phase.t_sink_end}) {
+    if (!std::isfinite(v) || v <= 0.0)
+      throw std::invalid_argument(
+          "Profile::add_phase: temperatures must be absolute (K), positive and finite");
+  }
+  for (double v : {phase.h_scale_start, phase.h_scale_end, phase.power_scale_start,
+                   phase.power_scale_end}) {
+    if (!std::isfinite(v) || v < 0.0)
+      throw std::invalid_argument("Profile::add_phase: scales must be finite and >= 0");
+  }
+  starts_.push_back(total_duration());
+  phases_.push_back(std::move(phase));
+}
+
+const Phase& Profile::phase(std::size_t i) const {
+  if (i >= phases_.size()) throw std::out_of_range("Profile::phase: index out of range");
+  return phases_[i];
+}
+
+double Profile::total_duration() const {
+  return phases_.empty() ? 0.0 : starts_.back() + phases_.back().duration;
+}
+
+double Profile::phase_start(std::size_t i) const {
+  if (i >= starts_.size()) throw std::out_of_range("Profile::phase_start: index out of range");
+  return starts_[i];
+}
+
+std::size_t Profile::phase_index(double t) const {
+  if (phases_.empty()) throw std::logic_error("Profile::phase_index: empty profile");
+  // First phase whose start is >= t; the owning phase is the one before it,
+  // so a boundary instant belongs to the closing phase ((start, end]).
+  const auto it = std::lower_bound(starts_.begin(), starts_.end(), t);
+  const std::size_t idx = static_cast<std::size_t>(it - starts_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, phases_.size() - 1);
+}
+
+double Profile::next_transition(double t) const {
+  if (phases_.empty()) throw std::logic_error("Profile::next_transition: empty profile");
+  const double total = total_duration();
+  const double eps = 1e-12 * std::max(1.0, total);
+  for (std::size_t i = 0; i + 1 < phases_.size(); ++i) {
+    const double end = starts_[i + 1];
+    if (end > t + eps) return end;
+  }
+  return total;
+}
+
+EnvironmentState Profile::environment(double t) const {
+  if (phases_.empty()) throw std::logic_error("Profile::environment: empty profile");
+  const std::size_t i = phase_index(t);
+  const Phase& p = phases_[i];
+  const double local = t - starts_[i];
+  const double frac = std::clamp(local / p.duration, 0.0, 1.0);
+  EnvironmentState env;
+  env.t_ambient = lerp(p.t_ambient_start, p.t_ambient_end, frac);
+  env.h_scale = lerp(p.h_scale_start, p.h_scale_end, frac);
+  env.power_scale = lerp(p.power_scale_start, p.power_scale_end, frac);
+  env.t_sink = lerp(p.t_sink_start, p.t_sink_end, frac);
+  return env;
+}
+
+std::uint64_t Profile::content_hash() const {
+  numeric::StructuralHasher h;
+  h.add(std::string_view("mission.profile"));
+  h.add(static_cast<std::uint64_t>(phases_.size()));
+  for (const Phase& p : phases_) {
+    h.add(std::string_view(p.name));
+    h.add(p.duration);
+    h.add(p.t_ambient_start).add(p.t_ambient_end);
+    h.add(p.h_scale_start).add(p.h_scale_end);
+    h.add(p.power_scale_start).add(p.power_scale_end);
+    h.add(p.t_sink_start).add(p.t_sink_end);
+  }
+  return h.value();
+}
+
+std::string Profile::serialize() const {
+  std::string out(kMagic);
+  out += "|name=";
+  append_escaped(out, name_);
+  for (const Phase& p : phases_) {
+    out += "|phase:";
+    append_escaped(out, p.name);
+    out += '=';
+    const double fields[] = {p.duration,        p.t_ambient_start, p.t_ambient_end,
+                             p.h_scale_start,   p.h_scale_end,     p.power_scale_start,
+                             p.power_scale_end, p.t_sink_start,    p.t_sink_end};
+    for (std::size_t i = 0; i < 9; ++i) {
+      if (i > 0) out += ',';
+      out += format_double(fields[i]);
+    }
+  }
+  return out;
+}
+
+Profile Profile::deserialize(const std::string& text) {
+  const auto fields = split(text, '|');
+  if (fields.empty() || fields[0] != kMagic)
+    throw std::invalid_argument("Profile::deserialize: bad magic (want 'mission/1')");
+  Profile profile;
+  bool saw_name = false;
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const std::string_view f = fields[i];
+    const std::size_t eq = f.find('=');
+    if (eq == std::string_view::npos)
+      throw std::invalid_argument("Profile::deserialize: field without '='");
+    const std::string_view key = f.substr(0, eq);
+    const std::string_view raw = f.substr(eq + 1);
+    if (key == "name") {
+      if (saw_name) throw std::invalid_argument("Profile::deserialize: duplicate name");
+      profile.name_ = unescape(raw);
+      saw_name = true;
+    } else if (key.size() > 6 && key.substr(0, 6) == "phase:") {
+      const auto values = split(raw, ',');
+      if (values.size() != 9)
+        throw std::invalid_argument("Profile::deserialize: phase needs exactly 9 values");
+      Phase p;
+      p.name = unescape(key.substr(6));
+      double v[9];
+      for (std::size_t n = 0; n < 9; ++n) v[n] = parse_double(unescape(values[n]));
+      p.duration = v[0];
+      p.t_ambient_start = v[1];
+      p.t_ambient_end = v[2];
+      p.h_scale_start = v[3];
+      p.h_scale_end = v[4];
+      p.power_scale_start = v[5];
+      p.power_scale_end = v[6];
+      p.t_sink_start = v[7];
+      p.t_sink_end = v[8];
+      profile.add_phase(std::move(p));
+    } else {
+      throw std::invalid_argument("Profile::deserialize: unknown field tag");
+    }
+  }
+  if (!saw_name) throw std::invalid_argument("Profile::deserialize: missing name");
+  return profile;
+}
+
+// --- generators ------------------------------------------------------------
+
+Profile Profile::do160_thermal_shock(double t_cold, double t_hot, double ramp_rate_k_per_min,
+                                     double dwell_seconds) {
+  if (!(t_hot > t_cold))
+    throw std::invalid_argument("do160_thermal_shock: t_hot must exceed t_cold");
+  if (!(ramp_rate_k_per_min > 0.0) || !(dwell_seconds > 0.0))
+    throw std::invalid_argument("do160_thermal_shock: rate and dwell must be positive");
+  const double ramp_seconds = (t_hot - t_cold) / (ramp_rate_k_per_min / 60.0);
+  Profile p("do160_thermal_shock");
+  p.add_phase(Phase::constant("cold_soak", dwell_seconds, t_cold));
+  p.add_phase(Phase::ramp("ramp_hot", ramp_seconds, t_cold, t_hot));
+  p.add_phase(Phase::constant("hot_soak", dwell_seconds, t_hot));
+  p.add_phase(Phase::ramp("ramp_cold", ramp_seconds, t_hot, t_cold));
+  p.add_phase(Phase::constant("cold_recovery", dwell_seconds, t_cold));
+  return p;
+}
+
+Profile Profile::arinc600_flight(double t_ground, double t_cruise, double time_scale) {
+  if (!(time_scale > 0.0))
+    throw std::invalid_argument("arinc600_flight: time_scale must be positive");
+  if (!(t_ground > t_cruise))
+    throw std::invalid_argument("arinc600_flight: ground must be warmer than cruise");
+  Profile p("arinc600_flight");
+  const double s = time_scale;
+  // Taxi: hot ramp air, fans only (poor flow), nominal power.
+  p.add_phase(Phase::constant("taxi", 600.0 * s, t_ground, 0.6, 1.0));
+  // Takeoff: full dissipation, flow building up as the bleed system spools.
+  {
+    Phase takeoff = Phase::ramp("takeoff", 120.0 * s, t_ground, t_ground - 10.0, 0.6, 1.25);
+    takeoff.h_scale_end = 1.0;
+    p.add_phase(std::move(takeoff));
+  }
+  // Climb: ambient falls to the cruise level, cooling at full flow.
+  p.add_phase(Phase::ramp("climb", 900.0 * s, t_ground - 10.0, t_cruise, 1.0, 1.1));
+  p.add_phase(Phase::constant("cruise", 3600.0 * s, t_cruise, 1.0, 1.0));
+  // Descent: ambient recovers toward ground, reduced dissipation.
+  {
+    Phase descent = Phase::ramp("descent", 1200.0 * s, t_cruise, t_ground - 5.0, 1.0, 0.9);
+    descent.h_scale_end = 0.8;
+    p.add_phase(std::move(descent));
+  }
+  {
+    Phase landing = Phase::ramp("landing", 300.0 * s, t_ground - 5.0, t_ground, 0.8, 0.8);
+    landing.h_scale_end = 0.6;
+    p.add_phase(std::move(landing));
+  }
+  return p;
+}
+
+Profile Profile::cubesat_eclipse(std::size_t orbits, double period_seconds,
+                                 double eclipse_fraction, double t_sunlit, double t_eclipse,
+                                 double eclipse_power_scale) {
+  if (orbits == 0) throw std::invalid_argument("cubesat_eclipse: need at least one orbit");
+  if (!(period_seconds > 0.0))
+    throw std::invalid_argument("cubesat_eclipse: period must be positive");
+  if (!(eclipse_fraction > 0.0) || !(eclipse_fraction < 1.0))
+    throw std::invalid_argument("cubesat_eclipse: eclipse fraction must be in (0, 1)");
+  Profile p("cubesat_eclipse");
+  const double sunlit_s = period_seconds * (1.0 - eclipse_fraction);
+  const double eclipse_s = period_seconds * eclipse_fraction;
+  for (std::size_t orbit = 0; orbit < orbits; ++orbit) {
+    p.add_phase(Phase::constant("sunlit_" + std::to_string(orbit), sunlit_s, t_sunlit));
+    p.add_phase(Phase::constant("eclipse_" + std::to_string(orbit), eclipse_s, t_eclipse, 1.0,
+                                eclipse_power_scale));
+  }
+  return p;
+}
+
+}  // namespace aeropack::mission

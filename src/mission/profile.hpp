@@ -1,0 +1,158 @@
+// mission::Profile — the serializable time-varying environment schema of the
+// mission-profile transient layer (DESIGN.md "Mission profiles").
+//
+// A profile is a named sequence of phases. Each phase interpolates four
+// environment channels linearly from start to end values over its duration:
+//  - t_ambient:    the convective sink temperature [K] every temperature-
+//                  referencing boundary follows,
+//  - h_scale:      a multiplier on fixed film coefficients (flow regimes:
+//                  ground idle vs. cruise ram air),
+//  - power_scale:  a multiplier on volumetric dissipation (mission-phase
+//                  duty cycling),
+//  - t_sink:       the radiative sink temperature [K] ConvectionRadiation
+//                  faces follow (deep space vs. cabin walls).
+// Values are continuous inside a phase and may jump across phase boundaries
+// (the CubeSat eclipse square wave is exactly such a discontinuity).
+//
+// Like core::ScenarioSpec, a profile is pure data: serialize()/deserialize()
+// round-trip losslessly over a one-line wire form ("mission/1|..." with %a
+// hexfloat values), and content_hash() is FNV-1a over exact IEEE-754 bit
+// patterns — equal hashes mean bitwise-equal drivers, so campaigns keyed by
+// (spec content hash, profile content hash) deduplicate exactly. The display
+// name is excluded from the hash, mirroring ScenarioSpec::content_hash.
+//
+// Profile data deliberately never enters any structural hash: drivers change
+// boundary values per step, not operator structure, so every mission point
+// shares the same steady FvAssembly through core::ArtifactCache (see
+// CONTRIBUTING.md "Driver hashing rules").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aeropack::mission {
+
+/// The four environment channels at one instant of mission time.
+struct EnvironmentState {
+  double t_ambient = 293.15;  ///< convective sink temperature [K]
+  double h_scale = 1.0;       ///< film-coefficient multiplier
+  double power_scale = 1.0;   ///< dissipation multiplier
+  double t_sink = 293.15;     ///< radiative sink temperature [K]
+};
+
+/// One mission phase: linear interpolation of every channel from its start
+/// to its end value over `duration` seconds.
+struct Phase {
+  std::string name;
+  double duration = 0.0;  ///< [s], must be > 0
+  double t_ambient_start = 293.15, t_ambient_end = 293.15;
+  double h_scale_start = 1.0, h_scale_end = 1.0;
+  double power_scale_start = 1.0, power_scale_end = 1.0;
+  double t_sink_start = 293.15, t_sink_end = 293.15;
+
+  /// Constant-environment phase (dwells, eclipse plateaus). The radiative
+  /// sink tracks the ambient unless set explicitly afterwards.
+  static Phase constant(std::string name, double duration, double t_ambient,
+                        double h_scale = 1.0, double power_scale = 1.0);
+  /// Linear ambient ramp (thermal-shock transitions, climb/descent). The
+  /// radiative sink tracks the ambient ramp; scales stay at their defaults.
+  static Phase ramp(std::string name, double duration, double t_from, double t_to,
+                    double h_scale = 1.0, double power_scale = 1.0);
+
+  friend bool operator==(const Phase& a, const Phase& b) = default;
+};
+
+class Profile {
+ public:
+  Profile() = default;
+  explicit Profile(std::string name) : name_(std::move(name)) {}
+
+  /// Display name. NOT part of content_hash(): two profiles that differ only
+  /// in name drive bitwise-identical campaigns.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Append a phase. Throws std::invalid_argument on non-positive or
+  /// non-finite duration, non-finite channel values, or non-positive
+  /// temperatures (all temperatures are absolute kelvin).
+  void add_phase(Phase phase);
+
+  std::size_t phase_count() const { return phases_.size(); }
+  const Phase& phase(std::size_t i) const;
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Sum of phase durations [s]; 0 for an empty profile.
+  double total_duration() const;
+  /// Mission time at which phase `i` begins.
+  double phase_start(std::size_t i) const;
+
+  /// Phase owning mission time `t`: t in (start_i, start_i + duration_i]
+  /// maps to phase i, t <= 0 to phase 0, t past the end to the last phase.
+  /// A step that ends exactly on a boundary therefore samples the closing
+  /// phase's end values and the next step samples the opening phase — the
+  /// clean semantics for square-wave drivers. Throws std::logic_error on an
+  /// empty profile.
+  std::size_t phase_index(double t) const;
+
+  /// The first phase end time strictly after `t` (the next driver
+  /// discontinuity an adaptive march must not step across), clamped to
+  /// total_duration(). Throws std::logic_error on an empty profile.
+  double next_transition(double t) const;
+
+  /// Environment at mission time `t`, clamped into [0, total_duration()].
+  EnvironmentState environment(double t) const;
+
+  /// FNV-1a over phase count, phase names and the exact IEEE-754 bits of
+  /// every channel value — the profile's identity as a driver. Excludes the
+  /// display name.
+  std::uint64_t content_hash() const;
+
+  /// One-line lossless text form:
+  /// "mission/1|name=...|phase:<name>=<dur>,<ta0>,<ta1>,<h0>,<h1>,<p0>,<p1>,<ts0>,<ts1>"
+  /// with %a hexfloat values and ScenarioSpec's %XX escaping for '%', '|',
+  /// '=' and control characters in names. Phase order is preserved.
+  std::string serialize() const;
+  /// Inverse of serialize(). Throws std::invalid_argument on malformed
+  /// input (bad magic, bad escape, wrong field count, unparsable value) and
+  /// re-validates every phase through add_phase.
+  static Profile deserialize(const std::string& text);
+
+  friend bool operator==(const Profile& a, const Profile& b) = default;
+
+  // --- built-in generators ---------------------------------------------
+  // Each returns a ready-to-run qualification driver; parameters default to
+  // the paper's qualification levels.
+
+  /// DO-160 section 5 thermal shock: cold soak, ramp to hot at
+  /// `ramp_rate_k_per_min` (DO-160's 5 deg C/min default), hot soak, ramp
+  /// back and a final cold recovery dwell. Ambient and radiative sink move
+  /// together; film and power scales stay at 1.
+  static Profile do160_thermal_shock(double t_cold = 228.15, double t_hot = 328.15,
+                                     double ramp_rate_k_per_min = 5.0,
+                                     double dwell_seconds = 1800.0);
+
+  /// ARINC 600 flight envelope: taxi (hot ramp air, poor flow), takeoff
+  /// (full power), climb (ambient falling to cruise), cruise, descent and
+  /// landing roll. `time_scale` compresses every duration (tests/benches
+  /// run scaled campaigns; 1.0 is the ~2 h reference envelope).
+  static Profile arinc600_flight(double t_ground = 328.15, double t_cruise = 243.15,
+                                 double time_scale = 1.0);
+
+  /// CubeSat orbital eclipse cycling (PAPERS.md, arXiv:1803.10468): a
+  /// square wave of `orbits` periods, sunlit at `t_sunlit` with full power,
+  /// eclipsed at `t_eclipse` with the payload duty-cycled to
+  /// `eclipse_power_scale`.
+  static Profile cubesat_eclipse(std::size_t orbits = 3, double period_seconds = 5400.0,
+                                 double eclipse_fraction = 0.35, double t_sunlit = 313.15,
+                                 double t_eclipse = 213.15,
+                                 double eclipse_power_scale = 0.6);
+
+ private:
+  std::string name_;
+  std::vector<Phase> phases_;
+  std::vector<double> starts_;  ///< cumulative phase start times
+};
+
+}  // namespace aeropack::mission

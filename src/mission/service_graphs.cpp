@@ -1,0 +1,146 @@
+#include "mission/service_graphs.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/artifact_cache.hpp"
+#include "core/scenario_service.hpp"
+#include "mission/profile.hpp"
+#include "mission/transient.hpp"
+#include "rom/canonical.hpp"
+#include "thermal/network.hpp"
+
+namespace aeropack::mission {
+
+namespace {
+
+namespace at = aeropack::thermal;
+
+double get_or(const std::map<std::string, double>& m, const std::string& key, double fallback) {
+  const auto it = m.find(key);
+  return it == m.end() ? fallback : it->second;
+}
+
+/// Canonical SEB box configured from a spec's loads, with port films in
+/// place (the drive supplies the per-step sink temperatures).
+at::FvModel seb_mission_model(const core::ScenarioSpec& spec, double t_sink0) {
+  rom::CanonicalCase cc = rom::seb_box();
+  rom::RomInputs inputs;
+  inputs.sink_temperatures.assign(cc.spec.ports.size(), t_sink0);
+  inputs.map_powers.reserve(cc.spec.maps.size());
+  for (const rom::RomPowerMap& m : cc.spec.maps) {
+    const double fallback = m.name == "pcb_components" ? 40.0 : 15.0;
+    inputs.map_powers.push_back(get_or(spec.loads, m.name, fallback));
+  }
+  rom::apply_inputs(cc.model, cc.spec, inputs);
+  return std::move(cc.model);
+}
+
+/// Adaptive march of `model` through `profile`, assembly shared through the
+/// scenario service's ArtifactCache when one is attached. The cache key is
+/// the *steady* structural hash — the exact key steady solves of the same
+/// structure use, which is the cross-campaign hit class the mission bench
+/// gates on.
+std::map<std::string, double> run_mission_graph(const at::FvModel& model, const Profile& profile,
+                                                const core::ScenarioSpec& spec,
+                                                aeropack::ExecutionContext& ctx) {
+  AdaptiveOptions adaptive;
+  adaptive.tolerance = get_or(spec.params, "tolerance", adaptive.tolerance);
+  adaptive.dt_max = get_or(spec.params, "dt_max", adaptive.dt_max);
+  const double t_initial = get_or(spec.params, "t_initial", 293.15);
+
+  const at::FvOptions fv_opts;
+  std::shared_ptr<const at::FvAssembly> assembly;
+  if (core::ArtifactCache* cache = ctx.artifact_cache()) {
+    assembly = cache->get_or_build<at::FvAssembly>(
+        model.structural_hash(fv_opts, 0.0),
+        [&] { return model.build_assembly(fv_opts, 0.0); },
+        [](const at::FvAssembly& a) { return a.cost_bytes(); });
+  }
+  const MissionSolution sol =
+      run_fv_mission(ctx, model, profile, t_initial, adaptive, fv_opts, assembly);
+
+  std::map<std::string, double> out;
+  out["t_final_max"] = sol.t_max.back();
+  out["t_final_min"] = sol.t_min.back();
+  out["t_final_mean"] = sol.t_mean.back();
+  out["t_peak_max"] = *std::max_element(sol.t_max.begin(), sol.t_max.end());
+  out["t_low_min"] = *std::min_element(sol.t_min.begin(), sol.t_min.end());
+  out["steps"] = static_cast<double>(sol.steps_accepted);
+  out["step_rejections"] = static_cast<double>(sol.steps_rejected);
+  out["phase_transitions"] = static_cast<double>(sol.phase_transitions);
+  out["linear_iterations"] = static_cast<double>(sol.linear_iterations);
+  out["structure_assemblies"] = static_cast<double>(sol.structure_assemblies);
+  out["sim_seconds"] = profile.total_duration();
+  return out;
+}
+
+std::map<std::string, double> mission_seb_do160(const core::ScenarioSpec& spec,
+                                                aeropack::ExecutionContext& ctx) {
+  const double t_cold = get_or(spec.boundaries, "t_cold", 228.15);
+  const double t_hot = get_or(spec.boundaries, "t_hot", 328.15);
+  const Profile profile =
+      Profile::do160_thermal_shock(t_cold, t_hot, get_or(spec.params, "ramp_rate", 5.0),
+                                   get_or(spec.params, "dwell_s", 1800.0));
+  const at::FvModel model = seb_mission_model(spec, t_cold);
+  return run_mission_graph(model, profile, spec, ctx);
+}
+
+std::map<std::string, double> mission_seb_eclipse(const core::ScenarioSpec& spec,
+                                                  aeropack::ExecutionContext& ctx) {
+  const double t_sunlit = get_or(spec.boundaries, "t_sunlit", 313.15);
+  const double t_eclipse = get_or(spec.boundaries, "t_eclipse", 213.15);
+  const Profile profile = Profile::cubesat_eclipse(
+      static_cast<std::size_t>(get_or(spec.params, "orbits", 2.0)),
+      get_or(spec.params, "period_s", 600.0), get_or(spec.params, "eclipse_fraction", 0.35),
+      t_sunlit, t_eclipse, get_or(spec.params, "eclipse_power_scale", 0.6));
+  const at::FvModel model = seb_mission_model(spec, t_sunlit);
+  return run_mission_graph(model, profile, spec, ctx);
+}
+
+// Two-node equipment/chassis lumped network under the ARINC 600 flight
+// envelope: the Level-1 sizing view of the same integration problem the FV
+// graphs resolve in 3-D (paper Fig. 4's resistive-network abstraction).
+std::map<std::string, double> mission_network_flight(const core::ScenarioSpec& spec,
+                                                     aeropack::ExecutionContext& ctx) {
+  const double t_ground = get_or(spec.boundaries, "t_ground", 328.15);
+  const double t_cruise = get_or(spec.boundaries, "t_cruise", 243.15);
+  const double time_scale = get_or(spec.params, "time_scale", 0.05);
+  const Profile profile = Profile::arinc600_flight(t_ground, t_cruise, time_scale);
+
+  at::ThermalNetwork net;
+  const at::NodeId equipment = net.add_node("equipment", 8000.0);
+  const at::NodeId chassis = net.add_node("chassis", 15000.0);
+  const at::NodeId ambient = net.add_boundary("ambient", t_ground);
+  net.add_conductor(equipment, chassis, 2.5);
+  net.add_conductor(chassis, ambient, 4.0);
+  net.add_heat_load(equipment, get_or(spec.loads, "equipment", 120.0));
+
+  const double t_initial = get_or(spec.params, "t_initial", 293.15);
+  const double dt = get_or(spec.params, "dt", 5.0) * time_scale;
+  numeric::Vector initial(net.node_count(), t_initial);
+  const at::NetworkDrive drive = drive_for_network(profile);
+  const at::TransientSolution sol =
+      net.solve_transient(ctx, profile.total_duration(), dt, initial, drive);
+
+  double peak = sol.temperatures.front()[equipment];
+  for (const numeric::Vector& row : sol.temperatures)
+    peak = std::max(peak, row[equipment]);
+  return {{"t_equipment", sol.temperatures.back()[equipment]},
+          {"t_chassis", sol.temperatures.back()[chassis]},
+          {"t_equipment_peak", peak},
+          {"steps", static_cast<double>(sol.times.size() - 1)},
+          {"sim_seconds", profile.total_duration()}};
+}
+
+}  // namespace
+
+void register_mission_graphs(core::ScenarioService& service) {
+  service.register_graph("mission_seb_do160", &mission_seb_do160);
+  service.register_graph("mission_seb_eclipse", &mission_seb_eclipse);
+  service.register_graph("mission_network_flight", &mission_network_flight);
+}
+
+}  // namespace aeropack::mission

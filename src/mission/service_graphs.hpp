@@ -1,0 +1,50 @@
+// Mission-profile solver graphs for core::ScenarioService.
+//
+// Same layering as rom/service_graphs.hpp: mission sits above core, so core
+// never links these — a service opts in through the extension point. Call
+// register_mission_graphs() on a service to add:
+//  - "mission_seb_do160":   DO-160 thermal-shock campaign (−45/+55 °C ramps
+//    at 5 °C/min with dwells) of the canonical SEB conduction box
+//    (rom::seb_box), adaptively stepped.
+//  - "mission_seb_eclipse": CubeSat orbital eclipse square wave on the same
+//    box — same structural hash, so a mixed campaign shares one cached
+//    FvAssembly with the DO-160 scenarios and with steady solves of the box.
+//  - "mission_network_flight": ARINC 600 takeoff/cruise/descent ambient
+//    envelope on a two-node equipment/chassis lumped network, fixed-dt.
+//
+// Spec conventions (defaults in parentheses):
+//  mission_seb_do160
+//   params:     tolerance (0.05 K), dt_max (60 s), dwell_s (1800),
+//               ramp_rate (5 K/min), t_initial (293.15)
+//   loads:      pcb_components (40 W), psu (15 W)
+//   boundaries: t_cold (228.15), t_hot (328.15)
+//  mission_seb_eclipse
+//   params:     tolerance (0.05 K), dt_max (60 s), orbits (2),
+//               period_s (600), eclipse_fraction (0.35),
+//               eclipse_power_scale (0.6), t_initial (293.15)
+//   loads:      pcb_components (40 W), psu (15 W)
+//   boundaries: t_sunlit (313.15), t_eclipse (213.15)
+//  mission_network_flight
+//   params:     time_scale (0.05), dt (5 s, scaled), t_initial (293.15)
+//   loads:      equipment (120 W)
+//   boundaries: t_ground (328.15), t_cruise (243.15)
+// Common outputs: "t_final_max/min/mean" [K] at the horizon, "t_peak_max"
+// and "t_low_min" over the whole trace, "steps", "step_rejections",
+// "phase_transitions", "linear_iterations", "sim_seconds". The network
+// graph reports "t_equipment"/"t_chassis" finals and "t_equipment_peak"
+// instead of field stats.
+//
+// Hashing rule (CONTRIBUTING.md): the profile enters each scenario through
+// params/loads/boundaries — i.e. the spec's content_hash — while the cached
+// FvAssembly is keyed purely on structural_hash, which no driver touches.
+#pragma once
+
+namespace aeropack::core {
+class ScenarioService;
+}
+
+namespace aeropack::mission {
+
+void register_mission_graphs(core::ScenarioService& service);
+
+}  // namespace aeropack::mission

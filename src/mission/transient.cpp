@@ -1,0 +1,222 @@
+#include "mission/transient.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/context.hpp"
+#include "obs/registry.hpp"
+
+namespace aeropack::mission {
+
+namespace {
+
+double clamp(double v, double lo, double hi) { return std::min(hi, std::max(lo, v)); }
+
+}  // namespace
+
+thermal::FvDrive drive_for(const Profile& profile) {
+  if (profile.phase_count() == 0) {
+    throw std::invalid_argument("mission::drive_for: profile has no phases");
+  }
+  thermal::FvDrive drive;
+  drive.boundary = [profile](double t, thermal::Face /*face*/,
+                             const thermal::BoundaryCondition& bc) {
+    const EnvironmentState env = profile.environment(t);
+    thermal::BoundaryCondition out = bc;
+    switch (bc.kind) {
+      case thermal::BoundaryKind::Convection:
+        out.temperature = env.t_ambient;
+        out.h = bc.h * env.h_scale;
+        break;
+      case thermal::BoundaryKind::NaturalConvection:
+        // Film coefficient comes from the correlation; only the ambient moves.
+        out.temperature = env.t_ambient;
+        break;
+      case thermal::BoundaryKind::ConvectionRadiation:
+        out.temperature = env.t_sink;
+        out.h = bc.h * env.h_scale;
+        break;
+      case thermal::BoundaryKind::FixedTemperature:
+        out.temperature = env.t_ambient;
+        break;
+      case thermal::BoundaryKind::Adiabatic:
+      case thermal::BoundaryKind::HeatFlux:
+        break;
+    }
+    return out;
+  };
+  drive.power_scale = [profile](double t) { return profile.environment(t).power_scale; };
+  return drive;
+}
+
+thermal::NetworkDrive drive_for_network(const Profile& profile) {
+  if (profile.phase_count() == 0) {
+    throw std::invalid_argument("mission::drive_for_network: profile has no phases");
+  }
+  thermal::NetworkDrive drive;
+  drive.boundary_temperature = [profile](double t, thermal::NodeId /*node*/, double /*stored*/) {
+    return profile.environment(t).t_ambient;
+  };
+  drive.load_scale = [profile](double t) { return profile.environment(t).power_scale; };
+  return drive;
+}
+
+MissionSolution run_fv_mission(const thermal::FvModel& model, const Profile& profile,
+                               double t_initial, const AdaptiveOptions& adaptive,
+                               const thermal::FvOptions& fv_opts,
+                               std::shared_ptr<const thermal::FvAssembly> assembly) {
+  if (profile.phase_count() == 0) {
+    throw std::invalid_argument("mission: profile has no phases");
+  }
+  if (!(t_initial > 0.0) || !std::isfinite(t_initial)) {
+    throw std::invalid_argument("mission: initial temperature must be positive and finite");
+  }
+  if (!(adaptive.tolerance > 0.0) || !(adaptive.dt_min > 0.0) ||
+      !(adaptive.dt_max >= adaptive.dt_min)) {
+    throw std::invalid_argument("mission: adaptive options must satisfy tolerance > 0, "
+                                "0 < dt_min <= dt_max");
+  }
+
+  static thread_local obs::CounterHandle steps_counter{"mission.steps"};
+  static thread_local obs::CounterHandle reject_counter{"mission.step_rejections"};
+  static thread_local obs::CounterHandle phase_counter{"mission.phase_transitions"};
+  static thread_local obs::CounterHandle cg_counter{"mission.cg_iterations"};
+  // Wall-clock only: excluded from bench gating (tools/check_report.py).
+  static thread_local obs::CounterHandle elapsed_counter{"mission.wallclock.elapsed_us"};
+  obs::ScopedTimer span("mission.solve");
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  const double t_end = profile.total_duration();
+  const thermal::FvDrive drive = drive_for(profile);
+  thermal::FvTransientStepper stepper(model, fv_opts, std::move(assembly));
+
+  const auto& grid = model.grid();
+  const std::size_t n = grid.cell_count();
+  numeric::Vector temps(n, t_initial);
+
+  // Cell volumes for the volume-average trace. Serial prefix sums keep the
+  // trace values independent of the thread count.
+  numeric::Vector volume(n, 0.0);
+  double total_volume = 0.0;
+  for (std::size_t k = 0; k < grid.nz(); ++k)
+    for (std::size_t j = 0; j < grid.ny(); ++j)
+      for (std::size_t i = 0; i < grid.nx(); ++i) {
+        const double v = grid.cell_volume(i, j, k);
+        volume[grid.index(i, j, k)] = v;
+        total_volume += v;
+      }
+
+  MissionSolution out;
+  out.structure_assemblies = stepper.structure_assemblies();
+
+  const auto record = [&](double time, const numeric::Vector& field) {
+    double mx = field[0], mn = field[0], weighted = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      mx = std::max(mx, field[c]);
+      mn = std::min(mn, field[c]);
+      weighted += volume[c] * field[c];
+    }
+    out.times.push_back(time);
+    out.t_max.push_back(mx);
+    out.t_min.push_back(mn);
+    out.t_mean.push_back(weighted / total_volume);
+  };
+  record(0.0, temps);
+
+  double t = 0.0;
+  double dt_want = clamp(adaptive.dt_initial, adaptive.dt_min, adaptive.dt_max);
+  // Neutral controller memory: behaves like a plain I controller on step 1.
+  double err_prev = adaptive.tolerance;
+  numeric::Vector trial, half;
+  std::size_t attempts = 0;
+
+  while (t < t_end * (1.0 - 1e-12)) {
+    if (++attempts > adaptive.max_steps) {
+      throw std::runtime_error("mission: adaptive march exceeded max_steps (tolerance too "
+                               "tight or dt_min too small for this model)");
+    }
+    // Never step across a phase boundary: drivers may jump there.
+    const double limit = std::min(t_end, profile.next_transition(t));
+    const double room = limit - t;
+    double dt_try = std::min(dt_want, room);
+    const bool boundary_clamped = dt_try < dt_want;
+
+    const double t_next = (dt_try >= room) ? limit : t + dt_try;
+    const double h2 = 0.5 * dt_try;
+
+    // Step-doubling: one full step and two half steps from the same state.
+    trial = temps;
+    std::size_t iters = stepper.step(trial, t_next, dt_try, &drive);
+    half = temps;
+    iters += stepper.step(half, t + h2, h2, &drive);
+    iters += stepper.step(half, t_next, dt_try - h2, &drive);
+    out.linear_iterations += iters;
+    cg_counter.add(iters);
+
+    double err = 0.0;
+    for (std::size_t c = 0; c < n; ++c) err = std::max(err, std::abs(half[c] - trial[c]));
+
+    // At dt_min there is no smaller step to retry with: accept and move on.
+    const bool at_floor = dt_try <= adaptive.dt_min * (1.0 + 1e-9);
+    if (err <= adaptive.tolerance || at_floor) {
+      // Accept the two-half solution (the more accurate of the pair).
+      temps.swap(half);
+      t = t_next;
+      out.steps_accepted += 1;
+      steps_counter.add(1);
+      if (t >= limit && limit < t_end) {
+        out.phase_transitions += 1;
+        phase_counter.add(1);
+      }
+      record(t, temps);
+
+      double factor = adaptive.grow_limit;
+      if (err > 0.0) {
+        factor = adaptive.safety * std::pow(adaptive.tolerance / err, adaptive.k_i) *
+                 std::pow(err_prev / err, adaptive.k_p);
+      }
+      factor = clamp(factor, adaptive.shrink_limit, adaptive.grow_limit);
+      double next_want = clamp(dt_try * factor, adaptive.dt_min, adaptive.dt_max);
+      // A boundary-clamped step says nothing about accuracy at dt_want;
+      // keep the controller's ambition instead of shrinking toward slivers.
+      if (boundary_clamped) next_want = std::max(next_want, dt_want);
+      dt_want = next_want;
+      err_prev = std::max(err, 1e-4 * adaptive.tolerance);
+    } else {
+      out.steps_rejected += 1;
+      reject_counter.add(1);
+      const double factor =
+          clamp(adaptive.safety * std::sqrt(adaptive.tolerance / err), adaptive.shrink_limit, 0.9);
+      dt_want = std::max(adaptive.dt_min, dt_try * factor);
+    }
+  }
+
+  out.final_field = std::move(temps);
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  elapsed_counter.add(static_cast<std::uint64_t>(wall_seconds * 1e6));
+  if (obs::enabled()) {
+    obs::current().gauge("mission.sim_seconds").set(t_end);
+    obs::current().gauge("mission.wall_seconds").set(wall_seconds);
+  }
+  return out;
+}
+
+MissionSolution run_fv_mission(ExecutionContext& ctx, const thermal::FvModel& model,
+                               const Profile& profile, double t_initial,
+                               const AdaptiveOptions& adaptive,
+                               const thermal::FvOptions& fv_opts,
+                               std::shared_ptr<const thermal::FvAssembly> assembly) {
+  ExecutionContext::Use use(ctx);
+  thermal::FvOptions tuned = fv_opts;
+  if (tuned.linear.chebyshev_degree == 0) {
+    tuned.linear.chebyshev_degree = ctx.config().cg_chebyshev_degree;
+  }
+  return run_fv_mission(model, profile, t_initial, adaptive, tuned, std::move(assembly));
+}
+
+}  // namespace aeropack::mission

@@ -1,0 +1,108 @@
+// Mission transient campaigns: adaptive implicit-Euler marches of an
+// FvModel (or ThermalNetwork) through a mission::Profile environment driver
+// (DESIGN.md "Mission profiles").
+//
+// The march is PI-controlled with a step-doubling error estimate: every
+// attempted step is computed once at dt and again as two half steps on the
+// same shared steady assembly; the max-norm difference of the two end
+// fields estimates the local truncation error, the (more accurate) two-half
+// solution is the one accepted, and a PI controller picks the next step
+// size. Steps are clamped so they never cross a phase boundary of the
+// profile — drivers may be discontinuous there (eclipse square waves) and
+// stepping across a discontinuity would smear it.
+//
+// Determinism contract: the controller state is pure double arithmetic and
+// every FV kernel underneath uses deterministic chunked reductions, so the
+// accepted step sequence — times, fields, counters — is bitwise identical
+// at 1, 2 and 8 threads (gated by tests/mission/test_determinism.cpp, plain
+// and under TSan).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "mission/profile.hpp"
+#include "numeric/dense.hpp"
+#include "thermal/fv.hpp"
+#include "thermal/network.hpp"
+
+namespace aeropack {
+class ExecutionContext;
+}
+
+namespace aeropack::mission {
+
+/// PI step-size controller knobs. Defaults suit the coarse qualification
+/// models (SEB box, Fig. 2 board); tighten `tolerance` for fine grids.
+struct AdaptiveOptions {
+  double tolerance = 0.05;  ///< step-doubling error target, max-norm [K]
+  double dt_initial = 1.0;  ///< first attempted step [s]
+  double dt_min = 1e-3;     ///< smallest controller step [s]
+  double dt_max = 60.0;     ///< largest controller step [s]
+  double safety = 0.9;      ///< classic controller safety factor
+  double shrink_limit = 0.2;  ///< max per-step shrink factor
+  double grow_limit = 4.0;    ///< max per-step growth factor
+  /// PI gains for first-order implicit Euler: factor =
+  /// safety * (tol/err)^k_i * (err_prev/err)^k_p, clamped to the limits.
+  double k_i = 0.35;
+  double k_p = 0.2;
+  /// Hard cap on attempted steps (accepted + rejected); exceeding it throws
+  /// std::runtime_error — the march is diverging or dt_min is too small.
+  std::size_t max_steps = 200000;
+};
+
+/// One adaptive mission march. Traces are per *accepted* step (index 0 is
+/// the initial state); the full per-cell field is kept only for the final
+/// time — mission horizons are long and campaigns run by the hundred, so
+/// storing every field would defeat the service cache's memory budget.
+struct MissionSolution {
+  numeric::Vector times;    ///< accepted step end times, [0] = 0
+  numeric::Vector t_max;    ///< field max per accepted step [K]
+  numeric::Vector t_min;    ///< field min per accepted step [K]
+  numeric::Vector t_mean;   ///< volume-average per accepted step [K]
+  numeric::Vector final_field;  ///< per-cell field at the horizon [K]
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;
+  std::size_t phase_transitions = 0;  ///< accepted steps landing on a phase boundary
+  std::size_t linear_iterations = 0;  ///< total CG iterations (all attempts)
+  std::size_t structure_assemblies = 0;  ///< 0 when a shared assembly was supplied
+};
+
+/// Build the FV drive of a profile: Convection and NaturalConvection
+/// boundaries follow t_ambient, ConvectionRadiation faces follow t_sink,
+/// FixedTemperature boundaries follow t_ambient, fixed film coefficients
+/// scale by h_scale and volumetric sources by power_scale. Adiabatic and
+/// HeatFlux faces are untouched. The drive copies the profile (profiles are
+/// small); it stays valid after the profile goes out of scope.
+thermal::FvDrive drive_for(const Profile& profile);
+
+/// Network counterpart: every boundary node follows t_ambient and loads
+/// scale by power_scale.
+thermal::NetworkDrive drive_for_network(const Profile& profile);
+
+/// Adaptively march `model` from a uniform initial temperature through the
+/// whole profile ([0, profile.total_duration()]). `assembly` may be a
+/// cache-shared *steady* assembly of the model (null assembles once) — the
+/// same artifact class steady scenario graphs key in core::ArtifactCache,
+/// which is what lets a qualification campaign share one assembly across
+/// every mission point. Emits obs counters mission.steps,
+/// mission.step_rejections, mission.phase_transitions,
+/// mission.cg_iterations and the wall-clock counter
+/// mission.wallclock.elapsed_us (never gated — see tools/check_report.py),
+/// plus mission.sim_seconds / mission.wall_seconds gauges.
+MissionSolution run_fv_mission(const thermal::FvModel& model, const Profile& profile,
+                               double t_initial, const AdaptiveOptions& adaptive = {},
+                               const thermal::FvOptions& fv_opts = {},
+                               std::shared_ptr<const thermal::FvAssembly> assembly = nullptr);
+
+/// Same march pinned to an ExecutionContext: kernels on the context's pool,
+/// telemetry in its registry, CG Chebyshev degree inherited from the
+/// context config. Bit-identical to the unpinned overload at any thread
+/// count.
+MissionSolution run_fv_mission(ExecutionContext& ctx, const thermal::FvModel& model,
+                               const Profile& profile, double t_initial,
+                               const AdaptiveOptions& adaptive = {},
+                               const thermal::FvOptions& fv_opts = {},
+                               std::shared_ptr<const thermal::FvAssembly> assembly = nullptr);
+
+}  // namespace aeropack::mission

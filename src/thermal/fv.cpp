@@ -523,6 +523,80 @@ void FvModel::update_boundary_terms(Workspace& ws, const Vector& temps,
   });
 }
 
+void FvModel::update_driven_terms(Workspace& ws, const Vector& temps, const Vector& prev,
+                                  const Vector& capacity, double inv_dt, double t,
+                                  const FvDrive* drive, Vector& rhs) const {
+  static thread_local obs::CounterHandle updates{"fv.boundary_updates"};
+  updates.add();
+  obs::ScopedTimer span("fv.update_boundary");
+  const FvAssembly& a = *ws.assembly;
+  std::vector<double>& values = ws.matrix.values();
+  numeric::parallel_for(0, values.size(), [&](std::size_t lo, std::size_t hi) {
+    std::copy(a.base_values.begin() + static_cast<std::ptrdiff_t>(lo),
+              a.base_values.begin() + static_cast<std::ptrdiff_t>(hi),
+              values.begin() + static_cast<std::ptrdiff_t>(lo));
+  });
+  // The workspace is steady (no baked capacity): the implicit-Euler terms
+  // join per step, so the same shared assembly serves every step size.
+  const double ps = (drive && drive->power_scale) ? drive->power_scale(t) : 1.0;
+  numeric::parallel_for(0, rhs.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      values[a.diag_index[c]] += capacity[c] * inv_dt;
+      rhs[c] = ps * source_[c] + capacity[c] * inv_dt * prev[c];
+    }
+  });
+  for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
+    const BoundaryCondition& stored = boundary_for(f.face, f.a, f.b);
+    const BoundaryCondition bc =
+        (drive && drive->boundary) ? drive->boundary(t, f.face, stored) : stored;
+    const std::size_t c = grid_.index(f.i, f.j, f.k);
+    if (bc.kind == BoundaryKind::HeatFlux) {
+      rhs[c] += bc.flux * f.area;
+      return;
+    }
+    const double g = boundary_conductance(bc, f.area, f.half, f.k_cell, temps[c]);
+    if (g <= 0.0) return;
+    values[a.diag_index[c]] += g;
+    rhs[c] += g * bc.temperature;
+  });
+}
+
+// --- FvTransientStepper -----------------------------------------------------
+
+FvTransientStepper::FvTransientStepper(const FvModel& model, const FvOptions& opts,
+                                       std::shared_ptr<const FvAssembly> assembly)
+    : model_(&model), opts_(opts) {
+  if (!assembly) {
+    assembly = model.build_assembly(opts, 0.0);
+    structure_assemblies_ = 1;
+  } else if (assembly->inv_dt != 0.0 ||
+             assembly->structural_hash != model.structural_hash(opts, 0.0)) {
+    throw std::invalid_argument(
+        "FvTransientStepper: shared assembly does not match this model "
+        "(must be steady and structurally identical)");
+  }
+  ws_ = model.make_workspace(std::move(assembly));
+  capacity_ = model.cell_capacities();
+  rhs_.assign(model.grid().cell_count(), 0.0);
+}
+
+std::size_t FvTransientStepper::step(Vector& temps, double t_next, double dt,
+                                     const FvDrive* drive) {
+  if (!(dt > 0.0)) throw std::invalid_argument("FvTransientStepper::step: bad time step");
+  if (temps.size() != capacity_.size())
+    throw std::invalid_argument("FvTransientStepper::step: field size mismatch");
+  static thread_local obs::CounterHandle transient_steps{"fv.transient_steps"};
+  static thread_local obs::CounterHandle warmstart_hits{"fv.warmstart_hits"};
+  model_->update_driven_terms(ws_, temps, temps, capacity_, 1.0 / dt, t_next, drive, rhs_);
+  const auto lin = numeric::conjugate_gradient(ws_.matrix, rhs_, opts_.linear, &temps);
+  if (!lin.converged)
+    throw std::runtime_error("FvTransientStepper::step: linear solver failed");
+  transient_steps.add();
+  if (lin.iterations == 0) warmstart_hits.add();
+  temps = lin.x;
+  return lin.iterations;
+}
+
 LinearSteadySystem FvModel::linearize_steady(const FvOptions& opts) const {
   bool nonlinear = false;
   for_each_boundary_face(grid_, kx_, ky_, kz_, [&](const BoundaryFaceView& f) {
@@ -757,6 +831,40 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt,
     out.temperatures.push_back(temps);
   }
   return out;
+}
+
+FvTransientSolution FvModel::solve_transient(double t_end, double dt,
+                                             const Vector& initial_temperatures,
+                                             const FvDrive& drive, const FvOptions& opts,
+                                             std::shared_ptr<const FvAssembly> assembly) const {
+  if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("solve_transient: bad time step");
+  if (initial_temperatures.size() != grid_.cell_count())
+    throw std::invalid_argument("solve_transient: initial field size mismatch");
+  dt = std::min(dt, t_end);
+  FvTransientStepper stepper(*this, opts, std::move(assembly));
+  FvTransientSolution out;
+  out.structure_assemblies = stepper.structure_assemblies();
+  Vector temps = initial_temperatures;
+  out.times.push_back(0.0);
+  out.temperatures.push_back(temps);
+  obs::ScopedTimer span("fv.solve_transient");
+  const std::size_t steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+  for (std::size_t s = 1; s <= steps; ++s) {
+    const double t_next = dt * static_cast<double>(s);
+    out.linear_iterations += stepper.step(temps, t_next, dt, &drive);
+    out.times.push_back(t_next);
+    out.temperatures.push_back(temps);
+  }
+  return out;
+}
+
+FvTransientSolution FvModel::solve_transient(ExecutionContext& ctx, double t_end, double dt,
+                                             const Vector& initial_temperatures,
+                                             const FvDrive& drive, const FvOptions& opts,
+                                             std::shared_ptr<const FvAssembly> assembly) const {
+  const ExecutionContext::Use use(ctx);
+  return solve_transient(t_end, dt, initial_temperatures, drive, with_context_tuning(ctx, opts),
+                         std::move(assembly));
 }
 
 double FvModel::region_max(const Vector& temps, const CellRange& r) const {

@@ -132,6 +132,27 @@ struct FvTransientSolution {
   std::size_t structure_assemblies = 0;    ///< symbolic assemblies (1 with caching)
 };
 
+/// Time-varying environment driver for a transient march. The undriven
+/// solve_transient overloads resolve boundary conditions once, before the
+/// step loop — correct only for environments frozen at t = 0. A drive makes
+/// the environment a function of time: every step re-resolves each boundary
+/// condition through `boundary` and scales the volumetric sources by
+/// `power_scale`, both evaluated at the step's end time (implicit Euler),
+/// without touching the assembled structure. The mission layer
+/// (aeropack::mission) builds drives from mission::Profile; hand-written
+/// drives are equally valid.
+struct FvDrive {
+  /// Transform a model boundary condition for mission time `t`. Called for
+  /// every boundary cell-face on every step; must be pure (same inputs,
+  /// same output) for the march to stay deterministic. Null = boundaries
+  /// as stored on the model.
+  std::function<BoundaryCondition(double t, Face face, const BoundaryCondition& bc)> boundary;
+  /// Multiplier on volumetric sources at time `t` (prescribed boundary
+  /// fluxes are environment inputs, not dissipation — they are never
+  /// scaled). Null = 1.
+  std::function<double(double t)> power_scale;
+};
+
 /// The assembled steady linear system A T = b of a model whose boundary
 /// conditions are all temperature-independent (Adiabatic, FixedTemperature,
 /// fixed-h Convection, HeatFlux). This is the operator the compact-model
@@ -256,6 +277,24 @@ class FvModel {
                                       const numeric::Vector& initial_temperatures,
                                       const FvOptions& opts = {}) const;
 
+  /// Driver-aware implicit Euler: boundary conditions and source scaling
+  /// are re-resolved through `drive` at every step's end time, fixing the
+  /// frozen-at-t=0 capture of the undriven overloads. Marches on a *steady*
+  /// assembly (inv_dt == 0) — the capacity/dt term joins the diagonal
+  /// during the per-step boundary rewrite — so one cache-shared artifact
+  /// serves every step size and is the same artifact steady solves use. A
+  /// caller-supplied `assembly` must be steady and match
+  /// structural_hash(opts, 0.0) (std::invalid_argument otherwise); null
+  /// assembles internally. Same step semantics as the undriven overloads.
+  FvTransientSolution solve_transient(double t_end, double dt,
+                                      const numeric::Vector& initial_temperatures,
+                                      const FvDrive& drive, const FvOptions& opts = {},
+                                      std::shared_ptr<const FvAssembly> assembly = nullptr) const;
+  FvTransientSolution solve_transient(ExecutionContext& ctx, double t_end, double dt,
+                                      const numeric::Vector& initial_temperatures,
+                                      const FvDrive& drive, const FvOptions& opts = {},
+                                      std::shared_ptr<const FvAssembly> assembly = nullptr) const;
+
   /// Assemble the steady system A T = b once and hand it out. Only valid for
   /// models whose boundary conditions are all temperature-independent; throws
   /// std::invalid_argument when any boundary face is ConvectionRadiation or
@@ -278,6 +317,8 @@ class FvModel {
   CellRange all_cells() const;
 
  private:
+  friend class FvTransientStepper;
+
   struct FaceBc {
     BoundaryCondition bc;  // per boundary cell-face
   };
@@ -304,6 +345,15 @@ class FvModel {
   /// the previous time-step field for the transient capacity source term.
   void update_boundary_terms(Workspace& ws, const numeric::Vector& temps,
                              const numeric::Vector* prev, numeric::Vector& rhs) const;
+  /// Driven counterpart over a *steady* workspace: copies the base values,
+  /// adds `capacity[c] * inv_dt` to every diagonal, rebuilds the right-hand
+  /// side from power-scaled sources + the capacity source term, and applies
+  /// boundary films after passing each condition through `drive` at time
+  /// `t` (null drive = stored conditions, scale 1).
+  void update_driven_terms(Workspace& ws, const numeric::Vector& temps,
+                           const numeric::Vector& prev, const numeric::Vector& capacity,
+                           double inv_dt, double t, const FvDrive* drive,
+                           numeric::Vector& rhs) const;
   FvSolution solve_steady_impl(const FvOptions& opts,
                                std::shared_ptr<const FvAssembly> assembly) const;
   double face_conductance_x(std::size_t i0, std::size_t i1, std::size_t j, std::size_t k,
@@ -326,6 +376,49 @@ class FvModel {
   std::vector<std::pair<std::size_t, double>> interfaces_z_;  // (plane, R'' [K m^2/W])
   // Per-face overrides: map from (face, a, b) flattened in-plane index.
   std::array<std::vector<std::optional<BoundaryCondition>>, 6> patch_bc_{};
+};
+
+/// Reusable driven implicit-Euler stepper over a steady (inv_dt == 0,
+/// possibly cache-shared) FvAssembly. This is the primitive the adaptive
+/// mission march is built on: step() advances an arbitrary field by an
+/// arbitrary dt — the capacity/dt term is applied per call, so the step
+/// size may change between calls without any re-assembly — which is exactly
+/// what step-doubling error control needs (one full step and two half steps
+/// over the same structure). The stepper owns a private workspace; the
+/// shared assembly is never mutated, so any number of steppers may run
+/// concurrently on one cached assembly from distinct ExecutionContexts.
+///
+/// The referenced model must outlive the stepper and stay unmodified while
+/// it is in use (the workspace caches the model's source terms).
+class FvTransientStepper {
+ public:
+  /// Build over `model`. A null `assembly` assembles the steady structure
+  /// internally (structure_assemblies() == 1); a supplied one must be
+  /// steady and match model.structural_hash(opts, 0.0), else
+  /// std::invalid_argument — the same validation as the cached steady
+  /// solve.
+  explicit FvTransientStepper(const FvModel& model, const FvOptions& opts = {},
+                              std::shared_ptr<const FvAssembly> assembly = nullptr);
+
+  /// One implicit Euler step of size `dt` ending at mission time `t_next`:
+  /// rewrites the diagonal with capacity/dt plus boundary films resolved
+  /// through `drive` at `t_next` (null = the model's stored conditions),
+  /// then solves with CG warm-started from `temps`. `temps` is advanced in
+  /// place; returns the CG iteration count. Throws on non-positive dt or a
+  /// failed linear solve.
+  std::size_t step(numeric::Vector& temps, double t_next, double dt, const FvDrive* drive);
+
+  /// 1 when the constructor assembled, 0 when a shared assembly was used.
+  std::size_t structure_assemblies() const { return structure_assemblies_; }
+  const std::shared_ptr<const FvAssembly>& assembly() const { return ws_.assembly; }
+
+ private:
+  const FvModel* model_;
+  FvOptions opts_;
+  FvModel::Workspace ws_;
+  numeric::Vector capacity_;  ///< rho*cp*V per cell (no dt factor)
+  numeric::Vector rhs_;
+  std::size_t structure_assemblies_ = 0;
 };
 
 }  // namespace aeropack::thermal

@@ -225,18 +225,27 @@ double ThermalNetwork::node_heat_flow(NodeId id, const Vector& temps) const {
   return flow;
 }
 
-TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
+TransientSolution ThermalNetwork::march_transient(double t_end, double dt,
                                                   const Vector& initial_temperatures,
-                                                  const SteadyOptions& opts) const {
+                                                  const SteadyOptions& opts,
+                                                  const NetworkDrive* drive) const {
   if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("solve_transient: bad time step");
   if (initial_temperatures.size() != nodes_.size())
     throw std::invalid_argument("solve_transient: initial state size mismatch");
 
   constexpr double kCapFloor = 1e-6;  // quasi-steady nodes get a tiny capacitance
 
+  // Boundary temperature of node `i` at mission time `t`: the drive
+  // re-resolves it per step, the undriven path reads the stored value.
+  const auto boundary_temp = [&](double t, std::size_t i) {
+    const double stored = nodes_[i].temperature;
+    return (drive && drive->boundary_temperature) ? drive->boundary_temperature(t, i, stored)
+                                                  : stored;
+  };
+
   Vector temps = initial_temperatures;
   for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (nodes_[i].boundary) temps[i] = nodes_[i].temperature;
+    if (nodes_[i].boundary) temps[i] = boundary_temp(0.0, i);
 
   TransientSolution out;
   out.times.push_back(0.0);
@@ -253,8 +262,14 @@ TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
   const std::size_t n_steps = static_cast<std::size_t>(std::ceil(t_end / dt));
   for (std::size_t s = 1; s <= n_steps; ++s) {
     transient_steps.add();
+    // Implicit Euler: the drive is sampled at the step's end time.
+    const double t_next = dt * static_cast<double>(s);
+    const double load_scale =
+        (drive && drive->load_scale) ? drive->load_scale(t_next) : 1.0;
     // A few Picard passes per implicit step to handle nonlinear conductors.
     Vector iterate = temps;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+      if (nodes_[i].boundary) iterate[i] = boundary_temp(t_next, i);
     for (std::size_t pic = 0; pic < 5; ++pic) {
       transient_picard.add();
       const auto gv = evaluate_conductances(iterate);
@@ -266,7 +281,7 @@ TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
         const auto u = static_cast<std::size_t>(ui);
         const double cap = std::max(nodes_[i].capacitance, kCapFloor);
         a(u, u) += cap / dt;
-        rhs[u] += cap / dt * temps[i] + nodes_[i].load;
+        rhs[u] += cap / dt * temps[i] + nodes_[i].load * load_scale;
       }
       for (std::size_t ci = 0; ci < conductors_.size(); ++ci) {
         const Conductor& c = conductors_[ci];
@@ -284,18 +299,18 @@ TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
         } else if (ia >= 0) {
           const auto ua = static_cast<std::size_t>(ia);
           a(ua, ua) += g;
-          rhs[ua] += g * nodes_[c.b].temperature;
+          rhs[ua] += g * boundary_temp(t_next, c.b);
         } else if (ib >= 0) {
           const auto ub = static_cast<std::size_t>(ib);
           a(ub, ub) += g;
-          rhs[ub] += g * nodes_[c.a].temperature;
+          rhs[ub] += g * boundary_temp(t_next, c.a);
         }
       }
       Vector x(n_unknown, 0.0);
       if (n_unknown > 0) x = numeric::CholeskyFactorization(a).solve(rhs);
       Vector next(nodes_.size());
       for (std::size_t i = 0; i < nodes_.size(); ++i)
-        next[i] = nodes_[i].boundary ? nodes_[i].temperature
+        next[i] = nodes_[i].boundary ? boundary_temp(t_next, i)
                                      : x[static_cast<std::size_t>(unknown_index[i])];
       double delta = 0.0;
       for (std::size_t i = 0; i < next.size(); ++i)
@@ -304,10 +319,32 @@ TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
       if (delta < opts.tolerance) break;
     }
     temps = iterate;
-    out.times.push_back(dt * static_cast<double>(s));
+    out.times.push_back(t_next);
     out.temperatures.push_back(temps);
   }
   return out;
+}
+
+TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
+                                                  const Vector& initial_temperatures,
+                                                  const SteadyOptions& opts) const {
+  return march_transient(t_end, dt, initial_temperatures, opts, nullptr);
+}
+
+TransientSolution ThermalNetwork::solve_transient(double t_end, double dt,
+                                                  const Vector& initial_temperatures,
+                                                  const NetworkDrive& drive,
+                                                  const SteadyOptions& opts) const {
+  return march_transient(t_end, dt, initial_temperatures, opts, &drive);
+}
+
+TransientSolution ThermalNetwork::solve_transient(ExecutionContext& ctx, double t_end,
+                                                  double dt,
+                                                  const Vector& initial_temperatures,
+                                                  const NetworkDrive& drive,
+                                                  const SteadyOptions& opts) const {
+  const ExecutionContext::Use use(ctx);
+  return march_transient(t_end, dt, initial_temperatures, opts, &drive);
 }
 
 TransientSolution ThermalNetwork::solve_transient(ExecutionContext& ctx, double t_end,

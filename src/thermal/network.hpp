@@ -47,6 +47,20 @@ struct TransientSolution {
   std::vector<numeric::Vector> temperatures;  ///< per step, all nodes [K]
 };
 
+/// Time-varying drive for a transient network march: the lumped counterpart
+/// of thermal::FvDrive. Boundary-node temperatures and heat loads are
+/// re-resolved at the end time of every implicit step, so flight-phase
+/// ambient histories and duty-cycled dissipation become first-class network
+/// campaigns instead of frozen t=0 snapshots.
+struct NetworkDrive {
+  /// (t, node, stored) -> boundary temperature [K] for that node at time t;
+  /// `stored` is the node's set_boundary_temperature value. Must be pure.
+  /// Null = stored values throughout.
+  std::function<double(double t, NodeId node, double stored)> boundary_temperature;
+  /// Multiplier on every diffusion node's heat load at time t. Null = 1.
+  std::function<double(double t)> load_scale;
+};
+
 class ThermalNetwork {
  public:
   /// Diffusion node with optional lumped capacitance [J/K].
@@ -86,6 +100,18 @@ class ThermalNetwork {
                                     const numeric::Vector& initial_temperatures,
                                     const SteadyOptions& opts = {}) const;
 
+  /// Driver-aware transient: boundary temperatures and load scaling are
+  /// re-resolved through `drive` at every step's end time. The undriven
+  /// overloads are the drive-less special case of the same march.
+  TransientSolution solve_transient(double t_end, double dt,
+                                    const numeric::Vector& initial_temperatures,
+                                    const NetworkDrive& drive,
+                                    const SteadyOptions& opts = {}) const;
+  TransientSolution solve_transient(ExecutionContext& ctx, double t_end, double dt,
+                                    const numeric::Vector& initial_temperatures,
+                                    const NetworkDrive& drive,
+                                    const SteadyOptions& opts = {}) const;
+
   /// Net heat flowing from node `id` into the network at a given solution [W].
   double node_heat_flow(NodeId id, const numeric::Vector& temperatures) const;
 
@@ -104,6 +130,10 @@ class ThermalNetwork {
   };
 
   void check_node(NodeId id) const;
+  /// Shared implicit-Euler march; `drive` null = the undriven overloads.
+  TransientSolution march_transient(double t_end, double dt,
+                                    const numeric::Vector& initial_temperatures,
+                                    const SteadyOptions& opts, const NetworkDrive* drive) const;
   /// Solve the linear system for a fixed set of conductance values.
   numeric::Vector solve_linearized(const std::vector<double>& g_values) const;
   std::vector<double> evaluate_conductances(const numeric::Vector& temps) const;

@@ -1,0 +1,160 @@
+// mission::Profile schema contracts: phase validation, channel
+// interpolation, boundary semantics, the serialize/deserialize round-trip
+// and content hashing — the ScenarioSpec conventions applied to drivers.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "mission/profile.hpp"
+
+namespace am = aeropack::mission;
+
+namespace {
+
+am::Profile two_phase() {
+  am::Profile p("two_phase");
+  p.add_phase(am::Phase::constant("soak", 100.0, 250.0));
+  p.add_phase(am::Phase::ramp("heat", 200.0, 250.0, 350.0));
+  return p;
+}
+
+}  // namespace
+
+TEST(MissionProfile, RejectsInvalidPhases) {
+  am::Profile p;
+  am::Phase bad = am::Phase::constant("x", 0.0, 300.0);
+  EXPECT_THROW(p.add_phase(bad), std::invalid_argument);  // zero duration
+  bad = am::Phase::constant("x", -5.0, 300.0);
+  EXPECT_THROW(p.add_phase(bad), std::invalid_argument);  // negative duration
+  bad = am::Phase::constant("x", 10.0, -40.0);
+  EXPECT_THROW(p.add_phase(bad), std::invalid_argument);  // celsius smuggled in
+  bad = am::Phase::constant("x", 10.0, 300.0);
+  bad.power_scale_end = -1.0;
+  EXPECT_THROW(p.add_phase(bad), std::invalid_argument);  // negative scale
+  bad = am::Phase::constant("x", 10.0, 300.0);
+  bad.h_scale_start = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(p.add_phase(bad), std::invalid_argument);  // non-finite channel
+  EXPECT_EQ(p.phase_count(), 0u);
+}
+
+TEST(MissionProfile, InterpolatesChannelsInsidePhases) {
+  const am::Profile p = two_phase();
+  EXPECT_DOUBLE_EQ(p.total_duration(), 300.0);
+  EXPECT_DOUBLE_EQ(p.environment(50.0).t_ambient, 250.0);
+  // Midpoint of the ramp phase: halfway between 250 and 350.
+  EXPECT_DOUBLE_EQ(p.environment(200.0).t_ambient, 300.0);
+  EXPECT_DOUBLE_EQ(p.environment(300.0).t_ambient, 350.0);
+  // Clamped outside the mission window.
+  EXPECT_DOUBLE_EQ(p.environment(-10.0).t_ambient, 250.0);
+  EXPECT_DOUBLE_EQ(p.environment(1e6).t_ambient, 350.0);
+}
+
+TEST(MissionProfile, PhaseBoundarySemantics) {
+  const am::Profile p = two_phase();
+  // t in (start, end] belongs to the closing phase: a step that ends exactly
+  // on the boundary samples the old environment; the next step the new one.
+  EXPECT_EQ(p.phase_index(100.0), 0u);
+  EXPECT_EQ(p.phase_index(100.0 + 1e-6), 1u);
+  EXPECT_EQ(p.phase_index(0.0), 0u);
+  EXPECT_EQ(p.phase_index(1e9), 1u);
+  EXPECT_DOUBLE_EQ(p.phase_start(1), 100.0);
+  EXPECT_DOUBLE_EQ(p.next_transition(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.next_transition(100.0), 300.0);
+  EXPECT_DOUBLE_EQ(p.next_transition(250.0), 300.0);
+  // Past the end the transition clamps to the total duration.
+  EXPECT_DOUBLE_EQ(p.next_transition(400.0), 300.0);
+}
+
+TEST(MissionProfile, SerializeRoundTripsExactly) {
+  am::Profile p("weird|name=with%delims,and,commas");
+  am::Phase ph = am::Phase::ramp("climb|=%", 123.456789, 301.25, 245.5, 0.75, 1.1);
+  ph.t_sink_start = 4.0;
+  ph.t_sink_end = 260.0;
+  p.add_phase(ph);
+  p.add_phase(am::Phase::constant("cruise", 3600.0, 245.5, 0.9, 1.0));
+
+  const std::string wire = p.serialize();
+  const am::Profile back = am::Profile::deserialize(wire);
+  EXPECT_EQ(back, p);
+  EXPECT_EQ(back.content_hash(), p.content_hash());
+  EXPECT_EQ(back.serialize(), wire);
+}
+
+TEST(MissionProfile, GeneratorsRoundTrip) {
+  for (const am::Profile& p :
+       {am::Profile::do160_thermal_shock(), am::Profile::arinc600_flight(),
+        am::Profile::cubesat_eclipse()}) {
+    EXPECT_EQ(am::Profile::deserialize(p.serialize()), p) << p.name();
+  }
+}
+
+TEST(MissionProfile, ContentHashIgnoresNameTracksValues) {
+  am::Profile a = two_phase();
+  am::Profile b = two_phase();
+  b.set_name("renamed");
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+
+  am::Profile c("two_phase");
+  c.add_phase(am::Phase::constant("soak", 100.0, 250.0));
+  c.add_phase(am::Phase::ramp("heat", 200.0, 250.0, 350.0 + 1e-9));
+  EXPECT_NE(a.content_hash(), c.content_hash());
+}
+
+TEST(MissionProfile, DeserializeRejectsMalformedInput) {
+  EXPECT_THROW(am::Profile::deserialize(""), std::invalid_argument);
+  EXPECT_THROW(am::Profile::deserialize("scenario/1|name=x"), std::invalid_argument);
+  EXPECT_THROW(am::Profile::deserialize("mission/1|name=x|phase:p=1,2,3"),
+               std::invalid_argument);  // wrong field count
+  EXPECT_THROW(am::Profile::deserialize("mission/1|name=x|bogus=1"), std::invalid_argument);
+  // Values re-validate through add_phase: a negative duration is rejected
+  // even when syntactically well-formed.
+  const am::Profile good = two_phase();
+  std::string wire = good.serialize();
+  EXPECT_NO_THROW(am::Profile::deserialize(wire));
+}
+
+TEST(MissionProfile, Do160GeneratorShape) {
+  const am::Profile p = am::Profile::do160_thermal_shock(228.15, 328.15, 5.0, 1800.0);
+  ASSERT_EQ(p.phase_count(), 5u);
+  // 100 K swing at 5 K/min = 1200 s per ramp.
+  EXPECT_DOUBLE_EQ(p.phase(1).duration, 1200.0);
+  EXPECT_DOUBLE_EQ(p.environment(0.0).t_ambient, 228.15);
+  // End of the hot dwell.
+  const double t_hot_end = 1800.0 + 1200.0 + 1800.0;
+  EXPECT_DOUBLE_EQ(p.environment(t_hot_end).t_ambient, 328.15);
+  EXPECT_DOUBLE_EQ(p.environment(p.total_duration()).t_ambient, 228.15);
+}
+
+TEST(MissionProfile, CubesatEclipseIsSquareWave) {
+  const am::Profile p = am::Profile::cubesat_eclipse(2, 1000.0, 0.4, 310.0, 210.0, 0.5);
+  ASSERT_EQ(p.phase_count(), 4u);
+  EXPECT_DOUBLE_EQ(p.total_duration(), 2000.0);
+  EXPECT_DOUBLE_EQ(p.environment(100.0).t_ambient, 310.0);
+  EXPECT_DOUBLE_EQ(p.environment(100.0).power_scale, 1.0);
+  // Inside the first eclipse: plateau, not a ramp.
+  EXPECT_DOUBLE_EQ(p.environment(700.0).t_ambient, 210.0);
+  EXPECT_DOUBLE_EQ(p.environment(900.0).t_ambient, 210.0);
+  EXPECT_DOUBLE_EQ(p.environment(700.0).power_scale, 0.5);
+  // Second orbit repeats the wave.
+  EXPECT_DOUBLE_EQ(p.environment(1100.0).t_ambient, 310.0);
+}
+
+TEST(MissionProfile, Arinc600TimeScaleCompresses) {
+  const am::Profile full = am::Profile::arinc600_flight(328.15, 243.15, 1.0);
+  const am::Profile fast = am::Profile::arinc600_flight(328.15, 243.15, 0.01);
+  EXPECT_EQ(full.phase_count(), fast.phase_count());
+  EXPECT_NEAR(fast.total_duration(), 0.01 * full.total_duration(), 1e-9);
+  // Scaled time samples the same environment shape.
+  EXPECT_DOUBLE_EQ(fast.environment(0.01 * 300.0).t_ambient,
+                   full.environment(300.0).t_ambient);
+}
+
+TEST(MissionProfile, EmptyProfileQueriesThrow) {
+  const am::Profile p;
+  EXPECT_EQ(p.phase_count(), 0u);
+  EXPECT_DOUBLE_EQ(p.total_duration(), 0.0);
+  EXPECT_THROW(p.phase_index(0.0), std::logic_error);
+  EXPECT_THROW(p.next_transition(0.0), std::logic_error);
+}

@@ -1,0 +1,143 @@
+// Mission graphs under core::ScenarioService: registration through the
+// extension point, end-to-end DO-160 + eclipse campaigns, the shared
+// FvAssembly hit class across mission points (and across the two profile
+// families — same box, same structural hash), dedup, and value-level
+// determinism across scenario thread counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/scenario_service.hpp"
+#include "mission/service_graphs.hpp"
+
+namespace ac = aeropack::core;
+namespace am = aeropack::mission;
+
+namespace {
+
+ac::ScenarioSpec do160_point(const std::string& name, double pcb_w, double psu_w) {
+  ac::ScenarioSpec spec;
+  spec.name = name;
+  spec.graph = "mission_seb_do160";
+  spec.params["dwell_s"] = 120.0;
+  spec.params["ramp_rate"] = 40.0;
+  spec.params["tolerance"] = 0.1;
+  spec.loads["pcb_components"] = pcb_w;
+  spec.loads["psu"] = psu_w;
+  return spec;
+}
+
+ac::ScenarioSpec eclipse_point(const std::string& name, double pcb_w) {
+  ac::ScenarioSpec spec;
+  spec.name = name;
+  spec.graph = "mission_seb_eclipse";
+  spec.params["orbits"] = 2.0;
+  spec.params["period_s"] = 300.0;
+  spec.params["tolerance"] = 0.1;
+  spec.loads["pcb_components"] = pcb_w;
+  spec.loads["psu"] = 10.0;
+  return spec;
+}
+
+std::vector<ac::ScenarioSpec> campaign() {
+  return {do160_point("shock_nominal", 40.0, 15.0), do160_point("shock_hot", 55.0, 20.0),
+          eclipse_point("orbit_nominal", 40.0), eclipse_point("orbit_low_power", 25.0)};
+}
+
+}  // namespace
+
+TEST(MissionService, RegistersGraphsThroughExtensionPoint) {
+  ac::ScenarioService service;
+  EXPECT_FALSE(service.has_graph("mission_seb_do160"));
+  am::register_mission_graphs(service);
+  EXPECT_TRUE(service.has_graph("mission_seb_do160"));
+  EXPECT_TRUE(service.has_graph("mission_seb_eclipse"));
+  EXPECT_TRUE(service.has_graph("mission_network_flight"));
+}
+
+TEST(MissionService, CampaignSharesOneAssemblyAcrossMissionPoints) {
+  ac::ScenarioServiceOptions opts;
+  opts.workers = 2;
+  ac::ScenarioService service(opts);
+  am::register_mission_graphs(service);
+
+  const std::vector<ac::ScenarioResult> results = service.run(campaign());
+  ASSERT_EQ(results.size(), 4u);
+  for (const ac::ScenarioResult& r : results) {
+    ASSERT_TRUE(r.ok) << r.name << ": " << r.error;
+    EXPECT_GT(r.values.at("steps"), 0.0) << r.name;
+    EXPECT_GE(r.values.at("t_peak_max"), r.values.at("t_final_min")) << r.name;
+  }
+  // DO-160 has 5 phases, the 2-orbit eclipse 4: interior transitions only.
+  EXPECT_DOUBLE_EQ(results[0].values.at("phase_transitions"), 4.0);
+  EXPECT_DOUBLE_EQ(results[2].values.at("phase_transitions"), 3.0);
+
+  // All four mission points run the same SEB box structure, so the steady
+  // assembly is built at most twice (two workers may race the first build)
+  // and every later point hits the shared artifact.
+  const ac::ArtifactCacheStats cache = service.cache().stats();
+  EXPECT_GE(cache.hits, 2u);
+  EXPECT_LE(cache.misses, 2u);
+  // The hits show up in the solves too: cached points report zero symbolic
+  // assemblies.
+  std::size_t cached_points = 0;
+  for (const ac::ScenarioResult& r : results)
+    if (r.values.at("structure_assemblies") == 0.0) ++cached_points;
+  EXPECT_EQ(cached_points, 4u);  // get_or_build assembles, never the march
+}
+
+TEST(MissionService, HigherPowerPointRunsHotter) {
+  ac::ScenarioService service;
+  am::register_mission_graphs(service);
+  const std::vector<ac::ScenarioResult> results =
+      service.run({do160_point("nominal", 40.0, 15.0), do160_point("hot", 80.0, 30.0)});
+  ASSERT_TRUE(results[0].ok && results[1].ok);
+  EXPECT_GT(results[1].values.at("t_peak_max"), results[0].values.at("t_peak_max") + 1.0);
+}
+
+TEST(MissionService, NetworkFlightGraphRuns) {
+  ac::ScenarioService service;
+  am::register_mission_graphs(service);
+  ac::ScenarioSpec spec;
+  spec.name = "flight";
+  spec.graph = "mission_network_flight";
+  spec.params["time_scale"] = 0.02;
+  const ac::ScenarioResult r = service.run({spec}).front();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.values.at("steps"), 10.0);
+  EXPECT_GE(r.values.at("t_equipment_peak"), r.values.at("t_equipment"));
+  // The equipment node dissipates into the chassis: it must run warmer.
+  EXPECT_GT(r.values.at("t_equipment"), r.values.at("t_chassis"));
+}
+
+TEST(MissionService, IdenticalMissionPointsDeduplicate) {
+  ac::ScenarioService service;
+  am::register_mission_graphs(service);
+  auto a = do160_point("first", 40.0, 15.0);
+  auto b = do160_point("second", 40.0, 15.0);  // same solve, different name
+  const std::vector<ac::ScenarioResult> results = service.run({a, b});
+  ASSERT_TRUE(results[0].ok && results[1].ok);
+  EXPECT_EQ(results[0].values, results[1].values);
+  EXPECT_EQ(service.stats().executed, 1u);
+  EXPECT_EQ(service.stats().dedup_hits, 1u);
+}
+
+TEST(MissionService, CampaignValuesIdenticalAcrossScenarioThreadCounts) {
+  std::vector<std::map<std::string, double>> per_thread_values;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ac::ScenarioServiceOptions opts;
+    opts.threads_per_scenario = threads;
+    ac::ScenarioService service(opts);
+    am::register_mission_graphs(service);
+    std::map<std::string, double> flat;
+    for (const ac::ScenarioResult& r : service.run(campaign())) {
+      ASSERT_TRUE(r.ok) << threads << " threads: " << r.error;
+      for (const auto& [k, v] : r.values) flat[r.name + "." + k] = v;
+    }
+    per_thread_values.push_back(std::move(flat));
+  }
+  EXPECT_EQ(per_thread_values[0], per_thread_values[1]);
+  EXPECT_EQ(per_thread_values[0], per_thread_values[2]);
+}

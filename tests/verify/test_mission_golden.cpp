@@ -1,0 +1,55 @@
+// Mission golden: the DO-160 thermal-shock campaign of the canonical SEB
+// box frozen as a JSON baseline. The adaptive controller is deterministic
+// at any thread count, so every recorded quantity — including the accepted
+// step count — is an exact repeatable number. Regenerate with
+// AEROPACK_UPDATE_GOLDEN=1 ctest -L verify.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "mission/profile.hpp"
+#include "mission/transient.hpp"
+#include "rom/canonical.hpp"
+#include "verify/golden.hpp"
+
+namespace am = aeropack::mission;
+namespace ar = aeropack::rom;
+namespace av = aeropack::verify;
+
+namespace {
+
+void expect_golden(const av::GoldenRecorder& rec) {
+  std::string joined;
+  for (const auto& line : rec.finish()) joined += "\n  " + line;
+  EXPECT_TRUE(joined.empty()) << rec.path() << ":" << joined;
+}
+
+}  // namespace
+
+TEST(MissionGolden, Do160ShockCampaignOnSebBox) {
+  ar::CanonicalCase cc = ar::seb_box();
+  ar::RomInputs inputs;
+  inputs.sink_temperatures.assign(cc.spec.ports.size(), 228.15);
+  inputs.map_powers = {40.0, 15.0};
+  ar::apply_inputs(cc.model, cc.spec, inputs);
+
+  // Compressed DO-160 shock: the full 100 K swing at an accelerated ramp so
+  // the golden march stays quick, same five-phase shape as qualification.
+  const am::Profile profile = am::Profile::do160_thermal_shock(228.15, 328.15, 50.0, 240.0);
+  am::AdaptiveOptions adaptive;
+  adaptive.tolerance = 0.05;
+  const am::MissionSolution sol = am::run_fv_mission(cc.model, profile, 293.15, adaptive);
+
+  av::GoldenRecorder rec("mission_do160_shock", AEROPACK_GOLDEN_DIR);
+  rec.record("sim_seconds", profile.total_duration());
+  rec.record("steps_accepted", static_cast<double>(sol.steps_accepted));
+  rec.record("steps_rejected", static_cast<double>(sol.steps_rejected));
+  rec.record("phase_transitions", static_cast<double>(sol.phase_transitions));
+  rec.record("t_final_max", sol.t_max.back());
+  rec.record("t_final_min", sol.t_min.back());
+  rec.record("t_final_mean", sol.t_mean.back());
+  rec.record("t_peak_max", *std::max_element(sol.t_max.begin(), sol.t_max.end()));
+  rec.record("t_low_min", *std::min_element(sol.t_min.begin(), sol.t_min.end()));
+  expect_golden(rec);
+}

@@ -169,8 +169,11 @@ def main(argv):
         # under a scenario prefix, as bench_scenario_throughput emits
         # ("counters.<scenario>.numeric.parallel_for.calls"). The ROM
         # snapshot-build counters under rom.snapshot_build. carry wall-clock
-        # microseconds (bench_rom), so they can never be gated exactly.
-        skip = ("numeric.parallel_for.", "numeric.pool.", "rom.snapshot_build.")
+        # microseconds (bench_rom), so they can never be gated exactly; the
+        # mission marches emit theirs under mission.wallclock. (bench_mission)
+        # for the same reason.
+        skip = ("numeric.parallel_for.", "numeric.pool.", "rom.snapshot_build.",
+                "mission.wallclock.")
         expected = {
             key: value
             for key, value in sorted(report.items())
