@@ -13,7 +13,11 @@
 //    (1 vs 4) — the adaptive controller is deterministic;
 //  - the adaptive march stays decisively cheaper than the fixed-dt march a
 //    naive driver would use (implicit solves compared at equal accuracy
-//    targets).
+//    targets);
+//  - the ROM-fidelity mission points (mission_rom_*) share ONE cached
+//    compact model across the campaign and the reduced march beats the FV
+//    march of the same profile by >= 10x wall clock — the fidelity-swap
+//    payoff the unified transient engine exists to deliver.
 //
 // --smoke runs the reduced campaign for the CI bench-smoke job; the
 // deterministic mission.* / fv.* / svc counters land in the --report JSON
@@ -21,6 +25,7 @@
 // wall-clock counter mission.wallclock.elapsed_us is deliberately excluded
 // from the expectation file (tools/check_report.py skips the
 // mission.wallclock. prefix at --update time).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <exception>
@@ -70,6 +75,27 @@ std::vector<ac::ScenarioSpec> build_campaign(std::size_t power_cases) {
     orbit.loads["pcb_components"] = 30.0 + 10.0 * static_cast<double>(i);
     orbit.loads["psu"] = 10.0;
     specs.push_back(orbit);
+  }
+  // The same mission points at reduced-order fidelity: identical spec
+  // shape, graph name swapped. All of them march one cached compact model.
+  for (std::size_t i = 0; i < power_cases; ++i) {
+    ac::ScenarioSpec rom_shock;
+    rom_shock.name = "rom_do160_p" + std::to_string(i);
+    rom_shock.graph = "mission_rom_do160";
+    rom_shock.params["dwell_s"] = 240.0;
+    rom_shock.params["ramp_rate"] = 25.0;
+    rom_shock.loads["pcb_components"] = 30.0 + 10.0 * static_cast<double>(i);
+    rom_shock.loads["psu"] = 15.0;
+    specs.push_back(rom_shock);
+
+    ac::ScenarioSpec rom_orbit;
+    rom_orbit.name = "rom_eclipse_p" + std::to_string(i);
+    rom_orbit.graph = "mission_rom_eclipse";
+    rom_orbit.params["orbits"] = 2.0;
+    rom_orbit.params["period_s"] = 600.0;
+    rom_orbit.loads["pcb_components"] = 30.0 + 10.0 * static_cast<double>(i);
+    rom_orbit.loads["psu"] = 10.0;
+    specs.push_back(rom_orbit);
   }
   ac::ScenarioSpec flight;
   flight.name = "arinc_flight";
@@ -132,6 +158,50 @@ EconomyPoint adaptive_economy() {
   return point;
 }
 
+/// ROM-vs-FV march economy on one DO-160 shock: the identical profile and
+/// controller driven through thermal::FvTransientStepper and
+/// rom::RomTransientStepper (compact-model build excluded — campaigns
+/// amortize it through the artifact cache, which Gate 1b verifies).
+struct RomFidelityPoint {
+  double fv_seconds = 0.0;
+  double rom_seconds = 0.0;
+  double speedup = 0.0;
+  std::size_t fv_steps = 0;
+  std::size_t rom_steps = 0;
+};
+
+RomFidelityPoint rom_fidelity_economy() {
+  const ar::CanonicalCase cc = ar::seb_box();
+  ar::RomInputs inputs;
+  inputs.sink_temperatures.assign(cc.spec.ports.size(), 228.15);
+  inputs.map_powers = {40.0, 15.0};
+  const am::Profile profile = am::Profile::do160_thermal_shock(228.15, 328.15, 25.0, 240.0);
+  const ar::RomModel rom = ar::build_rom(cc.model, cc.spec, {});
+
+  at::FvModel fv_model = cc.model;
+  ar::apply_inputs(fv_model, cc.spec, inputs);
+
+  RomFidelityPoint point;
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    const am::MissionSolution sol = am::run_fv_mission(fv_model, profile, 293.15);
+    point.fv_seconds = seconds_since(t0);
+    point.fv_steps = sol.steps_accepted;
+  }
+  // Best of three reduced marches: the march is sub-millisecond, so one
+  // scheduler hiccup would otherwise dominate the measurement.
+  point.rom_seconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const am::MissionSolution sol =
+        am::run_rom_mission(rom, profile, 293.15, inputs, {}, &cc.model.grid());
+    point.rom_seconds = std::min(point.rom_seconds, seconds_since(t0));
+    point.rom_steps = sol.steps_accepted;
+  }
+  point.speedup = point.fv_seconds / (point.rom_seconds > 0.0 ? point.rom_seconds : 1e-30);
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -161,7 +231,8 @@ int main(int argc, char** argv) try {
 
   const std::size_t power_cases = smoke ? 2 : 6;
   const std::vector<ac::ScenarioSpec> specs = build_campaign(power_cases);
-  const std::size_t fv_points = 2 * power_cases;  // do160 + eclipse per case
+  const std::size_t fv_points = 2 * power_cases;   // do160 + eclipse per case
+  const std::size_t rom_points = 2 * power_cases;  // rom_do160 + rom_eclipse per case
 
   // Reference pass: one worker, telemetry on (per-scenario counters feed
   // the report and the gates below).
@@ -179,22 +250,25 @@ int main(int argc, char** argv) try {
       ok = false;
       continue;
     }
-    const bool fv_graph = r.values.count("t_peak_max") > 0;
+    const bool field_graph = r.values.count("t_peak_max") > 0;
     std::printf("  %-14s | %6.0f | %7.0f | %6.0f | %10.2f | %10.2f\n", r.name.c_str(),
-                r.values.at("steps"), fv_graph ? r.values.at("step_rejections") : 0.0,
-                fv_graph ? r.values.at("phase_transitions") : 0.0,
-                fv_graph ? r.values.at("t_peak_max") : r.values.at("t_equipment_peak"),
-                fv_graph ? r.values.at("t_final_max") : r.values.at("t_equipment"));
+                r.values.at("steps"), r.values.at("step_rejections"),
+                r.values.at("phase_transitions"),
+                field_graph ? r.values.at("t_peak_max") : r.values.at("t_equipment_peak"),
+                field_graph ? r.values.at("t_final_max") : r.values.at("t_equipment"));
   }
 
-  // Gate 1: one shared steady assembly serves every FV mission point. The
-  // first point builds (a miss); every other point hits the cache.
-  if (ref.cache.hits + 1 < fv_points || ref.cache.misses != 1) {
+  // Gate 1: one shared steady assembly serves every FV mission point and
+  // one shared compact model serves every ROM mission point. The first
+  // point of each artifact class builds (two misses in total); every other
+  // point hits the cache.
+  if (ref.cache.hits + 2 < fv_points + rom_points || ref.cache.misses != 2) {
     std::fprintf(stderr,
-                 "FAIL: campaign assembly sharing: %llu hits / %llu misses over %zu FV points"
-                 " (want %zu hits, 1 miss)\n",
+                 "FAIL: campaign artifact sharing: %llu hits / %llu misses over %zu FV + %zu ROM"
+                 " points (want %zu hits, 2 misses)\n",
                  static_cast<unsigned long long>(ref.cache.hits),
-                 static_cast<unsigned long long>(ref.cache.misses), fv_points, fv_points - 1);
+                 static_cast<unsigned long long>(ref.cache.misses), fv_points, rom_points,
+                 fv_points + rom_points - 2);
     ok = false;
   }
 
@@ -215,6 +289,16 @@ int main(int argc, char** argv) try {
     ok = false;
   }
 
+  // Gate 4: the reduced march of the same profile beats the FV march by
+  // >= 10x wall clock (compact-model build amortized by the cache above).
+  const RomFidelityPoint rom_economy = rom_fidelity_economy();
+  if (rom_economy.speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: ROM fidelity speedup %.1fx < 10x bar (FV %.4fs / ROM %.4fs)\n",
+                 rom_economy.speedup, rom_economy.fv_seconds, rom_economy.rom_seconds);
+    ok = false;
+  }
+
   std::printf("\n  campaign: %zu points, %.2fs @1 worker, %.2fs @4 workers\n", specs.size(),
               ref.seconds, par.seconds);
   std::printf("  assembly cache: %llu hits / %llu misses (one build serves the campaign)\n",
@@ -222,6 +306,10 @@ int main(int argc, char** argv) try {
               static_cast<unsigned long long>(ref.cache.misses));
   std::printf("  adaptive economy: %zu implicit solves vs %zu fixed-dt steps (%.1fx)\n",
               economy.adaptive_solves, economy.fixed_steps, economy.ratio);
+  std::printf("  rom fidelity: FV march %.4fs (%zu steps) vs ROM march %.4fs (%zu steps)"
+              " — %.0fx\n",
+              rom_economy.fv_seconds, rom_economy.fv_steps, rom_economy.rom_seconds,
+              rom_economy.rom_steps, rom_economy.speedup);
 
   if (!report_path.empty()) {
     obs::Report report = obs::Report::capture("bench_mission", an::thread_count());
@@ -230,6 +318,9 @@ int main(int argc, char** argv) try {
     report.set_meta("campaign.seconds_1w", ref.seconds);
     report.set_meta("campaign.seconds_4w", par.seconds);
     report.set_meta("economy.ratio", economy.ratio);
+    report.set_meta("rom.speedup", rom_economy.speedup);
+    report.set_meta("rom.fv_seconds", rom_economy.fv_seconds);
+    report.set_meta("rom.rom_seconds", rom_economy.rom_seconds);
     for (const ac::ScenarioResult& r : ref.results) report.add_counters(r.name, r.counters);
     report.add_counters("svc", {{"cache.hits", ref.cache.hits},
                                 {"cache.misses", ref.cache.misses},

@@ -9,6 +9,7 @@
 #include "core/scenario_service.hpp"
 #include "mission/profile.hpp"
 #include "mission/transient.hpp"
+#include "rom/cache.hpp"
 #include "rom/canonical.hpp"
 #include "thermal/network.hpp"
 
@@ -103,8 +104,12 @@ std::map<std::string, double> mission_seb_eclipse(const core::ScenarioSpec& spec
 // Two-node equipment/chassis lumped network under the ARINC 600 flight
 // envelope: the Level-1 sizing view of the same integration problem the FV
 // graphs resolve in 3-D (paper Fig. 4's resistive-network abstraction).
+// Marched by the same adaptive controller as the FV graphs through the
+// unified engine — long cruise plateaus coarsen to dt_max while the
+// takeoff/descent ramps resolve finely, so the campaign spends far fewer
+// implicit solves than the old fixed-dt march at the same tolerance.
 std::map<std::string, double> mission_network_flight(const core::ScenarioSpec& spec,
-                                                     aeropack::ExecutionContext& ctx) {
+                                                     aeropack::ExecutionContext&) {
   const double t_ground = get_or(spec.boundaries, "t_ground", 328.15);
   const double t_cruise = get_or(spec.boundaries, "t_cruise", 243.15);
   const double time_scale = get_or(spec.params, "time_scale", 0.05);
@@ -119,20 +124,92 @@ std::map<std::string, double> mission_network_flight(const core::ScenarioSpec& s
   net.add_heat_load(equipment, get_or(spec.loads, "equipment", 120.0));
 
   const double t_initial = get_or(spec.params, "t_initial", 293.15);
-  const double dt = get_or(spec.params, "dt", 5.0) * time_scale;
+  AdaptiveOptions adaptive;
+  adaptive.tolerance = get_or(spec.params, "tolerance", adaptive.tolerance);
+  adaptive.dt_initial = get_or(spec.params, "dt", 5.0) * time_scale;
+  adaptive.dt_max = get_or(spec.params, "dt_max", adaptive.dt_max) * time_scale;
   numeric::Vector initial(net.node_count(), t_initial);
-  const at::NetworkDrive drive = drive_for_network(profile);
-  const at::TransientSolution sol =
-      net.solve_transient(ctx, profile.total_duration(), dt, initial, drive);
+  const NetworkMissionSolution sol = run_network_mission(net, profile, initial, adaptive);
 
-  double peak = sol.temperatures.front()[equipment];
-  for (const numeric::Vector& row : sol.temperatures)
+  double peak = sol.node_temperatures.front()[equipment];
+  for (const numeric::Vector& row : sol.node_temperatures)
     peak = std::max(peak, row[equipment]);
-  return {{"t_equipment", sol.temperatures.back()[equipment]},
-          {"t_chassis", sol.temperatures.back()[chassis]},
+  return {{"t_equipment", sol.node_temperatures.back()[equipment]},
+          {"t_chassis", sol.node_temperatures.back()[chassis]},
           {"t_equipment_peak", peak},
-          {"steps", static_cast<double>(sol.times.size() - 1)},
+          {"steps", static_cast<double>(sol.steps_accepted)},
+          {"step_rejections", static_cast<double>(sol.steps_rejected)},
+          {"phase_transitions", static_cast<double>(sol.phase_transitions)},
+          {"implicit_solves", static_cast<double>(sol.implicit_solves)},
           {"sim_seconds", profile.total_duration()}};
+}
+
+/// Shared body of the ROM-fidelity mission graphs: the canonical SEB box is
+/// reduced once per structure through rom::get_or_build_rom — the same
+/// rom_key the rom steady graphs use, so a mixed campaign shares one
+/// compact model — and every mission point marches the reduced coordinates
+/// through the profile with the same adaptive controller (and the same
+/// output keys) as the FV graphs.
+std::map<std::string, double> run_rom_mission_graph(const Profile& profile,
+                                                    const core::ScenarioSpec& spec,
+                                                    aeropack::ExecutionContext& ctx,
+                                                    double t_sink0) {
+  rom::CanonicalCase cc = rom::seb_box();
+  rom::RomOptions rom_opts;
+  const double rank = get_or(spec.params, "rank", 0.0);
+  if (rank > 0.0) rom_opts.rank = static_cast<std::size_t>(rank);
+  const std::shared_ptr<const rom::RomModel> model =
+      rom::get_or_build_rom(ctx.artifact_cache(), cc.model, cc.spec, rom_opts);
+
+  rom::RomInputs base;
+  base.sink_temperatures.assign(cc.spec.ports.size(), t_sink0);
+  base.map_powers.reserve(cc.spec.maps.size());
+  for (const rom::RomPowerMap& m : cc.spec.maps) {
+    const double fallback = m.name == "pcb_components" ? 40.0 : 15.0;
+    base.map_powers.push_back(get_or(spec.loads, m.name, fallback));
+  }
+
+  AdaptiveOptions adaptive;
+  adaptive.tolerance = get_or(spec.params, "tolerance", adaptive.tolerance);
+  adaptive.dt_max = get_or(spec.params, "dt_max", adaptive.dt_max);
+  const double t_initial = get_or(spec.params, "t_initial", 293.15);
+
+  const MissionSolution sol =
+      run_rom_mission(model, profile, t_initial, base, adaptive, &cc.model.grid());
+
+  std::map<std::string, double> out;
+  out["t_final_max"] = sol.t_max.back();
+  out["t_final_min"] = sol.t_min.back();
+  out["t_final_mean"] = sol.t_mean.back();
+  out["t_peak_max"] = *std::max_element(sol.t_max.begin(), sol.t_max.end());
+  out["t_low_min"] = *std::min_element(sol.t_min.begin(), sol.t_min.end());
+  out["steps"] = static_cast<double>(sol.steps_accepted);
+  out["step_rejections"] = static_cast<double>(sol.steps_rejected);
+  out["phase_transitions"] = static_cast<double>(sol.phase_transitions);
+  out["rank"] = static_cast<double>(model->rank());
+  out["sim_seconds"] = profile.total_duration();
+  return out;
+}
+
+std::map<std::string, double> mission_rom_do160(const core::ScenarioSpec& spec,
+                                                aeropack::ExecutionContext& ctx) {
+  const double t_cold = get_or(spec.boundaries, "t_cold", 228.15);
+  const double t_hot = get_or(spec.boundaries, "t_hot", 328.15);
+  const Profile profile =
+      Profile::do160_thermal_shock(t_cold, t_hot, get_or(spec.params, "ramp_rate", 5.0),
+                                   get_or(spec.params, "dwell_s", 1800.0));
+  return run_rom_mission_graph(profile, spec, ctx, t_cold);
+}
+
+std::map<std::string, double> mission_rom_eclipse(const core::ScenarioSpec& spec,
+                                                  aeropack::ExecutionContext& ctx) {
+  const double t_sunlit = get_or(spec.boundaries, "t_sunlit", 313.15);
+  const double t_eclipse = get_or(spec.boundaries, "t_eclipse", 213.15);
+  const Profile profile = Profile::cubesat_eclipse(
+      static_cast<std::size_t>(get_or(spec.params, "orbits", 2.0)),
+      get_or(spec.params, "period_s", 600.0), get_or(spec.params, "eclipse_fraction", 0.35),
+      t_sunlit, t_eclipse, get_or(spec.params, "eclipse_power_scale", 0.6));
+  return run_rom_mission_graph(profile, spec, ctx, t_sunlit);
 }
 
 }  // namespace
@@ -141,6 +218,8 @@ void register_mission_graphs(core::ScenarioService& service) {
   service.register_graph("mission_seb_do160", &mission_seb_do160);
   service.register_graph("mission_seb_eclipse", &mission_seb_eclipse);
   service.register_graph("mission_network_flight", &mission_network_flight);
+  service.register_graph("mission_rom_do160", &mission_rom_do160);
+  service.register_graph("mission_rom_eclipse", &mission_rom_eclipse);
 }
 
 }  // namespace aeropack::mission

@@ -10,29 +10,40 @@
 //    box — same structural hash, so a mixed campaign shares one cached
 //    FvAssembly with the DO-160 scenarios and with steady solves of the box.
 //  - "mission_network_flight": ARINC 600 takeoff/cruise/descent ambient
-//    envelope on a two-node equipment/chassis lumped network, fixed-dt.
+//    envelope on a two-node equipment/chassis lumped network, adaptively
+//    stepped through the same engine as the FV graphs.
+//  - "mission_rom_do160" / "mission_rom_eclipse": the same two campaigns at
+//    reduced-order fidelity — the SEB box is reduced once through
+//    rom::get_or_build_rom (the same cache key the rom steady graphs use)
+//    and each mission point marches the reduced coordinates. Same output
+//    keys as the FV graphs, so swapping fidelity is a one-word change of
+//    `spec.graph`.
 //
 // Spec conventions (defaults in parentheses):
-//  mission_seb_do160
+//  mission_seb_do160 / mission_rom_do160
 //   params:     tolerance (0.05 K), dt_max (60 s), dwell_s (1800),
-//               ramp_rate (5 K/min), t_initial (293.15)
+//               ramp_rate (5 K/min), t_initial (293.15); the rom graph also
+//               takes rank (0 = builder's POD energy choice)
 //   loads:      pcb_components (40 W), psu (15 W)
 //   boundaries: t_cold (228.15), t_hot (328.15)
-//  mission_seb_eclipse
+//  mission_seb_eclipse / mission_rom_eclipse
 //   params:     tolerance (0.05 K), dt_max (60 s), orbits (2),
 //               period_s (600), eclipse_fraction (0.35),
-//               eclipse_power_scale (0.6), t_initial (293.15)
+//               eclipse_power_scale (0.6), t_initial (293.15); the rom
+//               graph also takes rank
 //   loads:      pcb_components (40 W), psu (15 W)
 //   boundaries: t_sunlit (313.15), t_eclipse (213.15)
 //  mission_network_flight
-//   params:     time_scale (0.05), dt (5 s, scaled), t_initial (293.15)
+//   params:     time_scale (0.05), dt (5 s, scaled, initial step),
+//               tolerance (0.05 K), dt_max (60 s, scaled), t_initial (293.15)
 //   loads:      equipment (120 W)
 //   boundaries: t_ground (328.15), t_cruise (243.15)
 // Common outputs: "t_final_max/min/mean" [K] at the horizon, "t_peak_max"
 // and "t_low_min" over the whole trace, "steps", "step_rejections",
-// "phase_transitions", "linear_iterations", "sim_seconds". The network
-// graph reports "t_equipment"/"t_chassis" finals and "t_equipment_peak"
-// instead of field stats.
+// "phase_transitions", "sim_seconds" (the FV graphs add
+// "linear_iterations"/"structure_assemblies", the rom graphs "rank"). The
+// network graph reports "t_equipment"/"t_chassis" finals,
+// "t_equipment_peak" and "implicit_solves" instead of field stats.
 //
 // Hashing rule (CONTRIBUTING.md): the profile enters each scenario through
 // params/loads/boundaries — i.e. the spec's content_hash — while the cached

@@ -13,7 +13,19 @@ namespace aeropack::mission {
 
 namespace {
 
-double clamp(double v, double lo, double hi) { return std::min(hi, std::max(lo, v)); }
+/// Shared pre-validation of every mission entry point: the profile, the
+/// initial temperature and the controller knobs are rejected before any
+/// stepper (and hence any assembly or counter) is constructed.
+void check_mission_arguments(const Profile& profile, double t_initial,
+                             const AdaptiveOptions& adaptive) {
+  if (profile.phase_count() == 0) {
+    throw std::invalid_argument("mission: profile has no phases");
+  }
+  if (!(t_initial > 0.0) || !std::isfinite(t_initial)) {
+    throw std::invalid_argument("mission: initial temperature must be positive and finite");
+  }
+  core::check_adaptive_options("mission", adaptive);
+}
 
 }  // namespace
 
@@ -68,17 +80,7 @@ MissionSolution run_fv_mission(const thermal::FvModel& model, const Profile& pro
                                double t_initial, const AdaptiveOptions& adaptive,
                                const thermal::FvOptions& fv_opts,
                                std::shared_ptr<const thermal::FvAssembly> assembly) {
-  if (profile.phase_count() == 0) {
-    throw std::invalid_argument("mission: profile has no phases");
-  }
-  if (!(t_initial > 0.0) || !std::isfinite(t_initial)) {
-    throw std::invalid_argument("mission: initial temperature must be positive and finite");
-  }
-  if (!(adaptive.tolerance > 0.0) || !(adaptive.dt_min > 0.0) ||
-      !(adaptive.dt_max >= adaptive.dt_min)) {
-    throw std::invalid_argument("mission: adaptive options must satisfy tolerance > 0, "
-                                "0 < dt_min <= dt_max");
-  }
+  check_mission_arguments(profile, t_initial, adaptive);
 
   static thread_local obs::CounterHandle steps_counter{"mission.steps"};
   static thread_local obs::CounterHandle reject_counter{"mission.step_rejections"};
@@ -92,6 +94,7 @@ MissionSolution run_fv_mission(const thermal::FvModel& model, const Profile& pro
   const double t_end = profile.total_duration();
   const thermal::FvDrive drive = drive_for(profile);
   thermal::FvTransientStepper stepper(model, fv_opts, std::move(assembly));
+  stepper.set_drive(&drive);
 
   const auto& grid = model.grid();
   const std::size_t n = grid.cell_count();
@@ -126,73 +129,20 @@ MissionSolution run_fv_mission(const thermal::FvModel& model, const Profile& pro
   };
   record(0.0, temps);
 
-  double t = 0.0;
-  double dt_want = clamp(adaptive.dt_initial, adaptive.dt_min, adaptive.dt_max);
-  // Neutral controller memory: behaves like a plain I controller on step 1.
-  double err_prev = adaptive.tolerance;
-  numeric::Vector trial, half;
-  std::size_t attempts = 0;
-
-  while (t < t_end * (1.0 - 1e-12)) {
-    if (++attempts > adaptive.max_steps) {
-      throw std::runtime_error("mission: adaptive march exceeded max_steps (tolerance too "
-                               "tight or dt_min too small for this model)");
-    }
-    // Never step across a phase boundary: drivers may jump there.
-    const double limit = std::min(t_end, profile.next_transition(t));
-    const double room = limit - t;
-    double dt_try = std::min(dt_want, room);
-    const bool boundary_clamped = dt_try < dt_want;
-
-    const double t_next = (dt_try >= room) ? limit : t + dt_try;
-    const double h2 = 0.5 * dt_try;
-
-    // Step-doubling: one full step and two half steps from the same state.
-    trial = temps;
-    std::size_t iters = stepper.step(trial, t_next, dt_try, &drive);
-    half = temps;
-    iters += stepper.step(half, t + h2, h2, &drive);
-    iters += stepper.step(half, t_next, dt_try - h2, &drive);
-    out.linear_iterations += iters;
-    cg_counter.add(iters);
-
-    double err = 0.0;
-    for (std::size_t c = 0; c < n; ++c) err = std::max(err, std::abs(half[c] - trial[c]));
-
-    // At dt_min there is no smaller step to retry with: accept and move on.
-    const bool at_floor = dt_try <= adaptive.dt_min * (1.0 + 1e-9);
-    if (err <= adaptive.tolerance || at_floor) {
-      // Accept the two-half solution (the more accurate of the pair).
-      temps.swap(half);
-      t = t_next;
-      out.steps_accepted += 1;
-      steps_counter.add(1);
-      if (t >= limit && limit < t_end) {
-        out.phase_transitions += 1;
-        phase_counter.add(1);
-      }
-      record(t, temps);
-
-      double factor = adaptive.grow_limit;
-      if (err > 0.0) {
-        factor = adaptive.safety * std::pow(adaptive.tolerance / err, adaptive.k_i) *
-                 std::pow(err_prev / err, adaptive.k_p);
-      }
-      factor = clamp(factor, adaptive.shrink_limit, adaptive.grow_limit);
-      double next_want = clamp(dt_try * factor, adaptive.dt_min, adaptive.dt_max);
-      // A boundary-clamped step says nothing about accuracy at dt_want;
-      // keep the controller's ambition instead of shrinking toward slivers.
-      if (boundary_clamped) next_want = std::max(next_want, dt_want);
-      dt_want = next_want;
-      err_prev = std::max(err, 1e-4 * adaptive.tolerance);
-    } else {
-      out.steps_rejected += 1;
-      reject_counter.add(1);
-      const double factor =
-          clamp(adaptive.safety * std::sqrt(adaptive.tolerance / err), adaptive.shrink_limit, 0.9);
-      dt_want = std::max(adaptive.dt_min, dt_try * factor);
-    }
-  }
+  const core::MarchStats stats = core::march_adaptive(
+      "mission", stepper, temps, t_end, adaptive,
+      [&](double t) { return profile.next_transition(t); },
+      [&](std::size_t iters) { cg_counter.add(iters); },
+      [&](double t, const numeric::Vector& field, bool landed) {
+        steps_counter.add(1);
+        if (landed) phase_counter.add(1);
+        record(t, field);
+      },
+      [&] { reject_counter.add(1); });
+  out.steps_accepted = stats.steps_accepted;
+  out.steps_rejected = stats.steps_rejected;
+  out.phase_transitions = stats.boundary_landings;
+  out.linear_iterations = stats.step_cost;
 
   out.final_field = std::move(temps);
 
@@ -217,6 +167,163 @@ MissionSolution run_fv_mission(ExecutionContext& ctx, const thermal::FvModel& mo
     tuned.linear.chebyshev_degree = ctx.config().cg_chebyshev_degree;
   }
   return run_fv_mission(model, profile, t_initial, adaptive, tuned, std::move(assembly));
+}
+
+rom::RomDrive drive_for_rom(const Profile& profile, rom::RomInputs base_inputs) {
+  if (profile.phase_count() == 0) {
+    throw std::invalid_argument("mission::drive_for_rom: profile has no phases");
+  }
+  for (const Phase& phase : profile.phases()) {
+    if (phase.h_scale_start != 1.0 || phase.h_scale_end != 1.0) {
+      throw std::invalid_argument(
+          "mission::drive_for_rom: profile phase '" + phase.name +
+          "' scales film coefficients (h_scale != 1); port films are baked into the "
+          "reduced operator — run this profile at FV fidelity instead");
+    }
+  }
+  rom::RomDrive drive;
+  drive.inputs = [profile, base = std::move(base_inputs)](double t) {
+    const EnvironmentState env = profile.environment(t);
+    rom::RomInputs in = base;
+    for (std::size_t p = 0; p < in.sink_temperatures.size(); ++p) {
+      in.sink_temperatures[p] = env.t_ambient;
+    }
+    for (std::size_t m = 0; m < in.map_powers.size(); ++m) {
+      in.map_powers[m] = base.map_powers[m] * env.power_scale;
+    }
+    return in;
+  };
+  return drive;
+}
+
+MissionSolution run_rom_mission(const rom::RomModel& model, const Profile& profile,
+                                double t_initial, const rom::RomInputs& base_inputs,
+                                const AdaptiveOptions& adaptive, const thermal::FvGrid* grid) {
+  check_mission_arguments(profile, t_initial, adaptive);
+
+  static thread_local obs::CounterHandle steps_counter{"mission.rom_steps"};
+  static thread_local obs::CounterHandle reject_counter{"mission.rom_step_rejections"};
+  static thread_local obs::CounterHandle phase_counter{"mission.phase_transitions"};
+  // Wall-clock only: excluded from bench gating (tools/check_report.py).
+  static thread_local obs::CounterHandle elapsed_counter{"mission.wallclock.elapsed_us"};
+  obs::ScopedTimer span("mission.solve_rom");
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  const double t_end = profile.total_duration();
+  rom::RomTransientStepper stepper(model, base_inputs, drive_for_rom(profile, base_inputs));
+  numeric::Vector y = stepper.initial_state(t_initial);
+
+  const std::size_t n = model.basis().rows();
+  // Cell volumes for the volume-average trace; a reduced model does not
+  // carry its source grid, so callers pass it when they want the
+  // FV-comparable weighted mean.
+  numeric::Vector volume(n, 1.0);
+  double total_volume = static_cast<double>(n);
+  if (grid != nullptr) {
+    if (grid->cell_count() != n) {
+      throw std::invalid_argument("mission: grid cell count does not match the reduced basis");
+    }
+    total_volume = 0.0;
+    for (std::size_t k = 0; k < grid->nz(); ++k)
+      for (std::size_t j = 0; j < grid->ny(); ++j)
+        for (std::size_t i = 0; i < grid->nx(); ++i) {
+          const double v = grid->cell_volume(i, j, k);
+          volume[grid->index(i, j, k)] = v;
+          total_volume += v;
+        }
+  }
+
+  MissionSolution out;
+  const auto record = [&](double time, const numeric::Vector& reduced) {
+    const numeric::Vector field = model.reconstruct(reduced);
+    double mx = field[0], mn = field[0], weighted = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      mx = std::max(mx, field[c]);
+      mn = std::min(mn, field[c]);
+      weighted += volume[c] * field[c];
+    }
+    out.times.push_back(time);
+    out.t_max.push_back(mx);
+    out.t_min.push_back(mn);
+    out.t_mean.push_back(weighted / total_volume);
+  };
+  record(0.0, y);
+
+  const core::MarchStats stats = core::march_adaptive(
+      "mission", stepper, y, t_end, adaptive,
+      [&](double t) { return profile.next_transition(t); }, [](std::size_t) {},
+      [&](double t, const numeric::Vector& state, bool landed) {
+        steps_counter.add(1);
+        if (landed) phase_counter.add(1);
+        record(t, state);
+      },
+      [&] { reject_counter.add(1); });
+  out.steps_accepted = stats.steps_accepted;
+  out.steps_rejected = stats.steps_rejected;
+  out.phase_transitions = stats.boundary_landings;
+  out.linear_iterations = stats.step_cost;
+  out.final_field = model.reconstruct(y);
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0).count();
+  elapsed_counter.add(static_cast<std::uint64_t>(wall_seconds * 1e6));
+  if (obs::enabled()) {
+    obs::current().gauge("mission.sim_seconds").set(t_end);
+    obs::current().gauge("mission.wall_seconds").set(wall_seconds);
+  }
+  return out;
+}
+
+MissionSolution run_rom_mission(std::shared_ptr<const rom::RomModel> model,
+                                const Profile& profile, double t_initial,
+                                const rom::RomInputs& base_inputs,
+                                const AdaptiveOptions& adaptive, const thermal::FvGrid* grid) {
+  if (model == nullptr) {
+    throw std::invalid_argument("mission: null reduced model");
+  }
+  return run_rom_mission(*model, profile, t_initial, base_inputs, adaptive, grid);
+}
+
+NetworkMissionSolution run_network_mission(const thermal::ThermalNetwork& net,
+                                           const Profile& profile,
+                                           const numeric::Vector& initial_temperatures,
+                                           const AdaptiveOptions& adaptive,
+                                           const thermal::SteadyOptions& opts) {
+  if (profile.phase_count() == 0) {
+    throw std::invalid_argument("mission: profile has no phases");
+  }
+  core::check_adaptive_options("mission", adaptive);
+  core::check_state_size("mission", initial_temperatures.size(), net.node_count());
+
+  static thread_local obs::CounterHandle steps_counter{"mission.network_steps"};
+  static thread_local obs::CounterHandle reject_counter{"mission.network_step_rejections"};
+  static thread_local obs::CounterHandle phase_counter{"mission.phase_transitions"};
+  obs::ScopedTimer span("mission.solve_network");
+
+  const double t_end = profile.total_duration();
+  thermal::NetworkTransientStepper stepper(net, opts, drive_for_network(profile));
+  numeric::Vector temps = initial_temperatures;
+  stepper.apply_boundaries(0.0, temps);
+
+  NetworkMissionSolution out;
+  out.times.push_back(0.0);
+  out.node_temperatures.push_back(temps);
+
+  const core::MarchStats stats = core::march_adaptive(
+      "mission", stepper, temps, t_end, adaptive,
+      [&](double t) { return profile.next_transition(t); }, [](std::size_t) {},
+      [&](double t, const numeric::Vector& state, bool landed) {
+        steps_counter.add(1);
+        if (landed) phase_counter.add(1);
+        out.times.push_back(t);
+        out.node_temperatures.push_back(state);
+      },
+      [&] { reject_counter.add(1); });
+  out.steps_accepted = stats.steps_accepted;
+  out.steps_rejected = stats.steps_rejected;
+  out.phase_transitions = stats.boundary_landings;
+  out.implicit_solves = stats.step_cost;
+  return out;
 }
 
 }  // namespace aeropack::mission

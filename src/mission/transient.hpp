@@ -20,9 +20,13 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
+#include "core/transient_engine.hpp"
 #include "mission/profile.hpp"
 #include "numeric/dense.hpp"
+#include "rom/rom.hpp"
+#include "rom/transient.hpp"
 #include "thermal/fv.hpp"
 #include "thermal/network.hpp"
 
@@ -32,24 +36,12 @@ class ExecutionContext;
 
 namespace aeropack::mission {
 
-/// PI step-size controller knobs. Defaults suit the coarse qualification
-/// models (SEB box, Fig. 2 board); tighten `tolerance` for fine grids.
-struct AdaptiveOptions {
-  double tolerance = 0.05;  ///< step-doubling error target, max-norm [K]
-  double dt_initial = 1.0;  ///< first attempted step [s]
-  double dt_min = 1e-3;     ///< smallest controller step [s]
-  double dt_max = 60.0;     ///< largest controller step [s]
-  double safety = 0.9;      ///< classic controller safety factor
-  double shrink_limit = 0.2;  ///< max per-step shrink factor
-  double grow_limit = 4.0;    ///< max per-step growth factor
-  /// PI gains for first-order implicit Euler: factor =
-  /// safety * (tol/err)^k_i * (err_prev/err)^k_p, clamped to the limits.
-  double k_i = 0.35;
-  double k_p = 0.2;
-  /// Hard cap on attempted steps (accepted + rejected); exceeding it throws
-  /// std::runtime_error — the march is diverging or dt_min is too small.
-  std::size_t max_steps = 200000;
-};
+/// PI step-size controller knobs — the engine's options verbatim
+/// (core::AdaptiveOptions documents every knob). Defaults suit the coarse
+/// qualification models (SEB box, Fig. 2 board); tighten `tolerance` for
+/// fine grids. One options struct serves every fidelity: the tolerance is
+/// in kelvin at FV, network and ROM fidelity alike.
+using AdaptiveOptions = core::AdaptiveOptions;
 
 /// One adaptive mission march. Traces are per *accepted* step (index 0 is
 /// the initial state); the full per-cell field is kept only for the final
@@ -80,6 +72,15 @@ thermal::FvDrive drive_for(const Profile& profile);
 /// scale by power_scale.
 thermal::NetworkDrive drive_for_network(const Profile& profile);
 
+/// Reduced-order counterpart: every port sink temperature follows
+/// t_ambient and map powers scale by power_scale from `base_inputs` (whose
+/// sink entries are overwritten — only its power levels matter). Port film
+/// coefficients are baked into the projected operator at build time, so a
+/// profile that scales films (h_scale != 1 anywhere) cannot be represented
+/// at ROM fidelity and is rejected with std::invalid_argument — use an
+/// FV-fidelity mission for those.
+rom::RomDrive drive_for_rom(const Profile& profile, rom::RomInputs base_inputs);
+
 /// Adaptively march `model` from a uniform initial temperature through the
 /// whole profile ([0, profile.total_duration()]). `assembly` may be a
 /// cache-shared *steady* assembly of the model (null assembles once) — the
@@ -104,5 +105,54 @@ MissionSolution run_fv_mission(ExecutionContext& ctx, const thermal::FvModel& mo
                                const AdaptiveOptions& adaptive = {},
                                const thermal::FvOptions& fv_opts = {},
                                std::shared_ptr<const thermal::FvAssembly> assembly = nullptr);
+
+/// Same adaptive march at reduced-order fidelity: the controller, the
+/// phase-boundary clamping and the trace layout are identical to
+/// run_fv_mission — only the stepper underneath changes
+/// (rom::RomTransientStepper on the cached projected operator, zero
+/// reprojection per step). Traces and the final field are reconstructed to
+/// the full per-cell field so tolerances and trace errors are directly
+/// comparable against FV missions; `grid` (the source model's grid) enables
+/// the volume-weighted t_mean — null falls back to the plain cell average.
+/// In MissionSolution, `linear_iterations` counts reduced dense solves and
+/// `structure_assemblies` is always 0. Emits obs counters
+/// mission.rom_steps, mission.rom_step_rejections and
+/// mission.phase_transitions.
+MissionSolution run_rom_mission(const rom::RomModel& model, const Profile& profile,
+                                double t_initial, const rom::RomInputs& base_inputs,
+                                const AdaptiveOptions& adaptive = {},
+                                const thermal::FvGrid* grid = nullptr);
+
+/// Shared-ownership overload for cache-held models (rom::get_or_build_rom):
+/// keeps the model alive for the duration of the march.
+MissionSolution run_rom_mission(std::shared_ptr<const rom::RomModel> model,
+                                const Profile& profile, double t_initial,
+                                const rom::RomInputs& base_inputs,
+                                const AdaptiveOptions& adaptive = {},
+                                const thermal::FvGrid* grid = nullptr);
+
+/// One adaptive lumped-network march. Networks are small, so the full node
+/// vector is kept per accepted step (index 0 is the initial state with
+/// boundary nodes resolved at t = 0).
+struct NetworkMissionSolution {
+  numeric::Vector times;  ///< accepted step end times, [0] = 0
+  std::vector<numeric::Vector> node_temperatures;  ///< all nodes, per accepted step [K]
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;
+  std::size_t phase_transitions = 0;  ///< accepted steps landing on a phase boundary
+  std::size_t implicit_solves = 0;  ///< total Picard passes (all attempts)
+};
+
+/// Adaptive mission march of a ThermalNetwork through `profile` via
+/// drive_for_network and the same engine/controller as run_fv_mission.
+/// `initial_temperatures` holds every node (boundary entries are
+/// re-resolved at t = 0 before recording). Emits obs counters
+/// mission.network_steps, mission.network_step_rejections and
+/// mission.phase_transitions.
+NetworkMissionSolution run_network_mission(const thermal::ThermalNetwork& net,
+                                           const Profile& profile,
+                                           const numeric::Vector& initial_temperatures,
+                                           const AdaptiveOptions& adaptive = {},
+                                           const thermal::SteadyOptions& opts = {});
 
 }  // namespace aeropack::mission

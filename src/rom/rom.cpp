@@ -8,10 +8,12 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/transient_engine.hpp"
 #include "numeric/eigen.hpp"
 #include "numeric/parallel.hpp"
 #include "numeric/sparse.hpp"
 #include "obs/registry.hpp"
+#include "rom/transient.hpp"
 
 namespace aeropack::rom {
 
@@ -555,24 +557,11 @@ RomSteadyResult RomModel::steady(const RomInputs& inputs) const {
 
 RomTransientResult RomModel::transient(const RomInputs& inputs, double t_end, double dt,
                                        double t_initial) const {
-  static thread_local obs::CounterHandle evals{"rom.transient_evals"};
-  static thread_local obs::CounterHandle steps_counter{"rom.transient_steps"};
   check(inputs);
-  if (dt <= 0.0 || t_end <= 0.0)
-    throw std::invalid_argument("RomModel::transient: bad time step");
-  evals.add();
-  dt = std::min(dt, t_end);  // same clamp semantics as FvModel::solve_transient
-  const std::size_t steps = static_cast<std::size_t>(std::ceil(t_end / dt));
-  const double inv_dt = 1.0 / dt;
-
-  Matrix m(rank_, rank_);
-  for (std::size_t i = 0; i < rank_; ++i)
-    for (std::size_t j = 0; j < rank_; ++j) m(i, j) = c_r_(i, j) * inv_dt + a_r_(i, j);
-  const numeric::CholeskyFactorization march(m);
-
-  const Vector b = reduced_rhs(inputs);
-  Vector y(rank_);
-  for (std::size_t k = 0; k < rank_; ++k) y[k] = t_initial * ones_proj_[k];
+  // Same clamp semantics as FvModel::solve_transient.
+  dt = core::check_march_window("RomModel::transient", t_end, dt);
+  RomTransientStepper stepper(*this, inputs);
+  Vector y = stepper.initial_state(t_initial);
 
   RomTransientResult out;
   Vector temps, flows;
@@ -580,20 +569,12 @@ RomTransientResult RomModel::transient(const RomInputs& inputs, double t_end, do
   port_outputs(y, inputs, temps, flows);
   out.port_temperatures.push_back(temps);
   out.reduced_states.push_back(y);
-  for (std::size_t s = 1; s <= steps; ++s) {
-    Vector rhs(rank_, 0.0);
-    for (std::size_t i = 0; i < rank_; ++i) {
-      double acc = b[i];
-      for (std::size_t j = 0; j < rank_; ++j) acc += c_r_(i, j) * inv_dt * y[j];
-      rhs[i] = acc;
-    }
-    y = march.solve(rhs);
-    steps_counter.add();
-    out.times.push_back(dt * static_cast<double>(s));
-    port_outputs(y, inputs, temps, flows);
+  core::march_fixed(stepper, y, t_end, dt, [&](double t_next, const Vector& state) {
+    out.times.push_back(t_next);
+    port_outputs(state, inputs, temps, flows);
     out.port_temperatures.push_back(temps);
-    out.reduced_states.push_back(y);
-  }
+    out.reduced_states.push_back(state);
+  });
   return out;
 }
 

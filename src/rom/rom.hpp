@@ -186,6 +186,7 @@ class RomModel {
 
  private:
   friend class RomBuilder;
+  friend class RomTransientStepper;
   RomModel() = default;
   void activate_rank(std::size_t r);
   void check(const RomInputs& inputs) const;

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/transient_engine.hpp"
 #include "exec/context.hpp"
 #include "numeric/hashing.hpp"
 #include "numeric/parallel.hpp"
@@ -582,9 +583,8 @@ FvTransientStepper::FvTransientStepper(const FvModel& model, const FvOptions& op
 
 std::size_t FvTransientStepper::step(Vector& temps, double t_next, double dt,
                                      const FvDrive* drive) {
-  if (!(dt > 0.0)) throw std::invalid_argument("FvTransientStepper::step: bad time step");
-  if (temps.size() != capacity_.size())
-    throw std::invalid_argument("FvTransientStepper::step: field size mismatch");
+  core::check_step_size("FvTransientStepper::step", dt);
+  core::check_state_size("FvTransientStepper::step", temps.size(), capacity_.size());
   static thread_local obs::CounterHandle transient_steps{"fv.transient_steps"};
   static thread_local obs::CounterHandle warmstart_hits{"fv.warmstart_hits"};
   model_->update_driven_terms(ws_, temps, temps, capacity_, 1.0 / dt, t_next, drive, rhs_);
@@ -595,6 +595,14 @@ std::size_t FvTransientStepper::step(Vector& temps, double t_next, double dt,
   if (lin.iterations == 0) warmstart_hits.add();
   temps = lin.x;
   return lin.iterations;
+}
+
+double FvTransientStepper::error_norm(const Vector& a, const Vector& b) const {
+  // Serial max-norm: the controller metric must be bitwise independent of
+  // the thread count (same contract as the march itself).
+  double err = 0.0;
+  for (std::size_t c = 0; c < a.size(); ++c) err = std::max(err, std::abs(a[c] - b[c]));
+  return err;
 }
 
 LinearSteadySystem FvModel::linearize_steady(const FvOptions& opts) const {
@@ -799,37 +807,56 @@ FvTransientSolution FvModel::solve_transient(ExecutionContext& ctx, double t_end
 FvTransientSolution FvModel::solve_transient(double t_end, double dt,
                                              const Vector& initial_temperatures,
                                              const FvOptions& opts) const {
-  if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("solve_transient: bad time step");
+  dt = core::check_march_window("FvModel::solve_transient", t_end, dt);
   const std::size_t n = grid_.cell_count();
-  if (initial_temperatures.size() != n)
-    throw std::invalid_argument("solve_transient: initial field size mismatch");
-  dt = std::min(dt, t_end);  // a march shorter than one step = one step of t_end
+  core::check_state_size("FvModel::solve_transient", initial_temperatures.size(), n);
   Vector temps = initial_temperatures;
   FvTransientSolution out;
   out.times.push_back(0.0);
   out.temperatures.push_back(temps);
-  const std::size_t steps = static_cast<std::size_t>(std::ceil(t_end / dt));
-  // Structure + capacity assembled once for the whole march; each implicit
+  // Structure + capacity assembled once for the whole march (the undriven
+  // fixed-dt march bakes capacity/dt into the assembly); each implicit
   // Euler step rewrites boundary terms and warm-starts CG from the previous
   // step's field instead of re-converging from scratch.
   static thread_local obs::CounterHandle transient_steps{"fv.transient_steps"};
   static thread_local obs::CounterHandle warmstart_hits{"fv.warmstart_hits"};
   obs::ScopedTimer span("fv.solve_transient");
-  Workspace ws = make_workspace(build_assembly(opts, 1.0 / dt));
+  // Local stepper over the baked-capacity workspace: a member-function-local
+  // class shares the enclosing function's access to FvModel's private
+  // workspace machinery, so the undriven march rides the shared engine loop
+  // without widening the model's API.
+  struct BakedStepper {
+    const FvModel* model;
+    const FvOptions* opts;
+    Workspace ws;
+    Vector rhs;
+    obs::CounterHandle* steps;
+    obs::CounterHandle* warm;
+    std::size_t state_size() const { return rhs.size(); }
+    std::size_t step(Vector& temps, double /*t_next*/, double /*dt*/) {
+      model->update_boundary_terms(ws, temps, &temps, rhs);
+      const auto lin = numeric::conjugate_gradient(ws.matrix, rhs, opts->linear, &temps);
+      if (!lin.converged)
+        throw std::runtime_error("FvModel::solve_transient: linear solver failed");
+      steps->add();
+      if (lin.iterations == 0) warm->add();
+      temps = lin.x;
+      return lin.iterations;
+    }
+    double error_norm(const Vector& a, const Vector& b) const {
+      double err = 0.0;
+      for (std::size_t c = 0; c < a.size(); ++c) err = std::max(err, std::abs(a[c] - b[c]));
+      return err;
+    }
+  };
+  BakedStepper stepper{this,      &opts, make_workspace(build_assembly(opts, 1.0 / dt)),
+                       Vector(n), &transient_steps, &warmstart_hits};
   out.structure_assemblies = 1;
-  Vector rhs(n);
-  for (std::size_t s = 1; s <= steps; ++s) {
-    update_boundary_terms(ws, temps, &temps, rhs);
-    const auto lin = numeric::conjugate_gradient(ws.matrix, rhs, opts.linear, &temps);
-    if (!lin.converged)
-      throw std::runtime_error("FvModel::solve_transient: linear solver failed");
-    transient_steps.add();
-    if (lin.iterations == 0) warmstart_hits.add();
-    out.linear_iterations += lin.iterations;
-    temps = lin.x;
-    out.times.push_back(dt * static_cast<double>(s));
-    out.temperatures.push_back(temps);
-  }
+  out.linear_iterations =
+      core::march_fixed(stepper, temps, t_end, dt, [&](double t_next, const Vector& state) {
+        out.times.push_back(t_next);
+        out.temperatures.push_back(state);
+      });
   return out;
 }
 
@@ -837,24 +864,22 @@ FvTransientSolution FvModel::solve_transient(double t_end, double dt,
                                              const Vector& initial_temperatures,
                                              const FvDrive& drive, const FvOptions& opts,
                                              std::shared_ptr<const FvAssembly> assembly) const {
-  if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("solve_transient: bad time step");
-  if (initial_temperatures.size() != grid_.cell_count())
-    throw std::invalid_argument("solve_transient: initial field size mismatch");
-  dt = std::min(dt, t_end);
+  dt = core::check_march_window("FvModel::solve_transient", t_end, dt);
+  core::check_state_size("FvModel::solve_transient", initial_temperatures.size(),
+                         grid_.cell_count());
   FvTransientStepper stepper(*this, opts, std::move(assembly));
+  stepper.set_drive(&drive);
   FvTransientSolution out;
   out.structure_assemblies = stepper.structure_assemblies();
   Vector temps = initial_temperatures;
   out.times.push_back(0.0);
   out.temperatures.push_back(temps);
   obs::ScopedTimer span("fv.solve_transient");
-  const std::size_t steps = static_cast<std::size_t>(std::ceil(t_end / dt));
-  for (std::size_t s = 1; s <= steps; ++s) {
-    const double t_next = dt * static_cast<double>(s);
-    out.linear_iterations += stepper.step(temps, t_next, dt, &drive);
-    out.times.push_back(t_next);
-    out.temperatures.push_back(temps);
-  }
+  out.linear_iterations =
+      core::march_fixed(stepper, temps, t_end, dt, [&](double t_next, const Vector& state) {
+        out.times.push_back(t_next);
+        out.temperatures.push_back(state);
+      });
   return out;
 }
 

@@ -379,14 +379,16 @@ class FvModel {
 };
 
 /// Reusable driven implicit-Euler stepper over a steady (inv_dt == 0,
-/// possibly cache-shared) FvAssembly. This is the primitive the adaptive
-/// mission march is built on: step() advances an arbitrary field by an
-/// arbitrary dt — the capacity/dt term is applied per call, so the step
-/// size may change between calls without any re-assembly — which is exactly
-/// what step-doubling error control needs (one full step and two half steps
-/// over the same structure). The stepper owns a private workspace; the
-/// shared assembly is never mutated, so any number of steppers may run
-/// concurrently on one cached assembly from distinct ExecutionContexts.
+/// possibly cache-shared) FvAssembly. This is the FV implementation of the
+/// core::TransientSystem concept the unified transient engine
+/// (core/transient_engine.hpp) marches: step() advances an arbitrary field
+/// by an arbitrary dt — the capacity/dt term is applied per call, so the
+/// step size may change between calls without any re-assembly — which is
+/// exactly what step-doubling error control needs (one full step and two
+/// half steps over the same structure). The stepper owns a private
+/// workspace; the shared assembly is never mutated, so any number of
+/// steppers may run concurrently on one cached assembly from distinct
+/// ExecutionContexts.
 ///
 /// The referenced model must outlive the stepper and stay unmodified while
 /// it is in use (the workspace caches the model's source terms).
@@ -408,6 +410,22 @@ class FvTransientStepper {
   /// failed linear solve.
   std::size_t step(numeric::Vector& temps, double t_next, double dt, const FvDrive* drive);
 
+  /// Attach (or detach with null) the environment drive the concept-form
+  /// step() resolves per call. The drive must outlive its use; it is NOT
+  /// part of any cache key — drives change boundary values, never operator
+  /// structure (CONTRIBUTING.md "Driver hashing rules").
+  void set_drive(const FvDrive* drive) { drive_ = drive; }
+
+  // --- core::TransientSystem concept ------------------------------------
+  std::size_t state_size() const { return capacity_.size(); }
+  /// Concept-form step: same as the explicit-drive overload with the drive
+  /// set through set_drive() (null = the model's stored conditions).
+  std::size_t step(numeric::Vector& temps, double t_next, double dt) {
+    return step(temps, t_next, dt, drive_);
+  }
+  /// Controller error metric: serial max-norm field difference [K].
+  double error_norm(const numeric::Vector& a, const numeric::Vector& b) const;
+
   /// 1 when the constructor assembled, 0 when a shared assembly was used.
   std::size_t structure_assemblies() const { return structure_assemblies_; }
   const std::shared_ptr<const FvAssembly>& assembly() const { return ws_.assembly; }
@@ -418,6 +436,7 @@ class FvTransientStepper {
   FvModel::Workspace ws_;
   numeric::Vector capacity_;  ///< rho*cp*V per cell (no dt factor)
   numeric::Vector rhs_;
+  const FvDrive* drive_ = nullptr;
   std::size_t structure_assemblies_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/transient_engine.hpp"
 #include "exec/context.hpp"
 #include "numeric/solve_dense.hpp"
 #include "obs/registry.hpp"
@@ -225,103 +226,130 @@ double ThermalNetwork::node_heat_flow(NodeId id, const Vector& temps) const {
   return flow;
 }
 
+// --- NetworkTransientStepper ------------------------------------------------
+
+NetworkTransientStepper::NetworkTransientStepper(const ThermalNetwork& net,
+                                                 const SteadyOptions& opts, NetworkDrive drive)
+    : net_(&net),
+      opts_(opts),
+      drive_(std::move(drive)),
+      unknown_index_(net.nodes_.size(), -1) {
+  for (std::size_t i = 0; i < net.nodes_.size(); ++i)
+    if (!net.nodes_[i].boundary) unknown_index_[i] = static_cast<std::ptrdiff_t>(n_unknown_++);
+}
+
+std::size_t NetworkTransientStepper::state_size() const { return net_->nodes_.size(); }
+
+double NetworkTransientStepper::boundary_temp(double t, std::size_t i) const {
+  // The drive re-resolves the boundary per step; the undriven path reads
+  // the stored value.
+  const double stored = net_->nodes_[i].temperature;
+  return drive_.boundary_temperature ? drive_.boundary_temperature(t, i, stored) : stored;
+}
+
+void NetworkTransientStepper::apply_boundaries(double t, Vector& temps) const {
+  for (std::size_t i = 0; i < net_->nodes_.size(); ++i)
+    if (net_->nodes_[i].boundary) temps[i] = boundary_temp(t, i);
+}
+
+double NetworkTransientStepper::error_norm(const Vector& a, const Vector& b) const {
+  double err = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) err = std::max(err, std::fabs(a[i] - b[i]));
+  return err;
+}
+
+std::size_t NetworkTransientStepper::step(Vector& temps, double t_next, double dt) {
+  core::check_step_size("NetworkTransientStepper::step", dt);
+  core::check_state_size("NetworkTransientStepper::step", temps.size(), net_->nodes_.size());
+  const auto& nodes = net_->nodes_;
+  const auto& conductors = net_->conductors_;
+
+  constexpr double kCapFloor = 1e-6;  // quasi-steady nodes get a tiny capacitance
+
+  static thread_local obs::CounterHandle transient_steps{"network.transient_steps"};
+  static thread_local obs::CounterHandle transient_picard{"network.transient_picard_passes"};
+  transient_steps.add();
+  // Implicit Euler: the drive is sampled at the step's end time.
+  const double load_scale = drive_.load_scale ? drive_.load_scale(t_next) : 1.0;
+  // A few Picard passes per implicit step to handle nonlinear conductors.
+  Vector iterate = temps;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i].boundary) iterate[i] = boundary_temp(t_next, i);
+  std::size_t passes = 0;
+  for (std::size_t pic = 0; pic < 5; ++pic) {
+    transient_picard.add();
+    passes += 1;
+    const auto gv = net_->evaluate_conductances(iterate);
+    Matrix a(std::max<std::size_t>(n_unknown_, 1), std::max<std::size_t>(n_unknown_, 1));
+    Vector rhs(std::max<std::size_t>(n_unknown_, 1), 0.0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const std::ptrdiff_t ui = unknown_index_[i];
+      if (ui < 0) continue;
+      const auto u = static_cast<std::size_t>(ui);
+      const double cap = std::max(nodes[i].capacitance, kCapFloor);
+      a(u, u) += cap / dt;
+      rhs[u] += cap / dt * temps[i] + nodes[i].load * load_scale;
+    }
+    for (std::size_t ci = 0; ci < conductors.size(); ++ci) {
+      const ThermalNetwork::Conductor& c = conductors[ci];
+      const double g = gv[ci];
+      if (g == 0.0) continue;
+      const std::ptrdiff_t ia = unknown_index_[c.a];
+      const std::ptrdiff_t ib = unknown_index_[c.b];
+      if (ia >= 0 && ib >= 0) {
+        const auto ua = static_cast<std::size_t>(ia);
+        const auto ub = static_cast<std::size_t>(ib);
+        a(ua, ua) += g;
+        a(ub, ub) += g;
+        a(ua, ub) -= g;
+        a(ub, ua) -= g;
+      } else if (ia >= 0) {
+        const auto ua = static_cast<std::size_t>(ia);
+        a(ua, ua) += g;
+        rhs[ua] += g * boundary_temp(t_next, c.b);
+      } else if (ib >= 0) {
+        const auto ub = static_cast<std::size_t>(ib);
+        a(ub, ub) += g;
+        rhs[ub] += g * boundary_temp(t_next, c.a);
+      }
+    }
+    Vector x(n_unknown_, 0.0);
+    if (n_unknown_ > 0) x = numeric::CholeskyFactorization(a).solve(rhs);
+    Vector next(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      next[i] = nodes[i].boundary ? boundary_temp(t_next, i)
+                                  : x[static_cast<std::size_t>(unknown_index_[i])];
+    double delta = 0.0;
+    for (std::size_t i = 0; i < next.size(); ++i)
+      delta = std::max(delta, std::fabs(next[i] - iterate[i]));
+    iterate = next;
+    if (delta < opts_.tolerance) break;
+  }
+  temps = iterate;
+  return passes;
+}
+
 TransientSolution ThermalNetwork::march_transient(double t_end, double dt,
                                                   const Vector& initial_temperatures,
                                                   const SteadyOptions& opts,
                                                   const NetworkDrive* drive) const {
-  if (dt <= 0.0 || t_end <= 0.0) throw std::invalid_argument("solve_transient: bad time step");
-  if (initial_temperatures.size() != nodes_.size())
-    throw std::invalid_argument("solve_transient: initial state size mismatch");
+  dt = core::check_march_window("ThermalNetwork::solve_transient", t_end, dt);
+  core::check_state_size("ThermalNetwork::solve_transient", initial_temperatures.size(),
+                         nodes_.size());
 
-  constexpr double kCapFloor = 1e-6;  // quasi-steady nodes get a tiny capacitance
-
-  // Boundary temperature of node `i` at mission time `t`: the drive
-  // re-resolves it per step, the undriven path reads the stored value.
-  const auto boundary_temp = [&](double t, std::size_t i) {
-    const double stored = nodes_[i].temperature;
-    return (drive && drive->boundary_temperature) ? drive->boundary_temperature(t, i, stored)
-                                                  : stored;
-  };
-
+  NetworkTransientStepper stepper(*this, opts, drive ? *drive : NetworkDrive{});
   Vector temps = initial_temperatures;
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (nodes_[i].boundary) temps[i] = boundary_temp(0.0, i);
+  stepper.apply_boundaries(0.0, temps);
 
   TransientSolution out;
   out.times.push_back(0.0);
   out.temperatures.push_back(temps);
 
-  std::vector<std::ptrdiff_t> unknown_index(nodes_.size(), -1);
-  std::size_t n_unknown = 0;
-  for (std::size_t i = 0; i < nodes_.size(); ++i)
-    if (!nodes_[i].boundary) unknown_index[i] = static_cast<std::ptrdiff_t>(n_unknown++);
-
-  static thread_local obs::CounterHandle transient_steps{"network.transient_steps"};
-  static thread_local obs::CounterHandle transient_picard{"network.transient_picard_passes"};
   obs::ScopedTimer span("network.solve_transient");
-  const std::size_t n_steps = static_cast<std::size_t>(std::ceil(t_end / dt));
-  for (std::size_t s = 1; s <= n_steps; ++s) {
-    transient_steps.add();
-    // Implicit Euler: the drive is sampled at the step's end time.
-    const double t_next = dt * static_cast<double>(s);
-    const double load_scale =
-        (drive && drive->load_scale) ? drive->load_scale(t_next) : 1.0;
-    // A few Picard passes per implicit step to handle nonlinear conductors.
-    Vector iterate = temps;
-    for (std::size_t i = 0; i < nodes_.size(); ++i)
-      if (nodes_[i].boundary) iterate[i] = boundary_temp(t_next, i);
-    for (std::size_t pic = 0; pic < 5; ++pic) {
-      transient_picard.add();
-      const auto gv = evaluate_conductances(iterate);
-      Matrix a(std::max<std::size_t>(n_unknown, 1), std::max<std::size_t>(n_unknown, 1));
-      Vector rhs(std::max<std::size_t>(n_unknown, 1), 0.0);
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        const std::ptrdiff_t ui = unknown_index[i];
-        if (ui < 0) continue;
-        const auto u = static_cast<std::size_t>(ui);
-        const double cap = std::max(nodes_[i].capacitance, kCapFloor);
-        a(u, u) += cap / dt;
-        rhs[u] += cap / dt * temps[i] + nodes_[i].load * load_scale;
-      }
-      for (std::size_t ci = 0; ci < conductors_.size(); ++ci) {
-        const Conductor& c = conductors_[ci];
-        const double g = gv[ci];
-        if (g == 0.0) continue;
-        const std::ptrdiff_t ia = unknown_index[c.a];
-        const std::ptrdiff_t ib = unknown_index[c.b];
-        if (ia >= 0 && ib >= 0) {
-          const auto ua = static_cast<std::size_t>(ia);
-          const auto ub = static_cast<std::size_t>(ib);
-          a(ua, ua) += g;
-          a(ub, ub) += g;
-          a(ua, ub) -= g;
-          a(ub, ua) -= g;
-        } else if (ia >= 0) {
-          const auto ua = static_cast<std::size_t>(ia);
-          a(ua, ua) += g;
-          rhs[ua] += g * boundary_temp(t_next, c.b);
-        } else if (ib >= 0) {
-          const auto ub = static_cast<std::size_t>(ib);
-          a(ub, ub) += g;
-          rhs[ub] += g * boundary_temp(t_next, c.a);
-        }
-      }
-      Vector x(n_unknown, 0.0);
-      if (n_unknown > 0) x = numeric::CholeskyFactorization(a).solve(rhs);
-      Vector next(nodes_.size());
-      for (std::size_t i = 0; i < nodes_.size(); ++i)
-        next[i] = nodes_[i].boundary ? boundary_temp(t_next, i)
-                                     : x[static_cast<std::size_t>(unknown_index[i])];
-      double delta = 0.0;
-      for (std::size_t i = 0; i < next.size(); ++i)
-        delta = std::max(delta, std::fabs(next[i] - iterate[i]));
-      iterate = next;
-      if (delta < opts.tolerance) break;
-    }
-    temps = iterate;
+  core::march_fixed(stepper, temps, t_end, dt, [&](double t_next, const Vector& state) {
     out.times.push_back(t_next);
-    out.temperatures.push_back(temps);
-  }
+    out.temperatures.push_back(state);
+  });
   return out;
 }
 

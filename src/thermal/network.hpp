@@ -116,6 +116,8 @@ class ThermalNetwork {
   double node_heat_flow(NodeId id, const numeric::Vector& temperatures) const;
 
  private:
+  friend class NetworkTransientStepper;
+
   struct Node {
     std::string name;
     bool boundary = false;
@@ -140,6 +142,48 @@ class ThermalNetwork {
 
   std::vector<Node> nodes_;
   std::vector<Conductor> conductors_;
+};
+
+/// Reusable driven implicit-Euler stepper over a ThermalNetwork — the
+/// lumped-network implementation of the core::TransientSystem concept
+/// (core/transient_engine.hpp). One step resolves boundary temperatures and
+/// load scaling through the drive at the step's end time, then runs up to
+/// five Picard passes of the dense implicit system (nonlinear conductors
+/// linearize per pass); the returned cost is the Picard pass count, i.e.
+/// the number of dense solves spent. Step size may change freely between
+/// calls — capacitance/dt is assembled per pass — which is what the
+/// adaptive mission march needs.
+///
+/// The referenced network must outlive the stepper and stay unmodified
+/// while it is in use. The drive is copied; empty callbacks mean the
+/// network's stored boundary temperatures and unscaled loads.
+class NetworkTransientStepper {
+ public:
+  explicit NetworkTransientStepper(const ThermalNetwork& net, const SteadyOptions& opts = {},
+                                   NetworkDrive drive = {});
+
+  // --- core::TransientSystem concept ------------------------------------
+  std::size_t state_size() const;
+  /// One implicit Euler step of size `dt` ending at mission time `t_next`.
+  /// `temps` holds every node (boundary entries are overwritten with the
+  /// drive-resolved values at `t_next`); returns the Picard pass count.
+  std::size_t step(numeric::Vector& temps, double t_next, double dt);
+  /// Controller error metric: serial max-norm node difference [K].
+  double error_norm(const numeric::Vector& a, const numeric::Vector& b) const;
+
+  /// Resolve the boundary-node entries of `temps` at mission time `t`
+  /// (diffusion entries untouched) — the initial-state fixup every march
+  /// applies before its first step.
+  void apply_boundaries(double t, numeric::Vector& temps) const;
+
+ private:
+  double boundary_temp(double t, std::size_t i) const;
+
+  const ThermalNetwork* net_;
+  SteadyOptions opts_;
+  NetworkDrive drive_;
+  std::vector<std::ptrdiff_t> unknown_index_;
+  std::size_t n_unknown_ = 0;
 };
 
 }  // namespace aeropack::thermal

@@ -13,7 +13,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "mission/profile.hpp"
 #include "rom/rom.hpp"
+#include "thermal/fv.hpp"
 
 namespace aeropack::verify {
 
@@ -47,5 +49,59 @@ struct RomLadderResult {
 RomLadderResult rom_equivalence_ladder(const thermal::FvModel& model, const rom::RomSpec& spec,
                                        const rom::RomInputs& inputs,
                                        const rom::RomOptions& opts = {});
+
+// --- Driven-transient ladder ---------------------------------------------
+//
+// The transient counterpart: one mission::Profile drives a tight fixed-dt
+// full-FV reference march (thermal::FvTransientStepper + mission::drive_for)
+// and, on the *same* time grid, a reduced march per rank
+// (rom::RomTransientStepper + mission::drive_for_rom). Both fidelities ride
+// core::march_fixed, so the ladder exercises exactly the engine/stepper
+// pairing the mission layer uses in production. Errors are relative
+// space-time L2 norms of the reconstructed field difference over the marched
+// states (steps 1..N; the t = 0 states differ only by the projection of the
+// uniform initial field and are excluded).
+
+struct RomTransientRung {
+  std::size_t rank = 0;
+  /// Relative space-time L2 trace error of the reconstructed field history
+  /// vs. the FV reference: sqrt(sum_s ||e_s||^2 / sum_s ||T_s||^2).
+  double trace_error = 0.0;
+  /// Relative L2 error of the final (horizon) field.
+  double final_error = 0.0;
+  /// The ROM's own a-priori estimate (POD tail energy) at this rank.
+  double estimate = 0.0;
+};
+
+struct RomTransientLadderOptions {
+  std::size_t reference_steps = 200;  ///< fixed-dt steps of the shared grid
+  double t_initial = 293.15;          ///< uniform initial temperature [K]
+  rom::RomOptions rom;                ///< build options (full usable basis is laddered)
+  thermal::FvOptions fv;              ///< reference march options
+  double reference_tolerance = 1e-10;  ///< CG tolerance of the reference march
+};
+
+struct RomTransientLadderResult {
+  std::vector<RomTransientRung> rungs;  ///< ranks ascending, 1..usable_rank
+  /// True when trace_error decays with rank within a 5% plateau slack per
+  /// rung. Unlike the steady ladder's energy norm, no Galerkin-optimality
+  /// theorem covers the marched trajectory, so adjacent rungs may wiggle
+  /// sub-percent where the truncation tail flattens — the slack absorbs
+  /// that while still catching any real degradation of nested bases.
+  bool monotone = false;
+  double dt = 0.0;           ///< shared step size [s]
+  std::size_t steps = 0;     ///< reference_steps actually marched
+  /// trace_error of the highest rung (the full usable basis).
+  double full_rank_trace_error = 0.0;
+};
+
+/// Run the driven-transient ladder. The profile must keep h_scale == 1
+/// (mission::drive_for_rom's constraint); DO-160 thermal shock is the
+/// canonical choice. Deterministic at any thread count.
+RomTransientLadderResult rom_transient_ladder(const thermal::FvModel& model,
+                                              const rom::RomSpec& spec,
+                                              const rom::RomInputs& base_inputs,
+                                              const mission::Profile& profile,
+                                              const RomTransientLadderOptions& opts = {});
 
 }  // namespace aeropack::verify
